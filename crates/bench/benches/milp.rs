@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the LP/MILP solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use helix_milp::{solve_lp, MilpSolver, Model, ObjectiveSense, Sense, VarType};
+use std::hint::black_box;
+
+/// A knapsack MILP with `n` binary items.
+fn knapsack(n: usize) -> Model {
+    let mut m = Model::new(ObjectiveSense::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_binary(format!("x{i}"), 5.0 + (i % 7) as f64))
+        .collect();
+    let weights: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 2.0 + (i % 5) as f64)).collect();
+    let cap: f64 = weights.iter().map(|(_, w)| w).sum::<f64>() * 0.4;
+    m.add_constraint("cap", weights, Sense::Le, cap);
+    m
+}
+
+/// A transportation LP with `n` sources and `n` sinks.
+fn transportation(n: usize) -> Model {
+    let mut m = Model::new(ObjectiveSense::Minimize);
+    let mut vars = vec![vec![]; n];
+    for i in 0..n {
+        for j in 0..n {
+            let cost = ((i * 13 + j * 7) % 10 + 1) as f64;
+            vars[i].push(m.add_var(format!("x{i}_{j}"), VarType::Continuous, 0.0, f64::INFINITY, cost));
+        }
+    }
+    for (i, row) in vars.iter().enumerate() {
+        let terms: Vec<_> = row.iter().map(|&v| (v, 1.0)).collect();
+        m.add_constraint(format!("supply{i}"), terms, Sense::Le, 10.0 + (i % 3) as f64);
+    }
+    for j in 0..n {
+        let terms: Vec<_> = (0..n).map(|i| (vars[i][j], 1.0)).collect();
+        m.add_constraint(format!("demand{j}"), terms, Sense::Ge, 5.0 + (j % 4) as f64);
+    }
+    m
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_transportation");
+    for n in [5usize, 10, 15] {
+        let model = transportation(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &model, |b, m| {
+            b.iter(|| black_box(solve_lp(m).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp_knapsack");
+    group.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let model = knapsack(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &model, |b, m| {
+            b.iter(|| black_box(MilpSolver::new().solve(m).unwrap().objective))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp, bench_milp);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the placement planners and the scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
+use helix_core::{
+    heuristics, AnnealingOptions, FlowAnnealingPlanner, IdleClusterState, IwrrScheduler, Scheduler,
+};
+use std::hint::black_box;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let profile =
+        ClusterProfile::analytic(ClusterSpec::single_cluster_24(), ModelConfig::llama2_70b());
+    c.bench_function("swarm_placement_24_nodes", |b| {
+        b.iter(|| black_box(heuristics::swarm_placement(&profile).unwrap()))
+    });
+    c.bench_function("petals_placement_24_nodes", |b| {
+        b.iter(|| black_box(heuristics::petals_placement(&profile).unwrap()))
+    });
+}
+
+fn bench_annealing(c: &mut Criterion) {
+    let profile =
+        ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
+    let mut group = c.benchmark_group("annealing_planner_10_nodes");
+    group.sample_size(10);
+    group.bench_function("500_iterations", |b| {
+        b.iter(|| {
+            let planner = FlowAnnealingPlanner::new(&profile)
+                .with_options(AnnealingOptions { iterations: 500, ..Default::default() });
+            black_box(planner.solve().unwrap().1)
+        })
+    });
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let profile =
+        ClusterProfile::analytic(ClusterSpec::single_cluster_24(), ModelConfig::llama2_70b());
+    let placement = heuristics::petals_placement(&profile).unwrap();
+    let mut scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
+    let state = IdleClusterState;
+    c.bench_function("iwrr_schedule_one_request_24_nodes", |b| {
+        b.iter(|| black_box(scheduler.schedule(&state).unwrap().depth()))
+    });
+}
+
+criterion_group!(benches, bench_heuristics, bench_annealing, bench_scheduler);
+criterion_main!(benches);

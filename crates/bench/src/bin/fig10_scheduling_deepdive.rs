@@ -1,0 +1,98 @@
+//! Figure 10: request-scheduling deep dive — offline serving of LLaMA 70B on
+//! the Helix placement, comparing the IWRR scheduler against Swarm, random
+//! and shortest-queue-first scheduling, plus the congestion case study on the
+//! geo-distributed cluster (Fig. 10b).
+//!
+//! ```text
+//! cargo run --release -p helix-bench --bin fig10_scheduling_deepdive [--full] [--case-study]
+//! ```
+
+use helix_bench::{run_with_scheduler, ExperimentReport, ExperimentScale};
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig, NodeId};
+use helix_core::{AnnealingOptions, FlowAnnealingPlanner, SchedulerKind};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let case_study = std::env::args().any(|a| a == "--case-study");
+    let mut data = Vec::new();
+    for (cluster_name, cluster, kinds) in [
+        (
+            "single cluster",
+            ClusterSpec::single_cluster_24(),
+            vec![SchedulerKind::HelixIwrr, SchedulerKind::Swarm, SchedulerKind::Random],
+        ),
+        (
+            "geo-distributed",
+            ClusterSpec::geo_distributed_24(),
+            vec![
+                SchedulerKind::HelixIwrr,
+                SchedulerKind::Swarm,
+                SchedulerKind::Random,
+                SchedulerKind::ShortestQueue,
+            ],
+        ),
+    ] {
+        let profile = ClusterProfile::analytic(cluster, ModelConfig::llama2_70b());
+        // All schedulers run on the placement found by Helix (paper isolates scheduling).
+        let (placement, _) = FlowAnnealingPlanner::new(&profile)
+            .with_options(AnnealingOptions {
+                iterations: scale.planner_iterations(),
+                ..Default::default()
+            })
+            .solve()
+            .expect("helix placement");
+        println!("\n=== Figure 10a: scheduling deep dive, LLaMA 70B, {cluster_name} ===");
+        println!("{:<16} {:>14} {:>14} {:>18}", "scheduler", "sim tokens/s", "prompt avg s", "worst link wait s");
+        for kind in kinds {
+            let Some((metrics, _)) = run_with_scheduler(&profile, &placement, kind, scale, 101) else {
+                continue;
+            };
+            let worst = metrics
+                .most_congested_links(1)
+                .first()
+                .map(|l| l.mean_queue_delay)
+                .unwrap_or(0.0);
+            println!(
+                "{:<16} {:>14.1} {:>14.2} {:>18.3}",
+                kind.to_string(),
+                metrics.decode_throughput(),
+                metrics.avg_prompt_latency(),
+                worst
+            );
+            if case_study && cluster_name == "geo-distributed" {
+                println!("  most congested links under {kind}:");
+                for l in metrics.most_congested_links(3) {
+                    let fmt = |e: Option<NodeId>| match e {
+                        None => "coordinator".to_string(),
+                        Some(n) => profile.cluster().node(n).name.clone(),
+                    };
+                    println!(
+                        "    {:<12} -> {:<12} mean wait {:.3}s max {:.3}s ({} transfers)",
+                        fmt(l.from),
+                        fmt(l.to),
+                        l.mean_queue_delay,
+                        l.max_queue_delay,
+                        l.transfers
+                    );
+                }
+            }
+            data.push(serde_json::json!({
+                "cluster": cluster_name,
+                "scheduler": kind.to_string(),
+                "decode_throughput": metrics.decode_throughput(),
+                "prompt_latency_mean": metrics.avg_prompt_latency(),
+                "decode_latency_mean": metrics.avg_decode_latency(),
+                "worst_link_mean_wait": worst,
+            }));
+        }
+    }
+    let report = ExperimentReport::new(
+        "fig10_scheduling_deepdive",
+        "Figure 10",
+        scale,
+        serde_json::json!({ "rows": data }),
+    );
+    if let Ok(path) = report.write() {
+        println!("\nwrote {}", path.display());
+    }
+}

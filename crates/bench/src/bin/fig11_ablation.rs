@@ -1,0 +1,105 @@
+//! Figure 11: ablation on the two MILP optimisations of §4.5 —
+//! (a) serving throughput with and without cluster pruning, and
+//! (b) placement-search wall-clock time with and without heuristic warm
+//! starts.
+//!
+//! ```text
+//! cargo run --release -p helix-bench --bin fig11_ablation [--full]
+//! ```
+
+use helix_bench::{placement_flow, ExperimentReport, ExperimentScale, ServingSetting};
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
+use helix_core::{AnnealingOptions, FlowAnnealingPlanner, IwrrScheduler, MilpPlacementPlanner};
+use helix_sim::{ClusterSimulator, SimulationConfig};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let mut data = serde_json::Map::new();
+
+    // (a) Cluster pruning: plan with and without pruning, compare serving throughput.
+    println!("=== Figure 11a: effect of cluster pruning on decode throughput ===");
+    println!("{:<12} {:>20} {:>20}", "cluster", "pruned placement t/s", "unpruned placement t/s");
+    let mut pruning_rows = Vec::new();
+    for (name, cluster) in [
+        ("24-node", ClusterSpec::geo_distributed_24()),
+        ("42-node", ClusterSpec::high_heterogeneity_42()),
+    ] {
+        let profile = ClusterProfile::analytic(cluster, ModelConfig::llama2_70b());
+        let mut throughputs = Vec::new();
+        for prune in [Some(12usize), None] {
+            let planner = FlowAnnealingPlanner::new(&profile).with_options(AnnealingOptions {
+                iterations: scale.planner_iterations(),
+                prune_degree: prune,
+                ..Default::default()
+            });
+            let (placement, _) = planner.solve().expect("placement");
+            let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
+            let workload =
+                helix_bench::experiment_workload(&profile, ServingSetting::Offline, scale, 111);
+            let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
+            let metrics = sim.run(&workload, SimulationConfig::offline(scale.duration_secs()));
+            throughputs.push(metrics.decode_throughput());
+        }
+        println!("{:<12} {:>20.1} {:>20.1}", name, throughputs[0], throughputs[1]);
+        pruning_rows.push(serde_json::json!({
+            "cluster": name, "pruned": throughputs[0], "unpruned": throughputs[1],
+        }));
+    }
+    data.insert("pruning".into(), serde_json::json!(pruning_rows));
+
+    // (b) Warm starts: exact MILP on the small study cluster, with and without
+    // heuristic warm starts; report wall-clock to reach a comparable solution.
+    println!("\n=== Figure 11b: effect of heuristic warm starts on MILP solve time ===");
+    let profile =
+        ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
+    let budget = match scale {
+        ExperimentScale::Quick => Duration::from_secs(45),
+        ExperimentScale::Full => Duration::from_secs(300),
+    };
+    let mut warm_rows = Vec::new();
+    for warm in [true, false] {
+        let start = Instant::now();
+        let mut planner = MilpPlacementPlanner::new(&profile)
+            .prune_to_degree(6)
+            .warm_start_from_heuristics(warm)
+            .time_limit(budget);
+        let result = planner.solve();
+        let elapsed = start.elapsed().as_secs_f64();
+        match result {
+            Ok((placement, report)) => {
+                println!(
+                    "warm start {:>5}: objective {:>8.0} tokens/s (flow check {:>8.0}) in {:>6.1}s, {} nodes",
+                    warm,
+                    report.objective_tokens_per_sec,
+                    placement_flow(&profile, &placement),
+                    elapsed,
+                    report.nodes_explored
+                );
+                warm_rows.push(serde_json::json!({
+                    "warm_start": warm,
+                    "objective": report.objective_tokens_per_sec,
+                    "wall_seconds": elapsed,
+                    "nodes_explored": report.nodes_explored,
+                }));
+            }
+            Err(e) => {
+                println!("warm start {warm:>5}: no placement within budget ({e}) after {elapsed:.1}s");
+                warm_rows.push(serde_json::json!({
+                    "warm_start": warm, "objective": 0.0, "wall_seconds": elapsed,
+                }));
+            }
+        }
+    }
+    data.insert("warm_start".into(), serde_json::json!(warm_rows));
+
+    let report = ExperimentReport::new(
+        "fig11_ablation",
+        "Figure 11",
+        scale,
+        serde_json::Value::Object(data),
+    );
+    if let Ok(path) = report.write() {
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 12: quality of the best incumbent and best bound found by the MILP
+//! solver as a function of solving time, for LLaMA 30B on a 4×L4 + 6×T4
+//! cluster.  High-quality solutions appear early; proving optimality takes
+//! much longer — justifying early stopping.
+//!
+//! ```text
+//! cargo run --release -p helix-bench --bin fig12_solver_quality [--full]
+//! ```
+
+use helix_bench::{ExperimentReport, ExperimentScale};
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
+use helix_core::MilpPlacementPlanner;
+use std::time::Duration;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let budget = match scale {
+        ExperimentScale::Quick => Duration::from_secs(60),
+        ExperimentScale::Full => Duration::from_secs(900),
+    };
+    let profile =
+        ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
+    println!("=== Figure 12: incumbent / bound vs MILP solving time ===");
+    println!("cluster: 4xL4 + 6xT4, model LLaMA 30B, budget {:?}", budget);
+    println!("throughput upper bound: {:.0} tokens/s", profile.throughput_upper_bound());
+
+    // Disable the early stop so the solver keeps tightening the bound.
+    let mut options = MilpPlacementPlanner::new(&profile)
+        .prune_to_degree(6)
+        .time_limit(budget)
+        .record_events()
+        .options()
+        .clone();
+    options.early_stop_fraction = None;
+    let mut planner = MilpPlacementPlanner::with_options(&profile, options).record_events();
+    match planner.solve() {
+        Ok((_, report)) => {
+            println!(
+                "\n{:>10} {:>12} {:>14} {:>14}",
+                "time (s)", "nodes", "incumbent t/s", "best bound t/s"
+            );
+            for e in &report.events {
+                println!(
+                    "{:>10.2} {:>12} {:>14} {:>14.0}",
+                    e.elapsed_seconds,
+                    e.nodes_explored,
+                    e.incumbent.map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into()),
+                    e.best_bound
+                );
+            }
+            println!(
+                "\nfinal objective {:.0} tokens/s, bound {:.0}, gap {:.1}%, {} nodes in {:.1}s",
+                report.objective_tokens_per_sec,
+                report.best_bound,
+                (report.best_bound - report.objective_tokens_per_sec)
+                    / report.objective_tokens_per_sec.max(1.0)
+                    * 100.0,
+                report.nodes_explored,
+                report.solve_seconds
+            );
+            let out = ExperimentReport::new(
+                "fig12_solver_quality",
+                "Figure 12",
+                scale,
+                serde_json::json!({
+                    "events": report.events,
+                    "objective": report.objective_tokens_per_sec,
+                    "best_bound": report.best_bound,
+                    "upper_bound": profile.throughput_upper_bound(),
+                }),
+            );
+            if let Ok(path) = out.write() {
+                println!("wrote {}", path.display());
+            }
+        }
+        Err(e) => println!("solver failed: {e}"),
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 2: graph abstraction of a 3-node cluster with a given model
+//! placement; the max flow equals the maximum serving throughput.
+//!
+//! ```text
+//! cargo run --release -p helix-bench --bin fig2_graph_abstraction
+//! ```
+
+use helix_bench::{ExperimentReport, ExperimentScale};
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig, NodeId};
+use helix_core::{Endpoint, FlowGraphBuilder, LayerRange, ModelPlacement};
+
+fn main() {
+    // The Fig. 2 example: a 3-layer model; the A100 holds layers 1-2, T4-1
+    // replicates layer 1, T4-2 holds layer 3 (0-based: [0,2), [0,1), [2,3)).
+    let mut model = ModelConfig::llama2_70b();
+    model.num_layers = 3;
+    let profile = ClusterProfile::analytic(ClusterSpec::fig2_example(), model);
+    let mut placement = ModelPlacement::empty(3);
+    placement.assign(NodeId(0), LayerRange::new(0, 2));
+    placement.assign(NodeId(1), LayerRange::new(0, 1));
+    placement.assign(NodeId(2), LayerRange::new(2, 3));
+
+    let graph = FlowGraphBuilder::new(&profile).build(&placement).unwrap();
+    let flow = graph.max_flow();
+
+    println!("=== Figure 2: graph abstraction of the 3-node example cluster ===");
+    println!("node capacities (tokens/s):");
+    for id in profile.cluster().node_ids() {
+        if let Some(cap) = graph.node_capacity(id) {
+            println!(
+                "  {:<8} holds {}  capacity {:>10.0}  flow {:>10.0}",
+                profile.cluster().node(id).name,
+                placement.range(id).unwrap(),
+                cap,
+                graph.node_flow(&flow, id).unwrap_or(0.0)
+            );
+        }
+    }
+    println!("network connections (tokens/s):");
+    let mut conn_rows = Vec::new();
+    let mut conns = graph.connections();
+    conns.sort_by(|a, b| format!("{:?}{:?}", a.0, a.1).cmp(&format!("{:?}{:?}", b.0, b.1)));
+    for (from, to, cap) in conns {
+        let name = |e: Endpoint| match e {
+            Endpoint::Coordinator => "coordinator".to_string(),
+            Endpoint::Node(n) => profile.cluster().node(n).name.clone(),
+        };
+        let f = graph.link_flow(&flow, from, to).unwrap_or(0.0);
+        println!("  {:<12} -> {:<12} capacity {:>12.0}  flow {:>12.0}", name(from), name(to), cap, f);
+        conn_rows.push(serde_json::json!({
+            "from": name(from), "to": name(to), "capacity": cap, "flow": f,
+        }));
+    }
+    println!("\nmax flow (= max serving throughput): {:.0} tokens/s", flow.value);
+    let paths = graph.decompose(&flow).unwrap();
+    println!("decomposed into {} pipelines", paths.len());
+
+    let report = ExperimentReport::new(
+        "fig2_graph_abstraction",
+        "Figure 2",
+        ExperimentScale::Quick,
+        serde_json::json!({
+            "max_flow_tokens_per_sec": flow.value,
+            "num_pipelines": paths.len(),
+            "connections": conn_rows,
+        }),
+    );
+    if let Ok(path) = report.write() {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 6: single-cluster (24 nodes: 4×A100 + 8×L4 + 12×T4) serving of
+//! LLaMA 30B and LLaMA 70B — decode throughput for offline/online serving and
+//! prompt/decode latency, comparing Helix, Swarm and separate pipelines.
+//!
+//! ```text
+//! cargo run --release -p helix-bench --bin fig6_single_cluster [--full]
+//! ```
+
+use helix_bench::{
+    print_serving_table, run_serving, ExperimentReport, ExperimentScale, ServingSetting,
+    SystemKind,
+};
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let mut all_rows = Vec::new();
+    for model in [ModelConfig::llama_30b(), ModelConfig::llama2_70b()] {
+        let profile = ClusterProfile::analytic(ClusterSpec::single_cluster_24(), model);
+        let mut rows = Vec::new();
+        for setting in [ServingSetting::Offline, ServingSetting::Online] {
+            for system in [SystemKind::Helix, SystemKind::Swarm, SystemKind::SeparatePipelines] {
+                if let Some(row) = run_serving(&profile, system, setting, scale, 61) {
+                    rows.push(row);
+                }
+            }
+        }
+        print_serving_table(
+            &format!("Figure 6: single cluster, {}", profile.model().name),
+            &rows,
+        );
+        all_rows.extend(rows);
+    }
+    let report = ExperimentReport::new(
+        "fig6_single_cluster",
+        "Figure 6 (a-h)",
+        scale,
+        serde_json::to_value(&all_rows).unwrap(),
+    );
+    if let Ok(path) = report.write() {
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 7: geo-distributed clusters (3 regions, 100 Mb/s / 50 ms between
+//! them) serving LLaMA 30B and 70B — throughput and latency for Helix, Swarm
+//! and separate pipelines.
+//!
+//! ```text
+//! cargo run --release -p helix-bench --bin fig7_geo_distributed [--full]
+//! ```
+
+use helix_bench::{
+    print_serving_table, run_serving, ExperimentReport, ExperimentScale, ServingSetting,
+    SystemKind,
+};
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let mut all_rows = Vec::new();
+    for model in [ModelConfig::llama_30b(), ModelConfig::llama2_70b()] {
+        let profile = ClusterProfile::analytic(ClusterSpec::geo_distributed_24(), model);
+        let mut rows = Vec::new();
+        for setting in [ServingSetting::Offline, ServingSetting::Online] {
+            for system in [SystemKind::Helix, SystemKind::Swarm, SystemKind::SeparatePipelines] {
+                if let Some(row) = run_serving(&profile, system, setting, scale, 71) {
+                    rows.push(row);
+                }
+            }
+        }
+        print_serving_table(
+            &format!("Figure 7: geo-distributed clusters, {}", profile.model().name),
+            &rows,
+        );
+        // The paper highlights Helix's shallower pipelines under slow networks.
+        if let (Some(h), Some(s)) = (
+            rows.iter().find(|r| r.system == "Helix"),
+            rows.iter().find(|r| r.system == "Swarm"),
+        ) {
+            println!(
+                "pipeline depth: Helix {} vs Swarm {}",
+                h.pipeline_depth, s.pipeline_depth
+            );
+        }
+        all_rows.extend(rows);
+    }
+    let report = ExperimentReport::new(
+        "fig7_geo_distributed",
+        "Figure 7 (a-f)",
+        scale,
+        serde_json::to_value(&all_rows).unwrap(),
+    );
+    if let Ok(path) = report.write() {
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 8: the 42-node, 7-node-type high-heterogeneity cluster serving
+//! LLaMA 70B — Helix vs Swarm vs SP vs SP+ (SP alone cannot use V100/T4/2×T4
+//! nodes, SP+ adds a mixed pipeline from them).
+//!
+//! ```text
+//! cargo run --release -p helix-bench --bin fig8_high_heterogeneity [--full]
+//! ```
+
+use helix_bench::{
+    print_serving_table, run_serving, ExperimentReport, ExperimentScale, ServingSetting,
+    SystemKind,
+};
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let profile =
+        ClusterProfile::analytic(ClusterSpec::high_heterogeneity_42(), ModelConfig::llama2_70b());
+    let mut rows = Vec::new();
+    for setting in [ServingSetting::Offline, ServingSetting::Online] {
+        for system in [
+            SystemKind::Helix,
+            SystemKind::Swarm,
+            SystemKind::SeparatePipelines,
+            SystemKind::SeparatePipelinesPlus,
+        ] {
+            if let Some(row) = run_serving(&profile, system, setting, scale, 81) {
+                rows.push(row);
+            }
+        }
+    }
+    print_serving_table("Figure 8: high GPU-heterogeneity cluster, LLaMA 70B", &rows);
+    let report = ExperimentReport::new(
+        "fig8_high_heterogeneity",
+        "Figure 8 (a-c)",
+        scale,
+        serde_json::to_value(&rows).unwrap(),
+    );
+    if let Ok(path) = report.write() {
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 9: model-placement deep dive — offline serving of LLaMA 70B with
+//! the *same* (Helix IWRR) scheduler but different placements (Helix, Swarm,
+//! Petals), on the single and geo-distributed clusters, plus the Fig. 9b case
+//! study (per-node layer counts and utilisation).
+//!
+//! ```text
+//! cargo run --release -p helix-bench --bin fig9_placement_deepdive [--full] [--case-study]
+//! ```
+
+use helix_bench::{placement_flow, ExperimentReport, ExperimentScale, ServingSetting};
+use helix_cluster::{ClusterProfile, ClusterSpec, GpuType, ModelConfig};
+use helix_core::{
+    heuristics, AnnealingOptions, FlowAnnealingPlanner, FlowGraphBuilder, IwrrScheduler,
+    ModelPlacement,
+};
+use helix_sim::{ClusterSimulator, SimulationConfig};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let case_study = std::env::args().any(|a| a == "--case-study");
+    let mut data = Vec::new();
+    for (cluster_name, cluster) in [
+        ("single cluster", ClusterSpec::single_cluster_24()),
+        ("geo-distributed", ClusterSpec::geo_distributed_24()),
+    ] {
+        let profile = ClusterProfile::analytic(cluster, ModelConfig::llama2_70b());
+        let placements: Vec<(&str, Option<ModelPlacement>)> = vec![
+            (
+                "Helix",
+                FlowAnnealingPlanner::new(&profile)
+                    .with_options(AnnealingOptions {
+                        iterations: scale.planner_iterations(),
+                        ..Default::default()
+                    })
+                    .solve()
+                    .ok()
+                    .map(|(p, _)| p),
+            ),
+            ("Swarm", heuristics::swarm_placement(&profile).ok()),
+            ("Petals", heuristics::petals_placement(&profile).ok()),
+        ];
+        println!("\n=== Figure 9a: placement deep dive, LLaMA 70B, {cluster_name} ===");
+        println!("{:<8} {:>14} {:>14} {:>8}", "method", "max-flow t/s", "sim tokens/s", "depth");
+        for (name, placement) in placements {
+            let Some(placement) = placement else { continue };
+            let flow = placement_flow(&profile, &placement);
+            // All methods use Helix's IWRR scheduler (paper isolates placement).
+            let Ok(scheduler) = IwrrScheduler::from_placement(&profile, &placement, true) else {
+                continue;
+            };
+            let workload = helix_bench::experiment_workload(
+                &profile,
+                ServingSetting::Offline,
+                scale,
+                91,
+            );
+            let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
+            let metrics = sim.run(&workload, SimulationConfig::offline(scale.duration_secs()));
+            println!(
+                "{:<8} {:>14.0} {:>14.1} {:>8}",
+                name,
+                flow,
+                metrics.decode_throughput(),
+                placement.pipeline_depth(profile.model().num_layers)
+            );
+            data.push(serde_json::json!({
+                "cluster": cluster_name,
+                "method": name,
+                "max_flow": flow,
+                "decode_throughput": metrics.decode_throughput(),
+                "pipeline_depth": placement.pipeline_depth(profile.model().num_layers),
+            }));
+            if case_study && cluster_name == "single cluster" {
+                print_case_study(&profile, name, &placement);
+            }
+        }
+    }
+    let report = ExperimentReport::new(
+        "fig9_placement_deepdive",
+        "Figure 9",
+        scale,
+        serde_json::json!({ "rows": data }),
+    );
+    if let Ok(path) = report.write() {
+        println!("\nwrote {}", path.display());
+    }
+}
+
+/// Fig. 9b: per-node layer counts and flow utilisation for one placement.
+fn print_case_study(profile: &ClusterProfile, name: &str, placement: &ModelPlacement) {
+    let graph = FlowGraphBuilder::new(profile).build(placement).unwrap();
+    let flow = graph.max_flow();
+    let util = graph.node_utilization(&flow);
+    println!("  case study ({name}): layers held per node (utilisation)");
+    for gpu in [GpuType::A100_40, GpuType::L4, GpuType::T4] {
+        let cells: Vec<String> = profile
+            .cluster()
+            .node_ids()
+            .filter(|&id| profile.cluster().node(id).gpu == gpu)
+            .map(|id| match placement.range(id) {
+                Some(r) => format!("{}({:.0}%)", r.len(), util.get(&id).copied().unwrap_or(0.0) * 100.0),
+                None => "-".to_string(),
+            })
+            .collect();
+        println!("    {:<5}: {}", gpu.short_name(), cells.join(" "));
+    }
+}

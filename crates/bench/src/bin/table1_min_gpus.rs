@@ -1,0 +1,55 @@
+//! Table 1: minimum numbers of GPUs required to hold each LLM when half of
+//! the GPU memory stores model parameters.
+//!
+//! ```text
+//! cargo run --release -p helix-bench --bin table1_min_gpus
+//! ```
+
+use helix_bench::{ExperimentReport, ExperimentScale};
+use helix_cluster::ModelConfig;
+
+fn main() {
+    let models = [
+        ("LLaMA-2 70B", ModelConfig::llama2_70b(), (12, 7, 4)),
+        ("GPT-3 175B", ModelConfig::gpt3_175b(), (30, 18, 9)),
+        ("Grok-1 314B", ModelConfig::grok1_314b(), (53, 32, 16)),
+        ("LLaMA-3 405B", ModelConfig::llama3_405b(), (68, 41, 21)),
+    ];
+    println!("=== Table 1: minimum GPUs to hold the model (half VRAM for weights) ===");
+    println!(
+        "{:<14} {:>14} {:>10} {:>10} {:>10}   (paper: L4 / A100 / H100)",
+        "model", "params (B)", "L4", "A100", "H100"
+    );
+    let mut rows = Vec::new();
+    for (name, model, paper) in models {
+        let l4 = model.min_gpus(24.0, 0.5);
+        let a100 = model.min_gpus(40.0, 0.5);
+        let h100 = model.min_gpus(80.0, 0.5);
+        println!(
+            "{:<14} {:>14.1} {:>10} {:>10} {:>10}   ({} / {} / {})",
+            name,
+            model.total_params() / 1e9,
+            l4,
+            a100,
+            h100,
+            paper.0,
+            paper.1,
+            paper.2
+        );
+        rows.push(serde_json::json!({
+            "model": name,
+            "params_billion": model.total_params() / 1e9,
+            "l4": l4, "a100": a100, "h100": h100,
+            "paper": {"l4": paper.0, "a100": paper.1, "h100": paper.2},
+        }));
+    }
+    let report = ExperimentReport::new(
+        "table1_min_gpus",
+        "Table 1",
+        ExperimentScale::Quick,
+        serde_json::json!({ "rows": rows }),
+    );
+    if let Ok(path) = report.write() {
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,46 @@
+//! Table 3: properties of the GPUs used throughout the paper.
+//!
+//! ```text
+//! cargo run --release -p helix-bench --bin table3_gpu_catalog
+//! ```
+
+use helix_bench::{ExperimentReport, ExperimentScale};
+use helix_cluster::GpuType;
+
+fn main() {
+    println!("=== Table 3: GPU catalogue ===");
+    println!(
+        "{:<10} {:>14} {:>12} {:>18} {:>10} {:>12}",
+        "GPU", "FP16 TFLOPs", "memory GB", "bandwidth GB/s", "power W", "price USD"
+    );
+    let mut rows = Vec::new();
+    for gpu in GpuType::ALL {
+        let s = gpu.spec();
+        println!(
+            "{:<10} {:>14.0} {:>12.0} {:>18.0} {:>10.0} {:>12.0}",
+            gpu.short_name(),
+            s.fp16_tflops,
+            s.memory_gb,
+            s.memory_bandwidth_gbps,
+            s.power_watts,
+            s.price_usd
+        );
+        rows.push(serde_json::json!({
+            "gpu": gpu.short_name(),
+            "fp16_tflops": s.fp16_tflops,
+            "memory_gb": s.memory_gb,
+            "bandwidth_gbps": s.memory_bandwidth_gbps,
+            "power_watts": s.power_watts,
+            "price_usd": s.price_usd,
+        }));
+    }
+    let report = ExperimentReport::new(
+        "table3_gpu_catalog",
+        "Table 3",
+        ExperimentScale::Quick,
+        serde_json::json!({ "rows": rows }),
+    );
+    if let Ok(path) = report.write() {
+        println!("\nwrote {}", path.display());
+    }
+}

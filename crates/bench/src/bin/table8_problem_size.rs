@@ -1,0 +1,51 @@
+//! Table 8: MILP problem size (variables / constraints) with and without
+//! cluster pruning, for the 24-node and 42-node settings.
+//!
+//! ```text
+//! cargo run --release -p helix-bench --bin table8_problem_size
+//! ```
+
+use helix_bench::{ExperimentReport, ExperimentScale};
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
+use helix_core::MilpPlacementPlanner;
+
+fn main() {
+    println!("=== Table 8: MILP problem size with and without pruning ===");
+    println!(
+        "{:<12} {:>22} {:>26}",
+        "cluster", "with pruning (deg 12)", "without pruning"
+    );
+    let mut rows = Vec::new();
+    for (name, cluster) in [
+        ("24-node", ClusterSpec::geo_distributed_24()),
+        ("42-node", ClusterSpec::high_heterogeneity_42()),
+    ] {
+        let profile = ClusterProfile::analytic(cluster, ModelConfig::llama2_70b());
+        let pruned = MilpPlacementPlanner::new(&profile).prune_to_degree(12).problem_size();
+        let full = MilpPlacementPlanner::new(&profile).problem_size();
+        println!(
+            "{:<12} {:>10} var {:>6} cstr {:>12} var {:>6} cstr",
+            name, pruned.0, pruned.1, full.0, full.1
+        );
+        rows.push(serde_json::json!({
+            "cluster": name,
+            "pruned": {"variables": pruned.0, "constraints": pruned.1},
+            "full": {"variables": full.0, "constraints": full.1},
+            "paper": if name == "24-node" {
+                serde_json::json!({"pruned": "876 var 1122 cstr", "full": "1376 var 1848 cstr"})
+            } else {
+                serde_json::json!({"pruned": "2144 var 2772 cstr", "full": "4004 var 5502 cstr"})
+            },
+        }));
+    }
+    println!("\n(paper: 24-node 876/1122 pruned, 1376/1848 full; 42-node 2144/2772 pruned, 4004/5502 full)");
+    let report = ExperimentReport::new(
+        "table8_problem_size",
+        "Table 8",
+        ExperimentScale::Quick,
+        serde_json::json!({ "rows": rows }),
+    );
+    if let Ok(path) = report.write() {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,469 @@
+//! Shared harness code for reproducing the Helix paper's tables and figures.
+//!
+//! Each `src/bin/*.rs` binary regenerates one table or figure; this library
+//! holds the machinery they share:
+//!
+//! * [`ExperimentScale`] — every experiment runs either in `quick` mode
+//!   (scaled-down workloads so the whole suite finishes in minutes on a
+//!   laptop) or `full` mode (trace sizes and durations close to the paper's);
+//! * [`SystemKind`] — the serving systems compared throughout §6: Helix,
+//!   Swarm, separate pipelines (SP) and SP+;
+//! * [`run_serving`] — plan a placement for a system, build its scheduler,
+//!   simulate a workload and report the paper's metrics;
+//! * [`ExperimentReport`] — JSON + human-readable output written to
+//!   `results/` so `EXPERIMENTS.md` can reference machine-checkable numbers.
+
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
+use helix_core::{
+    heuristics, AnnealingOptions, FlowAnnealingPlanner, FlowGraphBuilder, IwrrScheduler,
+    ModelPlacement, RandomScheduler, Scheduler, SchedulerKind, ShortestQueueScheduler,
+    SwarmScheduler,
+};
+use helix_sim::{ClusterSimulator, Metrics, SimulationConfig};
+use helix_workload::{ArrivalPattern, AzureTraceConfig, Workload};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// How big the experiment should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExperimentScale {
+    /// Scaled-down workloads (default): hundreds of requests, a few simulated
+    /// minutes.  Preserves the relative ordering of systems.
+    Quick,
+    /// Paper-scale workloads: the full synthetic trace and long measurement
+    /// windows.  Slow but closest to the published setup.
+    Full,
+}
+
+impl ExperimentScale {
+    /// Parses the scale from command-line arguments (`--full` switches to
+    /// full scale; everything else stays quick).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            ExperimentScale::Full
+        } else {
+            ExperimentScale::Quick
+        }
+    }
+
+    /// Number of requests in the generated trace.
+    pub fn num_requests(self) -> usize {
+        match self {
+            ExperimentScale::Quick => 600,
+            ExperimentScale::Full => 16_657,
+        }
+    }
+
+    /// Simulated measurement duration in seconds.
+    pub fn duration_secs(self) -> f64 {
+        match self {
+            ExperimentScale::Quick => 300.0,
+            ExperimentScale::Full => 1800.0,
+        }
+    }
+
+    /// Iterations of the flow-guided placement search.
+    pub fn planner_iterations(self) -> usize {
+        match self {
+            ExperimentScale::Quick => 2500,
+            ExperimentScale::Full => 12_000,
+        }
+    }
+
+    /// Mean output length used when sizing request lengths; quick mode trims
+    /// request lengths to keep the event count manageable.
+    pub fn trace_config(self) -> AzureTraceConfig {
+        match self {
+            ExperimentScale::Quick => AzureTraceConfig {
+                mean_input_tokens: 256.0,
+                mean_output_tokens: 64.0,
+                max_input_tokens: 1024,
+                max_output_tokens: 256,
+                ..Default::default()
+            },
+            ExperimentScale::Full => AzureTraceConfig::default(),
+        }
+    }
+}
+
+/// The serving systems compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// Helix: flow-maximising placement + IWRR scheduling.
+    Helix,
+    /// Swarm: equal-stage placement + throughput-proportional scheduling.
+    Swarm,
+    /// Separate pipelines: one replica per GPU type, IWRR within each.
+    SeparatePipelines,
+    /// SP+: separate pipelines plus a mixed pipeline from leftover nodes.
+    SeparatePipelinesPlus,
+}
+
+impl SystemKind {
+    /// Short label used in tables ("H", "S", "SP", "SP+").
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Helix => "Helix",
+            SystemKind::Swarm => "Swarm",
+            SystemKind::SeparatePipelines => "SP",
+            SystemKind::SeparatePipelinesPlus => "SP+",
+        }
+    }
+
+    /// Plans the model placement this system would use.
+    pub fn placement(
+        self,
+        profile: &ClusterProfile,
+        scale: ExperimentScale,
+    ) -> Option<ModelPlacement> {
+        match self {
+            SystemKind::Helix => {
+                let planner = FlowAnnealingPlanner::new(profile).with_options(AnnealingOptions {
+                    iterations: scale.planner_iterations(),
+                    ..Default::default()
+                });
+                planner.solve().ok().map(|(p, _)| p)
+            }
+            SystemKind::Swarm => heuristics::swarm_placement(profile).ok(),
+            SystemKind::SeparatePipelines => heuristics::separate_pipelines_placement(profile).ok(),
+            SystemKind::SeparatePipelinesPlus => {
+                heuristics::separate_pipelines_plus_placement(profile).ok()
+            }
+        }
+    }
+
+    /// Builds the request scheduler this system would use for `placement`.
+    pub fn scheduler(
+        self,
+        profile: &ClusterProfile,
+        placement: &ModelPlacement,
+    ) -> Option<Box<dyn Scheduler>> {
+        match self {
+            SystemKind::Helix | SystemKind::SeparatePipelines | SystemKind::SeparatePipelinesPlus => {
+                IwrrScheduler::from_placement(profile, placement, true)
+                    .ok()
+                    .map(|s| Box::new(s) as Box<dyn Scheduler>)
+            }
+            SystemKind::Swarm => {
+                Some(Box::new(SwarmScheduler::new(profile, placement, true)) as Box<dyn Scheduler>)
+            }
+        }
+    }
+}
+
+/// Builds a scheduler of the given kind for an already-fixed placement
+/// (used by the §6.7 scheduling deep dive).
+pub fn scheduler_of_kind(
+    kind: SchedulerKind,
+    profile: &ClusterProfile,
+    placement: &ModelPlacement,
+    seed: u64,
+) -> Option<Box<dyn Scheduler>> {
+    match kind {
+        SchedulerKind::HelixIwrr => IwrrScheduler::from_placement(profile, placement, true)
+            .ok()
+            .map(|s| Box::new(s) as Box<dyn Scheduler>),
+        SchedulerKind::Swarm => {
+            Some(Box::new(SwarmScheduler::new(profile, placement, true)) as Box<dyn Scheduler>)
+        }
+        SchedulerKind::Random => {
+            Some(Box::new(RandomScheduler::new(profile, placement, true, seed)) as Box<dyn Scheduler>)
+        }
+        SchedulerKind::ShortestQueue => {
+            Some(Box::new(ShortestQueueScheduler::new(profile, placement, true)) as Box<dyn Scheduler>)
+        }
+    }
+}
+
+/// Offline or online serving setting (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServingSetting {
+    /// Requests arrive as fast as the cluster can absorb them.
+    Offline,
+    /// Arrivals follow a diurnal curve scaled to 75% of peak throughput.
+    Online,
+}
+
+impl ServingSetting {
+    /// Short label used in table rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServingSetting::Offline => "offline",
+            ServingSetting::Online => "online",
+        }
+    }
+}
+
+/// One measured row: a (system, setting) pair and its serving metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingRow {
+    /// System label ("Helix", "Swarm", "SP", "SP+").
+    pub system: String,
+    /// "offline" or "online".
+    pub setting: String,
+    /// Model name.
+    pub model: String,
+    /// Cluster name.
+    pub cluster: String,
+    /// Max-flow throughput of the system's placement (tokens/s).
+    pub placement_max_flow: f64,
+    /// Pipeline depth of the placement.
+    pub pipeline_depth: usize,
+    /// Measured decode throughput (tokens/s).
+    pub decode_throughput: f64,
+    /// Mean prompt latency (s).
+    pub prompt_latency_mean: f64,
+    /// Median prompt latency (s).
+    pub prompt_latency_p50: f64,
+    /// 95th-percentile prompt latency (s).
+    pub prompt_latency_p95: f64,
+    /// Mean decode latency (s/token).
+    pub decode_latency_mean: f64,
+    /// Median decode latency (s/token).
+    pub decode_latency_p50: f64,
+    /// 95th-percentile decode latency (s/token).
+    pub decode_latency_p95: f64,
+    /// Requests completed in the measurement window.
+    pub completed_requests: u64,
+}
+
+impl ServingRow {
+    fn from_metrics(
+        system: SystemKind,
+        setting: ServingSetting,
+        profile: &ClusterProfile,
+        placement: &ModelPlacement,
+        placement_max_flow: f64,
+        metrics: &Metrics,
+    ) -> Self {
+        ServingRow {
+            system: system.label().to_string(),
+            setting: setting.label().to_string(),
+            model: profile.model().name.clone(),
+            cluster: profile.cluster().name.clone(),
+            placement_max_flow,
+            pipeline_depth: placement.pipeline_depth(profile.model().num_layers),
+            decode_throughput: metrics.decode_throughput(),
+            prompt_latency_mean: metrics.prompt_latency.mean,
+            prompt_latency_p50: metrics.prompt_latency.p50,
+            prompt_latency_p95: metrics.prompt_latency.p95,
+            decode_latency_mean: metrics.decode_latency.mean,
+            decode_latency_p50: metrics.decode_latency.p50,
+            decode_latency_p95: metrics.decode_latency.p95,
+            completed_requests: metrics.completed_requests,
+        }
+    }
+}
+
+/// Generates the workload used by a serving experiment.
+pub fn experiment_workload(
+    profile: &ClusterProfile,
+    setting: ServingSetting,
+    scale: ExperimentScale,
+    seed: u64,
+) -> Workload {
+    let base = scale.trace_config().generate(scale.num_requests(), seed);
+    match setting {
+        ServingSetting::Offline => base.with_arrivals(ArrivalPattern::Offline, seed + 1),
+        ServingSetting::Online => {
+            // 75% of the cluster's peak request throughput, like the paper.
+            let peak = best_placement_flow(profile, scale);
+            let mean_output = scale.trace_config().mean_output_tokens;
+            base.with_arrivals(ArrivalPattern::online(peak, mean_output, 0.75), seed + 1)
+        }
+    }
+}
+
+/// Max-flow throughput of the Helix placement (used to scale online arrival
+/// rates).
+fn best_placement_flow(profile: &ClusterProfile, scale: ExperimentScale) -> f64 {
+    FlowAnnealingPlanner::new(profile)
+        .with_options(AnnealingOptions {
+            iterations: scale.planner_iterations() / 4,
+            ..Default::default()
+        })
+        .solve()
+        .map(|(_, v)| v)
+        .unwrap_or(1000.0)
+}
+
+/// Evaluates a placement's max flow (0 if infeasible).
+pub fn placement_flow(profile: &ClusterProfile, placement: &ModelPlacement) -> f64 {
+    FlowGraphBuilder::new(profile)
+        .build(placement)
+        .map(|g| g.max_flow().value)
+        .unwrap_or(0.0)
+}
+
+/// Plans, schedules and simulates one (system, setting) combination.
+///
+/// Returns `None` when the system cannot build a placement on this cluster
+/// (e.g. plain SP on a cluster where no GPU type can hold the model).
+pub fn run_serving(
+    profile: &ClusterProfile,
+    system: SystemKind,
+    setting: ServingSetting,
+    scale: ExperimentScale,
+    seed: u64,
+) -> Option<ServingRow> {
+    let placement = system.placement(profile, scale)?;
+    let flow = placement_flow(profile, &placement);
+    let scheduler = system.scheduler(profile, &placement)?;
+    let workload = experiment_workload(profile, setting, scale, seed);
+    let config = match setting {
+        ServingSetting::Offline => SimulationConfig::offline(scale.duration_secs()),
+        ServingSetting::Online => SimulationConfig::online(scale.duration_secs()),
+    };
+    let mut sim = ClusterSimulator::new(profile, &placement, scheduler);
+    let metrics = sim.run(&workload, config);
+    Some(ServingRow::from_metrics(system, setting, profile, &placement, flow, &metrics))
+}
+
+/// Runs a fixed placement with a specific scheduler kind (§6.7 deep dive).
+pub fn run_with_scheduler(
+    profile: &ClusterProfile,
+    placement: &ModelPlacement,
+    kind: SchedulerKind,
+    scale: ExperimentScale,
+    seed: u64,
+) -> Option<(Metrics, f64)> {
+    let scheduler = scheduler_of_kind(kind, profile, placement, seed)?;
+    let workload = experiment_workload(profile, ServingSetting::Offline, scale, seed);
+    let mut sim = ClusterSimulator::new(profile, placement, scheduler);
+    let metrics = sim.run(&workload, SimulationConfig::offline(scale.duration_secs()));
+    let flow = placement_flow(profile, placement);
+    Some((metrics, flow))
+}
+
+/// Standard cluster/model pairs used across the figures.
+pub fn paper_profiles() -> Vec<(&'static str, ClusterProfile)> {
+    vec![
+        (
+            "single-cluster-24 / LLaMA 30B",
+            ClusterProfile::analytic(ClusterSpec::single_cluster_24(), ModelConfig::llama_30b()),
+        ),
+        (
+            "single-cluster-24 / LLaMA 70B",
+            ClusterProfile::analytic(ClusterSpec::single_cluster_24(), ModelConfig::llama2_70b()),
+        ),
+        (
+            "geo-distributed-24 / LLaMA 30B",
+            ClusterProfile::analytic(ClusterSpec::geo_distributed_24(), ModelConfig::llama_30b()),
+        ),
+        (
+            "geo-distributed-24 / LLaMA 70B",
+            ClusterProfile::analytic(ClusterSpec::geo_distributed_24(), ModelConfig::llama2_70b()),
+        ),
+        (
+            "high-heterogeneity-42 / LLaMA 70B",
+            ClusterProfile::analytic(ClusterSpec::high_heterogeneity_42(), ModelConfig::llama2_70b()),
+        ),
+    ]
+}
+
+/// A machine-readable experiment report written to `results/<name>.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment identifier, e.g. `"fig6_single_cluster"`.
+    pub name: String,
+    /// Which paper artifact this reproduces.
+    pub paper_artifact: String,
+    /// Scale the run used.
+    pub scale: ExperimentScale,
+    /// Arbitrary JSON payload with the measured rows/series.
+    pub data: serde_json::Value,
+}
+
+impl ExperimentReport {
+    /// Creates a report.
+    pub fn new(
+        name: impl Into<String>,
+        paper_artifact: impl Into<String>,
+        scale: ExperimentScale,
+        data: serde_json::Value,
+    ) -> Self {
+        ExperimentReport {
+            name: name.into(),
+            paper_artifact: paper_artifact.into(),
+            scale,
+            data,
+        }
+    }
+
+    /// Writes the report to `results/<name>.json` (directory is created if
+    /// needed) and returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, serde_json::to_string_pretty(self).expect("report serialises"))?;
+        Ok(path)
+    }
+}
+
+/// The directory experiment outputs are written to (`HELIX_RESULTS_DIR` or
+/// `./results`).
+pub fn results_dir() -> PathBuf {
+    std::env::var("HELIX_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Prints a serving-row table to stdout in the shape the paper's figures use.
+pub fn print_serving_table(title: &str, rows: &[ServingRow]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<8} {:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "system", "setting", "tokens/s", "prompt avg", "prompt p95", "decode avg", "decode p95"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:<8} {:>12.1} {:>12.2} {:>12.2} {:>12.3} {:>12.3}",
+            r.system,
+            r.setting,
+            r.decode_throughput,
+            r.prompt_latency_mean,
+            r.prompt_latency_p95,
+            r.decode_latency_mean,
+            r.decode_latency_p95
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_and_parameters() {
+        assert_eq!(ExperimentScale::Quick.num_requests(), 600);
+        assert!(ExperimentScale::Full.num_requests() > 10_000);
+        assert!(ExperimentScale::Full.duration_secs() > ExperimentScale::Quick.duration_secs());
+    }
+
+    #[test]
+    fn system_kinds_have_labels_and_placements() {
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
+        for system in [SystemKind::Swarm, SystemKind::SeparatePipelines] {
+            let placement = system.placement(&profile, ExperimentScale::Quick).unwrap();
+            assert!(placement_flow(&profile, &placement) > 0.0);
+            assert!(system.scheduler(&profile, &placement).is_some());
+            assert!(!system.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn experiment_report_round_trips_to_disk() {
+        std::env::set_var("HELIX_RESULTS_DIR", std::env::temp_dir().join("helix-bench-test"));
+        let report = ExperimentReport::new(
+            "unit_test_report",
+            "none",
+            ExperimentScale::Quick,
+            serde_json::json!({"value": 42}),
+        );
+        let path = report.write().unwrap();
+        let loaded: ExperimentReport =
+            serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(loaded.name, "unit_test_report");
+        assert_eq!(loaded.data["value"], 42);
+    }
+}

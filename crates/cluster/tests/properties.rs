@@ -1,0 +1,119 @@
+//! Property-based tests for cluster profiling invariants.
+
+use helix_cluster::{
+    ClusterBuilder, ClusterProfile, ClusterSpec, GpuType, ModelConfig, NodeId, Region,
+};
+use proptest::prelude::*;
+
+fn gpu_from_index(i: usize) -> GpuType {
+    GpuType::ALL[i % GpuType::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Node throughput is non-increasing in the number of layers held, and
+    /// zero outside the feasible range.
+    #[test]
+    fn throughput_monotone_in_layers(gpu_idx in 0usize..6, gpus_per_node in 1usize..5) {
+        let cluster = ClusterBuilder::new("prop")
+            .add_nodes(gpu_from_index(gpu_idx), 1, gpus_per_node, Region(0))
+            .build();
+        let profile = ClusterProfile::analytic(cluster, ModelConfig::llama_30b());
+        let np = profile.node_profile(NodeId(0));
+        prop_assert_eq!(np.throughput(0), 0.0);
+        let mut prev = f64::INFINITY;
+        for layers in 1..=np.max_layers_absolute {
+            let t = np.throughput(layers);
+            prop_assert!(t > 0.0);
+            prop_assert!(t <= prev + 1e-9);
+            prev = t;
+        }
+        prop_assert_eq!(np.throughput(np.max_layers_absolute + 1), 0.0);
+    }
+
+    /// More GPUs per node means at least as many layers and at least as much
+    /// per-layer throughput.
+    #[test]
+    fn multi_gpu_nodes_dominate_single_gpu_nodes(gpu_idx in 0usize..6, extra in 1usize..4) {
+        let gpu = gpu_from_index(gpu_idx);
+        let cluster = ClusterBuilder::new("prop")
+            .add_nodes(gpu, 1, 1, Region(0))
+            .add_nodes(gpu, 1, 1 + extra, Region(0))
+            .build();
+        let profile = ClusterProfile::analytic(cluster, ModelConfig::llama2_70b());
+        let single = profile.node_profile(NodeId(0));
+        let multi = profile.node_profile(NodeId(1));
+        prop_assert!(multi.max_layers >= single.max_layers);
+        prop_assert!(multi.decode_tokens_per_layer_sec >= single.decode_tokens_per_layer_sec);
+        prop_assert!(multi.vram_bytes > single.vram_bytes);
+    }
+
+    /// KV capacity decreases as a node holds more layers (weights crowd out
+    /// cache and each token costs more per layer held).
+    #[test]
+    fn kv_capacity_decreases_with_layers(gpu_idx in 0usize..6) {
+        let cluster = ClusterBuilder::new("prop")
+            .add_nodes(gpu_from_index(gpu_idx), 1, 2, Region(0))
+            .build();
+        let profile = ClusterProfile::analytic(cluster, ModelConfig::llama_30b());
+        let id = NodeId(0);
+        let max = profile.node_profile(id).max_layers;
+        prop_assume!(max >= 2);
+        let mut prev = f64::INFINITY;
+        for layers in 1..=max {
+            let cap = profile.kv_capacity_tokens(id, layers);
+            prop_assert!(cap >= 0.0);
+            prop_assert!(cap <= prev + 1e-9);
+            prev = cap;
+        }
+    }
+
+    /// The throughput upper bound scales linearly with the number of nodes of
+    /// the same type.
+    #[test]
+    fn upper_bound_scales_with_cluster_size(gpu_idx in 0usize..6, n in 1usize..8) {
+        let gpu = gpu_from_index(gpu_idx);
+        let one = ClusterProfile::analytic(
+            ClusterBuilder::new("one").add_nodes(gpu, 1, 1, Region(0)).build(),
+            ModelConfig::llama_30b(),
+        );
+        let many = ClusterProfile::analytic(
+            ClusterBuilder::new("many").add_nodes(gpu, n, 1, Region(0)).build(),
+            ModelConfig::llama_30b(),
+        );
+        let ratio = many.throughput_upper_bound() / one.throughput_upper_bound();
+        prop_assert!((ratio - n as f64).abs() < 1e-6);
+    }
+
+    /// Links between endpoints in the same region always have at least the
+    /// bandwidth of cross-region links in the paper's cluster builders.
+    #[test]
+    fn intra_region_links_are_never_slower(a in 0usize..24, b in 0usize..24) {
+        prop_assume!(a != b);
+        let cluster = ClusterSpec::geo_distributed_24();
+        let la = cluster.link(Some(NodeId(a)), Some(NodeId(b)));
+        let same_region = cluster.node(NodeId(a)).region == cluster.node(NodeId(b)).region;
+        if same_region {
+            prop_assert!(la.bandwidth_mbps >= cluster.inter_region_bandwidth_mbps);
+            prop_assert!(la.latency_ms <= cluster.inter_region_latency_ms);
+        } else {
+            prop_assert_eq!(la.bandwidth_mbps, cluster.inter_region_bandwidth_mbps);
+        }
+    }
+
+    /// Coordinator links carry small token payloads, so their token capacity
+    /// is always at least the activation-link capacity for the same bandwidth.
+    #[test]
+    fn coordinator_links_have_higher_token_capacity(node in 0usize..10) {
+        let profile = ClusterProfile::analytic(
+            ClusterSpec::solver_quality_10(),
+            ModelConfig::llama2_70b(),
+        );
+        prop_assume!(node < profile.cluster().num_nodes());
+        let to_coord = profile.link_profile(Some(NodeId(node)), None);
+        let other = (node + 1) % profile.cluster().num_nodes();
+        let to_node = profile.link_profile(Some(NodeId(node)), Some(NodeId(other)));
+        prop_assert!(to_coord.tokens_per_sec >= to_node.tokens_per_sec);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type shared by the placement planner and schedulers.
+
+use helix_cluster::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by Helix planning and scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HelixError {
+    /// A placement assigned a node an invalid layer range.
+    InvalidLayerRange {
+        /// The offending node.
+        node: NodeId,
+        /// Start layer (inclusive).
+        start: usize,
+        /// End layer (exclusive).
+        end: usize,
+        /// Total number of model layers.
+        num_layers: usize,
+    },
+    /// A placement exceeds a node's VRAM budget for weights.
+    ExceedsNodeCapacity {
+        /// The offending node.
+        node: NodeId,
+        /// Layers the placement asks the node to hold.
+        layers: usize,
+        /// Maximum layers the node can hold.
+        max_layers: usize,
+    },
+    /// The placement cannot serve any request end-to-end (no source→sink path
+    /// covering all layers).
+    NoCompletePipeline,
+    /// The planner could not find any feasible placement under the
+    /// configured constraints and budget.
+    NoPlacementFound,
+    /// The underlying MILP solver failed.
+    Milp(helix_milp::MilpError),
+    /// The underlying flow computation failed.
+    Flow(helix_maxflow::FlowError),
+    /// A scheduler was asked to schedule before any pipeline exists or after
+    /// all candidates were masked out.
+    NoCandidateAvailable {
+        /// Human-readable context, e.g. which vertex had no candidates.
+        context: String,
+    },
+}
+
+impl fmt::Display for HelixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HelixError::InvalidLayerRange { node, start, end, num_layers } => write!(
+                f,
+                "invalid layer range [{start}, {end}) on {node} for a model with {num_layers} layers"
+            ),
+            HelixError::ExceedsNodeCapacity { node, layers, max_layers } => write!(
+                f,
+                "placement puts {layers} layers on {node} which can hold at most {max_layers}"
+            ),
+            HelixError::NoCompletePipeline => {
+                write!(f, "placement admits no complete pipeline from the first to the last layer")
+            }
+            HelixError::NoPlacementFound => {
+                write!(f, "no feasible model placement found within the search budget")
+            }
+            HelixError::Milp(e) => write!(f, "milp solver error: {e}"),
+            HelixError::Flow(e) => write!(f, "flow computation error: {e}"),
+            HelixError::NoCandidateAvailable { context } => {
+                write!(f, "no schedulable candidate available: {context}")
+            }
+        }
+    }
+}
+
+impl Error for HelixError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HelixError::Milp(e) => Some(e),
+            HelixError::Flow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<helix_milp::MilpError> for HelixError {
+    fn from(e: helix_milp::MilpError) -> Self {
+        HelixError::Milp(e)
+    }
+}
+
+impl From<helix_maxflow::FlowError> for HelixError {
+    fn from(e: helix_maxflow::FlowError) -> Self {
+        HelixError::Flow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_convert() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HelixError>();
+        let e = HelixError::ExceedsNodeCapacity { node: NodeId(1), layers: 9, max_layers: 4 };
+        assert!(e.to_string().contains("9 layers"));
+        let from_milp: HelixError = helix_milp::MilpError::Infeasible.into();
+        assert!(matches!(from_milp, HelixError::Milp(_)));
+        assert!(from_milp.source().is_some());
+        let from_flow: HelixError = helix_maxflow::FlowError::SourceIsSink.into();
+        assert!(matches!(from_flow, HelixError::Flow(_)));
+    }
+}

@@ -1,0 +1,419 @@
+//! Graph abstraction of a cluster under a model placement (paper §4.3).
+//!
+//! Every compute node `c_i` becomes two vertices `c_in_i → c_out_i` whose
+//! edge capacity is the node's token throughput for the layers it holds.
+//! The coordinator becomes `source` and `sink`.  Valid network connections
+//! become edges whose capacity is the link bandwidth divided by the per-token
+//! transfer size (4-byte token ids to/from the coordinator, activation-sized
+//! tensors between compute nodes).  The max flow from source to sink equals
+//! the cluster's maximum serving throughput under the placement.
+
+use crate::error::HelixError;
+use crate::placement::ModelPlacement;
+use helix_cluster::{ClusterProfile, NodeId};
+use helix_maxflow::{
+    decompose_paths, min_cut, EdgeId, FlowNetwork, FlowPath, FlowResult, MinCut,
+    NodeId as FlowNodeId,
+};
+use std::collections::HashMap;
+
+/// An endpoint of the cluster topology: a compute node or the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// The coordinator (source/sink of the flow graph).
+    Coordinator,
+    /// A compute node.
+    Node(NodeId),
+}
+
+/// Builder for [`PlacementFlowGraph`]s.
+///
+/// The builder captures the options that affect which network connections are
+/// considered valid: partial inference (§4.4 "partial inference") and cluster
+/// pruning (§4.5), which keeps only the fastest `degree` outgoing connections
+/// per node.
+#[derive(Debug, Clone)]
+pub struct FlowGraphBuilder<'a> {
+    profile: &'a ClusterProfile,
+    partial_inference: bool,
+    prune_degree: Option<usize>,
+}
+
+impl<'a> FlowGraphBuilder<'a> {
+    /// Creates a builder with partial inference enabled and no pruning.
+    pub fn new(profile: &'a ClusterProfile) -> Self {
+        FlowGraphBuilder { profile, partial_inference: true, prune_degree: None }
+    }
+
+    /// Enables or disables partial inference when deciding connection
+    /// validity.
+    pub fn partial_inference(mut self, enabled: bool) -> Self {
+        self.partial_inference = enabled;
+        self
+    }
+
+    /// Keeps only the `degree` highest-bandwidth outgoing node→node
+    /// connections per node (coordinator connections are never pruned).
+    pub fn prune_to_degree(mut self, degree: usize) -> Self {
+        self.prune_degree = Some(degree);
+        self
+    }
+
+    /// The set of directed node→node connections that survive pruning
+    /// (independent of any placement).  Used both here and by the MILP
+    /// planner to define the edge set `E`.
+    pub fn candidate_connections(&self) -> Vec<(NodeId, NodeId)> {
+        let cluster = self.profile.cluster();
+        let ids: Vec<NodeId> = cluster.node_ids().collect();
+        match self.prune_degree {
+            None => {
+                let mut all = Vec::new();
+                for &a in &ids {
+                    for &b in &ids {
+                        if a != b {
+                            all.push((a, b));
+                        }
+                    }
+                }
+                all
+            }
+            Some(degree) => {
+                let mut kept = Vec::new();
+                for &a in &ids {
+                    let mut targets: Vec<NodeId> = ids.iter().copied().filter(|&b| b != a).collect();
+                    targets.sort_by(|&x, &y| {
+                        let bx = cluster.link(Some(a), Some(x)).bandwidth_mbps;
+                        let by = cluster.link(Some(a), Some(y)).bandwidth_mbps;
+                        by.partial_cmp(&bx).unwrap_or(std::cmp::Ordering::Equal).then(x.cmp(&y))
+                    });
+                    for &b in targets.iter().take(degree) {
+                        kept.push((a, b));
+                    }
+                }
+                kept
+            }
+        }
+    }
+
+    /// Builds the flow graph for `placement`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the placement is invalid for this profile (bad
+    /// layer ranges, VRAM overruns, or no complete pipeline).
+    pub fn build(&self, placement: &ModelPlacement) -> Result<PlacementFlowGraph, HelixError> {
+        placement.validate(self.profile)?;
+        let profile = self.profile;
+        let model = profile.model();
+        let num_layers = model.num_layers;
+
+        let mut network = FlowNetwork::new();
+        let source = network.add_node("source");
+        let sink = network.add_node("sink");
+        let mut node_vertices: HashMap<NodeId, (FlowNodeId, FlowNodeId)> = HashMap::new();
+        let mut node_edges: HashMap<NodeId, EdgeId> = HashMap::new();
+        let mut link_edges: HashMap<(Endpoint, Endpoint), EdgeId> = HashMap::new();
+
+        // Compute-node vertices and their internal capacity edges.
+        for (node, range) in placement.iter() {
+            let name = &profile.cluster().node(node).name;
+            let cin = network.add_node(format!("{name}.in"));
+            let cout = network.add_node(format!("{name}.out"));
+            let capacity = profile.node_profile(node).throughput(range.len());
+            let edge = network.add_edge(cin, cout, capacity);
+            node_vertices.insert(node, (cin, cout));
+            node_edges.insert(node, edge);
+        }
+
+        // Every unit of flow passes through at least one `c_in → c_out` edge
+        // and the connection-validity rule makes the link graph acyclic, so
+        // no single link ever carries more than the sum of node capacities.
+        // Clamping link capacities to that bound keeps the max flow identical
+        // while keeping all capacities within a few orders of magnitude of
+        // each other — coordinator links (4-byte tokens over 10 Gb/s ≈ 3×10⁸
+        // tokens/s) would otherwise dwarf compute capacities (10²–10³
+        // tokens/s) and degrade max-flow numerics badly.
+        let link_cap_bound: f64 = placement
+            .iter()
+            .map(|(node, range)| profile.node_profile(node).throughput(range.len()))
+            .sum();
+        let clamp = |cap: f64| cap.min(link_cap_bound);
+
+        // Coordinator edges: source → nodes holding layer 0; nodes holding the
+        // last layer → sink.
+        for (node, range) in placement.iter() {
+            let (cin, cout) = node_vertices[&node];
+            if range.start == 0 {
+                let cap = clamp(profile.link_profile(None, Some(node)).tokens_per_sec);
+                let e = network.add_edge(source, cin, cap);
+                link_edges.insert((Endpoint::Coordinator, Endpoint::Node(node)), e);
+            }
+            if range.end == num_layers {
+                let cap = clamp(profile.link_profile(Some(node), None).tokens_per_sec);
+                let e = network.add_edge(cout, sink, cap);
+                link_edges.insert((Endpoint::Node(node), Endpoint::Coordinator), e);
+            }
+        }
+
+        // Node→node edges for valid connections among the candidate set.
+        for (a, b) in self.candidate_connections() {
+            if placement.connection_valid(a, b, self.partial_inference) {
+                let (_, a_out) = node_vertices[&a];
+                let (b_in, _) = node_vertices[&b];
+                let cap = clamp(profile.link_profile(Some(a), Some(b)).tokens_per_sec);
+                let e = network.add_edge(a_out, b_in, cap);
+                link_edges.insert((Endpoint::Node(a), Endpoint::Node(b)), e);
+            }
+        }
+
+        Ok(PlacementFlowGraph {
+            network,
+            source,
+            sink,
+            node_vertices,
+            node_edges,
+            link_edges,
+            placement: placement.clone(),
+            partial_inference: self.partial_inference,
+        })
+    }
+}
+
+/// The flow-graph abstraction of a cluster under a specific placement.
+#[derive(Debug, Clone)]
+pub struct PlacementFlowGraph {
+    network: FlowNetwork,
+    source: FlowNodeId,
+    sink: FlowNodeId,
+    node_vertices: HashMap<NodeId, (FlowNodeId, FlowNodeId)>,
+    node_edges: HashMap<NodeId, EdgeId>,
+    link_edges: HashMap<(Endpoint, Endpoint), EdgeId>,
+    placement: ModelPlacement,
+    partial_inference: bool,
+}
+
+impl PlacementFlowGraph {
+    /// The underlying flow network.
+    pub fn network(&self) -> &FlowNetwork {
+        &self.network
+    }
+
+    /// The placement this graph was built from.
+    pub fn placement(&self) -> &ModelPlacement {
+        &self.placement
+    }
+
+    /// Whether the graph was built allowing partial inference.
+    pub fn partial_inference(&self) -> bool {
+        self.partial_inference
+    }
+
+    /// Maximum serving throughput (tokens/s) of the cluster under this
+    /// placement, together with per-edge flows.
+    pub fn max_flow(&self) -> FlowResult {
+        self.network.max_flow(self.source, self.sink)
+    }
+
+    /// The minimum cut certifying the max flow (the throughput bottleneck).
+    pub fn bottleneck(&self, flow: &FlowResult) -> MinCut {
+        min_cut(&self.network, flow, self.source, self.sink)
+    }
+
+    /// Decomposes a flow into explicit source→sink paths (candidate
+    /// per-request pipelines).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`helix_maxflow::FlowError`] if `flow` is not feasible for
+    /// this network.
+    pub fn decompose(&self, flow: &FlowResult) -> Result<Vec<FlowPath>, HelixError> {
+        Ok(decompose_paths(&self.network, flow, self.source, self.sink)?)
+    }
+
+    /// The flow (tokens/s) assigned to the directed connection between two
+    /// endpoints, or `None` if that connection is not part of the graph.
+    pub fn link_flow(&self, flow: &FlowResult, from: Endpoint, to: Endpoint) -> Option<f64> {
+        self.link_edges.get(&(from, to)).map(|&e| flow.flow(e))
+    }
+
+    /// The flow (tokens/s) processed by a compute node, or `None` if the node
+    /// holds no layers.
+    pub fn node_flow(&self, flow: &FlowResult, node: NodeId) -> Option<f64> {
+        self.node_edges.get(&node).map(|&e| flow.flow(e))
+    }
+
+    /// The flow-network vertices (`c_in`, `c_out`) representing a compute
+    /// node, if the node holds layers under this placement.
+    pub fn node_vertices(&self, node: NodeId) -> Option<(FlowNodeId, FlowNodeId)> {
+        self.node_vertices.get(&node).copied()
+    }
+
+    /// The token-throughput capacity of a compute node in this graph.
+    pub fn node_capacity(&self, node: NodeId) -> Option<f64> {
+        self.node_edges
+            .get(&node)
+            .map(|&e| self.network.edge(e).expect("node edges are valid").capacity)
+    }
+
+    /// Per-node utilisation (flow / capacity) under a max-flow solution; used
+    /// by the Fig. 9 case study.
+    pub fn node_utilization(&self, flow: &FlowResult) -> HashMap<NodeId, f64> {
+        self.node_edges
+            .iter()
+            .map(|(&node, &e)| {
+                let cap = self.network.edge(e).expect("node edges are valid").capacity;
+                let f = flow.flow(e);
+                (node, if cap > 0.0 { f / cap } else { 0.0 })
+            })
+            .collect()
+    }
+
+    /// All directed connections present in the graph (excluding the internal
+    /// `c_in → c_out` edges), with their capacities.
+    pub fn connections(&self) -> Vec<(Endpoint, Endpoint, f64)> {
+        self.link_edges
+            .iter()
+            .map(|(&(from, to), &e)| {
+                (from, to, self.network.edge(e).expect("link edges are valid").capacity)
+            })
+            .collect()
+    }
+
+    /// Outgoing connections of an endpoint with their flow in a max-flow
+    /// solution — the IWRR scheduling weights of §5.1.
+    pub fn outgoing_flows(&self, flow: &FlowResult, from: Endpoint) -> Vec<(Endpoint, f64)> {
+        let mut out: Vec<(Endpoint, f64)> = self
+            .link_edges
+            .iter()
+            .filter(|((f, _), _)| *f == from)
+            .map(|(&(_, to), &e)| (to, flow.flow(e)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::LayerRange;
+    use helix_cluster::{ClusterSpec, ModelConfig};
+
+    /// The Fig. 2 example: A100 holds layers 1-2, T4-1 holds layer 1 (partial
+    /// replica of layer 0 in our 0-based indexing), T4-2 holds layer 3.
+    /// We reproduce the *structure*: A100 holds [0,2), T4-1 holds [0,1),
+    /// T4-2 holds [2,3) for a 3-layer model.
+    fn fig2_graph() -> (ClusterProfile, ModelPlacement) {
+        let mut model = ModelConfig::llama2_70b();
+        model.num_layers = 3;
+        let profile = ClusterProfile::analytic(ClusterSpec::fig2_example(), model);
+        let mut p = ModelPlacement::empty(3);
+        p.assign(NodeId(0), LayerRange::new(0, 2)); // A100: layers 1 & 2
+        p.assign(NodeId(1), LayerRange::new(0, 1)); // T4-1: layer 1
+        p.assign(NodeId(2), LayerRange::new(2, 3)); // T4-2: layer 3
+        (profile, p)
+    }
+
+    #[test]
+    fn fig2_structure_and_flow() {
+        let (profile, placement) = fig2_graph();
+        let graph = FlowGraphBuilder::new(&profile).build(&placement).unwrap();
+        // Source connects to both holders of layer 0 (A100 and T4-1);
+        // only T4-2 holds the last layer, so only it connects to the sink.
+        let conns = graph.connections();
+        let to_a100 = conns
+            .iter()
+            .any(|(f, t, _)| *f == Endpoint::Coordinator && *t == Endpoint::Node(NodeId(0)));
+        let to_t41 = conns
+            .iter()
+            .any(|(f, t, _)| *f == Endpoint::Coordinator && *t == Endpoint::Node(NodeId(1)));
+        let from_t42 = conns
+            .iter()
+            .any(|(f, t, _)| *f == Endpoint::Node(NodeId(2)) && *t == Endpoint::Coordinator);
+        let from_a100_direct = conns
+            .iter()
+            .any(|(f, t, _)| *f == Endpoint::Node(NodeId(0)) && *t == Endpoint::Coordinator);
+        assert!(to_a100 && to_t41 && from_t42);
+        assert!(!from_a100_direct, "A100 does not hold the last layer");
+        let flow = graph.max_flow();
+        assert!(flow.value > 0.0);
+        // The whole throughput funnels through T4-2.
+        let t42_flow = graph.node_flow(&flow, NodeId(2)).unwrap();
+        assert!((t42_flow - flow.value).abs() < 1e-6);
+        // Flow decomposes into pipelines ending at T4-2.
+        let paths = graph.decompose(&flow).unwrap();
+        assert!(!paths.is_empty());
+        // Bottleneck cut capacity equals the flow.
+        let cut = graph.bottleneck(&flow);
+        assert!((cut.capacity - flow.value).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partial_inference_enables_more_connections() {
+        let (profile, _) = fig2_graph();
+        // A100 [0,2), T4-1 [1,3): with partial inference T4-1 can continue
+        // from the A100 (position 2 inside [1,3)); without it cannot.
+        let mut p = ModelPlacement::empty(3);
+        p.assign(NodeId(0), LayerRange::new(0, 2));
+        p.assign(NodeId(1), LayerRange::new(1, 3));
+        p.assign(NodeId(2), LayerRange::new(2, 3));
+        let with = FlowGraphBuilder::new(&profile).partial_inference(true).build(&p).unwrap();
+        let without = FlowGraphBuilder::new(&profile).partial_inference(false).build(&p).unwrap();
+        let has_a100_to_t41 = |g: &PlacementFlowGraph| {
+            g.connections()
+                .iter()
+                .any(|(f, t, _)| *f == Endpoint::Node(NodeId(0)) && *t == Endpoint::Node(NodeId(1)))
+        };
+        assert!(has_a100_to_t41(&with));
+        assert!(!has_a100_to_t41(&without));
+        assert!(with.max_flow().value >= without.max_flow().value - 1e-9);
+        assert!(with.partial_inference());
+        assert!(!without.partial_inference());
+    }
+
+    #[test]
+    fn pruning_limits_out_degree() {
+        let profile = ClusterProfile::analytic(
+            ClusterSpec::single_cluster_24(),
+            ModelConfig::llama2_70b(),
+        );
+        let full = FlowGraphBuilder::new(&profile).candidate_connections();
+        let pruned = FlowGraphBuilder::new(&profile).prune_to_degree(5).candidate_connections();
+        assert_eq!(full.len(), 24 * 23);
+        assert_eq!(pruned.len(), 24 * 5);
+        for id in profile.cluster().node_ids() {
+            let out_degree = pruned.iter().filter(|(a, _)| *a == id).count();
+            assert_eq!(out_degree, 5);
+        }
+    }
+
+    #[test]
+    fn invalid_placement_is_rejected_by_builder() {
+        let (profile, _) = fig2_graph();
+        let mut p = ModelPlacement::empty(3);
+        p.assign(NodeId(0), LayerRange::new(0, 2));
+        // No holder of the last layer -> no pipeline.
+        assert!(matches!(
+            FlowGraphBuilder::new(&profile).build(&p),
+            Err(HelixError::NoCompletePipeline)
+        ));
+    }
+
+    #[test]
+    fn utilization_and_outgoing_flows() {
+        let (profile, placement) = fig2_graph();
+        let graph = FlowGraphBuilder::new(&profile).build(&placement).unwrap();
+        let flow = graph.max_flow();
+        let util = graph.node_utilization(&flow);
+        assert_eq!(util.len(), 3);
+        for (_, u) in &util {
+            assert!(*u >= 0.0 && *u <= 1.0 + 1e-9);
+        }
+        let out = graph.outgoing_flows(&flow, Endpoint::Coordinator);
+        assert!(!out.is_empty());
+        let total: f64 = out.iter().map(|(_, f)| f).sum();
+        assert!((total - flow.value).abs() < 1e-6);
+        assert!(graph.node_capacity(NodeId(0)).unwrap() > 0.0);
+        assert!(graph.node_capacity(NodeId(3)).is_none());
+    }
+}

@@ -1,0 +1,66 @@
+//! Helix core: max-flow model placement and per-request pipeline scheduling.
+//!
+//! This crate implements the paper's primary contribution (§4–§5):
+//!
+//! * [`ModelPlacement`] — an assignment of a contiguous layer range to every
+//!   compute node, with validation.
+//! * [`FlowGraphBuilder`] / [`PlacementFlowGraph`] — the graph abstraction of
+//!   a cluster under a given placement (§4.3): every compute node becomes a
+//!   `c_in → c_out` edge whose capacity is the node's token throughput, every
+//!   valid network connection becomes an edge whose capacity is the link's
+//!   token throughput, and the max flow from source to sink equals the
+//!   cluster's maximum serving throughput.
+//! * [`MilpPlacementPlanner`] — the MILP formulation of §4.4 (Tables 5–6)
+//!   with optional partial inference, cluster pruning, heuristic warm starts
+//!   and the early-stop upper bound of §4.5.
+//! * [`heuristics`] — the baseline placement strategies the paper compares
+//!   against: Swarm-style balanced stages, Petals-style greedy assignment and
+//!   separate per-GPU-type pipelines, plus a flow-guided simulated-annealing
+//!   refiner used for large clusters where exact MILP solving is impractical.
+//! * [`PartitionedPlanner`] — the §4.5 scale-out path: partition very large
+//!   clusters into region-respecting groups that each hold a model replica
+//!   and plan every group independently.
+//! * [`IwrrScheduler`] — the per-request pipeline scheduler of §5.1:
+//!   interleaved weighted round-robin over the topology graph with weights
+//!   taken from the max-flow solution, plus the KV-cache high-water masking
+//!   of §5.2.
+//! * [`scheduling`] — baseline schedulers (Swarm throughput-proportional,
+//!   random, shortest-queue-first) used in the §6.7 scheduling deep dive.
+//!
+//! # Quick start
+//!
+//! ```rust
+//! use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
+//! use helix_core::{heuristics, FlowGraphBuilder, IwrrScheduler};
+//!
+//! let profile = ClusterProfile::analytic(
+//!     ClusterSpec::solver_quality_10(),
+//!     ModelConfig::llama_30b(),
+//! );
+//! // A quick heuristic placement (the MILP planner would refine this).
+//! let placement = heuristics::swarm_placement(&profile).unwrap();
+//! let graph = FlowGraphBuilder::new(&profile).build(&placement).unwrap();
+//! let max_flow = graph.max_flow();
+//! assert!(max_flow.value > 0.0);
+//! let scheduler = IwrrScheduler::from_flow(&profile, &placement, &graph, &max_flow).unwrap();
+//! assert!(scheduler.num_pipelines_possible() >= 1);
+//! ```
+
+pub mod error;
+pub mod flow_graph;
+pub mod placement;
+pub mod scheduling;
+
+pub use error::HelixError;
+pub use flow_graph::{Endpoint, FlowGraphBuilder, PlacementFlowGraph};
+pub use placement::heuristics;
+pub use placement::milp::{MilpPlacementPlanner, MilpPlannerReport, PlannerOptions};
+pub use placement::partition::{Partition, PartitionedPlanner, PartitionOptions, PartitionPlan};
+pub use placement::refine::{AnnealingOptions, FlowAnnealingPlanner};
+pub use placement::{LayerRange, ModelPlacement};
+pub use scheduling::iwrr::IwrrScheduler;
+pub use scheduling::kv_estimate::KvCacheEstimator;
+pub use scheduling::{
+    ClusterState, IdleClusterState, PipelineStage, RandomScheduler, RequestPipeline, Scheduler,
+    SchedulerKind, ShortestQueueScheduler, SwarmScheduler, TopologyGraph,
+};

@@ -1,0 +1,383 @@
+//! Baseline model-placement heuristics (paper §2.2, §6.2 and §6.6).
+//!
+//! These reproduce the strategies Helix is compared against:
+//!
+//! * [`swarm_placement`] — SWARM-style: partition the model into equal
+//!   pipeline stages (as few as the weakest node allows) and assign nodes to
+//!   stages so that per-stage compute capacity is balanced.
+//! * [`petals_placement`] — Petals-style: nodes greedily pick the span of
+//!   layers with the least accumulated throughput.
+//! * [`separate_pipelines_placement`] — one (or more) model replica per GPU
+//!   node type; node types that cannot hold a full replica stay idle.
+//! * [`separate_pipelines_plus_placement`] — the "SP+" variant of §6.5 that
+//!   additionally builds one mixed pipeline from the leftover nodes.
+//!
+//! They also serve as warm starts for the MILP planner (§4.5).
+
+use crate::error::HelixError;
+use crate::placement::{LayerRange, ModelPlacement};
+use helix_cluster::{ClusterProfile, NodeId};
+
+/// SWARM-style placement: the model is split into the minimum number of
+/// equal-size stages such that the weakest node can hold one stage, and nodes
+/// are assigned to stages balancing total per-stage compute capacity.
+///
+/// # Errors
+///
+/// Returns [`HelixError::NoPlacementFound`] if even one stage per node cannot
+/// cover the model.
+pub fn swarm_placement(profile: &ClusterProfile) -> Result<ModelPlacement, HelixError> {
+    let num_layers = profile.model().num_layers;
+    let stages = profile.min_pipeline_stages().max(1);
+    let mut placement = ModelPlacement::empty(profile.cluster().num_nodes());
+
+    // Stage boundaries: as even as possible.
+    let boundaries: Vec<(usize, usize)> = stage_boundaries(num_layers, stages);
+    // The weakest node must be able to hold the largest stage.
+    let largest = boundaries.iter().map(|(s, e)| e - s).max().unwrap_or(0);
+
+    // Sort nodes by per-layer throughput descending and greedily put each on
+    // the stage with the least accumulated capacity that the node can hold.
+    let mut nodes: Vec<NodeId> = profile.cluster().node_ids().collect();
+    nodes.sort_by(|&a, &b| {
+        let ta = profile.node_profile(a).decode_tokens_per_layer_sec;
+        let tb = profile.node_profile(b).decode_tokens_per_layer_sec;
+        tb.partial_cmp(&ta).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    let mut stage_capacity = vec![0.0f64; stages];
+    for node in nodes {
+        let np = profile.node_profile(node);
+        if np.max_layers < largest.min(np.max_layers.max(1)) && np.max_layers == 0 {
+            continue;
+        }
+        // Stages this node can hold entirely.
+        let mut candidate: Option<usize> = None;
+        for (idx, (s, e)) in boundaries.iter().enumerate() {
+            if e - s <= np.max_layers {
+                let better = candidate.map_or(true, |c| stage_capacity[idx] < stage_capacity[c]);
+                if better {
+                    candidate = Some(idx);
+                }
+            }
+        }
+        if let Some(idx) = candidate {
+            let (s, e) = boundaries[idx];
+            placement.assign(node, LayerRange::new(s, e));
+            stage_capacity[idx] += np.decode_tokens_per_layer_sec / (e - s) as f64;
+        }
+    }
+    if !placement.has_complete_pipeline(num_layers) {
+        return Err(HelixError::NoPlacementFound);
+    }
+    Ok(placement)
+}
+
+/// Petals-style placement: processing nodes in descending capacity order,
+/// each node claims the contiguous window of `max_layers` layers whose
+/// accumulated throughput is currently lowest.
+///
+/// # Errors
+///
+/// Returns [`HelixError::NoPlacementFound`] if the resulting placement does
+/// not cover the model.
+pub fn petals_placement(profile: &ClusterProfile) -> Result<ModelPlacement, HelixError> {
+    let num_layers = profile.model().num_layers;
+    let mut placement = ModelPlacement::empty(profile.cluster().num_nodes());
+    let mut coverage = vec![0.0f64; num_layers];
+
+    let mut nodes: Vec<NodeId> = profile.cluster().node_ids().collect();
+    nodes.sort_by(|&a, &b| {
+        let ta = profile.node_profile(a).decode_tokens_per_layer_sec;
+        let tb = profile.node_profile(b).decode_tokens_per_layer_sec;
+        tb.partial_cmp(&ta).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    for node in nodes {
+        let np = profile.node_profile(node);
+        let span = np.max_layers.min(num_layers);
+        if span == 0 {
+            continue;
+        }
+        // Find the window [s, s+span) with minimal accumulated throughput.
+        let mut best_start = 0usize;
+        let mut best_score = f64::INFINITY;
+        for s in 0..=(num_layers - span) {
+            let score: f64 = coverage[s..s + span].iter().sum();
+            if score < best_score - 1e-12 {
+                best_score = score;
+                best_start = s;
+            }
+        }
+        let throughput = np.decode_tokens_per_layer_sec / span as f64;
+        for c in coverage[best_start..best_start + span].iter_mut() {
+            *c += throughput;
+        }
+        placement.assign(node, LayerRange::new(best_start, best_start + span));
+    }
+    if !placement.has_complete_pipeline(num_layers) {
+        return Err(HelixError::NoPlacementFound);
+    }
+    Ok(placement)
+}
+
+/// Separate-pipelines placement ("SP"): each GPU node type builds as many
+/// private model replicas as it can; node types that cannot hold a full
+/// replica are left idle.
+///
+/// # Errors
+///
+/// Returns [`HelixError::NoPlacementFound`] if no GPU type can hold a full
+/// replica on its own.
+pub fn separate_pipelines_placement(profile: &ClusterProfile) -> Result<ModelPlacement, HelixError> {
+    let mut placement = ModelPlacement::empty(profile.cluster().num_nodes());
+    let mut any = false;
+    for group in node_type_groups(profile) {
+        // Try the recommended 50/50 weight/KV split first; if the type cannot
+        // hold a replica that way, over-pack weights up to the hard VRAM
+        // limit (this is what makes SP's throughput collapse for LLaMA 70B in
+        // §6.3: the KV cache left over is tiny).
+        let assigned = build_replicas_from(profile, &group, &mut placement, false)
+            || build_replicas_from(profile, &group, &mut placement, true);
+        any |= assigned;
+    }
+    if !any || !placement.has_complete_pipeline(profile.model().num_layers) {
+        return Err(HelixError::NoPlacementFound);
+    }
+    Ok(placement)
+}
+
+/// "SP+" placement (§6.5): separate pipelines per GPU type, plus one or more
+/// mixed pipelines built from the nodes the per-type pass left idle.
+///
+/// # Errors
+///
+/// Returns [`HelixError::NoPlacementFound`] if not even a mixed pipeline can
+/// be formed.
+pub fn separate_pipelines_plus_placement(
+    profile: &ClusterProfile,
+) -> Result<ModelPlacement, HelixError> {
+    let mut placement = match separate_pipelines_placement(profile) {
+        Ok(p) => p,
+        Err(HelixError::NoPlacementFound) => ModelPlacement::empty(profile.cluster().num_nodes()),
+        Err(e) => return Err(e),
+    };
+    // Leftovers: nodes without an assignment, sorted by capacity descending.
+    let mut leftovers: Vec<NodeId> = profile
+        .cluster()
+        .node_ids()
+        .filter(|&id| placement.range(id).is_none())
+        .collect();
+    leftovers.sort_by(|&a, &b| {
+        let ta = profile.node_profile(a).decode_tokens_per_layer_sec;
+        let tb = profile.node_profile(b).decode_tokens_per_layer_sec;
+        tb.partial_cmp(&ta).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    if !build_replicas_from(profile, &leftovers, &mut placement, false) {
+        build_replicas_from(profile, &leftovers, &mut placement, true);
+    }
+    if !placement.has_complete_pipeline(profile.model().num_layers) {
+        return Err(HelixError::NoPlacementFound);
+    }
+    Ok(placement)
+}
+
+/// Groups node ids by (GPU type, GPU count), most capable groups first.
+fn node_type_groups(profile: &ClusterProfile) -> Vec<Vec<NodeId>> {
+    let cluster = profile.cluster();
+    let mut keys: Vec<(helix_cluster::GpuType, usize)> =
+        cluster.nodes().iter().map(|n| (n.gpu, n.gpu_count)).collect();
+    keys.sort();
+    keys.dedup();
+    // Sort groups by per-node capacity descending.
+    keys.sort_by(|a, b| {
+        let cap = |k: &(helix_cluster::GpuType, usize)| k.0.spec().fp16_tflops * k.1 as f64;
+        cap(b).partial_cmp(&cap(a)).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    keys.into_iter()
+        .map(|key| {
+            cluster
+                .node_ids()
+                .filter(|&id| {
+                    let n = cluster.node(id);
+                    (n.gpu, n.gpu_count) == key
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds as many full pipelines as possible from `pool` (in order), writing
+/// assignments into `placement`.  Returns true if at least one replica was
+/// formed.
+fn build_replicas_from(
+    profile: &ClusterProfile,
+    pool: &[NodeId],
+    placement: &mut ModelPlacement,
+    overpack: bool,
+) -> bool {
+    let num_layers = profile.model().num_layers;
+    let budget = |node: NodeId| {
+        let p = profile.node_profile(node);
+        if overpack {
+            p.max_layers_absolute
+        } else {
+            p.max_layers
+        }
+    };
+    let mut remaining: Vec<NodeId> = pool.to_vec();
+    let mut any = false;
+    loop {
+        // Take nodes until their combined layer budget covers the model.
+        let mut chosen = Vec::new();
+        let mut total = 0usize;
+        while total < num_layers {
+            let Some(next) = remaining.first().copied() else { break };
+            remaining.remove(0);
+            total += budget(next);
+            chosen.push(next);
+        }
+        if total < num_layers {
+            break;
+        }
+        // Distribute layers proportionally to the budget (never exceeding it).
+        let mut start = 0usize;
+        for (i, &node) in chosen.iter().enumerate() {
+            let cap = budget(node);
+            let remaining_nodes_cap: usize =
+                chosen[i + 1..].iter().map(|&n| budget(n)).sum();
+            let rest = num_layers - start;
+            // Leave at least enough room for the remaining nodes to be useful
+            // but make sure we can always finish.
+            let take = cap.min(rest).max(rest.saturating_sub(remaining_nodes_cap));
+            if take == 0 {
+                continue;
+            }
+            placement.assign(node, LayerRange::new(start, start + take));
+            start += take;
+            if start >= num_layers {
+                break;
+            }
+        }
+        any = true;
+    }
+    any
+}
+
+/// Stage boundaries for an equal partition of `num_layers` into `stages`
+/// pieces (earlier stages get the remainder).
+fn stage_boundaries(num_layers: usize, stages: usize) -> Vec<(usize, usize)> {
+    let base = num_layers / stages;
+    let extra = num_layers % stages;
+    let mut out = Vec::with_capacity(stages);
+    let mut start = 0;
+    for i in 0..stages {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow_graph::FlowGraphBuilder;
+    use helix_cluster::{ClusterSpec, GpuType, ModelConfig};
+
+    fn profile(model: ModelConfig) -> ClusterProfile {
+        ClusterProfile::analytic(ClusterSpec::single_cluster_24(), model)
+    }
+
+    #[test]
+    fn stage_boundaries_cover_all_layers() {
+        let b = stage_boundaries(80, 7);
+        assert_eq!(b.first().unwrap().0, 0);
+        assert_eq!(b.last().unwrap().1, 80);
+        let total: usize = b.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(total, 80);
+        for w in b.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn swarm_placement_is_valid_and_equal_staged() {
+        let p = profile(ModelConfig::llama2_70b());
+        let placement = swarm_placement(&p).unwrap();
+        placement.validate(&p).unwrap();
+        // All assigned ranges come from the same small set of stage boundaries.
+        let mut distinct: Vec<LayerRange> = placement.iter().map(|(_, r)| r).collect();
+        distinct.sort_by_key(|r| (r.start, r.end));
+        distinct.dedup();
+        assert!(distinct.len() <= p.min_pipeline_stages());
+    }
+
+    #[test]
+    fn petals_placement_is_valid_and_covers_model() {
+        let p = profile(ModelConfig::llama2_70b());
+        let placement = petals_placement(&p).unwrap();
+        placement.validate(&p).unwrap();
+        // Every node is assigned something (Petals never leaves donors idle).
+        assert_eq!(placement.num_assigned(), 24);
+    }
+
+    #[test]
+    fn separate_pipelines_for_llama30b_uses_all_types() {
+        let p = profile(ModelConfig::llama_30b());
+        let placement = separate_pipelines_placement(&p).unwrap();
+        placement.validate(&p).unwrap();
+        // Each GPU type can host a replica for 30B, so nodes of all three
+        // types should be assigned.
+        for gpu in [GpuType::A100_40, GpuType::L4, GpuType::T4] {
+            let any = p
+                .cluster()
+                .node_ids()
+                .filter(|&id| p.cluster().node(id).gpu == gpu)
+                .any(|id| placement.range(id).is_some());
+            assert!(any, "{gpu} nodes should participate for LLaMA 30B");
+        }
+    }
+
+    #[test]
+    fn separate_pipelines_for_llama70b_mixes_within_type_only() {
+        let p = profile(ModelConfig::llama2_70b());
+        let placement = separate_pipelines_placement(&p).unwrap();
+        placement.validate(&p).unwrap();
+        // A complete pipeline exists, but some weak nodes may stay idle.
+        assert!(placement.num_assigned() <= 24);
+    }
+
+    #[test]
+    fn sp_plus_assigns_leftovers_on_heterogeneous_cluster() {
+        let prof =
+            ClusterProfile::analytic(ClusterSpec::high_heterogeneity_42(), ModelConfig::llama2_70b());
+        let sp = separate_pipelines_placement(&prof).unwrap();
+        let sp_plus = separate_pipelines_plus_placement(&prof).unwrap();
+        assert!(sp_plus.num_assigned() >= sp.num_assigned());
+        sp_plus.validate(&prof).unwrap();
+    }
+
+    #[test]
+    fn heuristic_placements_produce_positive_flow() {
+        let p = profile(ModelConfig::llama2_70b());
+        for placement in [
+            swarm_placement(&p).unwrap(),
+            petals_placement(&p).unwrap(),
+            separate_pipelines_placement(&p).unwrap(),
+        ] {
+            let graph = FlowGraphBuilder::new(&p).build(&placement).unwrap();
+            assert!(graph.max_flow().value > 0.0);
+        }
+    }
+
+    #[test]
+    fn heuristics_work_on_geo_distributed_cluster() {
+        let prof =
+            ClusterProfile::analytic(ClusterSpec::geo_distributed_24(), ModelConfig::llama2_70b());
+        for placement in [swarm_placement(&prof).unwrap(), petals_placement(&prof).unwrap()] {
+            placement.validate(&prof).unwrap();
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Cluster partitioning for very large deployments (paper §4.5).
+//!
+//! The MILP planner scales to the cluster sizes the paper evaluates (24–42
+//! nodes), but §4.5 notes that "for further scaling of Helix to hundreds or
+//! even thousands of nodes, one viable approach is to first partition the
+//! nodes into multiple smaller clusters using heuristics and then apply Helix
+//! independently".  This module implements that approach: it groups nodes
+//! into partitions that each can hold a full model replica (preferring to
+//! keep regions together so no partition straddles a slow inter-region link),
+//! plans a placement for every partition independently, and combines the
+//! results into one placement whose replicas serve traffic side by side.
+
+use crate::error::HelixError;
+use crate::placement::refine::{AnnealingOptions, FlowAnnealingPlanner};
+use crate::placement::{LayerRange, ModelPlacement};
+use helix_cluster::{ClusterBuilder, ClusterProfile, NodeId};
+use std::collections::BTreeMap;
+
+/// Options controlling how the cluster is partitioned and how each partition
+/// is planned.
+#[derive(Debug, Clone)]
+pub struct PartitionOptions {
+    /// Upper bound on the number of nodes per partition.  Partitions stop
+    /// growing once they can hold the model *and* reach this size.
+    pub max_partition_size: usize,
+    /// Slack factor on model capacity: a partition is considered able to hold
+    /// the model once its summed layer capacity reaches `capacity_slack ×
+    /// num_layers`.  Values above 1.0 leave headroom for KV cache and load
+    /// balancing.
+    pub capacity_slack: f64,
+    /// Keep nodes of the same region together (avoids replicas that straddle
+    /// slow inter-region links).
+    pub group_by_region: bool,
+    /// Planning budget used for each partition.
+    pub annealing: AnnealingOptions,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions {
+            max_partition_size: 16,
+            capacity_slack: 1.2,
+            group_by_region: true,
+            annealing: AnnealingOptions::default(),
+        }
+    }
+}
+
+/// One planned partition: a disjoint subset of nodes serving its own model
+/// replica.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// The nodes of this partition (ids in the *original* cluster).
+    pub nodes: Vec<NodeId>,
+    /// The placement found for this partition, expressed on the original
+    /// cluster's node ids (nodes outside the partition are unassigned).
+    pub placement: ModelPlacement,
+    /// Max-flow throughput of the partition's placement (tokens/s).
+    pub throughput: f64,
+}
+
+/// The result of partitioned planning.
+#[derive(Debug, Clone)]
+pub struct PartitionPlan {
+    partitions: Vec<Partition>,
+    num_nodes: usize,
+}
+
+impl PartitionPlan {
+    /// The individual partitions.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Number of independent model replicas (one per partition).
+    pub fn num_replicas(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Sum of the partitions' planned throughputs.
+    pub fn total_throughput(&self) -> f64 {
+        self.partitions.iter().map(|p| p.throughput).sum()
+    }
+
+    /// The union of all partition placements: a single placement for the full
+    /// cluster in which every partition serves its own replica.
+    pub fn combined_placement(&self) -> ModelPlacement {
+        let mut combined = ModelPlacement::empty(self.num_nodes);
+        for partition in &self.partitions {
+            for (node, range) in partition.placement.iter() {
+                combined.assign(node, range);
+            }
+        }
+        combined
+    }
+}
+
+/// Plans placements for clusters too large to optimise in one piece.
+///
+/// # Example
+///
+/// ```rust
+/// use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
+/// use helix_core::placement::partition::{PartitionOptions, PartitionedPlanner};
+///
+/// let profile = ClusterProfile::analytic(
+///     ClusterSpec::geo_distributed_24(),
+///     ModelConfig::llama_30b(),
+/// );
+/// let planner = PartitionedPlanner::new(&profile)
+///     .with_options(PartitionOptions { max_partition_size: 10, ..Default::default() });
+/// let plan = planner.solve().unwrap();
+/// assert!(plan.num_replicas() >= 2);
+/// assert!(plan.total_throughput() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionedPlanner<'a> {
+    profile: &'a ClusterProfile,
+    options: PartitionOptions,
+}
+
+impl<'a> PartitionedPlanner<'a> {
+    /// Creates a planner with default options.
+    pub fn new(profile: &'a ClusterProfile) -> Self {
+        PartitionedPlanner { profile, options: PartitionOptions::default() }
+    }
+
+    /// Overrides the partitioning options.
+    pub fn with_options(mut self, options: PartitionOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &PartitionOptions {
+        &self.options
+    }
+
+    /// Computes the node groups without planning placements for them.
+    ///
+    /// Every group can hold at least one full model replica; groups respect
+    /// region boundaries when `group_by_region` is set and the regions are
+    /// large enough.
+    pub fn node_groups(&self) -> Vec<Vec<NodeId>> {
+        let profile = self.profile;
+        let cluster = profile.cluster();
+        let num_layers = profile.model().num_layers;
+        let needed = (num_layers as f64 * self.options.capacity_slack).ceil() as usize;
+
+        // Order nodes region by region (or as one big group), strongest first
+        // within each region so every partition gets a share of strong nodes.
+        let mut ordered: Vec<NodeId> = Vec::with_capacity(cluster.num_nodes());
+        if self.options.group_by_region {
+            let mut by_region: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+            for node in cluster.nodes() {
+                by_region.entry(node.region.0).or_default().push(node.id);
+            }
+            for (_, mut nodes) in by_region {
+                nodes.sort_by_key(|&id| std::cmp::Reverse(profile.node_profile(id).max_layers));
+                ordered.extend(nodes);
+            }
+        } else {
+            ordered.extend(cluster.node_ids());
+            ordered.sort_by_key(|&id| std::cmp::Reverse(profile.node_profile(id).max_layers));
+        }
+
+        let mut groups: Vec<Vec<NodeId>> = Vec::new();
+        let mut current: Vec<NodeId> = Vec::new();
+        let mut current_capacity = 0usize;
+        for id in ordered {
+            current.push(id);
+            current_capacity += profile.node_profile(id).max_layers;
+            let can_hold = current_capacity >= needed;
+            let full = current.len() >= self.options.max_partition_size;
+            if can_hold && (full || current.len() >= self.options.max_partition_size / 2) {
+                groups.push(std::mem::take(&mut current));
+                current_capacity = 0;
+            }
+        }
+        if !current.is_empty() {
+            // Leftover nodes that cannot hold a replica on their own join the
+            // last complete group (or form the only group for tiny clusters).
+            let leftover_capacity: usize =
+                current.iter().map(|&id| profile.node_profile(id).max_layers).sum();
+            if leftover_capacity >= needed || groups.is_empty() {
+                groups.push(current);
+            } else if let Some(last) = groups.last_mut() {
+                last.extend(current);
+            }
+        }
+        groups
+    }
+
+    /// Plans each partition independently and returns the combined plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HelixError::NoCompletePipeline`] if the whole cluster cannot
+    /// hold even one model replica, and propagates per-partition planning
+    /// errors.
+    pub fn solve(&self) -> Result<PartitionPlan, HelixError> {
+        let groups = self.node_groups();
+        if groups.is_empty() {
+            return Err(HelixError::NoCompletePipeline);
+        }
+        let mut partitions = Vec::with_capacity(groups.len());
+        for nodes in groups {
+            let (sub_profile, id_map) = self.sub_profile(&nodes);
+            let planner = FlowAnnealingPlanner::new(&sub_profile)
+                .with_options(self.options.annealing.clone());
+            let (sub_placement, throughput) = planner.solve()?;
+            // Map the sub-cluster placement back onto the original node ids.
+            let mut placement = ModelPlacement::empty(self.profile.cluster().num_nodes());
+            for (sub_node, range) in sub_placement.iter() {
+                placement
+                    .assign(id_map[sub_node.index()], LayerRange::new(range.start, range.end));
+            }
+            partitions.push(Partition { nodes, placement, throughput });
+        }
+        Ok(PartitionPlan { partitions, num_nodes: self.profile.cluster().num_nodes() })
+    }
+
+    /// Builds a standalone profile containing only `nodes`, preserving each
+    /// node's GPU type, GPU count, region and NIC bandwidth as well as the
+    /// original cluster's intra/inter-region network characteristics.
+    /// Returns the profile and the mapping from sub-cluster node index to the
+    /// original [`NodeId`].
+    fn sub_profile(&self, nodes: &[NodeId]) -> (ClusterProfile, Vec<NodeId>) {
+        let cluster = self.profile.cluster();
+        let mut builder = ClusterBuilder::new(format!("{}-partition", cluster.name))
+            .intra_region(cluster.intra_region_bandwidth_mbps, cluster.intra_region_latency_ms)
+            .inter_region(cluster.inter_region_bandwidth_mbps, cluster.inter_region_latency_ms)
+            .coordinator_region(cluster.coordinator_region);
+        let mut id_map = Vec::with_capacity(nodes.len());
+        for &id in nodes {
+            let node = cluster.node(id);
+            builder = builder
+                .nic_bandwidth(node.nic_bandwidth_mbps)
+                .add_nodes(node.gpu, 1, node.gpu_count, node.region);
+            id_map.push(id);
+        }
+        let sub_cluster = builder.build();
+        (ClusterProfile::analytic(sub_cluster, self.profile.model().clone()), id_map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow_graph::FlowGraphBuilder;
+    use helix_cluster::{ClusterSpec, ModelConfig};
+
+    fn quick_options(max_partition_size: usize) -> PartitionOptions {
+        PartitionOptions {
+            max_partition_size,
+            annealing: AnnealingOptions { iterations: 200, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn groups_cover_all_nodes_exactly_once_and_can_hold_the_model() {
+        let profile = ClusterProfile::analytic(
+            ClusterSpec::single_cluster_24(),
+            ModelConfig::llama_30b(),
+        );
+        let planner =
+            PartitionedPlanner::new(&profile).with_options(quick_options(8));
+        let groups = planner.node_groups();
+        assert!(groups.len() >= 2, "24 nodes with max size 8 should split");
+        let mut seen = vec![false; 24];
+        for group in &groups {
+            let capacity: usize =
+                group.iter().map(|&id| profile.node_profile(id).max_layers).sum();
+            assert!(
+                capacity >= profile.model().num_layers,
+                "every group must hold a full replica"
+            );
+            for &id in group {
+                assert!(!seen[id.index()], "node {id:?} appears twice");
+                seen[id.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every node belongs to a group");
+    }
+
+    #[test]
+    fn region_grouping_keeps_partitions_inside_regions_when_possible() {
+        let profile = ClusterProfile::analytic(
+            ClusterSpec::geo_distributed_24(),
+            ModelConfig::llama_30b(),
+        );
+        let planner = PartitionedPlanner::new(&profile).with_options(quick_options(12));
+        let groups = planner.node_groups();
+        let cluster = profile.cluster();
+        // At least one group should be entirely within a single region (the
+        // A100-only region can hold LLaMA 30B by itself).
+        let single_region_groups = groups
+            .iter()
+            .filter(|group| {
+                let first = cluster.node(group[0]).region;
+                group.iter().all(|&id| cluster.node(id).region == first)
+            })
+            .count();
+        assert!(single_region_groups >= 1, "groups: {groups:?}");
+    }
+
+    #[test]
+    fn solve_produces_disjoint_replicas_with_additive_throughput() {
+        let profile = ClusterProfile::analytic(
+            ClusterSpec::single_cluster_24(),
+            ModelConfig::llama_30b(),
+        );
+        let planner = PartitionedPlanner::new(&profile).with_options(quick_options(8));
+        let plan = planner.solve().unwrap();
+        assert!(plan.num_replicas() >= 2);
+        assert!(plan.total_throughput() > 0.0);
+
+        let combined = plan.combined_placement();
+        combined.validate(&profile).unwrap();
+        let graph = FlowGraphBuilder::new(&profile).build(&combined).unwrap();
+        let flow = graph.max_flow();
+        // Disjoint replicas add up: the combined placement's max flow must be
+        // at least (almost) the sum of per-partition throughputs, and each
+        // partition contributes something.
+        assert!(
+            flow.value >= 0.95 * plan.total_throughput(),
+            "combined flow {} vs partition sum {}",
+            flow.value,
+            plan.total_throughput()
+        );
+        for partition in plan.partitions() {
+            assert!(partition.throughput > 0.0);
+            assert!(partition.placement.num_assigned() >= 1);
+            assert!(partition.placement.num_assigned() <= partition.nodes.len());
+        }
+    }
+
+    #[test]
+    fn small_clusters_collapse_to_a_single_partition() {
+        let profile = ClusterProfile::analytic(
+            ClusterSpec::solver_quality_10(),
+            ModelConfig::llama_30b(),
+        );
+        let planner = PartitionedPlanner::new(&profile).with_options(quick_options(32));
+        let groups = planner.node_groups();
+        assert_eq!(groups.len(), 1);
+        let plan = planner.solve().unwrap();
+        assert_eq!(plan.num_replicas(), 1);
+        let combined = plan.combined_placement();
+        assert!(combined.has_complete_pipeline(profile.model().num_layers));
+    }
+}

@@ -1,0 +1,169 @@
+//! KV-cache usage estimation (paper §5.2).
+//!
+//! Output lengths are unknown when a request is scheduled, so the coordinator
+//! keeps an *estimate* of each node's KV-cache usage: every in-flight request
+//! is assumed to grow to the running average output length, and nodes whose
+//! estimated usage exceeds the high-water mark are masked out of IWRR
+//! scheduling until requests finish.
+
+use helix_cluster::{ClusterProfile, NodeId};
+use std::collections::HashMap;
+
+/// Coordinator-side estimator of per-node KV-cache usage.
+///
+/// # Example
+///
+/// ```rust
+/// use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig, NodeId};
+/// use helix_core::KvCacheEstimator;
+///
+/// let profile = ClusterProfile::analytic(
+///     ClusterSpec::solver_quality_10(),
+///     ModelConfig::llama_30b(),
+/// );
+/// let mut est = KvCacheEstimator::new(&profile, 232.0);
+/// est.on_scheduled(NodeId(0), 42, 512);
+/// assert!(est.estimated_tokens(NodeId(0)) > 512.0);
+/// est.on_finished(NodeId(0), 42, 128);
+/// assert_eq!(est.estimated_tokens(NodeId(0)), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KvCacheEstimator {
+    /// Estimated tokens resident per node.
+    estimated: HashMap<NodeId, f64>,
+    /// Requests in flight per node, with their assumed footprint.
+    in_flight: HashMap<(NodeId, u64), f64>,
+    /// Running average output length used for new requests.
+    avg_output_len: f64,
+    /// Number of completed requests folded into the average.
+    completed: u64,
+    /// KV capacity per node in tokens, given the layers each node holds.
+    capacity: HashMap<NodeId, f64>,
+}
+
+impl KvCacheEstimator {
+    /// Creates an estimator with an initial average output length (the Azure
+    /// Conversation trace averages 232 output tokens).
+    pub fn new(profile: &ClusterProfile, initial_avg_output_len: f64) -> Self {
+        KvCacheEstimator {
+            estimated: HashMap::new(),
+            in_flight: HashMap::new(),
+            avg_output_len: initial_avg_output_len.max(1.0),
+            completed: 0,
+            capacity: profile
+                .cluster()
+                .node_ids()
+                .map(|id| (id, f64::INFINITY))
+                .collect(),
+        }
+    }
+
+    /// Registers the KV capacity of a node holding `layers` layers (capacity
+    /// depends on the placement, so the caller provides it once the placement
+    /// is fixed).
+    pub fn set_capacity(&mut self, node: NodeId, capacity_tokens: f64) {
+        self.capacity.insert(node, capacity_tokens);
+    }
+
+    /// Records that request `request_id` with `prompt_len` prompt tokens was
+    /// scheduled onto `node`; its footprint is estimated as prompt length
+    /// plus the average output length.
+    pub fn on_scheduled(&mut self, node: NodeId, request_id: u64, prompt_len: usize) {
+        let footprint = prompt_len as f64 + self.avg_output_len;
+        *self.estimated.entry(node).or_insert(0.0) += footprint;
+        self.in_flight.insert((node, request_id), footprint);
+    }
+
+    /// Records that request `request_id` finished on `node` after producing
+    /// `output_len` tokens; frees its estimated footprint and updates the
+    /// running average output length.
+    pub fn on_finished(&mut self, node: NodeId, request_id: u64, output_len: usize) {
+        if let Some(footprint) = self.in_flight.remove(&(node, request_id)) {
+            if let Some(e) = self.estimated.get_mut(&node) {
+                *e = (*e - footprint).max(0.0);
+            }
+        }
+        self.completed += 1;
+        let n = self.completed as f64;
+        self.avg_output_len = self.avg_output_len * (n - 1.0) / n + output_len as f64 / n;
+    }
+
+    /// Estimated KV tokens resident on `node`.
+    pub fn estimated_tokens(&self, node: NodeId) -> f64 {
+        self.estimated.get(&node).copied().unwrap_or(0.0)
+    }
+
+    /// KV capacity of `node` in tokens (infinite until
+    /// [`KvCacheEstimator::set_capacity`] is called).
+    pub fn capacity_tokens(&self, node: NodeId) -> f64 {
+        self.capacity.get(&node).copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// The current running average output length.
+    pub fn avg_output_len(&self) -> f64 {
+        self.avg_output_len
+    }
+
+    /// Whether `node` is above the given high-water fraction of its KV
+    /// capacity.
+    pub fn is_above_high_water(&self, node: NodeId, high_water: f64) -> bool {
+        let cap = self.capacity_tokens(node);
+        cap.is_finite() && self.estimated_tokens(node) > high_water * cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_cluster::{ClusterSpec, ModelConfig};
+
+    fn estimator() -> KvCacheEstimator {
+        let profile = ClusterProfile::analytic(
+            ClusterSpec::solver_quality_10(),
+            ModelConfig::llama_30b(),
+        );
+        KvCacheEstimator::new(&profile, 200.0)
+    }
+
+    #[test]
+    fn schedule_and_finish_balance_out() {
+        let mut est = estimator();
+        let node = NodeId(0);
+        est.on_scheduled(node, 1, 100);
+        est.on_scheduled(node, 2, 300);
+        assert!((est.estimated_tokens(node) - (100.0 + 200.0 + 300.0 + 200.0)).abs() < 1e-9);
+        est.on_finished(node, 1, 50);
+        est.on_finished(node, 2, 50);
+        assert_eq!(est.estimated_tokens(node), 0.0);
+        // Finishing an unknown request is harmless.
+        est.on_finished(node, 99, 10);
+        assert_eq!(est.estimated_tokens(node), 0.0);
+    }
+
+    #[test]
+    fn average_output_length_tracks_completions() {
+        let mut est = estimator();
+        let node = NodeId(1);
+        for i in 0..10 {
+            est.on_scheduled(node, i, 10);
+            est.on_finished(node, i, 100);
+        }
+        // Average moves from the prior (200) towards the observed 100.
+        assert!(est.avg_output_len() < 200.0);
+        assert!(est.avg_output_len() >= 100.0);
+    }
+
+    #[test]
+    fn high_water_mark_detection() {
+        let mut est = estimator();
+        let node = NodeId(2);
+        // Unlimited capacity: never above high water.
+        est.on_scheduled(node, 1, 10_000);
+        assert!(!est.is_above_high_water(node, 0.9));
+        est.set_capacity(node, 1_000.0);
+        assert!(est.is_above_high_water(node, 0.9));
+        assert_eq!(est.capacity_tokens(node), 1_000.0);
+        est.on_finished(node, 1, 1);
+        assert!(!est.is_above_high_water(node, 0.9));
+    }
+}

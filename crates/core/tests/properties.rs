@@ -1,0 +1,152 @@
+//! Property-based tests for placement, flow-graph and scheduling invariants.
+
+use helix_cluster::{ClusterBuilder, ClusterProfile, GpuType, ModelConfig, NodeId, Region};
+use helix_core::{
+    heuristics, FlowGraphBuilder, IdleClusterState, LayerRange, ModelPlacement, RandomScheduler,
+    Scheduler,
+};
+use proptest::prelude::*;
+
+/// Builds a random small heterogeneous cluster profile for a short model.
+fn random_profile(a100s: usize, l4s: usize, t4s: usize, num_layers: usize) -> ClusterProfile {
+    let cluster = ClusterBuilder::new("prop")
+        .intra_region(1_000.0, 1.0)
+        .add_nodes(GpuType::A100_40, a100s, 1, Region(0))
+        .add_nodes(GpuType::L4, l4s, 1, Region(0))
+        .add_nodes(GpuType::T4, t4s, 1, Region(0))
+        .build();
+    let mut model = ModelConfig::llama2_70b();
+    model.num_layers = num_layers;
+    ClusterProfile::analytic(cluster, model)
+}
+
+/// Builds a placement from per-node (start, len) pairs, clamped to be valid
+/// ranges inside the model (but not necessarily VRAM-feasible).
+fn placement_from(profile: &ClusterProfile, raw: &[(usize, usize)]) -> ModelPlacement {
+    let num_layers = profile.model().num_layers;
+    let mut placement = ModelPlacement::empty(profile.cluster().num_nodes());
+    for (i, id) in profile.cluster().node_ids().enumerate() {
+        if let Some(&(start, len)) = raw.get(i) {
+            let len = (len % profile.node_profile(id).max_layers.max(1)).max(1);
+            let len = len.min(num_layers);
+            let start = start % (num_layers - len + 1);
+            placement.assign(id, LayerRange::new(start, start + len));
+        }
+    }
+    placement
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any placement's max flow is bounded by the cluster throughput upper
+    /// bound and by the total capacity of entry links.
+    #[test]
+    fn placement_flow_respects_upper_bound(
+        raw in prop::collection::vec((0usize..20, 1usize..12), 6..9),
+        num_layers in 6usize..16,
+    ) {
+        let profile = random_profile(1, 3, 4, num_layers);
+        let placement = placement_from(&profile, &raw);
+        let builder = FlowGraphBuilder::new(&profile);
+        if let Ok(graph) = builder.build(&placement) {
+            let flow = graph.max_flow();
+            prop_assert!(flow.value <= profile.throughput_upper_bound() * 1.0001);
+            prop_assert!(flow.value >= 0.0);
+            // Flow through any node never exceeds its capacity.
+            for id in profile.cluster().node_ids() {
+                if let (Some(f), Some(cap)) = (graph.node_flow(&flow, id), graph.node_capacity(id)) {
+                    prop_assert!(f <= cap + 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Partial inference can only add valid connections, so it never lowers
+    /// the max flow of a placement.
+    #[test]
+    fn partial_inference_is_monotone(
+        raw in prop::collection::vec((0usize..20, 1usize..12), 6..9),
+        num_layers in 6usize..16,
+    ) {
+        let profile = random_profile(1, 3, 4, num_layers);
+        let placement = placement_from(&profile, &raw);
+        let with = FlowGraphBuilder::new(&profile).partial_inference(true).build(&placement);
+        let without = FlowGraphBuilder::new(&profile).partial_inference(false).build(&placement);
+        if let (Ok(w), Ok(wo)) = (with, without) {
+            prop_assert!(w.max_flow().value >= wo.max_flow().value - 1e-6);
+        }
+    }
+
+    /// Pruning the connection set never increases the max flow.
+    #[test]
+    fn pruning_is_monotone_decreasing(
+        raw in prop::collection::vec((0usize..20, 1usize..12), 6..9),
+        degree in 1usize..6,
+    ) {
+        let profile = random_profile(1, 3, 4, 12);
+        let placement = placement_from(&profile, &raw);
+        let full = FlowGraphBuilder::new(&profile).build(&placement);
+        let pruned = FlowGraphBuilder::new(&profile).prune_to_degree(degree).build(&placement);
+        if let (Ok(f), Ok(p)) = (full, pruned) {
+            prop_assert!(p.max_flow().value <= f.max_flow().value + 1e-6);
+        }
+    }
+
+    /// The heuristic placements are always valid and always admit a complete
+    /// pipeline on clusters that can hold the model.
+    #[test]
+    fn heuristics_always_produce_valid_placements(
+        a100s in 1usize..3,
+        l4s in 1usize..5,
+        t4s in 1usize..6,
+        num_layers in 8usize..24,
+    ) {
+        let profile = random_profile(a100s, l4s, t4s, num_layers);
+        for placement in [
+            heuristics::swarm_placement(&profile),
+            heuristics::petals_placement(&profile),
+        ].into_iter().flatten() {
+            prop_assert!(placement.validate(&profile).is_ok());
+            prop_assert!(placement.has_complete_pipeline(num_layers));
+        }
+    }
+
+    /// Every pipeline produced by any scheduler covers the model exactly once
+    /// and in order, and only visits nodes that hold the layers they compute.
+    #[test]
+    fn scheduled_pipelines_cover_the_model(seed in 0u64..5000) {
+        let profile = random_profile(1, 2, 3, 12);
+        let placement = heuristics::petals_placement(&profile).unwrap();
+        let mut scheduler = RandomScheduler::new(&profile, &placement, true, seed);
+        let state = IdleClusterState;
+        for _ in 0..5 {
+            let pipeline = scheduler.schedule(&state).unwrap();
+            prop_assert!(pipeline.covers_model(12));
+            for stage in &pipeline.stages {
+                let held = placement.range(stage.node).unwrap();
+                prop_assert!(held.start <= stage.layers.start);
+                prop_assert_eq!(held.end, stage.layers.end);
+            }
+        }
+    }
+
+    /// Layer-range containment and connection validity behave consistently.
+    #[test]
+    fn connection_validity_is_consistent_with_ranges(
+        s1 in 0usize..10, l1 in 1usize..6,
+        s2 in 0usize..10, l2 in 1usize..6,
+    ) {
+        let mut placement = ModelPlacement::empty(2);
+        placement.assign(NodeId(0), LayerRange::new(s1, s1 + l1));
+        placement.assign(NodeId(1), LayerRange::new(s2, s2 + l2));
+        let strict = placement.connection_valid(NodeId(0), NodeId(1), false);
+        let partial = placement.connection_valid(NodeId(0), NodeId(1), true);
+        // Strict validity implies partial validity.
+        if strict {
+            prop_assert!(partial);
+        }
+        // Partial validity matches the paper's condition s_j <= e_i < e_j.
+        prop_assert_eq!(partial, s2 <= s1 + l1 && s1 + l1 < s2 + l2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for flow-network operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by flow-network construction and algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// A node id did not belong to the network.
+    InvalidNode {
+        /// The offending node index.
+        index: usize,
+        /// Number of nodes in the network.
+        len: usize,
+    },
+    /// An edge id did not belong to the network.
+    InvalidEdge {
+        /// The offending edge index.
+        index: usize,
+        /// Number of edges in the network.
+        len: usize,
+    },
+    /// A capacity was negative or NaN.
+    InvalidCapacity {
+        /// The capacity that was rejected.
+        capacity: f64,
+    },
+    /// Source and sink were the same node.
+    SourceIsSink,
+    /// A requested flow decomposition was asked of an infeasible flow
+    /// (flow conservation violated beyond tolerance).
+    NotAFlow {
+        /// Node at which conservation is violated.
+        node: usize,
+        /// Magnitude of the conservation violation.
+        imbalance: f64,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::InvalidNode { index, len } => {
+                write!(f, "node index {index} out of bounds for network with {len} nodes")
+            }
+            FlowError::InvalidEdge { index, len } => {
+                write!(f, "edge index {index} out of bounds for network with {len} edges")
+            }
+            FlowError::InvalidCapacity { capacity } => {
+                write!(f, "capacity {capacity} is not a finite non-negative number")
+            }
+            FlowError::SourceIsSink => write!(f, "source and sink must be distinct nodes"),
+            FlowError::NotAFlow { node, imbalance } => {
+                write!(f, "flow conservation violated at node {node} by {imbalance}")
+            }
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            FlowError::InvalidNode { index: 3, len: 2 }.to_string(),
+            FlowError::InvalidEdge { index: 9, len: 1 }.to_string(),
+            FlowError::InvalidCapacity { capacity: -1.0 }.to_string(),
+            FlowError::SourceIsSink.to_string(),
+            FlowError::NotAFlow { node: 0, imbalance: 0.5 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlowError>();
+    }
+}

@@ -1,0 +1,577 @@
+//! Directed flow-network representation.
+//!
+//! The network stores edges in a flat arena with "residual twin" edges, the
+//! classic adjacency-list layout used by push-relabel and Dinic.  Capacities
+//! are `f64` because Helix edge capacities are tokens/second derived from
+//! profiled throughputs and bandwidths (paper §4.3) and are not integral.
+
+use crate::error::FlowError;
+use crate::{dinic, edmonds_karp, push_relabel, MaxFlowAlgorithm, FLOW_EPS};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node in a [`FlowNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Returns the underlying index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a directed edge in a [`FlowNetwork`].
+///
+/// Edge ids refer to *forward* edges only (the ones added by
+/// [`FlowNetwork::add_edge`]); residual twins are an implementation detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub(crate) usize);
+
+impl EdgeId {
+    /// Returns the underlying index of this edge.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A view of one forward edge together with its current flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeRef {
+    /// Identifier of the edge.
+    pub id: EdgeId,
+    /// Tail (origin) node.
+    pub from: NodeId,
+    /// Head (destination) node.
+    pub to: NodeId,
+    /// Capacity of the edge.
+    pub capacity: f64,
+    /// Flow currently assigned to the edge (0 before any max-flow run).
+    pub flow: f64,
+}
+
+/// Internal arena edge: forward edges sit at even indices, their residual
+/// twins at the following odd index.
+#[derive(Debug, Clone)]
+pub(crate) struct ArenaEdge {
+    pub(crate) to: usize,
+    pub(crate) cap: f64,
+    /// Remaining residual capacity (cap - flow for forward edges, flow for twins).
+    pub(crate) residual: f64,
+}
+
+/// Result of a maximum-flow computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowResult {
+    /// Total flow value from source to sink.
+    pub value: f64,
+    /// Flow assigned to each forward edge, indexed by [`EdgeId::index`].
+    pub edge_flows: Vec<f64>,
+}
+
+impl FlowResult {
+    /// Flow over a particular forward edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` does not belong to the network that produced this
+    /// result.
+    pub fn flow(&self, edge: EdgeId) -> f64 {
+        self.edge_flows[edge.0]
+    }
+}
+
+/// A directed graph with non-negative edge capacities.
+///
+/// # Example
+///
+/// ```rust
+/// use helix_maxflow::{FlowNetwork, MaxFlowAlgorithm};
+///
+/// let mut net = FlowNetwork::new();
+/// let s = net.add_node("s");
+/// let a = net.add_node("a");
+/// let b = net.add_node("b");
+/// let t = net.add_node("t");
+/// net.add_edge(s, a, 3.0);
+/// net.add_edge(s, b, 2.0);
+/// net.add_edge(a, t, 2.0);
+/// net.add_edge(b, t, 3.0);
+/// net.add_edge(a, b, 5.0);
+/// let flow = net.max_flow_with(s, t, MaxFlowAlgorithm::Dinic);
+/// assert!((flow.value - 5.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    names: Vec<String>,
+    name_index: HashMap<String, usize>,
+    /// adjacency[v] = indices into `edges`
+    pub(crate) adjacency: Vec<Vec<usize>>,
+    pub(crate) edges: Vec<ArenaEdge>,
+    /// Maps forward-edge id -> arena index (always 2 * id, kept explicit for clarity).
+    forward: Vec<usize>,
+}
+
+impl FlowNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty network with room for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        FlowNetwork {
+            names: Vec::with_capacity(nodes),
+            name_index: HashMap::with_capacity(nodes),
+            adjacency: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges * 2),
+            forward: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a node with a human-readable name and returns its id.
+    ///
+    /// Names do not need to be unique, but [`FlowNetwork::node_by_name`] only
+    /// returns the first node registered under a given name.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
+        let id = self.names.len();
+        self.name_index.entry(name.clone()).or_insert(id);
+        self.names.push(name);
+        self.adjacency.push(Vec::new());
+        NodeId(id)
+    }
+
+    /// Looks up a node by the name given to [`FlowNetwork::add_node`].
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied().map(NodeId)
+    }
+
+    /// Returns the name of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this network.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.names[node.0]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of forward edges.
+    pub fn edge_count(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Iterates over node ids in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.names.len()).map(NodeId)
+    }
+
+    /// Adds a directed edge `from -> to` with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is invalid or the capacity is negative/NaN; use
+    /// [`FlowNetwork::try_add_edge`] for a fallible version.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, capacity: f64) -> EdgeId {
+        self.try_add_edge(from, to, capacity)
+            .expect("invalid edge passed to FlowNetwork::add_edge")
+    }
+
+    /// Adds a directed edge `from -> to` with the given capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidNode`] if either endpoint is out of range
+    /// and [`FlowError::InvalidCapacity`] if the capacity is negative or NaN.
+    pub fn try_add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        capacity: f64,
+    ) -> Result<EdgeId, FlowError> {
+        let len = self.names.len();
+        for n in [from, to] {
+            if n.0 >= len {
+                return Err(FlowError::InvalidNode { index: n.0, len });
+            }
+        }
+        if !capacity.is_finite() || capacity < 0.0 {
+            return Err(FlowError::InvalidCapacity { capacity });
+        }
+        let id = self.forward.len();
+        let fwd_idx = self.edges.len();
+        self.edges.push(ArenaEdge { to: to.0, cap: capacity, residual: capacity });
+        self.edges.push(ArenaEdge { to: from.0, cap: 0.0, residual: 0.0 });
+        self.adjacency[from.0].push(fwd_idx);
+        self.adjacency[to.0].push(fwd_idx + 1);
+        self.forward.push(fwd_idx);
+        Ok(EdgeId(id))
+    }
+
+    /// Returns a view of a forward edge, with `flow = 0` (flows are only
+    /// materialised in [`FlowResult`]).
+    pub fn edge(&self, id: EdgeId) -> Result<EdgeRef, FlowError> {
+        let idx = *self
+            .forward
+            .get(id.0)
+            .ok_or(FlowError::InvalidEdge { index: id.0, len: self.forward.len() })?;
+        let e = &self.edges[idx];
+        let twin = &self.edges[idx + 1];
+        Ok(EdgeRef {
+            id,
+            from: NodeId(twin.to),
+            to: NodeId(e.to),
+            capacity: e.cap,
+            flow: e.cap - e.residual,
+        })
+    }
+
+    /// Iterates over all forward edges.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        (0..self.forward.len()).map(|i| self.edge(EdgeId(i)).expect("edge ids are dense"))
+    }
+
+    /// Returns the ids of forward edges leaving `node`.
+    pub fn out_edges(&self, node: NodeId) -> Vec<EdgeId> {
+        self.adjacency
+            .get(node.0)
+            .map(|adj| {
+                adj.iter()
+                    .filter(|&&idx| idx % 2 == 0)
+                    .map(|&idx| EdgeId(idx / 2))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Returns the ids of forward edges entering `node`.
+    pub fn in_edges(&self, node: NodeId) -> Vec<EdgeId> {
+        self.adjacency
+            .get(node.0)
+            .map(|adj| {
+                adj.iter()
+                    .filter(|&&idx| idx % 2 == 1)
+                    .map(|&idx| EdgeId((idx - 1) / 2))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Total capacity of edges leaving `node`.
+    pub fn out_capacity(&self, node: NodeId) -> f64 {
+        self.out_edges(node)
+            .iter()
+            .map(|&e| self.edge(e).expect("edge ids from out_edges are valid").capacity)
+            .sum()
+    }
+
+    /// Computes the maximum flow from `source` to `sink` using the default
+    /// algorithm (preflow-push, as used in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink` or either node is invalid.
+    pub fn max_flow(&self, source: NodeId, sink: NodeId) -> FlowResult {
+        self.max_flow_with(source, sink, MaxFlowAlgorithm::default())
+    }
+
+    /// Computes the maximum flow using the requested algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink` or either node is invalid.
+    pub fn max_flow_with(
+        &self,
+        source: NodeId,
+        sink: NodeId,
+        algorithm: MaxFlowAlgorithm,
+    ) -> FlowResult {
+        self.try_max_flow(source, sink, algorithm)
+            .expect("invalid source/sink passed to max_flow")
+    }
+
+    /// Fallible version of [`FlowNetwork::max_flow_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::SourceIsSink`] if the two endpoints coincide and
+    /// [`FlowError::InvalidNode`] if either is out of range.
+    pub fn try_max_flow(
+        &self,
+        source: NodeId,
+        sink: NodeId,
+        algorithm: MaxFlowAlgorithm,
+    ) -> Result<FlowResult, FlowError> {
+        let len = self.names.len();
+        for n in [source, sink] {
+            if n.0 >= len {
+                return Err(FlowError::InvalidNode { index: n.0, len });
+            }
+        }
+        if source == sink {
+            return Err(FlowError::SourceIsSink);
+        }
+        let mut scratch = self.clone_arena();
+        let value = match algorithm {
+            MaxFlowAlgorithm::PushRelabel => {
+                push_relabel::run(&mut scratch, &self.adjacency, len, source.0, sink.0)
+            }
+            MaxFlowAlgorithm::Dinic => {
+                dinic::run(&mut scratch, &self.adjacency, len, source.0, sink.0)
+            }
+            MaxFlowAlgorithm::EdmondsKarp => {
+                edmonds_karp::run(&mut scratch, &self.adjacency, len, source.0, sink.0)
+            }
+        };
+        let edge_flows = self
+            .forward
+            .iter()
+            .map(|&idx| {
+                let flow = scratch[idx].cap - scratch[idx].residual;
+                if flow.abs() < FLOW_EPS {
+                    0.0
+                } else {
+                    flow
+                }
+            })
+            .collect();
+        Ok(FlowResult { value, edge_flows })
+    }
+
+    pub(crate) fn clone_arena(&self) -> Vec<ArenaEdge> {
+        self.edges.clone()
+    }
+
+    /// Checks that `flows` (indexed like [`FlowResult::edge_flows`]) is a
+    /// feasible source→sink flow: within capacity and conserving flow at every
+    /// node other than `source` and `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::NotAFlow`] naming the first node at which flow
+    /// conservation is violated, or [`FlowError::InvalidCapacity`] if an edge
+    /// flow exceeds its capacity.
+    pub fn validate_flow(
+        &self,
+        flows: &[f64],
+        source: NodeId,
+        sink: NodeId,
+    ) -> Result<(), FlowError> {
+        let mut balance = vec![0.0f64; self.node_count()];
+        for (i, &f) in flows.iter().enumerate().take(self.forward.len()) {
+            let e = self.edge(EdgeId(i)).expect("dense edge ids");
+            if f < -FLOW_EPS || f > e.capacity + 1e-6 {
+                return Err(FlowError::InvalidCapacity { capacity: f });
+            }
+            balance[e.from.0] -= f;
+            balance[e.to.0] += f;
+        }
+        for (node, &b) in balance.iter().enumerate() {
+            if node == source.0 || node == sink.0 {
+                continue;
+            }
+            if b.abs() > 1e-6 {
+                return Err(FlowError::NotAFlow { node, imbalance: b });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (FlowNetwork, NodeId, NodeId) {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node("s");
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let t = net.add_node("t");
+        net.add_edge(s, a, 4.0);
+        net.add_edge(s, b, 2.0);
+        net.add_edge(a, t, 3.0);
+        net.add_edge(b, t, 3.0);
+        net.add_edge(a, b, 10.0);
+        (net, s, t)
+    }
+
+    #[test]
+    fn add_node_and_lookup() {
+        let mut net = FlowNetwork::new();
+        let a = net.add_node("alpha");
+        let b = net.add_node("beta");
+        assert_eq!(net.node_count(), 2);
+        assert_eq!(net.node_by_name("alpha"), Some(a));
+        assert_eq!(net.node_by_name("beta"), Some(b));
+        assert_eq!(net.node_by_name("gamma"), None);
+        assert_eq!(net.node_name(a), "alpha");
+    }
+
+    #[test]
+    fn duplicate_names_resolve_to_first() {
+        let mut net = FlowNetwork::new();
+        let a = net.add_node("x");
+        let _b = net.add_node("x");
+        assert_eq!(net.node_by_name("x"), Some(a));
+        assert_eq!(net.node_count(), 2);
+    }
+
+    #[test]
+    fn add_edge_rejects_bad_input() {
+        let mut net = FlowNetwork::new();
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        assert!(matches!(
+            net.try_add_edge(a, NodeId(7), 1.0),
+            Err(FlowError::InvalidNode { .. })
+        ));
+        assert!(matches!(
+            net.try_add_edge(a, b, -1.0),
+            Err(FlowError::InvalidCapacity { .. })
+        ));
+        assert!(matches!(
+            net.try_add_edge(a, b, f64::NAN),
+            Err(FlowError::InvalidCapacity { .. })
+        ));
+        assert!(net.try_add_edge(a, b, 0.0).is_ok());
+    }
+
+    #[test]
+    fn edge_views_report_endpoints_and_capacity() {
+        let (net, s, t) = diamond();
+        let e0 = net.edge(EdgeId(0)).unwrap();
+        assert_eq!(e0.from, s);
+        assert_eq!(e0.capacity, 4.0);
+        assert_eq!(net.edge_count(), 5);
+        assert!(net.edge(EdgeId(42)).is_err());
+        let out_s = net.out_edges(s);
+        assert_eq!(out_s.len(), 2);
+        let in_t = net.in_edges(t);
+        assert_eq!(in_t.len(), 2);
+        assert_eq!(net.out_capacity(s), 6.0);
+    }
+
+    #[test]
+    fn max_flow_diamond_all_algorithms_agree() {
+        let (net, s, t) = diamond();
+        for alg in [
+            MaxFlowAlgorithm::PushRelabel,
+            MaxFlowAlgorithm::Dinic,
+            MaxFlowAlgorithm::EdmondsKarp,
+        ] {
+            let r = net.max_flow_with(s, t, alg);
+            assert!((r.value - 6.0).abs() < 1e-9, "{alg:?} gave {}", r.value);
+            net.validate_flow(&r.edge_flows, s, t).unwrap();
+        }
+    }
+
+    #[test]
+    fn max_flow_source_is_sink_errors() {
+        let (net, s, _) = diamond();
+        assert!(matches!(
+            net.try_max_flow(s, s, MaxFlowAlgorithm::Dinic),
+            Err(FlowError::SourceIsSink)
+        ));
+    }
+
+    #[test]
+    fn max_flow_disconnected_is_zero() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node("s");
+        let t = net.add_node("t");
+        let r = net.max_flow(s, t);
+        assert_eq!(r.value, 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_edges_carry_no_flow() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node("s");
+        let t = net.add_node("t");
+        let e = net.add_edge(s, t, 0.0);
+        let r = net.max_flow(s, t);
+        assert_eq!(r.value, 0.0);
+        assert_eq!(r.flow(e), 0.0);
+    }
+
+    #[test]
+    fn validate_flow_detects_conservation_violation() {
+        let (net, s, t) = diamond();
+        // Push 1 unit on s->a but nothing out of a.
+        let flows = vec![1.0, 0.0, 0.0, 0.0, 0.0];
+        assert!(matches!(
+            net.validate_flow(&flows, s, t),
+            Err(FlowError::NotAFlow { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_edges_are_supported() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node("s");
+        let t = net.add_node("t");
+        net.add_edge(s, t, 2.0);
+        net.add_edge(s, t, 3.0);
+        let r = net.max_flow(s, t);
+        assert!((r.value - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_loops_do_not_contribute_flow() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node("s");
+        let a = net.add_node("a");
+        let t = net.add_node("t");
+        net.add_edge(s, a, 5.0);
+        net.add_edge(a, a, 100.0);
+        net.add_edge(a, t, 3.0);
+        for alg in [
+            MaxFlowAlgorithm::PushRelabel,
+            MaxFlowAlgorithm::Dinic,
+            MaxFlowAlgorithm::EdmondsKarp,
+        ] {
+            let r = net.max_flow_with(s, t, alg);
+            assert!((r.value - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn antiparallel_edges_are_supported() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node("s");
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let t = net.add_node("t");
+        net.add_edge(s, a, 10.0);
+        net.add_edge(a, b, 4.0);
+        net.add_edge(b, a, 7.0);
+        net.add_edge(b, t, 10.0);
+        let r = net.max_flow(s, t);
+        assert!((r.value - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_display_and_edge_display() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(EdgeId(2).to_string(), "e2");
+    }
+}

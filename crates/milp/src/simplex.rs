@@ -1,0 +1,637 @@
+//! Dense two-phase primal simplex for LP relaxations.
+//!
+//! The solver converts the model to standard form (`min c'x`, `Ax = b`,
+//! `x >= 0`, `b >= 0`) by shifting lower bounds, splitting free variables,
+//! materialising finite upper bounds as rows and adding slack / surplus /
+//! artificial columns.  Phase 1 minimises the sum of artificials; phase 2
+//! optimises the real objective.  Dantzig pricing with a Bland's-rule
+//! fallback avoids cycling.
+//!
+//! The dense tableau is cubic-ish in problem size and is intended for the
+//! LP relaxations Helix produces for small and medium clusters (a few
+//! thousand rows at most); see the crate docs for how larger instances are
+//! handled.
+
+use crate::error::MilpError;
+use crate::model::{Model, ObjectiveSense, Sense};
+use crate::INT_EPS;
+
+/// An optimal solution of an LP relaxation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Objective value in the model's own sense (i.e. already negated back
+    /// for maximisation problems).
+    pub objective: f64,
+    /// Value of every model variable, indexed by [`VarId::index`](crate::VarId::index).
+    pub values: Vec<f64>,
+}
+
+/// Result category of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal(LpSolution),
+    /// The constraints admit no solution.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// Returns the solution if the outcome is optimal.
+    pub fn optimal(self) -> Option<LpSolution> {
+        match self {
+            LpOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Solves the LP relaxation of `model` (integrality dropped).
+///
+/// # Errors
+///
+/// Returns [`MilpError::IterationLimit`] if the simplex fails to converge
+/// within its safety limit (a symptom of severe numerical trouble, not of a
+/// property of the model).
+///
+/// # Example
+///
+/// ```rust
+/// use helix_milp::{solve_lp, Model, ObjectiveSense, Sense, VarType};
+///
+/// let mut m = Model::new(ObjectiveSense::Maximize);
+/// let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY, 1.0);
+/// let y = m.add_var("y", VarType::Continuous, 0.0, f64::INFINITY, 1.0);
+/// m.add_constraint("c", [(x, 2.0), (y, 1.0)], Sense::Le, 4.0);
+/// m.add_constraint("d", [(x, 1.0), (y, 3.0)], Sense::Le, 6.0);
+/// let sol = solve_lp(&m).unwrap().optimal().unwrap();
+/// assert!((sol.objective - 2.8).abs() < 1e-6);
+/// ```
+pub fn solve_lp(model: &Model) -> Result<LpOutcome, MilpError> {
+    let bounds: Vec<(f64, f64)> =
+        model.variables().iter().map(|v| (v.lower, v.upper)).collect();
+    solve_lp_with_bounds(model, &bounds)
+}
+
+/// Solves the LP relaxation with per-variable bound overrides (used by branch
+/// & bound to impose branching decisions without mutating the model).
+///
+/// `bounds[i]` replaces the bounds of variable `i`; the slice must have one
+/// entry per model variable.
+///
+/// # Errors
+///
+/// Returns [`MilpError::InvalidBounds`] if the slice length does not match or
+/// some `lower > upper`, and [`MilpError::IterationLimit`] on convergence
+/// failure.
+pub fn solve_lp_with_bounds(
+    model: &Model,
+    bounds: &[(f64, f64)],
+) -> Result<LpOutcome, MilpError> {
+    if bounds.len() != model.num_vars() {
+        return Err(MilpError::InvalidBounds { lower: f64::NAN, upper: f64::NAN });
+    }
+    for &(l, u) in bounds {
+        if l.is_nan() || u.is_nan() || l > u {
+            return Err(MilpError::Infeasible);
+        }
+    }
+    Tableau::build(model, bounds)?.solve(model.sense())
+}
+
+/// Description of how an original variable maps onto tableau columns.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// Variable is fixed at the given value (lower == upper).
+    Fixed(f64),
+    /// `x = shift + y` where `y` is the column at the given index.
+    Shifted { col: usize, shift: f64 },
+    /// `x = shift - y` (used when only the upper bound is finite).
+    Mirrored { col: usize, shift: f64 },
+    /// `x = y_pos - y_neg` (free variable).
+    Split { pos: usize, neg: usize },
+}
+
+struct Tableau {
+    /// rows x (cols + 1); the last entry of each row is the RHS.
+    rows: Vec<Vec<f64>>,
+    /// Objective coefficients (phase 2) per column, as a minimisation.
+    cost: Vec<f64>,
+    /// Constant offset of the phase-2 objective (from bound shifts).
+    cost_offset: f64,
+    /// Column index of the first artificial variable.
+    first_artificial: usize,
+    /// Basis: for each row, the column currently basic in it.
+    basis: Vec<usize>,
+    /// Mapping from original variables to columns.
+    var_map: Vec<VarMap>,
+    n_cols: usize,
+}
+
+const EPS: f64 = 1e-9;
+
+impl Tableau {
+    fn build(model: &Model, bounds: &[(f64, f64)]) -> Result<Self, MilpError> {
+        let n_vars = model.num_vars();
+        let mut var_map = Vec::with_capacity(n_vars);
+        let mut n_structural = 0usize;
+        // Upper-bound rows to add: (column, bound value).
+        let mut ub_rows: Vec<(usize, f64)> = Vec::new();
+
+        for (i, v) in model.variables().iter().enumerate() {
+            let (l, u) = bounds[i];
+            let vm = if (u - l).abs() < 1e-12 {
+                VarMap::Fixed(l)
+            } else if l.is_finite() {
+                let col = n_structural;
+                n_structural += 1;
+                if u.is_finite() {
+                    ub_rows.push((col, u - l));
+                }
+                VarMap::Shifted { col, shift: l }
+            } else if u.is_finite() {
+                let col = n_structural;
+                n_structural += 1;
+                VarMap::Mirrored { col, shift: u }
+            } else {
+                let pos = n_structural;
+                let neg = n_structural + 1;
+                n_structural += 2;
+                VarMap::Split { pos, neg }
+            };
+            let _ = v;
+            var_map.push(vm);
+        }
+
+        // Assemble raw rows in terms of structural columns.
+        struct RawRow {
+            coeffs: Vec<(usize, f64)>,
+            sense: Sense,
+            rhs: f64,
+        }
+        let mut raw_rows: Vec<RawRow> = Vec::new();
+
+        for c in model.constraints() {
+            let mut coeffs: Vec<(usize, f64)> = Vec::new();
+            let mut rhs = c.rhs;
+            for (var, a) in c.expr.iter() {
+                match var_map[var.index()] {
+                    VarMap::Fixed(val) => rhs -= a * val,
+                    VarMap::Shifted { col, shift } => {
+                        rhs -= a * shift;
+                        coeffs.push((col, a));
+                    }
+                    VarMap::Mirrored { col, shift } => {
+                        rhs -= a * shift;
+                        coeffs.push((col, -a));
+                    }
+                    VarMap::Split { pos, neg } => {
+                        coeffs.push((pos, a));
+                        coeffs.push((neg, -a));
+                    }
+                }
+            }
+            raw_rows.push(RawRow { coeffs, sense: c.sense, rhs });
+        }
+        for (col, bound) in ub_rows {
+            raw_rows.push(RawRow { coeffs: vec![(col, 1.0)], sense: Sense::Le, rhs: bound });
+        }
+
+        let m = raw_rows.len();
+        // Count slack/surplus columns.
+        let n_slack = raw_rows.iter().filter(|r| r.sense != Sense::Eq).count();
+        let n_cols_no_art = n_structural + n_slack;
+        // Worst case every row needs an artificial.
+        let n_cols = n_cols_no_art + m;
+
+        let mut rows = vec![vec![0.0; n_cols + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_cursor = n_structural;
+        let mut art_cursor = n_cols_no_art;
+        let first_artificial = n_cols_no_art;
+
+        for (r, raw) in raw_rows.iter().enumerate() {
+            let flip = raw.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            for &(col, a) in &raw.coeffs {
+                rows[r][col] += sign * a;
+            }
+            rows[r][n_cols] = sign * raw.rhs;
+            let effective_sense = if flip {
+                match raw.sense {
+                    Sense::Le => Sense::Ge,
+                    Sense::Ge => Sense::Le,
+                    Sense::Eq => Sense::Eq,
+                }
+            } else {
+                raw.sense
+            };
+            match effective_sense {
+                Sense::Le => {
+                    rows[r][slack_cursor] = 1.0;
+                    basis[r] = slack_cursor;
+                    slack_cursor += 1;
+                }
+                Sense::Ge => {
+                    rows[r][slack_cursor] = -1.0;
+                    slack_cursor += 1;
+                    rows[r][art_cursor] = 1.0;
+                    basis[r] = art_cursor;
+                    art_cursor += 1;
+                }
+                Sense::Eq => {
+                    rows[r][art_cursor] = 1.0;
+                    basis[r] = art_cursor;
+                    art_cursor += 1;
+                }
+            }
+        }
+
+        // Phase-2 cost vector (always as a minimisation).
+        let max_sign = match model.sense() {
+            ObjectiveSense::Minimize => 1.0,
+            ObjectiveSense::Maximize => -1.0,
+        };
+        let mut cost = vec![0.0; n_cols];
+        let mut cost_offset = 0.0;
+        for (i, v) in model.variables().iter().enumerate() {
+            let c = v.objective * max_sign;
+            match var_map[i] {
+                VarMap::Fixed(val) => cost_offset += c * val,
+                VarMap::Shifted { col, shift } => {
+                    cost[col] += c;
+                    cost_offset += c * shift;
+                }
+                VarMap::Mirrored { col, shift } => {
+                    cost[col] -= c;
+                    cost_offset += c * shift;
+                }
+                VarMap::Split { pos, neg } => {
+                    cost[pos] += c;
+                    cost[neg] -= c;
+                }
+            }
+        }
+
+        Ok(Tableau { rows, cost, cost_offset, first_artificial, basis, var_map, n_cols })
+    }
+
+    /// Runs phase 1 and phase 2; maps the solution back to model variables.
+    fn solve(mut self, sense: ObjectiveSense) -> Result<LpOutcome, MilpError> {
+        let m = self.rows.len();
+        // Phase 1: minimise the sum of artificial variables.
+        let has_artificials = self.basis.iter().any(|&b| b >= self.first_artificial);
+        if has_artificials {
+            let mut phase1_cost = vec![0.0; self.n_cols];
+            for col in self.first_artificial..self.n_cols {
+                phase1_cost[col] = 1.0;
+            }
+            let status = self.optimize(&phase1_cost, true)?;
+            if status == PivotStatus::Unbounded {
+                // Phase-1 objective is bounded below by zero; this cannot
+                // happen unless the tableau is corrupted.
+                return Err(MilpError::IterationLimit);
+            }
+            let phase1_value = self.objective_value(&phase1_cost);
+            if phase1_value > 1e-6 {
+                return Ok(LpOutcome::Infeasible);
+            }
+            // Pivot remaining artificials out of the basis where possible.
+            for r in 0..m {
+                if self.basis[r] >= self.first_artificial {
+                    if let Some(col) = (0..self.first_artificial)
+                        .find(|&c| self.rows[r][c].abs() > 1e-7)
+                    {
+                        self.pivot(r, col);
+                    }
+                    // If the row is all zeros over structural columns it is
+                    // redundant; the artificial stays basic at value 0, which
+                    // is harmless as long as it never re-enters (phase 2 never
+                    // prices artificial columns back in because we forbid it).
+                }
+            }
+        }
+
+        // Phase 2.
+        let cost = self.cost.clone();
+        let status = self.optimize(&cost, false)?;
+        if status == PivotStatus::Unbounded {
+            return Ok(LpOutcome::Unbounded);
+        }
+
+        // Extract column values.
+        let mut col_values = vec![0.0; self.n_cols];
+        for r in 0..m {
+            let b = self.basis[r];
+            if b < self.n_cols {
+                col_values[b] = self.rows[r][self.n_cols];
+            }
+        }
+        let mut values = vec![0.0; self.var_map.len()];
+        for (i, vm) in self.var_map.iter().enumerate() {
+            values[i] = match *vm {
+                VarMap::Fixed(v) => v,
+                VarMap::Shifted { col, shift } => shift + col_values[col],
+                VarMap::Mirrored { col, shift } => shift - col_values[col],
+                VarMap::Split { pos, neg } => col_values[pos] - col_values[neg],
+            };
+            if values[i].abs() < INT_EPS {
+                values[i] = 0.0;
+            }
+        }
+        let min_objective = self.objective_value(&cost) + self.cost_offset;
+        let objective = match sense {
+            ObjectiveSense::Minimize => min_objective,
+            ObjectiveSense::Maximize => -min_objective,
+        };
+        Ok(LpOutcome::Optimal(LpSolution { objective, values }))
+    }
+
+    /// Current objective value for a given cost vector (over basic columns).
+    fn objective_value(&self, cost: &[f64]) -> f64 {
+        self.basis
+            .iter()
+            .enumerate()
+            .map(|(r, &b)| if b < self.n_cols { cost[b] * self.rows[r][self.n_cols] } else { 0.0 })
+            .sum()
+    }
+
+    /// Primal simplex iterations for the given cost vector.
+    ///
+    /// During phase 2 (`allow_artificials == false`) artificial columns are
+    /// never chosen as entering variables.
+    fn optimize(&mut self, cost: &[f64], allow_artificials: bool) -> Result<PivotStatus, MilpError> {
+        let m = self.rows.len();
+        let max_iters = 200 * (m + self.n_cols) + 20_000;
+        let col_limit =
+            if allow_artificials { self.n_cols } else { self.first_artificial };
+
+        for iter in 0..max_iters {
+            // Reduced costs: r_j = c_j - c_B' B^-1 A_j.  With the tableau kept
+            // in canonical form, B^-1 A_j is just the current column j, and
+            // c_B' B^-1 A_j = sum over rows of c_basis[row] * rows[row][j].
+            let mut entering: Option<usize> = None;
+            let mut best = -1e-9;
+            let use_bland = iter > max_iters / 2;
+            for j in 0..col_limit {
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let mut zj = 0.0;
+                for r in 0..m {
+                    let b = self.basis[r];
+                    if b < self.n_cols && cost[b] != 0.0 {
+                        zj += cost[b] * self.rows[r][j];
+                    }
+                }
+                let reduced = cost[j] - zj;
+                if use_bland {
+                    if reduced < -1e-9 {
+                        entering = Some(j);
+                        break;
+                    }
+                } else if reduced < best - 1e-12 {
+                    best = reduced;
+                    entering = Some(j);
+                }
+            }
+            let Some(enter) = entering else {
+                return Ok(PivotStatus::Optimal);
+            };
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..m {
+                let a = self.rows[r][enter];
+                if a > EPS {
+                    let ratio = self.rows[r][self.n_cols] / a;
+                    if ratio < best_ratio - 1e-12
+                        || (ratio < best_ratio + 1e-12
+                            && leave.map_or(true, |lr| self.basis[r] < self.basis[lr]))
+                    {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(leave_row) = leave else {
+                return Ok(PivotStatus::Unbounded);
+            };
+            self.pivot(leave_row, enter);
+        }
+        Err(MilpError::IterationLimit)
+    }
+
+    /// Gauss-Jordan pivot on (row, col).
+    fn pivot(&mut self, row: usize, col: usize) {
+        let m = self.rows.len();
+        let pivot_val = self.rows[row][col];
+        debug_assert!(pivot_val.abs() > 1e-12, "pivot on a zero element");
+        let inv = 1.0 / pivot_val;
+        for x in self.rows[row].iter_mut() {
+            *x *= inv;
+        }
+        for r in 0..m {
+            if r == row {
+                continue;
+            }
+            let factor = self.rows[r][col];
+            if factor.abs() < 1e-13 {
+                continue;
+            }
+            for j in 0..=self.n_cols {
+                self.rows[r][j] -= factor * self.rows[row][j];
+            }
+            self.rows[r][col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PivotStatus {
+    Optimal,
+    Unbounded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, ObjectiveSense, Sense, VarType};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic, opt 36 at x=2,y=6)
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, f64::INFINITY, 5.0);
+        m.add_constraint("c1", [(x, 1.0)], Sense::Le, 4.0);
+        m.add_constraint("c2", [(y, 2.0)], Sense::Le, 12.0);
+        m.add_constraint("c3", [(x, 3.0), (y, 2.0)], Sense::Le, 18.0);
+        let sol = solve_lp(&m).unwrap().optimal().unwrap();
+        assert_close(sol.objective, 36.0);
+        assert_close(sol.values[x.index()], 2.0);
+        assert_close(sol.values[y.index()], 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3  (opt: x=7,y=3 -> 23)
+        let mut m = Model::new(ObjectiveSense::Minimize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY, 2.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, f64::INFINITY, 3.0);
+        m.add_constraint("sum", [(x, 1.0), (y, 1.0)], Sense::Ge, 10.0);
+        m.add_constraint("xmin", [(x, 1.0)], Sense::Ge, 2.0);
+        m.add_constraint("ymin", [(y, 1.0)], Sense::Ge, 3.0);
+        let sol = solve_lp(&m).unwrap().optimal().unwrap();
+        assert_close(sol.objective, 23.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + y = 5, x - y = 1  (x=3, y=2)
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, f64::INFINITY, 1.0);
+        m.add_constraint("sum", [(x, 1.0), (y, 1.0)], Sense::Eq, 5.0);
+        m.add_constraint("diff", [(x, 1.0), (y, -1.0)], Sense::Eq, 1.0);
+        let sol = solve_lp(&m).unwrap().optimal().unwrap();
+        assert_close(sol.objective, 5.0);
+        assert_close(sol.values[x.index()], 3.0);
+        assert_close(sol.values[y.index()], 2.0);
+    }
+
+    #[test]
+    fn variable_upper_bounds_are_respected() {
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 2.5, 1.0);
+        let y = m.add_var("y", VarType::Continuous, 1.0, 3.0, 1.0);
+        m.add_constraint("c", [(x, 1.0), (y, 1.0)], Sense::Le, 100.0);
+        let sol = solve_lp(&m).unwrap().optimal().unwrap();
+        assert_close(sol.objective, 5.5);
+        assert_close(sol.values[x.index()], 2.5);
+        assert_close(sol.values[y.index()], 3.0);
+    }
+
+    #[test]
+    fn nonzero_lower_bounds_shift_correctly() {
+        // min x + y with x >= 2, y >= 3, x + y >= 7
+        let mut m = Model::new(ObjectiveSense::Minimize);
+        let x = m.add_var("x", VarType::Continuous, 2.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", VarType::Continuous, 3.0, f64::INFINITY, 1.0);
+        m.add_constraint("c", [(x, 1.0), (y, 1.0)], Sense::Ge, 7.0);
+        let sol = solve_lp(&m).unwrap().optimal().unwrap();
+        assert_close(sol.objective, 7.0);
+    }
+
+    #[test]
+    fn free_variables_are_split() {
+        // min x s.t. x >= -5 is unbounded below without the constraint;
+        // with x free and x >= -5 via constraint: optimum -5.
+        let mut m = Model::new(ObjectiveSense::Minimize);
+        let x = m.add_var("x", VarType::Continuous, f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        m.add_constraint("lb", [(x, 1.0)], Sense::Ge, -5.0);
+        let sol = solve_lp(&m).unwrap().optimal().unwrap();
+        assert_close(sol.objective, -5.0);
+        assert_close(sol.values[x.index()], -5.0);
+    }
+
+    #[test]
+    fn mirrored_variable_only_upper_bound() {
+        // max x with x <= 9 and no lower bound, but constrained x >= 0 via row.
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, f64::NEG_INFINITY, 9.0, 1.0);
+        m.add_constraint("nonneg", [(x, 1.0)], Sense::Ge, 0.0);
+        let sol = solve_lp(&m).unwrap().optimal().unwrap();
+        assert_close(sol.objective, 9.0);
+    }
+
+    #[test]
+    fn fixed_variables_are_substituted() {
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 4.0, 4.0, 2.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 10.0, 1.0);
+        m.add_constraint("c", [(x, 1.0), (y, 1.0)], Sense::Le, 9.0);
+        let sol = solve_lp(&m).unwrap().optimal().unwrap();
+        assert_close(sol.values[x.index()], 4.0);
+        assert_close(sol.values[y.index()], 5.0);
+        assert_close(sol.objective, 13.0);
+    }
+
+    #[test]
+    fn infeasible_model_detected() {
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 10.0, 1.0);
+        m.add_constraint("a", [(x, 1.0)], Sense::Ge, 5.0);
+        m.add_constraint("b", [(x, 1.0)], Sense::Le, 3.0);
+        assert_eq!(solve_lp(&m).unwrap(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_model_detected() {
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, f64::INFINITY, 0.0);
+        m.add_constraint("c", [(x, 1.0), (y, -1.0)], Sense::Le, 1.0);
+        assert_eq!(solve_lp(&m).unwrap(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalised() {
+        // x - y <= -2  (i.e. y >= x + 2), maximise x with x,y <= 5.
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 5.0, 1.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 5.0, 0.0);
+        m.add_constraint("c", [(x, 1.0), (y, -1.0)], Sense::Le, -2.0);
+        let sol = solve_lp(&m).unwrap().optimal().unwrap();
+        assert_close(sol.objective, 3.0);
+    }
+
+    #[test]
+    fn bound_overrides_take_effect() {
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, 10.0, 1.0);
+        let sol = solve_lp_with_bounds(&m, &[(0.0, 4.0)]).unwrap().optimal().unwrap();
+        assert_close(sol.values[x.index()], 4.0);
+        // Contradictory override is infeasible.
+        assert_eq!(solve_lp_with_bounds(&m, &[(5.0, 4.0)]).unwrap_err(), MilpError::Infeasible);
+        // Wrong length is rejected.
+        assert!(solve_lp_with_bounds(&m, &[]).is_err());
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Many redundant constraints through the same vertex.
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, f64::INFINITY, 1.0);
+        for i in 0..10 {
+            m.add_constraint(format!("c{i}"), [(x, 1.0), (y, 1.0 + i as f64 * 1e-9)], Sense::Le, 4.0);
+        }
+        let sol = solve_lp(&m).unwrap().optimal().unwrap();
+        assert!((sol.objective - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn larger_random_like_problem_matches_known_optimum() {
+        // Transportation-style LP with known optimum: ship 20 units from two
+        // sources (capacities 15, 10) to two sinks (demands 12, 8), costs
+        // c11=1, c12=4, c21=2, c22=1 -> optimal cost 12*1 + 0*4 + 0*2 + 8*1 = 20.
+        let mut m = Model::new(ObjectiveSense::Minimize);
+        let x11 = m.add_var("x11", VarType::Continuous, 0.0, f64::INFINITY, 1.0);
+        let x12 = m.add_var("x12", VarType::Continuous, 0.0, f64::INFINITY, 4.0);
+        let x21 = m.add_var("x21", VarType::Continuous, 0.0, f64::INFINITY, 2.0);
+        let x22 = m.add_var("x22", VarType::Continuous, 0.0, f64::INFINITY, 1.0);
+        m.add_constraint("s1", [(x11, 1.0), (x12, 1.0)], Sense::Le, 15.0);
+        m.add_constraint("s2", [(x21, 1.0), (x22, 1.0)], Sense::Le, 10.0);
+        m.add_constraint("d1", [(x11, 1.0), (x21, 1.0)], Sense::Eq, 12.0);
+        m.add_constraint("d2", [(x12, 1.0), (x22, 1.0)], Sense::Eq, 8.0);
+        let sol = solve_lp(&m).unwrap().optimal().unwrap();
+        assert_close(sol.objective, 20.0);
+    }
+}

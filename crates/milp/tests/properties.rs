@@ -1,0 +1,115 @@
+//! Property-based tests for the LP and MILP solvers.
+
+use helix_milp::{solve_lp, MilpSolver, Model, ObjectiveSense, Sense, VarType};
+use proptest::prelude::*;
+
+/// Builds a random bounded knapsack-style MILP: maximize sum(v_i x_i) subject
+/// to sum(w_i x_i) <= cap with binary x.
+fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> Model {
+    let mut m = Model::new(ObjectiveSense::Maximize);
+    let vars: Vec<_> =
+        values.iter().enumerate().map(|(i, &v)| m.add_binary(format!("x{i}"), v)).collect();
+    let terms: Vec<_> = vars.iter().zip(weights).map(|(&x, &w)| (x, w)).collect();
+    m.add_constraint("cap", terms, Sense::Le, cap);
+    m
+}
+
+/// Brute-force optimum of a binary knapsack (for <= 12 items).
+fn brute_force(values: &[f64], weights: &[f64], cap: f64) -> f64 {
+    let n = values.len();
+    let mut best = 0.0f64;
+    for mask in 0u32..(1 << n) {
+        let mut w = 0.0;
+        let mut v = 0.0;
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                w += weights[i];
+                v += values[i];
+            }
+        }
+        if w <= cap + 1e-9 {
+            best = best.max(v);
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The MILP solver matches a brute-force search on small knapsacks.
+    #[test]
+    fn milp_matches_brute_force_knapsack(
+        values in prop::collection::vec(0.5f64..20.0, 1..9),
+        weights_seed in prop::collection::vec(0.5f64..10.0, 1..9),
+        cap_frac in 0.1f64..0.9,
+    ) {
+        let n = values.len().min(weights_seed.len());
+        let values = &values[..n];
+        let weights = &weights_seed[..n];
+        let cap = weights.iter().sum::<f64>() * cap_frac;
+        let m = knapsack(values, weights, cap);
+        let expected = brute_force(values, weights, cap);
+        let got = match MilpSolver::new().solve(&m) {
+            Ok(r) => r.objective,
+            Err(_) => 0.0, // empty knapsack (cap below every weight) may yield no incumbent > 0
+        };
+        prop_assert!((got - expected).abs() < 1e-5, "solver {got} vs brute force {expected}");
+    }
+
+    /// The LP relaxation is always an upper bound on the MILP optimum for
+    /// maximisation problems.
+    #[test]
+    fn lp_relaxation_bounds_milp(
+        values in prop::collection::vec(0.5f64..20.0, 2..8),
+        weights_seed in prop::collection::vec(0.5f64..10.0, 2..8),
+        cap_frac in 0.2f64..0.9,
+    ) {
+        let n = values.len().min(weights_seed.len());
+        let values = &values[..n];
+        let weights = &weights_seed[..n];
+        let cap = weights.iter().sum::<f64>() * cap_frac;
+        let m = knapsack(values, weights, cap);
+        let lp = solve_lp(&m).unwrap().optimal().unwrap();
+        if let Ok(milp) = MilpSolver::new().solve(&m) {
+            prop_assert!(milp.objective <= lp.objective + 1e-6);
+            prop_assert!(milp.objective <= milp.best_bound + 1e-6);
+            // Returned solution must actually be feasible and integral.
+            prop_assert!(m.is_feasible(&milp.values, 1e-5));
+        }
+    }
+
+    /// LP optimum of a box-constrained problem equals the greedy bound
+    /// (each variable at whichever bound its objective coefficient favours).
+    #[test]
+    fn lp_box_constrained_matches_analytic(
+        coeffs in prop::collection::vec(-10.0f64..10.0, 1..10),
+        uppers in prop::collection::vec(0.1f64..5.0, 1..10),
+    ) {
+        let n = coeffs.len().min(uppers.len());
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        for i in 0..n {
+            m.add_var(format!("x{i}"), VarType::Continuous, 0.0, uppers[i], coeffs[i]);
+        }
+        let expected: f64 = (0..n).map(|i| if coeffs[i] > 0.0 { coeffs[i] * uppers[i] } else { 0.0 }).sum();
+        let sol = solve_lp(&m).unwrap().optimal().unwrap();
+        prop_assert!((sol.objective - expected).abs() < 1e-6);
+    }
+
+    /// Adding a redundant constraint never changes the LP optimum.
+    #[test]
+    fn redundant_constraints_do_not_change_lp(
+        c1 in 1.0f64..10.0,
+        c2 in 1.0f64..10.0,
+        cap in 5.0f64..50.0,
+    ) {
+        let mut m = Model::new(ObjectiveSense::Maximize);
+        let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY, c1);
+        let y = m.add_var("y", VarType::Continuous, 0.0, f64::INFINITY, c2);
+        m.add_constraint("cap", [(x, 1.0), (y, 1.0)], Sense::Le, cap);
+        let base = solve_lp(&m).unwrap().optimal().unwrap().objective;
+        m.add_constraint("redundant", [(x, 1.0), (y, 1.0)], Sense::Le, cap * 2.0);
+        let with_redundant = solve_lp(&m).unwrap().optimal().unwrap().objective;
+        prop_assert!((base - with_redundant).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,117 @@
+//! Scaled virtual clock shared by every runtime thread.
+//!
+//! The runtime executes a *cost model* of GPU work rather than real kernels,
+//! so it can run faster than real time: one virtual second is mapped to
+//! `wall_per_virtual` wall-clock seconds (default 0.01, i.e. a 100× speed-up).
+//! All latencies and throughputs reported by the runtime are in virtual
+//! seconds, which makes them directly comparable with the discrete-event
+//! simulator and with the paper's numbers.
+
+use std::time::{Duration, Instant};
+
+/// A shared, monotonically increasing virtual clock.
+///
+/// # Example
+///
+/// ```rust
+/// use helix_runtime::VirtualClock;
+///
+/// let clock = VirtualClock::new(0.001); // 1 virtual second = 1 ms of wall time
+/// let start = clock.now();
+/// clock.sleep(0.5);
+/// assert!(clock.now() - start >= 0.5);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct VirtualClock {
+    start: Instant,
+    wall_per_virtual: f64,
+}
+
+impl VirtualClock {
+    /// Creates a clock mapping one virtual second to `wall_per_virtual`
+    /// wall-clock seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wall_per_virtual` is not strictly positive and finite.
+    pub fn new(wall_per_virtual: f64) -> Self {
+        assert!(
+            wall_per_virtual.is_finite() && wall_per_virtual > 0.0,
+            "wall_per_virtual must be positive and finite, got {wall_per_virtual}"
+        );
+        VirtualClock { start: Instant::now(), wall_per_virtual }
+    }
+
+    /// The wall-clock seconds corresponding to one virtual second.
+    pub fn wall_per_virtual(&self) -> f64 {
+        self.wall_per_virtual
+    }
+
+    /// Virtual seconds elapsed since the clock was created.
+    pub fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() / self.wall_per_virtual
+    }
+
+    /// Wall-clock seconds elapsed since the clock was created.
+    pub fn wall_elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Blocks the calling thread for `virtual_secs` of virtual time.
+    ///
+    /// Negative or non-finite durations are treated as zero.
+    pub fn sleep(&self, virtual_secs: f64) {
+        if virtual_secs.is_finite() && virtual_secs > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(virtual_secs * self.wall_per_virtual));
+        }
+    }
+
+    /// The wall-clock duration corresponding to `virtual_secs`, for use as a
+    /// channel receive timeout.  Clamped below at one microsecond so timeouts
+    /// always make progress.
+    pub fn wall_duration(&self, virtual_secs: f64) -> Duration {
+        if !virtual_secs.is_finite() || virtual_secs <= 0.0 {
+            return Duration::from_micros(1);
+        }
+        Duration::from_secs_f64((virtual_secs * self.wall_per_virtual).max(1e-6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_time_advances_faster_than_wall_time() {
+        let clock = VirtualClock::new(0.001);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(clock.now() >= 4.0, "5 ms of wall time is at least 4 virtual seconds");
+        assert!(clock.wall_elapsed() >= Duration::from_millis(5));
+        assert_eq!(clock.wall_per_virtual(), 0.001);
+    }
+
+    #[test]
+    fn sleep_respects_the_scale() {
+        let clock = VirtualClock::new(0.0005);
+        let before = Instant::now();
+        clock.sleep(10.0); // 5 ms of wall time
+        let elapsed = before.elapsed();
+        assert!(elapsed >= Duration::from_millis(4));
+        assert!(elapsed < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn degenerate_sleeps_and_timeouts_are_safe() {
+        let clock = VirtualClock::new(0.01);
+        clock.sleep(-1.0);
+        clock.sleep(f64::NAN);
+        assert!(clock.wall_duration(-5.0) >= Duration::from_micros(1));
+        assert!(clock.wall_duration(1.0) >= Duration::from_millis(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "wall_per_virtual")]
+    fn zero_scale_is_rejected() {
+        let _ = VirtualClock::new(0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! The coordinator: request admission, per-request pipeline scheduling and
+//! lifecycle tracking.
+//!
+//! This is the runtime counterpart of the coordinator in the paper's Fig. 3:
+//! when a request arrives it asks the configured [`Scheduler`] for a
+//! per-request pipeline, sends the request to the pipeline's first node, and
+//! when the last node reports a finished iteration it either launches the
+//! next decode iteration on the *same* pipeline or completes the request and
+//! releases its KV cache everywhere (§5.1–§5.2).
+
+use crate::clock::VirtualClock;
+use crate::error::RuntimeError;
+use crate::message::{Envelope, Phase, RuntimeMsg, StageWork};
+use crate::metrics::RequestOutcome;
+use crate::worker::SharedWorkerStats;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use helix_cluster::{NodeId, TOKEN_WIRE_BYTES};
+use helix_core::{ClusterState, HelixError, KvCacheEstimator, RequestPipeline, Scheduler};
+use helix_workload::{Request, RequestId, Workload};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything the coordinator needs to run.
+pub(crate) struct CoordinatorSpec {
+    /// The scheduling policy (Helix IWRR or one of the baselines).
+    pub scheduler: Box<dyn Scheduler>,
+    /// KV-cache usage estimator consulted during scheduling (§5.2).
+    pub estimator: KvCacheEstimator,
+    /// Shared virtual clock.
+    pub clock: VirtualClock,
+    /// Messages arriving from workers through the fabric.
+    pub inbound: Receiver<RuntimeMsg>,
+    /// Outgoing messages into the fabric.
+    pub fabric: Sender<Envelope>,
+    /// Live statistics shared by every worker.
+    pub worker_stats: HashMap<NodeId, SharedWorkerStats>,
+    /// Wall-clock budget for the whole run.
+    pub max_wall: Duration,
+}
+
+/// The coordinator's runtime view of the cluster, used by schedulers.
+///
+/// Queue lengths and recent throughput come from the workers' shared
+/// statistics (the runtime equivalent of the paper's runtime monitoring);
+/// KV usage comes from the coordinator-side estimator, exactly as in §5.2.
+struct CoordinatorView<'a> {
+    estimator: &'a KvCacheEstimator,
+    worker_stats: &'a HashMap<NodeId, SharedWorkerStats>,
+}
+
+impl ClusterState for CoordinatorView<'_> {
+    fn queue_len(&self, node: NodeId) -> usize {
+        self.worker_stats.get(&node).map(|s| s.lock().queue_len).unwrap_or(0)
+    }
+
+    fn recent_throughput(&self, node: NodeId) -> f64 {
+        self.worker_stats.get(&node).map(|s| s.lock().recent_throughput).unwrap_or(0.0)
+    }
+
+    fn kv_used_tokens(&self, node: NodeId) -> f64 {
+        self.estimator.estimated_tokens(node)
+    }
+
+    fn kv_capacity_tokens(&self, node: NodeId) -> f64 {
+        self.estimator.capacity_tokens(node)
+    }
+}
+
+/// The in-flight state of one admitted request.
+struct InFlight {
+    request: Request,
+    pipeline: Arc<RequestPipeline>,
+    first_token_at: Option<f64>,
+    decode_remaining: usize,
+}
+
+pub(crate) struct Coordinator {
+    scheduler: Box<dyn Scheduler>,
+    estimator: KvCacheEstimator,
+    clock: VirtualClock,
+    inbound: Receiver<RuntimeMsg>,
+    fabric: Sender<Envelope>,
+    worker_stats: HashMap<NodeId, SharedWorkerStats>,
+    max_wall: Duration,
+    in_flight: HashMap<RequestId, InFlight>,
+    outcomes: Vec<RequestOutcome>,
+}
+
+impl Coordinator {
+    pub(crate) fn new(spec: CoordinatorSpec) -> Self {
+        Coordinator {
+            scheduler: spec.scheduler,
+            estimator: spec.estimator,
+            clock: spec.clock,
+            inbound: spec.inbound,
+            fabric: spec.fabric,
+            worker_stats: spec.worker_stats,
+            max_wall: spec.max_wall,
+            in_flight: HashMap::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Serves the whole workload, returning one outcome per request in
+    /// completion order.
+    pub(crate) fn run(&mut self, workload: &Workload) -> Result<Vec<RequestOutcome>, RuntimeError> {
+        let requests: Vec<Request> = workload.requests().to_vec();
+        let total = requests.len();
+        let mut next_arrival = 0usize;
+        let mut deferred: VecDeque<Request> = VecDeque::new();
+
+        while self.outcomes.len() < total {
+            if self.clock.wall_elapsed() > self.max_wall {
+                return Err(RuntimeError::WallClockBudgetExceeded {
+                    budget: self.max_wall,
+                    completed: self.outcomes.len(),
+                    total,
+                });
+            }
+
+            // Admit every request whose arrival time has passed.
+            let now = self.clock.now();
+            while next_arrival < total && requests[next_arrival].arrival_time <= now {
+                let request = requests[next_arrival];
+                next_arrival += 1;
+                if !self.try_dispatch(request)? {
+                    deferred.push_back(request);
+                }
+            }
+            // Retry requests that could not be scheduled earlier (all
+            // candidates masked by the KV high-water mark).
+            for _ in 0..deferred.len() {
+                let request = deferred.pop_front().expect("bounded by len");
+                if !self.try_dispatch(request)? {
+                    deferred.push_back(request);
+                }
+            }
+            if !deferred.is_empty() && self.in_flight.is_empty() {
+                return Err(RuntimeError::Stalled {
+                    pending: deferred.len() + (total - next_arrival),
+                    completed: self.outcomes.len(),
+                });
+            }
+
+            // Wait for worker events, but wake up in time for the next arrival.
+            let timeout = if next_arrival < total {
+                let until_arrival = requests[next_arrival].arrival_time - self.clock.now();
+                self.clock.wall_duration(until_arrival.clamp(0.0, 1.0))
+            } else {
+                Duration::from_millis(10)
+            };
+            match self.inbound.recv_timeout(timeout) {
+                Ok(msg) => self.handle(msg)?,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(RuntimeError::Disconnected("network fabric"));
+                }
+            }
+            while let Ok(msg) = self.inbound.try_recv() {
+                self.handle(msg)?;
+            }
+        }
+        Ok(std::mem::take(&mut self.outcomes))
+    }
+
+    /// Tries to admit one request.  Returns `Ok(false)` if every candidate is
+    /// currently masked out and the request should be retried later.
+    fn try_dispatch(&mut self, request: Request) -> Result<bool, RuntimeError> {
+        let view =
+            CoordinatorView { estimator: &self.estimator, worker_stats: &self.worker_stats };
+        let pipeline = match self.scheduler.schedule(&view) {
+            Ok(pipeline) => Arc::new(pipeline),
+            Err(HelixError::NoCandidateAvailable { .. }) => return Ok(false),
+            Err(e) => return Err(e.into()),
+        };
+        for stage in &pipeline.stages {
+            self.estimator.on_scheduled(stage.node, request.id, request.prompt_tokens);
+        }
+        let first = pipeline.stages[0].node;
+        self.send(Envelope {
+            from: None,
+            to: Some(first),
+            bytes: TOKEN_WIRE_BYTES * request.prompt_tokens.max(1) as f64,
+            msg: RuntimeMsg::Work(StageWork {
+                request: request.id,
+                phase: Phase::Prompt,
+                tokens: request.prompt_tokens.max(1),
+                stage_index: 0,
+                pipeline: Arc::clone(&pipeline),
+            }),
+        })?;
+        self.in_flight.insert(
+            request.id,
+            InFlight { request, pipeline, first_token_at: None, decode_remaining: 0 },
+        );
+        Ok(true)
+    }
+
+    fn handle(&mut self, msg: RuntimeMsg) -> Result<(), RuntimeError> {
+        let RuntimeMsg::IterationDone { request, phase, emitted_at } = msg else {
+            // Work/Release/Shutdown are worker-bound; nothing to do here.
+            return Ok(());
+        };
+        let Some(flight) = self.in_flight.get_mut(&request) else {
+            return Ok(());
+        };
+        let finished = match phase {
+            Phase::Prompt => {
+                flight.first_token_at = Some(emitted_at);
+                flight.decode_remaining = flight.request.output_tokens.saturating_sub(1);
+                flight.decode_remaining == 0
+            }
+            Phase::Decode => {
+                flight.decode_remaining = flight.decode_remaining.saturating_sub(1);
+                flight.decode_remaining == 0
+            }
+        };
+        if finished {
+            self.finish(request, emitted_at)
+        } else {
+            let pipeline = Arc::clone(&flight.pipeline);
+            let first = pipeline.stages[0].node;
+            self.send(Envelope {
+                from: None,
+                to: Some(first),
+                bytes: TOKEN_WIRE_BYTES,
+                msg: RuntimeMsg::Work(StageWork {
+                    request,
+                    phase: Phase::Decode,
+                    tokens: 1,
+                    stage_index: 0,
+                    pipeline,
+                }),
+            })
+        }
+    }
+
+    /// Completes a request: records its outcome, updates the estimator and
+    /// frees its KV pages on every node of its pipeline.
+    fn finish(&mut self, request: RequestId, completed_at: f64) -> Result<(), RuntimeError> {
+        let Some(flight) = self.in_flight.remove(&request) else {
+            return Ok(());
+        };
+        for stage in &flight.pipeline.stages {
+            self.estimator.on_finished(stage.node, request, flight.request.output_tokens);
+        }
+        for stage in &flight.pipeline.stages {
+            self.send(Envelope {
+                from: None,
+                to: Some(stage.node),
+                bytes: TOKEN_WIRE_BYTES,
+                msg: RuntimeMsg::Release(request),
+            })?;
+        }
+        self.outcomes.push(RequestOutcome {
+            id: request,
+            prompt_tokens: flight.request.prompt_tokens,
+            output_tokens: flight.request.output_tokens,
+            arrival: flight.request.arrival_time,
+            first_token_at: flight.first_token_at.unwrap_or(completed_at),
+            completed_at,
+            pipeline_depth: flight.pipeline.stages.len(),
+        });
+        Ok(())
+    }
+
+    fn send(&self, envelope: Envelope) -> Result<(), RuntimeError> {
+        self.fabric.send(envelope).map_err(|_| RuntimeError::Disconnected("network fabric"))
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type of the prototype runtime.
+
+use helix_core::HelixError;
+use std::fmt;
+use std::time::Duration;
+
+/// Errors produced while constructing or running the serving runtime.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Placement validation or request scheduling failed.
+    Scheduling(HelixError),
+    /// The run exceeded its wall-clock budget before every request completed.
+    WallClockBudgetExceeded {
+        /// The configured budget.
+        budget: Duration,
+        /// Requests completed before the budget ran out.
+        completed: usize,
+        /// Requests in the workload.
+        total: usize,
+    },
+    /// No request can make progress: scheduling keeps failing while nothing
+    /// is in flight (for example, every entry node's KV pool is too small for
+    /// any request).
+    Stalled {
+        /// Requests waiting to be scheduled.
+        pending: usize,
+        /// Requests completed so far.
+        completed: usize,
+    },
+    /// A runtime thread or channel disappeared unexpectedly.
+    Disconnected(&'static str),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Scheduling(e) => write!(f, "scheduling error: {e}"),
+            RuntimeError::WallClockBudgetExceeded { budget, completed, total } => write!(
+                f,
+                "wall-clock budget of {budget:?} exceeded after completing {completed}/{total} requests"
+            ),
+            RuntimeError::Stalled { pending, completed } => write!(
+                f,
+                "serving stalled: {pending} requests cannot be scheduled and nothing is in flight ({completed} completed)"
+            ),
+            RuntimeError::Disconnected(what) => {
+                write!(f, "runtime component disconnected unexpectedly: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Scheduling(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HelixError> for RuntimeError {
+    fn from(e: HelixError) -> Self {
+        RuntimeError::Scheduling(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_failure() {
+        let e = RuntimeError::WallClockBudgetExceeded {
+            budget: Duration::from_secs(5),
+            completed: 3,
+            total: 10,
+        };
+        assert!(e.to_string().contains("3/10"));
+        let e = RuntimeError::Stalled { pending: 2, completed: 0 };
+        assert!(e.to_string().contains("stalled"));
+        let e = RuntimeError::Disconnected("network fabric");
+        assert!(e.to_string().contains("network fabric"));
+        let e: RuntimeError = HelixError::NoCompletePipeline.into();
+        assert!(matches!(e, RuntimeError::Scheduling(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

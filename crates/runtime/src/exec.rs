@@ -1,0 +1,138 @@
+//! Pluggable execution models: how long a batch takes on a worker.
+//!
+//! The paper's prototype executes real transformer layers through vLLM; this
+//! runtime replaces the GPU kernels with a calibrated cost model (the same
+//! substitution the paper's own simulator makes, §6.1) while keeping the rest
+//! of the system — threads, queues, messages, batching, KV paging — real.
+//! The model is a trait so tests can plug in an instantaneous executor and
+//! future work can plug in real kernels.
+
+use crate::message::{Phase, StageWork};
+use helix_cluster::NodeProfile;
+
+/// Fixed per-batch overhead in seconds (kernel launch, batch assembly).
+pub const BATCH_OVERHEAD_SECS: f64 = 0.015;
+
+/// Slow-down factor applied to a batch when the KV pool has to spill to host
+/// memory (paper §5.2: exceeding the KV budget "significantly harms
+/// throughput").
+pub const KV_OVERFLOW_PENALTY: f64 = 8.0;
+
+/// Computes how long (in virtual seconds) a dynamic batch takes on a node.
+pub trait ExecutionModel: Send {
+    /// Duration of one batch of work items executing on this node.
+    fn batch_duration(&self, items: &[StageWork]) -> f64;
+}
+
+/// Roofline-style cost model derived from a node's analytic profile: prompt
+/// tokens are compute-bound and cheap per token, decode tokens are
+/// memory-bound and expensive, and cost scales with the number of layers the
+/// stage computes.
+#[derive(Debug, Clone)]
+pub struct AnalyticExecution {
+    prompt_secs_per_token_layer: f64,
+    decode_secs_per_token_layer: f64,
+    batch_overhead_secs: f64,
+}
+
+impl AnalyticExecution {
+    /// Builds the cost model for a node from its profile.
+    pub fn new(profile: &NodeProfile) -> Self {
+        AnalyticExecution {
+            prompt_secs_per_token_layer: 1.0 / profile.prompt_tokens_per_layer_sec.max(1e-9),
+            decode_secs_per_token_layer: 1.0 / profile.decode_tokens_per_layer_sec.max(1e-9),
+            batch_overhead_secs: BATCH_OVERHEAD_SECS,
+        }
+    }
+
+    /// Overrides the per-batch overhead (useful to study batching efficiency).
+    pub fn with_batch_overhead(mut self, secs: f64) -> Self {
+        self.batch_overhead_secs = secs.max(0.0);
+        self
+    }
+}
+
+impl ExecutionModel for AnalyticExecution {
+    fn batch_duration(&self, items: &[StageWork]) -> f64 {
+        if items.is_empty() {
+            return 0.0;
+        }
+        let mut duration = self.batch_overhead_secs;
+        for item in items {
+            let per_token_layer = match item.phase {
+                Phase::Prompt => self.prompt_secs_per_token_layer,
+                Phase::Decode => self.decode_secs_per_token_layer,
+            };
+            let layers = item.pipeline.stages[item.stage_index].layers.len();
+            duration += item.tokens as f64 * layers as f64 * per_token_layer;
+        }
+        duration
+    }
+}
+
+/// An execution model in which every batch completes instantly.  Useful for
+/// functional tests that exercise message routing, KV accounting and request
+/// lifecycle without waiting on the cost model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InstantExecution;
+
+impl ExecutionModel for InstantExecution {
+    fn batch_duration(&self, _items: &[StageWork]) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig, NodeId};
+    use helix_core::{LayerRange, PipelineStage, RequestPipeline};
+    use std::sync::Arc;
+
+    fn work(phase: Phase, tokens: usize, layers: usize) -> StageWork {
+        StageWork {
+            request: 1,
+            phase,
+            tokens,
+            stage_index: 0,
+            pipeline: Arc::new(RequestPipeline {
+                stages: vec![PipelineStage { node: NodeId(0), layers: LayerRange::new(0, layers) }],
+            }),
+        }
+    }
+
+    fn model() -> AnalyticExecution {
+        let profile = ClusterProfile::analytic(
+            ClusterSpec::solver_quality_10(),
+            ModelConfig::llama_30b(),
+        );
+        AnalyticExecution::new(profile.node_profile(NodeId(0)))
+    }
+
+    #[test]
+    fn decode_tokens_cost_more_than_prompt_tokens() {
+        let exec = model();
+        let prompt = exec.batch_duration(&[work(Phase::Prompt, 100, 8)]);
+        let decode = exec.batch_duration(&[work(Phase::Decode, 100, 8)]);
+        assert!(decode > prompt);
+    }
+
+    #[test]
+    fn duration_scales_with_layers_and_batch_overhead_applies_once() {
+        let exec = model().with_batch_overhead(0.5);
+        let shallow = exec.batch_duration(&[work(Phase::Decode, 1, 2)]);
+        let deep = exec.batch_duration(&[work(Phase::Decode, 1, 8)]);
+        assert!(deep > shallow);
+        let batched =
+            exec.batch_duration(&[work(Phase::Decode, 1, 2), work(Phase::Decode, 1, 2)]);
+        let two_batches = 2.0 * shallow;
+        assert!(batched < two_batches, "batching amortises the fixed overhead");
+        assert_eq!(exec.batch_duration(&[]), 0.0);
+    }
+
+    #[test]
+    fn instant_execution_is_free() {
+        let exec = InstantExecution;
+        assert_eq!(exec.batch_duration(&[work(Phase::Prompt, 1000, 10)]), 0.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! The network fabric: delivers messages between the coordinator and the
+//! workers with per-link bandwidth, latency and FIFO queueing.
+//!
+//! The paper's prototype ships tensors over ZeroMQ across real datacenter
+//! links; here a dedicated fabric thread models each directed link as a
+//! serial resource (messages queue behind each other at the link's bandwidth)
+//! plus a propagation latency, using the same per-link numbers the planner
+//! sees through [`ClusterProfile::link_profile`].  Congestion on slow
+//! inter-region links — the effect behind the paper's Fig. 10b case study —
+//! emerges naturally from this model.
+
+use crate::clock::VirtualClock;
+use crate::message::{Envelope, RuntimeMsg};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use helix_cluster::{ClusterProfile, NodeId};
+use parking_lot::Mutex;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A directed link endpoint pair; `None` denotes the coordinator.
+pub type LinkKey = (Option<NodeId>, Option<NodeId>);
+
+/// Traffic observed on one directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkTraffic {
+    /// Messages delivered over the link.
+    pub messages: u64,
+    /// Total payload bytes delivered.
+    pub bytes: f64,
+    /// Sum of per-message queueing delays (seconds spent waiting for the link
+    /// to become free, excluding transmission and propagation time).
+    pub total_queue_delay: f64,
+    /// Largest queueing delay observed for a single message.
+    pub max_queue_delay: f64,
+}
+
+impl LinkTraffic {
+    /// Mean queueing delay per message.
+    pub fn mean_queue_delay(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.total_queue_delay / self.messages as f64
+        }
+    }
+}
+
+/// Shared, thread-safe view of per-link traffic counters.
+pub type LinkTrafficMap = Arc<Mutex<HashMap<LinkKey, LinkTraffic>>>;
+
+/// A message waiting in the fabric for its delivery time.
+#[derive(Debug)]
+struct Delivery {
+    deliver_at: f64,
+    seq: u64,
+    envelope: Envelope,
+}
+
+impl PartialEq for Delivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for Delivery {}
+
+impl PartialOrd for Delivery {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Delivery {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest delivery pops first.
+        other
+            .deliver_at
+            .partial_cmp(&self.deliver_at)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Everything the fabric thread needs to route messages.
+pub(crate) struct FabricSpec {
+    /// Profile supplying per-link bandwidth and latency.
+    pub profile: Arc<ClusterProfile>,
+    /// Shared virtual clock.
+    pub clock: VirtualClock,
+    /// Delivery channel per worker.
+    pub worker_txs: HashMap<NodeId, Sender<RuntimeMsg>>,
+    /// Delivery channel of the coordinator.
+    pub coordinator_tx: Sender<RuntimeMsg>,
+}
+
+/// Spawns the fabric thread.  Returns the ingress sender (clone one per
+/// producer), the shared traffic counters and the join handle.
+pub(crate) fn spawn_fabric(
+    spec: FabricSpec,
+    ingress: Receiver<Envelope>,
+) -> (LinkTrafficMap, JoinHandle<()>) {
+    let traffic: LinkTrafficMap = Arc::new(Mutex::new(HashMap::new()));
+    let shared = Arc::clone(&traffic);
+    let handle = std::thread::Builder::new()
+        .name("helix-fabric".to_string())
+        .spawn(move || run_fabric(spec, ingress, shared))
+        .expect("spawning the fabric thread never fails");
+    (traffic, handle)
+}
+
+fn run_fabric(spec: FabricSpec, ingress: Receiver<Envelope>, traffic: LinkTrafficMap) {
+    let FabricSpec { profile, clock, worker_txs, coordinator_tx } = spec;
+    let mut heap: BinaryHeap<Delivery> = BinaryHeap::new();
+    let mut link_free: HashMap<LinkKey, f64> = HashMap::new();
+    let mut seq: u64 = 0;
+    let mut closed = false;
+
+    loop {
+        // Deliver everything that is due.
+        let now = clock.now();
+        while heap.peek().map(|d| d.deliver_at <= now).unwrap_or(false) {
+            let delivery = heap.pop().expect("peeked entry exists");
+            route(&delivery.envelope, &worker_txs, &coordinator_tx);
+        }
+        if closed && heap.is_empty() {
+            break;
+        }
+
+        // Wait for the next arrival or the next due delivery, whichever is
+        // sooner.
+        let timeout = heap
+            .peek()
+            .map(|d| clock.wall_duration(d.deliver_at - clock.now()))
+            .unwrap_or(Duration::from_millis(5));
+        if closed {
+            std::thread::sleep(timeout);
+            continue;
+        }
+        match ingress.recv_timeout(timeout) {
+            Ok(envelope) => {
+                seq += 1;
+                let delivery = schedule(envelope, seq, &profile, &clock, &mut link_free, &traffic);
+                heap.push(delivery);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => closed = true,
+        }
+    }
+}
+
+/// Computes the delivery time of an envelope over its link and records the
+/// traffic counters.
+fn schedule(
+    envelope: Envelope,
+    seq: u64,
+    profile: &ClusterProfile,
+    clock: &VirtualClock,
+    link_free: &mut HashMap<LinkKey, f64>,
+    traffic: &LinkTrafficMap,
+) -> Delivery {
+    let key = (envelope.from, envelope.to);
+    let link = profile.link_profile(envelope.from, envelope.to).link;
+    let bandwidth = link.bandwidth_bytes_per_sec().max(1.0);
+    let latency = (link.latency_ms / 1000.0).max(0.0);
+
+    let now = clock.now();
+    let next_free = link_free.entry(key).or_insert(0.0);
+    let start = now.max(*next_free);
+    let transmit = envelope.bytes.max(0.0) / bandwidth;
+    *next_free = start + transmit;
+    let deliver_at = start + transmit + latency;
+    let queue_delay = start - now;
+
+    let mut map = traffic.lock();
+    let entry = map.entry(key).or_default();
+    entry.messages += 1;
+    entry.bytes += envelope.bytes.max(0.0);
+    entry.total_queue_delay += queue_delay;
+    entry.max_queue_delay = entry.max_queue_delay.max(queue_delay);
+
+    Delivery { deliver_at, seq, envelope }
+}
+
+fn route(
+    envelope: &Envelope,
+    worker_txs: &HashMap<NodeId, Sender<RuntimeMsg>>,
+    coordinator_tx: &Sender<RuntimeMsg>,
+) {
+    // A receiver that has already shut down simply drops the message; the
+    // coordinator only exits once every request has completed, so nothing the
+    // report depends on can be lost this way.
+    match envelope.to {
+        Some(node) => {
+            if let Some(tx) = worker_txs.get(&node) {
+                let _ = tx.send(envelope.msg.clone());
+            }
+        }
+        None => {
+            let _ = coordinator_tx.send(envelope.msg.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Phase;
+    use crossbeam::channel::unbounded;
+    use helix_cluster::{ClusterSpec, ModelConfig};
+
+    fn setup() -> (Arc<ClusterProfile>, VirtualClock) {
+        let profile = Arc::new(ClusterProfile::analytic(
+            ClusterSpec::solver_quality_10(),
+            ModelConfig::llama_30b(),
+        ));
+        (profile, VirtualClock::new(0.0005))
+    }
+
+    fn iteration_done(from: Option<NodeId>, to: Option<NodeId>, bytes: f64) -> Envelope {
+        Envelope {
+            from,
+            to,
+            bytes,
+            msg: RuntimeMsg::IterationDone { request: 1, phase: Phase::Decode, emitted_at: 0.0 },
+        }
+    }
+
+    #[test]
+    fn messages_reach_their_destination_with_traffic_accounting() {
+        let (profile, clock) = setup();
+        let (worker_tx, worker_rx) = unbounded();
+        let (coord_tx, coord_rx) = unbounded();
+        let (ingress_tx, ingress_rx) = unbounded();
+        let spec = FabricSpec {
+            profile,
+            clock,
+            worker_txs: HashMap::from([(NodeId(0), worker_tx)]),
+            coordinator_tx: coord_tx,
+        };
+        let (traffic, handle) = spawn_fabric(spec, ingress_rx);
+
+        ingress_tx.send(iteration_done(None, Some(NodeId(0)), 4.0)).unwrap();
+        ingress_tx.send(iteration_done(Some(NodeId(0)), None, 4.0)).unwrap();
+
+        let to_worker = worker_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(to_worker, RuntimeMsg::IterationDone { request: 1, .. }));
+        let to_coord = coord_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(to_coord, RuntimeMsg::IterationDone { request: 1, .. }));
+
+        drop(ingress_tx);
+        handle.join().unwrap();
+
+        let map = traffic.lock();
+        assert_eq!(map.len(), 2);
+        let entry = map.get(&(None, Some(NodeId(0)))).unwrap();
+        assert_eq!(entry.messages, 1);
+        assert!((entry.bytes - 4.0).abs() < 1e-9);
+        assert_eq!(entry.mean_queue_delay(), entry.total_queue_delay);
+    }
+
+    #[test]
+    fn large_transfers_queue_behind_each_other() {
+        let (profile, clock) = setup();
+        let (worker_tx, worker_rx) = unbounded();
+        let (coord_tx, _coord_rx) = unbounded();
+        let (ingress_tx, ingress_rx) = unbounded();
+        let spec = FabricSpec {
+            profile: Arc::clone(&profile),
+            clock,
+            worker_txs: HashMap::from([(NodeId(1), worker_tx)]),
+            coordinator_tx: coord_tx,
+        };
+        let (traffic, handle) = spawn_fabric(spec, ingress_rx);
+
+        // Two transfers sized to take a noticeable fraction of a virtual
+        // second each on this link; the second must queue behind the first.
+        let link = profile.link_profile(Some(NodeId(0)), Some(NodeId(1))).link;
+        let bytes = link.bandwidth_bytes_per_sec() * 0.2;
+        for _ in 0..2 {
+            ingress_tx.send(iteration_done(Some(NodeId(0)), Some(NodeId(1)), bytes)).unwrap();
+        }
+        for _ in 0..2 {
+            worker_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        drop(ingress_tx);
+        handle.join().unwrap();
+
+        let map = traffic.lock();
+        let entry = map.get(&(Some(NodeId(0)), Some(NodeId(1)))).unwrap();
+        assert_eq!(entry.messages, 2);
+        assert!(
+            entry.max_queue_delay > 0.05,
+            "second transfer should have queued, max delay {}",
+            entry.max_queue_delay
+        );
+    }
+
+    #[test]
+    fn earliest_delivery_pops_first() {
+        let mk = |deliver_at: f64, seq: u64| Delivery {
+            deliver_at,
+            seq,
+            envelope: iteration_done(None, None, 0.0),
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(mk(5.0, 1));
+        heap.push(mk(1.0, 2));
+        heap.push(mk(3.0, 3));
+        let order: Vec<f64> = std::iter::from_fn(|| heap.pop().map(|d| d.deliver_at)).collect();
+        assert_eq!(order, vec![1.0, 3.0, 5.0]);
+    }
+}

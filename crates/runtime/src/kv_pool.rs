@@ -1,0 +1,256 @@
+//! Paged KV-cache pool, the runtime's stand-in for vLLM's PagedAttention
+//! block manager.
+//!
+//! The paper's prototype builds a unified page pool on top of vLLM 0.4.0 so
+//! that partial inference can share one pool across layer ranges (§6.1).
+//! This module reproduces that allocator: KV memory is carved into
+//! fixed-size pages of `tokens_per_page` tokens, a request allocates pages
+//! lazily as its sequence grows, and all pages are returned when the request
+//! finishes.  The scheduler-side *estimate* of usage lives in
+//! [`helix_core::KvCacheEstimator`]; this pool is the ground truth the worker
+//! actually enforces.
+
+use helix_workload::RequestId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Number of tokens per KV page used by vLLM's default configuration.
+pub const DEFAULT_TOKENS_PER_PAGE: usize = 16;
+
+/// Error returned when a pool cannot satisfy an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvPoolError {
+    /// The pool does not have enough free pages for the allocation.
+    OutOfPages {
+        /// Pages the allocation needed.
+        requested: usize,
+        /// Pages currently free.
+        available: usize,
+    },
+}
+
+impl fmt::Display for KvPoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvPoolError::OutOfPages { requested, available } => write!(
+                f,
+                "kv pool exhausted: allocation needs {requested} pages but only {available} are free"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KvPoolError {}
+
+/// Pages and tokens held by one request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Allocation {
+    pages: usize,
+    tokens: usize,
+}
+
+/// A fixed-capacity paged KV-cache pool for one compute node.
+///
+/// # Example
+///
+/// ```rust
+/// use helix_runtime::PagedKvPool;
+///
+/// let mut pool = PagedKvPool::new(1024.0, 16);
+/// pool.append_tokens(1, 100).unwrap();
+/// assert_eq!(pool.used_pages(), 7); // ceil(100 / 16)
+/// pool.release(1);
+/// assert_eq!(pool.used_tokens(), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PagedKvPool {
+    tokens_per_page: usize,
+    total_pages: usize,
+    free_pages: usize,
+    allocations: HashMap<RequestId, Allocation>,
+    /// Highest utilisation (used pages / total pages) observed so far.
+    peak_utilization: f64,
+    /// Number of allocations rejected for lack of pages.
+    rejections: u64,
+}
+
+impl PagedKvPool {
+    /// Creates a pool holding `capacity_tokens` tokens split into pages of
+    /// `tokens_per_page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens_per_page` is zero or `capacity_tokens` is negative
+    /// or NaN.
+    pub fn new(capacity_tokens: f64, tokens_per_page: usize) -> Self {
+        assert!(tokens_per_page > 0, "tokens_per_page must be positive");
+        assert!(
+            capacity_tokens.is_finite() && capacity_tokens >= 0.0,
+            "capacity_tokens must be non-negative, got {capacity_tokens}"
+        );
+        let total_pages = (capacity_tokens / tokens_per_page as f64).floor() as usize;
+        PagedKvPool {
+            tokens_per_page,
+            total_pages,
+            free_pages: total_pages,
+            allocations: HashMap::new(),
+            peak_utilization: 0.0,
+            rejections: 0,
+        }
+    }
+
+    /// Number of tokens per page.
+    pub fn tokens_per_page(&self) -> usize {
+        self.tokens_per_page
+    }
+
+    /// Total pool capacity in pages.
+    pub fn total_pages(&self) -> usize {
+        self.total_pages
+    }
+
+    /// Total pool capacity in tokens.
+    pub fn capacity_tokens(&self) -> f64 {
+        (self.total_pages * self.tokens_per_page) as f64
+    }
+
+    /// Pages currently allocated to requests.
+    pub fn used_pages(&self) -> usize {
+        self.total_pages - self.free_pages
+    }
+
+    /// Tokens currently cached across all requests.
+    pub fn used_tokens(&self) -> f64 {
+        self.allocations.values().map(|a| a.tokens as f64).sum()
+    }
+
+    /// Fraction of pages in use, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.total_pages == 0 {
+            return 1.0;
+        }
+        self.used_pages() as f64 / self.total_pages as f64
+    }
+
+    /// The highest utilisation observed since the pool was created.
+    pub fn peak_utilization(&self) -> f64 {
+        self.peak_utilization
+    }
+
+    /// Number of allocations that failed because the pool was exhausted.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Number of requests currently holding pages.
+    pub fn active_requests(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// Appends `tokens` newly cached tokens for `request`, allocating new
+    /// pages only when the request's last page is full (the PagedAttention
+    /// allocation rule).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvPoolError::OutOfPages`] and leaves the pool unchanged if
+    /// there are not enough free pages.
+    pub fn append_tokens(&mut self, request: RequestId, tokens: usize) -> Result<(), KvPoolError> {
+        if tokens == 0 {
+            return Ok(());
+        }
+        let current = self.allocations.get(&request).copied().unwrap_or_default();
+        let needed_pages = (current.tokens + tokens).div_ceil(self.tokens_per_page);
+        let extra = needed_pages.saturating_sub(current.pages);
+        if extra > self.free_pages {
+            self.rejections += 1;
+            return Err(KvPoolError::OutOfPages { requested: extra, available: self.free_pages });
+        }
+        self.free_pages -= extra;
+        self.allocations.insert(
+            request,
+            Allocation { pages: needed_pages, tokens: current.tokens + tokens },
+        );
+        self.peak_utilization = self.peak_utilization.max(self.utilization());
+        Ok(())
+    }
+
+    /// Frees every page held by `request`.  Unknown requests are ignored, so
+    /// duplicate releases are harmless.
+    pub fn release(&mut self, request: RequestId) {
+        if let Some(allocation) = self.allocations.remove(&request) {
+            self.free_pages += allocation.pages;
+        }
+    }
+
+    /// Tokens currently cached for one request.
+    pub fn tokens_of(&self, request: RequestId) -> usize {
+        self.allocations.get(&request).map(|a| a.tokens).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_are_allocated_lazily_and_released_in_full() {
+        let mut pool = PagedKvPool::new(160.0, 16);
+        assert_eq!(pool.total_pages(), 10);
+        pool.append_tokens(1, 10).unwrap();
+        assert_eq!(pool.used_pages(), 1);
+        // The next 6 tokens fit in the already-allocated page.
+        pool.append_tokens(1, 6).unwrap();
+        assert_eq!(pool.used_pages(), 1);
+        // One more token needs a second page.
+        pool.append_tokens(1, 1).unwrap();
+        assert_eq!(pool.used_pages(), 2);
+        assert_eq!(pool.tokens_of(1), 17);
+        pool.release(1);
+        assert_eq!(pool.used_pages(), 0);
+        assert_eq!(pool.used_tokens(), 0.0);
+        pool.release(1); // double release is harmless
+        assert_eq!(pool.active_requests(), 0);
+    }
+
+    #[test]
+    fn exhaustion_is_reported_and_leaves_the_pool_unchanged() {
+        let mut pool = PagedKvPool::new(64.0, 16);
+        pool.append_tokens(1, 48).unwrap();
+        let err = pool.append_tokens(2, 32).unwrap_err();
+        assert_eq!(err, KvPoolError::OutOfPages { requested: 2, available: 1 });
+        assert_eq!(pool.rejections(), 1);
+        // The failed allocation did not leak pages.
+        assert_eq!(pool.used_pages(), 3);
+        assert_eq!(pool.tokens_of(2), 0);
+        // A smaller allocation still fits.
+        pool.append_tokens(2, 16).unwrap();
+        assert_eq!(pool.used_pages(), 4);
+        assert!(pool.utilization() > 0.99);
+        assert!((pool.peak_utilization() - 1.0).abs() < 1e-9);
+        assert!(err.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn zero_capacity_pool_rejects_everything() {
+        let mut pool = PagedKvPool::new(0.0, 16);
+        assert_eq!(pool.total_pages(), 0);
+        assert_eq!(pool.utilization(), 1.0);
+        assert!(pool.append_tokens(1, 1).is_err());
+        assert!(pool.append_tokens(1, 0).is_ok(), "empty appends always succeed");
+    }
+
+    #[test]
+    fn capacity_rounds_down_to_whole_pages() {
+        let pool = PagedKvPool::new(100.0, 16);
+        assert_eq!(pool.total_pages(), 6);
+        assert_eq!(pool.capacity_tokens(), 96.0);
+        assert_eq!(pool.tokens_per_page(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "tokens_per_page")]
+    fn zero_page_size_is_rejected() {
+        let _ = PagedKvPool::new(100.0, 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Messages exchanged between the coordinator, the network fabric and the
+//! compute-node workers.
+//!
+//! The paper's prototype uses ZeroMQ to ship requests and activations between
+//! nodes (§6.1).  The runtime models the same message types: a *work* message
+//! carrying a request (and, implicitly, its activations) to the node that
+//! executes the next pipeline stage, a *release* message freeing the KV cache
+//! of a finished request, and an *iteration done* message returning the newly
+//! generated token to the coordinator.
+
+use helix_cluster::NodeId;
+use helix_core::RequestPipeline;
+use helix_workload::RequestId;
+use std::sync::Arc;
+
+/// Which phase of auto-regressive generation a work item belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// The first iteration: all prompt tokens are processed at once.
+    Prompt,
+    /// A subsequent iteration: a single new token is processed.
+    Decode,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Phase::Prompt => f.write_str("prompt"),
+            Phase::Decode => f.write_str("decode"),
+        }
+    }
+}
+
+/// One unit of work for one pipeline stage of one request iteration.
+#[derive(Debug, Clone)]
+pub struct StageWork {
+    /// The request being served.
+    pub request: RequestId,
+    /// Prompt or decode iteration.
+    pub phase: Phase,
+    /// Tokens processed at this stage in this iteration (all prompt tokens
+    /// for the prompt phase, one token for a decode iteration).
+    pub tokens: usize,
+    /// Index into `pipeline.stages` of the stage this work belongs to.
+    pub stage_index: usize,
+    /// The per-request pipeline assigned by the coordinator on arrival; decode
+    /// iterations reuse it unchanged (paper §5.1).
+    pub pipeline: Arc<RequestPipeline>,
+}
+
+impl StageWork {
+    /// The node that must execute this work item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage_index` is out of bounds for the pipeline (a
+    /// coordinator/worker bug).
+    pub fn node(&self) -> NodeId {
+        self.pipeline.stages[self.stage_index].node
+    }
+
+    /// Whether this is the last stage of the pipeline.
+    pub fn is_last_stage(&self) -> bool {
+        self.stage_index + 1 == self.pipeline.stages.len()
+    }
+
+    /// The work item for the next pipeline stage of the same iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is already the last stage.
+    pub fn next_stage(&self) -> StageWork {
+        assert!(!self.is_last_stage(), "next_stage called on the last pipeline stage");
+        StageWork { stage_index: self.stage_index + 1, pipeline: Arc::clone(&self.pipeline), ..*self }
+    }
+}
+
+/// A message deliverable to a worker or to the coordinator.
+#[derive(Debug, Clone)]
+pub enum RuntimeMsg {
+    /// Execute one pipeline stage of one request iteration.
+    Work(StageWork),
+    /// Free all KV-cache pages held for a finished request.
+    Release(RequestId),
+    /// A full pipeline pass finished and produced one token; sent to the
+    /// coordinator by the node executing the last stage.
+    IterationDone {
+        /// The request that generated the token.
+        request: RequestId,
+        /// The phase the completed iteration belonged to.
+        phase: Phase,
+        /// Virtual time at which the last stage finished.
+        emitted_at: f64,
+    },
+    /// Stop processing after draining pending work.
+    Shutdown,
+}
+
+/// An addressed message travelling through the network fabric.
+///
+/// `None` endpoints denote the coordinator, mirroring the flow-graph
+/// convention where the coordinator is source and sink.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending endpoint (`None` = coordinator).
+    pub from: Option<NodeId>,
+    /// Receiving endpoint (`None` = coordinator).
+    pub to: Option<NodeId>,
+    /// Payload size used for bandwidth modelling.
+    pub bytes: f64,
+    /// The message itself.
+    pub msg: RuntimeMsg,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_core::{LayerRange, PipelineStage};
+
+    fn pipeline() -> Arc<RequestPipeline> {
+        Arc::new(RequestPipeline {
+            stages: vec![
+                PipelineStage { node: NodeId(0), layers: LayerRange::new(0, 4) },
+                PipelineStage { node: NodeId(3), layers: LayerRange::new(4, 8) },
+            ],
+        })
+    }
+
+    #[test]
+    fn stage_work_walks_the_pipeline() {
+        let work = StageWork {
+            request: 7,
+            phase: Phase::Prompt,
+            tokens: 128,
+            stage_index: 0,
+            pipeline: pipeline(),
+        };
+        assert_eq!(work.node(), NodeId(0));
+        assert!(!work.is_last_stage());
+        let next = work.next_stage();
+        assert_eq!(next.node(), NodeId(3));
+        assert_eq!(next.tokens, 128);
+        assert_eq!(next.phase, Phase::Prompt);
+        assert!(next.is_last_stage());
+    }
+
+    #[test]
+    #[should_panic(expected = "last pipeline stage")]
+    fn next_stage_past_the_end_panics() {
+        let work = StageWork {
+            request: 7,
+            phase: Phase::Decode,
+            tokens: 1,
+            stage_index: 1,
+            pipeline: pipeline(),
+        };
+        let _ = work.next_stage();
+    }
+
+    #[test]
+    fn phase_display_names() {
+        assert_eq!(Phase::Prompt.to_string(), "prompt");
+        assert_eq!(Phase::Decode.to_string(), "decode");
+    }
+}

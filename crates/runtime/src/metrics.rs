@@ -1,0 +1,282 @@
+//! Metrics reported by the prototype runtime.
+//!
+//! The report mirrors the metrics of the paper's evaluation (§6.2): decode
+//! throughput for offline serving, and prompt/decode latency for online
+//! serving, plus per-node utilisation and per-link traffic used by the
+//! placement and scheduling case studies (Figs. 9b and 10b).
+
+use crate::fabric::LinkTraffic;
+use helix_cluster::NodeId;
+use helix_workload::RequestId;
+use serde::Serialize;
+
+/// Summary statistics of a latency sample set, in virtual seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarises a slice of latency samples.  Returns all zeros for an empty
+    /// slice.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let percentile = |q: f64| {
+            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        LatencySummary {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: percentile(0.50),
+            p95: percentile(0.95),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// The lifecycle record of one completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RequestOutcome {
+    /// Request id.
+    pub id: RequestId,
+    /// Prompt length in tokens.
+    pub prompt_tokens: usize,
+    /// Output length in tokens.
+    pub output_tokens: usize,
+    /// Arrival time (virtual seconds).
+    pub arrival: f64,
+    /// Time the first output token was produced (end of the prompt phase).
+    pub first_token_at: f64,
+    /// Time the final output token was produced.
+    pub completed_at: f64,
+    /// Number of stages in the request's pipeline.
+    pub pipeline_depth: usize,
+}
+
+impl RequestOutcome {
+    /// Prompt latency: arrival to first token (the paper's "prompt latency").
+    pub fn prompt_latency(&self) -> f64 {
+        (self.first_token_at - self.arrival).max(0.0)
+    }
+
+    /// Mean decode latency per generated token after the first.
+    pub fn decode_latency_per_token(&self) -> f64 {
+        let decode_tokens = self.output_tokens.saturating_sub(1);
+        if decode_tokens == 0 {
+            return 0.0;
+        }
+        (self.completed_at - self.first_token_at).max(0.0) / decode_tokens as f64
+    }
+}
+
+/// Per-node execution summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct NodeReport {
+    /// The compute node.
+    pub node: NodeId,
+    /// Human-readable node name.
+    pub name: String,
+    /// Layers the node held.
+    pub layers_held: usize,
+    /// Virtual seconds spent executing batches.
+    pub busy_secs: f64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Prompt tokens processed.
+    pub prompt_tokens: u64,
+    /// Decode tokens processed.
+    pub decode_tokens: u64,
+    /// Highest KV-pool utilisation observed.
+    pub kv_peak_utilization: f64,
+    /// KV allocations rejected because the pool was full.
+    pub kv_rejections: u64,
+}
+
+impl NodeReport {
+    /// Fraction of the run the node spent busy.
+    pub fn utilization(&self, makespan: f64) -> f64 {
+        if makespan <= 0.0 {
+            0.0
+        } else {
+            (self.busy_secs / makespan).min(1.0)
+        }
+    }
+}
+
+/// Per-link traffic summary (`None` endpoints denote the coordinator).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LinkReport {
+    /// Sending endpoint.
+    pub from: Option<NodeId>,
+    /// Receiving endpoint.
+    pub to: Option<NodeId>,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Payload bytes delivered.
+    pub bytes: f64,
+    /// Mean queueing delay per message (seconds).
+    pub mean_queue_delay: f64,
+    /// Largest queueing delay observed (seconds).
+    pub max_queue_delay: f64,
+}
+
+impl LinkReport {
+    pub(crate) fn new(from: Option<NodeId>, to: Option<NodeId>, traffic: &LinkTraffic) -> Self {
+        LinkReport {
+            from,
+            to,
+            messages: traffic.messages,
+            bytes: traffic.bytes,
+            mean_queue_delay: traffic.mean_queue_delay(),
+            max_queue_delay: traffic.max_queue_delay,
+        }
+    }
+}
+
+/// The full report of one serving run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuntimeReport {
+    /// Per-request lifecycle records, in completion order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Virtual time between the first arrival and the last completion.
+    pub makespan: f64,
+    /// Wall-clock seconds the run took.
+    pub wall_seconds: f64,
+    /// Per-node execution summaries.
+    pub nodes: Vec<NodeReport>,
+    /// Per-link traffic summaries.
+    pub links: Vec<LinkReport>,
+}
+
+impl RuntimeReport {
+    /// Number of requests that completed.
+    pub fn completed(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Total decode tokens generated.
+    pub fn decode_tokens(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.output_tokens as u64).sum()
+    }
+
+    /// Decode throughput in tokens per virtual second (the paper's offline
+    /// serving metric).
+    pub fn decode_throughput(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.decode_tokens() as f64 / self.makespan
+    }
+
+    /// Prompt latency summary across completed requests.
+    pub fn prompt_latency(&self) -> LatencySummary {
+        let samples: Vec<f64> = self.outcomes.iter().map(RequestOutcome::prompt_latency).collect();
+        LatencySummary::from_samples(&samples)
+    }
+
+    /// Per-token decode latency summary across completed requests.
+    pub fn decode_latency(&self) -> LatencySummary {
+        let samples: Vec<f64> =
+            self.outcomes.iter().map(RequestOutcome::decode_latency_per_token).collect();
+        LatencySummary::from_samples(&samples)
+    }
+
+    /// The `n` links with the largest mean queueing delay.
+    pub fn most_congested_links(&self, n: usize) -> Vec<LinkReport> {
+        let mut links = self.links.clone();
+        links.sort_by(|a, b| {
+            b.mean_queue_delay
+                .partial_cmp(&a.mean_queue_delay)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        links.truncate(n);
+        links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: RequestId, arrival: f64, first: f64, done: f64, out: usize) -> RequestOutcome {
+        RequestOutcome {
+            id,
+            prompt_tokens: 100,
+            output_tokens: out,
+            arrival,
+            first_token_at: first,
+            completed_at: done,
+            pipeline_depth: 3,
+        }
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.p50 - 50.0).abs() <= 1.0);
+        assert!((s.p95 - 95.0).abs() <= 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn request_outcome_latencies() {
+        let o = outcome(1, 10.0, 12.0, 22.0, 11);
+        assert!((o.prompt_latency() - 2.0).abs() < 1e-9);
+        assert!((o.decode_latency_per_token() - 1.0).abs() < 1e-9);
+        let single = outcome(2, 0.0, 1.0, 1.0, 1);
+        assert_eq!(single.decode_latency_per_token(), 0.0);
+    }
+
+    #[test]
+    fn report_throughput_and_congestion_ranking() {
+        let report = RuntimeReport {
+            outcomes: vec![outcome(1, 0.0, 1.0, 10.0, 50), outcome(2, 0.0, 2.0, 10.0, 50)],
+            makespan: 10.0,
+            wall_seconds: 0.1,
+            nodes: vec![],
+            links: vec![
+                LinkReport {
+                    from: None,
+                    to: Some(NodeId(0)),
+                    messages: 10,
+                    bytes: 40.0,
+                    mean_queue_delay: 0.1,
+                    max_queue_delay: 0.2,
+                },
+                LinkReport {
+                    from: Some(NodeId(0)),
+                    to: Some(NodeId(1)),
+                    messages: 10,
+                    bytes: 4e5,
+                    mean_queue_delay: 3.0,
+                    max_queue_delay: 9.0,
+                },
+            ],
+        };
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.decode_tokens(), 100);
+        assert!((report.decode_throughput() - 10.0).abs() < 1e-9);
+        assert!(report.prompt_latency().mean > 0.0);
+        let worst = report.most_congested_links(1);
+        assert_eq!(worst.len(), 1);
+        assert_eq!(worst[0].from, Some(NodeId(0)));
+    }
+}

@@ -1,0 +1,256 @@
+//! The serving runtime: wires the coordinator, the workers and the network
+//! fabric together and runs a workload end to end.
+
+use crate::clock::VirtualClock;
+use crate::coordinator::{Coordinator, CoordinatorSpec};
+use crate::error::RuntimeError;
+use crate::exec::{AnalyticExecution, ExecutionModel, InstantExecution, KV_OVERFLOW_PENALTY};
+use crate::fabric::{self, FabricSpec, LinkTrafficMap};
+use crate::kv_pool::DEFAULT_TOKENS_PER_PAGE;
+use crate::message::{Envelope, RuntimeMsg};
+use crate::metrics::{LinkReport, NodeReport, RuntimeReport};
+use crate::worker::{self, SharedWorkerStats, WorkerConfig, WorkerStats};
+use crossbeam::channel::{unbounded, Sender};
+use helix_cluster::{ClusterProfile, NodeId};
+use helix_core::{KvCacheEstimator, ModelPlacement, Scheduler};
+use helix_workload::Workload;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Which execution model the workers use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionKind {
+    /// Roofline cost model derived from the node profiles (the default).
+    #[default]
+    Analytic,
+    /// Batches complete instantly; useful for functional tests.
+    Instant,
+}
+
+/// Configuration of a serving run.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Wall-clock seconds per virtual second (smaller = faster run).
+    pub wall_per_virtual: f64,
+    /// KV page size in tokens.
+    pub tokens_per_page: usize,
+    /// Batch slow-down factor when a KV pool overflows.
+    pub kv_overflow_penalty: f64,
+    /// Hard wall-clock budget for one [`ServingRuntime::serve`] call.
+    pub max_wall: Duration,
+    /// Worker execution model.
+    pub execution: ExecutionKind,
+    /// Initial average output length used by the KV estimator (§5.2); the
+    /// Azure Conversation trace averages 232 output tokens.
+    pub initial_avg_output_tokens: f64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            wall_per_virtual: 0.002,
+            tokens_per_page: DEFAULT_TOKENS_PER_PAGE,
+            kv_overflow_penalty: KV_OVERFLOW_PENALTY,
+            max_wall: Duration::from_secs(120),
+            execution: ExecutionKind::Analytic,
+            initial_avg_output_tokens: 232.0,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// A configuration suited to fast functional tests: instant execution and
+    /// an aggressive virtual-time speed-up.
+    pub fn fast_test() -> Self {
+        RuntimeConfig {
+            wall_per_virtual: 0.0002,
+            execution: ExecutionKind::Instant,
+            max_wall: Duration::from_secs(30),
+            ..RuntimeConfig::default()
+        }
+    }
+}
+
+/// A fully wired serving system for one (cluster, placement, scheduler)
+/// combination.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+pub struct ServingRuntime {
+    clock: VirtualClock,
+    coordinator: Coordinator,
+    worker_txs: HashMap<NodeId, Sender<RuntimeMsg>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    worker_stats: HashMap<NodeId, SharedWorkerStats>,
+    node_meta: Vec<(NodeId, String, usize)>,
+    fabric_handle: JoinHandle<()>,
+    ingress_tx: Sender<Envelope>,
+    traffic: LinkTrafficMap,
+}
+
+impl ServingRuntime {
+    /// Builds the runtime: spawns one worker thread per assigned compute node
+    /// and the network fabric thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Scheduling`] if the placement is invalid for
+    /// the profile.
+    pub fn new(
+        profile: &ClusterProfile,
+        placement: &ModelPlacement,
+        scheduler: Box<dyn Scheduler>,
+        config: RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        placement.validate(profile).map_err(RuntimeError::Scheduling)?;
+        let clock = VirtualClock::new(config.wall_per_virtual);
+        let profile_arc = Arc::new(profile.clone());
+
+        let (ingress_tx, ingress_rx) = unbounded::<Envelope>();
+        let (coordinator_tx, coordinator_rx) = unbounded::<RuntimeMsg>();
+
+        let mut estimator = KvCacheEstimator::new(profile, config.initial_avg_output_tokens);
+        let mut worker_txs = HashMap::new();
+        let mut fabric_worker_txs = HashMap::new();
+        let mut worker_handles = Vec::new();
+        let mut worker_stats = HashMap::new();
+        let mut node_meta = Vec::new();
+
+        for (node, range) in placement.iter() {
+            let (tx, rx) = unbounded::<RuntimeMsg>();
+            let stats: SharedWorkerStats = Arc::new(Mutex::new(WorkerStats::default()));
+            let kv_capacity = profile.kv_capacity_tokens(node, range.len());
+            estimator.set_capacity(node, kv_capacity);
+            let worker_config = WorkerConfig {
+                node,
+                activation_bytes: profile.model().activation_bytes(),
+                kv_capacity_tokens: kv_capacity,
+                tokens_per_page: config.tokens_per_page,
+                kv_overflow_penalty: config.kv_overflow_penalty,
+            };
+            let execution: Box<dyn ExecutionModel> = match config.execution {
+                ExecutionKind::Analytic => {
+                    Box::new(AnalyticExecution::new(profile.node_profile(node)))
+                }
+                ExecutionKind::Instant => Box::new(InstantExecution),
+            };
+            let handle = worker::spawn_worker(
+                worker_config,
+                execution,
+                clock,
+                rx,
+                ingress_tx.clone(),
+                Arc::clone(&stats),
+            );
+            worker_txs.insert(node, tx.clone());
+            fabric_worker_txs.insert(node, tx);
+            worker_handles.push(handle);
+            worker_stats.insert(node, stats);
+            node_meta.push((node, profile.cluster().node(node).name.clone(), range.len()));
+        }
+        node_meta.sort_by_key(|(node, _, _)| *node);
+
+        let (traffic, fabric_handle) = fabric::spawn_fabric(
+            FabricSpec {
+                profile: profile_arc,
+                clock,
+                worker_txs: fabric_worker_txs,
+                coordinator_tx,
+            },
+            ingress_rx,
+        );
+
+        let coordinator = Coordinator::new(CoordinatorSpec {
+            scheduler,
+            estimator,
+            clock,
+            inbound: coordinator_rx,
+            fabric: ingress_tx.clone(),
+            worker_stats: worker_stats.clone(),
+            max_wall: config.max_wall,
+        });
+
+        Ok(ServingRuntime {
+            clock,
+            coordinator,
+            worker_txs,
+            worker_handles,
+            worker_stats,
+            node_meta,
+            fabric_handle,
+            ingress_tx,
+            traffic,
+        })
+    }
+
+    /// Serves the workload to completion and returns the run report.
+    ///
+    /// The runtime is consumed: every worker and the fabric are shut down and
+    /// joined before this method returns, even when it returns an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::WallClockBudgetExceeded`] if the configured
+    /// wall-clock budget runs out, [`RuntimeError::Stalled`] if no request can
+    /// make progress, and propagates scheduling errors.
+    pub fn serve(mut self, workload: &Workload) -> Result<RuntimeReport, RuntimeError> {
+        let outcome = self.coordinator.run(workload);
+
+        // Shut everything down regardless of how the run ended.
+        for tx in self.worker_txs.values() {
+            let _ = tx.send(RuntimeMsg::Shutdown);
+        }
+        drop(self.coordinator);
+        drop(self.ingress_tx);
+        for handle in self.worker_handles {
+            let _ = handle.join();
+        }
+        let _ = self.fabric_handle.join();
+
+        let outcomes = outcome?;
+        let makespan = {
+            let first_arrival = outcomes.iter().map(|o| o.arrival).fold(f64::INFINITY, f64::min);
+            let first_arrival = if first_arrival.is_finite() { first_arrival } else { 0.0 };
+            let last_completion =
+                outcomes.iter().map(|o| o.completed_at).fold(0.0_f64, f64::max);
+            (last_completion - first_arrival).max(0.0)
+        };
+
+        let nodes = self
+            .node_meta
+            .iter()
+            .map(|(node, name, layers)| {
+                let stats = self.worker_stats[node].lock().clone();
+                NodeReport {
+                    node: *node,
+                    name: name.clone(),
+                    layers_held: *layers,
+                    busy_secs: stats.busy_secs,
+                    batches: stats.batches,
+                    prompt_tokens: stats.prompt_tokens,
+                    decode_tokens: stats.decode_tokens,
+                    kv_peak_utilization: stats.kv_peak_utilization,
+                    kv_rejections: stats.kv_rejections,
+                }
+            })
+            .collect();
+
+        let mut links: Vec<LinkReport> = self
+            .traffic
+            .lock()
+            .iter()
+            .map(|(&(from, to), traffic)| LinkReport::new(from, to, traffic))
+            .collect();
+        links.sort_by_key(|l| (l.from, l.to));
+
+        Ok(RuntimeReport {
+            outcomes,
+            makespan,
+            wall_seconds: self.clock.wall_elapsed().as_secs_f64(),
+            nodes,
+            links,
+        })
+    }
+}

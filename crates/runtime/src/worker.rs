@@ -1,0 +1,409 @@
+//! Compute-node worker threads.
+//!
+//! Each worker mirrors one compute node of the paper's prototype (Fig. 3): it
+//! owns the layers assigned to it by the model placement, keeps a paged KV
+//! pool, and runs best-effort dynamic batching — a batch starts as soon as the
+//! node is idle and includes every work item that arrived while the previous
+//! batch was executing (§5.1).  Finished stages are forwarded to the next
+//! node in the request's pipeline through the network fabric, or back to the
+//! coordinator when the last stage completes.
+
+use crate::clock::VirtualClock;
+use crate::exec::ExecutionModel;
+use crate::kv_pool::PagedKvPool;
+use crate::message::{Envelope, Phase, RuntimeMsg, StageWork};
+use crossbeam::channel::{Receiver, Sender};
+use helix_cluster::{NodeId, TOKEN_WIRE_BYTES};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Live statistics one worker shares with the coordinator and the final
+/// report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Work items waiting for the next batch.
+    pub queue_len: usize,
+    /// Virtual seconds spent executing batches.
+    pub busy_secs: f64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Prompt tokens processed.
+    pub prompt_tokens: u64,
+    /// Decode tokens processed.
+    pub decode_tokens: u64,
+    /// Tokens currently resident in the KV pool.
+    pub kv_used_tokens: f64,
+    /// Capacity of the KV pool in tokens.
+    pub kv_capacity_tokens: f64,
+    /// Highest KV pool utilisation observed.
+    pub kv_peak_utilization: f64,
+    /// KV allocations rejected because the pool was full.
+    pub kv_rejections: u64,
+    /// Decode throughput over the most recent measurement window (tokens/s).
+    pub recent_throughput: f64,
+}
+
+/// Shared handle to a worker's statistics.
+pub type SharedWorkerStats = Arc<Mutex<WorkerStats>>;
+
+/// Static configuration of one worker.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkerConfig {
+    /// The compute node this worker represents.
+    pub node: NodeId,
+    /// Bytes of activation transferred per token to the next pipeline stage.
+    pub activation_bytes: f64,
+    /// KV pool capacity in tokens (derived from the placement).
+    pub kv_capacity_tokens: f64,
+    /// KV page size in tokens.
+    pub tokens_per_page: usize,
+    /// Batch slow-down factor when the KV pool overflows.
+    pub kv_overflow_penalty: f64,
+}
+
+/// Spawns a worker thread.  The thread exits when it receives
+/// [`RuntimeMsg::Shutdown`] or its inbound channel disconnects.
+pub(crate) fn spawn_worker(
+    config: WorkerConfig,
+    execution: Box<dyn ExecutionModel>,
+    clock: VirtualClock,
+    inbound: Receiver<RuntimeMsg>,
+    fabric: Sender<Envelope>,
+    stats: SharedWorkerStats,
+) -> JoinHandle<()> {
+    let name = format!("helix-worker-{}", config.node.index());
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            let mut worker = Worker::new(config, execution, clock, inbound, fabric, stats);
+            worker.run();
+        })
+        .expect("spawning a worker thread never fails")
+}
+
+struct Worker {
+    config: WorkerConfig,
+    execution: Box<dyn ExecutionModel>,
+    clock: VirtualClock,
+    inbound: Receiver<RuntimeMsg>,
+    fabric: Sender<Envelope>,
+    stats: SharedWorkerStats,
+    kv: PagedKvPool,
+    pending: Vec<StageWork>,
+    shutdown: bool,
+    window_start: f64,
+    window_decode_tokens: u64,
+}
+
+impl Worker {
+    fn new(
+        config: WorkerConfig,
+        execution: Box<dyn ExecutionModel>,
+        clock: VirtualClock,
+        inbound: Receiver<RuntimeMsg>,
+        fabric: Sender<Envelope>,
+        stats: SharedWorkerStats,
+    ) -> Self {
+        let kv = PagedKvPool::new(config.kv_capacity_tokens, config.tokens_per_page);
+        {
+            let mut s = stats.lock();
+            s.kv_capacity_tokens = kv.capacity_tokens();
+        }
+        Worker {
+            config,
+            execution,
+            clock,
+            inbound,
+            fabric,
+            stats,
+            kv,
+            pending: Vec::new(),
+            shutdown: false,
+            window_start: 0.0,
+            window_decode_tokens: 0,
+        }
+    }
+
+    fn run(&mut self) {
+        loop {
+            if self.pending.is_empty() && !self.shutdown {
+                // Idle: block until something arrives.
+                match self.inbound.recv() {
+                    Ok(msg) => self.handle(msg),
+                    Err(_) => break,
+                }
+            }
+            // Dynamic batching: everything that has arrived by now joins the
+            // next batch.
+            while let Ok(msg) = self.inbound.try_recv() {
+                self.handle(msg);
+            }
+            if self.pending.is_empty() {
+                if self.shutdown {
+                    break;
+                }
+                continue;
+            }
+            let batch = std::mem::take(&mut self.pending);
+            self.execute_batch(batch);
+        }
+        self.publish_stats();
+    }
+
+    fn handle(&mut self, msg: RuntimeMsg) {
+        match msg {
+            RuntimeMsg::Work(work) => {
+                debug_assert_eq!(work.node(), self.config.node, "misrouted work item");
+                self.pending.push(work);
+            }
+            RuntimeMsg::Release(request) => {
+                self.kv.release(request);
+            }
+            RuntimeMsg::IterationDone { .. } => {
+                // Only the coordinator consumes these; ignore defensively.
+            }
+            RuntimeMsg::Shutdown => {
+                self.shutdown = true;
+            }
+        }
+        self.publish_stats();
+    }
+
+    fn execute_batch(&mut self, batch: Vec<StageWork>) {
+        // KV accounting: the tokens this stage processes become resident on
+        // this node.  Overflow forces (modelled) offloading to host memory,
+        // slowing the whole batch down.
+        let mut overflowed = false;
+        for item in &batch {
+            if self.kv.append_tokens(item.request, item.tokens).is_err() {
+                overflowed = true;
+            }
+        }
+        let mut duration = self.execution.batch_duration(&batch);
+        if overflowed {
+            duration *= self.config.kv_overflow_penalty;
+        }
+        self.clock.sleep(duration);
+        let now = self.clock.now();
+
+        let mut prompt_tokens = 0u64;
+        let mut decode_tokens = 0u64;
+        for item in &batch {
+            match item.phase {
+                Phase::Prompt => prompt_tokens += item.tokens as u64,
+                Phase::Decode => decode_tokens += item.tokens as u64,
+            }
+        }
+        self.window_decode_tokens += decode_tokens;
+
+        {
+            let mut s = self.stats.lock();
+            s.busy_secs += duration;
+            s.batches += 1;
+            s.prompt_tokens += prompt_tokens;
+            s.decode_tokens += decode_tokens;
+            if now - self.window_start >= 10.0 {
+                s.recent_throughput =
+                    self.window_decode_tokens as f64 / (now - self.window_start).max(1e-9);
+                self.window_decode_tokens = 0;
+                self.window_start = now;
+            }
+        }
+
+        for item in batch {
+            self.forward(item, now);
+        }
+        self.publish_stats();
+    }
+
+    /// Sends a finished stage onward: to the next node in the pipeline, or to
+    /// the coordinator if this was the last stage.
+    fn forward(&mut self, item: StageWork, now: f64) {
+        let envelope = if item.is_last_stage() {
+            Envelope {
+                from: Some(self.config.node),
+                to: None,
+                bytes: TOKEN_WIRE_BYTES,
+                msg: RuntimeMsg::IterationDone {
+                    request: item.request,
+                    phase: item.phase,
+                    emitted_at: now,
+                },
+            }
+        } else {
+            let next = item.next_stage();
+            let to = next.node();
+            Envelope {
+                from: Some(self.config.node),
+                to: Some(to),
+                bytes: self.config.activation_bytes * next.tokens.max(1) as f64,
+                msg: RuntimeMsg::Work(next),
+            }
+        };
+        // If the fabric has already shut down there is nowhere to forward to;
+        // the coordinator only exits after all requests complete, so this can
+        // only drop messages that no longer matter.
+        let _ = self.fabric.send(envelope);
+    }
+
+    fn publish_stats(&self) {
+        let mut s = self.stats.lock();
+        s.queue_len = self.pending.len();
+        s.kv_used_tokens = self.kv.used_tokens();
+        s.kv_peak_utilization = self.kv.peak_utilization();
+        s.kv_rejections = self.kv.rejections();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::InstantExecution;
+    use crossbeam::channel::unbounded;
+    use helix_core::{LayerRange, PipelineStage, RequestPipeline};
+    use std::time::Duration;
+
+    fn two_stage_pipeline() -> Arc<RequestPipeline> {
+        Arc::new(RequestPipeline {
+            stages: vec![
+                PipelineStage { node: NodeId(0), layers: LayerRange::new(0, 4) },
+                PipelineStage { node: NodeId(1), layers: LayerRange::new(4, 8) },
+            ],
+        })
+    }
+
+    fn spawn_test_worker(
+        node: NodeId,
+        kv_capacity: f64,
+    ) -> (Sender<RuntimeMsg>, Receiver<Envelope>, SharedWorkerStats, JoinHandle<()>) {
+        let (inbound_tx, inbound_rx) = unbounded();
+        let (fabric_tx, fabric_rx) = unbounded();
+        let stats: SharedWorkerStats = Arc::new(Mutex::new(WorkerStats::default()));
+        let config = WorkerConfig {
+            node,
+            activation_bytes: 16_384.0,
+            kv_capacity_tokens: kv_capacity,
+            tokens_per_page: 16,
+            kv_overflow_penalty: 8.0,
+        };
+        let handle = spawn_worker(
+            config,
+            Box::new(InstantExecution),
+            VirtualClock::new(0.0001),
+            inbound_rx,
+            fabric_tx,
+            Arc::clone(&stats),
+        );
+        (inbound_tx, fabric_rx, stats, handle)
+    }
+
+    #[test]
+    fn first_stage_forwards_to_the_next_node_and_last_stage_reports_back() {
+        let (tx, fabric, stats, handle) = spawn_test_worker(NodeId(0), 100_000.0);
+        let pipeline = two_stage_pipeline();
+        tx.send(RuntimeMsg::Work(StageWork {
+            request: 9,
+            phase: Phase::Prompt,
+            tokens: 64,
+            stage_index: 0,
+            pipeline: Arc::clone(&pipeline),
+        }))
+        .unwrap();
+        let forwarded = fabric.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(forwarded.from, Some(NodeId(0)));
+        assert_eq!(forwarded.to, Some(NodeId(1)));
+        assert!(forwarded.bytes > 16_384.0, "prompt activations scale with token count");
+        match forwarded.msg {
+            RuntimeMsg::Work(next) => {
+                assert_eq!(next.stage_index, 1);
+                assert!(next.is_last_stage());
+            }
+            other => panic!("expected forwarded work, got {other:?}"),
+        }
+
+        tx.send(RuntimeMsg::Shutdown).unwrap();
+        handle.join().unwrap();
+        let s = stats.lock();
+        assert_eq!(s.prompt_tokens, 64);
+        assert_eq!(s.batches, 1);
+        assert!(s.kv_used_tokens >= 64.0);
+
+        // The same work executed on the *last* stage reports to the coordinator.
+        let (tx, fabric, _stats, handle) = spawn_test_worker(NodeId(1), 100_000.0);
+        tx.send(RuntimeMsg::Work(StageWork {
+            request: 9,
+            phase: Phase::Prompt,
+            tokens: 64,
+            stage_index: 1,
+            pipeline,
+        }))
+        .unwrap();
+        let done = fabric.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(done.to, None);
+        assert!(matches!(done.msg, RuntimeMsg::IterationDone { request: 9, phase: Phase::Prompt, .. }));
+        tx.send(RuntimeMsg::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn release_frees_the_kv_pool_and_rejections_are_counted() {
+        let (tx, fabric, stats, handle) = spawn_test_worker(NodeId(0), 64.0);
+        let pipeline = two_stage_pipeline();
+        // 128 tokens cannot fit in a 64-token pool: the batch still runs but
+        // is counted as a rejection (modelled offload).
+        tx.send(RuntimeMsg::Work(StageWork {
+            request: 1,
+            phase: Phase::Prompt,
+            tokens: 128,
+            stage_index: 0,
+            pipeline: Arc::clone(&pipeline),
+        }))
+        .unwrap();
+        let _ = fabric.recv_timeout(Duration::from_secs(5)).unwrap();
+        tx.send(RuntimeMsg::Release(1)).unwrap();
+        tx.send(RuntimeMsg::Work(StageWork {
+            request: 2,
+            phase: Phase::Prompt,
+            tokens: 32,
+            stage_index: 0,
+            pipeline,
+        }))
+        .unwrap();
+        let _ = fabric.recv_timeout(Duration::from_secs(5)).unwrap();
+        tx.send(RuntimeMsg::Shutdown).unwrap();
+        handle.join().unwrap();
+        let s = stats.lock();
+        assert_eq!(s.kv_rejections, 1);
+        assert!((s.kv_used_tokens - 32.0).abs() < 1e-9, "request 1 was released");
+        assert_eq!(s.queue_len, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_work_before_exiting() {
+        let (tx, fabric, stats, handle) = spawn_test_worker(NodeId(1), 100_000.0);
+        let pipeline = two_stage_pipeline();
+        for request in 0..5 {
+            tx.send(RuntimeMsg::Work(StageWork {
+                request,
+                phase: Phase::Decode,
+                tokens: 1,
+                stage_index: 1,
+                pipeline: Arc::clone(&pipeline),
+            }))
+            .unwrap();
+        }
+        tx.send(RuntimeMsg::Shutdown).unwrap();
+        drop(tx);
+        let mut delivered = 0;
+        while fabric.recv_timeout(Duration::from_secs(5)).is_ok() {
+            delivered += 1;
+            if delivered == 5 {
+                break;
+            }
+        }
+        handle.join().unwrap();
+        assert_eq!(delivered, 5);
+        assert_eq!(stats.lock().decode_tokens, 5);
+    }
+}

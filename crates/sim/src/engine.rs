@@ -1,0 +1,271 @@
+//! Per-node execution engine: dynamic batching, KV-cache accounting.
+
+use crate::event::{Phase, SimTime, WorkItem};
+use crate::{BATCH_OVERHEAD_SECS, KV_OVERFLOW_PENALTY};
+use helix_cluster::NodeProfile;
+use helix_workload::RequestId;
+use std::collections::HashMap;
+
+/// The execution engine of one compute node.
+///
+/// Mirrors the behaviour of the paper's per-node worker (§5.1): best-effort
+/// dynamic batching (a new batch starts as soon as the previous one finishes
+/// and includes everything that arrived in the meantime), separate prompt and
+/// decode token costs, and a finite paged KV cache whose exhaustion forces
+/// slow offloading (§5.2).
+#[derive(Debug, Clone)]
+pub struct NodeEngine {
+    /// Layers this node holds (length of its assigned range).
+    layers_held: usize,
+    /// Seconds to run one decode token through one layer.
+    decode_secs_per_token_layer: f64,
+    /// Seconds to run one prompt token through one layer.
+    prompt_secs_per_token_layer: f64,
+    /// KV-cache capacity in tokens.
+    kv_capacity_tokens: f64,
+    /// Tokens currently resident in the KV cache, per request.
+    kv_resident: HashMap<RequestId, f64>,
+    /// Work waiting for the next batch.
+    pending: Vec<WorkItem>,
+    /// Whether a batch is currently executing.
+    busy: bool,
+    /// Items in the currently executing batch.
+    in_flight: Vec<WorkItem>,
+    /// Cumulative busy time (for utilisation).
+    pub busy_seconds: f64,
+    /// Cumulative tokens processed (prompt + decode), weighted by nothing.
+    pub tokens_processed: u64,
+    /// Tokens processed in the most recent throughput window.
+    window_tokens: u64,
+    /// Start of the current throughput window.
+    window_start: SimTime,
+    /// Throughput measured over the last completed window (tokens/s).
+    recent_throughput: f64,
+}
+
+impl NodeEngine {
+    /// Creates the engine for a node holding `layers_held` layers.
+    pub fn new(profile: &NodeProfile, layers_held: usize, kv_capacity_tokens: f64) -> Self {
+        NodeEngine {
+            layers_held,
+            decode_secs_per_token_layer: 1.0 / profile.decode_tokens_per_layer_sec.max(1e-9),
+            prompt_secs_per_token_layer: 1.0 / profile.prompt_tokens_per_layer_sec.max(1e-9),
+            kv_capacity_tokens,
+            kv_resident: HashMap::new(),
+            pending: Vec::new(),
+            busy: false,
+            in_flight: Vec::new(),
+            busy_seconds: 0.0,
+            tokens_processed: 0,
+            window_tokens: 0,
+            window_start: 0.0,
+            recent_throughput: 0.0,
+        }
+    }
+
+    /// Number of layers the node holds.
+    pub fn layers_held(&self) -> usize {
+        self.layers_held
+    }
+
+    /// Requests waiting for the next batch.
+    pub fn queue_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the node is currently executing a batch.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// KV-cache tokens currently resident.
+    pub fn kv_used_tokens(&self) -> f64 {
+        self.kv_resident.values().sum()
+    }
+
+    /// KV-cache capacity in tokens.
+    pub fn kv_capacity_tokens(&self) -> f64 {
+        self.kv_capacity_tokens
+    }
+
+    /// Decode throughput over the last completed measurement window.
+    pub fn recent_throughput(&self) -> f64 {
+        self.recent_throughput
+    }
+
+    /// Adds a work item to the pending queue.
+    pub fn enqueue(&mut self, item: WorkItem) {
+        self.pending.push(item);
+    }
+
+    /// Starts a batch if the node is idle and work is pending.  Returns the
+    /// completion time of the batch, or `None` if no batch was started.
+    pub fn try_start_batch(&mut self, now: SimTime) -> Option<SimTime> {
+        if self.busy || self.pending.is_empty() {
+            return None;
+        }
+        let batch: Vec<WorkItem> = std::mem::take(&mut self.pending);
+        let mut duration = BATCH_OVERHEAD_SECS;
+        for item in &batch {
+            let per_token_layer = match item.phase {
+                Phase::Prompt => self.prompt_secs_per_token_layer,
+                Phase::Decode => self.decode_secs_per_token_layer,
+            };
+            duration += item.tokens as f64 * item.layers.len() as f64 * per_token_layer;
+            // KV cache grows by the tokens this node now caches for the request.
+            let entry = self.kv_resident.entry(item.request).or_insert(0.0);
+            *entry += item.tokens as f64;
+        }
+        // Exceeding the KV capacity forces offloading; the whole batch slows down.
+        if self.kv_used_tokens() > self.kv_capacity_tokens {
+            duration *= KV_OVERFLOW_PENALTY;
+        }
+        self.busy = true;
+        self.busy_seconds += duration;
+        let tokens: u64 = batch.iter().map(|i| i.tokens as u64).sum();
+        self.tokens_processed += tokens;
+        self.window_tokens += tokens;
+        self.in_flight = batch;
+        // Refresh the recent-throughput window every 10 simulated seconds.
+        if now - self.window_start >= 10.0 {
+            self.recent_throughput = self.window_tokens as f64 / (now - self.window_start).max(1e-9);
+            self.window_tokens = 0;
+            self.window_start = now;
+        }
+        Some(now + duration)
+    }
+
+    /// Completes the running batch, returning its items for routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is in flight (simulation bug).
+    pub fn complete_batch(&mut self) -> Vec<WorkItem> {
+        assert!(self.busy, "complete_batch called on an idle node");
+        self.busy = false;
+        std::mem::take(&mut self.in_flight)
+    }
+
+    /// Frees the KV cache held for a finished (or aborted) request.
+    pub fn release_request(&mut self, request: RequestId) {
+        self.kv_resident.remove(&request);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig, NodeId};
+    use helix_core::LayerRange;
+
+    fn engine() -> NodeEngine {
+        let profile = ClusterProfile::analytic(
+            ClusterSpec::solver_quality_10(),
+            ModelConfig::llama_30b(),
+        );
+        let np = profile.node_profile(NodeId(0)).clone();
+        NodeEngine::new(&np, 10, 10_000.0)
+    }
+
+    fn decode_item(request: RequestId) -> WorkItem {
+        WorkItem {
+            request,
+            phase: Phase::Decode,
+            tokens: 1,
+            layers: LayerRange::new(0, 10),
+            stage_index: 0,
+        }
+    }
+
+    #[test]
+    fn idle_node_starts_batch_and_busy_node_does_not() {
+        let mut e = engine();
+        assert!(e.try_start_batch(0.0).is_none(), "no work, no batch");
+        e.enqueue(decode_item(1));
+        let done = e.try_start_batch(0.0).unwrap();
+        assert!(done > BATCH_OVERHEAD_SECS);
+        assert!(e.is_busy());
+        // More work arrives while busy; no new batch can start.
+        e.enqueue(decode_item(2));
+        assert!(e.try_start_batch(0.1).is_none());
+        let items = e.complete_batch();
+        assert_eq!(items.len(), 1);
+        assert!(!e.is_busy());
+        assert_eq!(e.queue_len(), 1);
+    }
+
+    #[test]
+    fn prompt_tokens_cost_less_per_token_than_decode() {
+        let mut e = engine();
+        e.enqueue(WorkItem {
+            request: 1,
+            phase: Phase::Prompt,
+            tokens: 100,
+            layers: LayerRange::new(0, 10),
+            stage_index: 0,
+        });
+        let prompt_done = e.try_start_batch(0.0).unwrap();
+        e.complete_batch();
+        e.release_request(1);
+
+        let mut e2 = engine();
+        for i in 0..100 {
+            e2.enqueue(decode_item(i));
+        }
+        let decode_done = e2.try_start_batch(0.0).unwrap();
+        // 100 prompt tokens in one batch are much faster than 100 decode tokens.
+        assert!(prompt_done < decode_done);
+    }
+
+    #[test]
+    fn kv_accounting_and_overflow_penalty() {
+        let profile = ClusterProfile::analytic(
+            ClusterSpec::solver_quality_10(),
+            ModelConfig::llama_30b(),
+        );
+        let np = profile.node_profile(NodeId(0)).clone();
+        let mut small = NodeEngine::new(&np, 10, 50.0);
+        let mut big = NodeEngine::new(&np, 10, 1e9);
+        for e in [&mut small, &mut big] {
+            e.enqueue(WorkItem {
+                request: 1,
+                phase: Phase::Prompt,
+                tokens: 200,
+                layers: LayerRange::new(0, 10),
+                stage_index: 0,
+            });
+        }
+        let slow = small.try_start_batch(0.0).unwrap();
+        let fast = big.try_start_batch(0.0).unwrap();
+        assert!(slow > fast * 2.0, "overflowing KV cache should slow the batch down");
+        assert_eq!(small.kv_used_tokens(), 200.0);
+        small.complete_batch();
+        small.release_request(1);
+        assert_eq!(small.kv_used_tokens(), 0.0);
+        assert_eq!(small.kv_capacity_tokens(), 50.0);
+    }
+
+    #[test]
+    fn throughput_window_updates() {
+        let mut e = engine();
+        let mut now = 0.0;
+        for round in 0..200u64 {
+            e.enqueue(decode_item(round));
+            let done = e.try_start_batch(now).unwrap();
+            e.complete_batch();
+            e.release_request(round);
+            now = done.max(now + 0.1);
+        }
+        assert!(e.recent_throughput() > 0.0);
+        assert_eq!(e.tokens_processed, 200);
+        assert!(e.busy_seconds > 0.0);
+        assert_eq!(e.layers_held(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle node")]
+    fn completing_idle_node_panics() {
+        let mut e = engine();
+        let _ = e.complete_batch();
+    }
+}

@@ -1,0 +1,192 @@
+//! Discrete-event queue.
+
+use helix_cluster::NodeId;
+use helix_core::{LayerRange, RequestPipeline};
+use helix_workload::RequestId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time in seconds since the start of the run.
+pub type SimTime = f64;
+
+/// Phase of an LLM request iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Prompt processing (all prompt tokens in one pass).
+    Prompt,
+    /// One decode iteration (a single new token).
+    Decode,
+}
+
+/// A unit of work delivered to a compute node: process `tokens` tokens of a
+/// request through `layers`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkItem {
+    /// The request this work belongs to.
+    pub request: RequestId,
+    /// Prompt or decode.
+    pub phase: Phase,
+    /// Number of tokens to run through the layers (prompt length for the
+    /// prompt phase, 1 for decode).
+    pub tokens: usize,
+    /// Layers this node computes for this request.
+    pub layers: LayerRange,
+    /// Index of this stage within the request's pipeline.
+    pub stage_index: usize,
+}
+
+/// Events driving the simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A new request arrives at the coordinator.
+    RequestArrival {
+        /// The arriving request.
+        request: RequestId,
+    },
+    /// A work item arrives at a compute node (after network transfer).
+    NodeArrival {
+        /// Destination node.
+        node: NodeId,
+        /// The work to enqueue.
+        item: WorkItem,
+    },
+    /// A node finishes its current batch.
+    BatchComplete {
+        /// The node that finished.
+        node: NodeId,
+    },
+    /// The coordinator receives a generated token for a request.
+    TokenAtCoordinator {
+        /// The request that produced the token.
+        request: RequestId,
+        /// Whether this token came from the prompt phase (the request's first
+        /// token) or a decode iteration.
+        phase: Phase,
+    },
+    /// Bookkeeping tick used to close the measurement window.
+    MeasurementEnd,
+}
+
+/// An event scheduled at a point in simulated time.
+#[derive(Debug, Clone)]
+struct ScheduledEvent {
+    time: SimTime,
+    sequence: u64,
+    event: Event,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.sequence == other.sequence
+    }
+}
+impl Eq for ScheduledEvent {}
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.sequence.cmp(&self.sequence))
+    }
+}
+
+/// A time-ordered event queue with FIFO tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    sequence: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, event: Event) {
+        debug_assert!(time.is_finite() && time >= 0.0, "event scheduled at invalid time {time}");
+        self.heap.push(ScheduledEvent { time, sequence: self.sequence, event });
+        self.sequence += 1;
+    }
+
+    /// Pops the earliest event, returning `(time, event)`.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The request's pipeline plus progress bookkeeping kept by the coordinator.
+#[derive(Debug, Clone)]
+pub struct RequestState {
+    /// The assigned per-request pipeline.
+    pub pipeline: RequestPipeline,
+    /// Prompt length in tokens.
+    #[allow(dead_code)] // kept for debugging / trace dumps
+    pub prompt_tokens: usize,
+    /// Output tokens the request will generate before finishing.
+    pub output_tokens: usize,
+    /// Tokens generated so far.
+    pub generated: usize,
+    /// Arrival time at the coordinator.
+    pub arrival_time: SimTime,
+    /// Time the first output token reached the coordinator.
+    pub first_token_time: Option<SimTime>,
+    /// Time the previous output token reached the coordinator.
+    pub last_token_time: Option<SimTime>,
+    /// Accumulated inter-token gaps (for decode latency).
+    pub decode_gaps: Vec<f64>,
+    /// Completion time.
+    pub finish_time: Option<SimTime>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.push(5.0, Event::MeasurementEnd);
+        q.push(1.0, Event::RequestArrival { request: 1 });
+        q.push(1.0, Event::RequestArrival { request: 2 });
+        q.push(3.0, Event::RequestArrival { request: 3 });
+        assert_eq!(q.len(), 4);
+        let (t1, e1) = q.pop().unwrap();
+        assert_eq!(t1, 1.0);
+        assert_eq!(e1, Event::RequestArrival { request: 1 });
+        let (_, e2) = q.pop().unwrap();
+        assert_eq!(e2, Event::RequestArrival { request: 2 });
+        let (t3, _) = q.pop().unwrap();
+        assert_eq!(t3, 3.0);
+        let (t4, _) = q.pop().unwrap();
+        assert_eq!(t4, 5.0);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time")]
+    #[cfg(debug_assertions)]
+    fn scheduling_at_nan_time_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, Event::MeasurementEnd);
+    }
+}

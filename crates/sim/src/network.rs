@@ -1,0 +1,107 @@
+//! FIFO network links with finite bandwidth and latency.
+
+use crate::event::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A directed network link modelled as a FIFO serialisation queue plus a
+/// propagation delay.
+///
+/// Transfers are serialised: a transfer cannot start before the previous one
+/// on the same link has finished being sent.  The receiver sees the data one
+/// propagation latency after serialisation completes.  The queueing delay a
+/// transfer experiences before it starts being sent is what the paper's
+/// §6.7 case study calls congestion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkQueue {
+    bandwidth_bytes_per_sec: f64,
+    latency_secs: f64,
+    busy_until: SimTime,
+    /// Total bytes carried.
+    pub bytes_transferred: f64,
+    /// Total number of transfers.
+    pub transfers: u64,
+    /// Accumulated queueing delay (seconds waited before serialisation).
+    pub total_queue_delay: f64,
+    /// Largest single queueing delay observed.
+    pub max_queue_delay: f64,
+}
+
+impl LinkQueue {
+    /// Creates an idle link.
+    pub fn new(bandwidth_bytes_per_sec: f64, latency_secs: f64) -> Self {
+        LinkQueue {
+            bandwidth_bytes_per_sec: bandwidth_bytes_per_sec.max(1.0),
+            latency_secs: latency_secs.max(0.0),
+            busy_until: 0.0,
+            bytes_transferred: 0.0,
+            transfers: 0,
+            total_queue_delay: 0.0,
+            max_queue_delay: 0.0,
+        }
+    }
+
+    /// Enqueues a transfer of `bytes` at time `now`; returns the time the
+    /// data is fully available at the receiver.
+    pub fn transfer(&mut self, now: SimTime, bytes: f64) -> SimTime {
+        let start = now.max(self.busy_until);
+        let queue_delay = start - now;
+        let serialisation = bytes / self.bandwidth_bytes_per_sec;
+        let done_sending = start + serialisation;
+        self.busy_until = done_sending;
+        self.bytes_transferred += bytes;
+        self.transfers += 1;
+        self.total_queue_delay += queue_delay;
+        self.max_queue_delay = self.max_queue_delay.max(queue_delay);
+        done_sending + self.latency_secs
+    }
+
+    /// Mean queueing delay per transfer (seconds).
+    pub fn mean_queue_delay(&self) -> f64 {
+        if self.transfers == 0 {
+            0.0
+        } else {
+            self.total_queue_delay / self.transfers as f64
+        }
+    }
+
+    /// The time until which the link is busy serialising.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_link_delivers_after_serialisation_plus_latency() {
+        let mut link = LinkQueue::new(1_000_000.0, 0.05);
+        let arrival = link.transfer(1.0, 500_000.0);
+        assert!((arrival - (1.0 + 0.5 + 0.05)).abs() < 1e-12);
+        assert_eq!(link.transfers, 1);
+        assert_eq!(link.mean_queue_delay(), 0.0);
+    }
+
+    #[test]
+    fn back_to_back_transfers_queue_up() {
+        let mut link = LinkQueue::new(1_000_000.0, 0.0);
+        let first = link.transfer(0.0, 1_000_000.0); // takes 1s
+        let second = link.transfer(0.0, 1_000_000.0); // must wait for the first
+        assert!((first - 1.0).abs() < 1e-12);
+        assert!((second - 2.0).abs() < 1e-12);
+        assert!((link.mean_queue_delay() - 0.5).abs() < 1e-12);
+        assert!((link.max_queue_delay - 1.0).abs() < 1e-12);
+        assert!(link.busy_until() >= 2.0 - 1e-12);
+    }
+
+    #[test]
+    fn later_transfer_on_idle_link_does_not_queue() {
+        let mut link = LinkQueue::new(1_000.0, 0.01);
+        link.transfer(0.0, 1_000.0);
+        let arrival = link.transfer(10.0, 1_000.0);
+        assert!((arrival - 11.01).abs() < 1e-12);
+        assert_eq!(link.max_queue_delay, 0.0);
+        assert!((link.bytes_transferred - 2_000.0).abs() < 1e-12);
+    }
+}

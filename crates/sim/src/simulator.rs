@@ -1,0 +1,504 @@
+//! The cluster simulator: coordinator loop, routing, metrics collection.
+
+use crate::engine::NodeEngine;
+use crate::event::{Event, EventQueue, Phase, RequestState, SimTime, WorkItem};
+use crate::metrics::{LatencyStats, LinkStats, Metrics};
+use crate::network::LinkQueue;
+use helix_cluster::{ClusterProfile, NodeId, TOKEN_WIRE_BYTES};
+use helix_core::{ClusterState, ModelPlacement, Scheduler};
+use helix_workload::{Request, RequestId, Workload};
+use std::collections::{HashMap, VecDeque};
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationConfig {
+    /// Warm-up period excluded from measurements (seconds).
+    pub warmup_secs: f64,
+    /// Measurement window length (seconds).
+    pub duration_secs: f64,
+    /// Maximum number of requests concurrently admitted into the cluster;
+    /// further arrivals wait in the coordinator backlog.  This is how the
+    /// offline setting saturates the cluster without infinite queues.
+    pub admission_limit: usize,
+    /// Safety cap on processed events.
+    pub max_events: u64,
+}
+
+impl SimulationConfig {
+    /// Offline serving (paper: 1 minute warm-up, 10 minute measurement; here
+    /// parameterised): all requests are available immediately and admission
+    /// control keeps the cluster saturated.
+    pub fn offline(duration_secs: f64) -> Self {
+        SimulationConfig {
+            warmup_secs: duration_secs * 0.1,
+            duration_secs,
+            admission_limit: 512,
+            max_events: 200_000_000,
+        }
+    }
+
+    /// Online serving: requests arrive over time; admission control is
+    /// effectively unlimited.
+    pub fn online(duration_secs: f64) -> Self {
+        SimulationConfig {
+            warmup_secs: duration_secs * 0.05,
+            duration_secs,
+            admission_limit: usize::MAX,
+            max_events: 200_000_000,
+        }
+    }
+
+    /// Overrides the warm-up period.
+    pub fn with_warmup(mut self, warmup_secs: f64) -> Self {
+        self.warmup_secs = warmup_secs;
+        self
+    }
+
+    /// Overrides the admission limit.
+    pub fn with_admission_limit(mut self, limit: usize) -> Self {
+        self.admission_limit = limit;
+        self
+    }
+}
+
+/// Snapshot of cluster state handed to the scheduler.
+struct StateSnapshot {
+    queue_len: HashMap<NodeId, usize>,
+    throughput: HashMap<NodeId, f64>,
+    kv_used: HashMap<NodeId, f64>,
+    kv_capacity: HashMap<NodeId, f64>,
+}
+
+impl ClusterState for StateSnapshot {
+    fn queue_len(&self, node: NodeId) -> usize {
+        self.queue_len.get(&node).copied().unwrap_or(0)
+    }
+    fn recent_throughput(&self, node: NodeId) -> f64 {
+        self.throughput.get(&node).copied().unwrap_or(0.0)
+    }
+    fn kv_used_tokens(&self, node: NodeId) -> f64 {
+        self.kv_used.get(&node).copied().unwrap_or(0.0)
+    }
+    fn kv_capacity_tokens(&self, node: NodeId) -> f64 {
+        self.kv_capacity.get(&node).copied().unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Discrete-event simulator of a Helix-style serving cluster.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+pub struct ClusterSimulator<'a> {
+    profile: &'a ClusterProfile,
+    placement: ModelPlacement,
+    scheduler: Box<dyn Scheduler>,
+    engines: HashMap<NodeId, NodeEngine>,
+    links: HashMap<(Option<NodeId>, Option<NodeId>), LinkQueue>,
+}
+
+impl<'a> ClusterSimulator<'a> {
+    /// Creates a simulator for one (profile, placement, scheduler) triple.
+    pub fn new(
+        profile: &'a ClusterProfile,
+        placement: &ModelPlacement,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Self {
+        let engines = placement
+            .iter()
+            .map(|(node, range)| {
+                let kv_capacity = profile.kv_capacity_tokens(node, range.len());
+                let engine = NodeEngine::new(profile.node_profile(node), range.len(), kv_capacity);
+                (node, engine)
+            })
+            .collect();
+        ClusterSimulator {
+            profile,
+            placement: placement.clone(),
+            scheduler,
+            engines,
+            links: HashMap::new(),
+        }
+    }
+
+    /// Runs the simulation of `workload` and returns the measured metrics.
+    pub fn run(&mut self, workload: &Workload, config: SimulationConfig) -> Metrics {
+        let mut queue = EventQueue::new();
+        let specs: HashMap<RequestId, Request> =
+            workload.iter().map(|r| (r.id, *r)).collect();
+        for r in workload.iter() {
+            queue.push(r.arrival_time, Event::RequestArrival { request: r.id });
+        }
+        let end_time = config.warmup_secs + config.duration_secs;
+        let mut states: HashMap<RequestId, RequestState> = HashMap::new();
+        let mut backlog: VecDeque<RequestId> = VecDeque::new();
+        let mut active = 0usize;
+
+        // Measurement accumulators.
+        let mut decode_tokens: u64 = 0;
+        let mut completed: u64 = 0;
+        let mut prompt_latencies: Vec<f64> = Vec::new();
+        let mut decode_gaps: Vec<f64> = Vec::new();
+        let mut processed_events: u64 = 0;
+        let mut now: SimTime = 0.0;
+
+        while let Some((time, event)) = queue.pop() {
+            if time > end_time {
+                break;
+            }
+            now = time;
+            processed_events += 1;
+            if processed_events > config.max_events {
+                break;
+            }
+            match event {
+                Event::RequestArrival { request } => {
+                    if active >= config.admission_limit {
+                        backlog.push_back(request);
+                        continue;
+                    }
+                    self.admit_request(request, &specs, &mut states, &mut queue, now, &mut active);
+                }
+                Event::NodeArrival { node, item } => {
+                    if let Some(engine) = self.engines.get_mut(&node) {
+                        engine.enqueue(item);
+                        if let Some(done) = engine.try_start_batch(now) {
+                            queue.push(done, Event::BatchComplete { node });
+                        }
+                    }
+                }
+                Event::BatchComplete { node } => {
+                    let items = self
+                        .engines
+                        .get_mut(&node)
+                        .expect("batch completed on unknown node")
+                        .complete_batch();
+                    for item in items {
+                        self.route_onward(node, item, &states, &mut queue, now);
+                    }
+                    if let Some(engine) = self.engines.get_mut(&node) {
+                        if let Some(done) = engine.try_start_batch(now) {
+                            queue.push(done, Event::BatchComplete { node });
+                        }
+                    }
+                }
+                Event::TokenAtCoordinator { request, phase: _ } => {
+                    let Some(state) = states.get_mut(&request) else { continue };
+                    state.generated += 1;
+                    let in_window = now >= config.warmup_secs;
+                    if in_window {
+                        decode_tokens += 1;
+                    }
+                    if state.first_token_time.is_none() {
+                        state.first_token_time = Some(now);
+                        if in_window {
+                            prompt_latencies.push(now - state.arrival_time);
+                        }
+                    } else if let Some(last) = state.last_token_time {
+                        let gap = now - last;
+                        state.decode_gaps.push(gap);
+                        if in_window {
+                            decode_gaps.push(gap);
+                        }
+                    }
+                    state.last_token_time = Some(now);
+                    if state.generated >= state.output_tokens {
+                        state.finish_time = Some(now);
+                        if in_window {
+                            completed += 1;
+                        }
+                        for node in state.pipeline.nodes() {
+                            if let Some(engine) = self.engines.get_mut(&node) {
+                                engine.release_request(request);
+                            }
+                        }
+                        active = active.saturating_sub(1);
+                        if let Some(next) = backlog.pop_front() {
+                            self.admit_request(
+                                next, &specs, &mut states, &mut queue, now, &mut active,
+                            );
+                        }
+                    } else {
+                        // Schedule the next decode iteration over the same pipeline.
+                        let first = state.pipeline.stages[0];
+                        let arrival = self.link_transfer(None, Some(first.node), now, TOKEN_WIRE_BYTES);
+                        queue.push(
+                            arrival,
+                            Event::NodeArrival {
+                                node: first.node,
+                                item: WorkItem {
+                                    request,
+                                    phase: Phase::Decode,
+                                    tokens: 1,
+                                    layers: first.layers,
+                                    stage_index: 0,
+                                },
+                            },
+                        );
+                    }
+                }
+                Event::MeasurementEnd => {}
+            }
+        }
+
+        let measured = (now.min(end_time) - config.warmup_secs).max(1e-9);
+        let node_utilization = self
+            .engines
+            .iter()
+            .map(|(&node, engine)| (node, (engine.busy_seconds / now.max(1e-9)).min(1.0)))
+            .collect();
+        let mut link_stats: Vec<LinkStats> = self
+            .links
+            .iter()
+            .map(|(&(from, to), link)| LinkStats {
+                from,
+                to,
+                transfers: link.transfers,
+                bytes: link.bytes_transferred,
+                mean_queue_delay: link.mean_queue_delay(),
+                max_queue_delay: link.max_queue_delay,
+            })
+            .collect();
+        link_stats.sort_by(|a, b| {
+            b.mean_queue_delay
+                .partial_cmp(&a.mean_queue_delay)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Metrics {
+            measured_seconds: measured,
+            decode_tokens,
+            completed_requests: completed,
+            prompt_latency: LatencyStats::from_samples(&prompt_latencies),
+            decode_latency: LatencyStats::from_samples(&decode_gaps),
+            node_utilization,
+            link_stats,
+        }
+    }
+
+    /// The placement the simulator is running.
+    pub fn placement(&self) -> &ModelPlacement {
+        &self.placement
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        let mut queue_len = HashMap::new();
+        let mut throughput = HashMap::new();
+        let mut kv_used = HashMap::new();
+        let mut kv_capacity = HashMap::new();
+        for (&node, engine) in &self.engines {
+            queue_len.insert(node, engine.queue_len() + usize::from(engine.is_busy()));
+            throughput.insert(node, engine.recent_throughput());
+            kv_used.insert(node, engine.kv_used_tokens());
+            kv_capacity.insert(node, engine.kv_capacity_tokens());
+        }
+        StateSnapshot { queue_len, throughput, kv_used, kv_capacity }
+    }
+
+    fn admit_request(
+        &mut self,
+        request: RequestId,
+        specs: &HashMap<RequestId, Request>,
+        states: &mut HashMap<RequestId, RequestState>,
+        queue: &mut EventQueue,
+        now: SimTime,
+        active: &mut usize,
+    ) {
+        let Some(spec) = specs.get(&request).copied() else { return };
+        let snapshot = self.snapshot();
+        match self.scheduler.schedule(&snapshot) {
+            Ok(pipeline) => {
+                let first = pipeline.stages[0];
+                states.insert(
+                    request,
+                    RequestState {
+                        pipeline: pipeline.clone(),
+                        prompt_tokens: spec.prompt_tokens,
+                        output_tokens: spec.output_tokens,
+                        generated: 0,
+                        arrival_time: spec.arrival_time.max(0.0).min(now),
+                        first_token_time: None,
+                        last_token_time: None,
+                        decode_gaps: Vec::new(),
+                        finish_time: None,
+                    },
+                );
+                *active += 1;
+                let bytes = spec.prompt_tokens as f64 * TOKEN_WIRE_BYTES;
+                let arrival = self.link_transfer(None, Some(first.node), now, bytes);
+                queue.push(
+                    arrival,
+                    Event::NodeArrival {
+                        node: first.node,
+                        item: WorkItem {
+                            request,
+                            phase: Phase::Prompt,
+                            tokens: spec.prompt_tokens,
+                            layers: first.layers,
+                            stage_index: 0,
+                        },
+                    },
+                );
+            }
+            Err(_) => {
+                // Every candidate is masked (e.g. KV caches full): retry shortly.
+                queue.push(now + 0.2, Event::RequestArrival { request });
+            }
+        }
+    }
+
+    fn route_onward(
+        &mut self,
+        node: NodeId,
+        item: WorkItem,
+        states: &HashMap<RequestId, RequestState>,
+        queue: &mut EventQueue,
+        now: SimTime,
+    ) {
+        let Some(state) = states.get(&item.request) else { return };
+        let next_index = item.stage_index + 1;
+        if next_index < state.pipeline.stages.len() {
+            let next = state.pipeline.stages[next_index];
+            let bytes = item.tokens as f64 * self.profile.model().activation_bytes();
+            let arrival = self.link_transfer(Some(node), Some(next.node), now, bytes);
+            queue.push(
+                arrival,
+                Event::NodeArrival {
+                    node: next.node,
+                    item: WorkItem {
+                        request: item.request,
+                        phase: item.phase,
+                        tokens: item.tokens,
+                        layers: next.layers,
+                        stage_index: next_index,
+                    },
+                },
+            );
+        } else {
+            // Last stage: the generated token returns to the coordinator.
+            let arrival = self.link_transfer(Some(node), None, now, TOKEN_WIRE_BYTES);
+            queue.push(arrival, Event::TokenAtCoordinator { request: item.request, phase: item.phase });
+        }
+    }
+
+    fn link_transfer(
+        &mut self,
+        from: Option<NodeId>,
+        to: Option<NodeId>,
+        now: SimTime,
+        bytes: f64,
+    ) -> SimTime {
+        let profile = self.profile;
+        let link = self.links.entry((from, to)).or_insert_with(|| {
+            let spec = profile.cluster().link(from, to);
+            LinkQueue::new(spec.bandwidth_bytes_per_sec(), spec.latency_secs())
+        });
+        link.transfer(now, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_cluster::{ClusterSpec, ModelConfig};
+    use helix_core::{heuristics, IwrrScheduler, RandomScheduler, SwarmScheduler};
+    use helix_workload::ArrivalPattern;
+
+    fn small_profile() -> ClusterProfile {
+        ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b())
+    }
+
+    fn small_workload(n: usize) -> Workload {
+        // Short requests keep the unit tests quick.
+        let config = helix_workload::AzureTraceConfig {
+            mean_input_tokens: 128.0,
+            mean_output_tokens: 32.0,
+            max_input_tokens: 512,
+            max_output_tokens: 64,
+            ..Default::default()
+        };
+        config.generate(n, 3).with_arrivals(ArrivalPattern::Offline, 4)
+    }
+
+    #[test]
+    fn simulation_completes_requests_and_reports_metrics() {
+        let profile = small_profile();
+        let placement = heuristics::petals_placement(&profile).unwrap();
+        let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
+        let workload = small_workload(40);
+        let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
+        let metrics = sim.run(&workload, SimulationConfig::offline(120.0).with_warmup(0.0));
+        assert!(metrics.decode_throughput() > 0.0);
+        assert!(metrics.completed_requests > 0);
+        assert!(metrics.avg_prompt_latency() > 0.0);
+        assert!(metrics.avg_decode_latency() > 0.0);
+        // Utilisation values are sane.
+        for (_, u) in &metrics.node_utilization {
+            assert!(*u >= 0.0 && *u <= 1.0);
+        }
+        assert!(!metrics.link_stats.is_empty());
+    }
+
+    #[test]
+    fn online_arrivals_produce_lower_latency_than_saturation() {
+        let profile = small_profile();
+        let placement = heuristics::petals_placement(&profile).unwrap();
+        let workload_sat = small_workload(60);
+        let workload_light = small_workload(60)
+            .with_arrivals(ArrivalPattern::constant_rate(0.5), 5);
+        let run = |w: &Workload| {
+            let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
+            let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
+            sim.run(w, SimulationConfig::online(200.0).with_warmup(0.0))
+        };
+        let saturated = run(&workload_sat);
+        let light = run(&workload_light);
+        assert!(
+            light.avg_prompt_latency() <= saturated.avg_prompt_latency() * 1.5,
+            "light {} vs saturated {}",
+            light.avg_prompt_latency(),
+            saturated.avg_prompt_latency()
+        );
+    }
+
+    #[test]
+    fn admission_limit_throttles_concurrency() {
+        let profile = small_profile();
+        let placement = heuristics::petals_placement(&profile).unwrap();
+        let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
+        let workload = small_workload(30);
+        let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
+        let metrics =
+            sim.run(&workload, SimulationConfig::offline(120.0).with_warmup(0.0).with_admission_limit(2));
+        assert!(metrics.completed_requests > 0);
+    }
+
+    #[test]
+    fn different_schedulers_run_on_the_same_placement() {
+        let profile = small_profile();
+        let placement = heuristics::swarm_placement(&profile).unwrap();
+        let workload = small_workload(25);
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(IwrrScheduler::from_placement(&profile, &placement, true).unwrap()),
+            Box::new(SwarmScheduler::new(&profile, &placement, true)),
+            Box::new(RandomScheduler::new(&profile, &placement, true, 11)),
+        ];
+        for scheduler in schedulers {
+            let mut sim = ClusterSimulator::new(&profile, &placement, scheduler);
+            let metrics = sim.run(&workload, SimulationConfig::offline(90.0).with_warmup(0.0));
+            assert!(metrics.decode_tokens > 0);
+        }
+    }
+
+    #[test]
+    fn warmup_window_excludes_early_tokens() {
+        let profile = small_profile();
+        let placement = heuristics::petals_placement(&profile).unwrap();
+        let workload = small_workload(40);
+        let run = |warmup: f64| {
+            let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
+            let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
+            sim.run(&workload, SimulationConfig { warmup_secs: warmup, duration_secs: 60.0, admission_limit: 64, max_events: 10_000_000 })
+        };
+        let with_warmup = run(30.0);
+        let without = run(0.0);
+        assert!(with_warmup.decode_tokens <= without.decode_tokens);
+    }
+}

@@ -1,0 +1,245 @@
+//! Synthetic LLM-serving workloads modelled on the Azure Conversation trace.
+//!
+//! The paper evaluates Helix on the Azure Conversation dataset (§6.2,
+//! Fig. 5): 16,657 requests after pruning, average input length 763 tokens,
+//! average output length 232 tokens, inputs capped at 2048 and outputs at
+//! 1024 tokens.  The real trace is not redistributable, so this crate
+//! generates synthetic workloads matched to those published statistics:
+//!
+//! * [`AzureTraceConfig`] / [`Workload::azure_like`] — log-normal prompt and
+//!   output length distributions calibrated to the published means and caps.
+//! * [`ArrivalPattern`] — the paper's two settings: *offline* (requests are
+//!   all available up front, the cluster runs saturated) and *online*
+//!   (arrivals follow a diurnal rate curve scaled to a fraction of the
+//!   cluster's peak throughput, 75% in the paper).
+//! * [`TraceStatistics`] — the summaries plotted in Fig. 5 (length
+//!   distributions and arrival rate over time).
+
+mod arrival;
+mod azure;
+mod request;
+
+pub use arrival::ArrivalPattern;
+pub use azure::AzureTraceConfig;
+pub use request::{Request, RequestId};
+
+use serde::{Deserialize, Serialize};
+
+/// A set of requests with lengths and arrival times, sorted by arrival time.
+///
+/// # Example
+///
+/// ```rust
+/// use helix_workload::{ArrivalPattern, Workload};
+///
+/// let workload = Workload::azure_like(1000, 42)
+///     .with_arrivals(ArrivalPattern::constant_rate(10.0), 7);
+/// assert_eq!(workload.len(), 1000);
+/// let stats = workload.statistics();
+/// assert!((stats.mean_input_tokens - 763.0).abs() < 80.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    requests: Vec<Request>,
+}
+
+impl Workload {
+    /// Builds a workload from explicit requests (sorted by arrival time).
+    pub fn new(mut requests: Vec<Request>) -> Self {
+        requests.sort_by(|a, b| {
+            a.arrival_time
+                .partial_cmp(&b.arrival_time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        Workload { requests }
+    }
+
+    /// Generates `n` requests with Azure-Conversation-like length statistics
+    /// and all arrival times at zero (offline setting).
+    pub fn azure_like(n: usize, seed: u64) -> Self {
+        AzureTraceConfig::default().generate(n, seed)
+    }
+
+    /// Reassigns arrival times according to `pattern`.
+    pub fn with_arrivals(mut self, pattern: ArrivalPattern, seed: u64) -> Self {
+        pattern.assign(&mut self.requests, seed);
+        self.requests.sort_by(|a, b| {
+            a.arrival_time
+                .partial_cmp(&b.arrival_time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        self
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The requests, sorted by arrival time.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Iterates over the requests in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &Request> + '_ {
+        self.requests.iter()
+    }
+
+    /// Truncates the workload to requests arriving before `horizon_secs`.
+    pub fn truncate_to_horizon(mut self, horizon_secs: f64) -> Self {
+        self.requests.retain(|r| r.arrival_time < horizon_secs);
+        self
+    }
+
+    /// Keeps only the first `n` requests (by arrival order).
+    pub fn take(mut self, n: usize) -> Self {
+        self.requests.truncate(n);
+        self
+    }
+
+    /// Summary statistics (Fig. 5).
+    pub fn statistics(&self) -> TraceStatistics {
+        TraceStatistics::from_requests(&self.requests)
+    }
+
+    /// Total number of output (decode) tokens across all requests.
+    pub fn total_output_tokens(&self) -> u64 {
+        self.requests.iter().map(|r| r.output_tokens as u64).sum()
+    }
+
+    /// Total number of prompt tokens across all requests.
+    pub fn total_prompt_tokens(&self) -> u64 {
+        self.requests.iter().map(|r| r.prompt_tokens as u64).sum()
+    }
+}
+
+/// Summary statistics of a workload (paper Fig. 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStatistics {
+    /// Number of requests.
+    pub num_requests: usize,
+    /// Mean prompt length in tokens.
+    pub mean_input_tokens: f64,
+    /// Mean output length in tokens.
+    pub mean_output_tokens: f64,
+    /// Maximum prompt length.
+    pub max_input_tokens: usize,
+    /// Maximum output length.
+    pub max_output_tokens: usize,
+    /// Histogram of prompt lengths (bucket width 128 tokens).
+    pub input_histogram: Vec<usize>,
+    /// Histogram of output lengths (bucket width 64 tokens).
+    pub output_histogram: Vec<usize>,
+    /// Requests arriving in each minute of the trace.
+    pub arrivals_per_minute: Vec<usize>,
+}
+
+impl TraceStatistics {
+    /// Bucket width of [`TraceStatistics::input_histogram`].
+    pub const INPUT_BUCKET: usize = 128;
+    /// Bucket width of [`TraceStatistics::output_histogram`].
+    pub const OUTPUT_BUCKET: usize = 64;
+
+    fn from_requests(requests: &[Request]) -> Self {
+        let n = requests.len().max(1) as f64;
+        let mean_input_tokens = requests.iter().map(|r| r.prompt_tokens as f64).sum::<f64>() / n;
+        let mean_output_tokens = requests.iter().map(|r| r.output_tokens as f64).sum::<f64>() / n;
+        let max_input_tokens = requests.iter().map(|r| r.prompt_tokens).max().unwrap_or(0);
+        let max_output_tokens = requests.iter().map(|r| r.output_tokens).max().unwrap_or(0);
+        let mut input_histogram = vec![0usize; max_input_tokens / Self::INPUT_BUCKET + 1];
+        let mut output_histogram = vec![0usize; max_output_tokens / Self::OUTPUT_BUCKET + 1];
+        for r in requests {
+            input_histogram[r.prompt_tokens / Self::INPUT_BUCKET] += 1;
+            output_histogram[r.output_tokens / Self::OUTPUT_BUCKET] += 1;
+        }
+        let max_minute = requests
+            .iter()
+            .map(|r| (r.arrival_time / 60.0).floor() as usize)
+            .max()
+            .unwrap_or(0);
+        let mut arrivals_per_minute = vec![0usize; max_minute + 1];
+        for r in requests {
+            arrivals_per_minute[(r.arrival_time / 60.0).floor() as usize] += 1;
+        }
+        TraceStatistics {
+            num_requests: requests.len(),
+            mean_input_tokens,
+            mean_output_tokens,
+            max_input_tokens,
+            max_output_tokens,
+            input_histogram,
+            output_histogram,
+            arrivals_per_minute,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn azure_like_matches_published_statistics() {
+        let w = Workload::azure_like(16_657, 1);
+        let stats = w.statistics();
+        assert_eq!(stats.num_requests, 16_657);
+        // Paper: average input 763, average output 232, caps 2048/1024.
+        assert!((stats.mean_input_tokens - 763.0).abs() < 60.0, "{}", stats.mean_input_tokens);
+        assert!((stats.mean_output_tokens - 232.0).abs() < 25.0, "{}", stats.mean_output_tokens);
+        assert!(stats.max_input_tokens <= 2048);
+        assert!(stats.max_output_tokens <= 1024);
+        // Every request has at least one prompt token and one output token.
+        assert!(w.iter().all(|r| r.prompt_tokens >= 1 && r.output_tokens >= 1));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Workload::azure_like(100, 7);
+        let b = Workload::azure_like(100, 7);
+        let c = Workload::azure_like(100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrival_patterns_sort_and_truncate() {
+        let w = Workload::azure_like(500, 3).with_arrivals(ArrivalPattern::constant_rate(5.0), 9);
+        let times: Vec<f64> = w.iter().map(|r| r.arrival_time).collect();
+        assert!(times.windows(2).all(|p| p[0] <= p[1]));
+        // Roughly 500 requests at 5 req/s -> about 100 seconds.
+        assert!(*times.last().unwrap() > 50.0 && *times.last().unwrap() < 200.0);
+        let truncated = w.clone().truncate_to_horizon(10.0);
+        assert!(truncated.len() < w.len());
+        assert!(truncated.iter().all(|r| r.arrival_time < 10.0));
+        let first = w.clone().take(10);
+        assert_eq!(first.len(), 10);
+    }
+
+    #[test]
+    fn statistics_histograms_sum_to_request_count() {
+        let w = Workload::azure_like(2000, 5);
+        let stats = w.statistics();
+        assert_eq!(stats.input_histogram.iter().sum::<usize>(), 2000);
+        assert_eq!(stats.output_histogram.iter().sum::<usize>(), 2000);
+        assert_eq!(stats.arrivals_per_minute.iter().sum::<usize>(), 2000);
+        assert!(w.total_output_tokens() > 0);
+        assert!(w.total_prompt_tokens() > w.total_output_tokens());
+    }
+
+    #[test]
+    fn empty_workload_is_harmless() {
+        let w = Workload::new(vec![]);
+        assert!(w.is_empty());
+        let stats = w.statistics();
+        assert_eq!(stats.num_requests, 0);
+        assert_eq!(stats.mean_input_tokens, 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Request records.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a request within a workload.
+pub type RequestId = u64;
+
+/// One LLM serving request: a prompt of known length and the (ground-truth)
+/// number of output tokens it will generate.
+///
+/// The output length is of course unknown to the serving system until the
+/// request finishes; the simulator only uses it to decide when the request
+/// emits its end-of-sequence token, mirroring how trace replay works in the
+/// paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique id within the workload.
+    pub id: RequestId,
+    /// Number of prompt tokens.
+    pub prompt_tokens: usize,
+    /// Number of output tokens the request will generate.
+    pub output_tokens: usize,
+    /// Arrival time in seconds from the start of the trace.
+    pub arrival_time: f64,
+}
+
+impl Request {
+    /// Total tokens that end up in the KV cache when the request completes.
+    pub fn total_tokens(&self) -> usize {
+        self.prompt_tokens + self.output_tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_tokens_adds_prompt_and_output() {
+        let r = Request { id: 1, prompt_tokens: 100, output_tokens: 50, arrival_time: 0.0 };
+        assert_eq!(r.total_tokens(), 150);
+    }
+}

@@ -1,0 +1,75 @@
+//! Scale-out planning via cluster partitioning (paper §4.5).
+//!
+//! For clusters far larger than the MILP planner can optimise in one piece,
+//! the paper suggests partitioning the nodes into smaller groups with
+//! heuristics and applying Helix to each group independently.  This example
+//! partitions the 42-node high-heterogeneity cluster, plans a placement per
+//! partition, and compares the combined throughput against planning the whole
+//! cluster monolithically with the same search budget.
+//!
+//! Run with: `cargo run --release --example scale_out_partitioning`
+
+use helix::prelude::*;
+use helix_core::{PartitionOptions, PartitionedPlanner};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = ClusterProfile::analytic(
+        ClusterSpec::high_heterogeneity_42(),
+        ModelConfig::llama2_70b(),
+    );
+    println!(
+        "cluster: {} nodes, {} GPU types, model {} ({} layers)",
+        profile.cluster().num_nodes(),
+        profile.cluster().num_gpu_types(),
+        profile.model().name,
+        profile.model().num_layers
+    );
+    println!("throughput upper bound: {:.1} tokens/s\n", profile.throughput_upper_bound());
+
+    let budget = AnnealingOptions { iterations: 1_500, ..Default::default() };
+
+    // Monolithic planning: one annealing search over all 42 nodes.
+    let (mono_placement, mono_throughput) = FlowAnnealingPlanner::new(&profile)
+        .with_options(budget.clone())
+        .solve()?;
+    println!(
+        "monolithic planning : {:>7.1} tokens/s over {} assigned nodes",
+        mono_throughput,
+        mono_placement.num_assigned()
+    );
+
+    // Partitioned planning: split into groups of at most 14 nodes (each able
+    // to hold a full replica), plan each independently with the same budget.
+    let plan = PartitionedPlanner::new(&profile)
+        .with_options(PartitionOptions {
+            max_partition_size: 14,
+            annealing: budget,
+            ..Default::default()
+        })
+        .solve()?;
+    println!(
+        "partitioned planning: {:>7.1} tokens/s across {} replicas",
+        plan.total_throughput(),
+        plan.num_replicas()
+    );
+    for (i, partition) in plan.partitions().iter().enumerate() {
+        println!(
+            "  replica {i}: {:>2} nodes, {:>7.1} tokens/s",
+            partition.nodes.len(),
+            partition.throughput
+        );
+    }
+
+    // The combined placement is a normal placement: verify its max flow and
+    // schedule against it.
+    let combined = plan.combined_placement();
+    let graph = FlowGraphBuilder::new(&profile).build(&combined)?;
+    let flow = graph.max_flow();
+    println!("\ncombined placement max flow: {:.1} tokens/s", flow.value);
+    let scheduler = IwrrScheduler::from_placement(&profile, &combined, true)?;
+    println!(
+        "IWRR scheduler sees {} distinct pipelines through the combined placement",
+        scheduler.num_pipelines_possible()
+    );
+    Ok(())
+}
