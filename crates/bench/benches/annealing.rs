@@ -1,0 +1,147 @@
+//! Cold-rebuild vs warm-start evaluation cost in the annealing planner's hot
+//! loop, on the paper's 10/24/42-node clusters.
+//!
+//! `cold_rebuild` is what `FlowAnnealingPlanner` did per iteration before the
+//! warm-start path existed: clone the placement, rebuild the whole flow graph
+//! and solve max flow from scratch.  `warm_start` is the default path now:
+//! mutate the standing network's capacities at one node and re-solve from the
+//! previous preflow.  `end_to_end` compares full planner runs on the study
+//! cluster.
+//!
+//! Run with `cargo bench -p helix-bench --bench annealing`; results are
+//! recorded in `BENCH_annealing.json` at the repository root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig, NodeId};
+use helix_core::{
+    heuristics, AnnealingOptions, FlowAnnealingPlanner, FlowGraphBuilder, IncrementalFlowEvaluator,
+    LayerRange,
+};
+use helix_maxflow::MaxFlowAlgorithm;
+use std::hint::black_box;
+
+fn clusters() -> Vec<(&'static str, ClusterProfile)> {
+    vec![
+        (
+            "10-node",
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b()),
+        ),
+        (
+            "24-node",
+            ClusterProfile::analytic(ClusterSpec::geo_distributed_24(), ModelConfig::llama2_70b()),
+        ),
+        (
+            "42-node",
+            ClusterProfile::analytic(
+                ClusterSpec::high_heterogeneity_42(),
+                ModelConfig::llama2_70b(),
+            ),
+        ),
+    ]
+}
+
+/// A deterministic tour of single-node moves, shaped like the annealing
+/// planner's proposals.
+fn move_sequence(profile: &ClusterProfile, count: usize) -> Vec<(NodeId, LayerRange)> {
+    let num_layers = profile.model().num_layers;
+    let nodes: Vec<NodeId> = profile.cluster().node_ids().collect();
+    let mut moves = Vec::with_capacity(count);
+    let mut step = 0usize;
+    while moves.len() < count {
+        let node = nodes[step % nodes.len()];
+        let max_layers = profile.node_profile(node).max_layers.min(num_layers);
+        step += 1;
+        if max_layers == 0 {
+            continue;
+        }
+        let len = 1 + (step * 3) % max_layers;
+        let start = (step * 11) % (num_layers - len + 1);
+        moves.push((node, LayerRange::new(start, start + len)));
+    }
+    moves
+}
+
+fn bench_per_iteration_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("annealing_evaluation");
+    group.sample_size(10);
+    for (name, profile) in clusters() {
+        let placement = heuristics::swarm_placement(&profile).unwrap();
+        let moves = move_sequence(&profile, 64);
+
+        // Cold: exactly the planner's old per-iteration evaluation — clone
+        // the base placement, apply the move, rebuild the graph, solve from
+        // scratch.  Every evaluated placement is one valid move away from
+        // the heuristic base, as in the real annealing loop.
+        let builder = FlowGraphBuilder::new(&profile);
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new("cold_rebuild", name), &(), |b, ()| {
+            b.iter(|| {
+                let (node, range) = moves[i % moves.len()];
+                i += 1;
+                let mut candidate = placement.clone();
+                candidate.assign(node, range);
+                let value = builder
+                    .build(black_box(&candidate))
+                    .map(|g| g.max_flow().value)
+                    .unwrap_or(0.0);
+                black_box(value)
+            })
+        });
+
+        // Warm: mutate the standing network's capacities at one node,
+        // re-solve from the residual, then roll the move back — the
+        // *rejected-move* cost (two warm solves), the warm loop's worst
+        // case.  Accepted moves cost half this.
+        let mut evaluator = IncrementalFlowEvaluator::new(
+            &profile,
+            &placement,
+            true,
+            None,
+            MaxFlowAlgorithm::Dinic,
+        )
+        .unwrap();
+        let mut j = 0usize;
+        group.bench_with_input(BenchmarkId::new("warm_start", name), &(), |b, ()| {
+            b.iter(|| {
+                let (node, range) = moves[j % moves.len()];
+                j += 1;
+                let base = placement.range(node);
+                let value = evaluator.assign(node, range);
+                evaluator.restore(node, base);
+                black_box(value)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_planner(c: &mut Criterion) {
+    // Full planner runs at a fixed iteration budget: the per-iteration cost
+    // as the real annealing loop pays it (mixed accepted/rejected moves,
+    // placements drifting through denser-than-heuristic configurations).
+    let mut group = c.benchmark_group("annealing_planner_300_iterations");
+    group.sample_size(10);
+    for (name, profile) in clusters() {
+        for (label, warm) in [("warm_start", true), ("cold_rebuild", false)] {
+            group.bench_with_input(BenchmarkId::new(label, name), &(), |b, ()| {
+                b.iter(|| {
+                    let planner =
+                        FlowAnnealingPlanner::new(&profile).with_options(AnnealingOptions {
+                            iterations: 300,
+                            warm_start: warm,
+                            ..Default::default()
+                        });
+                    black_box(planner.solve().unwrap().1)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_per_iteration_evaluation,
+    bench_end_to_end_planner
+);
+criterion_main!(benches);

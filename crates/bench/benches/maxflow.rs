@@ -8,13 +8,18 @@ use helix_maxflow::{FlowNetwork, MaxFlowAlgorithm};
 use std::hint::black_box;
 
 /// A layered random-ish graph similar in shape to Helix cluster graphs.
-fn layered_graph(width: usize, depth: usize) -> (FlowNetwork, helix_maxflow::NodeId, helix_maxflow::NodeId) {
+fn layered_graph(
+    width: usize,
+    depth: usize,
+) -> (FlowNetwork, helix_maxflow::NodeId, helix_maxflow::NodeId) {
     let mut net = FlowNetwork::new();
     let s = net.add_node("s");
     let t = net.add_node("t");
     let mut prev = vec![s];
     for d in 0..depth {
-        let layer: Vec<_> = (0..width).map(|i| net.add_node(format!("n{d}_{i}"))).collect();
+        let layer: Vec<_> = (0..width)
+            .map(|i| net.add_node(format!("n{d}_{i}")))
+            .collect();
         for (i, &a) in prev.iter().enumerate() {
             for (j, &b) in layer.iter().enumerate() {
                 let cap = ((i * 7 + j * 13 + d * 3) % 23 + 1) as f64;
@@ -33,7 +38,11 @@ fn bench_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("maxflow_layered");
     for &(width, depth) in &[(6usize, 4usize), (12, 6), (20, 8)] {
         let (net, s, t) = layered_graph(width, depth);
-        for alg in [MaxFlowAlgorithm::PushRelabel, MaxFlowAlgorithm::Dinic, MaxFlowAlgorithm::EdmondsKarp] {
+        for alg in [
+            MaxFlowAlgorithm::PushRelabel,
+            MaxFlowAlgorithm::Dinic,
+            MaxFlowAlgorithm::EdmondsKarp,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{alg:?}"), format!("{width}x{depth}")),
                 &(&net, s, t),

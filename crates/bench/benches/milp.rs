@@ -10,7 +10,11 @@ fn knapsack(n: usize) -> Model {
     let vars: Vec<_> = (0..n)
         .map(|i| m.add_binary(format!("x{i}"), 5.0 + (i % 7) as f64))
         .collect();
-    let weights: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 2.0 + (i % 5) as f64)).collect();
+    let weights: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, 2.0 + (i % 5) as f64))
+        .collect();
     let cap: f64 = weights.iter().map(|(_, w)| w).sum::<f64>() * 0.4;
     m.add_constraint("cap", weights, Sense::Le, cap);
     m
@@ -20,18 +24,29 @@ fn knapsack(n: usize) -> Model {
 fn transportation(n: usize) -> Model {
     let mut m = Model::new(ObjectiveSense::Minimize);
     let mut vars = vec![vec![]; n];
-    for i in 0..n {
+    for (i, row) in vars.iter_mut().enumerate() {
         for j in 0..n {
             let cost = ((i * 13 + j * 7) % 10 + 1) as f64;
-            vars[i].push(m.add_var(format!("x{i}_{j}"), VarType::Continuous, 0.0, f64::INFINITY, cost));
+            row.push(m.add_var(
+                format!("x{i}_{j}"),
+                VarType::Continuous,
+                0.0,
+                f64::INFINITY,
+                cost,
+            ));
         }
     }
     for (i, row) in vars.iter().enumerate() {
         let terms: Vec<_> = row.iter().map(|&v| (v, 1.0)).collect();
-        m.add_constraint(format!("supply{i}"), terms, Sense::Le, 10.0 + (i % 3) as f64);
+        m.add_constraint(
+            format!("supply{i}"),
+            terms,
+            Sense::Le,
+            10.0 + (i % 3) as f64,
+        );
     }
     for j in 0..n {
-        let terms: Vec<_> = (0..n).map(|i| (vars[i][j], 1.0)).collect();
+        let terms: Vec<_> = vars.iter().map(|row| (row[j], 1.0)).collect();
         m.add_constraint(format!("demand{j}"), terms, Sense::Ge, 5.0 + (j % 4) as f64);
     }
     m

@@ -25,8 +25,10 @@ fn bench_annealing(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("500_iterations", |b| {
         b.iter(|| {
-            let planner = FlowAnnealingPlanner::new(&profile)
-                .with_options(AnnealingOptions { iterations: 500, ..Default::default() });
+            let planner = FlowAnnealingPlanner::new(&profile).with_options(AnnealingOptions {
+                iterations: 500,
+                ..Default::default()
+            });
             black_box(planner.solve().unwrap().1)
         })
     });

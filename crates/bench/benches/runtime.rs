@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
-use helix_core::{heuristics, IwrrScheduler, RandomScheduler, Scheduler};
+use helix_core::{heuristics, IwrrScheduler, RandomScheduler, Scheduler, Topology};
 use helix_runtime::{ExecutionKind, RuntimeConfig, ServingRuntime};
 use helix_workload::{Request, Workload};
 use std::hint::black_box;
@@ -14,7 +14,12 @@ use std::hint::black_box;
 fn workload(n: u64) -> Workload {
     Workload::new(
         (0..n)
-            .map(|id| Request { id, prompt_tokens: 64, output_tokens: 4, arrival_time: 0.0 })
+            .map(|id| Request {
+                id,
+                prompt_tokens: 64,
+                output_tokens: 4,
+                arrival_time: 0.0,
+            })
             .collect(),
     )
 }
@@ -31,6 +36,7 @@ fn bench_runtime_control_plane(c: &mut Criterion) {
     let profile =
         ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
     let placement = heuristics::swarm_placement(&profile).unwrap();
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
 
     let mut group = c.benchmark_group("runtime_control_plane");
     group.sample_size(10);
@@ -38,11 +44,9 @@ fn bench_runtime_control_plane(c: &mut Criterion) {
         let w = workload(n);
         group.bench_with_input(BenchmarkId::new("iwrr", n), &w, |b, w| {
             b.iter(|| {
-                let scheduler =
-                    IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
+                let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
                 let runtime =
-                    ServingRuntime::new(&profile, &placement, Box::new(scheduler), config())
-                        .unwrap();
+                    ServingRuntime::new(&topology, Box::new(scheduler), config()).unwrap();
                 black_box(runtime.serve(w).unwrap().completed())
             })
         });
@@ -54,6 +58,7 @@ fn bench_scheduler_choice_on_runtime(c: &mut Criterion) {
     let profile =
         ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
     let placement = heuristics::swarm_placement(&profile).unwrap();
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
     let w = workload(30);
 
     let mut group = c.benchmark_group("runtime_scheduler_choice");
@@ -61,23 +66,24 @@ fn bench_scheduler_choice_on_runtime(c: &mut Criterion) {
     group.bench_function("iwrr", |b| {
         b.iter(|| {
             let scheduler: Box<dyn Scheduler> =
-                Box::new(IwrrScheduler::from_placement(&profile, &placement, true).unwrap());
-            let runtime =
-                ServingRuntime::new(&profile, &placement, scheduler, config()).unwrap();
+                Box::new(IwrrScheduler::from_topology(&topology).unwrap());
+            let runtime = ServingRuntime::new(&topology, scheduler, config()).unwrap();
             black_box(runtime.serve(&w).unwrap().decode_tokens())
         })
     });
     group.bench_function("random", |b| {
         b.iter(|| {
-            let scheduler: Box<dyn Scheduler> =
-                Box::new(RandomScheduler::new(&profile, &placement, true, 5));
-            let runtime =
-                ServingRuntime::new(&profile, &placement, scheduler, config()).unwrap();
+            let scheduler: Box<dyn Scheduler> = Box::new(RandomScheduler::new(&topology, 5));
+            let runtime = ServingRuntime::new(&topology, scheduler, config()).unwrap();
             black_box(runtime.serve(&w).unwrap().decode_tokens())
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_runtime_control_plane, bench_scheduler_choice_on_runtime);
+criterion_group!(
+    benches,
+    bench_runtime_control_plane,
+    bench_scheduler_choice_on_runtime
+);
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
-use helix_core::{heuristics, IwrrScheduler};
+use helix_core::{heuristics, IwrrScheduler, Topology};
 use helix_sim::{ClusterSimulator, SimulationConfig};
 use helix_workload::{ArrivalPattern, AzureTraceConfig};
 use std::hint::black_box;
@@ -11,6 +11,7 @@ fn bench_simulation(c: &mut Criterion) {
     let profile =
         ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
     let placement = heuristics::petals_placement(&profile).unwrap();
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
     let trace = AzureTraceConfig {
         mean_input_tokens: 128.0,
         mean_output_tokens: 32.0,
@@ -21,12 +22,13 @@ fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_offline_serving");
     group.sample_size(10);
     for &n in &[50usize, 150] {
-        let workload = trace.generate(n, 9).with_arrivals(ArrivalPattern::Offline, 10);
+        let workload = trace
+            .generate(n, 9)
+            .with_arrivals(ArrivalPattern::Offline, 10);
         group.bench_with_input(BenchmarkId::from_parameter(n), &workload, |b, w| {
             b.iter(|| {
-                let scheduler =
-                    IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
-                let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
+                let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+                let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
                 black_box(sim.run(w, SimulationConfig::offline(120.0)).decode_tokens)
             })
         });

@@ -19,7 +19,11 @@ fn main() {
         (
             "single cluster",
             ClusterSpec::single_cluster_24(),
-            vec![SchedulerKind::HelixIwrr, SchedulerKind::Swarm, SchedulerKind::Random],
+            vec![
+                SchedulerKind::HelixIwrr,
+                SchedulerKind::Swarm,
+                SchedulerKind::Random,
+            ],
         ),
         (
             "geo-distributed",
@@ -42,9 +46,13 @@ fn main() {
             .solve()
             .expect("helix placement");
         println!("\n=== Figure 10a: scheduling deep dive, LLaMA 70B, {cluster_name} ===");
-        println!("{:<16} {:>14} {:>14} {:>18}", "scheduler", "sim tokens/s", "prompt avg s", "worst link wait s");
+        println!(
+            "{:<16} {:>14} {:>14} {:>18}",
+            "scheduler", "sim tokens/s", "prompt avg s", "worst link wait s"
+        );
         for kind in kinds {
-            let Some((metrics, _)) = run_with_scheduler(&profile, &placement, kind, scale, 101) else {
+            let Some((metrics, _)) = run_with_scheduler(&profile, &placement, kind, scale, 101)
+            else {
                 continue;
             };
             let worst = metrics

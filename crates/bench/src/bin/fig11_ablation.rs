@@ -9,7 +9,9 @@
 
 use helix_bench::{placement_flow, ExperimentReport, ExperimentScale, ServingSetting};
 use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
-use helix_core::{AnnealingOptions, FlowAnnealingPlanner, IwrrScheduler, MilpPlacementPlanner};
+use helix_core::{
+    AnnealingOptions, FlowAnnealingPlanner, IwrrScheduler, MilpPlacementPlanner, Topology,
+};
 use helix_sim::{ClusterSimulator, SimulationConfig};
 use std::time::{Duration, Instant};
 
@@ -19,7 +21,10 @@ fn main() {
 
     // (a) Cluster pruning: plan with and without pruning, compare serving throughput.
     println!("=== Figure 11a: effect of cluster pruning on decode throughput ===");
-    println!("{:<12} {:>20} {:>20}", "cluster", "pruned placement t/s", "unpruned placement t/s");
+    println!(
+        "{:<12} {:>20} {:>20}",
+        "cluster", "pruned placement t/s", "unpruned placement t/s"
+    );
     let mut pruning_rows = Vec::new();
     for (name, cluster) in [
         ("24-node", ClusterSpec::geo_distributed_24()),
@@ -34,14 +39,18 @@ fn main() {
                 ..Default::default()
             });
             let (placement, _) = planner.solve().expect("placement");
-            let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
+            let topology = Topology::plan(&profile, &placement, true).unwrap();
+            let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
             let workload =
                 helix_bench::experiment_workload(&profile, ServingSetting::Offline, scale, 111);
-            let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
+            let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
             let metrics = sim.run(&workload, SimulationConfig::offline(scale.duration_secs()));
             throughputs.push(metrics.decode_throughput());
         }
-        println!("{:<12} {:>20.1} {:>20.1}", name, throughputs[0], throughputs[1]);
+        println!(
+            "{:<12} {:>20.1} {:>20.1}",
+            name, throughputs[0], throughputs[1]
+        );
         pruning_rows.push(serde_json::json!({
             "cluster": name, "pruned": throughputs[0], "unpruned": throughputs[1],
         }));
@@ -84,7 +93,9 @@ fn main() {
                 }));
             }
             Err(e) => {
-                println!("warm start {warm:>5}: no placement within budget ({e}) after {elapsed:.1}s");
+                println!(
+                    "warm start {warm:>5}: no placement within budget ({e}) after {elapsed:.1}s"
+                );
                 warm_rows.push(serde_json::json!({
                     "warm_start": warm, "objective": 0.0, "wall_seconds": elapsed,
                 }));

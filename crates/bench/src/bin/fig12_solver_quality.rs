@@ -22,7 +22,10 @@ fn main() {
         ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
     println!("=== Figure 12: incumbent / bound vs MILP solving time ===");
     println!("cluster: 4xL4 + 6xT4, model LLaMA 30B, budget {:?}", budget);
-    println!("throughput upper bound: {:.0} tokens/s", profile.throughput_upper_bound());
+    println!(
+        "throughput upper bound: {:.0} tokens/s",
+        profile.throughput_upper_bound()
+    );
 
     // Disable the early stop so the solver keeps tightening the bound.
     let mut options = MilpPlacementPlanner::new(&profile)
@@ -44,7 +47,9 @@ fn main() {
                     "{:>10.2} {:>12} {:>14} {:>14.0}",
                     e.elapsed_seconds,
                     e.nodes_explored,
-                    e.incumbent.map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into()),
+                    e.incumbent
+                        .map(|v| format!("{v:.0}"))
+                        .unwrap_or_else(|| "-".into()),
                     e.best_bound
                 );
             }

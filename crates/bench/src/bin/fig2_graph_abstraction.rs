@@ -46,12 +46,21 @@ fn main() {
             Endpoint::Node(n) => profile.cluster().node(n).name.clone(),
         };
         let f = graph.link_flow(&flow, from, to).unwrap_or(0.0);
-        println!("  {:<12} -> {:<12} capacity {:>12.0}  flow {:>12.0}", name(from), name(to), cap, f);
+        println!(
+            "  {:<12} -> {:<12} capacity {:>12.0}  flow {:>12.0}",
+            name(from),
+            name(to),
+            cap,
+            f
+        );
         conn_rows.push(serde_json::json!({
             "from": name(from), "to": name(to), "capacity": cap, "flow": f,
         }));
     }
-    println!("\nmax flow (= max serving throughput): {:.0} tokens/s", flow.value);
+    println!(
+        "\nmax flow (= max serving throughput): {:.0} tokens/s",
+        flow.value
+    );
     let paths = graph.decompose(&flow).unwrap();
     println!("decomposed into {} pipelines", paths.len());
 

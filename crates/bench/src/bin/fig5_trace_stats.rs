@@ -14,26 +14,52 @@ fn main() {
         ExperimentScale::Quick => 4000,
         ExperimentScale::Full => 16_657,
     };
-    let workload = AzureTraceConfig::default().generate(n, 20240314).with_arrivals(
-        ArrivalPattern::Diurnal { mean_rate_per_sec: 1.0, amplitude: 0.4, period_secs: 1800.0 },
-        7,
-    );
+    let workload = AzureTraceConfig::default()
+        .generate(n, 20240314)
+        .with_arrivals(
+            ArrivalPattern::Diurnal {
+                mean_rate_per_sec: 1.0,
+                amplitude: 0.4,
+                period_secs: 1800.0,
+            },
+            7,
+        );
     let stats = workload.statistics();
 
     println!("=== Figure 5: Azure-Conversation-like trace statistics ===");
     println!("requests: {}", stats.num_requests);
-    println!("mean input length : {:>8.1} tokens (paper: 763)", stats.mean_input_tokens);
-    println!("mean output length: {:>8.1} tokens (paper: 232)", stats.mean_output_tokens);
-    println!("max input / output: {} / {}", stats.max_input_tokens, stats.max_output_tokens);
+    println!(
+        "mean input length : {:>8.1} tokens (paper: 763)",
+        stats.mean_input_tokens
+    );
+    println!(
+        "mean output length: {:>8.1} tokens (paper: 232)",
+        stats.mean_output_tokens
+    );
+    println!(
+        "max input / output: {} / {}",
+        stats.max_input_tokens, stats.max_output_tokens
+    );
 
-    println!("\ninput length distribution (bucket = {} tokens):", TraceStatistics::INPUT_BUCKET);
+    println!(
+        "\ninput length distribution (bucket = {} tokens):",
+        TraceStatistics::INPUT_BUCKET
+    );
     print_histogram(&stats.input_histogram, stats.num_requests);
-    println!("\noutput length distribution (bucket = {} tokens):", TraceStatistics::OUTPUT_BUCKET);
+    println!(
+        "\noutput length distribution (bucket = {} tokens):",
+        TraceStatistics::OUTPUT_BUCKET
+    );
     print_histogram(&stats.output_histogram, stats.num_requests);
 
     println!("\narrival rate (requests per minute, first 20 minutes):");
     for (minute, count) in stats.arrivals_per_minute.iter().take(20).enumerate() {
-        println!("  minute {:>3}: {:>5} {}", minute, count, "*".repeat(count / 5));
+        println!(
+            "  minute {:>3}: {:>5} {}",
+            minute,
+            count,
+            "*".repeat(count / 5)
+        );
     }
 
     let report = ExperimentReport::new(
@@ -53,6 +79,12 @@ fn print_histogram(hist: &[usize], total: usize) {
             continue;
         }
         let share = count as f64 / total as f64;
-        println!("  bucket {:>3}: {:>6} ({:>5.1}%) {}", i, count, share * 100.0, "#".repeat((share * 200.0) as usize));
+        println!(
+            "  bucket {:>3}: {:>6} ({:>5.1}%) {}",
+            i,
+            count,
+            share * 100.0,
+            "#".repeat((share * 200.0) as usize)
+        );
     }
 }

@@ -7,8 +7,7 @@
 //! ```
 
 use helix_bench::{
-    print_serving_table, run_serving, ExperimentReport, ExperimentScale, ServingSetting,
-    SystemKind,
+    print_serving_table, run_serving, ExperimentReport, ExperimentScale, ServingSetting, SystemKind,
 };
 use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
 
@@ -19,7 +18,11 @@ fn main() {
         let profile = ClusterProfile::analytic(ClusterSpec::single_cluster_24(), model);
         let mut rows = Vec::new();
         for setting in [ServingSetting::Offline, ServingSetting::Online] {
-            for system in [SystemKind::Helix, SystemKind::Swarm, SystemKind::SeparatePipelines] {
+            for system in [
+                SystemKind::Helix,
+                SystemKind::Swarm,
+                SystemKind::SeparatePipelines,
+            ] {
                 if let Some(row) = run_serving(&profile, system, setting, scale, 61) {
                     rows.push(row);
                 }

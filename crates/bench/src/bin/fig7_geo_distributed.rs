@@ -7,8 +7,7 @@
 //! ```
 
 use helix_bench::{
-    print_serving_table, run_serving, ExperimentReport, ExperimentScale, ServingSetting,
-    SystemKind,
+    print_serving_table, run_serving, ExperimentReport, ExperimentScale, ServingSetting, SystemKind,
 };
 use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
 
@@ -19,14 +18,21 @@ fn main() {
         let profile = ClusterProfile::analytic(ClusterSpec::geo_distributed_24(), model);
         let mut rows = Vec::new();
         for setting in [ServingSetting::Offline, ServingSetting::Online] {
-            for system in [SystemKind::Helix, SystemKind::Swarm, SystemKind::SeparatePipelines] {
+            for system in [
+                SystemKind::Helix,
+                SystemKind::Swarm,
+                SystemKind::SeparatePipelines,
+            ] {
                 if let Some(row) = run_serving(&profile, system, setting, scale, 71) {
                     rows.push(row);
                 }
             }
         }
         print_serving_table(
-            &format!("Figure 7: geo-distributed clusters, {}", profile.model().name),
+            &format!(
+                "Figure 7: geo-distributed clusters, {}",
+                profile.model().name
+            ),
             &rows,
         );
         // The paper highlights Helix's shallower pipelines under slow networks.

@@ -7,15 +7,16 @@
 //! ```
 
 use helix_bench::{
-    print_serving_table, run_serving, ExperimentReport, ExperimentScale, ServingSetting,
-    SystemKind,
+    print_serving_table, run_serving, ExperimentReport, ExperimentScale, ServingSetting, SystemKind,
 };
 use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
 
 fn main() {
     let scale = ExperimentScale::from_args();
-    let profile =
-        ClusterProfile::analytic(ClusterSpec::high_heterogeneity_42(), ModelConfig::llama2_70b());
+    let profile = ClusterProfile::analytic(
+        ClusterSpec::high_heterogeneity_42(),
+        ModelConfig::llama2_70b(),
+    );
     let mut rows = Vec::new();
     for setting in [ServingSetting::Offline, ServingSetting::Online] {
         for system in [

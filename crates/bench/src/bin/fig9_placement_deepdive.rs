@@ -7,11 +7,11 @@
 //! cargo run --release -p helix-bench --bin fig9_placement_deepdive [--full] [--case-study]
 //! ```
 
-use helix_bench::{placement_flow, ExperimentReport, ExperimentScale, ServingSetting};
+use helix_bench::{ExperimentReport, ExperimentScale, ServingSetting};
 use helix_cluster::{ClusterProfile, ClusterSpec, GpuType, ModelConfig};
 use helix_core::{
     heuristics, AnnealingOptions, FlowAnnealingPlanner, FlowGraphBuilder, IwrrScheduler,
-    ModelPlacement,
+    ModelPlacement, Topology,
 };
 use helix_sim::{ClusterSimulator, SimulationConfig};
 
@@ -40,21 +40,23 @@ fn main() {
             ("Petals", heuristics::petals_placement(&profile).ok()),
         ];
         println!("\n=== Figure 9a: placement deep dive, LLaMA 70B, {cluster_name} ===");
-        println!("{:<8} {:>14} {:>14} {:>8}", "method", "max-flow t/s", "sim tokens/s", "depth");
+        println!(
+            "{:<8} {:>14} {:>14} {:>8}",
+            "method", "max-flow t/s", "sim tokens/s", "depth"
+        );
         for (name, placement) in placements {
             let Some(placement) = placement else { continue };
-            let flow = placement_flow(&profile, &placement);
-            // All methods use Helix's IWRR scheduler (paper isolates placement).
-            let Ok(scheduler) = IwrrScheduler::from_placement(&profile, &placement, true) else {
+            let Ok(topology) = Topology::plan(&profile, &placement, true) else {
                 continue;
             };
-            let workload = helix_bench::experiment_workload(
-                &profile,
-                ServingSetting::Offline,
-                scale,
-                91,
-            );
-            let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
+            let flow = topology.flow_value();
+            // All methods use Helix's IWRR scheduler (paper isolates placement).
+            let Ok(scheduler) = IwrrScheduler::from_topology(&topology) else {
+                continue;
+            };
+            let workload =
+                helix_bench::experiment_workload(&profile, ServingSetting::Offline, scale, 91);
+            let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
             let metrics = sim.run(&workload, SimulationConfig::offline(scale.duration_secs()));
             println!(
                 "{:<8} {:>14.0} {:>14.1} {:>8}",
@@ -98,7 +100,11 @@ fn print_case_study(profile: &ClusterProfile, name: &str, placement: &ModelPlace
             .node_ids()
             .filter(|&id| profile.cluster().node(id).gpu == gpu)
             .map(|id| match placement.range(id) {
-                Some(r) => format!("{}({:.0}%)", r.len(), util.get(&id).copied().unwrap_or(0.0) * 100.0),
+                Some(r) => format!(
+                    "{}({:.0}%)",
+                    r.len(),
+                    util.get(&id).copied().unwrap_or(0.0) * 100.0
+                ),
                 None => "-".to_string(),
             })
             .collect();

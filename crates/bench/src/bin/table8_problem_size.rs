@@ -21,7 +21,9 @@ fn main() {
         ("42-node", ClusterSpec::high_heterogeneity_42()),
     ] {
         let profile = ClusterProfile::analytic(cluster, ModelConfig::llama2_70b());
-        let pruned = MilpPlacementPlanner::new(&profile).prune_to_degree(12).problem_size();
+        let pruned = MilpPlacementPlanner::new(&profile)
+            .prune_to_degree(12)
+            .problem_size();
         let full = MilpPlacementPlanner::new(&profile).problem_size();
         println!(
             "{:<12} {:>10} var {:>6} cstr {:>12} var {:>6} cstr",

@@ -17,7 +17,7 @@ use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
 use helix_core::{
     heuristics, AnnealingOptions, FlowAnnealingPlanner, FlowGraphBuilder, IwrrScheduler,
     ModelPlacement, RandomScheduler, Scheduler, SchedulerKind, ShortestQueueScheduler,
-    SwarmScheduler,
+    SwarmScheduler, Topology,
 };
 use helix_sim::{ClusterSimulator, Metrics, SimulationConfig};
 use helix_workload::{ArrivalPattern, AzureTraceConfig, Workload};
@@ -132,45 +132,46 @@ impl SystemKind {
         }
     }
 
-    /// Builds the request scheduler this system would use for `placement`.
-    pub fn scheduler(
-        self,
-        profile: &ClusterProfile,
-        placement: &ModelPlacement,
-    ) -> Option<Box<dyn Scheduler>> {
+    /// Plans this system's placement and materialises it as the shared
+    /// [`Topology`] artifact every downstream surface consumes.
+    pub fn topology(self, profile: &ClusterProfile, scale: ExperimentScale) -> Option<Topology> {
+        let placement = self.placement(profile, scale)?;
+        Topology::plan(profile, &placement, true).ok()
+    }
+
+    /// Builds the request scheduler this system would use for a planned
+    /// topology.
+    pub fn scheduler(self, topology: &Topology) -> Option<Box<dyn Scheduler>> {
         match self {
-            SystemKind::Helix | SystemKind::SeparatePipelines | SystemKind::SeparatePipelinesPlus => {
-                IwrrScheduler::from_placement(profile, placement, true)
-                    .ok()
-                    .map(|s| Box::new(s) as Box<dyn Scheduler>)
-            }
+            SystemKind::Helix
+            | SystemKind::SeparatePipelines
+            | SystemKind::SeparatePipelinesPlus => IwrrScheduler::from_topology(topology)
+                .ok()
+                .map(|s| Box::new(s) as Box<dyn Scheduler>),
             SystemKind::Swarm => {
-                Some(Box::new(SwarmScheduler::new(profile, placement, true)) as Box<dyn Scheduler>)
+                Some(Box::new(SwarmScheduler::new(topology)) as Box<dyn Scheduler>)
             }
         }
     }
 }
 
-/// Builds a scheduler of the given kind for an already-fixed placement
+/// Builds a scheduler of the given kind for an already-planned topology
 /// (used by the §6.7 scheduling deep dive).
 pub fn scheduler_of_kind(
     kind: SchedulerKind,
-    profile: &ClusterProfile,
-    placement: &ModelPlacement,
+    topology: &Topology,
     seed: u64,
 ) -> Option<Box<dyn Scheduler>> {
     match kind {
-        SchedulerKind::HelixIwrr => IwrrScheduler::from_placement(profile, placement, true)
+        SchedulerKind::HelixIwrr => IwrrScheduler::from_topology(topology)
             .ok()
             .map(|s| Box::new(s) as Box<dyn Scheduler>),
-        SchedulerKind::Swarm => {
-            Some(Box::new(SwarmScheduler::new(profile, placement, true)) as Box<dyn Scheduler>)
-        }
+        SchedulerKind::Swarm => Some(Box::new(SwarmScheduler::new(topology)) as Box<dyn Scheduler>),
         SchedulerKind::Random => {
-            Some(Box::new(RandomScheduler::new(profile, placement, true, seed)) as Box<dyn Scheduler>)
+            Some(Box::new(RandomScheduler::new(topology, seed)) as Box<dyn Scheduler>)
         }
         SchedulerKind::ShortestQueue => {
-            Some(Box::new(ShortestQueueScheduler::new(profile, placement, true)) as Box<dyn Scheduler>)
+            Some(Box::new(ShortestQueueScheduler::new(topology)) as Box<dyn Scheduler>)
         }
     }
 }
@@ -231,18 +232,19 @@ impl ServingRow {
     fn from_metrics(
         system: SystemKind,
         setting: ServingSetting,
-        profile: &ClusterProfile,
-        placement: &ModelPlacement,
-        placement_max_flow: f64,
+        topology: &Topology,
         metrics: &Metrics,
     ) -> Self {
+        let profile = topology.profile();
         ServingRow {
             system: system.label().to_string(),
             setting: setting.label().to_string(),
             model: profile.model().name.clone(),
             cluster: profile.cluster().name.clone(),
-            placement_max_flow,
-            pipeline_depth: placement.pipeline_depth(profile.model().num_layers),
+            placement_max_flow: topology.flow_value(),
+            pipeline_depth: topology
+                .placement()
+                .pipeline_depth(profile.model().num_layers),
             decode_throughput: metrics.decode_throughput(),
             prompt_latency_mean: metrics.prompt_latency.mean,
             prompt_latency_p50: metrics.prompt_latency.p50,
@@ -297,6 +299,10 @@ pub fn placement_flow(profile: &ClusterProfile, placement: &ModelPlacement) -> f
 
 /// Plans, schedules and simulates one (system, setting) combination.
 ///
+/// The system's placement is planned **once** into a [`Topology`]; the
+/// scheduler and the simulator both consume that artifact (no re-derivation,
+/// no second max-flow solve).
+///
 /// Returns `None` when the system cannot build a placement on this cluster
 /// (e.g. plain SP on a cluster where no GPU type can hold the model).
 pub fn run_serving(
@@ -306,17 +312,18 @@ pub fn run_serving(
     scale: ExperimentScale,
     seed: u64,
 ) -> Option<ServingRow> {
-    let placement = system.placement(profile, scale)?;
-    let flow = placement_flow(profile, &placement);
-    let scheduler = system.scheduler(profile, &placement)?;
+    let topology = system.topology(profile, scale)?;
+    let scheduler = system.scheduler(&topology)?;
     let workload = experiment_workload(profile, setting, scale, seed);
     let config = match setting {
         ServingSetting::Offline => SimulationConfig::offline(scale.duration_secs()),
         ServingSetting::Online => SimulationConfig::online(scale.duration_secs()),
     };
-    let mut sim = ClusterSimulator::new(profile, &placement, scheduler);
+    let mut sim = ClusterSimulator::new(&topology, scheduler);
     let metrics = sim.run(&workload, config);
-    Some(ServingRow::from_metrics(system, setting, profile, &placement, flow, &metrics))
+    Some(ServingRow::from_metrics(
+        system, setting, &topology, &metrics,
+    ))
 }
 
 /// Runs a fixed placement with a specific scheduler kind (§6.7 deep dive).
@@ -327,12 +334,12 @@ pub fn run_with_scheduler(
     scale: ExperimentScale,
     seed: u64,
 ) -> Option<(Metrics, f64)> {
-    let scheduler = scheduler_of_kind(kind, profile, placement, seed)?;
+    let topology = Topology::plan(profile, placement, true).ok()?;
+    let scheduler = scheduler_of_kind(kind, &topology, seed)?;
     let workload = experiment_workload(profile, ServingSetting::Offline, scale, seed);
-    let mut sim = ClusterSimulator::new(profile, placement, scheduler);
+    let mut sim = ClusterSimulator::new(&topology, scheduler);
     let metrics = sim.run(&workload, SimulationConfig::offline(scale.duration_secs()));
-    let flow = placement_flow(profile, placement);
-    Some((metrics, flow))
+    Some((metrics, topology.flow_value()))
 }
 
 /// Standard cluster/model pairs used across the figures.
@@ -356,7 +363,10 @@ pub fn paper_profiles() -> Vec<(&'static str, ClusterProfile)> {
         ),
         (
             "high-heterogeneity-42 / LLaMA 70B",
-            ClusterProfile::analytic(ClusterSpec::high_heterogeneity_42(), ModelConfig::llama2_70b()),
+            ClusterProfile::analytic(
+                ClusterSpec::high_heterogeneity_42(),
+                ModelConfig::llama2_70b(),
+            ),
         ),
     ]
 }
@@ -396,7 +406,10 @@ impl ExperimentReport {
         let dir = results_dir();
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.name));
-        std::fs::write(&path, serde_json::to_string_pretty(self).expect("report serialises"))?;
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(self).expect("report serialises"),
+        )?;
         Ok(path)
     }
 }
@@ -404,7 +417,9 @@ impl ExperimentReport {
 /// The directory experiment outputs are written to (`HELIX_RESULTS_DIR` or
 /// `./results`).
 pub fn results_dir() -> PathBuf {
-    std::env::var("HELIX_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| PathBuf::from("results"))
+    std::env::var("HELIX_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
 }
 
 /// Prints a serving-row table to stdout in the shape the paper's figures use.
@@ -444,16 +459,23 @@ mod tests {
         let profile =
             ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
         for system in [SystemKind::Swarm, SystemKind::SeparatePipelines] {
-            let placement = system.placement(&profile, ExperimentScale::Quick).unwrap();
-            assert!(placement_flow(&profile, &placement) > 0.0);
-            assert!(system.scheduler(&profile, &placement).is_some());
+            let topology = system.topology(&profile, ExperimentScale::Quick).unwrap();
+            assert!(topology.flow_value() > 0.0);
+            assert!(
+                (placement_flow(&profile, topology.placement()) - topology.flow_value()).abs()
+                    < 1e-9
+            );
+            assert!(system.scheduler(&topology).is_some());
             assert!(!system.label().is_empty());
         }
     }
 
     #[test]
     fn experiment_report_round_trips_to_disk() {
-        std::env::set_var("HELIX_RESULTS_DIR", std::env::temp_dir().join("helix-bench-test"));
+        std::env::set_var(
+            "HELIX_RESULTS_DIR",
+            std::env::temp_dir().join("helix-bench-test"),
+        );
         let report = ExperimentReport::new(
             "unit_test_report",
             "none",

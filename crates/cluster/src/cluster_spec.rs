@@ -90,7 +90,12 @@ impl ClusterSpec {
     pub fn link(&self, from: Endpoint, to: Endpoint) -> NetworkLink {
         assert!(from != to, "a link needs two distinct endpoints");
         if let Some(&(bw, lat)) = self.overrides.get(&(from, to)) {
-            return NetworkLink { from, to, bandwidth_mbps: bw, latency_ms: lat };
+            return NetworkLink {
+                from,
+                to,
+                bandwidth_mbps: bw,
+                latency_ms: lat,
+            };
         }
         let region_of = |e: Endpoint| match e {
             None => self.coordinator_region,
@@ -98,11 +103,22 @@ impl ClusterSpec {
         };
         let same_region = region_of(from) == region_of(to);
         let (bw, lat) = if same_region {
-            (self.intra_region_bandwidth_mbps, self.intra_region_latency_ms)
+            (
+                self.intra_region_bandwidth_mbps,
+                self.intra_region_latency_ms,
+            )
         } else {
-            (self.inter_region_bandwidth_mbps, self.inter_region_latency_ms)
+            (
+                self.inter_region_bandwidth_mbps,
+                self.inter_region_latency_ms,
+            )
         };
-        NetworkLink { from, to, bandwidth_mbps: bw, latency_ms: lat }
+        NetworkLink {
+            from,
+            to,
+            bandwidth_mbps: bw,
+            latency_ms: lat,
+        }
     }
 
     /// All directed links between distinct compute nodes plus
@@ -287,7 +303,13 @@ impl ClusterBuilder {
     }
 
     /// Adds `count` nodes each carrying `gpus_per_node` GPUs of type `gpu`.
-    pub fn add_nodes(mut self, gpu: GpuType, count: usize, gpus_per_node: usize, region: Region) -> Self {
+    pub fn add_nodes(
+        mut self,
+        gpu: GpuType,
+        count: usize,
+        gpus_per_node: usize,
+        region: Region,
+    ) -> Self {
         for _ in 0..count {
             let id = NodeId(self.nodes.len());
             let prefix = if gpus_per_node == 1 {
@@ -315,7 +337,8 @@ impl ClusterBuilder {
         bandwidth_mbps: f64,
         latency_ms: f64,
     ) -> Self {
-        self.overrides.insert((from, to), (bandwidth_mbps, latency_ms));
+        self.overrides
+            .insert((from, to), (bandwidth_mbps, latency_ms));
         self
     }
 
@@ -342,7 +365,11 @@ mod tests {
     fn single_cluster_matches_paper_composition() {
         let c = ClusterSpec::single_cluster_24();
         assert_eq!(c.num_nodes(), 24);
-        let a100 = c.nodes().iter().filter(|n| n.gpu == GpuType::A100_40).count();
+        let a100 = c
+            .nodes()
+            .iter()
+            .filter(|n| n.gpu == GpuType::A100_40)
+            .count();
         let l4 = c.nodes().iter().filter(|n| n.gpu == GpuType::L4).count();
         let t4 = c.nodes().iter().filter(|n| n.gpu == GpuType::T4).count();
         assert_eq!((a100, l4, t4), (4, 8, 12));
@@ -354,8 +381,14 @@ mod tests {
         let c = ClusterSpec::geo_distributed_24();
         assert_eq!(c.num_nodes(), 24);
         // Node 0 is an A100 in region 0; the L4s start after the A100s.
-        let a100 = c.node_ids().find(|&id| c.node(id).gpu == GpuType::A100_40).unwrap();
-        let l4 = c.node_ids().find(|&id| c.node(id).gpu == GpuType::L4).unwrap();
+        let a100 = c
+            .node_ids()
+            .find(|&id| c.node(id).gpu == GpuType::A100_40)
+            .unwrap();
+        let l4 = c
+            .node_ids()
+            .find(|&id| c.node(id).gpu == GpuType::L4)
+            .unwrap();
         assert_ne!(c.node(a100).region, c.node(l4).region);
         let cross = c.link(Some(a100), Some(l4));
         assert_eq!(cross.bandwidth_mbps, 100.0);
@@ -379,7 +412,13 @@ mod tests {
         combos.dedup();
         assert_eq!(combos.len(), 7);
         // 4 of the nodes are 4xT4.
-        assert_eq!(c.nodes().iter().filter(|n| n.gpu == GpuType::T4 && n.gpu_count == 4).count(), 4);
+        assert_eq!(
+            c.nodes()
+                .iter()
+                .filter(|n| n.gpu == GpuType::T4 && n.gpu_count == 4)
+                .count(),
+            4
+        );
     }
 
     #[test]
@@ -387,8 +426,14 @@ mod tests {
         let c = ClusterSpec::fig2_example();
         assert_eq!(c.num_nodes(), 3);
         assert_eq!(c.link(None, Some(NodeId(0))).bandwidth_mbps, 80.0);
-        assert_eq!(c.link(Some(NodeId(1)), Some(NodeId(2))).bandwidth_mbps, 90.0);
-        assert_eq!(c.link(Some(NodeId(0)), Some(NodeId(2))).bandwidth_mbps, 50.0);
+        assert_eq!(
+            c.link(Some(NodeId(1)), Some(NodeId(2))).bandwidth_mbps,
+            90.0
+        );
+        assert_eq!(
+            c.link(Some(NodeId(0)), Some(NodeId(2))).bandwidth_mbps,
+            50.0
+        );
     }
 
     #[test]
@@ -417,6 +462,9 @@ mod tests {
         assert_eq!(c.nodes()[0].nic_bandwidth_mbps, 25_000.0);
         assert_eq!(c.coordinator_region, Region(7));
         // Coordinator in region 7 -> fast link to the H100, slow to the T4.
-        assert!(c.link(None, Some(NodeId(0))).bandwidth_mbps > c.link(None, Some(NodeId(1))).bandwidth_mbps);
+        assert!(
+            c.link(None, Some(NodeId(0))).bandwidth_mbps
+                > c.link(None, Some(NodeId(1))).bandwidth_mbps
+        );
     }
 }

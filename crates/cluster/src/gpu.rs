@@ -23,8 +23,14 @@ pub enum GpuType {
 
 impl GpuType {
     /// All catalogue entries, from most to least capable.
-    pub const ALL: [GpuType; 6] =
-        [GpuType::H100, GpuType::A100_80, GpuType::A100_40, GpuType::V100, GpuType::L4, GpuType::T4];
+    pub const ALL: [GpuType; 6] = [
+        GpuType::H100,
+        GpuType::A100_80,
+        GpuType::A100_40,
+        GpuType::V100,
+        GpuType::L4,
+        GpuType::T4,
+    ];
 
     /// Hardware specification of this GPU (paper Table 3, NVIDIA data
     /// sheets for V100).

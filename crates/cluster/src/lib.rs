@@ -28,7 +28,9 @@ pub use cluster_spec::{ClusterBuilder, ClusterSpec};
 pub use gpu::{GpuSpec, GpuType};
 pub use model::ModelConfig;
 pub use node::{ComputeNode, NetworkLink, NodeId, Region};
-pub use profile::{ClusterProfile, LinkProfile, NodeProfile, MAX_WEIGHT_VRAM_FRACTION, PROMPT_EFFICIENCY};
+pub use profile::{
+    ClusterProfile, LinkProfile, NodeProfile, MAX_WEIGHT_VRAM_FRACTION, PROMPT_EFFICIENCY,
+};
 
 /// Bytes used to transmit one token id between the coordinator and compute
 /// nodes (paper Fig. 2: "Token size: 4 Byte").

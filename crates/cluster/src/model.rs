@@ -243,8 +243,16 @@ mod tests {
                 (got as f64 - want as f64).abs() <= (want as f64 * 0.15).max(1.0)
             };
             assert!(close(got_l4, l4), "{}: L4 {got_l4} vs {l4}", model.name);
-            assert!(close(got_a100, a100), "{}: A100 {got_a100} vs {a100}", model.name);
-            assert!(close(got_h100, h100), "{}: H100 {got_h100} vs {h100}", model.name);
+            assert!(
+                close(got_a100, a100),
+                "{}: A100 {got_a100} vs {a100}",
+                model.name
+            );
+            assert!(
+                close(got_h100, h100),
+                "{}: H100 {got_h100} vs {h100}",
+                model.name
+            );
         }
     }
 

@@ -122,7 +122,10 @@ mod tests {
         assert_eq!(node.total_vram_bytes(), 4.0 * 16e9);
         assert_eq!(node.total_fp16_flops(), 4.0 * 65e12);
         assert_eq!(node.label(), "4xT4");
-        let single = ComputeNode { gpu_count: 1, ..node };
+        let single = ComputeNode {
+            gpu_count: 1,
+            ..node
+        };
         assert_eq!(single.label(), "T4");
     }
 

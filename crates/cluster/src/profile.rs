@@ -110,8 +110,8 @@ impl ClusterProfile {
             .iter()
             .map(|n| {
                 let weight_budget = n.total_vram_bytes() * WEIGHT_VRAM_FRACTION;
-                let max_layers =
-                    ((weight_budget / model.layer_weight_bytes()).floor() as usize).min(model.num_layers);
+                let max_layers = ((weight_budget / model.layer_weight_bytes()).floor() as usize)
+                    .min(model.num_layers);
                 let hard_budget = n.total_vram_bytes() * MAX_WEIGHT_VRAM_FRACTION;
                 let max_layers_absolute = ((hard_budget / model.layer_weight_bytes()).floor()
                     as usize)
@@ -135,7 +135,11 @@ impl ClusterProfile {
                 }
             })
             .collect();
-        ClusterProfile { cluster, model, nodes }
+        ClusterProfile {
+            cluster,
+            model,
+            nodes,
+        }
     }
 
     /// The underlying cluster.
@@ -197,8 +201,11 @@ impl ClusterProfile {
     /// throughput can never exceed the sum of per-node compute throughput
     /// averaged over the total number of layers.
     pub fn throughput_upper_bound(&self) -> f64 {
-        let per_layer_total: f64 =
-            self.nodes.iter().map(|n| n.decode_tokens_per_layer_sec).sum();
+        let per_layer_total: f64 = self
+            .nodes
+            .iter()
+            .map(|n| n.decode_tokens_per_layer_sec)
+            .sum();
         per_layer_total / self.model.num_layers as f64
     }
 
@@ -236,8 +243,14 @@ mod tests {
     fn a100_holds_more_layers_than_t4() {
         let p = profile_70b();
         let cluster = p.cluster().clone();
-        let a100 = cluster.node_ids().find(|&id| cluster.node(id).gpu == GpuType::A100_40).unwrap();
-        let t4 = cluster.node_ids().find(|&id| cluster.node(id).gpu == GpuType::T4).unwrap();
+        let a100 = cluster
+            .node_ids()
+            .find(|&id| cluster.node(id).gpu == GpuType::A100_40)
+            .unwrap();
+        let t4 = cluster
+            .node_ids()
+            .find(|&id| cluster.node(id).gpu == GpuType::T4)
+            .unwrap();
         assert!(p.node_profile(a100).max_layers > p.node_profile(t4).max_layers);
         // A 40 GB A100 with a 50% weight budget holds roughly 11-12 layers of 70B.
         let a100_layers = p.node_profile(a100).max_layers;
@@ -268,8 +281,14 @@ mod tests {
         let p = profile_70b();
         let cluster = p.cluster().clone();
         for gpu in [GpuType::A100_40, GpuType::L4, GpuType::T4] {
-            let ids: Vec<_> = cluster.node_ids().filter(|&id| cluster.node(id).gpu == gpu).collect();
-            assert!(!p.can_hold_model(&ids), "{gpu} alone should not hold LLaMA 70B");
+            let ids: Vec<_> = cluster
+                .node_ids()
+                .filter(|&id| cluster.node(id).gpu == gpu)
+                .collect();
+            assert!(
+                !p.can_hold_model(&ids),
+                "{gpu} alone should not hold LLaMA 70B"
+            );
         }
         // But the full cluster can.
         let all: Vec<_> = cluster.node_ids().collect();
@@ -279,10 +298,14 @@ mod tests {
     #[test]
     fn each_gpu_type_can_hold_llama30b_alone() {
         // §6.3: for LLaMA 30B each GPU type has enough nodes for its own pipeline.
-        let p = ClusterProfile::analytic(ClusterSpec::single_cluster_24(), ModelConfig::llama_30b());
+        let p =
+            ClusterProfile::analytic(ClusterSpec::single_cluster_24(), ModelConfig::llama_30b());
         let cluster = p.cluster().clone();
         for gpu in [GpuType::A100_40, GpuType::L4, GpuType::T4] {
-            let ids: Vec<_> = cluster.node_ids().filter(|&id| cluster.node(id).gpu == gpu).collect();
+            let ids: Vec<_> = cluster
+                .node_ids()
+                .filter(|&id| cluster.node(id).gpu == gpu)
+                .collect();
             assert!(p.can_hold_model(&ids), "{gpu} nodes should hold LLaMA 30B");
         }
     }

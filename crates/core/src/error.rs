@@ -101,7 +101,11 @@ mod tests {
     fn errors_display_and_convert() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<HelixError>();
-        let e = HelixError::ExceedsNodeCapacity { node: NodeId(1), layers: 9, max_layers: 4 };
+        let e = HelixError::ExceedsNodeCapacity {
+            node: NodeId(1),
+            layers: 9,
+            max_layers: 4,
+        };
         assert!(e.to_string().contains("9 layers"));
         let from_milp: HelixError = helix_milp::MilpError::Infeasible.into();
         assert!(matches!(from_milp, HelixError::Milp(_)));

@@ -42,7 +42,11 @@ pub struct FlowGraphBuilder<'a> {
 impl<'a> FlowGraphBuilder<'a> {
     /// Creates a builder with partial inference enabled and no pruning.
     pub fn new(profile: &'a ClusterProfile) -> Self {
-        FlowGraphBuilder { profile, partial_inference: true, prune_degree: None }
+        FlowGraphBuilder {
+            profile,
+            partial_inference: true,
+            prune_degree: None,
+        }
     }
 
     /// Enables or disables partial inference when deciding connection
@@ -80,11 +84,14 @@ impl<'a> FlowGraphBuilder<'a> {
             Some(degree) => {
                 let mut kept = Vec::new();
                 for &a in &ids {
-                    let mut targets: Vec<NodeId> = ids.iter().copied().filter(|&b| b != a).collect();
+                    let mut targets: Vec<NodeId> =
+                        ids.iter().copied().filter(|&b| b != a).collect();
                     targets.sort_by(|&x, &y| {
                         let bx = cluster.link(Some(a), Some(x)).bandwidth_mbps;
                         let by = cluster.link(Some(a), Some(y)).bandwidth_mbps;
-                        by.partial_cmp(&bx).unwrap_or(std::cmp::Ordering::Equal).then(x.cmp(&y))
+                        by.partial_cmp(&bx)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(x.cmp(&y))
                     });
                     for &b in targets.iter().take(degree) {
                         kept.push((a, b));
@@ -227,7 +234,12 @@ impl PlacementFlowGraph {
     /// Propagates [`helix_maxflow::FlowError`] if `flow` is not feasible for
     /// this network.
     pub fn decompose(&self, flow: &FlowResult) -> Result<Vec<FlowPath>, HelixError> {
-        Ok(decompose_paths(&self.network, flow, self.source, self.sink)?)
+        Ok(decompose_paths(
+            &self.network,
+            flow,
+            self.source,
+            self.sink,
+        )?)
     }
 
     /// The flow (tokens/s) assigned to the directed connection between two
@@ -274,7 +286,11 @@ impl PlacementFlowGraph {
         self.link_edges
             .iter()
             .map(|(&(from, to), &e)| {
-                (from, to, self.network.edge(e).expect("link edges are valid").capacity)
+                (
+                    from,
+                    to,
+                    self.network.edge(e).expect("link edges are valid").capacity,
+                )
             })
             .collect()
     }
@@ -288,7 +304,7 @@ impl PlacementFlowGraph {
             .filter(|((f, _), _)| *f == from)
             .map(|(&(_, to), &e)| (to, flow.flow(e)))
             .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out.sort_by_key(|a| a.0);
         out
     }
 }
@@ -357,8 +373,14 @@ mod tests {
         p.assign(NodeId(0), LayerRange::new(0, 2));
         p.assign(NodeId(1), LayerRange::new(1, 3));
         p.assign(NodeId(2), LayerRange::new(2, 3));
-        let with = FlowGraphBuilder::new(&profile).partial_inference(true).build(&p).unwrap();
-        let without = FlowGraphBuilder::new(&profile).partial_inference(false).build(&p).unwrap();
+        let with = FlowGraphBuilder::new(&profile)
+            .partial_inference(true)
+            .build(&p)
+            .unwrap();
+        let without = FlowGraphBuilder::new(&profile)
+            .partial_inference(false)
+            .build(&p)
+            .unwrap();
         let has_a100_to_t41 = |g: &PlacementFlowGraph| {
             g.connections()
                 .iter()
@@ -373,12 +395,12 @@ mod tests {
 
     #[test]
     fn pruning_limits_out_degree() {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::single_cluster_24(),
-            ModelConfig::llama2_70b(),
-        );
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::single_cluster_24(), ModelConfig::llama2_70b());
         let full = FlowGraphBuilder::new(&profile).candidate_connections();
-        let pruned = FlowGraphBuilder::new(&profile).prune_to_degree(5).candidate_connections();
+        let pruned = FlowGraphBuilder::new(&profile)
+            .prune_to_degree(5)
+            .candidate_connections();
         assert_eq!(full.len(), 24 * 23);
         assert_eq!(pruned.len(), 24 * 5);
         for id in profile.cluster().node_ids() {
@@ -406,7 +428,7 @@ mod tests {
         let flow = graph.max_flow();
         let util = graph.node_utilization(&flow);
         assert_eq!(util.len(), 3);
-        for (_, u) in &util {
+        for u in util.values() {
             assert!(*u >= 0.0 && *u <= 1.0 + 1e-9);
         }
         let out = graph.outgoing_flows(&flow, Endpoint::Coordinator);

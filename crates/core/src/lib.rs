@@ -10,6 +10,13 @@
 //!   valid network connection becomes an edge whose capacity is the link's
 //!   token throughput, and the max flow from source to sink equals the
 //!   cluster's maximum serving throughput.
+//! * [`Topology`] — the typed planning artifact produced once from a
+//!   placement (surviving connections, per-edge capacities, max-flow
+//!   solution, per-node layer ranges) and consumed by the scheduler, the
+//!   simulator and the prototype runtime alike.
+//! * [`exec_model`] — the execution cost model (batching formula, prompt vs
+//!   decode token costs, KV-overflow penalty) shared by the simulator and
+//!   the runtime so the two can never drift apart.
 //! * [`MilpPlacementPlanner`] — the MILP formulation of §4.4 (Tables 5–6)
 //!   with optional partial inference, cluster pruning, heuristic warm starts
 //!   and the early-stop upper bound of §4.5.
@@ -31,7 +38,7 @@
 //!
 //! ```rust
 //! use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
-//! use helix_core::{heuristics, FlowGraphBuilder, IwrrScheduler};
+//! use helix_core::{heuristics, IwrrScheduler, Topology};
 //!
 //! let profile = ClusterProfile::analytic(
 //!     ClusterSpec::solver_quality_10(),
@@ -39,23 +46,28 @@
 //! );
 //! // A quick heuristic placement (the MILP planner would refine this).
 //! let placement = heuristics::swarm_placement(&profile).unwrap();
-//! let graph = FlowGraphBuilder::new(&profile).build(&placement).unwrap();
-//! let max_flow = graph.max_flow();
-//! assert!(max_flow.value > 0.0);
-//! let scheduler = IwrrScheduler::from_flow(&profile, &placement, &graph, &max_flow).unwrap();
+//! // Plan once: the Topology holds the surviving connections, capacities
+//! // and the max-flow solution, and every downstream surface consumes it.
+//! let topology = Topology::plan(&profile, &placement, true).unwrap();
+//! assert!(topology.flow_value() > 0.0);
+//! let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
 //! assert!(scheduler.num_pipelines_possible() >= 1);
 //! ```
 
 pub mod error;
+pub mod exec_model;
 pub mod flow_graph;
 pub mod placement;
 pub mod scheduling;
+pub mod topology;
 
 pub use error::HelixError;
+pub use exec_model::{ExecModel, Phase, WorkUnit};
 pub use flow_graph::{Endpoint, FlowGraphBuilder, PlacementFlowGraph};
 pub use placement::heuristics;
+pub use placement::incremental::IncrementalFlowEvaluator;
 pub use placement::milp::{MilpPlacementPlanner, MilpPlannerReport, PlannerOptions};
-pub use placement::partition::{Partition, PartitionedPlanner, PartitionOptions, PartitionPlan};
+pub use placement::partition::{Partition, PartitionOptions, PartitionPlan, PartitionedPlanner};
 pub use placement::refine::{AnnealingOptions, FlowAnnealingPlanner};
 pub use placement::{LayerRange, ModelPlacement};
 pub use scheduling::iwrr::IwrrScheduler;
@@ -64,3 +76,4 @@ pub use scheduling::{
     ClusterState, IdleClusterState, PipelineStage, RandomScheduler, RequestPipeline, Scheduler,
     SchedulerKind, ShortestQueueScheduler, SwarmScheduler, TopologyGraph,
 };
+pub use topology::{Topology, TopologyLink, TopologyNode};

@@ -42,7 +42,9 @@ pub fn swarm_placement(profile: &ClusterProfile) -> Result<ModelPlacement, Helix
     nodes.sort_by(|&a, &b| {
         let ta = profile.node_profile(a).decode_tokens_per_layer_sec;
         let tb = profile.node_profile(b).decode_tokens_per_layer_sec;
-        tb.partial_cmp(&ta).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        tb.partial_cmp(&ta)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     let mut stage_capacity = vec![0.0f64; stages];
     for node in nodes {
@@ -54,7 +56,7 @@ pub fn swarm_placement(profile: &ClusterProfile) -> Result<ModelPlacement, Helix
         let mut candidate: Option<usize> = None;
         for (idx, (s, e)) in boundaries.iter().enumerate() {
             if e - s <= np.max_layers {
-                let better = candidate.map_or(true, |c| stage_capacity[idx] < stage_capacity[c]);
+                let better = candidate.is_none_or(|c| stage_capacity[idx] < stage_capacity[c]);
                 if better {
                     candidate = Some(idx);
                 }
@@ -89,7 +91,9 @@ pub fn petals_placement(profile: &ClusterProfile) -> Result<ModelPlacement, Heli
     nodes.sort_by(|&a, &b| {
         let ta = profile.node_profile(a).decode_tokens_per_layer_sec;
         let tb = profile.node_profile(b).decode_tokens_per_layer_sec;
-        tb.partial_cmp(&ta).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        tb.partial_cmp(&ta)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     for node in nodes {
         let np = profile.node_profile(node);
@@ -127,7 +131,9 @@ pub fn petals_placement(profile: &ClusterProfile) -> Result<ModelPlacement, Heli
 ///
 /// Returns [`HelixError::NoPlacementFound`] if no GPU type can hold a full
 /// replica on its own.
-pub fn separate_pipelines_placement(profile: &ClusterProfile) -> Result<ModelPlacement, HelixError> {
+pub fn separate_pipelines_placement(
+    profile: &ClusterProfile,
+) -> Result<ModelPlacement, HelixError> {
     let mut placement = ModelPlacement::empty(profile.cluster().num_nodes());
     let mut any = false;
     for group in node_type_groups(profile) {
@@ -169,7 +175,9 @@ pub fn separate_pipelines_plus_placement(
     leftovers.sort_by(|&a, &b| {
         let ta = profile.node_profile(a).decode_tokens_per_layer_sec;
         let tb = profile.node_profile(b).decode_tokens_per_layer_sec;
-        tb.partial_cmp(&ta).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        tb.partial_cmp(&ta)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     if !build_replicas_from(profile, &leftovers, &mut placement, false) {
         build_replicas_from(profile, &leftovers, &mut placement, true);
@@ -183,14 +191,19 @@ pub fn separate_pipelines_plus_placement(
 /// Groups node ids by (GPU type, GPU count), most capable groups first.
 fn node_type_groups(profile: &ClusterProfile) -> Vec<Vec<NodeId>> {
     let cluster = profile.cluster();
-    let mut keys: Vec<(helix_cluster::GpuType, usize)> =
-        cluster.nodes().iter().map(|n| (n.gpu, n.gpu_count)).collect();
+    let mut keys: Vec<(helix_cluster::GpuType, usize)> = cluster
+        .nodes()
+        .iter()
+        .map(|n| (n.gpu, n.gpu_count))
+        .collect();
     keys.sort();
     keys.dedup();
     // Sort groups by per-node capacity descending.
     keys.sort_by(|a, b| {
         let cap = |k: &(helix_cluster::GpuType, usize)| k.0.spec().fp16_tflops * k.1 as f64;
-        cap(b).partial_cmp(&cap(a)).unwrap_or(std::cmp::Ordering::Equal)
+        cap(b)
+            .partial_cmp(&cap(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     keys.into_iter()
         .map(|key| {
@@ -230,7 +243,9 @@ fn build_replicas_from(
         let mut chosen = Vec::new();
         let mut total = 0usize;
         while total < num_layers {
-            let Some(next) = remaining.first().copied() else { break };
+            let Some(next) = remaining.first().copied() else {
+                break;
+            };
             remaining.remove(0);
             total += budget(next);
             chosen.push(next);
@@ -242,8 +257,7 @@ fn build_replicas_from(
         let mut start = 0usize;
         for (i, &node) in chosen.iter().enumerate() {
             let cap = budget(node);
-            let remaining_nodes_cap: usize =
-                chosen[i + 1..].iter().map(|&n| budget(n)).sum();
+            let remaining_nodes_cap: usize = chosen[i + 1..].iter().map(|&n| budget(n)).sum();
             let rest = num_layers - start;
             // Leave at least enough room for the remaining nodes to be useful
             // but make sure we can always finish.
@@ -351,8 +365,10 @@ mod tests {
 
     #[test]
     fn sp_plus_assigns_leftovers_on_heterogeneous_cluster() {
-        let prof =
-            ClusterProfile::analytic(ClusterSpec::high_heterogeneity_42(), ModelConfig::llama2_70b());
+        let prof = ClusterProfile::analytic(
+            ClusterSpec::high_heterogeneity_42(),
+            ModelConfig::llama2_70b(),
+        );
         let sp = separate_pipelines_placement(&prof).unwrap();
         let sp_plus = separate_pipelines_plus_placement(&prof).unwrap();
         assert!(sp_plus.num_assigned() >= sp.num_assigned());
@@ -376,7 +392,10 @@ mod tests {
     fn heuristics_work_on_geo_distributed_cluster() {
         let prof =
             ClusterProfile::analytic(ClusterSpec::geo_distributed_24(), ModelConfig::llama2_70b());
-        for placement in [swarm_placement(&prof).unwrap(), petals_placement(&prof).unwrap()] {
+        for placement in [
+            swarm_placement(&prof).unwrap(),
+            petals_placement(&prof).unwrap(),
+        ] {
             placement.validate(&prof).unwrap();
         }
     }

@@ -131,7 +131,10 @@ pub struct MilpPlacementPlanner<'a> {
 impl<'a> MilpPlacementPlanner<'a> {
     /// Creates a planner with default options.
     pub fn new(profile: &'a ClusterProfile) -> Self {
-        MilpPlacementPlanner { profile, options: PlannerOptions::default() }
+        MilpPlacementPlanner {
+            profile,
+            options: PlannerOptions::default(),
+        }
     }
 
     /// Creates a planner with explicit options.
@@ -265,7 +268,8 @@ impl<'a> MilpPlacementPlanner<'a> {
     // ------------------------------------------------------------------
 
     fn flow_builder(&self) -> FlowGraphBuilder<'a> {
-        let mut b = FlowGraphBuilder::new(self.profile).partial_inference(self.options.partial_inference);
+        let mut b =
+            FlowGraphBuilder::new(self.profile).partial_inference(self.options.partial_inference);
         if let Some(d) = self.options.prune_degree {
             b = b.prune_to_degree(d);
         }
@@ -284,7 +288,13 @@ impl<'a> MilpPlacementPlanner<'a> {
         let mut b_vars: Vec<Vec<VarId>> = Vec::with_capacity(nodes.len());
         for &node in &nodes {
             let k = profile.node_profile(node).max_layers.min(num_layers).max(1);
-            let s = model.add_var(format!("s_{}", node.index()), VarType::Integer, 0.0, l - 1.0, 0.0);
+            let s = model.add_var(
+                format!("s_{}", node.index()),
+                VarType::Integer,
+                0.0,
+                l - 1.0,
+                0.0,
+            );
             let bs: Vec<VarId> = (1..=k)
                 .map(|j| model.add_binary(format!("b_{}_{}", node.index(), j), 0.0))
                 .collect();
@@ -304,7 +314,12 @@ impl<'a> MilpPlacementPlanner<'a> {
         for (i, &node) in nodes.iter().enumerate() {
             let terms: Vec<(VarId, f64)> = b_vars[i].iter().map(|&b| (b, 1.0)).collect();
             model.add_constraint(format!("one_size_{}", node.index()), terms, Sense::Eq, 1.0);
-            model.add_constraint_expr(format!("end_le_L_{}", node.index()), e_expr(i), Sense::Le, l);
+            model.add_constraint_expr(
+                format!("end_le_L_{}", node.index()),
+                e_expr(i),
+                Sense::Le,
+                l,
+            );
         }
 
         // Candidate connections: coordinator edges plus (pruned) node pairs.
@@ -365,11 +380,21 @@ impl<'a> MilpPlacementPlanner<'a> {
             } else {
                 None
             };
-            conns.push(ConnVars { from: Endpoint::Node(a), to: Endpoint::Node(b), capacity: cap, f, d, cond });
+            conns.push(ConnVars {
+                from: Endpoint::Node(a),
+                to: Endpoint::Node(b),
+                capacity: cap,
+                f,
+                d,
+                cond,
+            });
         }
 
         let node_pos = |id: NodeId| -> usize {
-            nodes.iter().position(|&n| n == id).expect("node ids are dense")
+            nodes
+                .iter()
+                .position(|&n| n == id)
+                .expect("node ids are dense")
         };
 
         // Constraint group 2 & 3: flow conservation and inference throughput.
@@ -426,8 +451,8 @@ impl<'a> MilpPlacementPlanner<'a> {
                     if let Some((c1, c2)) = c.cond {
                         // (L+1)(1 - cond1) >= s_j - e_i
                         //   <=>  s_j - e_i + (L+1) cond1 <= L+1
-                        let expr = LinExpr::term(s_vars[j], 1.0) - e_expr(i)
-                            + LinExpr::term(c1, l + 1.0);
+                        let expr =
+                            LinExpr::term(s_vars[j], 1.0) - e_expr(i) + LinExpr::term(c1, l + 1.0);
                         model.add_constraint_expr(format!("cond1_{ci}"), expr, Sense::Le, l + 1.0);
                         // e_j - e_i >= 1 - (L+1)(1 - cond2)
                         //   <=>  e_j - e_i - (L+1) cond2 >= -L
@@ -441,9 +466,11 @@ impl<'a> MilpPlacementPlanner<'a> {
                     } else {
                         // Without partial inference: d = 1 only if e_i == s_j.
                         // L d <= L + s_j - e_i  and  L d <= L - s_j + e_i.
-                        let expr = LinExpr::term(c.d, l) - LinExpr::term(s_vars[j], 1.0) + e_expr(i);
+                        let expr =
+                            LinExpr::term(c.d, l) - LinExpr::term(s_vars[j], 1.0) + e_expr(i);
                         model.add_constraint_expr(format!("exact_a_{ci}"), expr, Sense::Le, l);
-                        let expr = LinExpr::term(c.d, l) + LinExpr::term(s_vars[j], 1.0) - e_expr(i);
+                        let expr =
+                            LinExpr::term(c.d, l) + LinExpr::term(s_vars[j], 1.0) - e_expr(i);
                         model.add_constraint_expr(format!("exact_b_{ci}"), expr, Sense::Le, l);
                     }
                 }
@@ -454,7 +481,14 @@ impl<'a> MilpPlacementPlanner<'a> {
             model.add_constraint_expr(format!("trans_{ci}"), expr, Sense::Le, 0.0);
         }
 
-        (model, VarIndex { s: s_vars, b: b_vars, conns })
+        (
+            model,
+            VarIndex {
+                s: s_vars,
+                b: b_vars,
+                conns,
+            },
+        )
     }
 
     /// Picks the best heuristic placement (by max-flow value) as warm start.
@@ -485,9 +519,11 @@ impl<'a> MilpPlacementPlanner<'a> {
                     }
                 }
             }
-            let Ok(graph) = builder.build(&full) else { continue };
+            let Ok(graph) = builder.build(&full) else {
+                continue;
+            };
             let value = graph.max_flow().value;
-            if best.as_ref().map_or(true, |(_, v)| value > *v) {
+            if best.as_ref().is_none_or(|(_, v)| value > *v) {
                 best = Some((full, value));
             }
         }
@@ -520,10 +556,10 @@ impl<'a> MilpPlacementPlanner<'a> {
         for c in &index.conns {
             let valid = match (c.from, c.to) {
                 (Endpoint::Coordinator, Endpoint::Node(to)) => {
-                    placement.range(to).map_or(false, |r| r.start == 0)
+                    placement.range(to).is_some_and(|r| r.start == 0)
                 }
                 (Endpoint::Node(from), Endpoint::Coordinator) => {
-                    placement.range(from).map_or(false, |r| r.end == num_layers)
+                    placement.range(from).is_some_and(|r| r.end == num_layers)
                 }
                 (Endpoint::Node(from), Endpoint::Node(to)) => {
                     placement.connection_valid(from, to, self.options.partial_inference)
@@ -600,7 +636,9 @@ mod tests {
     fn problem_size_is_linear_in_connections() {
         let profile = tiny_profile(6);
         let full = MilpPlacementPlanner::new(&profile).problem_size();
-        let pruned = MilpPlacementPlanner::new(&profile).prune_to_degree(1).problem_size();
+        let pruned = MilpPlacementPlanner::new(&profile)
+            .prune_to_degree(1)
+            .problem_size();
         assert!(pruned.0 < full.0);
         assert!(pruned.1 < full.1);
     }
@@ -652,16 +690,18 @@ mod tests {
     fn problem_size_scales_with_cluster_for_paper_setups() {
         // Not solved (far too large for a unit test) — only the formulation
         // size is exercised, which is what Table 8 reports.
-        let p24 = ClusterProfile::analytic(
-            ClusterSpec::single_cluster_24(),
-            ModelConfig::llama2_70b(),
-        );
+        let p24 =
+            ClusterProfile::analytic(ClusterSpec::single_cluster_24(), ModelConfig::llama2_70b());
         let p42 = ClusterProfile::analytic(
             ClusterSpec::high_heterogeneity_42(),
             ModelConfig::llama2_70b(),
         );
-        let (v24, c24) = MilpPlacementPlanner::new(&p24).prune_to_degree(12).problem_size();
-        let (v42, c42) = MilpPlacementPlanner::new(&p42).prune_to_degree(12).problem_size();
+        let (v24, c24) = MilpPlacementPlanner::new(&p24)
+            .prune_to_degree(12)
+            .problem_size();
+        let (v42, c42) = MilpPlacementPlanner::new(&p42)
+            .prune_to_degree(12)
+            .problem_size();
         let (v24_full, c24_full) = MilpPlacementPlanner::new(&p24).problem_size();
         assert!(v42 > v24 && c42 > c24);
         assert!(v24_full > v24 && c24_full > c24);

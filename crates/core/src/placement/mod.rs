@@ -1,6 +1,7 @@
 //! Model placement: which layers each compute node holds.
 
 pub mod heuristics;
+pub mod incremental;
 pub mod milp;
 pub mod partition;
 pub mod refine;
@@ -26,7 +27,10 @@ impl LayerRange {
     ///
     /// Panics if `start >= end`.
     pub fn new(start: usize, end: usize) -> Self {
-        assert!(start < end, "empty or inverted layer range [{start}, {end})");
+        assert!(
+            start < end,
+            "empty or inverted layer range [{start}, {end})"
+        );
         LayerRange { start, end }
     }
 
@@ -78,7 +82,9 @@ pub struct ModelPlacement {
 impl ModelPlacement {
     /// A placement for `num_nodes` nodes with nothing assigned yet.
     pub fn empty(num_nodes: usize) -> Self {
-        ModelPlacement { assignments: vec![None; num_nodes] }
+        ModelPlacement {
+            assignments: vec![None; num_nodes],
+        }
     }
 
     /// Number of nodes this placement covers (assigned or not).
@@ -120,7 +126,10 @@ impl ModelPlacement {
 
     /// Nodes that hold the given layer.
     pub fn holders_of(&self, layer: usize) -> Vec<NodeId> {
-        self.iter().filter(|(_, r)| r.contains(layer)).map(|(n, _)| n).collect()
+        self.iter()
+            .filter(|(_, r)| r.contains(layer))
+            .map(|(n, _)| n)
+            .collect()
     }
 
     /// Nodes holding the first layer of the model.
@@ -130,7 +139,10 @@ impl ModelPlacement {
 
     /// Nodes holding the last layer of a model with `num_layers` layers.
     pub fn exit_nodes(&self, num_layers: usize) -> Vec<NodeId> {
-        self.iter().filter(|(_, r)| r.end == num_layers).map(|(n, _)| n).collect()
+        self.iter()
+            .filter(|(_, r)| r.end == num_layers)
+            .map(|(n, _)| n)
+            .collect()
     }
 
     /// Total layers held across all nodes (counts replicas).
@@ -305,10 +317,8 @@ mod tests {
 
     #[test]
     fn validate_against_profile() {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::solver_quality_10(),
-            ModelConfig::llama_30b(),
-        );
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
         let num_layers = profile.model().num_layers;
         let n = profile.cluster().num_nodes();
         // A valid chain placement across all nodes.
@@ -328,17 +338,26 @@ mod tests {
         // Out-of-range layers are rejected.
         let mut bad = p.clone();
         bad.assign(NodeId(0), LayerRange::new(0, num_layers + 1));
-        assert!(matches!(bad.validate(&profile), Err(HelixError::InvalidLayerRange { .. })));
+        assert!(matches!(
+            bad.validate(&profile),
+            Err(HelixError::InvalidLayerRange { .. })
+        ));
 
         // Exceeding VRAM is rejected.
         let mut fat = p.clone();
         let max0 = profile.node_profile(NodeId(0)).max_layers_absolute;
         fat.assign(NodeId(0), LayerRange::new(0, max0 + 1));
-        assert!(matches!(fat.validate(&profile), Err(HelixError::ExceedsNodeCapacity { .. })));
+        assert!(matches!(
+            fat.validate(&profile),
+            Err(HelixError::ExceedsNodeCapacity { .. })
+        ));
 
         // Removing coverage of some layers breaks the pipeline.
         let mut gap = p.clone();
         gap.clear(NodeId(0));
-        assert!(matches!(gap.validate(&profile), Err(HelixError::NoCompletePipeline)));
+        assert!(matches!(
+            gap.validate(&profile),
+            Err(HelixError::NoCompletePipeline)
+        ));
     }
 }

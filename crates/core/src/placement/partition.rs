@@ -122,7 +122,10 @@ pub struct PartitionedPlanner<'a> {
 impl<'a> PartitionedPlanner<'a> {
     /// Creates a planner with default options.
     pub fn new(profile: &'a ClusterProfile) -> Self {
-        PartitionedPlanner { profile, options: PartitionOptions::default() }
+        PartitionedPlanner {
+            profile,
+            options: PartitionOptions::default(),
+        }
     }
 
     /// Overrides the partitioning options.
@@ -180,8 +183,10 @@ impl<'a> PartitionedPlanner<'a> {
         if !current.is_empty() {
             // Leftover nodes that cannot hold a replica on their own join the
             // last complete group (or form the only group for tiny clusters).
-            let leftover_capacity: usize =
-                current.iter().map(|&id| profile.node_profile(id).max_layers).sum();
+            let leftover_capacity: usize = current
+                .iter()
+                .map(|&id| profile.node_profile(id).max_layers)
+                .sum();
             if leftover_capacity >= needed || groups.is_empty() {
                 groups.push(current);
             } else if let Some(last) = groups.last_mut() {
@@ -212,12 +217,21 @@ impl<'a> PartitionedPlanner<'a> {
             // Map the sub-cluster placement back onto the original node ids.
             let mut placement = ModelPlacement::empty(self.profile.cluster().num_nodes());
             for (sub_node, range) in sub_placement.iter() {
-                placement
-                    .assign(id_map[sub_node.index()], LayerRange::new(range.start, range.end));
+                placement.assign(
+                    id_map[sub_node.index()],
+                    LayerRange::new(range.start, range.end),
+                );
             }
-            partitions.push(Partition { nodes, placement, throughput });
+            partitions.push(Partition {
+                nodes,
+                placement,
+                throughput,
+            });
         }
-        Ok(PartitionPlan { partitions, num_nodes: self.profile.cluster().num_nodes() })
+        Ok(PartitionPlan {
+            partitions,
+            num_nodes: self.profile.cluster().num_nodes(),
+        })
     }
 
     /// Builds a standalone profile containing only `nodes`, preserving each
@@ -228,19 +242,31 @@ impl<'a> PartitionedPlanner<'a> {
     fn sub_profile(&self, nodes: &[NodeId]) -> (ClusterProfile, Vec<NodeId>) {
         let cluster = self.profile.cluster();
         let mut builder = ClusterBuilder::new(format!("{}-partition", cluster.name))
-            .intra_region(cluster.intra_region_bandwidth_mbps, cluster.intra_region_latency_ms)
-            .inter_region(cluster.inter_region_bandwidth_mbps, cluster.inter_region_latency_ms)
+            .intra_region(
+                cluster.intra_region_bandwidth_mbps,
+                cluster.intra_region_latency_ms,
+            )
+            .inter_region(
+                cluster.inter_region_bandwidth_mbps,
+                cluster.inter_region_latency_ms,
+            )
             .coordinator_region(cluster.coordinator_region);
         let mut id_map = Vec::with_capacity(nodes.len());
         for &id in nodes {
             let node = cluster.node(id);
-            builder = builder
-                .nic_bandwidth(node.nic_bandwidth_mbps)
-                .add_nodes(node.gpu, 1, node.gpu_count, node.region);
+            builder = builder.nic_bandwidth(node.nic_bandwidth_mbps).add_nodes(
+                node.gpu,
+                1,
+                node.gpu_count,
+                node.region,
+            );
             id_map.push(id);
         }
         let sub_cluster = builder.build();
-        (ClusterProfile::analytic(sub_cluster, self.profile.model().clone()), id_map)
+        (
+            ClusterProfile::analytic(sub_cluster, self.profile.model().clone()),
+            id_map,
+        )
     }
 }
 
@@ -253,25 +279,27 @@ mod tests {
     fn quick_options(max_partition_size: usize) -> PartitionOptions {
         PartitionOptions {
             max_partition_size,
-            annealing: AnnealingOptions { iterations: 200, ..Default::default() },
+            annealing: AnnealingOptions {
+                iterations: 200,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
 
     #[test]
     fn groups_cover_all_nodes_exactly_once_and_can_hold_the_model() {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::single_cluster_24(),
-            ModelConfig::llama_30b(),
-        );
-        let planner =
-            PartitionedPlanner::new(&profile).with_options(quick_options(8));
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::single_cluster_24(), ModelConfig::llama_30b());
+        let planner = PartitionedPlanner::new(&profile).with_options(quick_options(8));
         let groups = planner.node_groups();
         assert!(groups.len() >= 2, "24 nodes with max size 8 should split");
-        let mut seen = vec![false; 24];
+        let mut seen = [false; 24];
         for group in &groups {
-            let capacity: usize =
-                group.iter().map(|&id| profile.node_profile(id).max_layers).sum();
+            let capacity: usize = group
+                .iter()
+                .map(|&id| profile.node_profile(id).max_layers)
+                .sum();
             assert!(
                 capacity >= profile.model().num_layers,
                 "every group must hold a full replica"
@@ -286,10 +314,8 @@ mod tests {
 
     #[test]
     fn region_grouping_keeps_partitions_inside_regions_when_possible() {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::geo_distributed_24(),
-            ModelConfig::llama_30b(),
-        );
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::geo_distributed_24(), ModelConfig::llama_30b());
         let planner = PartitionedPlanner::new(&profile).with_options(quick_options(12));
         let groups = planner.node_groups();
         let cluster = profile.cluster();
@@ -307,10 +333,8 @@ mod tests {
 
     #[test]
     fn solve_produces_disjoint_replicas_with_additive_throughput() {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::single_cluster_24(),
-            ModelConfig::llama_30b(),
-        );
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::single_cluster_24(), ModelConfig::llama_30b());
         let planner = PartitionedPlanner::new(&profile).with_options(quick_options(8));
         let plan = planner.solve().unwrap();
         assert!(plan.num_replicas() >= 2);
@@ -338,10 +362,8 @@ mod tests {
 
     #[test]
     fn small_clusters_collapse_to_a_single_partition() {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::solver_quality_10(),
-            ModelConfig::llama_30b(),
-        );
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
         let planner = PartitionedPlanner::new(&profile).with_options(quick_options(32));
         let groups = planner.node_groups();
         assert_eq!(groups.len(), 1);

@@ -12,8 +12,10 @@
 
 use crate::error::HelixError;
 use crate::flow_graph::FlowGraphBuilder;
+use crate::placement::incremental::IncrementalFlowEvaluator;
 use crate::placement::{heuristics, LayerRange, ModelPlacement};
 use helix_cluster::{ClusterProfile, NodeId};
+use helix_maxflow::MaxFlowAlgorithm;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -33,6 +35,11 @@ pub struct AnnealingOptions {
     pub partial_inference: bool,
     /// Optional cluster pruning degree used when evaluating placements.
     pub prune_degree: Option<usize>,
+    /// Evaluate moves incrementally on a standing warm-started flow network
+    /// (the default) instead of rebuilding and re-solving the graph from
+    /// scratch per iteration.  Both paths evaluate the identical objective;
+    /// see [`IncrementalFlowEvaluator`] for why the values agree.
+    pub warm_start: bool,
 }
 
 impl Default for AnnealingOptions {
@@ -44,6 +51,7 @@ impl Default for AnnealingOptions {
             seed: 0x48454C49,
             partial_inference: true,
             prune_degree: None,
+            warm_start: true,
         }
     }
 }
@@ -75,7 +83,10 @@ pub struct FlowAnnealingPlanner<'a> {
 impl<'a> FlowAnnealingPlanner<'a> {
     /// Creates a planner with default options.
     pub fn new(profile: &'a ClusterProfile) -> Self {
-        FlowAnnealingPlanner { profile, options: AnnealingOptions::default() }
+        FlowAnnealingPlanner {
+            profile,
+            options: AnnealingOptions::default(),
+        }
     }
 
     /// Replaces the options.
@@ -97,7 +108,10 @@ impl<'a> FlowAnnealingPlanner<'a> {
         if let Some(d) = self.options.prune_degree {
             builder = builder.prune_to_degree(d);
         }
-        builder.build(placement).map(|g| g.max_flow().value).unwrap_or(0.0)
+        builder
+            .build(placement)
+            .map(|g| g.max_flow().value)
+            .unwrap_or(0.0)
     }
 
     /// Runs the search starting from the built-in heuristics.
@@ -125,29 +139,47 @@ impl<'a> FlowAnnealingPlanner<'a> {
     ///
     /// Returns [`HelixError::NoPlacementFound`] if `starts` is empty or no
     /// start is feasible.
-    pub fn solve_from(&self, starts: &[ModelPlacement]) -> Result<(ModelPlacement, f64), HelixError> {
+    pub fn solve_from(
+        &self,
+        starts: &[ModelPlacement],
+    ) -> Result<(ModelPlacement, f64), HelixError> {
         let mut best: Option<(ModelPlacement, f64)> = None;
         for s in starts {
             let v = self.evaluate(s);
-            if v > 0.0 && best.as_ref().map_or(true, |(_, bv)| v > *bv) {
+            if v > 0.0 && best.as_ref().is_none_or(|(_, bv)| v > *bv) {
                 best = Some((s.clone(), v));
             }
         }
-        let (mut current, mut current_value) = best.clone().ok_or(HelixError::NoPlacementFound)?;
-        let (mut best_placement, mut best_value) = (current.clone(), current_value);
+        let (current, current_value) = best.ok_or(HelixError::NoPlacementFound)?;
+        if self.options.warm_start {
+            self.anneal_warm(current, current_value)
+        } else {
+            self.anneal_cold(current, current_value)
+        }
+    }
 
+    /// The cold annealing loop: every candidate is evaluated by rebuilding
+    /// the flow graph and solving max flow from scratch.  Kept as the
+    /// reference implementation (and for the cold-vs-warm benchmark).
+    fn anneal_cold(
+        &self,
+        mut current: ModelPlacement,
+        mut current_value: f64,
+    ) -> Result<(ModelPlacement, f64), HelixError> {
+        let (mut best_placement, mut best_value) = (current.clone(), current_value);
         let upper = self.profile.throughput_upper_bound().max(1e-9);
         let mut temperature = self.options.initial_temperature * upper;
         let mut rng = StdRng::seed_from_u64(self.options.seed);
 
         for _ in 0..self.options.iterations {
-            let candidate = self.mutate(&current, &mut rng);
-            let value = self.evaluate(&candidate);
-            let accept = value >= current_value || {
-                let delta = current_value - value;
-                temperature > 1e-12 && rng.gen::<f64>() < (-delta / temperature).exp()
+            let Some((node, range)) = self.propose(&current, &mut rng) else {
+                temperature *= self.options.cooling;
+                continue;
             };
-            if accept && value > 0.0 {
+            let mut candidate = current.clone();
+            candidate.assign(node, range);
+            let value = self.evaluate(&candidate);
+            if self.accept(value, current_value, temperature, &mut rng) {
                 current = candidate;
                 current_value = value;
                 if value > best_value {
@@ -164,27 +196,94 @@ impl<'a> FlowAnnealingPlanner<'a> {
         Ok((best_placement, best_value))
     }
 
-    /// Proposes a random local modification of `placement`.
-    fn mutate(&self, placement: &ModelPlacement, rng: &mut StdRng) -> ModelPlacement {
+    /// The warm annealing loop: one standing flow network absorbs each
+    /// single-node move via capacity updates and a warm re-solve; rejected
+    /// moves are rolled back the same way.  The returned value is the cold
+    /// re-evaluation of the best placement, so reported numbers always come
+    /// from the canonical path.
+    fn anneal_warm(
+        &self,
+        start: ModelPlacement,
+        _start_value: f64,
+    ) -> Result<(ModelPlacement, f64), HelixError> {
+        // Dinic augments from the standing flow without re-saturating the
+        // source (push-relabel would re-push every source edge's residual and
+        // drain it back each solve, wasting the warm start).
+        let mut evaluator = IncrementalFlowEvaluator::new(
+            self.profile,
+            &start,
+            self.options.partial_inference,
+            self.options.prune_degree,
+            MaxFlowAlgorithm::Dinic,
+        )?;
+        let mut current_value = evaluator.value();
+        // The evaluator's own placement is the single authoritative copy of
+        // the current state; only the best-so-far needs a snapshot.
+        let (mut best_placement, mut best_value) = (start, current_value);
+        let upper = self.profile.throughput_upper_bound().max(1e-9);
+        let mut temperature = self.options.initial_temperature * upper;
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+
+        for _ in 0..self.options.iterations {
+            let Some((node, range)) = self.propose(evaluator.placement(), &mut rng) else {
+                temperature *= self.options.cooling;
+                continue;
+            };
+            let previous = evaluator.placement().range(node);
+            let value = evaluator.assign(node, range);
+            if self.accept(value, current_value, temperature, &mut rng) {
+                current_value = value;
+                if value > best_value {
+                    best_value = value;
+                    best_placement = evaluator.placement().clone();
+                    // Early exit once we are essentially at the upper bound.
+                    if best_value >= 0.995 * upper {
+                        break;
+                    }
+                }
+            } else {
+                evaluator.restore(node, previous);
+            }
+            temperature *= self.options.cooling;
+        }
+        // Report the canonical (cold) evaluation of the winner.
+        let value = self.evaluate(&best_placement);
+        Ok((best_placement, value))
+    }
+
+    fn accept(&self, value: f64, current_value: f64, temperature: f64, rng: &mut StdRng) -> bool {
+        let metropolis = value >= current_value || {
+            let delta = current_value - value;
+            temperature > 1e-12 && rng.gen::<f64>() < (-delta / temperature).exp()
+        };
+        metropolis && value > 0.0
+    }
+
+    /// Proposes a random single-node move: `(node, new range)`, or `None`
+    /// when the drawn node cannot hold layers or the move template does not
+    /// apply.
+    fn propose(
+        &self,
+        placement: &ModelPlacement,
+        rng: &mut StdRng,
+    ) -> Option<(NodeId, LayerRange)> {
         let profile = self.profile;
         let num_layers = profile.model().num_layers;
         let nodes: Vec<NodeId> = profile.cluster().node_ids().collect();
-        let mut candidate = placement.clone();
         let node = nodes[rng.gen_range(0..nodes.len())];
         let max_layers = profile.node_profile(node).max_layers.min(num_layers);
         if max_layers == 0 {
-            return candidate;
+            return None;
         }
-        let current = candidate.range(node);
+        let current = placement.range(node);
         match rng.gen_range(0..4u8) {
             // Resize: change the number of layers held, keeping the start.
             0 => {
                 let range = current.unwrap_or(LayerRange::new(0, 1));
                 let delta: i64 = rng.gen_range(-3..=3);
-                let new_len =
-                    (range.len() as i64 + delta).clamp(1, max_layers as i64) as usize;
+                let new_len = (range.len() as i64 + delta).clamp(1, max_layers as i64) as usize;
                 let start = range.start.min(num_layers - new_len);
-                candidate.assign(node, LayerRange::new(start, start + new_len));
+                Some((node, LayerRange::new(start, start + new_len)))
             }
             // Shift: move the range earlier/later.
             1 => {
@@ -193,33 +292,38 @@ impl<'a> FlowAnnealingPlanner<'a> {
                 let shift: i64 = rng.gen_range(-4..=4);
                 let start =
                     (range.start as i64 + shift).clamp(0, (num_layers - len) as i64) as usize;
-                candidate.assign(node, LayerRange::new(start, start + len));
+                Some((node, LayerRange::new(start, start + len)))
             }
             // Re-anchor: continue right after another node's range.
             2 => {
                 let other = nodes[rng.gen_range(0..nodes.len())];
-                if let Some(other_range) = candidate.range(other) {
-                    if other_range.end < num_layers {
-                        let len = max_layers.min(num_layers - other_range.end);
-                        candidate.assign(node, LayerRange::new(other_range.end, other_range.end + len));
-                    } else {
-                        // Other node ends the model: mirror its range instead.
-                        let len = max_layers.min(other_range.len());
-                        candidate
-                            .assign(node, LayerRange::new(other_range.end - len, other_range.end));
-                    }
+                let other_range = placement.range(other)?;
+                if other_range.end < num_layers {
+                    let len = max_layers.min(num_layers - other_range.end);
+                    Some((
+                        node,
+                        LayerRange::new(other_range.end, other_range.end + len),
+                    ))
+                } else {
+                    // Other node ends the model: mirror its range instead.
+                    let len = max_layers.min(other_range.len());
+                    Some((
+                        node,
+                        LayerRange::new(other_range.end - len, other_range.end),
+                    ))
                 }
             }
             // Replicate: copy another node's range (shrunk to fit VRAM).
             _ => {
                 let other = nodes[rng.gen_range(0..nodes.len())];
-                if let Some(other_range) = candidate.range(other) {
-                    let len = max_layers.min(other_range.len());
-                    candidate.assign(node, LayerRange::new(other_range.start, other_range.start + len));
-                }
+                let other_range = placement.range(other)?;
+                let len = max_layers.min(other_range.len());
+                Some((
+                    node,
+                    LayerRange::new(other_range.start, other_range.start + len),
+                ))
             }
         }
-        candidate
     }
 }
 
@@ -229,15 +333,16 @@ mod tests {
     use helix_cluster::{ClusterSpec, ModelConfig};
 
     fn quick_options() -> AnnealingOptions {
-        AnnealingOptions { iterations: 300, ..Default::default() }
+        AnnealingOptions {
+            iterations: 300,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn annealing_improves_or_matches_heuristics() {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::solver_quality_10(),
-            ModelConfig::llama_30b(),
-        );
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
         let planner = FlowAnnealingPlanner::new(&profile).with_options(quick_options());
         let swarm = heuristics::swarm_placement(&profile).unwrap();
         let swarm_value = planner.evaluate(&swarm);
@@ -249,10 +354,8 @@ mod tests {
 
     #[test]
     fn annealing_is_deterministic_for_a_seed() {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::solver_quality_10(),
-            ModelConfig::llama_30b(),
-        );
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
         let planner = FlowAnnealingPlanner::new(&profile).with_options(quick_options());
         let (_, v1) = planner.solve().unwrap();
         let (_, v2) = planner.solve().unwrap();
@@ -261,10 +364,8 @@ mod tests {
 
     #[test]
     fn evaluate_returns_zero_for_invalid_placement() {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::solver_quality_10(),
-            ModelConfig::llama_30b(),
-        );
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
         let planner = FlowAnnealingPlanner::new(&profile);
         let empty = ModelPlacement::empty(profile.cluster().num_nodes());
         assert_eq!(planner.evaluate(&empty), 0.0);
@@ -272,20 +373,107 @@ mod tests {
 
     #[test]
     fn solve_from_empty_starts_errors() {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::solver_quality_10(),
-            ModelConfig::llama_30b(),
-        );
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
         let planner = FlowAnnealingPlanner::new(&profile);
-        assert!(matches!(planner.solve_from(&[]), Err(HelixError::NoPlacementFound)));
+        assert!(matches!(
+            planner.solve_from(&[]),
+            Err(HelixError::NoPlacementFound)
+        ));
+    }
+
+    #[test]
+    fn warm_start_is_the_default_and_matches_cold_on_the_solver_quality_cluster() {
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
+        assert!(
+            AnnealingOptions::default().warm_start,
+            "warm start must be the default"
+        );
+        let warm = FlowAnnealingPlanner::new(&profile).with_options(AnnealingOptions {
+            iterations: 400,
+            ..Default::default()
+        });
+        let cold = FlowAnnealingPlanner::new(&profile).with_options(AnnealingOptions {
+            iterations: 400,
+            warm_start: false,
+            ..Default::default()
+        });
+        let (warm_placement, warm_value) = warm.solve().unwrap();
+        let (cold_placement, cold_value) = cold.solve().unwrap();
+        warm_placement.validate(&profile).unwrap();
+        cold_placement.validate(&profile).unwrap();
+        // The warm path reports its placement's value from the canonical
+        // cold evaluation: the two evaluation surfaces agree within FLOW_EPS
+        // on the same placement (the warm evaluator solves the identical
+        // objective on the identical candidate edge set).  The two *searches*
+        // may legitimately land on different local optima — near-tie accept
+        // decisions amplify — so search outcomes are compared for quality,
+        // not equality.
+        let eps = helix_maxflow::FLOW_EPS * (1.0 + warm_value.abs());
+        assert!(
+            (warm.evaluate(&warm_placement) - warm_value).abs() <= eps,
+            "reported warm value diverges from the cold evaluation of its placement"
+        );
+        assert!((cold.evaluate(&cold_placement) - cold_value).abs() <= eps);
+        // Neither search loses to the best heuristic start, and the warm
+        // default is at least as good as the cold search here.
+        let heuristic_best = [
+            heuristics::swarm_placement(&profile).unwrap(),
+            heuristics::petals_placement(&profile).unwrap(),
+        ]
+        .iter()
+        .map(|p| warm.evaluate(p))
+        .fold(0.0_f64, f64::max);
+        assert!(
+            warm_value >= heuristic_best - 1e-9,
+            "warm {warm_value} vs heuristics {heuristic_best}"
+        );
+        assert!(cold_value >= heuristic_best - 1e-9);
+        assert!(
+            warm_value >= cold_value * 0.95,
+            "warm {warm_value} vs cold search {cold_value}"
+        );
+    }
+
+    #[test]
+    fn warm_start_evaluations_match_cold_per_placement() {
+        // Follow the warm path's accepted placements and re-evaluate each
+        // with the cold builder: the two evaluation surfaces must agree on
+        // every placement, not just the final one.
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
+        let planner = FlowAnnealingPlanner::new(&profile);
+        let start = heuristics::swarm_placement(&profile).unwrap();
+        let mut evaluator = crate::placement::incremental::IncrementalFlowEvaluator::new(
+            &profile,
+            &start,
+            true,
+            None,
+            helix_maxflow::MaxFlowAlgorithm::PushRelabel,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut placement = start;
+        let mut checked = 0;
+        for _ in 0..120 {
+            let Some((node, range)) = planner.propose(&placement, &mut rng) else {
+                continue;
+            };
+            placement.assign(node, range);
+            let warm = evaluator.assign(node, range);
+            let cold = planner.evaluate(&placement);
+            let eps = helix_maxflow::FLOW_EPS * (1.0 + cold.abs());
+            assert!((warm - cold).abs() <= eps, "warm {warm} vs cold {cold}");
+            checked += 1;
+        }
+        assert!(checked > 50, "exercised {checked} moves");
     }
 
     #[test]
     fn annealing_handles_geo_distributed_cluster() {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::geo_distributed_24(),
-            ModelConfig::llama2_70b(),
-        );
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::geo_distributed_24(), ModelConfig::llama2_70b());
         let planner = FlowAnnealingPlanner::new(&profile).with_options(AnnealingOptions {
             iterations: 200,
             ..Default::default()

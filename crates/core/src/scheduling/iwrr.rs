@@ -14,6 +14,7 @@ use crate::placement::ModelPlacement;
 use crate::scheduling::{
     walk_pipeline, ClusterState, RequestPipeline, Scheduler, SchedulerKind, TopologyGraph,
 };
+use crate::topology::Topology;
 use helix_cluster::{ClusterProfile, NodeId};
 use helix_maxflow::FlowResult;
 use std::collections::HashMap;
@@ -39,11 +40,14 @@ pub struct IwrrChooser<T> {
 impl<T: Copy + Eq> IwrrChooser<T> {
     /// Creates a chooser; candidates with non-positive weight are dropped.
     pub fn new(candidates: impl IntoIterator<Item = (T, f64)>) -> Self {
-        let candidates: Vec<(T, f64)> =
-            candidates.into_iter().filter(|(_, w)| *w > 0.0).collect();
+        let candidates: Vec<(T, f64)> = candidates.into_iter().filter(|(_, w)| *w > 0.0).collect();
         let total = candidates.iter().map(|(_, w)| w).sum();
         let credits = vec![0.0; candidates.len()];
-        IwrrChooser { candidates, credits, total }
+        IwrrChooser {
+            candidates,
+            credits,
+            total,
+        }
     }
 
     /// Number of candidates with positive weight.
@@ -58,7 +62,10 @@ impl<T: Copy + Eq> IwrrChooser<T> {
 
     /// The weight associated with a candidate.
     pub fn weight(&self, candidate: T) -> Option<f64> {
-        self.candidates.iter().find(|(c, _)| *c == candidate).map(|(_, w)| *w)
+        self.candidates
+            .iter()
+            .find(|(c, _)| *c == candidate)
+            .map(|(_, w)| *w)
     }
 
     /// Picks the next candidate, skipping any for which `masked` returns
@@ -77,7 +84,7 @@ impl<T: Copy + Eq> IwrrChooser<T> {
             if masked(*c) {
                 continue;
             }
-            if best.map_or(true, |b| self.credits[i] > self.credits[b]) {
+            if best.is_none_or(|b| self.credits[i] > self.credits[b]) {
                 best = Some(i);
             }
         }
@@ -115,8 +122,49 @@ pub struct IwrrScheduler {
 }
 
 impl IwrrScheduler {
+    /// Builds the scheduler from the shared planning artifact: the walkable
+    /// graph comes from the topology's surviving connections and the IWRR
+    /// weights from its max-flow solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HelixError::NoCandidateAvailable`] if the topology's max
+    /// flow is zero (no request could ever be scheduled).
+    pub fn from_topology(topology: &Topology) -> Result<Self, HelixError> {
+        if topology.flow_value() <= 0.0 {
+            return Err(HelixError::NoCandidateAvailable {
+                context: "placement admits zero serving throughput".to_string(),
+            });
+        }
+        let graph = TopologyGraph::from_topology(topology);
+        let mut choosers = HashMap::new();
+        let node_weights = |from: Endpoint| -> Vec<(NodeId, f64)> {
+            topology
+                .outgoing_flows(from)
+                .into_iter()
+                .filter_map(|(to, w)| match to {
+                    Endpoint::Node(n) => Some((n, w)),
+                    Endpoint::Coordinator => None,
+                })
+                .collect()
+        };
+        choosers.insert(None, IwrrChooser::new(node_weights(Endpoint::Coordinator)));
+        for n in topology.nodes() {
+            choosers.insert(
+                Some(n.node),
+                IwrrChooser::new(node_weights(Endpoint::Node(n.node))),
+            );
+        }
+        Ok(IwrrScheduler {
+            topology: graph,
+            choosers,
+            kv_high_water: KV_HIGH_WATER,
+            num_pipelines: topology.num_pipelines(),
+        })
+    }
+
     /// Builds the scheduler from a placement's flow graph and its max-flow
-    /// solution.
+    /// solution (materialises a [`Topology`] internally).
     ///
     /// # Errors
     ///
@@ -124,45 +172,14 @@ impl IwrrScheduler {
     /// (no request could ever be scheduled).
     pub fn from_flow(
         profile: &ClusterProfile,
-        placement: &ModelPlacement,
+        _placement: &ModelPlacement,
         graph: &PlacementFlowGraph,
         flow: &FlowResult,
     ) -> Result<Self, HelixError> {
-        if flow.value <= 0.0 {
-            return Err(HelixError::NoCandidateAvailable {
-                context: "placement admits zero serving throughput".to_string(),
-            });
-        }
-        let topology = TopologyGraph::new(profile, placement, graph.partial_inference());
-        let mut choosers = HashMap::new();
-        // Coordinator chooser.
-        let coord_weights: Vec<(NodeId, f64)> = graph
-            .outgoing_flows(flow, Endpoint::Coordinator)
-            .into_iter()
-            .filter_map(|(to, w)| match to {
-                Endpoint::Node(n) => Some((n, w)),
-                Endpoint::Coordinator => None,
-            })
-            .collect();
-        choosers.insert(None, IwrrChooser::new(coord_weights));
-        // Per-node choosers.
-        for (node, _) in placement.iter() {
-            let weights: Vec<(NodeId, f64)> = graph
-                .outgoing_flows(flow, Endpoint::Node(node))
-                .into_iter()
-                .filter_map(|(to, w)| match to {
-                    Endpoint::Node(n) => Some((n, w)),
-                    Endpoint::Coordinator => None,
-                })
-                .collect();
-            choosers.insert(Some(node), IwrrChooser::new(weights));
-        }
-        let num_pipelines = graph.decompose(flow).map(|p| p.len()).unwrap_or(0);
-        Ok(IwrrScheduler { topology, choosers, kv_high_water: KV_HIGH_WATER, num_pipelines })
+        Self::from_topology(&Topology::from_flow_graph(profile, graph, flow))
     }
 
-    /// Convenience constructor that builds the flow graph and max flow
-    /// internally.
+    /// Convenience constructor that plans a [`Topology`] internally.
     ///
     /// # Errors
     ///
@@ -172,11 +189,7 @@ impl IwrrScheduler {
         placement: &ModelPlacement,
         partial_inference: bool,
     ) -> Result<Self, HelixError> {
-        let graph = crate::flow_graph::FlowGraphBuilder::new(profile)
-            .partial_inference(partial_inference)
-            .build(placement)?;
-        let flow = graph.max_flow();
-        Self::from_flow(profile, placement, &graph, &flow)
+        Self::from_topology(&Topology::plan(profile, placement, partial_inference)?)
     }
 
     /// Overrides the KV high-water fraction (default [`KV_HIGH_WATER`]).
@@ -278,10 +291,8 @@ mod tests {
     }
 
     fn setup() -> (ClusterProfile, ModelPlacement) {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::solver_quality_10(),
-            ModelConfig::llama_30b(),
-        );
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
         let placement = heuristics::petals_placement(&profile).unwrap();
         (profile, placement)
     }
@@ -365,9 +376,13 @@ mod tests {
     #[test]
     fn zero_flow_placement_is_rejected() {
         let (profile, placement) = setup();
-        let graph =
-            crate::flow_graph::FlowGraphBuilder::new(&profile).build(&placement).unwrap();
-        let zero = FlowResult { value: 0.0, edge_flows: vec![0.0; graph.network().edge_count()] };
+        let graph = crate::flow_graph::FlowGraphBuilder::new(&profile)
+            .build(&placement)
+            .unwrap();
+        let zero = FlowResult {
+            value: 0.0,
+            edge_flows: vec![0.0; graph.network().edge_count()],
+        };
         assert!(IwrrScheduler::from_flow(&profile, &placement, &graph, &zero).is_err());
     }
 }

@@ -118,10 +118,8 @@ mod tests {
     use helix_cluster::{ClusterSpec, ModelConfig};
 
     fn estimator() -> KvCacheEstimator {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::solver_quality_10(),
-            ModelConfig::llama_30b(),
-        );
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
         KvCacheEstimator::new(&profile, 200.0)
     }
 

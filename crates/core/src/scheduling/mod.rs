@@ -17,7 +17,9 @@ pub mod iwrr;
 pub mod kv_estimate;
 
 use crate::error::HelixError;
+use crate::flow_graph::Endpoint;
 use crate::placement::{LayerRange, ModelPlacement};
+use crate::topology::Topology;
 use helix_cluster::{ClusterProfile, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -156,8 +158,46 @@ pub struct TopologyGraph {
 }
 
 impl TopologyGraph {
-    /// Builds the topology graph for `placement`.
-    pub fn new(profile: &ClusterProfile, placement: &ModelPlacement, partial_inference: bool) -> Self {
+    /// Builds the walkable graph from the shared [`Topology`] artifact: the
+    /// successors are exactly the surviving connections the planner
+    /// materialised, so the scheduler can never disagree with the planner
+    /// about which hops exist.
+    pub fn from_topology(topology: &Topology) -> Self {
+        let num_layers = topology.num_layers();
+        let mut entry: Vec<NodeId> = Vec::new();
+        let mut successors: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut ranges = HashMap::new();
+        for n in topology.nodes() {
+            ranges.insert(n.node, n.layers);
+            successors.entry(n.node).or_default();
+        }
+        for link in topology.links() {
+            match (link.from, link.to) {
+                (Endpoint::Coordinator, Endpoint::Node(n)) => entry.push(n),
+                (Endpoint::Node(a), Endpoint::Node(b)) => successors.entry(a).or_default().push(b),
+                _ => {}
+            }
+        }
+        entry.sort();
+        for succ in successors.values_mut() {
+            succ.sort();
+        }
+        TopologyGraph {
+            entry,
+            successors,
+            ranges,
+            num_layers,
+        }
+    }
+
+    /// Builds the topology graph directly from a placement (without a flow
+    /// solve).  Prefer [`TopologyGraph::from_topology`] when a planned
+    /// [`Topology`] exists.
+    pub fn new(
+        profile: &ClusterProfile,
+        placement: &ModelPlacement,
+        partial_inference: bool,
+    ) -> Self {
         let num_layers = profile.model().num_layers;
         let entry = placement.entry_nodes();
         let mut successors = HashMap::new();
@@ -172,7 +212,12 @@ impl TopologyGraph {
                 .collect();
             successors.insert(node, succ);
         }
-        TopologyGraph { entry, successors, ranges, num_layers }
+        TopologyGraph {
+            entry,
+            successors,
+            ranges,
+            num_layers,
+        }
     }
 
     /// Nodes that can start a pipeline.
@@ -243,9 +288,14 @@ where
                 context: format!("all successors at layer {position} are masked out"),
             });
         };
-        let range = topology.range(next).expect("candidates always hold a range");
+        let range = topology
+            .range(next)
+            .expect("candidates always hold a range");
         let stage_layers = LayerRange::new(position, range.end);
-        stages.push(PipelineStage { node: next, layers: stage_layers });
+        stages.push(PipelineStage {
+            node: next,
+            layers: stage_layers,
+        });
         position = range.end;
         current = Some(next);
     }
@@ -262,9 +312,22 @@ pub struct SwarmScheduler {
 }
 
 impl SwarmScheduler {
-    /// Builds the scheduler for a placement.
-    pub fn new(profile: &ClusterProfile, placement: &ModelPlacement, partial_inference: bool) -> Self {
-        SwarmScheduler { topology: TopologyGraph::new(profile, placement, partial_inference) }
+    /// Builds the scheduler from the shared planning artifact.
+    pub fn new(topology: &Topology) -> Self {
+        SwarmScheduler {
+            topology: TopologyGraph::from_topology(topology),
+        }
+    }
+
+    /// Builds the scheduler directly from a placement (no flow solve).
+    pub fn from_placement(
+        profile: &ClusterProfile,
+        placement: &ModelPlacement,
+        partial_inference: bool,
+    ) -> Self {
+        SwarmScheduler {
+            topology: TopologyGraph::new(profile, placement, partial_inference),
+        }
     }
 }
 
@@ -275,16 +338,13 @@ impl Scheduler for SwarmScheduler {
 
     fn schedule(&mut self, state: &dyn ClusterState) -> Result<RequestPipeline, HelixError> {
         walk_pipeline(&self.topology, |_, candidates| {
-            candidates
-                .iter()
-                .copied()
-                .max_by(|&a, &b| {
-                    state
-                        .recent_throughput(a)
-                        .partial_cmp(&state.recent_throughput(b))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(b.cmp(&a))
-                })
+            candidates.iter().copied().max_by(|&a, &b| {
+                state
+                    .recent_throughput(a)
+                    .partial_cmp(&state.recent_throughput(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(&a))
+            })
         })
     }
 }
@@ -297,8 +357,17 @@ pub struct RandomScheduler {
 }
 
 impl RandomScheduler {
-    /// Builds the scheduler for a placement with a deterministic seed.
-    pub fn new(
+    /// Builds the scheduler from the shared planning artifact with a
+    /// deterministic seed.
+    pub fn new(topology: &Topology, seed: u64) -> Self {
+        RandomScheduler {
+            topology: TopologyGraph::from_topology(topology),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Builds the scheduler directly from a placement (no flow solve).
+    pub fn from_placement(
         profile: &ClusterProfile,
         placement: &ModelPlacement,
         partial_inference: bool,
@@ -332,9 +401,22 @@ pub struct ShortestQueueScheduler {
 }
 
 impl ShortestQueueScheduler {
-    /// Builds the scheduler for a placement.
-    pub fn new(profile: &ClusterProfile, placement: &ModelPlacement, partial_inference: bool) -> Self {
-        ShortestQueueScheduler { topology: TopologyGraph::new(profile, placement, partial_inference) }
+    /// Builds the scheduler from the shared planning artifact.
+    pub fn new(topology: &Topology) -> Self {
+        ShortestQueueScheduler {
+            topology: TopologyGraph::from_topology(topology),
+        }
+    }
+
+    /// Builds the scheduler directly from a placement (no flow solve).
+    pub fn from_placement(
+        profile: &ClusterProfile,
+        placement: &ModelPlacement,
+        partial_inference: bool,
+    ) -> Self {
+        ShortestQueueScheduler {
+            topology: TopologyGraph::new(profile, placement, partial_inference),
+        }
     }
 }
 
@@ -345,7 +427,10 @@ impl Scheduler for ShortestQueueScheduler {
 
     fn schedule(&mut self, state: &dyn ClusterState) -> Result<RequestPipeline, HelixError> {
         walk_pipeline(&self.topology, |_, candidates| {
-            candidates.iter().copied().min_by_key(|&n| (state.queue_len(n), n))
+            candidates
+                .iter()
+                .copied()
+                .min_by_key(|&n| (state.queue_len(n), n))
         })
     }
 }
@@ -356,12 +441,15 @@ mod tests {
     use helix_cluster::{ClusterSpec, ModelConfig};
 
     fn small_setup() -> (ClusterProfile, ModelPlacement) {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::solver_quality_10(),
-            ModelConfig::llama_30b(),
-        );
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
         let placement = crate::placement::heuristics::swarm_placement(&profile).unwrap();
         (profile, placement)
+    }
+
+    fn small_topology() -> Topology {
+        let (profile, placement) = small_setup();
+        Topology::plan(&profile, &placement, true).unwrap()
     }
 
     #[test]
@@ -381,15 +469,20 @@ mod tests {
         let (profile, placement) = small_setup();
         let state = IdleClusterState;
         let num_layers = profile.model().num_layers;
+        let topology = Topology::plan(&profile, &placement, true).unwrap();
         let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
-            Box::new(SwarmScheduler::new(&profile, &placement, true)),
-            Box::new(RandomScheduler::new(&profile, &placement, true, 7)),
-            Box::new(ShortestQueueScheduler::new(&profile, &placement, true)),
+            Box::new(SwarmScheduler::new(&topology)),
+            Box::new(RandomScheduler::new(&topology, 7)),
+            Box::new(ShortestQueueScheduler::new(&topology)),
         ];
         for s in schedulers.iter_mut() {
             for _ in 0..20 {
                 let pipeline = s.schedule(&state).unwrap();
-                assert!(pipeline.covers_model(num_layers), "{} pipeline does not cover model", s.kind());
+                assert!(
+                    pipeline.covers_model(num_layers),
+                    "{} pipeline does not cover model",
+                    s.kind()
+                );
                 assert!(pipeline.depth() >= 1);
                 assert_eq!(pipeline.nodes().len(), pipeline.depth());
             }
@@ -398,10 +491,10 @@ mod tests {
 
     #[test]
     fn random_scheduler_is_deterministic_per_seed() {
-        let (profile, placement) = small_setup();
+        let topology = small_topology();
         let state = IdleClusterState;
-        let mut a = RandomScheduler::new(&profile, &placement, true, 42);
-        let mut b = RandomScheduler::new(&profile, &placement, true, 42);
+        let mut a = RandomScheduler::new(&topology, 42);
+        let mut b = RandomScheduler::new(&topology, 42);
         for _ in 0..10 {
             assert_eq!(a.schedule(&state).unwrap(), b.schedule(&state).unwrap());
         }
@@ -431,11 +524,12 @@ mod tests {
                 f64::INFINITY
             }
         }
-        let topo = TopologyGraph::new(&profile, &placement, true);
+        let topology = Topology::plan(&profile, &placement, true).unwrap();
+        let topo = TopologyGraph::from_topology(&topology);
         let entries = topo.entry_candidates().to_vec();
         if entries.len() >= 2 {
             let busy = entries[0];
-            let mut sched = ShortestQueueScheduler::new(&profile, &placement, true);
+            let mut sched = ShortestQueueScheduler::new(&topology);
             let pipeline = sched.schedule(&BiasedState { busy }).unwrap();
             assert_ne!(pipeline.stages[0].node, busy);
         }
@@ -445,16 +539,28 @@ mod tests {
     fn covers_model_detects_gaps_and_disorder() {
         let good = RequestPipeline {
             stages: vec![
-                PipelineStage { node: NodeId(0), layers: LayerRange::new(0, 3) },
-                PipelineStage { node: NodeId(1), layers: LayerRange::new(3, 6) },
+                PipelineStage {
+                    node: NodeId(0),
+                    layers: LayerRange::new(0, 3),
+                },
+                PipelineStage {
+                    node: NodeId(1),
+                    layers: LayerRange::new(3, 6),
+                },
             ],
         };
         assert!(good.covers_model(6));
         assert!(!good.covers_model(8));
         let gappy = RequestPipeline {
             stages: vec![
-                PipelineStage { node: NodeId(0), layers: LayerRange::new(0, 3) },
-                PipelineStage { node: NodeId(1), layers: LayerRange::new(4, 6) },
+                PipelineStage {
+                    node: NodeId(0),
+                    layers: LayerRange::new(0, 3),
+                },
+                PipelineStage {
+                    node: NodeId(1),
+                    layers: LayerRange::new(4, 6),
+                },
             ],
         };
         assert!(!gappy.covers_model(6));

@@ -3,7 +3,7 @@
 use helix_cluster::{ClusterBuilder, ClusterProfile, GpuType, ModelConfig, NodeId, Region};
 use helix_core::{
     heuristics, FlowGraphBuilder, IdleClusterState, LayerRange, ModelPlacement, RandomScheduler,
-    Scheduler,
+    Scheduler, Topology,
 };
 use proptest::prelude::*;
 
@@ -118,7 +118,8 @@ proptest! {
     fn scheduled_pipelines_cover_the_model(seed in 0u64..5000) {
         let profile = random_profile(1, 2, 3, 12);
         let placement = heuristics::petals_placement(&profile).unwrap();
-        let mut scheduler = RandomScheduler::new(&profile, &placement, true, seed);
+        let topology = Topology::plan(&profile, &placement, true).unwrap();
+        let mut scheduler = RandomScheduler::new(&topology, seed);
         let state = IdleClusterState;
         for _ in 0..5 {
             let pipeline = scheduler.schedule(&state).unwrap();

@@ -106,9 +106,10 @@ pub fn decompose_paths(
             }
             if visited[node] {
                 // Found a cycle: cancel the flow around it and restart the walk.
-                let cycle_start = path_nodes.iter().position(|&p| p == NodeId(node)).expect(
-                    "visited node must appear earlier on the walk",
-                );
+                let cycle_start = path_nodes
+                    .iter()
+                    .position(|&p| p == NodeId(node))
+                    .expect("visited node must appear earlier on the walk");
                 let cycle_edges = &path_edges[cycle_start..];
                 let bottleneck = cycle_edges
                     .iter()
@@ -119,7 +120,10 @@ pub fn decompose_paths(
                 }
                 path_nodes.truncate(cycle_start + 1);
                 path_edges.truncate(cycle_start);
-                node = path_nodes.last().expect("walk always contains the source").index();
+                node = path_nodes
+                    .last()
+                    .expect("walk always contains the source")
+                    .index();
                 continue;
             }
             visited[node] = true;
@@ -131,13 +135,19 @@ pub fn decompose_paths(
             .iter()
             .map(|e| remaining[e.index()])
             .fold(f64::INFINITY, f64::min);
-        if !(bottleneck > FLOW_EPS) {
+        // NaN-safe: break unless the bottleneck is definitely above the
+        // tolerance.
+        if bottleneck.partial_cmp(&FLOW_EPS) != Some(std::cmp::Ordering::Greater) {
             break;
         }
         for e in &path_edges {
             remaining[e.index()] -= bottleneck;
         }
-        paths.push(FlowPath { nodes: path_nodes, edges: path_edges, amount: bottleneck });
+        paths.push(FlowPath {
+            nodes: path_nodes,
+            edges: path_edges,
+            amount: bottleneck,
+        });
     }
     Ok(paths)
 }
@@ -169,7 +179,6 @@ mod tests {
             assert_eq!(p.nodes.last(), Some(&t));
             assert_eq!(p.nodes.len(), p.edges.len() + 1);
             assert!(!p.is_empty());
-            assert!(p.len() >= 1);
         }
     }
 
@@ -211,7 +220,10 @@ mod tests {
         let t = net.add_node("t");
         net.add_edge(s, a, 5.0);
         net.add_edge(a, t, 5.0);
-        let bogus = FlowResult { value: 2.0, edge_flows: vec![2.0, 0.0] };
+        let bogus = FlowResult {
+            value: 2.0,
+            edge_flows: vec![2.0, 0.0],
+        };
         assert!(decompose_paths(&net, &bogus, s, t).is_err());
     }
 
@@ -227,8 +239,11 @@ mod tests {
         net.add_edge(a, b, 3.0); // e1
         net.add_edge(b, a, 3.0); // e2
         net.add_edge(a, t, 2.0); // e3
-        // 2 units s->a->t plus 1 unit circulating a->b->a.
-        let flow = FlowResult { value: 2.0, edge_flows: vec![2.0, 1.0, 1.0, 2.0] };
+                                 // 2 units s->a->t plus 1 unit circulating a->b->a.
+        let flow = FlowResult {
+            value: 2.0,
+            edge_flows: vec![2.0, 1.0, 1.0, 2.0],
+        };
         net.validate_flow(&flow.edge_flows, s, t).unwrap();
         let paths = decompose_paths(&net, &flow, s, t).unwrap();
         let total: f64 = paths.iter().map(|p| p.amount).sum();

@@ -55,7 +55,15 @@ pub(crate) fn run(
         }
         // Repeatedly find augmenting paths in the level graph (blocking flow).
         loop {
-            let pushed = dfs(edges, adjacency, &level, &mut iter, source, sink, f64::INFINITY);
+            let pushed = dfs(
+                edges,
+                adjacency,
+                &level,
+                &mut iter,
+                source,
+                sink,
+                f64::INFINITY,
+            );
             if pushed <= FLOW_EPS {
                 break;
             }

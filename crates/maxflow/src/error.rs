@@ -41,17 +41,26 @@ impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlowError::InvalidNode { index, len } => {
-                write!(f, "node index {index} out of bounds for network with {len} nodes")
+                write!(
+                    f,
+                    "node index {index} out of bounds for network with {len} nodes"
+                )
             }
             FlowError::InvalidEdge { index, len } => {
-                write!(f, "edge index {index} out of bounds for network with {len} edges")
+                write!(
+                    f,
+                    "edge index {index} out of bounds for network with {len} edges"
+                )
             }
             FlowError::InvalidCapacity { capacity } => {
                 write!(f, "capacity {capacity} is not a finite non-negative number")
             }
             FlowError::SourceIsSink => write!(f, "source and sink must be distinct nodes"),
             FlowError::NotAFlow { node, imbalance } => {
-                write!(f, "flow conservation violated at node {node} by {imbalance}")
+                write!(
+                    f,
+                    "flow conservation violated at node {node} by {imbalance}"
+                )
             }
         }
     }
@@ -70,7 +79,11 @@ mod tests {
             FlowError::InvalidEdge { index: 9, len: 1 }.to_string(),
             FlowError::InvalidCapacity { capacity: -1.0 }.to_string(),
             FlowError::SourceIsSink.to_string(),
-            FlowError::NotAFlow { node: 0, imbalance: 0.5 }.to_string(),
+            FlowError::NotAFlow {
+                node: 0,
+                imbalance: 0.5,
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

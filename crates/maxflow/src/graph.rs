@@ -73,6 +73,21 @@ pub(crate) struct ArenaEdge {
     pub(crate) residual: f64,
 }
 
+/// Opaque snapshot of a network's capacities and standing flow, produced by
+/// [`FlowNetwork::snapshot_flows`].
+#[derive(Debug, Clone)]
+pub struct FlowSnapshot {
+    /// `(capacity, residual)` per arena edge.
+    state: Vec<(f64, f64)>,
+}
+
+impl FlowSnapshot {
+    /// An empty snapshot to be filled by [`FlowNetwork::snapshot_flows_into`].
+    pub fn empty() -> Self {
+        FlowSnapshot { state: Vec::new() }
+    }
+}
+
 /// Result of a maximum-flow computation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlowResult {
@@ -218,8 +233,16 @@ impl FlowNetwork {
         }
         let id = self.forward.len();
         let fwd_idx = self.edges.len();
-        self.edges.push(ArenaEdge { to: to.0, cap: capacity, residual: capacity });
-        self.edges.push(ArenaEdge { to: from.0, cap: 0.0, residual: 0.0 });
+        self.edges.push(ArenaEdge {
+            to: to.0,
+            cap: capacity,
+            residual: capacity,
+        });
+        self.edges.push(ArenaEdge {
+            to: from.0,
+            cap: 0.0,
+            residual: 0.0,
+        });
         self.adjacency[from.0].push(fwd_idx);
         self.adjacency[to.0].push(fwd_idx + 1);
         self.forward.push(fwd_idx);
@@ -229,10 +252,10 @@ impl FlowNetwork {
     /// Returns a view of a forward edge, with `flow = 0` (flows are only
     /// materialised in [`FlowResult`]).
     pub fn edge(&self, id: EdgeId) -> Result<EdgeRef, FlowError> {
-        let idx = *self
-            .forward
-            .get(id.0)
-            .ok_or(FlowError::InvalidEdge { index: id.0, len: self.forward.len() })?;
+        let idx = *self.forward.get(id.0).ok_or(FlowError::InvalidEdge {
+            index: id.0,
+            len: self.forward.len(),
+        })?;
         let e = &self.edges[idx];
         let twin = &self.edges[idx + 1];
         Ok(EdgeRef {
@@ -279,7 +302,11 @@ impl FlowNetwork {
     pub fn out_capacity(&self, node: NodeId) -> f64 {
         self.out_edges(node)
             .iter()
-            .map(|&e| self.edge(e).expect("edge ids from out_edges are valid").capacity)
+            .map(|&e| {
+                self.edge(e)
+                    .expect("edge ids from out_edges are valid")
+                    .capacity
+            })
             .sum()
     }
 
@@ -356,8 +383,362 @@ impl FlowNetwork {
         Ok(FlowResult { value, edge_flows })
     }
 
+    /// Clones the arena in the zero-flow state, so stateless solves are
+    /// independent of any standing flow left by
+    /// [`FlowNetwork::resolve_from_residual`].
     pub(crate) fn clone_arena(&self) -> Vec<ArenaEdge> {
-        self.edges.clone()
+        let mut edges = self.edges.clone();
+        for i in (0..edges.len()).step_by(2) {
+            edges[i].residual = edges[i].cap;
+            edges[i + 1].residual = 0.0;
+        }
+        edges
+    }
+
+    /// Current capacity of a forward edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidEdge`] if the id is out of range.
+    pub fn capacity(&self, edge: EdgeId) -> Result<f64, FlowError> {
+        self.edge(edge).map(|e| e.capacity)
+    }
+
+    /// Updates the capacity of a forward edge **in place**, preserving the
+    /// flow currently stored on the edge (see
+    /// [`FlowNetwork::resolve_from_residual`]).
+    ///
+    /// If the new capacity drops below the stored flow the edge becomes
+    /// temporarily infeasible; the next call to `resolve_from_residual`
+    /// repairs it by cancelling the overflow before re-solving.  This is the
+    /// capacity-update half of the warm-start API used by the incremental
+    /// placement planner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidEdge`] if the id is out of range and
+    /// [`FlowError::InvalidCapacity`] if the capacity is negative or NaN.
+    pub fn set_capacity(&mut self, edge: EdgeId, capacity: f64) -> Result<(), FlowError> {
+        if !capacity.is_finite() || capacity < 0.0 {
+            return Err(FlowError::InvalidCapacity { capacity });
+        }
+        let idx = *self.forward.get(edge.0).ok_or(FlowError::InvalidEdge {
+            index: edge.0,
+            len: self.forward.len(),
+        })?;
+        let delta = capacity - self.edges[idx].cap;
+        self.edges[idx].cap = capacity;
+        self.edges[idx].residual += delta;
+        Ok(())
+    }
+
+    /// Captures the standing flow state (capacities and residuals) so a
+    /// sequence of [`FlowNetwork::set_capacity`] +
+    /// [`FlowNetwork::resolve_from_residual`] calls can be rolled back in
+    /// O(E) without re-solving (see [`FlowNetwork::restore_flows`]).
+    pub fn snapshot_flows(&self) -> FlowSnapshot {
+        FlowSnapshot {
+            state: self.edges.iter().map(|e| (e.cap, e.residual)).collect(),
+        }
+    }
+
+    /// Like [`FlowNetwork::snapshot_flows`], but reuses `snapshot`'s storage
+    /// (no allocation once warmed up) — for callers that snapshot on every
+    /// iteration of a hot loop.
+    pub fn snapshot_flows_into(&self, snapshot: &mut FlowSnapshot) {
+        snapshot.state.clear();
+        snapshot
+            .state
+            .extend(self.edges.iter().map(|e| (e.cap, e.residual)));
+    }
+
+    /// Restores the capacities and flow state captured by
+    /// [`FlowNetwork::snapshot_flows`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidEdge`] if the snapshot was taken on a
+    /// network with a different edge count.
+    pub fn restore_flows(&mut self, snapshot: &FlowSnapshot) -> Result<(), FlowError> {
+        if snapshot.state.len() != self.edges.len() {
+            return Err(FlowError::InvalidEdge {
+                index: snapshot.state.len(),
+                len: self.edges.len(),
+            });
+        }
+        for (edge, &(cap, residual)) in self.edges.iter_mut().zip(&snapshot.state) {
+            edge.cap = cap;
+            edge.residual = residual;
+        }
+        Ok(())
+    }
+
+    /// Discards any flow stored on the network, returning every edge to the
+    /// zero-flow residual state.
+    pub fn reset_flows(&mut self) {
+        for i in (0..self.edges.len()).step_by(2) {
+            self.edges[i].residual = self.edges[i].cap;
+            self.edges[i + 1].residual = 0.0;
+        }
+    }
+
+    /// Re-solves the maximum flow **from the residual state left by the
+    /// previous solve**, instead of from scratch.
+    ///
+    /// Unlike [`FlowNetwork::max_flow_with`] — which clones the arena and
+    /// leaves the network untouched — this method maintains a standing flow
+    /// on the network itself.  Calling it repeatedly after
+    /// [`FlowNetwork::set_capacity`] updates gives warm-started re-solving:
+    ///
+    /// 1. edges whose capacity dropped below their stored flow are clamped,
+    ///    and the resulting conservation violations are repaired by
+    ///    cancelling flow along the paths and cycles that carried it;
+    /// 2. the chosen algorithm then augments from the repaired feasible flow,
+    ///    touching only the residual network.
+    ///
+    /// For small capacity changes (the single-node placement moves of the
+    /// annealing planner) step 2 starts from an almost-maximum flow and does
+    /// a fraction of the work of a cold solve.  The result is identical to a
+    /// from-scratch solve up to floating-point tolerance, for every
+    /// algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::SourceIsSink`] if the endpoints coincide and
+    /// [`FlowError::InvalidNode`] if either is out of range.
+    pub fn resolve_from_residual(
+        &mut self,
+        source: NodeId,
+        sink: NodeId,
+        algorithm: MaxFlowAlgorithm,
+    ) -> Result<FlowResult, FlowError> {
+        let n = self.names.len();
+        for node in [source, sink] {
+            if node.0 >= n {
+                return Err(FlowError::InvalidNode {
+                    index: node.0,
+                    len: n,
+                });
+            }
+        }
+        if source == sink {
+            return Err(FlowError::SourceIsSink);
+        }
+        let max_cap = self.edges.iter().map(|e| e.cap).fold(0.0_f64, f64::max);
+        let eps = (max_cap * 1e-12).max(FLOW_EPS);
+
+        self.repair_infeasible_flow(source.0, sink.0, eps);
+
+        match algorithm {
+            MaxFlowAlgorithm::PushRelabel => {
+                push_relabel::run(&mut self.edges, &self.adjacency, n, source.0, sink.0)
+            }
+            MaxFlowAlgorithm::Dinic => {
+                dinic::run(&mut self.edges, &self.adjacency, n, source.0, sink.0)
+            }
+            MaxFlowAlgorithm::EdmondsKarp => {
+                edmonds_karp::run(&mut self.edges, &self.adjacency, n, source.0, sink.0)
+            }
+        };
+
+        // Read the value and per-edge flows off the standing arena: the
+        // algorithms only report the flow pushed *this* run, not the total.
+        let mut value = 0.0;
+        for &idx in &self.adjacency[source.0] {
+            if idx % 2 == 0 {
+                value += self.edges[idx].cap - self.edges[idx].residual;
+            } else {
+                // Forward edge into the source: its flow re-enters the source.
+                value -= self.edges[idx].residual;
+            }
+        }
+        if value.abs() < eps {
+            value = 0.0;
+        }
+        let edge_flows = self
+            .forward
+            .iter()
+            .map(|&idx| {
+                let flow = self.edges[idx].cap - self.edges[idx].residual;
+                if flow.abs() < FLOW_EPS {
+                    0.0
+                } else {
+                    flow
+                }
+            })
+            .collect();
+        Ok(FlowResult { value, edge_flows })
+    }
+
+    /// Clamps edges whose stored flow exceeds their (possibly just reduced)
+    /// capacity and restores flow conservation by cancelling the overflow
+    /// along the flow paths and cycles that carried it.
+    fn repair_infeasible_flow(&mut self, source: usize, sink: usize, eps: f64) {
+        let n = self.names.len();
+        let mut imbalance = vec![0.0f64; n];
+        let mut any = false;
+        for i in (0..self.edges.len()).step_by(2) {
+            if self.edges[i].residual < 0.0 {
+                let overflow = -self.edges[i].residual;
+                self.edges[i].residual = 0.0;
+                self.edges[i + 1].residual = self.edges[i].cap;
+                if overflow > eps {
+                    let from = self.edges[i + 1].to;
+                    let to = self.edges[i].to;
+                    imbalance[from] += overflow;
+                    imbalance[to] -= overflow;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            return;
+        }
+        // Deficits first (they may terminate at excess nodes and settle both
+        // sides at once), then remaining excesses drain back towards the
+        // source.
+        for node in 0..n {
+            if node == source || node == sink {
+                continue;
+            }
+            while imbalance[node] < -eps {
+                self.cancel_walk(node, source, sink, &mut imbalance, eps, true);
+            }
+        }
+        for node in 0..n {
+            if node == source || node == sink {
+                continue;
+            }
+            while imbalance[node] > eps {
+                self.cancel_walk(node, source, sink, &mut imbalance, eps, false);
+            }
+        }
+    }
+
+    /// Cancels one unit-path of flow starting at an imbalanced node.
+    ///
+    /// `forward = true` repairs a deficit (outflow exceeds inflow) by walking
+    /// *with* the flow until the sink, the source or an excess node is
+    /// reached; `forward = false` repairs an excess by walking *against* the
+    /// flow.  Cycles encountered along the way are cancelled outright.
+    fn cancel_walk(
+        &mut self,
+        start: usize,
+        source: usize,
+        sink: usize,
+        imbalance: &mut [f64],
+        eps: f64,
+        forward: bool,
+    ) {
+        let n = self.names.len();
+        // Arena indices of the flow-carrying edges on the current path; for
+        // forward walks these are forward-edge indices, for backward walks
+        // twin indices.
+        let mut path: Vec<usize> = Vec::new();
+        let mut position: Vec<Option<usize>> = vec![None; n];
+        let mut current = start;
+        position[current] = Some(0);
+        loop {
+            // A flow-carrying edge incident to `current` in the walk
+            // direction: forward walks follow forward edges with positive
+            // flow (twin residual > eps); backward walks follow twin entries
+            // with positive residual (= flow on the forward edge into
+            // `current`).
+            let next_arena = self.adjacency[current].iter().copied().find(|&idx| {
+                if forward {
+                    idx % 2 == 0
+                        && self.edges[idx ^ 1].residual > eps
+                        && self.edges[idx].to != current
+                } else {
+                    idx % 2 == 1 && self.edges[idx].residual > eps && self.edges[idx].to != current
+                }
+            });
+            let Some(arena_idx) = next_arena else {
+                // Numerical dust: no flow edge left to cancel against.
+                imbalance[start] = 0.0;
+                return;
+            };
+            let next = self.edges[arena_idx].to;
+            if let Some(cycle_start) = position[next] {
+                // Cancel the cycle portion and retry from `next`.
+                let cycle = &path[cycle_start..];
+                let amount = cycle
+                    .iter()
+                    .chain(std::iter::once(&arena_idx))
+                    .map(|&idx| {
+                        if forward {
+                            self.edges[idx ^ 1].residual
+                        } else {
+                            self.edges[idx].residual
+                        }
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                for &idx in cycle.iter().chain(std::iter::once(&arena_idx)) {
+                    if forward {
+                        self.edges[idx].residual += amount;
+                        self.edges[idx ^ 1].residual -= amount;
+                    } else {
+                        self.edges[idx ^ 1].residual += amount;
+                        self.edges[idx].residual -= amount;
+                    }
+                }
+                // Clear path positions past the cycle start and rewind.
+                for &idx in &path[cycle_start..] {
+                    let node = self.edges[idx].to;
+                    position[node] = None;
+                }
+                path.truncate(cycle_start);
+                current = next;
+                position[current] = Some(path.len());
+                continue;
+            }
+            path.push(arena_idx);
+            let terminal_excess = if forward {
+                imbalance[next] > eps
+            } else {
+                imbalance[next] < -eps
+            };
+            if next == sink || next == source || terminal_excess {
+                let magnitude = imbalance[start].abs();
+                let bottleneck = path
+                    .iter()
+                    .map(|&idx| {
+                        if forward {
+                            self.edges[idx ^ 1].residual
+                        } else {
+                            self.edges[idx].residual
+                        }
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                let mut amount = magnitude.min(bottleneck);
+                if terminal_excess {
+                    amount = amount.min(imbalance[next].abs());
+                }
+                for &idx in &path {
+                    if forward {
+                        self.edges[idx].residual += amount;
+                        self.edges[idx ^ 1].residual -= amount;
+                    } else {
+                        self.edges[idx ^ 1].residual += amount;
+                        self.edges[idx].residual -= amount;
+                    }
+                }
+                if forward {
+                    imbalance[start] += amount;
+                    if terminal_excess {
+                        imbalance[next] -= amount;
+                    }
+                } else {
+                    imbalance[start] -= amount;
+                    if terminal_excess {
+                        imbalance[next] += amount;
+                    }
+                }
+                return;
+            }
+            current = next;
+            position[current] = Some(path.len());
+        }
     }
 
     /// Checks that `flows` (indexed like [`FlowResult::edge_flows`]) is a
@@ -573,5 +954,113 @@ mod tests {
     fn node_display_and_edge_display() {
         assert_eq!(NodeId(3).to_string(), "n3");
         assert_eq!(EdgeId(2).to_string(), "e2");
+    }
+
+    #[test]
+    fn set_capacity_rejects_bad_input_and_updates_views() {
+        let (mut net, _, _) = diamond();
+        assert!(matches!(
+            net.set_capacity(EdgeId(42), 1.0),
+            Err(FlowError::InvalidEdge { .. })
+        ));
+        assert!(matches!(
+            net.set_capacity(EdgeId(0), -1.0),
+            Err(FlowError::InvalidCapacity { .. })
+        ));
+        assert!(matches!(
+            net.set_capacity(EdgeId(0), f64::NAN),
+            Err(FlowError::InvalidCapacity { .. })
+        ));
+        net.set_capacity(EdgeId(0), 7.5).unwrap();
+        assert_eq!(net.capacity(EdgeId(0)).unwrap(), 7.5);
+        assert_eq!(net.edge(EdgeId(0)).unwrap().capacity, 7.5);
+    }
+
+    #[test]
+    fn warm_resolve_matches_cold_solve_after_capacity_increase() {
+        let (mut net, s, t) = diamond();
+        let first = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::PushRelabel)
+            .unwrap();
+        assert!((first.value - 6.0).abs() < 1e-9);
+        // Raise the s->b edge: more flow becomes routable.
+        net.set_capacity(EdgeId(1), 5.0).unwrap();
+        let warm = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::PushRelabel)
+            .unwrap();
+        let cold = net.max_flow(s, t);
+        assert!(
+            (warm.value - cold.value).abs() < 1e-9,
+            "warm {} cold {}",
+            warm.value,
+            cold.value
+        );
+        net.validate_flow(&warm.edge_flows, s, t).unwrap();
+    }
+
+    #[test]
+    fn warm_resolve_repairs_capacity_decrease_below_flow() {
+        let (mut net, s, t) = diamond();
+        let _ = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::Dinic)
+            .unwrap();
+        // Choke the s->a edge below the flow it carries.
+        net.set_capacity(EdgeId(0), 1.0).unwrap();
+        let warm = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::Dinic)
+            .unwrap();
+        let cold = net.max_flow(s, t);
+        assert!(
+            (warm.value - cold.value).abs() < 1e-9,
+            "warm {} cold {}",
+            warm.value,
+            cold.value
+        );
+        net.validate_flow(&warm.edge_flows, s, t).unwrap();
+        // Restore: warm solve must recover the original maximum.
+        net.set_capacity(EdgeId(0), 4.0).unwrap();
+        let restored = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::Dinic)
+            .unwrap();
+        assert!((restored.value - 6.0).abs() < 1e-9);
+        net.validate_flow(&restored.edge_flows, s, t).unwrap();
+    }
+
+    #[test]
+    fn warm_resolve_handles_zeroed_and_restored_edges() {
+        let (mut net, s, t) = diamond();
+        let _ = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::EdmondsKarp)
+            .unwrap();
+        for e in 0..net.edge_count() {
+            net.set_capacity(EdgeId(e), 0.0).unwrap();
+        }
+        let zero = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::EdmondsKarp)
+            .unwrap();
+        assert_eq!(zero.value, 0.0);
+        // Bring the network back in a different shape.
+        net.set_capacity(EdgeId(0), 2.0).unwrap();
+        net.set_capacity(EdgeId(2), 2.0).unwrap();
+        let back = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::EdmondsKarp)
+            .unwrap();
+        assert!((back.value - 2.0).abs() < 1e-9);
+        net.validate_flow(&back.edge_flows, s, t).unwrap();
+    }
+
+    #[test]
+    fn reset_flows_clears_the_standing_solution() {
+        let (mut net, s, t) = diamond();
+        let _ = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::PushRelabel)
+            .unwrap();
+        assert!(net.edges().any(|e| e.flow > 0.0));
+        net.reset_flows();
+        assert!(net.edges().all(|e| e.flow == 0.0));
+        let re = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::PushRelabel)
+            .unwrap();
+        assert!((re.value - 6.0).abs() < 1e-9);
     }
 }

@@ -43,7 +43,7 @@ pub use decompose::{decompose_paths, FlowPath};
 pub use dinic::dinic;
 pub use edmonds_karp::edmonds_karp;
 pub use error::FlowError;
-pub use graph::{EdgeId, EdgeRef, FlowNetwork, FlowResult, NodeId};
+pub use graph::{EdgeId, EdgeRef, FlowNetwork, FlowResult, FlowSnapshot, NodeId};
 pub use min_cut::{min_cut, MinCut};
 pub use push_relabel::push_relabel;
 

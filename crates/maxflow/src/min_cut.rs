@@ -88,7 +88,11 @@ pub fn min_cut(network: &FlowNetwork, flow: &FlowResult, source: NodeId, sink: N
         }
     }
     let source_side = (0..n).filter(|&i| reach[i]).map(NodeId).collect();
-    MinCut { capacity, source_side, cut_edges }
+    MinCut {
+        capacity,
+        source_side,
+        cut_edges,
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,6 @@
 //! Property-based tests for the max-flow algorithms.
 
-use helix_maxflow::{
-    decompose_paths, min_cut, FlowNetwork, MaxFlowAlgorithm, NodeId,
-};
+use helix_maxflow::{decompose_paths, min_cut, FlowNetwork, MaxFlowAlgorithm, NodeId};
 use proptest::prelude::*;
 
 /// Builds a random directed graph over `n` nodes from a list of
@@ -104,5 +102,49 @@ proptest! {
         let f1 = net.max_flow(s, t);
         let f2 = scaled.max_flow(s2, t2);
         prop_assert!((f1.value * k - f2.value).abs() < 1e-5 * (1.0 + f2.value));
+    }
+
+    /// Warm-started re-solving after an arbitrary sequence of capacity
+    /// mutations matches a from-scratch solve of the same network, for every
+    /// algorithm, and the standing flow stays feasible throughout.
+    #[test]
+    fn warm_start_matches_cold_solve_after_mutations(
+        n in 2usize..10,
+        edges in edge_strategy(10),
+        mutations in prop::collection::vec((0usize..60, 0.0f64..25.0), 1..30),
+    ) {
+        for alg in [
+            MaxFlowAlgorithm::PushRelabel,
+            MaxFlowAlgorithm::Dinic,
+            MaxFlowAlgorithm::EdmondsKarp,
+        ] {
+            let (mut net, s, t) = build(n, &edges);
+            if net.edge_count() == 0 {
+                continue;
+            }
+            // Standing warm solve, then interleave capacity mutations with
+            // warm re-solves.
+            let edge_ids: Vec<_> = net.edges().map(|e| e.id).collect();
+            net.resolve_from_residual(s, t, alg).unwrap();
+            for (batch, &(edge_seed, new_cap)) in mutations.iter().enumerate() {
+                let edge = edge_ids[edge_seed % edge_ids.len()];
+                net.set_capacity(edge, new_cap).unwrap();
+                // Re-solve warm after every other mutation so repairs run on
+                // both single and batched capacity changes.
+                if batch % 2 == 0 {
+                    net.resolve_from_residual(s, t, alg).unwrap();
+                }
+            }
+            let warm = net.resolve_from_residual(s, t, alg).unwrap();
+            let cold = net.max_flow_with(s, t, alg);
+            prop_assert!(
+                (warm.value - cold.value).abs() < 1e-6,
+                "{alg:?}: warm {} vs cold {}",
+                warm.value,
+                cold.value
+            );
+            prop_assert!(net.validate_flow(&warm.edge_flows, s, t).is_ok(),
+                "{alg:?} left an infeasible standing flow");
+        }
     }
 }

@@ -109,7 +109,10 @@ impl MilpSolver {
 
     /// Creates a solver with the given options.
     pub fn with_options(options: MilpOptions) -> Self {
-        MilpSolver { options, events: Vec::new() }
+        MilpSolver {
+            options,
+            events: Vec::new(),
+        }
     }
 
     /// Mutable access to the options (builder-style tweaking).
@@ -213,7 +216,11 @@ impl MilpSolver {
         let mut nodes_explored: u64 = 0;
 
         let mut heap: BinaryHeap<OpenNode> = BinaryHeap::new();
-        heap.push(OpenNode { bounds: root_bounds, score_bound: best_bound_score, depth: 0 });
+        heap.push(OpenNode {
+            bounds: root_bounds,
+            score_bound: best_bound_score,
+            depth: 0,
+        });
 
         let mut status = SolveStatus::Optimal;
         let record = |events: &mut Vec<BranchEvent>,
@@ -231,7 +238,14 @@ impl MilpSolver {
                 });
             }
         };
-        record(&mut self.events, &self.options, start, 0, &incumbent, best_bound_score);
+        record(
+            &mut self.events,
+            &self.options,
+            start,
+            0,
+            &incumbent,
+            best_bound_score,
+        );
 
         while let Some(node) = heap.pop() {
             // The heap is ordered by bound, so the top of the heap is the
@@ -245,7 +259,8 @@ impl MilpSolver {
                     break;
                 }
             }
-            if start.elapsed() > self.options.time_limit || nodes_explored >= self.options.node_limit
+            if start.elapsed() > self.options.time_limit
+                || nodes_explored >= self.options.node_limit
             {
                 status = SolveStatus::Feasible;
                 break;
@@ -295,7 +310,7 @@ impl MilpSolver {
                     }
                     let obj = model.objective_value(&values);
                     let score = to_score(obj);
-                    let improved = incumbent.as_ref().map_or(true, |(s, _)| score > *s);
+                    let improved = incumbent.as_ref().is_none_or(|(s, _)| score > *s);
                     if improved && model.is_feasible(&values, 1e-5) {
                         incumbent = Some((score, values));
                         record(
@@ -358,7 +373,14 @@ impl MilpSolver {
         let Some((score, values)) = incumbent else {
             return Err(MilpError::NoIncumbent);
         };
-        record(&mut self.events, &self.options, start, nodes_explored, &Some((score, values.clone())), best_bound_score);
+        record(
+            &mut self.events,
+            &self.options,
+            start,
+            nodes_explored,
+            &Some((score, values.clone())),
+            best_bound_score,
+        );
         Ok(MilpResult {
             objective: from_score(score),
             values,
@@ -420,7 +442,10 @@ mod tests {
         let mut m = Model::new(ObjectiveSense::Maximize);
         let x = m.add_binary("x", 1.0);
         m.add_constraint("ge", [(x, 1.0)], Sense::Ge, 2.0);
-        assert_eq!(MilpSolver::new().solve(&m).unwrap_err(), MilpError::Infeasible);
+        assert_eq!(
+            MilpSolver::new().solve(&m).unwrap_err(),
+            MilpError::Infeasible
+        );
     }
 
     #[test]
@@ -443,7 +468,10 @@ mod tests {
         let y = m.add_binary("y", 2.0);
         m.add_constraint("c", [(x, 1.0), (y, 1.0)], Sense::Le, 1.0);
         // Warm start violates the constraint.
-        let r = MilpSolver::new().warm_start(vec![1.0, 1.0]).solve(&m).unwrap();
+        let r = MilpSolver::new()
+            .warm_start(vec![1.0, 1.0])
+            .solve(&m)
+            .unwrap();
         assert_eq!(r.objective.round(), 3.0);
     }
 
@@ -451,7 +479,9 @@ mod tests {
     fn early_stop_halts_search() {
         // A knapsack where reaching objective >= 100 is easy.
         let mut m = Model::new(ObjectiveSense::Maximize);
-        let vars: Vec<_> = (0..12).map(|i| m.add_binary(format!("x{i}"), 10.0 + i as f64)).collect();
+        let vars: Vec<_> = (0..12)
+            .map(|i| m.add_binary(format!("x{i}"), 10.0 + i as f64))
+            .collect();
         let weights: Vec<_> = vars.iter().map(|&v| (v, 5.0)).collect();
         m.add_constraint("w", weights, Sense::Le, 30.0);
         let mut solver = MilpSolver::new().early_stop_objective(50.0);
@@ -477,8 +507,14 @@ mod tests {
     #[test]
     fn incumbent_never_exceeds_bound() {
         let mut m = Model::new(ObjectiveSense::Maximize);
-        let vars: Vec<_> = (0..8).map(|i| m.add_binary(format!("x{i}"), (i + 1) as f64)).collect();
-        let weights: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, (i % 3 + 1) as f64)).collect();
+        let vars: Vec<_> = (0..8)
+            .map(|i| m.add_binary(format!("x{i}"), (i + 1) as f64))
+            .collect();
+        let weights: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i % 3 + 1) as f64))
+            .collect();
         m.add_constraint("w", weights, Sense::Le, 6.0);
         let r = MilpSolver::new().solve(&m).unwrap();
         assert!(r.objective <= r.best_bound + 1e-6);
@@ -487,13 +523,20 @@ mod tests {
     #[test]
     fn node_limit_returns_feasible_status() {
         let mut m = Model::new(ObjectiveSense::Maximize);
-        let vars: Vec<_> = (0..15).map(|i| m.add_binary(format!("x{i}"), 1.0 + (i as f64) * 0.01)).collect();
+        let vars: Vec<_> = (0..15)
+            .map(|i| m.add_binary(format!("x{i}"), 1.0 + (i as f64) * 0.01))
+            .collect();
         let weights: Vec<_> = vars.iter().map(|&v| (v, 2.0)).collect();
         m.add_constraint("w", weights, Sense::Le, 29.0);
-        let mut opts = MilpOptions::default();
-        opts.node_limit = 3;
-        opts.warm_start = Some(vec![0.0; 15]);
+        let opts = MilpOptions {
+            node_limit: 3,
+            warm_start: Some(vec![0.0; 15]),
+            ..Default::default()
+        };
         let r = MilpSolver::with_options(opts).solve(&m).unwrap();
-        assert!(matches!(r.status, SolveStatus::Feasible | SolveStatus::Optimal));
+        assert!(matches!(
+            r.status,
+            SolveStatus::Feasible | SolveStatus::Optimal
+        ));
     }
 }

@@ -38,7 +38,10 @@ impl fmt::Display for MilpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MilpError::InvalidVariable { index, len } => {
-                write!(f, "variable index {index} out of bounds for model with {len} variables")
+                write!(
+                    f,
+                    "variable index {index} out of bounds for model with {len} variables"
+                )
             }
             MilpError::InvalidBounds { lower, upper } => {
                 write!(f, "invalid variable bounds [{lower}, {upper}]")
@@ -48,7 +51,10 @@ impl fmt::Display for MilpError {
             MilpError::Unbounded => write!(f, "model is unbounded"),
             MilpError::IterationLimit => write!(f, "simplex iteration limit reached"),
             MilpError::NoIncumbent => {
-                write!(f, "no feasible integer solution found within the solve budget")
+                write!(
+                    f,
+                    "no feasible integer solution found within the solve budget"
+                )
             }
         }
     }
@@ -65,6 +71,11 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<MilpError>();
         assert!(MilpError::Infeasible.to_string().contains("infeasible"));
-        assert!(MilpError::InvalidBounds { lower: 2.0, upper: 1.0 }.to_string().contains("bounds"));
+        assert!(MilpError::InvalidBounds {
+            lower: 2.0,
+            upper: 1.0
+        }
+        .to_string()
+        .contains("bounds"));
     }
 }

@@ -58,7 +58,10 @@ impl LinExpr {
 
     /// A constant expression.
     pub fn constant_expr(value: f64) -> Self {
-        LinExpr { terms: BTreeMap::new(), constant: value }
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: value,
+        }
     }
 
     /// Adds `coeff * var` to the expression, merging with an existing term.
@@ -225,7 +228,10 @@ mod tests {
         let x = VarId(0);
         let y = VarId(1);
         let mut e = LinExpr::new();
-        e.add_term(x, 2.0).add_term(y, 1.0).add_term(x, 3.0).add_constant(4.0);
+        e.add_term(x, 2.0)
+            .add_term(y, 1.0)
+            .add_term(x, 3.0)
+            .add_constant(4.0);
         assert_eq!(e.coefficient(x), 5.0);
         assert_eq!(e.coefficient(y), 1.0);
         assert_eq!(e.constant(), 4.0);

@@ -83,7 +83,11 @@ pub struct Model {
 impl Model {
     /// Creates an empty model with the given objective sense.
     pub fn new(sense: ObjectiveSense) -> Self {
-        Model { sense, variables: Vec::new(), constraints: Vec::new() }
+        Model {
+            sense,
+            variables: Vec::new(),
+            constraints: Vec::new(),
+        }
     }
 
     /// The objective sense chosen at construction.
@@ -137,7 +141,13 @@ impl Model {
             return Err(MilpError::NotANumber);
         }
         let id = VarId(self.variables.len());
-        self.variables.push(Variable { name: name.into(), var_type, lower, upper, objective });
+        self.variables.push(Variable {
+            name: name.into(),
+            var_type,
+            lower,
+            upper,
+            objective,
+        });
         Ok(id)
     }
 
@@ -201,7 +211,10 @@ impl Model {
         }
         for (v, _) in expr.iter() {
             if v.0 >= self.variables.len() {
-                return Err(MilpError::InvalidVariable { index: v.0, len: self.variables.len() });
+                return Err(MilpError::InvalidVariable {
+                    index: v.0,
+                    len: self.variables.len(),
+                });
             }
         }
         let adjusted_rhs = rhs - expr.constant();
@@ -233,7 +246,10 @@ impl Model {
     /// Returns [`MilpError::InvalidBounds`] if `lower > upper`.
     pub fn set_bounds(&mut self, var: VarId, lower: f64, upper: f64) -> Result<(), MilpError> {
         if var.0 >= self.variables.len() {
-            return Err(MilpError::InvalidVariable { index: var.0, len: self.variables.len() });
+            return Err(MilpError::InvalidVariable {
+                index: var.0,
+                len: self.variables.len(),
+            });
         }
         if lower.is_nan() || upper.is_nan() || lower > upper {
             return Err(MilpError::InvalidBounds { lower, upper });
@@ -255,7 +271,10 @@ impl Model {
 
     /// Number of integer/binary variables.
     pub fn num_integer_vars(&self) -> usize {
-        self.variables.iter().filter(|v| v.var_type.is_integral()).count()
+        self.variables
+            .iter()
+            .filter(|v| v.var_type.is_integral())
+            .count()
     }
 
     /// The variables, indexed by [`VarId::index`].
@@ -274,9 +293,10 @@ impl Model {
     ///
     /// Returns [`MilpError::InvalidVariable`] for out-of-range ids.
     pub fn variable(&self, var: VarId) -> Result<&Variable, MilpError> {
-        self.variables
-            .get(var.0)
-            .ok_or(MilpError::InvalidVariable { index: var.0, len: self.variables.len() })
+        self.variables.get(var.0).ok_or(MilpError::InvalidVariable {
+            index: var.0,
+            len: self.variables.len(),
+        })
     }
 
     /// The objective value of an assignment (indexed by [`VarId::index`]).
@@ -339,8 +359,12 @@ mod tests {
     #[test]
     fn invalid_bounds_rejected() {
         let mut m = Model::new(ObjectiveSense::Minimize);
-        assert!(m.try_add_var("bad", VarType::Continuous, 3.0, 1.0, 0.0).is_err());
-        assert!(m.try_add_var("nan", VarType::Continuous, f64::NAN, 1.0, 0.0).is_err());
+        assert!(m
+            .try_add_var("bad", VarType::Continuous, 3.0, 1.0, 0.0)
+            .is_err());
+        assert!(m
+            .try_add_var("nan", VarType::Continuous, f64::NAN, 1.0, 0.0)
+            .is_err());
         let x = m.add_var("x", VarType::Continuous, 0.0, 1.0, 0.0);
         assert!(m.set_bounds(x, 2.0, 1.0).is_err());
         assert!(m.set_bounds(VarId(99), 0.0, 1.0).is_err());
@@ -364,7 +388,9 @@ mod tests {
         let mut m = Model::new(ObjectiveSense::Minimize);
         let _x = m.add_var("x", VarType::Continuous, 0.0, 1.0, 0.0);
         let bogus = LinExpr::term(VarId(5), 1.0);
-        assert!(m.try_add_constraint_expr("c", bogus, Sense::Le, 1.0).is_err());
+        assert!(m
+            .try_add_constraint_expr("c", bogus, Sense::Le, 1.0)
+            .is_err());
     }
 
     #[test]

@@ -69,8 +69,11 @@ impl LpOutcome {
 /// assert!((sol.objective - 2.8).abs() < 1e-6);
 /// ```
 pub fn solve_lp(model: &Model) -> Result<LpOutcome, MilpError> {
-    let bounds: Vec<(f64, f64)> =
-        model.variables().iter().map(|v| (v.lower, v.upper)).collect();
+    let bounds: Vec<(f64, f64)> = model
+        .variables()
+        .iter()
+        .map(|v| (v.lower, v.upper))
+        .collect();
     solve_lp_with_bounds(model, &bounds)
 }
 
@@ -85,12 +88,12 @@ pub fn solve_lp(model: &Model) -> Result<LpOutcome, MilpError> {
 /// Returns [`MilpError::InvalidBounds`] if the slice length does not match or
 /// some `lower > upper`, and [`MilpError::IterationLimit`] on convergence
 /// failure.
-pub fn solve_lp_with_bounds(
-    model: &Model,
-    bounds: &[(f64, f64)],
-) -> Result<LpOutcome, MilpError> {
+pub fn solve_lp_with_bounds(model: &Model, bounds: &[(f64, f64)]) -> Result<LpOutcome, MilpError> {
     if bounds.len() != model.num_vars() {
-        return Err(MilpError::InvalidBounds { lower: f64::NAN, upper: f64::NAN });
+        return Err(MilpError::InvalidBounds {
+            lower: f64::NAN,
+            upper: f64::NAN,
+        });
     }
     for &(l, u) in bounds {
         if l.is_nan() || u.is_nan() || l > u {
@@ -192,10 +195,18 @@ impl Tableau {
                     }
                 }
             }
-            raw_rows.push(RawRow { coeffs, sense: c.sense, rhs });
+            raw_rows.push(RawRow {
+                coeffs,
+                sense: c.sense,
+                rhs,
+            });
         }
         for (col, bound) in ub_rows {
-            raw_rows.push(RawRow { coeffs: vec![(col, 1.0)], sense: Sense::Le, rhs: bound });
+            raw_rows.push(RawRow {
+                coeffs: vec![(col, 1.0)],
+                sense: Sense::Le,
+                rhs: bound,
+            });
         }
 
         let m = raw_rows.len();
@@ -274,7 +285,15 @@ impl Tableau {
             }
         }
 
-        Ok(Tableau { rows, cost, cost_offset, first_artificial, basis, var_map, n_cols })
+        Ok(Tableau {
+            rows,
+            cost,
+            cost_offset,
+            first_artificial,
+            basis,
+            var_map,
+            n_cols,
+        })
     }
 
     /// Runs phase 1 and phase 2; maps the solution back to model variables.
@@ -284,8 +303,8 @@ impl Tableau {
         let has_artificials = self.basis.iter().any(|&b| b >= self.first_artificial);
         if has_artificials {
             let mut phase1_cost = vec![0.0; self.n_cols];
-            for col in self.first_artificial..self.n_cols {
-                phase1_cost[col] = 1.0;
+            for cost in phase1_cost.iter_mut().skip(self.first_artificial) {
+                *cost = 1.0;
             }
             let status = self.optimize(&phase1_cost, true)?;
             if status == PivotStatus::Unbounded {
@@ -300,8 +319,8 @@ impl Tableau {
             // Pivot remaining artificials out of the basis where possible.
             for r in 0..m {
                 if self.basis[r] >= self.first_artificial {
-                    if let Some(col) = (0..self.first_artificial)
-                        .find(|&c| self.rows[r][c].abs() > 1e-7)
+                    if let Some(col) =
+                        (0..self.first_artificial).find(|&c| self.rows[r][c].abs() > 1e-7)
                     {
                         self.pivot(r, col);
                     }
@@ -353,7 +372,13 @@ impl Tableau {
         self.basis
             .iter()
             .enumerate()
-            .map(|(r, &b)| if b < self.n_cols { cost[b] * self.rows[r][self.n_cols] } else { 0.0 })
+            .map(|(r, &b)| {
+                if b < self.n_cols {
+                    cost[b] * self.rows[r][self.n_cols]
+                } else {
+                    0.0
+                }
+            })
             .sum()
     }
 
@@ -361,11 +386,18 @@ impl Tableau {
     ///
     /// During phase 2 (`allow_artificials == false`) artificial columns are
     /// never chosen as entering variables.
-    fn optimize(&mut self, cost: &[f64], allow_artificials: bool) -> Result<PivotStatus, MilpError> {
+    fn optimize(
+        &mut self,
+        cost: &[f64],
+        allow_artificials: bool,
+    ) -> Result<PivotStatus, MilpError> {
         let m = self.rows.len();
         let max_iters = 200 * (m + self.n_cols) + 20_000;
-        let col_limit =
-            if allow_artificials { self.n_cols } else { self.first_artificial };
+        let col_limit = if allow_artificials {
+            self.n_cols
+        } else {
+            self.first_artificial
+        };
 
         for iter in 0..max_iters {
             // Reduced costs: r_j = c_j - c_B' B^-1 A_j.  With the tableau kept
@@ -408,7 +440,7 @@ impl Tableau {
                     let ratio = self.rows[r][self.n_cols] / a;
                     if ratio < best_ratio - 1e-12
                         || (ratio < best_ratio + 1e-12
-                            && leave.map_or(true, |lr| self.basis[r] < self.basis[lr]))
+                            && leave.is_none_or(|lr| self.basis[r] < self.basis[lr]))
                     {
                         best_ratio = ratio;
                         leave = Some(r);
@@ -534,7 +566,13 @@ mod tests {
         // min x s.t. x >= -5 is unbounded below without the constraint;
         // with x free and x >= -5 via constraint: optimum -5.
         let mut m = Model::new(ObjectiveSense::Minimize);
-        let x = m.add_var("x", VarType::Continuous, f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let x = m.add_var(
+            "x",
+            VarType::Continuous,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            1.0,
+        );
         m.add_constraint("lb", [(x, 1.0)], Sense::Ge, -5.0);
         let sol = solve_lp(&m).unwrap().optimal().unwrap();
         assert_close(sol.objective, -5.0);
@@ -596,10 +634,16 @@ mod tests {
     fn bound_overrides_take_effect() {
         let mut m = Model::new(ObjectiveSense::Maximize);
         let x = m.add_var("x", VarType::Continuous, 0.0, 10.0, 1.0);
-        let sol = solve_lp_with_bounds(&m, &[(0.0, 4.0)]).unwrap().optimal().unwrap();
+        let sol = solve_lp_with_bounds(&m, &[(0.0, 4.0)])
+            .unwrap()
+            .optimal()
+            .unwrap();
         assert_close(sol.values[x.index()], 4.0);
         // Contradictory override is infeasible.
-        assert_eq!(solve_lp_with_bounds(&m, &[(5.0, 4.0)]).unwrap_err(), MilpError::Infeasible);
+        assert_eq!(
+            solve_lp_with_bounds(&m, &[(5.0, 4.0)]).unwrap_err(),
+            MilpError::Infeasible
+        );
         // Wrong length is rejected.
         assert!(solve_lp_with_bounds(&m, &[]).is_err());
     }
@@ -611,7 +655,12 @@ mod tests {
         let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY, 1.0);
         let y = m.add_var("y", VarType::Continuous, 0.0, f64::INFINITY, 1.0);
         for i in 0..10 {
-            m.add_constraint(format!("c{i}"), [(x, 1.0), (y, 1.0 + i as f64 * 1e-9)], Sense::Le, 4.0);
+            m.add_constraint(
+                format!("c{i}"),
+                [(x, 1.0), (y, 1.0 + i as f64 * 1e-9)],
+                Sense::Le,
+                4.0,
+            );
         }
         let sol = solve_lp(&m).unwrap().optimal().unwrap();
         assert!((sol.objective - 4.0).abs() < 1e-5);

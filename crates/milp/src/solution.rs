@@ -57,7 +57,11 @@ mod tests {
             solve_seconds: 0.1,
         };
         assert!((r.gap() - 0.1).abs() < 1e-12);
-        let tiny = MilpResult { objective: 0.5, best_bound: 0.6, ..r };
+        let tiny = MilpResult {
+            objective: 0.5,
+            best_bound: 0.6,
+            ..r
+        };
         assert!((tiny.gap() - 0.1).abs() < 1e-12);
     }
 }

@@ -7,8 +7,11 @@ use proptest::prelude::*;
 /// to sum(w_i x_i) <= cap with binary x.
 fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> Model {
     let mut m = Model::new(ObjectiveSense::Maximize);
-    let vars: Vec<_> =
-        values.iter().enumerate().map(|(i, &v)| m.add_binary(format!("x{i}"), v)).collect();
+    let vars: Vec<_> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| m.add_binary(format!("x{i}"), v))
+        .collect();
     let terms: Vec<_> = vars.iter().zip(weights).map(|(&x, &w)| (x, w)).collect();
     m.add_constraint("cap", terms, Sense::Le, cap);
     m

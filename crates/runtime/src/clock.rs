@@ -39,7 +39,10 @@ impl VirtualClock {
             wall_per_virtual.is_finite() && wall_per_virtual > 0.0,
             "wall_per_virtual must be positive and finite, got {wall_per_virtual}"
         );
-        VirtualClock { start: Instant::now(), wall_per_virtual }
+        VirtualClock {
+            start: Instant::now(),
+            wall_per_virtual,
+        }
     }
 
     /// The wall-clock seconds corresponding to one virtual second.
@@ -62,7 +65,9 @@ impl VirtualClock {
     /// Negative or non-finite durations are treated as zero.
     pub fn sleep(&self, virtual_secs: f64) {
         if virtual_secs.is_finite() && virtual_secs > 0.0 {
-            std::thread::sleep(Duration::from_secs_f64(virtual_secs * self.wall_per_virtual));
+            std::thread::sleep(Duration::from_secs_f64(
+                virtual_secs * self.wall_per_virtual,
+            ));
         }
     }
 
@@ -85,7 +90,10 @@ mod tests {
     fn virtual_time_advances_faster_than_wall_time() {
         let clock = VirtualClock::new(0.001);
         std::thread::sleep(Duration::from_millis(5));
-        assert!(clock.now() >= 4.0, "5 ms of wall time is at least 4 virtual seconds");
+        assert!(
+            clock.now() >= 4.0,
+            "5 ms of wall time is at least 4 virtual seconds"
+        );
         assert!(clock.wall_elapsed() >= Duration::from_millis(5));
         assert_eq!(clock.wall_per_virtual(), 0.001);
     }

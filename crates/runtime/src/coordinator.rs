@@ -51,11 +51,17 @@ struct CoordinatorView<'a> {
 
 impl ClusterState for CoordinatorView<'_> {
     fn queue_len(&self, node: NodeId) -> usize {
-        self.worker_stats.get(&node).map(|s| s.lock().queue_len).unwrap_or(0)
+        self.worker_stats
+            .get(&node)
+            .map(|s| s.lock().queue_len)
+            .unwrap_or(0)
     }
 
     fn recent_throughput(&self, node: NodeId) -> f64 {
-        self.worker_stats.get(&node).map(|s| s.lock().recent_throughput).unwrap_or(0.0)
+        self.worker_stats
+            .get(&node)
+            .map(|s| s.lock().recent_throughput)
+            .unwrap_or(0.0)
     }
 
     fn kv_used_tokens(&self, node: NodeId) -> f64 {
@@ -167,15 +173,18 @@ impl Coordinator {
     /// Tries to admit one request.  Returns `Ok(false)` if every candidate is
     /// currently masked out and the request should be retried later.
     fn try_dispatch(&mut self, request: Request) -> Result<bool, RuntimeError> {
-        let view =
-            CoordinatorView { estimator: &self.estimator, worker_stats: &self.worker_stats };
+        let view = CoordinatorView {
+            estimator: &self.estimator,
+            worker_stats: &self.worker_stats,
+        };
         let pipeline = match self.scheduler.schedule(&view) {
             Ok(pipeline) => Arc::new(pipeline),
             Err(HelixError::NoCandidateAvailable { .. }) => return Ok(false),
             Err(e) => return Err(e.into()),
         };
         for stage in &pipeline.stages {
-            self.estimator.on_scheduled(stage.node, request.id, request.prompt_tokens);
+            self.estimator
+                .on_scheduled(stage.node, request.id, request.prompt_tokens);
         }
         let first = pipeline.stages[0].node;
         self.send(Envelope {
@@ -192,13 +201,23 @@ impl Coordinator {
         })?;
         self.in_flight.insert(
             request.id,
-            InFlight { request, pipeline, first_token_at: None, decode_remaining: 0 },
+            InFlight {
+                request,
+                pipeline,
+                first_token_at: None,
+                decode_remaining: 0,
+            },
         );
         Ok(true)
     }
 
     fn handle(&mut self, msg: RuntimeMsg) -> Result<(), RuntimeError> {
-        let RuntimeMsg::IterationDone { request, phase, emitted_at } = msg else {
+        let RuntimeMsg::IterationDone {
+            request,
+            phase,
+            emitted_at,
+        } = msg
+        else {
             // Work/Release/Shutdown are worker-bound; nothing to do here.
             return Ok(());
         };
@@ -243,7 +262,8 @@ impl Coordinator {
             return Ok(());
         };
         for stage in &flight.pipeline.stages {
-            self.estimator.on_finished(stage.node, request, flight.request.output_tokens);
+            self.estimator
+                .on_finished(stage.node, request, flight.request.output_tokens);
         }
         for stage in &flight.pipeline.stages {
             self.send(Envelope {
@@ -266,6 +286,8 @@ impl Coordinator {
     }
 
     fn send(&self, envelope: Envelope) -> Result<(), RuntimeError> {
-        self.fabric.send(envelope).map_err(|_| RuntimeError::Disconnected("network fabric"))
+        self.fabric
+            .send(envelope)
+            .map_err(|_| RuntimeError::Disconnected("network fabric"))
     }
 }

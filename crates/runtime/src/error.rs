@@ -77,7 +77,10 @@ mod tests {
             total: 10,
         };
         assert!(e.to_string().contains("3/10"));
-        let e = RuntimeError::Stalled { pending: 2, completed: 0 };
+        let e = RuntimeError::Stalled {
+            pending: 2,
+            completed: 0,
+        };
         assert!(e.to_string().contains("stalled"));
         let e = RuntimeError::Disconnected("network fabric");
         assert!(e.to_string().contains("network fabric"));

@@ -7,16 +7,9 @@
 //! The model is a trait so tests can plug in an instantaneous executor and
 //! future work can plug in real kernels.
 
-use crate::message::{Phase, StageWork};
+use crate::message::StageWork;
 use helix_cluster::NodeProfile;
-
-/// Fixed per-batch overhead in seconds (kernel launch, batch assembly).
-pub const BATCH_OVERHEAD_SECS: f64 = 0.015;
-
-/// Slow-down factor applied to a batch when the KV pool has to spill to host
-/// memory (paper §5.2: exceeding the KV budget "significantly harms
-/// throughput").
-pub const KV_OVERFLOW_PENALTY: f64 = 8.0;
+use helix_core::exec_model::{ExecModel, WorkUnit};
 
 /// Computes how long (in virtual seconds) a dynamic batch takes on a node.
 pub trait ExecutionModel: Send {
@@ -24,49 +17,38 @@ pub trait ExecutionModel: Send {
     fn batch_duration(&self, items: &[StageWork]) -> f64;
 }
 
-/// Roofline-style cost model derived from a node's analytic profile: prompt
-/// tokens are compute-bound and cheap per token, decode tokens are
-/// memory-bound and expensive, and cost scales with the number of layers the
-/// stage computes.
+/// The shared roofline cost model ([`helix_core::exec_model::ExecModel`])
+/// applied to runtime stage work: prompt tokens are compute-bound and cheap
+/// per token, decode tokens are memory-bound and expensive, and cost scales
+/// with the number of layers the stage computes.  The simulator runs the
+/// *same* model, so the two implementations cannot drift.
 #[derive(Debug, Clone)]
 pub struct AnalyticExecution {
-    prompt_secs_per_token_layer: f64,
-    decode_secs_per_token_layer: f64,
-    batch_overhead_secs: f64,
+    exec: ExecModel,
 }
 
 impl AnalyticExecution {
     /// Builds the cost model for a node from its profile.
     pub fn new(profile: &NodeProfile) -> Self {
         AnalyticExecution {
-            prompt_secs_per_token_layer: 1.0 / profile.prompt_tokens_per_layer_sec.max(1e-9),
-            decode_secs_per_token_layer: 1.0 / profile.decode_tokens_per_layer_sec.max(1e-9),
-            batch_overhead_secs: BATCH_OVERHEAD_SECS,
+            exec: ExecModel::new(profile),
         }
     }
 
     /// Overrides the per-batch overhead (useful to study batching efficiency).
     pub fn with_batch_overhead(mut self, secs: f64) -> Self {
-        self.batch_overhead_secs = secs.max(0.0);
+        self.exec = self.exec.with_batch_overhead(secs);
         self
     }
 }
 
 impl ExecutionModel for AnalyticExecution {
     fn batch_duration(&self, items: &[StageWork]) -> f64 {
-        if items.is_empty() {
-            return 0.0;
-        }
-        let mut duration = self.batch_overhead_secs;
-        for item in items {
-            let per_token_layer = match item.phase {
-                Phase::Prompt => self.prompt_secs_per_token_layer,
-                Phase::Decode => self.decode_secs_per_token_layer,
-            };
-            let layers = item.pipeline.stages[item.stage_index].layers.len();
-            duration += item.tokens as f64 * layers as f64 * per_token_layer;
-        }
-        duration
+        self.exec.batch_secs(items.iter().map(|item| WorkUnit {
+            phase: item.phase,
+            tokens: item.tokens,
+            layers: item.pipeline.stages[item.stage_index].layers.len(),
+        }))
     }
 }
 
@@ -85,6 +67,7 @@ impl ExecutionModel for InstantExecution {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::Phase;
     use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig, NodeId};
     use helix_core::{LayerRange, PipelineStage, RequestPipeline};
     use std::sync::Arc;
@@ -96,16 +79,17 @@ mod tests {
             tokens,
             stage_index: 0,
             pipeline: Arc::new(RequestPipeline {
-                stages: vec![PipelineStage { node: NodeId(0), layers: LayerRange::new(0, layers) }],
+                stages: vec![PipelineStage {
+                    node: NodeId(0),
+                    layers: LayerRange::new(0, layers),
+                }],
             }),
         }
     }
 
     fn model() -> AnalyticExecution {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::solver_quality_10(),
-            ModelConfig::llama_30b(),
-        );
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
         AnalyticExecution::new(profile.node_profile(NodeId(0)))
     }
 
@@ -123,10 +107,12 @@ mod tests {
         let shallow = exec.batch_duration(&[work(Phase::Decode, 1, 2)]);
         let deep = exec.batch_duration(&[work(Phase::Decode, 1, 8)]);
         assert!(deep > shallow);
-        let batched =
-            exec.batch_duration(&[work(Phase::Decode, 1, 2), work(Phase::Decode, 1, 2)]);
+        let batched = exec.batch_duration(&[work(Phase::Decode, 1, 2), work(Phase::Decode, 1, 2)]);
         let two_batches = 2.0 * shallow;
-        assert!(batched < two_batches, "batching amortises the fixed overhead");
+        assert!(
+            batched < two_batches,
+            "batching amortises the fixed overhead"
+        );
         assert_eq!(exec.batch_duration(&[]), 0.0);
     }
 

@@ -112,7 +112,12 @@ pub(crate) fn spawn_fabric(
 }
 
 fn run_fabric(spec: FabricSpec, ingress: Receiver<Envelope>, traffic: LinkTrafficMap) {
-    let FabricSpec { profile, clock, worker_txs, coordinator_tx } = spec;
+    let FabricSpec {
+        profile,
+        clock,
+        worker_txs,
+        coordinator_tx,
+    } = spec;
     let mut heap: BinaryHeap<Delivery> = BinaryHeap::new();
     let mut link_free: HashMap<LinkKey, f64> = HashMap::new();
     let mut seq: u64 = 0;
@@ -181,7 +186,11 @@ fn schedule(
     entry.total_queue_delay += queue_delay;
     entry.max_queue_delay = entry.max_queue_delay.max(queue_delay);
 
-    Delivery { deliver_at, seq, envelope }
+    Delivery {
+        deliver_at,
+        seq,
+        envelope,
+    }
 }
 
 fn route(
@@ -224,7 +233,11 @@ mod tests {
             from,
             to,
             bytes,
-            msg: RuntimeMsg::IterationDone { request: 1, phase: Phase::Decode, emitted_at: 0.0 },
+            msg: RuntimeMsg::IterationDone {
+                request: 1,
+                phase: Phase::Decode,
+                emitted_at: 0.0,
+            },
         }
     }
 
@@ -242,13 +255,23 @@ mod tests {
         };
         let (traffic, handle) = spawn_fabric(spec, ingress_rx);
 
-        ingress_tx.send(iteration_done(None, Some(NodeId(0)), 4.0)).unwrap();
-        ingress_tx.send(iteration_done(Some(NodeId(0)), None, 4.0)).unwrap();
+        ingress_tx
+            .send(iteration_done(None, Some(NodeId(0)), 4.0))
+            .unwrap();
+        ingress_tx
+            .send(iteration_done(Some(NodeId(0)), None, 4.0))
+            .unwrap();
 
         let to_worker = worker_rx.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert!(matches!(to_worker, RuntimeMsg::IterationDone { request: 1, .. }));
+        assert!(matches!(
+            to_worker,
+            RuntimeMsg::IterationDone { request: 1, .. }
+        ));
         let to_coord = coord_rx.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert!(matches!(to_coord, RuntimeMsg::IterationDone { request: 1, .. }));
+        assert!(matches!(
+            to_coord,
+            RuntimeMsg::IterationDone { request: 1, .. }
+        ));
 
         drop(ingress_tx);
         handle.join().unwrap();
@@ -280,7 +303,9 @@ mod tests {
         let link = profile.link_profile(Some(NodeId(0)), Some(NodeId(1))).link;
         let bytes = link.bandwidth_bytes_per_sec() * 0.2;
         for _ in 0..2 {
-            ingress_tx.send(iteration_done(Some(NodeId(0)), Some(NodeId(1)), bytes)).unwrap();
+            ingress_tx
+                .send(iteration_done(Some(NodeId(0)), Some(NodeId(1)), bytes))
+                .unwrap();
         }
         for _ in 0..2 {
             worker_rx.recv_timeout(Duration::from_secs(5)).unwrap();

@@ -14,9 +14,6 @@ use helix_workload::RequestId;
 use std::collections::HashMap;
 use std::fmt;
 
-/// Number of tokens per KV page used by vLLM's default configuration.
-pub const DEFAULT_TOKENS_PER_PAGE: usize = 16;
-
 /// Error returned when a pool cannot satisfy an allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KvPoolError {
@@ -164,12 +161,18 @@ impl PagedKvPool {
         let extra = needed_pages.saturating_sub(current.pages);
         if extra > self.free_pages {
             self.rejections += 1;
-            return Err(KvPoolError::OutOfPages { requested: extra, available: self.free_pages });
+            return Err(KvPoolError::OutOfPages {
+                requested: extra,
+                available: self.free_pages,
+            });
         }
         self.free_pages -= extra;
         self.allocations.insert(
             request,
-            Allocation { pages: needed_pages, tokens: current.tokens + tokens },
+            Allocation {
+                pages: needed_pages,
+                tokens: current.tokens + tokens,
+            },
         );
         self.peak_utilization = self.peak_utilization.max(self.utilization());
         Ok(())
@@ -185,7 +188,10 @@ impl PagedKvPool {
 
     /// Tokens currently cached for one request.
     pub fn tokens_of(&self, request: RequestId) -> usize {
-        self.allocations.get(&request).map(|a| a.tokens).unwrap_or(0)
+        self.allocations
+            .get(&request)
+            .map(|a| a.tokens)
+            .unwrap_or(0)
     }
 }
 
@@ -218,7 +224,13 @@ mod tests {
         let mut pool = PagedKvPool::new(64.0, 16);
         pool.append_tokens(1, 48).unwrap();
         let err = pool.append_tokens(2, 32).unwrap_err();
-        assert_eq!(err, KvPoolError::OutOfPages { requested: 2, available: 1 });
+        assert_eq!(
+            err,
+            KvPoolError::OutOfPages {
+                requested: 2,
+                available: 1
+            }
+        );
         assert_eq!(pool.rejections(), 1);
         // The failed allocation did not leak pages.
         assert_eq!(pool.used_pages(), 3);
@@ -237,7 +249,10 @@ mod tests {
         assert_eq!(pool.total_pages(), 0);
         assert_eq!(pool.utilization(), 1.0);
         assert!(pool.append_tokens(1, 1).is_err());
-        assert!(pool.append_tokens(1, 0).is_ok(), "empty appends always succeed");
+        assert!(
+            pool.append_tokens(1, 0).is_ok(),
+            "empty appends always succeed"
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //!
 //! ```rust
 //! use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
-//! use helix_core::{heuristics, IwrrScheduler};
+//! use helix_core::{heuristics, IwrrScheduler, Topology};
 //! use helix_runtime::{RuntimeConfig, ServingRuntime};
 //! use helix_workload::{Request, Workload};
 //!
@@ -40,7 +40,9 @@
 //!     ModelConfig::llama_30b(),
 //! );
 //! let placement = heuristics::swarm_placement(&profile)?;
-//! let scheduler = IwrrScheduler::from_placement(&profile, &placement, true)?;
+//! // One planning artifact feeds the scheduler and the runtime alike.
+//! let topology = Topology::plan(&profile, &placement, true)?;
+//! let scheduler = IwrrScheduler::from_topology(&topology)?;
 //!
 //! let requests: Vec<Request> = (0..4)
 //!     .map(|i| Request { id: i, prompt_tokens: 64, output_tokens: 4, arrival_time: 0.0 })
@@ -48,8 +50,7 @@
 //! let workload = Workload::new(requests);
 //!
 //! let runtime = ServingRuntime::new(
-//!     &profile,
-//!     &placement,
+//!     &topology,
 //!     Box::new(scheduler),
 //!     RuntimeConfig::fast_test(),
 //! )?;
@@ -73,11 +74,9 @@ mod worker;
 
 pub use clock::VirtualClock;
 pub use error::RuntimeError;
-pub use exec::{
-    AnalyticExecution, ExecutionModel, InstantExecution, BATCH_OVERHEAD_SECS, KV_OVERFLOW_PENALTY,
-};
+pub use exec::{AnalyticExecution, ExecutionModel, InstantExecution};
 pub use fabric::{LinkKey, LinkTraffic};
-pub use kv_pool::{KvPoolError, PagedKvPool, DEFAULT_TOKENS_PER_PAGE};
+pub use kv_pool::{KvPoolError, PagedKvPool};
 pub use message::{Envelope, Phase, RuntimeMsg, StageWork};
 pub use metrics::{LatencySummary, LinkReport, NodeReport, RequestOutcome, RuntimeReport};
 pub use runtime::{ExecutionKind, RuntimeConfig, ServingRuntime};

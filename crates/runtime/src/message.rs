@@ -13,23 +13,9 @@ use helix_core::RequestPipeline;
 use helix_workload::RequestId;
 use std::sync::Arc;
 
-/// Which phase of auto-regressive generation a work item belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Phase {
-    /// The first iteration: all prompt tokens are processed at once.
-    Prompt,
-    /// A subsequent iteration: a single new token is processed.
-    Decode,
-}
-
-impl std::fmt::Display for Phase {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Phase::Prompt => f.write_str("prompt"),
-            Phase::Decode => f.write_str("decode"),
-        }
-    }
-}
+/// Which phase of auto-regressive generation a work item belongs to (the
+/// shared execution-model type).
+pub use helix_core::exec_model::Phase;
 
 /// One unit of work for one pipeline stage of one request iteration.
 #[derive(Debug, Clone)]
@@ -70,8 +56,15 @@ impl StageWork {
     ///
     /// Panics if this is already the last stage.
     pub fn next_stage(&self) -> StageWork {
-        assert!(!self.is_last_stage(), "next_stage called on the last pipeline stage");
-        StageWork { stage_index: self.stage_index + 1, pipeline: Arc::clone(&self.pipeline), ..*self }
+        assert!(
+            !self.is_last_stage(),
+            "next_stage called on the last pipeline stage"
+        );
+        StageWork {
+            stage_index: self.stage_index + 1,
+            pipeline: Arc::clone(&self.pipeline),
+            ..*self
+        }
     }
 }
 
@@ -120,8 +113,14 @@ mod tests {
     fn pipeline() -> Arc<RequestPipeline> {
         Arc::new(RequestPipeline {
             stages: vec![
-                PipelineStage { node: NodeId(0), layers: LayerRange::new(0, 4) },
-                PipelineStage { node: NodeId(3), layers: LayerRange::new(4, 8) },
+                PipelineStage {
+                    node: NodeId(0),
+                    layers: LayerRange::new(0, 4),
+                },
+                PipelineStage {
+                    node: NodeId(3),
+                    layers: LayerRange::new(4, 8),
+                },
             ],
         })
     }

@@ -184,14 +184,21 @@ impl RuntimeReport {
 
     /// Prompt latency summary across completed requests.
     pub fn prompt_latency(&self) -> LatencySummary {
-        let samples: Vec<f64> = self.outcomes.iter().map(RequestOutcome::prompt_latency).collect();
+        let samples: Vec<f64> = self
+            .outcomes
+            .iter()
+            .map(RequestOutcome::prompt_latency)
+            .collect();
         LatencySummary::from_samples(&samples)
     }
 
     /// Per-token decode latency summary across completed requests.
     pub fn decode_latency(&self) -> LatencySummary {
-        let samples: Vec<f64> =
-            self.outcomes.iter().map(RequestOutcome::decode_latency_per_token).collect();
+        let samples: Vec<f64> = self
+            .outcomes
+            .iter()
+            .map(RequestOutcome::decode_latency_per_token)
+            .collect();
         LatencySummary::from_samples(&samples)
     }
 
@@ -248,7 +255,10 @@ mod tests {
     #[test]
     fn report_throughput_and_congestion_ranking() {
         let report = RuntimeReport {
-            outcomes: vec![outcome(1, 0.0, 1.0, 10.0, 50), outcome(2, 0.0, 2.0, 10.0, 50)],
+            outcomes: vec![
+                outcome(1, 0.0, 1.0, 10.0, 50),
+                outcome(2, 0.0, 2.0, 10.0, 50),
+            ],
             makespan: 10.0,
             wall_seconds: 0.1,
             nodes: vec![],

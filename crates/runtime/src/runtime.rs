@@ -4,15 +4,15 @@
 use crate::clock::VirtualClock;
 use crate::coordinator::{Coordinator, CoordinatorSpec};
 use crate::error::RuntimeError;
-use crate::exec::{AnalyticExecution, ExecutionModel, InstantExecution, KV_OVERFLOW_PENALTY};
+use crate::exec::{AnalyticExecution, ExecutionModel, InstantExecution};
 use crate::fabric::{self, FabricSpec, LinkTrafficMap};
-use crate::kv_pool::DEFAULT_TOKENS_PER_PAGE;
 use crate::message::{Envelope, RuntimeMsg};
 use crate::metrics::{LinkReport, NodeReport, RuntimeReport};
 use crate::worker::{self, SharedWorkerStats, WorkerConfig, WorkerStats};
 use crossbeam::channel::{unbounded, Sender};
-use helix_cluster::{ClusterProfile, NodeId};
-use helix_core::{KvCacheEstimator, ModelPlacement, Scheduler};
+use helix_cluster::NodeId;
+use helix_core::exec_model::{DEFAULT_TOKENS_PER_PAGE, KV_OVERFLOW_PENALTY};
+use helix_core::{KvCacheEstimator, Scheduler, Topology};
 use helix_workload::Workload;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -99,12 +99,15 @@ impl ServingRuntime {
     /// Returns [`RuntimeError::Scheduling`] if the placement is invalid for
     /// the profile.
     pub fn new(
-        profile: &ClusterProfile,
-        placement: &ModelPlacement,
+        topology: &Topology,
         scheduler: Box<dyn Scheduler>,
         config: RuntimeConfig,
     ) -> Result<Self, RuntimeError> {
-        placement.validate(profile).map_err(RuntimeError::Scheduling)?;
+        let profile = topology.profile();
+        topology
+            .placement()
+            .validate(profile)
+            .map_err(RuntimeError::Scheduling)?;
         let clock = VirtualClock::new(config.wall_per_virtual);
         let profile_arc = Arc::new(profile.clone());
 
@@ -118,10 +121,11 @@ impl ServingRuntime {
         let mut worker_stats = HashMap::new();
         let mut node_meta = Vec::new();
 
-        for (node, range) in placement.iter() {
+        for planned in topology.nodes() {
+            let node = planned.node;
             let (tx, rx) = unbounded::<RuntimeMsg>();
             let stats: SharedWorkerStats = Arc::new(Mutex::new(WorkerStats::default()));
-            let kv_capacity = profile.kv_capacity_tokens(node, range.len());
+            let kv_capacity = planned.kv_capacity_tokens;
             estimator.set_capacity(node, kv_capacity);
             let worker_config = WorkerConfig {
                 node,
@@ -148,7 +152,7 @@ impl ServingRuntime {
             fabric_worker_txs.insert(node, tx);
             worker_handles.push(handle);
             worker_stats.insert(node, stats);
-            node_meta.push((node, profile.cluster().node(node).name.clone(), range.len()));
+            node_meta.push((node, planned.name.clone(), planned.layers.len()));
         }
         node_meta.sort_by_key(|(node, _, _)| *node);
 
@@ -211,10 +215,19 @@ impl ServingRuntime {
 
         let outcomes = outcome?;
         let makespan = {
-            let first_arrival = outcomes.iter().map(|o| o.arrival).fold(f64::INFINITY, f64::min);
-            let first_arrival = if first_arrival.is_finite() { first_arrival } else { 0.0 };
-            let last_completion =
-                outcomes.iter().map(|o| o.completed_at).fold(0.0_f64, f64::max);
+            let first_arrival = outcomes
+                .iter()
+                .map(|o| o.arrival)
+                .fold(f64::INFINITY, f64::min);
+            let first_arrival = if first_arrival.is_finite() {
+                first_arrival
+            } else {
+                0.0
+            };
+            let last_completion = outcomes
+                .iter()
+                .map(|o| o.completed_at)
+                .fold(0.0_f64, f64::max);
             (last_completion - first_arrival).max(0.0)
         };
 

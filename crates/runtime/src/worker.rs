@@ -267,8 +267,14 @@ mod tests {
     fn two_stage_pipeline() -> Arc<RequestPipeline> {
         Arc::new(RequestPipeline {
             stages: vec![
-                PipelineStage { node: NodeId(0), layers: LayerRange::new(0, 4) },
-                PipelineStage { node: NodeId(1), layers: LayerRange::new(4, 8) },
+                PipelineStage {
+                    node: NodeId(0),
+                    layers: LayerRange::new(0, 4),
+                },
+                PipelineStage {
+                    node: NodeId(1),
+                    layers: LayerRange::new(4, 8),
+                },
             ],
         })
     }
@@ -276,7 +282,12 @@ mod tests {
     fn spawn_test_worker(
         node: NodeId,
         kv_capacity: f64,
-    ) -> (Sender<RuntimeMsg>, Receiver<Envelope>, SharedWorkerStats, JoinHandle<()>) {
+    ) -> (
+        Sender<RuntimeMsg>,
+        Receiver<Envelope>,
+        SharedWorkerStats,
+        JoinHandle<()>,
+    ) {
         let (inbound_tx, inbound_rx) = unbounded();
         let (fabric_tx, fabric_rx) = unbounded();
         let stats: SharedWorkerStats = Arc::new(Mutex::new(WorkerStats::default()));
@@ -313,7 +324,10 @@ mod tests {
         let forwarded = fabric.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(forwarded.from, Some(NodeId(0)));
         assert_eq!(forwarded.to, Some(NodeId(1)));
-        assert!(forwarded.bytes > 16_384.0, "prompt activations scale with token count");
+        assert!(
+            forwarded.bytes > 16_384.0,
+            "prompt activations scale with token count"
+        );
         match forwarded.msg {
             RuntimeMsg::Work(next) => {
                 assert_eq!(next.stage_index, 1);
@@ -341,7 +355,14 @@ mod tests {
         .unwrap();
         let done = fabric.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(done.to, None);
-        assert!(matches!(done.msg, RuntimeMsg::IterationDone { request: 9, phase: Phase::Prompt, .. }));
+        assert!(matches!(
+            done.msg,
+            RuntimeMsg::IterationDone {
+                request: 9,
+                phase: Phase::Prompt,
+                ..
+            }
+        ));
         tx.send(RuntimeMsg::Shutdown).unwrap();
         handle.join().unwrap();
     }
@@ -375,7 +396,10 @@ mod tests {
         handle.join().unwrap();
         let s = stats.lock();
         assert_eq!(s.kv_rejections, 1);
-        assert!((s.kv_used_tokens - 32.0).abs() < 1e-9, "request 1 was released");
+        assert!(
+            (s.kv_used_tokens - 32.0).abs() < 1e-9,
+            "request 1 was released"
+        );
         assert_eq!(s.queue_len, 0);
     }
 

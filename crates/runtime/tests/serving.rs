@@ -1,13 +1,20 @@
 //! Integration and property tests for the prototype serving runtime.
 
 use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
-use helix_core::{heuristics, IwrrScheduler, RandomScheduler, Scheduler, ShortestQueueScheduler};
+use helix_core::{
+    heuristics, IwrrScheduler, RandomScheduler, Scheduler, ShortestQueueScheduler, Topology,
+};
 use helix_runtime::{ExecutionKind, PagedKvPool, RuntimeConfig, RuntimeError, ServingRuntime};
 use helix_workload::{Request, Workload};
 use proptest::prelude::*;
 
 fn profile() -> ClusterProfile {
     ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b())
+}
+
+fn swarm_topology(profile: &ClusterProfile) -> Topology {
+    let placement = heuristics::swarm_placement(profile).unwrap();
+    Topology::plan(profile, &placement, true).unwrap()
 }
 
 /// A small deterministic workload: `n` requests with modest prompt/output
@@ -28,13 +35,15 @@ fn small_workload(n: u64, prompt: usize, output: usize) -> Workload {
 #[test]
 fn every_request_completes_and_latencies_are_ordered() {
     let profile = profile();
-    let placement = heuristics::swarm_placement(&profile).unwrap();
-    let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
+    let topology = swarm_topology(&profile);
+    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
     let runtime = ServingRuntime::new(
-        &profile,
-        &placement,
+        &topology,
         Box::new(scheduler),
-        RuntimeConfig { wall_per_virtual: 0.0005, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            wall_per_virtual: 0.0005,
+            ..RuntimeConfig::default()
+        },
     )
     .unwrap();
     let workload = small_workload(12, 64, 6);
@@ -54,8 +63,14 @@ fn every_request_completes_and_latencies_are_ordered() {
     // processed decode tokens and some prompt tokens.
     let total_prompt: u64 = report.nodes.iter().map(|n| n.prompt_tokens).sum();
     let total_decode: u64 = report.nodes.iter().map(|n| n.decode_tokens).sum();
-    assert!(total_prompt >= 12 * 64, "prompt tokens flow through at least one stage each");
-    assert!(total_decode >= 12 * 5, "decode iterations flow through at least one stage each");
+    assert!(
+        total_prompt >= 12 * 64,
+        "prompt tokens flow through at least one stage each"
+    );
+    assert!(
+        total_decode >= 12 * 5,
+        "decode iterations flow through at least one stage each"
+    );
     // Traffic flowed over coordinator links in both directions.
     assert!(report.links.iter().any(|l| l.from.is_none()));
     assert!(report.links.iter().any(|l| l.to.is_none()));
@@ -65,20 +80,19 @@ fn every_request_completes_and_latencies_are_ordered() {
 fn instant_execution_still_respects_request_lifecycle() {
     let profile = profile();
     let placement = heuristics::petals_placement(&profile).unwrap();
-    let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
-    let runtime = ServingRuntime::new(
-        &profile,
-        &placement,
-        Box::new(scheduler),
-        RuntimeConfig::fast_test(),
-    )
-    .unwrap();
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+    let runtime =
+        ServingRuntime::new(&topology, Box::new(scheduler), RuntimeConfig::fast_test()).unwrap();
     let workload = small_workload(30, 32, 3);
     let report = runtime.serve(&workload).unwrap();
     assert_eq!(report.completed(), 30);
     // With instant execution nothing should be left resident in any KV pool.
     for node in &report.nodes {
-        assert!(node.kv_rejections == 0, "tiny requests never exhaust the pool");
+        assert!(
+            node.kv_rejections == 0,
+            "tiny requests never exhaust the pool"
+        );
     }
     assert!(report.wall_seconds < 30.0);
 }
@@ -86,33 +100,31 @@ fn instant_execution_still_respects_request_lifecycle() {
 #[test]
 fn baseline_schedulers_run_on_the_same_runtime() {
     let profile = profile();
-    let placement = heuristics::swarm_placement(&profile).unwrap();
+    let topology = swarm_topology(&profile);
     let schedulers: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(RandomScheduler::new(&profile, &placement, true, 11)),
-        Box::new(ShortestQueueScheduler::new(&profile, &placement, true)),
+        Box::new(RandomScheduler::new(&topology, 11)),
+        Box::new(ShortestQueueScheduler::new(&topology)),
     ];
     for scheduler in schedulers {
         let kind = scheduler.kind();
-        let runtime = ServingRuntime::new(
-            &profile,
-            &placement,
-            scheduler,
-            RuntimeConfig::fast_test(),
-        )
-        .unwrap();
+        let runtime =
+            ServingRuntime::new(&topology, scheduler, RuntimeConfig::fast_test()).unwrap();
         let report = runtime.serve(&small_workload(8, 16, 2)).unwrap();
-        assert_eq!(report.completed(), 8, "{kind} failed to complete the workload");
+        assert_eq!(
+            report.completed(),
+            8,
+            "{kind} failed to complete the workload"
+        );
     }
 }
 
 #[test]
 fn wall_clock_budget_is_enforced() {
     let profile = profile();
-    let placement = heuristics::swarm_placement(&profile).unwrap();
-    let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
+    let topology = swarm_topology(&profile);
+    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
     let runtime = ServingRuntime::new(
-        &profile,
-        &placement,
+        &topology,
         Box::new(scheduler),
         RuntimeConfig {
             // One virtual second takes ten wall seconds: the run cannot finish
@@ -125,21 +137,19 @@ fn wall_clock_budget_is_enforced() {
     )
     .unwrap();
     let err = runtime.serve(&small_workload(4, 512, 64)).unwrap_err();
-    assert!(matches!(err, RuntimeError::WallClockBudgetExceeded { .. }), "got {err}");
+    assert!(
+        matches!(err, RuntimeError::WallClockBudgetExceeded { .. }),
+        "got {err}"
+    );
 }
 
 #[test]
 fn empty_workload_returns_an_empty_report() {
     let profile = profile();
-    let placement = heuristics::swarm_placement(&profile).unwrap();
-    let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
-    let runtime = ServingRuntime::new(
-        &profile,
-        &placement,
-        Box::new(scheduler),
-        RuntimeConfig::fast_test(),
-    )
-    .unwrap();
+    let topology = swarm_topology(&profile);
+    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+    let runtime =
+        ServingRuntime::new(&topology, Box::new(scheduler), RuntimeConfig::fast_test()).unwrap();
     let report = runtime.serve(&Workload::new(Vec::new())).unwrap();
     assert_eq!(report.completed(), 0);
     assert_eq!(report.decode_throughput(), 0.0);
@@ -152,21 +162,23 @@ fn runtime_and_simulator_agree_on_scheduler_ranking() {
     // same placement (the §6.7 comparison), here measured as decode
     // throughput of an offline burst.
     let profile = profile();
-    let placement = heuristics::swarm_placement(&profile).unwrap();
+    let topology = swarm_topology(&profile);
     let workload = small_workload(40, 96, 8);
 
     let run = |scheduler: Box<dyn Scheduler>| {
         let runtime = ServingRuntime::new(
-            &profile,
-            &placement,
+            &topology,
             scheduler,
-            RuntimeConfig { wall_per_virtual: 0.0003, ..RuntimeConfig::default() },
+            RuntimeConfig {
+                wall_per_virtual: 0.0003,
+                ..RuntimeConfig::default()
+            },
         )
         .unwrap();
         runtime.serve(&workload).unwrap().decode_throughput()
     };
-    let helix = run(Box::new(IwrrScheduler::from_placement(&profile, &placement, true).unwrap()));
-    let random = run(Box::new(RandomScheduler::new(&profile, &placement, true, 3)));
+    let helix = run(Box::new(IwrrScheduler::from_topology(&topology).unwrap()));
+    let random = run(Box::new(RandomScheduler::new(&topology, 3)));
     // Virtual-time throughput on the threaded runtime is subject to OS
     // scheduling noise, so this is a sanity bound rather than a tight one.
     assert!(

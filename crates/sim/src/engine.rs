@@ -1,8 +1,8 @@
 //! Per-node execution engine: dynamic batching, KV-cache accounting.
 
-use crate::event::{Phase, SimTime, WorkItem};
-use crate::{BATCH_OVERHEAD_SECS, KV_OVERFLOW_PENALTY};
+use crate::event::{SimTime, WorkItem};
 use helix_cluster::NodeProfile;
+use helix_core::exec_model::{ExecModel, WorkUnit};
 use helix_workload::RequestId;
 use std::collections::HashMap;
 
@@ -17,10 +17,8 @@ use std::collections::HashMap;
 pub struct NodeEngine {
     /// Layers this node holds (length of its assigned range).
     layers_held: usize,
-    /// Seconds to run one decode token through one layer.
-    decode_secs_per_token_layer: f64,
-    /// Seconds to run one prompt token through one layer.
-    prompt_secs_per_token_layer: f64,
+    /// The shared execution cost model (same formula as the runtime).
+    exec: ExecModel,
     /// KV-cache capacity in tokens.
     kv_capacity_tokens: f64,
     /// Tokens currently resident in the KV cache, per request.
@@ -48,8 +46,7 @@ impl NodeEngine {
     pub fn new(profile: &NodeProfile, layers_held: usize, kv_capacity_tokens: f64) -> Self {
         NodeEngine {
             layers_held,
-            decode_secs_per_token_layer: 1.0 / profile.decode_tokens_per_layer_sec.max(1e-9),
-            prompt_secs_per_token_layer: 1.0 / profile.prompt_tokens_per_layer_sec.max(1e-9),
+            exec: ExecModel::new(profile),
             kv_capacity_tokens,
             kv_resident: HashMap::new(),
             pending: Vec::new(),
@@ -105,21 +102,19 @@ impl NodeEngine {
             return None;
         }
         let batch: Vec<WorkItem> = std::mem::take(&mut self.pending);
-        let mut duration = BATCH_OVERHEAD_SECS;
+        let mut duration = self.exec.batch_secs(batch.iter().map(|item| WorkUnit {
+            phase: item.phase,
+            tokens: item.tokens,
+            layers: item.layers.len(),
+        }));
         for item in &batch {
-            let per_token_layer = match item.phase {
-                Phase::Prompt => self.prompt_secs_per_token_layer,
-                Phase::Decode => self.decode_secs_per_token_layer,
-            };
-            duration += item.tokens as f64 * item.layers.len() as f64 * per_token_layer;
             // KV cache grows by the tokens this node now caches for the request.
             let entry = self.kv_resident.entry(item.request).or_insert(0.0);
             *entry += item.tokens as f64;
         }
         // Exceeding the KV capacity forces offloading; the whole batch slows down.
-        if self.kv_used_tokens() > self.kv_capacity_tokens {
-            duration *= KV_OVERFLOW_PENALTY;
-        }
+        duration =
+            ExecModel::apply_kv_overflow(duration, self.kv_used_tokens() > self.kv_capacity_tokens);
         self.busy = true;
         self.busy_seconds += duration;
         let tokens: u64 = batch.iter().map(|i| i.tokens as u64).sum();
@@ -128,7 +123,8 @@ impl NodeEngine {
         self.in_flight = batch;
         // Refresh the recent-throughput window every 10 simulated seconds.
         if now - self.window_start >= 10.0 {
-            self.recent_throughput = self.window_tokens as f64 / (now - self.window_start).max(1e-9);
+            self.recent_throughput =
+                self.window_tokens as f64 / (now - self.window_start).max(1e-9);
             self.window_tokens = 0;
             self.window_start = now;
         }
@@ -155,14 +151,13 @@ impl NodeEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::Phase;
     use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig, NodeId};
     use helix_core::LayerRange;
 
     fn engine() -> NodeEngine {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::solver_quality_10(),
-            ModelConfig::llama_30b(),
-        );
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
         let np = profile.node_profile(NodeId(0)).clone();
         NodeEngine::new(&np, 10, 10_000.0)
     }
@@ -183,7 +178,7 @@ mod tests {
         assert!(e.try_start_batch(0.0).is_none(), "no work, no batch");
         e.enqueue(decode_item(1));
         let done = e.try_start_batch(0.0).unwrap();
-        assert!(done > BATCH_OVERHEAD_SECS);
+        assert!(done > helix_core::exec_model::BATCH_OVERHEAD_SECS);
         assert!(e.is_busy());
         // More work arrives while busy; no new batch can start.
         e.enqueue(decode_item(2));
@@ -219,10 +214,8 @@ mod tests {
 
     #[test]
     fn kv_accounting_and_overflow_penalty() {
-        let profile = ClusterProfile::analytic(
-            ClusterSpec::solver_quality_10(),
-            ModelConfig::llama_30b(),
-        );
+        let profile =
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
         let np = profile.node_profile(NodeId(0)).clone();
         let mut small = NodeEngine::new(&np, 10, 50.0);
         let mut big = NodeEngine::new(&np, 10, 1e9);
@@ -237,7 +230,10 @@ mod tests {
         }
         let slow = small.try_start_batch(0.0).unwrap();
         let fast = big.try_start_batch(0.0).unwrap();
-        assert!(slow > fast * 2.0, "overflowing KV cache should slow the batch down");
+        assert!(
+            slow > fast * 2.0,
+            "overflowing KV cache should slow the batch down"
+        );
         assert_eq!(small.kv_used_tokens(), 200.0);
         small.complete_batch();
         small.release_request(1);

@@ -9,14 +9,8 @@ use std::collections::BinaryHeap;
 /// Simulation time in seconds since the start of the run.
 pub type SimTime = f64;
 
-/// Phase of an LLM request iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Phase {
-    /// Prompt processing (all prompt tokens in one pass).
-    Prompt,
-    /// One decode iteration (a single new token).
-    Decode,
-}
+/// Phase of an LLM request iteration (the shared execution-model type).
+pub use helix_core::exec_model::Phase;
 
 /// A unit of work delivered to a compute node: process `tokens` tokens of a
 /// request through `layers`.
@@ -112,8 +106,15 @@ impl EventQueue {
 
     /// Schedules `event` at absolute time `time`.
     pub fn push(&mut self, time: SimTime, event: Event) {
-        debug_assert!(time.is_finite() && time >= 0.0, "event scheduled at invalid time {time}");
-        self.heap.push(ScheduledEvent { time, sequence: self.sequence, event });
+        debug_assert!(
+            time.is_finite() && time >= 0.0,
+            "event scheduled at invalid time {time}"
+        );
+        self.heap.push(ScheduledEvent {
+            time,
+            sequence: self.sequence,
+            event,
+        });
         self.sequence += 1;
     }
 

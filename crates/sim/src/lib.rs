@@ -17,7 +17,9 @@
 //!   soon as the node is idle and includes everything that arrived while the
 //!   previous batch was executing;
 //! * prompt and decode phases have different per-token costs (prompt is
-//!   compute-bound, decode memory-bound);
+//!   compute-bound, decode memory-bound), with all costs coming from the
+//!   shared [`helix_core::exec_model`] — the same model the prototype
+//!   runtime executes against, so the two can never drift;
 //! * network links are FIFO queues with finite bandwidth and latency, so slow
 //!   links can and do congest (§6.7's case study);
 //! * each node's KV cache is finite; exceeding it forces (simulated)
@@ -29,7 +31,7 @@
 //!
 //! ```rust
 //! use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
-//! use helix_core::{heuristics, IwrrScheduler};
+//! use helix_core::{heuristics, IwrrScheduler, Topology};
 //! use helix_sim::{ClusterSimulator, SimulationConfig};
 //! use helix_workload::{ArrivalPattern, Workload};
 //!
@@ -38,9 +40,11 @@
 //!     ModelConfig::llama_30b(),
 //! );
 //! let placement = heuristics::petals_placement(&profile).unwrap();
-//! let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
+//! // One planning artifact feeds the scheduler and the simulator alike.
+//! let topology = Topology::plan(&profile, &placement, true).unwrap();
+//! let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
 //! let workload = Workload::azure_like(50, 1).with_arrivals(ArrivalPattern::Offline, 2);
-//! let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
+//! let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
 //! let metrics = sim.run(&workload, SimulationConfig::offline(60.0));
 //! assert!(metrics.decode_throughput() > 0.0);
 //! ```
@@ -56,12 +60,3 @@ pub use event::{Event, EventQueue, SimTime};
 pub use metrics::{LatencyStats, LinkStats, Metrics};
 pub use network::LinkQueue;
 pub use simulator::{ClusterSimulator, SimulationConfig};
-
-/// Fixed per-batch overhead in seconds (kernel launches, batching bookkeeping,
-/// framework overhead).  Penalises very deep pipelines and tiny batches the
-/// same way a real serving stack does.
-pub const BATCH_OVERHEAD_SECS: f64 = 0.015;
-
-/// Multiplier applied to a node's batch execution time while its KV cache is
-/// over capacity (requests must be offloaded to host memory, §5.2).
-pub const KV_OVERFLOW_PENALTY: f64 = 4.0;

@@ -28,7 +28,15 @@ impl LatencyStats {
     /// empty slice.
     pub fn from_samples(samples: &[f64]) -> Self {
         if samples.is_empty() {
-            return LatencyStats { count: 0, mean: 0.0, p5: 0.0, p25: 0.0, p50: 0.0, p75: 0.0, p95: 0.0 };
+            return LatencyStats {
+                count: 0,
+                mean: 0.0,
+                p5: 0.0,
+                p25: 0.0,
+                p50: 0.0,
+                p75: 0.0,
+                p95: 0.0,
+            };
         }
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -147,7 +155,10 @@ mod tests {
         assert!((m.avg_prompt_latency() - 1.5).abs() < 1e-12);
         assert!((m.avg_decode_latency() - 0.1).abs() < 1e-12);
         assert!(m.most_congested_links(3).is_empty());
-        let zero = Metrics { measured_seconds: 0.0, ..m };
+        let zero = Metrics {
+            measured_seconds: 0.0,
+            ..m
+        };
         assert_eq!(zero.decode_throughput(), 0.0);
     }
 }

@@ -5,7 +5,7 @@ use crate::event::{Event, EventQueue, Phase, RequestState, SimTime, WorkItem};
 use crate::metrics::{LatencyStats, LinkStats, Metrics};
 use crate::network::LinkQueue;
 use helix_cluster::{ClusterProfile, NodeId, TOKEN_WIRE_BYTES};
-use helix_core::{ClusterState, ModelPlacement, Scheduler};
+use helix_core::{ClusterState, ModelPlacement, Scheduler, Topology};
 use helix_workload::{Request, RequestId, Workload};
 use std::collections::{HashMap, VecDeque};
 
@@ -80,7 +80,10 @@ impl ClusterState for StateSnapshot {
         self.kv_used.get(&node).copied().unwrap_or(0.0)
     }
     fn kv_capacity_tokens(&self, node: NodeId) -> f64 {
-        self.kv_capacity.get(&node).copied().unwrap_or(f64::INFINITY)
+        self.kv_capacity
+            .get(&node)
+            .copied()
+            .unwrap_or(f64::INFINITY)
     }
 }
 
@@ -88,6 +91,7 @@ impl ClusterState for StateSnapshot {
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
 pub struct ClusterSimulator<'a> {
+    topology: &'a Topology,
     profile: &'a ClusterProfile,
     placement: ModelPlacement,
     scheduler: Box<dyn Scheduler>,
@@ -96,34 +100,42 @@ pub struct ClusterSimulator<'a> {
 }
 
 impl<'a> ClusterSimulator<'a> {
-    /// Creates a simulator for one (profile, placement, scheduler) triple.
-    pub fn new(
-        profile: &'a ClusterProfile,
-        placement: &ModelPlacement,
-        scheduler: Box<dyn Scheduler>,
-    ) -> Self {
-        let engines = placement
-            .iter()
-            .map(|(node, range)| {
-                let kv_capacity = profile.kv_capacity_tokens(node, range.len());
-                let engine = NodeEngine::new(profile.node_profile(node), range.len(), kv_capacity);
-                (node, engine)
+    /// Creates a simulator for one (topology, scheduler) pair.  Node
+    /// engines, layer counts and KV capacities all come from the shared
+    /// planning artifact, so the simulator sees exactly the cluster the
+    /// planner evaluated.
+    pub fn new(topology: &'a Topology, scheduler: Box<dyn Scheduler>) -> Self {
+        let profile = topology.profile();
+        let engines = topology
+            .nodes()
+            .map(|n| {
+                let engine = NodeEngine::new(
+                    profile.node_profile(n.node),
+                    n.layers.len(),
+                    n.kv_capacity_tokens,
+                );
+                (n.node, engine)
             })
             .collect();
         ClusterSimulator {
+            topology,
             profile,
-            placement: placement.clone(),
+            placement: topology.placement().clone(),
             scheduler,
             engines,
             links: HashMap::new(),
         }
     }
 
+    /// The topology the simulator is running.
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
     /// Runs the simulation of `workload` and returns the measured metrics.
     pub fn run(&mut self, workload: &Workload, config: SimulationConfig) -> Metrics {
         let mut queue = EventQueue::new();
-        let specs: HashMap<RequestId, Request> =
-            workload.iter().map(|r| (r.id, *r)).collect();
+        let specs: HashMap<RequestId, Request> = workload.iter().map(|r| (r.id, *r)).collect();
         for r in workload.iter() {
             queue.push(r.arrival_time, Event::RequestArrival { request: r.id });
         }
@@ -181,7 +193,9 @@ impl<'a> ClusterSimulator<'a> {
                     }
                 }
                 Event::TokenAtCoordinator { request, phase: _ } => {
-                    let Some(state) = states.get_mut(&request) else { continue };
+                    let Some(state) = states.get_mut(&request) else {
+                        continue;
+                    };
                     state.generated += 1;
                     let in_window = now >= config.warmup_secs;
                     if in_window {
@@ -213,13 +227,19 @@ impl<'a> ClusterSimulator<'a> {
                         active = active.saturating_sub(1);
                         if let Some(next) = backlog.pop_front() {
                             self.admit_request(
-                                next, &specs, &mut states, &mut queue, now, &mut active,
+                                next,
+                                &specs,
+                                &mut states,
+                                &mut queue,
+                                now,
+                                &mut active,
                             );
                         }
                     } else {
                         // Schedule the next decode iteration over the same pipeline.
                         let first = state.pipeline.stages[0];
-                        let arrival = self.link_transfer(None, Some(first.node), now, TOKEN_WIRE_BYTES);
+                        let arrival =
+                            self.link_transfer(None, Some(first.node), now, TOKEN_WIRE_BYTES);
                         queue.push(
                             arrival,
                             Event::NodeArrival {
@@ -289,7 +309,12 @@ impl<'a> ClusterSimulator<'a> {
             kv_used.insert(node, engine.kv_used_tokens());
             kv_capacity.insert(node, engine.kv_capacity_tokens());
         }
-        StateSnapshot { queue_len, throughput, kv_used, kv_capacity }
+        StateSnapshot {
+            queue_len,
+            throughput,
+            kv_used,
+            kv_capacity,
+        }
     }
 
     fn admit_request(
@@ -301,7 +326,9 @@ impl<'a> ClusterSimulator<'a> {
         now: SimTime,
         active: &mut usize,
     ) {
-        let Some(spec) = specs.get(&request).copied() else { return };
+        let Some(spec) = specs.get(&request).copied() else {
+            return;
+        };
         let snapshot = self.snapshot();
         match self.scheduler.schedule(&snapshot) {
             Ok(pipeline) => {
@@ -352,7 +379,9 @@ impl<'a> ClusterSimulator<'a> {
         queue: &mut EventQueue,
         now: SimTime,
     ) {
-        let Some(state) = states.get(&item.request) else { return };
+        let Some(state) = states.get(&item.request) else {
+            return;
+        };
         let next_index = item.stage_index + 1;
         if next_index < state.pipeline.stages.len() {
             let next = state.pipeline.stages[next_index];
@@ -374,7 +403,13 @@ impl<'a> ClusterSimulator<'a> {
         } else {
             // Last stage: the generated token returns to the coordinator.
             let arrival = self.link_transfer(Some(node), None, now, TOKEN_WIRE_BYTES);
-            queue.push(arrival, Event::TokenAtCoordinator { request: item.request, phase: item.phase });
+            queue.push(
+                arrival,
+                Event::TokenAtCoordinator {
+                    request: item.request,
+                    phase: item.phase,
+                },
+            );
         }
     }
 
@@ -405,6 +440,11 @@ mod tests {
         ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b())
     }
 
+    fn petals_topology(profile: &ClusterProfile) -> Topology {
+        let placement = heuristics::petals_placement(profile).unwrap();
+        Topology::plan(profile, &placement, true).unwrap()
+    }
+
     fn small_workload(n: usize) -> Workload {
         // Short requests keep the unit tests quick.
         let config = helix_workload::AzureTraceConfig {
@@ -414,23 +454,25 @@ mod tests {
             max_output_tokens: 64,
             ..Default::default()
         };
-        config.generate(n, 3).with_arrivals(ArrivalPattern::Offline, 4)
+        config
+            .generate(n, 3)
+            .with_arrivals(ArrivalPattern::Offline, 4)
     }
 
     #[test]
     fn simulation_completes_requests_and_reports_metrics() {
         let profile = small_profile();
-        let placement = heuristics::petals_placement(&profile).unwrap();
-        let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
+        let topology = petals_topology(&profile);
+        let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
         let workload = small_workload(40);
-        let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
+        let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
         let metrics = sim.run(&workload, SimulationConfig::offline(120.0).with_warmup(0.0));
         assert!(metrics.decode_throughput() > 0.0);
         assert!(metrics.completed_requests > 0);
         assert!(metrics.avg_prompt_latency() > 0.0);
         assert!(metrics.avg_decode_latency() > 0.0);
         // Utilisation values are sane.
-        for (_, u) in &metrics.node_utilization {
+        for u in metrics.node_utilization.values() {
             assert!(*u >= 0.0 && *u <= 1.0);
         }
         assert!(!metrics.link_stats.is_empty());
@@ -439,13 +481,13 @@ mod tests {
     #[test]
     fn online_arrivals_produce_lower_latency_than_saturation() {
         let profile = small_profile();
-        let placement = heuristics::petals_placement(&profile).unwrap();
+        let topology = petals_topology(&profile);
         let workload_sat = small_workload(60);
-        let workload_light = small_workload(60)
-            .with_arrivals(ArrivalPattern::constant_rate(0.5), 5);
+        let workload_light =
+            small_workload(60).with_arrivals(ArrivalPattern::constant_rate(0.5), 5);
         let run = |w: &Workload| {
-            let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
-            let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
+            let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+            let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
             sim.run(w, SimulationConfig::online(200.0).with_warmup(0.0))
         };
         let saturated = run(&workload_sat);
@@ -461,12 +503,16 @@ mod tests {
     #[test]
     fn admission_limit_throttles_concurrency() {
         let profile = small_profile();
-        let placement = heuristics::petals_placement(&profile).unwrap();
-        let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
+        let topology = petals_topology(&profile);
+        let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
         let workload = small_workload(30);
-        let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
-        let metrics =
-            sim.run(&workload, SimulationConfig::offline(120.0).with_warmup(0.0).with_admission_limit(2));
+        let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
+        let metrics = sim.run(
+            &workload,
+            SimulationConfig::offline(120.0)
+                .with_warmup(0.0)
+                .with_admission_limit(2),
+        );
         assert!(metrics.completed_requests > 0);
     }
 
@@ -474,14 +520,15 @@ mod tests {
     fn different_schedulers_run_on_the_same_placement() {
         let profile = small_profile();
         let placement = heuristics::swarm_placement(&profile).unwrap();
+        let topology = Topology::plan(&profile, &placement, true).unwrap();
         let workload = small_workload(25);
         let schedulers: Vec<Box<dyn Scheduler>> = vec![
-            Box::new(IwrrScheduler::from_placement(&profile, &placement, true).unwrap()),
-            Box::new(SwarmScheduler::new(&profile, &placement, true)),
-            Box::new(RandomScheduler::new(&profile, &placement, true, 11)),
+            Box::new(IwrrScheduler::from_topology(&topology).unwrap()),
+            Box::new(SwarmScheduler::new(&topology)),
+            Box::new(RandomScheduler::new(&topology, 11)),
         ];
         for scheduler in schedulers {
-            let mut sim = ClusterSimulator::new(&profile, &placement, scheduler);
+            let mut sim = ClusterSimulator::new(&topology, scheduler);
             let metrics = sim.run(&workload, SimulationConfig::offline(90.0).with_warmup(0.0));
             assert!(metrics.decode_tokens > 0);
         }
@@ -490,12 +537,20 @@ mod tests {
     #[test]
     fn warmup_window_excludes_early_tokens() {
         let profile = small_profile();
-        let placement = heuristics::petals_placement(&profile).unwrap();
+        let topology = petals_topology(&profile);
         let workload = small_workload(40);
         let run = |warmup: f64| {
-            let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
-            let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
-            sim.run(&workload, SimulationConfig { warmup_secs: warmup, duration_secs: 60.0, admission_limit: 64, max_events: 10_000_000 })
+            let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+            let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
+            sim.run(
+                &workload,
+                SimulationConfig {
+                    warmup_secs: warmup,
+                    duration_secs: 60.0,
+                    admission_limit: 64,
+                    max_events: 10_000_000,
+                },
+            )
         };
         let with_warmup = run(30.0);
         let without = run(0.0);

@@ -1,7 +1,7 @@
 //! Simulator conservation and determinism tests.
 
 use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
-use helix_core::{heuristics, IwrrScheduler};
+use helix_core::{heuristics, IwrrScheduler, Topology};
 use helix_sim::{ClusterSimulator, SimulationConfig};
 use helix_workload::{ArrivalPattern, AzureTraceConfig, Workload};
 
@@ -24,8 +24,9 @@ fn workload(n: usize, seed: u64) -> Workload {
 fn run(w: &Workload, duration: f64) -> helix_sim::Metrics {
     let profile = profile();
     let placement = heuristics::petals_placement(&profile).unwrap();
-    let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
-    let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+    let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
     sim.run(w, SimulationConfig::offline(duration).with_warmup(0.0))
 }
 

@@ -72,7 +72,11 @@ impl ArrivalPattern {
                     r.arrival_time = t;
                 }
             }
-            ArrivalPattern::Diurnal { mean_rate_per_sec, amplitude, period_secs } => {
+            ArrivalPattern::Diurnal {
+                mean_rate_per_sec,
+                amplitude,
+                period_secs,
+            } => {
                 // Thinning-free approach: integrate the time-varying rate by
                 // stepping one expected inter-arrival at a time at the local
                 // rate.
@@ -110,7 +114,10 @@ mod tests {
         let w = Workload::azure_like(n, 1).with_arrivals(ArrivalPattern::constant_rate(rate), 3);
         let span = w.requests().last().unwrap().arrival_time;
         let empirical_rate = n as f64 / span;
-        assert!((empirical_rate - rate).abs() < rate * 0.1, "empirical {empirical_rate}");
+        assert!(
+            (empirical_rate - rate).abs() < rate * 0.1,
+            "empirical {empirical_rate}"
+        );
     }
 
     #[test]
@@ -123,8 +130,12 @@ mod tests {
         let w = Workload::azure_like(12_000, 1).with_arrivals(pattern, 4);
         let stats = w.statistics();
         // Arrival counts per minute should vary noticeably across the trace.
-        let counts: Vec<usize> =
-            stats.arrivals_per_minute.iter().copied().filter(|&c| c > 0).collect();
+        let counts: Vec<usize> = stats
+            .arrivals_per_minute
+            .iter()
+            .copied()
+            .filter(|&c| c > 0)
+            .collect();
         let max = *counts.iter().max().unwrap() as f64;
         let min = *counts.iter().min().unwrap() as f64;
         assert!(max > min * 1.5, "max {max} min {min}");
@@ -135,7 +146,9 @@ mod tests {
         let fast = ArrivalPattern::online(10_000.0, 232.0, 0.75);
         let slow = ArrivalPattern::online(1_000.0, 232.0, 0.75);
         let rate = |p: ArrivalPattern| match p {
-            ArrivalPattern::Diurnal { mean_rate_per_sec, .. } => mean_rate_per_sec,
+            ArrivalPattern::Diurnal {
+                mean_rate_per_sec, ..
+            } => mean_rate_per_sec,
             _ => unreachable!(),
         };
         assert!(rate(fast) > rate(slow) * 5.0);

@@ -50,9 +50,16 @@ impl AzureTraceConfig {
         // A log-normal with parameters (mu, sigma) has mean exp(mu + sigma^2/2).
         // Capping at max reduces the realised mean, so aim slightly above the
         // target and rely on the calibration test to keep us honest.
-        let input_mu = self.calibrated_mu(self.mean_input_tokens, self.input_sigma, self.max_input_tokens);
-        let output_mu =
-            self.calibrated_mu(self.mean_output_tokens, self.output_sigma, self.max_output_tokens);
+        let input_mu = self.calibrated_mu(
+            self.mean_input_tokens,
+            self.input_sigma,
+            self.max_input_tokens,
+        );
+        let output_mu = self.calibrated_mu(
+            self.mean_output_tokens,
+            self.output_sigma,
+            self.max_output_tokens,
+        );
         let input_dist = LogNormal::new(input_mu, self.input_sigma).expect("sigma is positive");
         let output_dist = LogNormal::new(output_mu, self.output_sigma).expect("sigma is positive");
         let requests = (0..n)
@@ -104,8 +111,16 @@ mod tests {
     fn default_configuration_hits_target_means() {
         let w = AzureTraceConfig::default().generate(8000, 11);
         let stats = w.statistics();
-        assert!((stats.mean_input_tokens - 763.0).abs() < 60.0, "{}", stats.mean_input_tokens);
-        assert!((stats.mean_output_tokens - 232.0).abs() < 25.0, "{}", stats.mean_output_tokens);
+        assert!(
+            (stats.mean_input_tokens - 763.0).abs() < 60.0,
+            "{}",
+            stats.mean_input_tokens
+        );
+        assert!(
+            (stats.mean_output_tokens - 232.0).abs() < 25.0,
+            "{}",
+            stats.mean_output_tokens
+        );
     }
 
     #[test]

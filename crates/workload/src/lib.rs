@@ -192,12 +192,22 @@ mod tests {
         let stats = w.statistics();
         assert_eq!(stats.num_requests, 16_657);
         // Paper: average input 763, average output 232, caps 2048/1024.
-        assert!((stats.mean_input_tokens - 763.0).abs() < 60.0, "{}", stats.mean_input_tokens);
-        assert!((stats.mean_output_tokens - 232.0).abs() < 25.0, "{}", stats.mean_output_tokens);
+        assert!(
+            (stats.mean_input_tokens - 763.0).abs() < 60.0,
+            "{}",
+            stats.mean_input_tokens
+        );
+        assert!(
+            (stats.mean_output_tokens - 232.0).abs() < 25.0,
+            "{}",
+            stats.mean_output_tokens
+        );
         assert!(stats.max_input_tokens <= 2048);
         assert!(stats.max_output_tokens <= 1024);
         // Every request has at least one prompt token and one output token.
-        assert!(w.iter().all(|r| r.prompt_tokens >= 1 && r.output_tokens >= 1));
+        assert!(w
+            .iter()
+            .all(|r| r.prompt_tokens >= 1 && r.output_tokens >= 1));
     }
 
     #[test]

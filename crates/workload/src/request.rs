@@ -37,7 +37,12 @@ mod tests {
 
     #[test]
     fn total_tokens_adds_prompt_and_output() {
-        let r = Request { id: 1, prompt_tokens: 100, output_tokens: 50, arrival_time: 0.0 };
+        let r = Request {
+            id: 1,
+            prompt_tokens: 100,
+            output_tokens: 50,
+            arrival_time: 0.0,
+        };
         assert_eq!(r.total_tokens(), 150);
     }
 }

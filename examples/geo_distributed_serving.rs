@@ -11,14 +11,14 @@
 
 use helix::prelude::*;
 
-fn simulate(
-    profile: &ClusterProfile,
-    placement: &ModelPlacement,
-    scheduler: Box<dyn Scheduler>,
-    workload: &Workload,
-) -> Metrics {
-    let mut sim = ClusterSimulator::new(profile, placement, scheduler);
-    sim.run(workload, SimulationConfig::offline(240.0))
+fn simulate(topology: &Topology, scheduler: Box<dyn Scheduler>, workload: &Workload) -> Metrics {
+    let mut sim = ClusterSimulator::new(topology, scheduler);
+    // Admission capped below the cluster's KV budget (see §5.2): the offline
+    // default of 512 concurrent conversations would saturate every KV cache.
+    sim.run(
+        workload,
+        SimulationConfig::offline(240.0).with_admission_limit(64),
+    )
 }
 
 fn main() {
@@ -36,38 +36,53 @@ fn main() {
 
     // Helix placement: flow-guided search (the MILP planner behaves the same
     // way but needs a longer budget at this cluster size).
-    let planner = FlowAnnealingPlanner::new(&profile)
-        .with_options(AnnealingOptions { iterations: 3000, ..Default::default() });
+    let planner = FlowAnnealingPlanner::new(&profile).with_options(AnnealingOptions {
+        iterations: 3000,
+        ..Default::default()
+    });
     let (helix_placement, helix_flow) = planner.solve().expect("helix placement");
     println!("helix placement max-flow: {:.0} tokens/s", helix_flow);
-    println!("helix pipeline depth: {}", helix_placement.pipeline_depth(profile.model().num_layers));
+    println!(
+        "helix pipeline depth: {}",
+        helix_placement.pipeline_depth(profile.model().num_layers)
+    );
 
-    // Baseline placements.
+    // Baseline placements, each planned once into a Topology.
     let swarm_placement = heuristics::swarm_placement(&profile).expect("swarm placement");
     let sp_placement = heuristics::separate_pipelines_placement(&profile).expect("sp placement");
-    println!("swarm pipeline depth: {}", swarm_placement.pipeline_depth(profile.model().num_layers));
+    println!(
+        "swarm pipeline depth: {}",
+        swarm_placement.pipeline_depth(profile.model().num_layers)
+    );
 
-    println!("\n{:<28} {:>12} {:>12} {:>12}", "system", "tokens/s", "prompt (s)", "decode (s)");
-    let rows: Vec<(&str, &ModelPlacement, Box<dyn Scheduler>)> = vec![
+    let helix_topology = Topology::plan(&profile, &helix_placement, true).unwrap();
+    let swarm_topology = Topology::plan(&profile, &swarm_placement, true).unwrap();
+    let sp_topology = Topology::plan(&profile, &sp_placement, true).unwrap();
+
+    println!(
+        "\n{:<28} {:>12} {:>12} {:>12}",
+        "system", "tokens/s", "prompt (s)", "decode (s)"
+    );
+    let rows: Vec<(&str, &Topology, Box<dyn Scheduler>)> = vec![
         (
             "helix (iwrr)",
-            &helix_placement,
-            Box::new(IwrrScheduler::from_placement(&profile, &helix_placement, true).unwrap()),
+            &helix_topology,
+            Box::new(IwrrScheduler::from_topology(&helix_topology).unwrap()),
         ),
         (
             "swarm (throughput sched)",
-            &swarm_placement,
-            Box::new(SwarmScheduler::new(&profile, &swarm_placement, true)),
+            &swarm_topology,
+            Box::new(SwarmScheduler::new(&swarm_topology)),
         ),
         (
             "separate pipelines",
-            &sp_placement,
-            Box::new(IwrrScheduler::from_placement(&profile, &sp_placement, true).unwrap()),
+            &sp_topology,
+            Box::new(IwrrScheduler::from_topology(&sp_topology).unwrap()),
         ),
     ];
     let mut helix_metrics: Option<Metrics> = None;
-    for (name, placement, scheduler) in rows {
-        let metrics = simulate(&profile, placement, scheduler, &workload);
+    for (name, topology, scheduler) in rows {
+        let metrics = simulate(topology, scheduler, &workload);
         println!(
             "{:<28} {:>12.1} {:>12.2} {:>12.3}",
             name,

@@ -27,8 +27,7 @@ fn main() {
         let graph = builder.build(placement).expect("placement is valid");
         let flow = graph.max_flow();
         let utilization = graph.node_utilization(&flow);
-        let fully_used =
-            utilization.values().filter(|&&u| u > 0.9).count();
+        let fully_used = utilization.values().filter(|&&u| u > 0.9).count();
         println!(
             "{:<22} max-flow {:>8.0} tokens/s | depth {:>2} | {}/{} nodes >90% utilised",
             name,
@@ -47,8 +46,10 @@ fn main() {
     let petals_flow = report("petals placement", &petals);
     report("separate pipelines", &sp);
 
-    let planner = FlowAnnealingPlanner::new(&profile)
-        .with_options(AnnealingOptions { iterations: 4000, ..Default::default() });
+    let planner = FlowAnnealingPlanner::new(&profile).with_options(AnnealingOptions {
+        iterations: 4000,
+        ..Default::default()
+    });
     let (helix_placement, helix_flow) = planner.solve().expect("helix placement");
     report("helix placement", &helix_placement);
 
@@ -79,10 +80,8 @@ fn main() {
     if run_milp {
         // The exact MILP planner on the small solver-quality cluster (§6.9).
         println!("\nrunning the exact MILP planner on the 10-node study cluster…");
-        let small = ClusterProfile::analytic(
-            ClusterSpec::solver_quality_10(),
-            ModelConfig::llama_30b(),
-        );
+        let small =
+            ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
         let mut planner = MilpPlacementPlanner::new(&small)
             .prune_to_degree(6)
             .time_limit(Duration::from_secs(60))
@@ -97,7 +96,11 @@ fn main() {
                     report.nodes_explored,
                     report.solve_seconds
                 );
-                println!("  placement uses {} of {} nodes", placement.num_assigned(), small.cluster().num_nodes());
+                println!(
+                    "  placement uses {} of {} nodes",
+                    placement.num_assigned(),
+                    small.cluster().num_nodes()
+                );
             }
             Err(e) => println!("  MILP planner failed: {e}"),
         }

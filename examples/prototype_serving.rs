@@ -19,13 +19,29 @@ fn print_report(label: &str, report: &RuntimeReport) {
     let decode = report.decode_latency();
     println!("\n== {label} ==");
     println!("  completed requests : {}", report.completed());
-    println!("  decode throughput  : {:.1} tokens/s", report.decode_throughput());
-    println!("  prompt latency     : mean {:.2}s  p95 {:.2}s", prompt.mean, prompt.p95);
-    println!("  decode latency     : mean {:.3}s/token  p95 {:.3}s/token", decode.mean, decode.p95);
-    println!("  wall-clock         : {:.2}s for {:.1} virtual seconds", report.wall_seconds, report.makespan);
+    println!(
+        "  decode throughput  : {:.1} tokens/s",
+        report.decode_throughput()
+    );
+    println!(
+        "  prompt latency     : mean {:.2}s  p95 {:.2}s",
+        prompt.mean, prompt.p95
+    );
+    println!(
+        "  decode latency     : mean {:.3}s/token  p95 {:.3}s/token",
+        decode.mean, decode.p95
+    );
+    println!(
+        "  wall-clock         : {:.2}s for {:.1} virtual seconds",
+        report.wall_seconds, report.makespan
+    );
     println!("  node utilisation (top 5 by busy time):");
     let mut nodes = report.nodes.clone();
-    nodes.sort_by(|a, b| b.busy_secs.partial_cmp(&a.busy_secs).unwrap_or(std::cmp::Ordering::Equal));
+    nodes.sort_by(|a, b| {
+        b.busy_secs
+            .partial_cmp(&a.busy_secs)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     for node in nodes.iter().take(5) {
         println!(
             "    {:<12} {:>2} layers  busy {:>5.1}s ({:>4.0}% of run)  kv peak {:>3.0}%",
@@ -38,7 +54,10 @@ fn print_report(label: &str, report: &RuntimeReport) {
     }
     println!("  most congested links:");
     for link in report.most_congested_links(3) {
-        let name = |e: Option<NodeId>| e.map(|n| format!("node {}", n.index())).unwrap_or_else(|| "coordinator".to_string());
+        let name = |e: Option<NodeId>| {
+            e.map(|n| format!("node {}", n.index()))
+                .unwrap_or_else(|| "coordinator".to_string())
+        };
         println!(
             "    {:<12} -> {:<12} {:>6} msgs  mean queueing {:.3}s",
             name(link.from),
@@ -52,12 +71,16 @@ fn print_report(label: &str, report: &RuntimeReport) {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The 10-node cluster (4 L4 + 6 T4) from the paper's solver-quality study
     // keeps the example fast while still being heterogeneous.
-    let profile = ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
+    let profile =
+        ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
 
     // Plan a placement with the flow-guided annealing planner (the MILP
     // planner finds the same placement but needs a longer budget).
     let (placement, planned_throughput) = FlowAnnealingPlanner::new(&profile)
-        .with_options(AnnealingOptions { iterations: 800, ..Default::default() })
+        .with_options(AnnealingOptions {
+            iterations: 800,
+            ..Default::default()
+        })
         .solve()?;
     println!(
         "planned placement: {} nodes assigned, planner estimates {:.1} tokens/s",
@@ -80,19 +103,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let workload = Workload::new(requests);
 
-    let config = RuntimeConfig { wall_per_virtual: 0.001, ..RuntimeConfig::default() };
+    let config = RuntimeConfig {
+        wall_per_virtual: 0.001,
+        ..RuntimeConfig::default()
+    };
+
+    // One Topology artifact feeds both runtimes and both schedulers.
+    let topology = Topology::plan(&profile, &placement, true)?;
 
     // Helix: IWRR scheduling weighted by the max-flow solution.
-    let helix_scheduler = IwrrScheduler::from_placement(&profile, &placement, true)?;
-    let helix_runtime =
-        ServingRuntime::new(&profile, &placement, Box::new(helix_scheduler), config.clone())?;
+    let helix_scheduler = IwrrScheduler::from_topology(&topology)?;
+    let helix_runtime = ServingRuntime::new(&topology, Box::new(helix_scheduler), config.clone())?;
     let helix_report = helix_runtime.serve(&workload)?;
     print_report("Helix (IWRR, max-flow weights)", &helix_report);
 
     // Baseline: random scheduling over the same placement.
-    let random_scheduler = RandomScheduler::new(&profile, &placement, true, 13);
-    let random_runtime =
-        ServingRuntime::new(&profile, &placement, Box::new(random_scheduler), config)?;
+    let random_scheduler = RandomScheduler::new(&topology, 13);
+    let random_runtime = ServingRuntime::new(&topology, Box::new(random_scheduler), config)?;
     let random_report = random_runtime.serve(&workload)?;
     print_report("Random scheduling baseline", &random_report);
 

@@ -24,9 +24,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         profile.model().name,
         profile.model().num_layers
     );
-    println!("throughput upper bound: {:.1} tokens/s\n", profile.throughput_upper_bound());
+    println!(
+        "throughput upper bound: {:.1} tokens/s\n",
+        profile.throughput_upper_bound()
+    );
 
-    let budget = AnnealingOptions { iterations: 1_500, ..Default::default() };
+    let budget = AnnealingOptions {
+        iterations: 1_500,
+        ..Default::default()
+    };
 
     // Monolithic planning: one annealing search over all 42 nodes.
     let (mono_placement, mono_throughput) = FlowAnnealingPlanner::new(&profile)
@@ -60,13 +66,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // The combined placement is a normal placement: verify its max flow and
-    // schedule against it.
+    // The combined placement is a normal placement: materialise it as a
+    // Topology and schedule against it.
     let combined = plan.combined_placement();
-    let graph = FlowGraphBuilder::new(&profile).build(&combined)?;
-    let flow = graph.max_flow();
-    println!("\ncombined placement max flow: {:.1} tokens/s", flow.value);
-    let scheduler = IwrrScheduler::from_placement(&profile, &combined, true)?;
+    let topology = Topology::plan(&profile, &combined, true)?;
+    println!(
+        "\ncombined placement max flow: {:.1} tokens/s",
+        topology.flow_value()
+    );
+    let scheduler = IwrrScheduler::from_topology(&topology)?;
     println!(
         "IWRR scheduler sees {} distinct pipelines through the combined placement",
         scheduler.num_pipelines_possible()

@@ -10,14 +10,19 @@
 use helix::prelude::*;
 
 fn main() {
-    let duration: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(240.0);
+    let duration: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(240.0);
     let profile =
         ClusterProfile::analytic(ClusterSpec::geo_distributed_24(), ModelConfig::llama2_70b());
 
     // One placement for everybody: the Helix flow-optimised placement, so the
     // comparison isolates the scheduling policy (as §6.7 does).
-    let planner = FlowAnnealingPlanner::new(&profile)
-        .with_options(AnnealingOptions { iterations: 3000, ..Default::default() });
+    let planner = FlowAnnealingPlanner::new(&profile).with_options(AnnealingOptions {
+        iterations: 3000,
+        ..Default::default()
+    });
     let (placement, flow) = planner.solve().expect("placement");
     println!(
         "fixed placement: max-flow {:.0} tokens/s, pipeline depth {}",
@@ -26,13 +31,26 @@ fn main() {
     );
 
     let workload = Workload::azure_like(800, 21).with_arrivals(ArrivalPattern::Offline, 5);
-    println!("workload: {} requests, offline, {:.0}s simulated\n", workload.len(), duration);
+    println!(
+        "workload: {} requests, offline, {:.0}s simulated\n",
+        workload.len(),
+        duration
+    );
 
+    // One Topology for everybody: all four schedulers and the simulator
+    // consume the same planning artifact.
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
     let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
-        ("helix iwrr", Box::new(IwrrScheduler::from_placement(&profile, &placement, true).unwrap())),
-        ("swarm", Box::new(SwarmScheduler::new(&profile, &placement, true))),
-        ("random", Box::new(RandomScheduler::new(&profile, &placement, true, 17))),
-        ("shortest queue", Box::new(ShortestQueueScheduler::new(&profile, &placement, true))),
+        (
+            "helix iwrr",
+            Box::new(IwrrScheduler::from_topology(&topology).unwrap()),
+        ),
+        ("swarm", Box::new(SwarmScheduler::new(&topology))),
+        ("random", Box::new(RandomScheduler::new(&topology, 17))),
+        (
+            "shortest queue",
+            Box::new(ShortestQueueScheduler::new(&topology)),
+        ),
     ];
 
     println!(
@@ -40,8 +58,14 @@ fn main() {
         "scheduler", "tokens/s", "prompt (s)", "decode (s)", "worst link (s)"
     );
     for (name, scheduler) in schedulers {
-        let mut sim = ClusterSimulator::new(&profile, &placement, scheduler);
-        let metrics = sim.run(&workload, SimulationConfig::offline(duration));
+        let mut sim = ClusterSimulator::new(&topology, scheduler);
+        // Admission capped below the cluster's KV budget (see §5.2): the
+        // offline default of 512 concurrent conversations would saturate
+        // every KV cache and stall all schedulers alike.
+        let metrics = sim.run(
+            &workload,
+            SimulationConfig::offline(duration).with_admission_limit(64),
+        );
         let worst_link = metrics
             .most_congested_links(1)
             .first()

@@ -31,12 +31,14 @@
 //! let (placement, throughput) = planner.solve().unwrap();
 //! assert!(throughput > 0.0);
 //!
-//! // 3. Build Helix's IWRR scheduler from the max-flow solution.
-//! let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
+//! // 3. Materialise the shared Topology artifact and build Helix's IWRR
+//! //    scheduler from its max-flow solution.
+//! let topology = Topology::plan(&profile, &placement, true).unwrap();
+//! let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
 //!
 //! // 4. Simulate serving a workload and read the metrics the paper reports.
 //! let workload = Workload::azure_like(50, 1).with_arrivals(ArrivalPattern::Offline, 2);
-//! let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
+//! let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
 //! let metrics = sim.run(&workload, SimulationConfig::offline(60.0));
 //! println!("decode throughput: {:.1} tokens/s", metrics.decode_throughput());
 //! ```
@@ -56,11 +58,11 @@ pub mod prelude {
         NetworkLink, NodeId, Region,
     };
     pub use helix_core::{
-        heuristics, AnnealingOptions, Endpoint, FlowAnnealingPlanner, FlowGraphBuilder,
-        HelixError, IwrrScheduler, KvCacheEstimator, LayerRange, MilpPlacementPlanner,
-        MilpPlannerReport, ModelPlacement, PipelineStage, PlacementFlowGraph, PlannerOptions,
-        RandomScheduler, RequestPipeline, Scheduler, SchedulerKind, ShortestQueueScheduler,
-        SwarmScheduler,
+        heuristics, AnnealingOptions, Endpoint, FlowAnnealingPlanner, FlowGraphBuilder, HelixError,
+        IwrrScheduler, KvCacheEstimator, LayerRange, MilpPlacementPlanner, MilpPlannerReport,
+        ModelPlacement, PipelineStage, PlacementFlowGraph, PlannerOptions, RandomScheduler,
+        RequestPipeline, Scheduler, SchedulerKind, ShortestQueueScheduler, SwarmScheduler,
+        Topology,
     };
     pub use helix_maxflow::{FlowNetwork, MaxFlowAlgorithm};
     pub use helix_milp::{MilpSolver, Model, ObjectiveSense, Sense, VarType};

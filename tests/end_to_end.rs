@@ -24,36 +24,40 @@ fn study_profile() -> ClusterProfile {
 #[test]
 fn full_stack_helix_pipeline_produces_consistent_metrics() {
     let profile = study_profile();
-    let planner = FlowAnnealingPlanner::new(&profile)
-        .with_options(AnnealingOptions { iterations: 600, ..Default::default() });
+    let planner = FlowAnnealingPlanner::new(&profile).with_options(AnnealingOptions {
+        iterations: 600,
+        ..Default::default()
+    });
     let (placement, planned_flow) = planner.solve().expect("planner finds a placement");
     placement.validate(&profile).expect("placement is valid");
     assert!(planned_flow > 0.0);
     assert!(planned_flow <= profile.throughput_upper_bound() * 1.0001);
 
-    // The flow graph agrees with the planner's reported throughput.
-    let graph = FlowGraphBuilder::new(&profile).build(&placement).unwrap();
-    let flow = graph.max_flow();
-    assert!((flow.value - planned_flow).abs() < 1e-6 * planned_flow.max(1.0));
+    // The shared Topology artifact agrees with the planner's reported
+    // throughput.
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    assert!((topology.flow_value() - planned_flow).abs() < 1e-6 * planned_flow.max(1.0));
 
     // The scheduler generates pipelines that cover the model and respect the
     // placement's valid connections.
-    let mut scheduler = IwrrScheduler::from_flow(&profile, &placement, &graph, &flow).unwrap();
+    let mut scheduler = IwrrScheduler::from_topology(&topology).unwrap();
     let state = helix::core::IdleClusterState;
     for _ in 0..50 {
         let pipeline = scheduler.schedule(&state).unwrap();
         assert!(pipeline.covers_model(profile.model().num_layers));
         for stage in &pipeline.stages {
-            let held = placement.range(stage.node).expect("stage nodes hold layers");
+            let held = placement
+                .range(stage.node)
+                .expect("stage nodes hold layers");
             assert!(held.start <= stage.layers.start && stage.layers.end == held.end);
         }
     }
 
     // Simulation completes requests and its throughput does not exceed the
     // max-flow bound by more than measurement noise.
-    let scheduler = IwrrScheduler::from_placement(&profile, &placement, true).unwrap();
+    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
     let workload = tiny_workload(60, 11);
-    let mut sim = ClusterSimulator::new(&profile, &placement, Box::new(scheduler));
+    let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
     let metrics = sim.run(&workload, SimulationConfig::offline(200.0).with_warmup(0.0));
     assert!(metrics.completed_requests > 0);
     assert!(metrics.decode_throughput() > 0.0);
@@ -69,15 +73,19 @@ fn full_stack_helix_pipeline_produces_consistent_metrics() {
 fn helix_placement_beats_swarm_placement_in_simulation() {
     let profile = study_profile();
     let workload = tiny_workload(80, 3);
-    let planner = FlowAnnealingPlanner::new(&profile)
-        .with_options(AnnealingOptions { iterations: 800, ..Default::default() });
+    let planner = FlowAnnealingPlanner::new(&profile).with_options(AnnealingOptions {
+        iterations: 800,
+        ..Default::default()
+    });
     let (helix_placement, _) = planner.solve().unwrap();
     let swarm_placement = heuristics::swarm_placement(&profile).unwrap();
 
     let run = |placement: &ModelPlacement| {
-        let scheduler = IwrrScheduler::from_placement(&profile, placement, true).unwrap();
-        let mut sim = ClusterSimulator::new(&profile, placement, Box::new(scheduler));
-        sim.run(&workload, SimulationConfig::offline(200.0).with_warmup(0.0)).decode_throughput()
+        let topology = Topology::plan(&profile, placement, true).unwrap();
+        let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+        let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
+        sim.run(&workload, SimulationConfig::offline(200.0).with_warmup(0.0))
+            .decode_throughput()
     };
     let helix_tps = run(&helix_placement);
     let swarm_tps = run(&swarm_placement);
@@ -102,13 +110,15 @@ fn milp_planner_and_annealing_agree_on_a_tiny_cluster() {
     model.num_layers = 6;
     let profile = ClusterProfile::analytic(cluster, model);
 
-    let mut milp = MilpPlacementPlanner::new(&profile)
-        .time_limit(std::time::Duration::from_secs(20));
+    let mut milp =
+        MilpPlacementPlanner::new(&profile).time_limit(std::time::Duration::from_secs(20));
     let (milp_placement, milp_report) = milp.solve().expect("milp solves the tiny cluster");
     milp_placement.validate(&profile).unwrap();
 
-    let annealing = FlowAnnealingPlanner::new(&profile)
-        .with_options(AnnealingOptions { iterations: 1500, ..Default::default() });
+    let annealing = FlowAnnealingPlanner::new(&profile).with_options(AnnealingOptions {
+        iterations: 1500,
+        ..Default::default()
+    });
     let (_, annealing_flow) = annealing.solve().unwrap();
 
     assert!(milp_report.objective_tokens_per_sec > 0.0);
@@ -126,8 +136,10 @@ fn geo_distributed_cluster_prefers_shallower_pipelines() {
     // pipeline stages than Swarm's equal partitioning.
     let profile =
         ClusterProfile::analytic(ClusterSpec::geo_distributed_24(), ModelConfig::llama2_70b());
-    let planner = FlowAnnealingPlanner::new(&profile)
-        .with_options(AnnealingOptions { iterations: 800, ..Default::default() });
+    let planner = FlowAnnealingPlanner::new(&profile).with_options(AnnealingOptions {
+        iterations: 800,
+        ..Default::default()
+    });
     let (helix_placement, _) = planner.solve().unwrap();
     let swarm_placement = heuristics::swarm_placement(&profile).unwrap();
     let num_layers = profile.model().num_layers;

@@ -44,8 +44,10 @@ fn helix_placement_dominates_heuristics_on_both_paper_clusters() {
         let profile = ClusterProfile::analytic(cluster, model);
         let swarm = evaluate_flow(&profile, &heuristics::swarm_placement(&profile).unwrap());
         let petals = evaluate_flow(&profile, &heuristics::petals_placement(&profile).unwrap());
-        let planner = FlowAnnealingPlanner::new(&profile)
-            .with_options(AnnealingOptions { iterations: 1500, ..Default::default() });
+        let planner = FlowAnnealingPlanner::new(&profile).with_options(AnnealingOptions {
+            iterations: 1500,
+            ..Default::default()
+        });
         let (_, helix_flow) = planner.solve().unwrap();
         assert!(
             helix_flow >= swarm * 1.2,
@@ -97,19 +99,27 @@ fn cluster_pruning_shrinks_the_milp_without_losing_much_throughput() {
     let profile =
         ClusterProfile::analytic(ClusterSpec::single_cluster_24(), ModelConfig::llama2_70b());
     let full_size = MilpPlacementPlanner::new(&profile).problem_size();
-    let pruned_size = MilpPlacementPlanner::new(&profile).prune_to_degree(12).problem_size();
+    let pruned_size = MilpPlacementPlanner::new(&profile)
+        .prune_to_degree(12)
+        .problem_size();
     assert!(pruned_size.0 < full_size.0 && pruned_size.1 < full_size.1);
 
     let placement = heuristics::petals_placement(&profile).unwrap();
-    let full_flow =
-        FlowGraphBuilder::new(&profile).build(&placement).unwrap().max_flow().value;
+    let full_flow = FlowGraphBuilder::new(&profile)
+        .build(&placement)
+        .unwrap()
+        .max_flow()
+        .value;
     let pruned_flow = FlowGraphBuilder::new(&profile)
         .prune_to_degree(12)
         .build(&placement)
         .unwrap()
         .max_flow()
         .value;
-    assert!(pruned_flow >= full_flow * 0.8, "pruned {pruned_flow} vs full {full_flow}");
+    assert!(
+        pruned_flow >= full_flow * 0.8,
+        "pruned {pruned_flow} vs full {full_flow}"
+    );
 }
 
 #[test]
@@ -132,7 +142,11 @@ fn upper_bound_is_respected_by_every_planner() {
         .flatten()
         {
             let flow = evaluate_flow(&profile, &placement);
-            assert!(flow <= bound * 1.0001, "{}: {flow} > bound {bound}", profile.cluster().name);
+            assert!(
+                flow <= bound * 1.0001,
+                "{}: {flow} > bound {bound}",
+                profile.cluster().name
+            );
         }
     }
 }
@@ -149,9 +163,21 @@ fn table1_reproduces_min_gpu_counts() {
     ];
     for (model, l4, a100, h100) in rows {
         let close = |got: usize, want: usize| got.abs_diff(want) <= 2;
-        assert!(close(model.min_gpus(24.0, 0.5), l4), "{} L4 count", model.name);
-        assert!(close(model.min_gpus(40.0, 0.5), a100), "{} A100 count", model.name);
-        assert!(close(model.min_gpus(80.0, 0.5), h100), "{} H100 count", model.name);
+        assert!(
+            close(model.min_gpus(24.0, 0.5), l4),
+            "{} L4 count",
+            model.name
+        );
+        assert!(
+            close(model.min_gpus(40.0, 0.5), a100),
+            "{} A100 count",
+            model.name
+        );
+        assert!(
+            close(model.min_gpus(80.0, 0.5), h100),
+            "{} H100 count",
+            model.name
+        );
     }
 }
 
@@ -162,8 +188,10 @@ fn iwrr_scheduling_avoids_congestion_better_than_random() {
     // cluster.
     let profile =
         ClusterProfile::analytic(ClusterSpec::geo_distributed_24(), ModelConfig::llama_30b());
-    let planner = FlowAnnealingPlanner::new(&profile)
-        .with_options(AnnealingOptions { iterations: 500, ..Default::default() });
+    let planner = FlowAnnealingPlanner::new(&profile).with_options(AnnealingOptions {
+        iterations: 500,
+        ..Default::default()
+    });
     let (placement, _) = planner.solve().unwrap();
     let workload = AzureTraceConfig {
         mean_input_tokens: 96.0,
@@ -175,15 +203,18 @@ fn iwrr_scheduling_avoids_congestion_better_than_random() {
     .generate(60, 5)
     .with_arrivals(ArrivalPattern::Offline, 6);
 
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
     let congestion = |scheduler: Box<dyn Scheduler>| {
-        let mut sim = ClusterSimulator::new(&profile, &placement, scheduler);
+        let mut sim = ClusterSimulator::new(&topology, scheduler);
         let metrics = sim.run(&workload, SimulationConfig::offline(150.0).with_warmup(0.0));
-        metrics.most_congested_links(1).first().map(|l| l.mean_queue_delay).unwrap_or(0.0)
+        metrics
+            .most_congested_links(1)
+            .first()
+            .map(|l| l.mean_queue_delay)
+            .unwrap_or(0.0)
     };
-    let iwrr = congestion(Box::new(
-        IwrrScheduler::from_placement(&profile, &placement, true).unwrap(),
-    ));
-    let random = congestion(Box::new(RandomScheduler::new(&profile, &placement, true, 23)));
+    let iwrr = congestion(Box::new(IwrrScheduler::from_topology(&topology).unwrap()));
+    let random = congestion(Box::new(RandomScheduler::new(&topology, 23)));
     assert!(
         iwrr <= random * 1.5 + 0.05,
         "iwrr congestion {iwrr} should not exceed random {random} by much"

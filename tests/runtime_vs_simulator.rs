@@ -32,16 +32,23 @@ fn runtime_throughput(
     placement: &ModelPlacement,
     workload: &Workload,
 ) -> f64 {
-    let scheduler = IwrrScheduler::from_placement(profile, placement, true).unwrap();
+    let topology = Topology::plan(profile, placement, true).unwrap();
+    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
     let runtime = ServingRuntime::new(
-        profile,
-        placement,
+        &topology,
         Box::new(scheduler),
-        RuntimeConfig { wall_per_virtual: 0.0003, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            wall_per_virtual: 0.0003,
+            ..RuntimeConfig::default()
+        },
     )
     .unwrap();
     let report = runtime.serve(workload).unwrap();
-    assert_eq!(report.completed(), workload.len(), "every request completes on the runtime");
+    assert_eq!(
+        report.completed(),
+        workload.len(),
+        "every request completes on the runtime"
+    );
     report.decode_throughput()
 }
 
@@ -50,8 +57,9 @@ fn simulator_throughput(
     placement: &ModelPlacement,
     workload: &Workload,
 ) -> f64 {
-    let scheduler = IwrrScheduler::from_placement(profile, placement, true).unwrap();
-    let mut sim = ClusterSimulator::new(profile, placement, Box::new(scheduler));
+    let topology = Topology::plan(profile, placement, true).unwrap();
+    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+    let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
     let metrics = sim.run(workload, SimulationConfig::offline(600.0).with_warmup(0.0));
     assert!(metrics.decode_throughput() > 0.0);
     metrics.decode_throughput()
@@ -63,7 +71,10 @@ fn runtime_and_simulator_report_consistent_structure() {
     let workload = burst(24);
 
     let annealed = FlowAnnealingPlanner::new(&profile)
-        .with_options(AnnealingOptions { iterations: 300, ..Default::default() })
+        .with_options(AnnealingOptions {
+            iterations: 300,
+            ..Default::default()
+        })
         .solve()
         .unwrap()
         .0;
@@ -94,14 +105,17 @@ fn runtime_and_simulator_report_consistent_structure() {
 fn partitioned_planning_scales_out_replicas() {
     // §4.5 scale-out: partition the 24-node cluster, plan each partition
     // independently, and serve on the combined placement.
-    use helix_core::{PartitionedPlanner, PartitionOptions};
+    use helix_core::{PartitionOptions, PartitionedPlanner};
 
     let profile =
         ClusterProfile::analytic(ClusterSpec::single_cluster_24(), ModelConfig::llama_30b());
     let plan = PartitionedPlanner::new(&profile)
         .with_options(PartitionOptions {
             max_partition_size: 8,
-            annealing: AnnealingOptions { iterations: 200, ..Default::default() },
+            annealing: AnnealingOptions {
+                iterations: 200,
+                ..Default::default()
+            },
             ..Default::default()
         })
         .solve()
@@ -109,8 +123,12 @@ fn partitioned_planning_scales_out_replicas() {
     assert!(plan.num_replicas() >= 2);
 
     let combined = plan.combined_placement();
-    let scheduler = IwrrScheduler::from_placement(&profile, &combined, true).unwrap();
-    let mut sim = ClusterSimulator::new(&profile, &combined, Box::new(scheduler));
-    let metrics = sim.run(&burst(40), SimulationConfig::offline(600.0).with_warmup(0.0));
+    let topology = Topology::plan(&profile, &combined, true).unwrap();
+    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+    let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
+    let metrics = sim.run(
+        &burst(40),
+        SimulationConfig::offline(600.0).with_warmup(0.0),
+    );
     assert!(metrics.decode_throughput() > 0.0);
 }

@@ -1,0 +1,257 @@
+//! Offline stub of the `criterion` API surface this workspace uses.
+//!
+//! Provides real wall-clock measurements (adaptive warm-up, then timed
+//! samples) behind the familiar `Criterion` / `benchmark_group` /
+//! `bench_function` / `bench_with_input` / `Bencher::iter` API, plus the
+//! `criterion_group!` / `criterion_main!` macros.  Output is one line per
+//! benchmark: `name  time: [median ± spread]`.  It does not do statistical
+//! regression analysis; it exists so `cargo bench` works offline.  See
+//! `vendor/README.md`.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/id` when inside a group).
+    pub name: String,
+    /// Median time per iteration in nanoseconds.
+    pub median_ns: f64,
+    /// Mean time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of measured samples.
+    pub samples: usize,
+}
+
+/// Runs closures and measures their time per iteration.
+pub struct Bencher<'a> {
+    samples: usize,
+    result: &'a mut Option<(f64, f64, usize)>,
+}
+
+impl Bencher<'_> {
+    /// Measures `f`, running it enough times for stable timing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: find an iteration count that takes >= ~5 ms, capped so very
+        // slow benchmarks still finish.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 4;
+        };
+        // Sample: repeat the timed block `samples` times (fewer if slow).
+        let budget = Duration::from_millis(300);
+        let max_samples =
+            (budget.as_secs_f64() / (per_iter * iters as f64).max(1e-9)).floor() as usize;
+        let samples = self.samples.min(max_samples.max(3));
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            times.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        *self.result = Some((median * 1e9, mean * 1e9, times.len()));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(&mut self.results, name.to_string(), sample_size, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// All results measured so far (used by `criterion_main!` for a summary).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    results: &mut Vec<BenchResult>,
+    name: String,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut measured: Option<(f64, f64, usize)> = None;
+    let mut bencher = Bencher {
+        samples: sample_size,
+        result: &mut measured,
+    };
+    f(&mut bencher);
+    if let Some((median_ns, mean_ns, samples)) = measured {
+        println!("{name:<55} time: [{}]", format_ns(median_ns));
+        results.push(BenchResult {
+            name,
+            median_ns,
+            mean_ns,
+            samples,
+        });
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(3));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&mut self.criterion.results, name, sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: Display, T, F: FnMut(&mut Bencher<'_>, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        c.sample_size(5)
+            .bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(4);
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results().iter().all(|r| r.median_ns > 0.0));
+        assert_eq!(c.results()[1].name, "grp/sq/7");
+    }
+}

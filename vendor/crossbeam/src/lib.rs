@@ -1,0 +1,39 @@
+//! Offline stub of the `crossbeam` API surface this workspace uses.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver, RecvTimeoutError}`
+//! are needed; `std::sync::mpsc` provides the same semantics for this usage
+//! (multi-producer single-consumer, unbounded, disconnect on drop), so the
+//! stub simply re-exports it.  See `vendor/README.md` for why this exists.
+
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_disconnect() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        drop(tx);
+        drop(tx2);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+    }
+}

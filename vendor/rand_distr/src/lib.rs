@@ -1,0 +1,116 @@
+//! Offline stub of the `rand_distr` API surface this workspace uses:
+//! [`Distribution`], [`LogNormal`] and [`Exp`].  Sampling uses inverse
+//! transform (Exp) and Box-Muller (LogNormal).  See `vendor/README.md`.
+
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// Error returned when a distribution is constructed with bad parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A probability distribution over `T`.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Draws one standard normal variate via Box-Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)` with `Z ~ N(0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<T> {
+    mu: T,
+    sigma: T,
+}
+
+impl LogNormal<f64> {
+    /// Creates a log-normal distribution with the given location `mu` and
+    /// scale `sigma` of the underlying normal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if `sigma` is negative or not finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma.is_nan() || sigma < 0.0 || !sigma.is_finite() || !mu.is_finite() {
+            return Err(Error);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1 / lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp<T> {
+    lambda: T,
+}
+
+impl Exp<f64> {
+    /// Creates an exponential distribution with rate `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if `lambda` is not strictly positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(Error);
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen::<f64>();
+        -(1.0 - u).max(f64::MIN_POSITIVE).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Exp::new(2.0).unwrap();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!(Exp::new(0.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let n = 20_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[n / 2];
+        assert!((median - 1.0f64.exp()).abs() < 0.15, "median {median}");
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+}

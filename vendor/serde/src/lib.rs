@@ -1,0 +1,320 @@
+//! Offline stub of the `serde` API surface this workspace uses.
+//!
+//! The real serde's format-agnostic `Serializer`/`Deserializer` machinery is
+//! replaced by a single JSON-like data model ([`value::Value`]); the
+//! [`Serialize`] and [`Deserialize`] traits convert to and from that model,
+//! and the derive macros (re-exported from the `serde_derive` stub) generate
+//! those conversions for structs and enums with serde's default external
+//! tagging.  `serde_json` builds its text format on top.  Maps serialise as
+//! arrays of `[key, value]` pairs so non-string keys round-trip.  See
+//! `vendor/README.md` for why this stub exists.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use value::{JsonError, Map, Value};
+
+/// Types convertible into the stub's JSON data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types reconstructible from the stub's JSON data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when `value` does not have the expected shape.
+    fn from_json_value(value: &Value) -> Result<Self, JsonError>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+                value
+                    .as_f64()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| JsonError::new(concat!("expected number for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serialize_num!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        value
+            .as_bool()
+            .ok_or_else(|| JsonError::new("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        T::from_json_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        value
+            .as_array()
+            .ok_or_else(|| JsonError::new("expected array"))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+                let items = value.as_array().ok_or_else(|| JsonError::new("expected tuple array"))?;
+                let mut it = items.iter();
+                Ok(($(
+                    {
+                        let _ = $idx;
+                        $name::from_json_value(
+                            it.next().ok_or_else(|| JsonError::new("tuple too short"))?,
+                        )?
+                    },
+                )+))
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Maps serialise as arrays of `[key, value]` pairs so that non-string keys
+/// (node ids, endpoint tuples) survive a round trip.
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_json_value(), v.to_json_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for std::collections::HashMap<K, V>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        map_pairs(value)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_json_value(), v.to_json_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        map_pairs(value)
+    }
+}
+
+fn map_pairs<K: Deserialize, V: Deserialize, M: FromIterator<(K, V)>>(
+    value: &Value,
+) -> Result<M, JsonError> {
+    value
+        .as_array()
+        .ok_or_else(|| JsonError::new("expected array of [key, value] pairs"))?
+        .iter()
+        .map(|pair| {
+            let items = pair
+                .as_array()
+                .ok_or_else(|| JsonError::new("expected [key, value] pair"))?;
+            if items.len() != 2 {
+                return Err(JsonError::new("expected [key, value] pair of length 2"));
+            }
+            Ok((
+                K::from_json_value(&items[0])?,
+                V::from_json_value(&items[1])?,
+            ))
+        })
+        .collect()
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for Map {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json_value(_value: &Value) -> Result<Self, JsonError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_json_value(&42i64.to_json_value()).unwrap(), 42);
+        assert_eq!(f64::from_json_value(&1.5f64.to_json_value()).unwrap(), 1.5);
+        assert!(bool::from_json_value(&true.to_json_value()).unwrap());
+        assert_eq!(
+            String::from_json_value(&"hi".to_string().to_json_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u32>::from_json_value(&Value::Null).unwrap(), None);
+        assert!(u32::from_json_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        let round: Vec<(usize, f64)> = Vec::from_json_value(&v.to_json_value()).unwrap();
+        assert_eq!(round, v);
+
+        let mut m = HashMap::new();
+        m.insert(7u32, "seven".to_string());
+        let round: HashMap<u32, String> = HashMap::from_json_value(&m.to_json_value()).unwrap();
+        assert_eq!(round, m);
+    }
+}

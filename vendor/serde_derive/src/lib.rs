@@ -1,0 +1,415 @@
+//! Offline stub of serde's derive macros.
+//!
+//! Parses the deriving item with `proc_macro` token trees alone (no
+//! syn/quote) and generates `Serialize`/`Deserialize` impls targeting the
+//! stub serde's JSON-value data model, using serde's default external enum
+//! tagging.  Supports non-generic named structs, tuple structs, unit structs
+//! and enums with unit/tuple/struct variants — the full set of shapes in this
+//! workspace.  See `vendor/README.md`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the stub `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    generate_serialize(&shape)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the stub `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    generate_deserialize(&shape)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            _ => Shape::UnitStruct { name },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive stub: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past attributes (`#[...]`), visibility (`pub`, `pub(...)`) and
+/// defaultness-ish modifiers in front of an item, field or variant.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // (crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(field.to_string());
+        i += 1;
+        // Expect ':'
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after field, found {other:?}"),
+        }
+        // Skip the type: consume until a ',' at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts fields of a tuple struct/variant by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a discriminant (`= expr`) if present, then the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const V: &str = "::serde::value::Value";
+const MAP: &str = "::serde::value::Map";
+const ERR: &str = "::serde::value::JsonError";
+
+fn generate_serialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut b = format!("let mut m = {MAP}::new();\n");
+            for f in fields {
+                b.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f}));\n"
+                ));
+            }
+            b.push_str(&format!("{V}::Object(m)"));
+            (name, b)
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            (name, format!("{V}::Array(vec![{}])", items.join(", ")))
+        }
+        Shape::UnitStruct { name } => (name, format!("{V}::Null")),
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => {V}::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_json_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("{V}::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ let mut m = {MAP}::new(); \
+                             m.insert(\"{vn}\".to_string(), {payload}); {V}::Object(m) }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = format!("let mut inner = {MAP}::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "inner.insert(\"{f}\".to_string(), ::serde::Serialize::to_json_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ {inner} let mut m = {MAP}::new(); \
+                             m.insert(\"{vn}\".to_string(), {V}::Object(inner)); {V}::Object(m) }},\n"
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> {V} {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn generate_deserialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut b = format!(
+                "let obj = value.as_object().ok_or_else(|| {ERR}::new(\
+                 \"expected object for struct {name}\"))?;\n"
+            );
+            b.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                b.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_json_value(match obj.get(\"{f}\") {{ \
+                     Some(v) => v, None => &{V}::Null }})?,\n"
+                ));
+            }
+            b.push_str("})");
+            (name, b)
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("Ok({name}(::serde::Deserialize::from_json_value(value)?))"),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let mut b = format!(
+                "let items = value.as_array().ok_or_else(|| {ERR}::new(\
+                 \"expected array for tuple struct {name}\"))?;\n\
+                 if items.len() != {arity} {{ return Err({ERR}::new(\
+                 \"wrong arity for tuple struct {name}\")); }}\n"
+            );
+            let fields: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&items[{i}])?"))
+                .collect();
+            b.push_str(&format!("Ok({name}({}))", fields.join(", ")));
+            (name, b)
+        }
+        Shape::UnitStruct { name } => (name, format!("Ok({name})")),
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                        // Also accept {"Variant": null} for symmetry.
+                        data_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_json_value(payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let fields: Vec<String> = (0..*arity)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_json_value(&items[{i}])?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let items = payload.as_array().ok_or_else(|| \
+                             {ERR}::new(\"expected array payload for {name}::{vn}\"))?; \
+                             if items.len() != {arity} {{ return Err({ERR}::new(\
+                             \"wrong arity for {name}::{vn}\")); }} \
+                             Ok({name}::{vn}({})) }},\n",
+                            fields.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inner = format!(
+                            "let obj = payload.as_object().ok_or_else(|| {ERR}::new(\
+                             \"expected object payload for {name}::{vn}\"))?;\n"
+                        );
+                        inner.push_str(&format!("Ok({name}::{vn} {{\n"));
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_json_value(match obj.get(\"{f}\") \
+                                 {{ Some(v) => v, None => &{V}::Null }})?,\n"
+                            ));
+                        }
+                        inner.push_str("})");
+                        data_arms.push_str(&format!("\"{vn}\" => {{ {inner} }},\n"));
+                    }
+                }
+            }
+            let b = format!(
+                "if let Some(s) = value.as_str() {{\n\
+                     match s {{\n{unit_arms}\
+                     other => return Err({ERR}::new(format!(\
+                     \"unknown variant `{{other}}` of {name}\"))),\n}}\n\
+                 }}\n\
+                 let obj = value.as_object().ok_or_else(|| {ERR}::new(\
+                 \"expected string or object for enum {name}\"))?;\n\
+                 let (tag, payload) = obj.iter().next().ok_or_else(|| {ERR}::new(\
+                 \"expected single-key object for enum {name}\"))?;\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => Err({ERR}::new(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n}}"
+            );
+            (name, b)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(value: &{V}) -> ::core::result::Result<Self, {ERR}> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,215 @@
+//! Offline stub of the `serde_json` API surface this workspace uses:
+//! [`Value`], [`Map`], [`json!`], [`to_value`], [`to_string`],
+//! [`to_string_pretty`] and [`from_str`].  The value model lives in the
+//! `serde` stub; this crate adds the JSON text format on top.  See
+//! `vendor/README.md` for why this stub exists.
+
+mod parser;
+
+pub use serde::value::{JsonError as Error, Map, Value};
+
+/// Converts any [`serde::Serialize`] type into a [`Value`].
+///
+/// # Errors
+///
+/// Never fails in the stub; the `Result` mirrors the real API.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Reconstructs a [`serde::Deserialize`] type from a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`Error`] when the value does not match the expected shape.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_json_value(value)
+}
+
+/// Serialises to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails in the stub.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_json_string())
+}
+
+/// Serialises to pretty-printed JSON text.
+///
+/// # Errors
+///
+/// Never fails in the stub.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_json_string_pretty())
+}
+
+/// Parses JSON text into any [`serde::Deserialize`] type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parser::parse(text)?;
+    T::from_json_value(&value)
+}
+
+/// Builds a [`Value`] from a JSON literal, `serde_json`-style.
+///
+/// Supports nested object/array literals, `null`/`true`/`false`, and
+/// arbitrary Rust expressions in value position (serialised via
+/// [`serde::Serialize`]).  Keys must be string literals.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Implementation detail of [`json!`] (a simplified tt-muncher modelled on
+/// serde_json's own).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- primitives -----------------------------------------------------
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+
+    // ---- arrays ---------------------------------------------------------
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+
+    // Array munching: accumulate completed elements in [$($elems)*].
+    (@array [$($elems:expr,)*]) => { vec![$($elems,)*] };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array_comma [$($elems,)* $crate::json_internal!(null),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array_comma [$($elems,)* $crate::json_internal!(true),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array_comma [$($elems,)* $crate::json_internal!(false),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($inner:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array_comma [$($elems,)* $crate::json_internal!([$($inner)*]),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($inner:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array_comma [$($elems,)* $crate::json_internal!({$($inner)*}),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(@value $next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        vec![$($elems,)* $crate::json_internal!(@value $last)]
+    };
+    // After a complete bracketed element: expect `, rest`, or the end.
+    (@array_comma [$($elems:expr,)*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+    (@array_comma [$($elems:expr,)*]) => { vec![$($elems,)*] };
+
+    // ---- objects --------------------------------------------------------
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_internal!(@object map () $($tt)+);
+        $crate::Value::Object(map)
+    }};
+
+    // Object munching: `@object $map ($key) tokens...`; the key is collected
+    // first, then the value.
+    (@object $map:ident ()) => {};
+    (@object $map:ident () $key:tt : $($rest:tt)+) => {
+        $crate::json_internal!(@object_value $map ($key) $($rest)+)
+    };
+    // Value is a nested object/array/keyword: recurse, then continue.
+    (@object_value $map:ident ($key:tt) null $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $crate::json_internal!(null));
+        $crate::json_internal!(@object_comma $map $($rest)*)
+    };
+    (@object_value $map:ident ($key:tt) true $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $crate::json_internal!(true));
+        $crate::json_internal!(@object_comma $map $($rest)*)
+    };
+    (@object_value $map:ident ($key:tt) false $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $crate::json_internal!(false));
+        $crate::json_internal!(@object_comma $map $($rest)*)
+    };
+    (@object_value $map:ident ($key:tt) {$($inner:tt)*} $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $crate::json_internal!({$($inner)*}));
+        $crate::json_internal!(@object_comma $map $($rest)*)
+    };
+    (@object_value $map:ident ($key:tt) [$($inner:tt)*] $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $crate::json_internal!([$($inner)*]));
+        $crate::json_internal!(@object_comma $map $($rest)*)
+    };
+    // Value is a general expression followed by a comma or the end.
+    (@object_value $map:ident ($key:tt) $value:expr, $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $crate::json_internal!(@value $value));
+        $crate::json_internal!(@object $map () $($rest)*)
+    };
+    (@object_value $map:ident ($key:tt) $value:expr) => {
+        $map.insert(($key).to_string(), $crate::json_internal!(@value $value));
+    };
+    // After a nested-literal value: expect `, rest` or the end.
+    (@object_comma $map:ident , $($rest:tt)*) => {
+        $crate::json_internal!(@object $map () $($rest)*)
+    };
+    (@object_comma $map:ident) => {};
+
+    // ---- fallthrough: any Rust expression -------------------------------
+    (@value $value:expr) => {
+        $crate::to_value(&$value).expect("json! value serialises")
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serialises")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let rows = vec![1u32, 2, 3];
+        let v = json!({
+            "name": "helix",
+            "count": rows.len(),
+            "nested": {"a": 1, "b": [1, 2.5, "x", null], "flag": true},
+            "rows": rows,
+            "computed": 1.0 + 2.0,
+        });
+        assert_eq!(v["name"], "helix");
+        assert_eq!(v["count"], 3);
+        assert_eq!(v["nested"]["b"][1], 2.5);
+        assert!(v["nested"]["b"][3].is_null());
+        assert_eq!(v["nested"]["flag"], true);
+        assert_eq!(v["rows"][2], 3);
+        assert_eq!(v["computed"], 3.0);
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!([]), Value::Array(vec![]));
+        assert_eq!(json!({}), Value::Object(Map::new()));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let v = json!({"a": [1, 2, {"b": "c\"d"}], "n": null, "f": 1.25});
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let compact: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(compact, v);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
