@@ -1,0 +1,99 @@
+//! Multi-model fleet planning cost and quality on the paper's 24-node
+//! cluster: a 2-model (LLaMA 30B + LLaMA 13B) joint annealing plan, the
+//! fleet-topology materialisation, and a mixed-workload simulation slice.
+//!
+//! Run with `cargo bench -p helix-bench --bench multimodel`; results are
+//! recorded in `BENCH_multimodel.json` at the repository root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig, ModelId};
+use helix_core::fleet::{
+    fleet_profiles, FleetAnnealingOptions, FleetAnnealingPlanner, FleetTopology,
+};
+use helix_core::FleetScheduler;
+use helix_sim::{ClusterSimulator, SimulationConfig};
+use helix_workload::{ArrivalPattern, AzureTraceConfig, Workload};
+use std::hint::black_box;
+
+fn two_model_profiles() -> Vec<ClusterProfile> {
+    fleet_profiles(
+        &ClusterSpec::single_cluster_24(),
+        &[ModelConfig::llama_30b(), ModelConfig::llama_13b()],
+    )
+}
+
+fn bench_fleet_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multimodel_plan_24_node");
+    group.sample_size(10);
+    let profiles = two_model_profiles();
+    for iterations in [300usize, 1000] {
+        group.bench_with_input(
+            BenchmarkId::new("joint_anneal", iterations),
+            &iterations,
+            |b, &iterations| {
+                b.iter(|| {
+                    let planner =
+                        FleetAnnealingPlanner::new(&profiles).with_options(FleetAnnealingOptions {
+                            iterations,
+                            ..Default::default()
+                        });
+                    black_box(planner.solve().unwrap().1)
+                })
+            },
+        );
+    }
+    // Topology materialisation on the planned placement (per-model max flow
+    // on capacity-split graphs).
+    let planner = FleetAnnealingPlanner::new(&profiles).with_options(FleetAnnealingOptions {
+        iterations: 1000,
+        ..Default::default()
+    });
+    let (placement, _) = planner.solve().unwrap();
+    group.bench_function("fleet_topology_plan", |b| {
+        b.iter(|| {
+            black_box(
+                FleetTopology::plan(&profiles, &placement, true)
+                    .unwrap()
+                    .total_flow_value(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_fleet_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multimodel_sim_24_node");
+    group.sample_size(10);
+    let profiles = two_model_profiles();
+    let planner = FleetAnnealingPlanner::new(&profiles).with_options(FleetAnnealingOptions {
+        iterations: 1000,
+        ..Default::default()
+    });
+    let (placement, _) = planner.solve().unwrap();
+    let fleet = FleetTopology::plan(&profiles, &placement, true).unwrap();
+    let config = AzureTraceConfig {
+        mean_input_tokens: 128.0,
+        mean_output_tokens: 24.0,
+        max_input_tokens: 512,
+        max_output_tokens: 48,
+        ..Default::default()
+    };
+    let workload = Workload::merge(vec![
+        config.generate(50, 1).with_model(ModelId(0)),
+        config.generate(50, 2).with_model(ModelId(1)),
+    ])
+    .with_arrivals(ArrivalPattern::Offline, 3);
+    group.bench_function("mixed_offline_100_requests", |b| {
+        b.iter(|| {
+            let schedulers = FleetScheduler::iwrr(&fleet).unwrap();
+            let mut sim = ClusterSimulator::new_fleet(&fleet, schedulers);
+            let metrics =
+                sim.run_per_model(&workload, SimulationConfig::offline(120.0).with_warmup(0.0));
+            black_box(metrics.overall.decode_tokens)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_planning, bench_fleet_simulation);
+criterion_main!(benches);

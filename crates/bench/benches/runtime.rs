@@ -19,6 +19,7 @@ fn workload(n: u64) -> Workload {
                 prompt_tokens: 64,
                 output_tokens: 4,
                 arrival_time: 0.0,
+                model: Default::default(),
             })
             .collect(),
     )

@@ -1,6 +1,30 @@
 //! LLM model configurations and per-token cost accounting.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one model of a multi-model fleet sharing a cluster.
+///
+/// The single-model pipeline is the `ModelId(0)` special case: every
+/// request, pipeline and worker in a one-model deployment carries the
+/// default id and behaves exactly as before the fleet generalisation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct ModelId(pub usize);
+
+impl ModelId {
+    /// The id as a dense index into per-model tables.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model{}", self.0)
+    }
+}
 
 /// Architecture description of a decoder-only Transformer LLM.
 ///
@@ -52,6 +76,22 @@ impl ModelConfig {
             intermediate_size: 17_920,
             num_heads: 52,
             num_kv_heads: 52,
+            vocab_size: 32_000,
+            mlp_matrices: 3.0,
+            bytes_per_param: 2.0,
+        }
+    }
+
+    /// LLaMA-2 13B (40 layers, hidden 5120) — a small co-tenant for
+    /// multi-model fleets sharing a cluster with a larger model.
+    pub fn llama_13b() -> Self {
+        ModelConfig {
+            name: "LLaMA-2-13B".into(),
+            num_layers: 40,
+            hidden_size: 5120,
+            intermediate_size: 13_824,
+            num_heads: 40,
+            num_kv_heads: 40,
             vocab_size: 32_000,
             mlp_matrices: 3.0,
             bytes_per_param: 2.0,
@@ -179,6 +219,21 @@ impl ModelConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn model_id_defaults_to_zero_and_displays() {
+        assert_eq!(ModelId::default(), ModelId(0));
+        assert_eq!(ModelId(3).index(), 3);
+        assert_eq!(ModelId(1).to_string(), "model1");
+        assert!(ModelId(0) < ModelId(1));
+    }
+
+    #[test]
+    fn llama13b_parameter_count_is_about_13b() {
+        let m = ModelConfig::llama_13b();
+        let total = m.total_params();
+        assert!(total > 11e9 && total < 15e9, "got {total}");
+    }
 
     #[test]
     fn llama70b_parameter_count_is_about_70b() {

@@ -142,6 +142,44 @@ impl ClusterProfile {
         }
     }
 
+    /// Derives the per-model view of this profile inside a multi-model
+    /// fleet: node `i`'s compute and NIC throughputs are multiplied by
+    /// `compute_share[i]` (this model's fraction of the node's compute) and,
+    /// when `vram_override[i]` is `Some`, the node's VRAM is replaced so that
+    /// KV-capacity arithmetic sees only this model's slice of the free VRAM.
+    ///
+    /// A share of exactly `1.0` and an override of `None` leave the node's
+    /// numbers bit-identical to the base profile, which is what makes the
+    /// single-model fleet a trivial special case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are shorter than the node count.
+    pub fn scaled(&self, compute_share: &[f64], vram_override: &[Option<f64>]) -> ClusterProfile {
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let share = compute_share[i];
+                NodeProfile {
+                    node: n.node,
+                    max_layers: n.max_layers,
+                    max_layers_absolute: n.max_layers_absolute,
+                    decode_tokens_per_layer_sec: n.decode_tokens_per_layer_sec * share,
+                    prompt_tokens_per_layer_sec: n.prompt_tokens_per_layer_sec * share,
+                    nic_tokens_per_sec: n.nic_tokens_per_sec * share,
+                    vram_bytes: vram_override[i].unwrap_or(n.vram_bytes),
+                }
+            })
+            .collect();
+        ClusterProfile {
+            cluster: self.cluster.clone(),
+            model: self.model.clone(),
+            nodes,
+        }
+    }
+
     /// The underlying cluster.
     pub fn cluster(&self) -> &ClusterSpec {
         &self.cluster
@@ -308,6 +346,32 @@ mod tests {
                 .collect();
             assert!(p.can_hold_model(&ids), "{gpu} nodes should hold LLaMA 30B");
         }
+    }
+
+    #[test]
+    fn scaled_profile_splits_compute_and_kv() {
+        let p = profile_70b();
+        let n = p.cluster().num_nodes();
+        // Unit shares and no overrides reproduce the base profile exactly.
+        let identity = p.scaled(&vec![1.0; n], &vec![None; n]);
+        assert_eq!(identity, p);
+        // A half share halves compute and NIC throughput but keeps layer
+        // capacities (weight placement limits are fleet-level concerns).
+        let mut shares = vec![1.0; n];
+        shares[0] = 0.5;
+        let mut overrides = vec![None; n];
+        overrides[0] = Some(p.node_profile(NodeId(0)).vram_bytes * 0.5);
+        let scaled = p.scaled(&shares, &overrides);
+        let base0 = p.node_profile(NodeId(0));
+        let scaled0 = scaled.node_profile(NodeId(0));
+        assert_eq!(
+            scaled0.decode_tokens_per_layer_sec,
+            base0.decode_tokens_per_layer_sec * 0.5
+        );
+        assert_eq!(scaled0.max_layers, base0.max_layers);
+        assert!(scaled.kv_capacity_tokens(NodeId(0), 4) < p.kv_capacity_tokens(NodeId(0), 4));
+        // Untouched nodes stay identical.
+        assert_eq!(scaled.node_profile(NodeId(1)), p.node_profile(NodeId(1)));
     }
 
     #[test]

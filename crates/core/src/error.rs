@@ -1,6 +1,6 @@
 //! Error type shared by the placement planner and schedulers.
 
-use helix_cluster::NodeId;
+use helix_cluster::{ModelId, NodeId};
 use std::error::Error;
 use std::fmt;
 
@@ -43,6 +43,22 @@ pub enum HelixError {
         /// Human-readable context, e.g. which vertex had no candidates.
         context: String,
     },
+    /// A request referenced a model the fleet does not serve.
+    UnknownModel {
+        /// The requested model.
+        model: ModelId,
+        /// Number of models the fleet serves.
+        num_models: usize,
+    },
+    /// A fleet placement over-commits a node's VRAM across models.
+    FleetVramOverflow {
+        /// The over-committed node.
+        node: NodeId,
+        /// Bytes of weights the fleet places on the node.
+        needed_bytes: f64,
+        /// Bytes of VRAM available for weights on the node.
+        budget_bytes: f64,
+    },
 }
 
 impl fmt::Display for HelixError {
@@ -67,6 +83,13 @@ impl fmt::Display for HelixError {
             HelixError::NoCandidateAvailable { context } => {
                 write!(f, "no schedulable candidate available: {context}")
             }
+            HelixError::UnknownModel { model, num_models } => {
+                write!(f, "request for {model} but the fleet serves {num_models} model(s)")
+            }
+            HelixError::FleetVramOverflow { node, needed_bytes, budget_bytes } => write!(
+                f,
+                "fleet placement puts {needed_bytes:.0} bytes of weights on {node} whose weight budget is {budget_bytes:.0} bytes"
+            ),
         }
     }
 }

@@ -31,6 +31,12 @@
 //!   interleaved weighted round-robin over the topology graph with weights
 //!   taken from the max-flow solution, plus the KV-cache high-water masking
 //!   of §5.2.
+//! * [`fleet`] — the multi-model generalisation: [`FleetPlacement`] /
+//!   [`FleetTopology`] split shared-node compute and KV capacity between
+//!   co-located models, [`FleetScheduler`] routes per-model IWRR pipelines
+//!   and [`FleetAnnealingPlanner`] searches all models jointly (cross-model
+//!   node moves over warm-started flow evaluators).  A one-model fleet is
+//!   bit-identical to the single-model pipeline.
 //! * [`scheduling`] — baseline schedulers (Swarm throughput-proportional,
 //!   random, shortest-queue-first) used in the §6.7 scheduling deep dive.
 //!
@@ -56,6 +62,7 @@
 
 pub mod error;
 pub mod exec_model;
+pub mod fleet;
 pub mod flow_graph;
 pub mod placement;
 pub mod scheduling;
@@ -63,6 +70,10 @@ pub mod topology;
 
 pub use error::HelixError;
 pub use exec_model::{ExecModel, Phase, WorkUnit};
+pub use fleet::{
+    fleet_profiles, FleetAnnealingOptions, FleetAnnealingPlanner, FleetPlacement, FleetScheduler,
+    FleetTopology,
+};
 pub use flow_graph::{Endpoint, FlowGraphBuilder, PlacementFlowGraph};
 pub use placement::heuristics;
 pub use placement::incremental::IncrementalFlowEvaluator;

@@ -84,18 +84,33 @@ pub fn swarm_placement(profile: &ClusterProfile) -> Result<ModelPlacement, Helix
 /// not cover the model.
 pub fn petals_placement(profile: &ClusterProfile) -> Result<ModelPlacement, HelixError> {
     let num_layers = profile.model().num_layers;
+    let nodes: Vec<NodeId> = profile.cluster().node_ids().collect();
+    let placement = petals_over(profile, &nodes);
+    if !placement.has_complete_pipeline(num_layers) {
+        return Err(HelixError::NoPlacementFound);
+    }
+    Ok(placement)
+}
+
+/// The Petals greedy restricted to a subset of nodes: processing `nodes` in
+/// descending capacity order, each claims the window of `max_layers` layers
+/// with the lowest accumulated throughput.  Completeness is the caller's
+/// concern — the fleet planner seeds per-model placements from per-model node
+/// partitions with this.
+pub(crate) fn petals_over(profile: &ClusterProfile, nodes: &[NodeId]) -> ModelPlacement {
+    let num_layers = profile.model().num_layers;
     let mut placement = ModelPlacement::empty(profile.cluster().num_nodes());
     let mut coverage = vec![0.0f64; num_layers];
 
-    let mut nodes: Vec<NodeId> = profile.cluster().node_ids().collect();
-    nodes.sort_by(|&a, &b| {
+    let mut ordered: Vec<NodeId> = nodes.to_vec();
+    ordered.sort_by(|&a, &b| {
         let ta = profile.node_profile(a).decode_tokens_per_layer_sec;
         let tb = profile.node_profile(b).decode_tokens_per_layer_sec;
         tb.partial_cmp(&ta)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
-    for node in nodes {
+    for node in ordered {
         let np = profile.node_profile(node);
         let span = np.max_layers.min(num_layers);
         if span == 0 {
@@ -117,10 +132,7 @@ pub fn petals_placement(profile: &ClusterProfile) -> Result<ModelPlacement, Heli
         }
         placement.assign(node, LayerRange::new(best_start, best_start + span));
     }
-    if !placement.has_complete_pipeline(num_layers) {
-        return Err(HelixError::NoPlacementFound);
-    }
-    Ok(placement)
+    placement
 }
 
 /// Separate-pipelines placement ("SP"): each GPU node type builds as many

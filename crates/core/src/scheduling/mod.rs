@@ -20,7 +20,7 @@ use crate::error::HelixError;
 use crate::flow_graph::Endpoint;
 use crate::placement::{LayerRange, ModelPlacement};
 use crate::topology::Topology;
-use helix_cluster::{ClusterProfile, NodeId};
+use helix_cluster::{ClusterProfile, ModelId, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -41,6 +41,9 @@ pub struct PipelineStage {
 /// and in order.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RequestPipeline {
+    /// Which model of the fleet the pipeline serves (`ModelId(0)` for the
+    /// single-model pipeline).
+    pub model: ModelId,
     /// The stages, in execution order.
     pub stages: Vec<PipelineStage>,
 }
@@ -275,7 +278,10 @@ where
     // upper bound.
     for _ in 0..=num_layers {
         if position >= num_layers {
-            return Ok(RequestPipeline { stages });
+            return Ok(RequestPipeline {
+                model: ModelId::default(),
+                stages,
+            });
         }
         let candidates = topology.candidates(current, position);
         if candidates.is_empty() {
@@ -538,6 +544,7 @@ mod tests {
     #[test]
     fn covers_model_detects_gaps_and_disorder() {
         let good = RequestPipeline {
+            model: ModelId::default(),
             stages: vec![
                 PipelineStage {
                     node: NodeId(0),
@@ -552,6 +559,7 @@ mod tests {
         assert!(good.covers_model(6));
         assert!(!good.covers_model(8));
         let gappy = RequestPipeline {
+            model: ModelId::default(),
             stages: vec![
                 PipelineStage {
                     node: NodeId(0),

@@ -19,6 +19,14 @@ pub fn dinic(network: &FlowNetwork, source: NodeId, sink: NodeId) -> FlowResult 
 }
 
 /// Core Dinic routine operating on the shared arena representation.
+///
+/// Warm re-solves over standing networks (see
+/// `FlowNetwork::resolve_from_residual`) keep invalid connections as edges of
+/// capacity zero, so those networks are dominated by permanently dead edge
+/// pairs (`residual + reverse residual == 0`, which no push can ever change).
+/// A flat CSR adjacency over the *live* pairs is built once per solve and
+/// every BFS round and DFS walk scans only it — isolated rejected-move
+/// evaluations on sparse placements stop paying for dead edges.
 pub(crate) fn run(
     edges: &mut [ArenaEdge],
     adjacency: &[Vec<usize>],
@@ -26,12 +34,26 @@ pub(crate) fn run(
     source: usize,
     sink: usize,
 ) -> f64 {
+    // CSR of live edges: an edge pair is dead for the whole solve when both
+    // residuals are (numerically) zero — pushes conserve the pair total.
+    let mut live_start = Vec::with_capacity(n + 1);
+    let mut live: Vec<usize> = Vec::new();
+    live_start.push(0);
+    for adj in adjacency.iter() {
+        for &eid in adj {
+            if edges[eid].residual > FLOW_EPS || edges[eid ^ 1].residual > FLOW_EPS {
+                live.push(eid);
+            }
+        }
+        live_start.push(live.len());
+    }
+
     let mut total = 0.0f64;
     let mut level = vec![-1i32; n];
     let mut iter = vec![0usize; n];
 
     loop {
-        // BFS to build the level graph.
+        // BFS over live edges to build the level graph.
         for l in level.iter_mut() {
             *l = -1;
         }
@@ -39,7 +61,7 @@ pub(crate) fn run(
         let mut queue = VecDeque::new();
         queue.push_back(source);
         while let Some(u) = queue.pop_front() {
-            for &eid in &adjacency[u] {
+            for &eid in &live[live_start[u]..live_start[u + 1]] {
                 let v = edges[eid].to;
                 if level[v] < 0 && edges[eid].residual > FLOW_EPS {
                     level[v] = level[u] + 1;
@@ -57,7 +79,8 @@ pub(crate) fn run(
         loop {
             let pushed = dfs(
                 edges,
-                adjacency,
+                &live,
+                &live_start,
                 &level,
                 &mut iter,
                 source,
@@ -75,9 +98,11 @@ pub(crate) fn run(
 
 /// Iterative DFS would avoid recursion depth issues, but Helix graphs are at
 /// most a few hundred nodes deep, so a recursive implementation is clearer.
+#[allow(clippy::too_many_arguments)]
 fn dfs(
     edges: &mut [ArenaEdge],
-    adjacency: &[Vec<usize>],
+    live: &[usize],
+    live_start: &[usize],
     level: &[i32],
     iter: &mut [usize],
     u: usize,
@@ -87,13 +112,15 @@ fn dfs(
     if u == sink {
         return limit;
     }
-    while iter[u] < adjacency[u].len() {
-        let eid = adjacency[u][iter[u]];
+    let row = &live[live_start[u]..live_start[u + 1]];
+    while iter[u] < row.len() {
+        let eid = row[iter[u]];
         let v = edges[eid].to;
         if edges[eid].residual > FLOW_EPS && level[v] == level[u] + 1 {
             let pushed = dfs(
                 edges,
-                adjacency,
+                live,
+                live_start,
                 level,
                 iter,
                 v,

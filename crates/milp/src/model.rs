@@ -161,7 +161,7 @@ impl Model {
     /// # Panics
     ///
     /// Panics if any referenced variable does not belong to the model or a
-    /// number is NaN; use [`Model::try_add_constraint`] for a fallible
+    /// number is NaN; use [`Model::try_add_constraint_expr`] for a fallible
     /// version.
     pub fn add_constraint(
         &mut self,

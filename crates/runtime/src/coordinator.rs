@@ -14,7 +14,7 @@ use crate::message::{Envelope, Phase, RuntimeMsg, StageWork};
 use crate::metrics::RequestOutcome;
 use crate::worker::SharedWorkerStats;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use helix_cluster::{NodeId, TOKEN_WIRE_BYTES};
+use helix_cluster::{ModelId, NodeId, TOKEN_WIRE_BYTES};
 use helix_core::{ClusterState, HelixError, KvCacheEstimator, RequestPipeline, Scheduler};
 use helix_workload::{Request, RequestId, Workload};
 use std::collections::{HashMap, VecDeque};
@@ -23,43 +23,48 @@ use std::time::Duration;
 
 /// Everything the coordinator needs to run.
 pub(crate) struct CoordinatorSpec {
-    /// The scheduling policy (Helix IWRR or one of the baselines).
-    pub scheduler: Box<dyn Scheduler>,
-    /// KV-cache usage estimator consulted during scheduling (§5.2).
-    pub estimator: KvCacheEstimator,
+    /// One scheduling policy per model of the fleet (Helix IWRR or one of the
+    /// baselines); single-model runs carry exactly one entry.
+    pub schedulers: Vec<Box<dyn Scheduler>>,
+    /// One KV-cache usage estimator per model (§5.2) — each model's slice of
+    /// a shared node's KV pool is masked independently.
+    pub estimators: Vec<KvCacheEstimator>,
     /// Shared virtual clock.
     pub clock: VirtualClock,
     /// Messages arriving from workers through the fabric.
     pub inbound: Receiver<RuntimeMsg>,
     /// Outgoing messages into the fabric.
     pub fabric: Sender<Envelope>,
-    /// Live statistics shared by every worker.
-    pub worker_stats: HashMap<NodeId, SharedWorkerStats>,
+    /// Live statistics shared by every (node, model) worker.
+    pub worker_stats: HashMap<(NodeId, ModelId), SharedWorkerStats>,
     /// Wall-clock budget for the whole run.
     pub max_wall: Duration,
 }
 
-/// The coordinator's runtime view of the cluster, used by schedulers.
+/// The coordinator's runtime view of the cluster for one model, used by that
+/// model's scheduler.
 ///
-/// Queue lengths and recent throughput come from the workers' shared
+/// Queue lengths and recent throughput come from the model's workers' shared
 /// statistics (the runtime equivalent of the paper's runtime monitoring);
-/// KV usage comes from the coordinator-side estimator, exactly as in §5.2.
+/// KV usage comes from the model's coordinator-side estimator, exactly as in
+/// §5.2.
 struct CoordinatorView<'a> {
+    model: ModelId,
     estimator: &'a KvCacheEstimator,
-    worker_stats: &'a HashMap<NodeId, SharedWorkerStats>,
+    worker_stats: &'a HashMap<(NodeId, ModelId), SharedWorkerStats>,
 }
 
 impl ClusterState for CoordinatorView<'_> {
     fn queue_len(&self, node: NodeId) -> usize {
         self.worker_stats
-            .get(&node)
+            .get(&(node, self.model))
             .map(|s| s.lock().queue_len)
             .unwrap_or(0)
     }
 
     fn recent_throughput(&self, node: NodeId) -> f64 {
         self.worker_stats
-            .get(&node)
+            .get(&(node, self.model))
             .map(|s| s.lock().recent_throughput)
             .unwrap_or(0.0)
     }
@@ -82,12 +87,12 @@ struct InFlight {
 }
 
 pub(crate) struct Coordinator {
-    scheduler: Box<dyn Scheduler>,
-    estimator: KvCacheEstimator,
+    schedulers: Vec<Box<dyn Scheduler>>,
+    estimators: Vec<KvCacheEstimator>,
     clock: VirtualClock,
     inbound: Receiver<RuntimeMsg>,
     fabric: Sender<Envelope>,
-    worker_stats: HashMap<NodeId, SharedWorkerStats>,
+    worker_stats: HashMap<(NodeId, ModelId), SharedWorkerStats>,
     max_wall: Duration,
     in_flight: HashMap<RequestId, InFlight>,
     outcomes: Vec<RequestOutcome>,
@@ -95,9 +100,14 @@ pub(crate) struct Coordinator {
 
 impl Coordinator {
     pub(crate) fn new(spec: CoordinatorSpec) -> Self {
+        assert_eq!(
+            spec.schedulers.len(),
+            spec.estimators.len(),
+            "one estimator per model"
+        );
         Coordinator {
-            scheduler: spec.scheduler,
-            estimator: spec.estimator,
+            schedulers: spec.schedulers,
+            estimators: spec.estimators,
             clock: spec.clock,
             inbound: spec.inbound,
             fabric: spec.fabric,
@@ -173,23 +183,39 @@ impl Coordinator {
     /// Tries to admit one request.  Returns `Ok(false)` if every candidate is
     /// currently masked out and the request should be retried later.
     fn try_dispatch(&mut self, request: Request) -> Result<bool, RuntimeError> {
+        let model = request.model;
+        let num_models = self.schedulers.len();
+        if model.index() >= num_models {
+            return Err(RuntimeError::Scheduling(HelixError::UnknownModel {
+                model,
+                num_models,
+            }));
+        }
         let view = CoordinatorView {
-            estimator: &self.estimator,
+            model,
+            estimator: &self.estimators[model.index()],
             worker_stats: &self.worker_stats,
         };
-        let pipeline = match self.scheduler.schedule(&view) {
-            Ok(pipeline) => Arc::new(pipeline),
+        let pipeline = match self.schedulers[model.index()].schedule(&view) {
+            Ok(mut pipeline) => {
+                pipeline.model = model;
+                Arc::new(pipeline)
+            }
             Err(HelixError::NoCandidateAvailable { .. }) => return Ok(false),
             Err(e) => return Err(e.into()),
         };
         for stage in &pipeline.stages {
-            self.estimator
-                .on_scheduled(stage.node, request.id, request.prompt_tokens);
+            self.estimators[model.index()].on_scheduled(
+                stage.node,
+                request.id,
+                request.prompt_tokens,
+            );
         }
         let first = pipeline.stages[0].node;
         self.send(Envelope {
             from: None,
             to: Some(first),
+            model,
             bytes: TOKEN_WIRE_BYTES * request.prompt_tokens.max(1) as f64,
             msg: RuntimeMsg::Work(StageWork {
                 request: request.id,
@@ -240,9 +266,11 @@ impl Coordinator {
         } else {
             let pipeline = Arc::clone(&flight.pipeline);
             let first = pipeline.stages[0].node;
+            let model = pipeline.model;
             self.send(Envelope {
                 from: None,
                 to: Some(first),
+                model,
                 bytes: TOKEN_WIRE_BYTES,
                 msg: RuntimeMsg::Work(StageWork {
                     request,
@@ -261,20 +289,26 @@ impl Coordinator {
         let Some(flight) = self.in_flight.remove(&request) else {
             return Ok(());
         };
+        let model = flight.pipeline.model;
         for stage in &flight.pipeline.stages {
-            self.estimator
-                .on_finished(stage.node, request, flight.request.output_tokens);
+            self.estimators[model.index()].on_finished(
+                stage.node,
+                request,
+                flight.request.output_tokens,
+            );
         }
         for stage in &flight.pipeline.stages {
             self.send(Envelope {
                 from: None,
                 to: Some(stage.node),
+                model,
                 bytes: TOKEN_WIRE_BYTES,
                 msg: RuntimeMsg::Release(request),
             })?;
         }
         self.outcomes.push(RequestOutcome {
             id: request,
+            model,
             prompt_tokens: flight.request.prompt_tokens,
             output_tokens: flight.request.output_tokens,
             arrival: flight.request.arrival_time,

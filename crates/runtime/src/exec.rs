@@ -79,6 +79,7 @@ mod tests {
             tokens,
             stage_index: 0,
             pipeline: Arc::new(RequestPipeline {
+                model: helix_cluster::ModelId::default(),
                 stages: vec![PipelineStage {
                     node: NodeId(0),
                     layers: LayerRange::new(0, layers),

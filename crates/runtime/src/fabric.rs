@@ -12,7 +12,7 @@
 use crate::clock::VirtualClock;
 use crate::message::{Envelope, RuntimeMsg};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use helix_cluster::{ClusterProfile, NodeId};
+use helix_cluster::{ClusterProfile, ModelId, NodeId};
 use parking_lot::Mutex;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -86,12 +86,13 @@ impl Ord for Delivery {
 
 /// Everything the fabric thread needs to route messages.
 pub(crate) struct FabricSpec {
-    /// Profile supplying per-link bandwidth and latency.
+    /// Profile supplying per-link bandwidth and latency (links are shared by
+    /// every model of the fleet, so one profile suffices).
     pub profile: Arc<ClusterProfile>,
     /// Shared virtual clock.
     pub clock: VirtualClock,
-    /// Delivery channel per worker.
-    pub worker_txs: HashMap<NodeId, Sender<RuntimeMsg>>,
+    /// Delivery channel per (node, model) worker.
+    pub worker_txs: HashMap<(NodeId, ModelId), Sender<RuntimeMsg>>,
     /// Delivery channel of the coordinator.
     pub coordinator_tx: Sender<RuntimeMsg>,
 }
@@ -195,7 +196,7 @@ fn schedule(
 
 fn route(
     envelope: &Envelope,
-    worker_txs: &HashMap<NodeId, Sender<RuntimeMsg>>,
+    worker_txs: &HashMap<(NodeId, ModelId), Sender<RuntimeMsg>>,
     coordinator_tx: &Sender<RuntimeMsg>,
 ) {
     // A receiver that has already shut down simply drops the message; the
@@ -203,7 +204,7 @@ fn route(
     // report depends on can be lost this way.
     match envelope.to {
         Some(node) => {
-            if let Some(tx) = worker_txs.get(&node) {
+            if let Some(tx) = worker_txs.get(&(node, envelope.model)) {
                 let _ = tx.send(envelope.msg.clone());
             }
         }
@@ -232,6 +233,7 @@ mod tests {
         Envelope {
             from,
             to,
+            model: ModelId::default(),
             bytes,
             msg: RuntimeMsg::IterationDone {
                 request: 1,
@@ -250,7 +252,7 @@ mod tests {
         let spec = FabricSpec {
             profile,
             clock,
-            worker_txs: HashMap::from([(NodeId(0), worker_tx)]),
+            worker_txs: HashMap::from([((NodeId(0), ModelId::default()), worker_tx)]),
             coordinator_tx: coord_tx,
         };
         let (traffic, handle) = spawn_fabric(spec, ingress_rx);
@@ -293,7 +295,7 @@ mod tests {
         let spec = FabricSpec {
             profile: Arc::clone(&profile),
             clock,
-            worker_txs: HashMap::from([(NodeId(1), worker_tx)]),
+            worker_txs: HashMap::from([((NodeId(1), ModelId::default()), worker_tx)]),
             coordinator_tx: coord_tx,
         };
         let (traffic, handle) = spawn_fabric(spec, ingress_rx);

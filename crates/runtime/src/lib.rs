@@ -45,7 +45,13 @@
 //! let scheduler = IwrrScheduler::from_topology(&topology)?;
 //!
 //! let requests: Vec<Request> = (0..4)
-//!     .map(|i| Request { id: i, prompt_tokens: 64, output_tokens: 4, arrival_time: 0.0 })
+//!     .map(|i| Request {
+//!         id: i,
+//!         prompt_tokens: 64,
+//!         output_tokens: 4,
+//!         arrival_time: 0.0,
+//!         model: Default::default(),
+//!     })
 //!     .collect();
 //! let workload = Workload::new(requests);
 //!

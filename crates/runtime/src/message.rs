@@ -8,7 +8,7 @@
 //! of a finished request, and an *iteration done* message returning the newly
 //! generated token to the coordinator.
 
-use helix_cluster::NodeId;
+use helix_cluster::{ModelId, NodeId};
 use helix_core::RequestPipeline;
 use helix_workload::RequestId;
 use std::sync::Arc;
@@ -43,6 +43,11 @@ impl StageWork {
     /// coordinator/worker bug).
     pub fn node(&self) -> NodeId {
         self.pipeline.stages[self.stage_index].node
+    }
+
+    /// The fleet model this work belongs to.
+    pub fn model(&self) -> ModelId {
+        self.pipeline.model
     }
 
     /// Whether this is the last stage of the pipeline.
@@ -99,6 +104,9 @@ pub struct Envelope {
     pub from: Option<NodeId>,
     /// Receiving endpoint (`None` = coordinator).
     pub to: Option<NodeId>,
+    /// Which model's worker receives the message on a shared node (the
+    /// physical link is shared; delivery is per (node, model) worker).
+    pub model: ModelId,
     /// Payload size used for bandwidth modelling.
     pub bytes: f64,
     /// The message itself.
@@ -112,6 +120,7 @@ mod tests {
 
     fn pipeline() -> Arc<RequestPipeline> {
         Arc::new(RequestPipeline {
+            model: ModelId::default(),
             stages: vec![
                 PipelineStage {
                     node: NodeId(0),

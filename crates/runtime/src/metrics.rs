@@ -6,7 +6,7 @@
 //! placement and scheduling case studies (Figs. 9b and 10b).
 
 use crate::fabric::LinkTraffic;
-use helix_cluster::NodeId;
+use helix_cluster::{ModelId, NodeId};
 use helix_workload::RequestId;
 use serde::Serialize;
 
@@ -53,6 +53,8 @@ impl LatencySummary {
 pub struct RequestOutcome {
     /// Request id.
     pub id: RequestId,
+    /// The fleet model the request targeted.
+    pub model: ModelId,
     /// Prompt length in tokens.
     pub prompt_tokens: usize,
     /// Output length in tokens.
@@ -88,9 +90,12 @@ impl RequestOutcome {
 pub struct NodeReport {
     /// The compute node.
     pub node: NodeId,
+    /// The fleet model this worker served (shared nodes report one entry per
+    /// model).
+    pub model: ModelId,
     /// Human-readable node name.
     pub name: String,
-    /// Layers the node held.
+    /// Layers the node held for this model.
     pub layers_held: usize,
     /// Virtual seconds spent executing batches.
     pub busy_secs: f64,
@@ -202,6 +207,51 @@ impl RuntimeReport {
         LatencySummary::from_samples(&samples)
     }
 
+    /// The outcomes of one model's requests.
+    pub fn outcomes_for(&self, model: ModelId) -> Vec<&RequestOutcome> {
+        self.outcomes.iter().filter(|o| o.model == model).collect()
+    }
+
+    /// Decode tokens one model generated.
+    pub fn decode_tokens_for(&self, model: ModelId) -> u64 {
+        self.outcomes
+            .iter()
+            .filter(|o| o.model == model)
+            .map(|o| o.output_tokens as u64)
+            .sum()
+    }
+
+    /// Decode throughput of one model over the fleet makespan (tokens per
+    /// virtual second).
+    pub fn decode_throughput_for(&self, model: ModelId) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.decode_tokens_for(model) as f64 / self.makespan
+    }
+
+    /// Prompt latency summary of one model's requests.
+    pub fn prompt_latency_for(&self, model: ModelId) -> LatencySummary {
+        let samples: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.model == model)
+            .map(RequestOutcome::prompt_latency)
+            .collect();
+        LatencySummary::from_samples(&samples)
+    }
+
+    /// Per-token decode latency summary of one model's requests.
+    pub fn decode_latency_for(&self, model: ModelId) -> LatencySummary {
+        let samples: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.model == model)
+            .map(RequestOutcome::decode_latency_per_token)
+            .collect();
+        LatencySummary::from_samples(&samples)
+    }
+
     /// The `n` links with the largest mean queueing delay.
     pub fn most_congested_links(&self, n: usize) -> Vec<LinkReport> {
         let mut links = self.links.clone();
@@ -222,6 +272,7 @@ mod tests {
     fn outcome(id: RequestId, arrival: f64, first: f64, done: f64, out: usize) -> RequestOutcome {
         RequestOutcome {
             id,
+            model: ModelId(id as usize % 2),
             prompt_tokens: 100,
             output_tokens: out,
             arrival,
@@ -285,6 +336,12 @@ mod tests {
         assert_eq!(report.decode_tokens(), 100);
         assert!((report.decode_throughput() - 10.0).abs() < 1e-9);
         assert!(report.prompt_latency().mean > 0.0);
+        // Per-model breakdown: outcomes 1 and 2 target models 1 and 0.
+        assert_eq!(report.outcomes_for(ModelId(1)).len(), 1);
+        assert_eq!(report.decode_tokens_for(ModelId(0)), 50);
+        assert!((report.decode_throughput_for(ModelId(0)) - 5.0).abs() < 1e-9);
+        assert!(report.prompt_latency_for(ModelId(1)).mean > 0.0);
+        assert_eq!(report.decode_latency_for(ModelId(7)).count, 0);
         let worst = report.most_congested_links(1);
         assert_eq!(worst.len(), 1);
         assert_eq!(worst[0].from, Some(NodeId(0)));

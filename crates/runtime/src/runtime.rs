@@ -10,9 +10,9 @@ use crate::message::{Envelope, RuntimeMsg};
 use crate::metrics::{LinkReport, NodeReport, RuntimeReport};
 use crate::worker::{self, SharedWorkerStats, WorkerConfig, WorkerStats};
 use crossbeam::channel::{unbounded, Sender};
-use helix_cluster::NodeId;
+use helix_cluster::{ModelId, NodeId};
 use helix_core::exec_model::{DEFAULT_TOKENS_PER_PAGE, KV_OVERFLOW_PENALTY};
-use helix_core::{KvCacheEstimator, Scheduler, Topology};
+use helix_core::{FleetScheduler, FleetTopology, KvCacheEstimator, Scheduler, Topology};
 use helix_workload::Workload;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -81,18 +81,18 @@ impl RuntimeConfig {
 pub struct ServingRuntime {
     clock: VirtualClock,
     coordinator: Coordinator,
-    worker_txs: HashMap<NodeId, Sender<RuntimeMsg>>,
+    worker_txs: HashMap<(NodeId, ModelId), Sender<RuntimeMsg>>,
     worker_handles: Vec<JoinHandle<()>>,
-    worker_stats: HashMap<NodeId, SharedWorkerStats>,
-    node_meta: Vec<(NodeId, String, usize)>,
+    worker_stats: HashMap<(NodeId, ModelId), SharedWorkerStats>,
+    node_meta: Vec<(NodeId, ModelId, String, usize)>,
     fabric_handle: JoinHandle<()>,
     ingress_tx: Sender<Envelope>,
     traffic: LinkTrafficMap,
 }
 
 impl ServingRuntime {
-    /// Builds the runtime: spawns one worker thread per assigned compute node
-    /// and the network fabric thread.
+    /// Builds a single-model runtime: spawns one worker thread per assigned
+    /// compute node and the network fabric thread.
     ///
     /// # Errors
     ///
@@ -103,58 +103,100 @@ impl ServingRuntime {
         scheduler: Box<dyn Scheduler>,
         config: RuntimeConfig,
     ) -> Result<Self, RuntimeError> {
-        let profile = topology.profile();
-        topology
-            .placement()
-            .validate(profile)
-            .map_err(RuntimeError::Scheduling)?;
+        Self::build(&[topology], vec![scheduler], config)
+    }
+
+    /// Builds a multi-model runtime over a planned [`FleetTopology`]: one
+    /// worker thread per (assigned node, model) pair — each with its own
+    /// partition of the node's KV pool — one KV estimator per model, and a
+    /// coordinator that routes every request to its model's scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Scheduling`] if any model's placement is
+    /// invalid for its profile.
+    pub fn new_fleet(
+        fleet: &FleetTopology,
+        schedulers: FleetScheduler,
+        config: RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        let schedulers = schedulers.into_parts();
+        assert_eq!(
+            fleet.num_models(),
+            schedulers.len(),
+            "one scheduler per model"
+        );
+        let topologies: Vec<&Topology> = fleet.topologies().iter().collect();
+        Self::build(&topologies, schedulers, config)
+    }
+
+    fn build(
+        topologies: &[&Topology],
+        schedulers: Vec<Box<dyn Scheduler>>,
+        config: RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        for topology in topologies {
+            topology
+                .placement()
+                .validate(topology.profile())
+                .map_err(RuntimeError::Scheduling)?;
+        }
         let clock = VirtualClock::new(config.wall_per_virtual);
-        let profile_arc = Arc::new(profile.clone());
+        // Link bandwidth/latency are model-independent; the fabric uses the
+        // first model's profile.
+        let profile_arc = Arc::new(topologies[0].profile().clone());
 
         let (ingress_tx, ingress_rx) = unbounded::<Envelope>();
         let (coordinator_tx, coordinator_rx) = unbounded::<RuntimeMsg>();
 
-        let mut estimator = KvCacheEstimator::new(profile, config.initial_avg_output_tokens);
+        let mut estimators = Vec::with_capacity(topologies.len());
         let mut worker_txs = HashMap::new();
         let mut fabric_worker_txs = HashMap::new();
         let mut worker_handles = Vec::new();
         let mut worker_stats = HashMap::new();
         let mut node_meta = Vec::new();
 
-        for planned in topology.nodes() {
-            let node = planned.node;
-            let (tx, rx) = unbounded::<RuntimeMsg>();
-            let stats: SharedWorkerStats = Arc::new(Mutex::new(WorkerStats::default()));
-            let kv_capacity = planned.kv_capacity_tokens;
-            estimator.set_capacity(node, kv_capacity);
-            let worker_config = WorkerConfig {
-                node,
-                activation_bytes: profile.model().activation_bytes(),
-                kv_capacity_tokens: kv_capacity,
-                tokens_per_page: config.tokens_per_page,
-                kv_overflow_penalty: config.kv_overflow_penalty,
-            };
-            let execution: Box<dyn ExecutionModel> = match config.execution {
-                ExecutionKind::Analytic => {
-                    Box::new(AnalyticExecution::new(profile.node_profile(node)))
-                }
-                ExecutionKind::Instant => Box::new(InstantExecution),
-            };
-            let handle = worker::spawn_worker(
-                worker_config,
-                execution,
-                clock,
-                rx,
-                ingress_tx.clone(),
-                Arc::clone(&stats),
-            );
-            worker_txs.insert(node, tx.clone());
-            fabric_worker_txs.insert(node, tx);
-            worker_handles.push(handle);
-            worker_stats.insert(node, stats);
-            node_meta.push((node, planned.name.clone(), planned.layers.len()));
+        for (m, topology) in topologies.iter().enumerate() {
+            let model = ModelId(m);
+            let profile = topology.profile();
+            let mut estimator = KvCacheEstimator::new(profile, config.initial_avg_output_tokens);
+            for planned in topology.nodes() {
+                let node = planned.node;
+                let (tx, rx) = unbounded::<RuntimeMsg>();
+                let stats: SharedWorkerStats = Arc::new(Mutex::new(WorkerStats::default()));
+                let kv_capacity = planned.kv_capacity_tokens;
+                estimator.set_capacity(node, kv_capacity);
+                let worker_config = WorkerConfig {
+                    node,
+                    model,
+                    activation_bytes: profile.model().activation_bytes(),
+                    kv_capacity_tokens: kv_capacity,
+                    tokens_per_page: config.tokens_per_page,
+                    kv_overflow_penalty: config.kv_overflow_penalty,
+                };
+                let execution: Box<dyn ExecutionModel> = match config.execution {
+                    ExecutionKind::Analytic => {
+                        Box::new(AnalyticExecution::new(profile.node_profile(node)))
+                    }
+                    ExecutionKind::Instant => Box::new(InstantExecution),
+                };
+                let handle = worker::spawn_worker(
+                    worker_config,
+                    execution,
+                    clock,
+                    rx,
+                    ingress_tx.clone(),
+                    Arc::clone(&stats),
+                );
+                worker_txs.insert((node, model), tx.clone());
+                fabric_worker_txs.insert((node, model), tx);
+                worker_handles.push(handle);
+                worker_stats.insert((node, model), stats);
+                node_meta.push((node, model, planned.name.clone(), planned.layers.len()));
+            }
+            estimators.push(estimator);
         }
-        node_meta.sort_by_key(|(node, _, _)| *node);
+        node_meta.sort_by_key(|(node, model, _, _)| (*node, *model));
 
         let (traffic, fabric_handle) = fabric::spawn_fabric(
             FabricSpec {
@@ -167,8 +209,8 @@ impl ServingRuntime {
         );
 
         let coordinator = Coordinator::new(CoordinatorSpec {
-            scheduler,
-            estimator,
+            schedulers,
+            estimators,
             clock,
             inbound: coordinator_rx,
             fabric: ingress_tx.clone(),
@@ -234,10 +276,11 @@ impl ServingRuntime {
         let nodes = self
             .node_meta
             .iter()
-            .map(|(node, name, layers)| {
-                let stats = self.worker_stats[node].lock().clone();
+            .map(|(node, model, name, layers)| {
+                let stats = self.worker_stats[&(*node, *model)].lock().clone();
                 NodeReport {
                     node: *node,
+                    model: *model,
                     name: name.clone(),
                     layers_held: *layers,
                     busy_secs: stats.busy_secs,

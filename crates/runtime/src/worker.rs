@@ -13,7 +13,7 @@ use crate::exec::ExecutionModel;
 use crate::kv_pool::PagedKvPool;
 use crate::message::{Envelope, Phase, RuntimeMsg, StageWork};
 use crossbeam::channel::{Receiver, Sender};
-use helix_cluster::{NodeId, TOKEN_WIRE_BYTES};
+use helix_cluster::{ModelId, NodeId, TOKEN_WIRE_BYTES};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -52,6 +52,9 @@ pub type SharedWorkerStats = Arc<Mutex<WorkerStats>>;
 pub(crate) struct WorkerConfig {
     /// The compute node this worker represents.
     pub node: NodeId,
+    /// The fleet model this worker serves (a shared node runs one worker per
+    /// model, each with its own KV-pool partition).
+    pub model: ModelId,
     /// Bytes of activation transferred per token to the next pipeline stage.
     pub activation_bytes: f64,
     /// KV pool capacity in tokens (derived from the placement).
@@ -72,7 +75,11 @@ pub(crate) fn spawn_worker(
     fabric: Sender<Envelope>,
     stats: SharedWorkerStats,
 ) -> JoinHandle<()> {
-    let name = format!("helix-worker-{}", config.node.index());
+    let name = format!(
+        "helix-worker-{}-m{}",
+        config.node.index(),
+        config.model.index()
+    );
     std::thread::Builder::new()
         .name(name)
         .spawn(move || {
@@ -155,6 +162,7 @@ impl Worker {
         match msg {
             RuntimeMsg::Work(work) => {
                 debug_assert_eq!(work.node(), self.config.node, "misrouted work item");
+                debug_assert_eq!(work.model(), self.config.model, "misrouted model");
                 self.pending.push(work);
             }
             RuntimeMsg::Release(request) => {
@@ -220,10 +228,12 @@ impl Worker {
     /// Sends a finished stage onward: to the next node in the pipeline, or to
     /// the coordinator if this was the last stage.
     fn forward(&mut self, item: StageWork, now: f64) {
+        let model = item.model();
         let envelope = if item.is_last_stage() {
             Envelope {
                 from: Some(self.config.node),
                 to: None,
+                model,
                 bytes: TOKEN_WIRE_BYTES,
                 msg: RuntimeMsg::IterationDone {
                     request: item.request,
@@ -237,6 +247,7 @@ impl Worker {
             Envelope {
                 from: Some(self.config.node),
                 to: Some(to),
+                model,
                 bytes: self.config.activation_bytes * next.tokens.max(1) as f64,
                 msg: RuntimeMsg::Work(next),
             }
@@ -266,6 +277,7 @@ mod tests {
 
     fn two_stage_pipeline() -> Arc<RequestPipeline> {
         Arc::new(RequestPipeline {
+            model: ModelId::default(),
             stages: vec![
                 PipelineStage {
                     node: NodeId(0),
@@ -293,6 +305,7 @@ mod tests {
         let stats: SharedWorkerStats = Arc::new(Mutex::new(WorkerStats::default()));
         let config = WorkerConfig {
             node,
+            model: ModelId::default(),
             activation_bytes: 16_384.0,
             kv_capacity_tokens: kv_capacity,
             tokens_per_page: 16,

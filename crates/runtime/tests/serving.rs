@@ -27,6 +27,7 @@ fn small_workload(n: u64, prompt: usize, output: usize) -> Workload {
                 prompt_tokens: prompt,
                 output_tokens: output,
                 arrival_time: 0.05 * id as f64,
+                model: helix_cluster::ModelId::default(),
             })
             .collect(),
     )
@@ -116,6 +117,80 @@ fn baseline_schedulers_run_on_the_same_runtime() {
             "{kind} failed to complete the workload"
         );
     }
+}
+
+#[test]
+fn two_model_fleet_serves_through_the_runtime() {
+    use helix_cluster::ModelId;
+    use helix_core::fleet::{fleet_profiles, FleetAnnealingOptions, FleetAnnealingPlanner};
+    use helix_core::{FleetScheduler, FleetTopology};
+
+    let profiles = fleet_profiles(
+        &ClusterSpec::single_cluster_24(),
+        &[ModelConfig::llama_30b(), ModelConfig::llama_13b()],
+    );
+    let planner = FleetAnnealingPlanner::new(&profiles).with_options(FleetAnnealingOptions {
+        iterations: 300,
+        ..Default::default()
+    });
+    let (placement, _) = planner.solve().unwrap();
+    let fleet = FleetTopology::plan(&profiles, &placement, true).unwrap();
+    let schedulers = FleetScheduler::iwrr(&fleet).unwrap();
+    let runtime =
+        ServingRuntime::new_fleet(&fleet, schedulers, RuntimeConfig::fast_test()).unwrap();
+
+    let workload = Workload::new(
+        (0..20u64)
+            .map(|id| Request {
+                id,
+                prompt_tokens: 48,
+                output_tokens: 4,
+                arrival_time: 0.02 * id as f64,
+                model: ModelId((id % 2) as usize),
+            })
+            .collect(),
+    );
+    let report = runtime.serve(&workload).unwrap();
+    assert_eq!(report.completed(), 20);
+    // Per-model accounting: each model served its half of the requests.
+    for m in 0..2 {
+        let model = ModelId(m);
+        assert_eq!(report.outcomes_for(model).len(), 10);
+        assert_eq!(report.decode_tokens_for(model), 10 * 4);
+        assert!(report.decode_throughput_for(model) > 0.0);
+        assert!(report.prompt_latency_for(model).count == 10);
+        // Workers report under their model, on that model's nodes only.
+        let nodes: Vec<_> = report.nodes.iter().filter(|n| n.model == model).collect();
+        assert!(!nodes.is_empty());
+        for outcome in report.outcomes_for(model) {
+            assert_eq!(outcome.model, model);
+        }
+    }
+    // The two partitions are disjoint: no node reports under both models.
+    for n0 in report.nodes.iter().filter(|n| n.model == ModelId(0)) {
+        assert!(!report
+            .nodes
+            .iter()
+            .any(|n| n.model == ModelId(1) && n.node == n0.node));
+    }
+}
+
+#[test]
+fn unknown_model_requests_are_rejected() {
+    let profile = profile();
+    let topology = swarm_topology(&profile);
+    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+    let runtime =
+        ServingRuntime::new(&topology, Box::new(scheduler), RuntimeConfig::fast_test()).unwrap();
+    let workload = Workload::new(vec![Request {
+        id: 0,
+        prompt_tokens: 16,
+        output_tokens: 2,
+        arrival_time: 0.0,
+        model: helix_cluster::ModelId(5),
+    }]);
+    let err = runtime.serve(&workload).unwrap_err();
+    assert!(matches!(err, RuntimeError::Scheduling(_)), "got {err}");
 }
 
 #[test]

@@ -165,6 +165,7 @@ mod tests {
     fn decode_item(request: RequestId) -> WorkItem {
         WorkItem {
             request,
+            model: helix_cluster::ModelId::default(),
             phase: Phase::Decode,
             tokens: 1,
             layers: LayerRange::new(0, 10),
@@ -194,6 +195,7 @@ mod tests {
         let mut e = engine();
         e.enqueue(WorkItem {
             request: 1,
+            model: helix_cluster::ModelId::default(),
             phase: Phase::Prompt,
             tokens: 100,
             layers: LayerRange::new(0, 10),
@@ -222,6 +224,7 @@ mod tests {
         for e in [&mut small, &mut big] {
             e.enqueue(WorkItem {
                 request: 1,
+                model: helix_cluster::ModelId::default(),
                 phase: Phase::Prompt,
                 tokens: 200,
                 layers: LayerRange::new(0, 10),

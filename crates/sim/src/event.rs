@@ -1,6 +1,6 @@
 //! Discrete-event queue.
 
-use helix_cluster::NodeId;
+use helix_cluster::{ModelId, NodeId};
 use helix_core::{LayerRange, RequestPipeline};
 use helix_workload::RequestId;
 use std::cmp::Ordering;
@@ -18,6 +18,9 @@ pub use helix_core::exec_model::Phase;
 pub struct WorkItem {
     /// The request this work belongs to.
     pub request: RequestId,
+    /// The fleet model the request targets (selects the per-model engine on
+    /// shared nodes).
+    pub model: ModelId,
     /// Prompt or decode.
     pub phase: Phase,
     /// Number of tokens to run through the layers (prompt length for the
@@ -44,10 +47,12 @@ pub enum Event {
         /// The work to enqueue.
         item: WorkItem,
     },
-    /// A node finishes its current batch.
+    /// A node finishes the current batch of one model's engine.
     BatchComplete {
         /// The node that finished.
         node: NodeId,
+        /// The model whose engine finished.
+        model: ModelId,
     },
     /// The coordinator receives a generated token for a request.
     TokenAtCoordinator {

@@ -59,4 +59,4 @@ pub use engine::NodeEngine;
 pub use event::{Event, EventQueue, SimTime};
 pub use metrics::{LatencyStats, LinkStats, Metrics};
 pub use network::LinkQueue;
-pub use simulator::{ClusterSimulator, SimulationConfig};
+pub use simulator::{ClusterSimulator, FleetMetrics, SimulationConfig};

@@ -4,8 +4,10 @@ use crate::engine::NodeEngine;
 use crate::event::{Event, EventQueue, Phase, RequestState, SimTime, WorkItem};
 use crate::metrics::{LatencyStats, LinkStats, Metrics};
 use crate::network::LinkQueue;
-use helix_cluster::{ClusterProfile, NodeId, TOKEN_WIRE_BYTES};
-use helix_core::{ClusterState, ModelPlacement, Scheduler, Topology};
+use helix_cluster::{ModelId, NodeId, TOKEN_WIRE_BYTES};
+use helix_core::{
+    ClusterState, FleetScheduler, FleetTopology, ModelPlacement, Scheduler, Topology,
+};
 use helix_workload::{Request, RequestId, Workload};
 use std::collections::{HashMap, VecDeque};
 
@@ -87,15 +89,35 @@ impl ClusterState for StateSnapshot {
     }
 }
 
+/// One model's lane through the simulator: its planned topology and the
+/// scheduler producing its per-request pipelines.
+struct ModelLane<'a> {
+    topology: &'a Topology,
+    scheduler: Box<dyn Scheduler>,
+}
+
+/// Per-model metrics of a fleet simulation, alongside the combined view.
+#[derive(Debug, Clone)]
+pub struct FleetMetrics {
+    /// Metrics over all models together (per-model link contention included).
+    pub overall: Metrics,
+    /// Metrics of each model's own requests, indexed by [`ModelId`].  Link
+    /// statistics live only in `overall` — links are shared by the fleet.
+    pub per_model: Vec<Metrics>,
+}
+
 /// Discrete-event simulator of a Helix-style serving cluster.
+///
+/// One simulator serves one model (via [`ClusterSimulator::new`]) or a whole
+/// multi-model fleet (via [`ClusterSimulator::new_fleet`]): every (node,
+/// model) pair gets its own batching engine with the capacity-split profile
+/// the fleet planner assigned it, while network links are shared across
+/// models, so cross-model link contention emerges naturally.
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
 pub struct ClusterSimulator<'a> {
-    topology: &'a Topology,
-    profile: &'a ClusterProfile,
-    placement: ModelPlacement,
-    scheduler: Box<dyn Scheduler>,
-    engines: HashMap<NodeId, NodeEngine>,
+    lanes: Vec<ModelLane<'a>>,
+    engines: HashMap<(NodeId, ModelId), NodeEngine>,
     links: HashMap<(Option<NodeId>, Option<NodeId>), LinkQueue>,
 }
 
@@ -105,38 +127,96 @@ impl<'a> ClusterSimulator<'a> {
     /// planning artifact, so the simulator sees exactly the cluster the
     /// planner evaluated.
     pub fn new(topology: &'a Topology, scheduler: Box<dyn Scheduler>) -> Self {
-        let profile = topology.profile();
-        let engines = topology
-            .nodes()
-            .map(|n| {
+        Self::from_lanes(vec![ModelLane {
+            topology,
+            scheduler,
+        }])
+    }
+
+    /// Creates a fleet simulator: one lane per model of the fleet topology,
+    /// with the matching per-model schedulers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler count does not match the fleet's model count.
+    pub fn new_fleet(fleet: &'a FleetTopology, schedulers: FleetScheduler) -> Self {
+        let schedulers = schedulers.into_parts();
+        assert_eq!(
+            fleet.num_models(),
+            schedulers.len(),
+            "one scheduler per model"
+        );
+        Self::from_lanes(
+            fleet
+                .topologies()
+                .iter()
+                .zip(schedulers)
+                .map(|(topology, scheduler)| ModelLane {
+                    topology,
+                    scheduler,
+                })
+                .collect(),
+        )
+    }
+
+    fn from_lanes(lanes: Vec<ModelLane<'a>>) -> Self {
+        let mut engines = HashMap::new();
+        for (m, lane) in lanes.iter().enumerate() {
+            let profile = lane.topology.profile();
+            for n in lane.topology.nodes() {
                 let engine = NodeEngine::new(
                     profile.node_profile(n.node),
                     n.layers.len(),
                     n.kv_capacity_tokens,
                 );
-                (n.node, engine)
-            })
-            .collect();
+                engines.insert((n.node, ModelId(m)), engine);
+            }
+        }
         ClusterSimulator {
-            topology,
-            profile,
-            placement: topology.placement().clone(),
-            scheduler,
+            lanes,
             engines,
             links: HashMap::new(),
         }
     }
 
-    /// The topology the simulator is running.
-    pub fn topology(&self) -> &Topology {
-        self.topology
+    /// The topology the simulator runs for one model.
+    pub fn model_topology(&self, model: ModelId) -> Option<&Topology> {
+        self.lanes.get(model.index()).map(|l| l.topology)
     }
 
-    /// Runs the simulation of `workload` and returns the measured metrics.
+    /// Number of models the simulator serves.
+    pub fn num_models(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The topology the simulator is running (the first model's lane).
+    pub fn topology(&self) -> &Topology {
+        self.lanes[0].topology
+    }
+
+    /// Runs the simulation of `workload` and returns the combined metrics.
     pub fn run(&mut self, workload: &Workload, config: SimulationConfig) -> Metrics {
+        self.run_per_model(workload, config).overall
+    }
+
+    /// Runs the simulation and reports both combined and per-model metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request targets a model the fleet does not serve — the
+    /// same workload fails loudly on the runtime surface too
+    /// (`HelixError::UnknownModel`), so the two surfaces stay comparable.
+    pub fn run_per_model(&mut self, workload: &Workload, config: SimulationConfig) -> FleetMetrics {
+        let num_models = self.lanes.len();
         let mut queue = EventQueue::new();
         let specs: HashMap<RequestId, Request> = workload.iter().map(|r| (r.id, *r)).collect();
         for r in workload.iter() {
+            assert!(
+                r.model.index() < num_models,
+                "request {} targets {} but the fleet serves {num_models} model(s)",
+                r.id,
+                r.model,
+            );
             queue.push(r.arrival_time, Event::RequestArrival { request: r.id });
         }
         let end_time = config.warmup_secs + config.duration_secs;
@@ -144,11 +224,11 @@ impl<'a> ClusterSimulator<'a> {
         let mut backlog: VecDeque<RequestId> = VecDeque::new();
         let mut active = 0usize;
 
-        // Measurement accumulators.
-        let mut decode_tokens: u64 = 0;
-        let mut completed: u64 = 0;
-        let mut prompt_latencies: Vec<f64> = Vec::new();
-        let mut decode_gaps: Vec<f64> = Vec::new();
+        // Per-model measurement accumulators.
+        let mut decode_tokens: Vec<u64> = vec![0; num_models];
+        let mut completed: Vec<u64> = vec![0; num_models];
+        let mut prompt_latencies: Vec<Vec<f64>> = vec![Vec::new(); num_models];
+        let mut decode_gaps: Vec<Vec<f64>> = vec![Vec::new(); num_models];
         let mut processed_events: u64 = 0;
         let mut now: SimTime = 0.0;
 
@@ -170,25 +250,26 @@ impl<'a> ClusterSimulator<'a> {
                     self.admit_request(request, &specs, &mut states, &mut queue, now, &mut active);
                 }
                 Event::NodeArrival { node, item } => {
-                    if let Some(engine) = self.engines.get_mut(&node) {
+                    let model = item.model;
+                    if let Some(engine) = self.engines.get_mut(&(node, model)) {
                         engine.enqueue(item);
                         if let Some(done) = engine.try_start_batch(now) {
-                            queue.push(done, Event::BatchComplete { node });
+                            queue.push(done, Event::BatchComplete { node, model });
                         }
                     }
                 }
-                Event::BatchComplete { node } => {
+                Event::BatchComplete { node, model } => {
                     let items = self
                         .engines
-                        .get_mut(&node)
-                        .expect("batch completed on unknown node")
+                        .get_mut(&(node, model))
+                        .expect("batch completed on unknown engine")
                         .complete_batch();
                     for item in items {
                         self.route_onward(node, item, &states, &mut queue, now);
                     }
-                    if let Some(engine) = self.engines.get_mut(&node) {
+                    if let Some(engine) = self.engines.get_mut(&(node, model)) {
                         if let Some(done) = engine.try_start_batch(now) {
-                            queue.push(done, Event::BatchComplete { node });
+                            queue.push(done, Event::BatchComplete { node, model });
                         }
                     }
                 }
@@ -196,31 +277,33 @@ impl<'a> ClusterSimulator<'a> {
                     let Some(state) = states.get_mut(&request) else {
                         continue;
                     };
+                    let model = state.pipeline.model;
+                    let m = model.index();
                     state.generated += 1;
                     let in_window = now >= config.warmup_secs;
                     if in_window {
-                        decode_tokens += 1;
+                        decode_tokens[m] += 1;
                     }
                     if state.first_token_time.is_none() {
                         state.first_token_time = Some(now);
                         if in_window {
-                            prompt_latencies.push(now - state.arrival_time);
+                            prompt_latencies[m].push(now - state.arrival_time);
                         }
                     } else if let Some(last) = state.last_token_time {
                         let gap = now - last;
                         state.decode_gaps.push(gap);
                         if in_window {
-                            decode_gaps.push(gap);
+                            decode_gaps[m].push(gap);
                         }
                     }
                     state.last_token_time = Some(now);
                     if state.generated >= state.output_tokens {
                         state.finish_time = Some(now);
                         if in_window {
-                            completed += 1;
+                            completed[m] += 1;
                         }
                         for node in state.pipeline.nodes() {
-                            if let Some(engine) = self.engines.get_mut(&node) {
+                            if let Some(engine) = self.engines.get_mut(&(node, model)) {
                                 engine.release_request(request);
                             }
                         }
@@ -246,6 +329,7 @@ impl<'a> ClusterSimulator<'a> {
                                 node: first.node,
                                 item: WorkItem {
                                     request,
+                                    model,
                                     phase: Phase::Decode,
                                     tokens: 1,
                                     layers: first.layers,
@@ -260,10 +344,14 @@ impl<'a> ClusterSimulator<'a> {
         }
 
         let measured = (now.min(end_time) - config.warmup_secs).max(1e-9);
-        let node_utilization = self
-            .engines
-            .iter()
-            .map(|(&node, engine)| (node, (engine.busy_seconds / now.max(1e-9)).min(1.0)))
+        // Overall utilisation merges each node's per-model engines.
+        let mut node_busy: HashMap<NodeId, f64> = HashMap::new();
+        for (&(node, _), engine) in &self.engines {
+            *node_busy.entry(node).or_insert(0.0) += engine.busy_seconds;
+        }
+        let node_utilization: HashMap<NodeId, f64> = node_busy
+            .into_iter()
+            .map(|(node, busy)| (node, (busy / now.max(1e-9)).min(1.0)))
             .collect();
         let mut link_stats: Vec<LinkStats> = self
             .links
@@ -282,28 +370,64 @@ impl<'a> ClusterSimulator<'a> {
                 .partial_cmp(&a.mean_queue_delay)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        Metrics {
+
+        let per_model: Vec<Metrics> = (0..num_models)
+            .map(|m| {
+                let utilization: HashMap<NodeId, f64> = self
+                    .engines
+                    .iter()
+                    .filter(|((_, model), _)| model.index() == m)
+                    .map(|(&(node, _), engine)| {
+                        (node, (engine.busy_seconds / now.max(1e-9)).min(1.0))
+                    })
+                    .collect();
+                Metrics {
+                    measured_seconds: measured,
+                    decode_tokens: decode_tokens[m],
+                    completed_requests: completed[m],
+                    prompt_latency: LatencyStats::from_samples(&prompt_latencies[m]),
+                    decode_latency: LatencyStats::from_samples(&decode_gaps[m]),
+                    node_utilization: utilization,
+                    // Links are shared across the fleet; see `overall`.
+                    link_stats: Vec::new(),
+                }
+            })
+            .collect();
+        let overall = Metrics {
             measured_seconds: measured,
-            decode_tokens,
-            completed_requests: completed,
-            prompt_latency: LatencyStats::from_samples(&prompt_latencies),
-            decode_latency: LatencyStats::from_samples(&decode_gaps),
+            decode_tokens: decode_tokens.iter().sum(),
+            completed_requests: completed.iter().sum(),
+            prompt_latency: LatencyStats::from_samples(&prompt_latencies.concat()),
+            decode_latency: LatencyStats::from_samples(&decode_gaps.concat()),
             node_utilization,
             link_stats,
-        }
+        };
+        FleetMetrics { overall, per_model }
     }
 
-    /// The placement the simulator is running.
+    /// The placement the simulator is running for one model.
+    pub fn model_placement(&self, model: ModelId) -> Option<&ModelPlacement> {
+        self.lanes
+            .get(model.index())
+            .map(|l| l.topology.placement())
+    }
+
+    /// The placement the simulator is running (the first model's lane).
     pub fn placement(&self) -> &ModelPlacement {
-        &self.placement
+        self.lanes[0].topology.placement()
     }
 
-    fn snapshot(&self) -> StateSnapshot {
+    /// Scheduler feedback for one model: queue/throughput/KV state of that
+    /// model's engines only, so per-model KV masking sees its own partition.
+    fn snapshot(&self, model: ModelId) -> StateSnapshot {
         let mut queue_len = HashMap::new();
         let mut throughput = HashMap::new();
         let mut kv_used = HashMap::new();
         let mut kv_capacity = HashMap::new();
-        for (&node, engine) in &self.engines {
+        for (&(node, m), engine) in &self.engines {
+            if m != model {
+                continue;
+            }
             queue_len.insert(node, engine.queue_len() + usize::from(engine.is_busy()));
             throughput.insert(node, engine.recent_throughput());
             kv_used.insert(node, engine.kv_used_tokens());
@@ -329,9 +453,15 @@ impl<'a> ClusterSimulator<'a> {
         let Some(spec) = specs.get(&request).copied() else {
             return;
         };
-        let snapshot = self.snapshot();
-        match self.scheduler.schedule(&snapshot) {
-            Ok(pipeline) => {
+        let model = spec.model;
+        if model.index() >= self.lanes.len() {
+            return;
+        }
+        let snapshot = self.snapshot(model);
+        let lane = &mut self.lanes[model.index()];
+        match lane.scheduler.schedule(&snapshot) {
+            Ok(mut pipeline) => {
+                pipeline.model = model;
                 let first = pipeline.stages[0];
                 states.insert(
                     request,
@@ -356,6 +486,7 @@ impl<'a> ClusterSimulator<'a> {
                         node: first.node,
                         item: WorkItem {
                             request,
+                            model,
                             phase: Phase::Prompt,
                             tokens: spec.prompt_tokens,
                             layers: first.layers,
@@ -385,7 +516,12 @@ impl<'a> ClusterSimulator<'a> {
         let next_index = item.stage_index + 1;
         if next_index < state.pipeline.stages.len() {
             let next = state.pipeline.stages[next_index];
-            let bytes = item.tokens as f64 * self.profile.model().activation_bytes();
+            let activation_bytes = self.lanes[item.model.index()]
+                .topology
+                .profile()
+                .model()
+                .activation_bytes();
+            let bytes = item.tokens as f64 * activation_bytes;
             let arrival = self.link_transfer(Some(node), Some(next.node), now, bytes);
             queue.push(
                 arrival,
@@ -393,6 +529,7 @@ impl<'a> ClusterSimulator<'a> {
                     node: next.node,
                     item: WorkItem {
                         request: item.request,
+                        model: item.model,
                         phase: item.phase,
                         tokens: item.tokens,
                         layers: next.layers,
@@ -420,7 +557,9 @@ impl<'a> ClusterSimulator<'a> {
         now: SimTime,
         bytes: f64,
     ) -> SimTime {
-        let profile = self.profile;
+        // Link hardware is shared by every model; the first lane's profile
+        // supplies the (model-independent) bandwidth and latency numbers.
+        let profile = self.lanes[0].topology.profile();
         let link = self.links.entry((from, to)).or_insert_with(|| {
             let spec = profile.cluster().link(from, to);
             LinkQueue::new(spec.bandwidth_bytes_per_sec(), spec.latency_secs())
@@ -432,7 +571,7 @@ impl<'a> ClusterSimulator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use helix_cluster::{ClusterSpec, ModelConfig};
+    use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
     use helix_core::{heuristics, IwrrScheduler, RandomScheduler, SwarmScheduler};
     use helix_workload::ArrivalPattern;
 
@@ -532,6 +671,89 @@ mod tests {
             let metrics = sim.run(&workload, SimulationConfig::offline(90.0).with_warmup(0.0));
             assert!(metrics.decode_tokens > 0);
         }
+    }
+
+    #[test]
+    fn fleet_simulation_reports_per_model_metrics() {
+        use helix_core::fleet::{fleet_profiles, FleetAnnealingOptions, FleetAnnealingPlanner};
+        use helix_core::{FleetScheduler, FleetTopology};
+        let profiles = fleet_profiles(
+            &ClusterSpec::single_cluster_24(),
+            &[ModelConfig::llama_30b(), ModelConfig::llama_13b()],
+        );
+        let planner = FleetAnnealingPlanner::new(&profiles).with_options(FleetAnnealingOptions {
+            iterations: 300,
+            ..Default::default()
+        });
+        let (placement, _) = planner.solve().unwrap();
+        let fleet = FleetTopology::plan(&profiles, &placement, true).unwrap();
+        let schedulers = FleetScheduler::iwrr(&fleet).unwrap();
+        let config = helix_workload::AzureTraceConfig {
+            mean_input_tokens: 128.0,
+            mean_output_tokens: 32.0,
+            max_input_tokens: 512,
+            max_output_tokens: 64,
+            ..Default::default()
+        };
+        let workload = Workload::merge(vec![
+            config.generate(25, 3).with_model(helix_cluster::ModelId(0)),
+            config.generate(25, 4).with_model(helix_cluster::ModelId(1)),
+        ])
+        .with_arrivals(ArrivalPattern::Offline, 4);
+        let mut sim = ClusterSimulator::new_fleet(&fleet, schedulers);
+        assert_eq!(sim.num_models(), 2);
+        let metrics =
+            sim.run_per_model(&workload, SimulationConfig::offline(150.0).with_warmup(0.0));
+        assert_eq!(metrics.per_model.len(), 2);
+        for m in &metrics.per_model {
+            assert!(m.decode_tokens > 0, "every model makes progress");
+        }
+        assert_eq!(
+            metrics.overall.decode_tokens,
+            metrics
+                .per_model
+                .iter()
+                .map(|m| m.decode_tokens)
+                .sum::<u64>()
+        );
+        assert_eq!(
+            metrics.overall.completed_requests,
+            metrics
+                .per_model
+                .iter()
+                .map(|m| m.completed_requests)
+                .sum::<u64>()
+        );
+        // The two models run on disjoint node partitions.
+        let nodes0: Vec<_> = metrics.per_model[0].node_utilization.keys().collect();
+        assert!(nodes0
+            .iter()
+            .all(|n| !metrics.per_model[1].node_utilization.contains_key(n)));
+    }
+
+    #[test]
+    fn single_model_run_matches_fleet_of_one() {
+        let profile = small_profile();
+        let topology = petals_topology(&profile);
+        let workload = small_workload(30);
+        let config = SimulationConfig::offline(100.0).with_warmup(0.0);
+        let single = {
+            let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+            let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
+            sim.run(&workload, config)
+        };
+        let fleet_of_one = {
+            let fleet = helix_core::FleetTopology::single(topology.clone());
+            let schedulers = helix_core::FleetScheduler::iwrr(&fleet).unwrap();
+            let mut sim = ClusterSimulator::new_fleet(&fleet, schedulers);
+            sim.run_per_model(&workload, config)
+        };
+        assert_eq!(single, fleet_of_one.overall);
+        // Per-model metrics carry no link stats (links are fleet-shared);
+        // everything else matches the single-model run exactly.
+        let mut per_model = fleet_of_one.per_model[0].clone();
+        per_model.link_stats = single.link_stats.clone();
+        assert_eq!(single, per_model);
     }
 
     #[test]

@@ -71,6 +71,7 @@ impl AzureTraceConfig {
                     prompt_tokens: prompt,
                     output_tokens: output,
                     arrival_time: 0.0,
+                    model: helix_cluster::ModelId::default(),
                 }
             })
             .collect();

@@ -18,11 +18,14 @@
 mod arrival;
 mod azure;
 mod request;
+mod trace;
 
 pub use arrival::ArrivalPattern;
 pub use azure::AzureTraceConfig;
 pub use request::{Request, RequestId};
+pub use trace::TraceError;
 
+use helix_cluster::ModelId;
 use serde::{Deserialize, Serialize};
 
 /// A set of requests with lengths and arrival times, sorted by arrival time.
@@ -59,6 +62,68 @@ impl Workload {
     /// and all arrival times at zero (offline setting).
     pub fn azure_like(n: usize, seed: u64) -> Self {
         AzureTraceConfig::default().generate(n, seed)
+    }
+
+    /// Generates a mixed-model workload: `counts[m]` Azure-like requests
+    /// tagged `ModelId(m)` for every model of the fleet, with globally unique
+    /// request ids.  Arrival times start at zero; use
+    /// [`Workload::with_arrivals`] to spread them out.
+    pub fn mixed_azure_like(counts: &[usize], seed: u64) -> Self {
+        let workloads = counts
+            .iter()
+            .enumerate()
+            .map(|(m, &n)| {
+                AzureTraceConfig::default()
+                    .generate(n, seed.wrapping_add(m as u64))
+                    .with_model(ModelId(m))
+            })
+            .collect();
+        Self::merge(workloads)
+    }
+
+    /// Tags every request with `model`.
+    pub fn with_model(mut self, model: ModelId) -> Self {
+        for r in &mut self.requests {
+            r.model = model;
+        }
+        self
+    }
+
+    /// Merges several workloads into one, re-numbering request ids so they
+    /// stay globally unique, and re-sorting by arrival time.
+    pub fn merge(workloads: Vec<Workload>) -> Self {
+        let mut requests: Vec<Request> = Vec::new();
+        for w in workloads {
+            for mut r in w.requests {
+                r.id = requests.len() as RequestId;
+                requests.push(r);
+            }
+        }
+        Workload::new(requests)
+    }
+
+    /// Splits the workload by model: entry `m` holds the requests tagged
+    /// `ModelId(m)` (ids preserved), for `num_models` models.
+    pub fn per_model(&self, num_models: usize) -> Vec<Workload> {
+        (0..num_models)
+            .map(|m| {
+                Workload::new(
+                    self.requests
+                        .iter()
+                        .filter(|r| r.model == ModelId(m))
+                        .copied()
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// The distinct models requests target, in id order.
+    pub fn models(&self) -> Vec<ModelId> {
+        let mut models: Vec<ModelId> = self.requests.iter().map(|r| r.model).collect();
+        models.sort();
+        models.dedup();
+        models
     }
 
     /// Reassigns arrival times according to `pattern`.
@@ -242,6 +307,34 @@ mod tests {
         assert_eq!(stats.arrivals_per_minute.iter().sum::<usize>(), 2000);
         assert!(w.total_output_tokens() > 0);
         assert!(w.total_prompt_tokens() > w.total_output_tokens());
+    }
+
+    #[test]
+    fn mixed_model_workloads_merge_split_and_stay_unique() {
+        let w = Workload::mixed_azure_like(&[30, 20], 5);
+        assert_eq!(w.len(), 50);
+        assert_eq!(w.models(), vec![ModelId(0), ModelId(1)]);
+        // Ids are globally unique.
+        let mut ids: Vec<RequestId> = w.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 50);
+        let per_model = w.per_model(2);
+        assert_eq!(per_model[0].len(), 30);
+        assert_eq!(per_model[1].len(), 20);
+        assert!(per_model[0].iter().all(|r| r.model == ModelId(0)));
+        assert!(per_model[1].iter().all(|r| r.model == ModelId(1)));
+        // Tagging is total.
+        let tagged = Workload::azure_like(10, 1).with_model(ModelId(3));
+        assert!(tagged.iter().all(|r| r.model == ModelId(3)));
+        assert_eq!(tagged.models(), vec![ModelId(3)]);
+        // Merging preserves arrival ordering.
+        let merged = Workload::merge(vec![
+            Workload::azure_like(5, 2).with_arrivals(ArrivalPattern::constant_rate(1.0), 3),
+            Workload::azure_like(5, 4).with_arrivals(ArrivalPattern::constant_rate(2.0), 5),
+        ]);
+        let times: Vec<f64> = merged.iter().map(|r| r.arrival_time).collect();
+        assert!(times.windows(2).all(|p| p[0] <= p[1]));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Request records.
 
+use helix_cluster::ModelId;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a request within a workload.
@@ -22,6 +23,9 @@ pub struct Request {
     pub output_tokens: usize,
     /// Arrival time in seconds from the start of the trace.
     pub arrival_time: f64,
+    /// Which model of the fleet the request targets (`ModelId(0)` in
+    /// single-model deployments).
+    pub model: ModelId,
 }
 
 impl Request {
@@ -42,7 +46,9 @@ mod tests {
             prompt_tokens: 100,
             output_tokens: 50,
             arrival_time: 0.0,
+            model: ModelId::default(),
         };
         assert_eq!(r.total_tokens(), 150);
+        assert_eq!(r.model, ModelId(0));
     }
 }

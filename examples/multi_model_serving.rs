@@ -1,0 +1,101 @@
+//! Multi-model serving: two models (LLaMA 30B + LLaMA 13B) share one 24-node
+//! cluster.  The joint fleet planner partitions nodes between the models
+//! (moving nodes across models with warm-started flow evaluations), the
+//! `FleetTopology` splits shared-node compute/KV budgets, and a mixed
+//! workload runs through per-model IWRR schedulers in the simulator and the
+//! prototype runtime, reporting per-model throughput and latency.
+//!
+//! ```text
+//! cargo run --release --example multi_model_serving
+//! ```
+
+use helix::prelude::*;
+use helix_cluster::ModelId;
+use helix_core::fleet::{fleet_profiles, FleetAnnealingOptions, FleetAnnealingPlanner};
+use helix_core::{FleetScheduler, FleetTopology};
+use helix_sim::SimulationConfig;
+use helix_workload::AzureTraceConfig;
+
+fn main() {
+    // 1. One cluster, two models, one analytic profile per model.
+    let cluster = ClusterSpec::single_cluster_24();
+    let models = [ModelConfig::llama_30b(), ModelConfig::llama_13b()];
+    let profiles = fleet_profiles(&cluster, &models);
+    println!("cluster: {} ({} nodes)", cluster.name, cluster.num_nodes());
+    for (m, model) in models.iter().enumerate() {
+        println!("model{m}:  {} ({} layers)", model.name, model.num_layers);
+    }
+
+    // 2. Jointly plan both placements: intra-model layer moves plus
+    //    cross-model node moves, every evaluation warm-started.
+    let planner = FleetAnnealingPlanner::new(&profiles).with_options(FleetAnnealingOptions {
+        iterations: 3000,
+        ..Default::default()
+    });
+    let (placement, flows) = planner.solve().expect("fleet placement");
+    println!("\nper-model max-flow throughput (tokens/s):");
+    for (m, flow) in flows.iter().enumerate() {
+        let nodes = placement.placements()[m].num_assigned();
+        println!("  model{m}: {flow:>8.0}  ({nodes} nodes)");
+    }
+
+    // 3. Materialise the fleet topology (shared-node accounting + one
+    //    max-flow solution per model) and the per-model IWRR schedulers.
+    let fleet = FleetTopology::plan(&profiles, &placement, true).expect("fleet topology");
+    println!(
+        "fleet total planned throughput: {:.0} tokens/s",
+        fleet.total_flow_value()
+    );
+
+    // 4. A mixed workload: Azure-like lengths, two model tags.
+    let config = AzureTraceConfig {
+        mean_input_tokens: 128.0,
+        mean_output_tokens: 24.0,
+        max_input_tokens: 512,
+        max_output_tokens: 48,
+        ..Default::default()
+    };
+    let workload = helix_workload::Workload::merge(vec![
+        config.generate(60, 1).with_model(ModelId(0)),
+        config.generate(60, 2).with_model(ModelId(1)),
+    ])
+    .with_arrivals(ArrivalPattern::Offline, 3);
+
+    // 5. Simulate and report per-model metrics.
+    let schedulers = FleetScheduler::iwrr(&fleet).expect("fleet scheduler");
+    let mut sim = helix_sim::ClusterSimulator::new_fleet(&fleet, schedulers);
+    let metrics = sim.run_per_model(&workload, SimulationConfig::offline(240.0).with_warmup(0.0));
+    println!("\nsimulator, offline burst ({} requests):", workload.len());
+    for (m, per_model) in metrics.per_model.iter().enumerate() {
+        println!(
+            "  model{m}: {:>7.1} tok/s decode, {:>3} completed, prompt latency {:.2}s avg",
+            per_model.decode_throughput(),
+            per_model.completed_requests,
+            per_model.avg_prompt_latency()
+        );
+    }
+
+    // 6. The same fleet through the prototype runtime (threads + fabric).
+    let schedulers = FleetScheduler::iwrr(&fleet).expect("fleet scheduler");
+    let runtime = helix_runtime::ServingRuntime::new_fleet(
+        &fleet,
+        schedulers,
+        helix_runtime::RuntimeConfig::fast_test(),
+    )
+    .expect("fleet runtime");
+    let small = helix_workload::Workload::merge(vec![
+        config.generate(12, 4).with_model(ModelId(0)),
+        config.generate(12, 5).with_model(ModelId(1)),
+    ]);
+    let report = runtime.serve(&small).expect("runtime serves");
+    println!("\nprototype runtime ({} requests):", small.len());
+    for m in 0..2 {
+        let model = ModelId(m);
+        println!(
+            "  model{m}: {:>7.1} tok/s decode, {:>3} completed, prompt latency {:.2}s p50",
+            report.decode_throughput_for(model),
+            report.outcomes_for(model).len(),
+            report.prompt_latency_for(model).p50
+        );
+    }
+}

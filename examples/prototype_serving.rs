@@ -99,6 +99,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             prompt_tokens: r.prompt_tokens.min(256),
             output_tokens: r.output_tokens.clamp(2, 24),
             arrival_time: 0.1 * i as f64,
+            model: Default::default(),
         })
         .collect();
     let workload = Workload::new(requests);

@@ -55,20 +55,21 @@ pub use helix_workload as workload;
 pub mod prelude {
     pub use helix_cluster::{
         ClusterBuilder, ClusterProfile, ClusterSpec, ComputeNode, GpuSpec, GpuType, ModelConfig,
-        NetworkLink, NodeId, Region,
+        ModelId, NetworkLink, NodeId, Region,
     };
     pub use helix_core::{
-        heuristics, AnnealingOptions, Endpoint, FlowAnnealingPlanner, FlowGraphBuilder, HelixError,
-        IwrrScheduler, KvCacheEstimator, LayerRange, MilpPlacementPlanner, MilpPlannerReport,
-        ModelPlacement, PipelineStage, PlacementFlowGraph, PlannerOptions, RandomScheduler,
-        RequestPipeline, Scheduler, SchedulerKind, ShortestQueueScheduler, SwarmScheduler,
-        Topology,
+        fleet_profiles, heuristics, AnnealingOptions, Endpoint, FleetAnnealingOptions,
+        FleetAnnealingPlanner, FleetPlacement, FleetScheduler, FleetTopology, FlowAnnealingPlanner,
+        FlowGraphBuilder, HelixError, IwrrScheduler, KvCacheEstimator, LayerRange,
+        MilpPlacementPlanner, MilpPlannerReport, ModelPlacement, PipelineStage, PlacementFlowGraph,
+        PlannerOptions, RandomScheduler, RequestPipeline, Scheduler, SchedulerKind,
+        ShortestQueueScheduler, SwarmScheduler, Topology,
     };
     pub use helix_maxflow::{FlowNetwork, MaxFlowAlgorithm};
     pub use helix_milp::{MilpSolver, Model, ObjectiveSense, Sense, VarType};
     pub use helix_runtime::{RuntimeConfig, RuntimeReport, ServingRuntime};
-    pub use helix_sim::{ClusterSimulator, Metrics, SimulationConfig};
-    pub use helix_workload::{ArrivalPattern, AzureTraceConfig, Request, Workload};
+    pub use helix_sim::{ClusterSimulator, FleetMetrics, Metrics, SimulationConfig};
+    pub use helix_workload::{ArrivalPattern, AzureTraceConfig, Request, TraceError, Workload};
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@ fn burst(n: u64) -> Workload {
                 prompt_tokens: 96,
                 output_tokens: 8,
                 arrival_time: 0.0,
+                model: Default::default(),
             })
             .collect(),
     )
