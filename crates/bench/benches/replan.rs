@@ -1,0 +1,127 @@
+//! Warm online re-planning vs cold from-scratch fleet planning on the
+//! paper's 24-node cluster serving two models (LLaMA 30B + LLaMA 13B).
+//!
+//! The claim under test: a single-node delta (or a changed observation on
+//! one node) should cost far less through [`FleetTopology::replan`] — which
+//! re-derives shares only for the touched node and re-solves only the
+//! affected model (warm standing evaluator + one deterministic
+//! materialisation) — than re-running [`FleetTopology::plan`] over every
+//! model of the fleet.
+//!
+//! Run with `cargo bench -p helix-bench --bench replan`; results are
+//! recorded in `BENCH_replan.json` at the repository root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig, ModelId};
+use helix_core::fleet::{
+    fleet_profiles, FleetAnnealingOptions, FleetAnnealingPlanner, FleetTopology,
+};
+use helix_core::{LayerRange, NodeObservations, PlacementDelta};
+use std::hint::black_box;
+
+fn two_model_profiles() -> Vec<ClusterProfile> {
+    fleet_profiles(
+        &ClusterSpec::single_cluster_24(),
+        &[ModelConfig::llama_30b(), ModelConfig::llama_13b()],
+    )
+}
+
+fn planned_fleet(
+    profiles: &[ClusterProfile],
+) -> (helix_core::fleet::FleetPlacement, FleetTopology) {
+    let planner = FleetAnnealingPlanner::new(profiles).with_options(FleetAnnealingOptions {
+        iterations: 1000,
+        ..Default::default()
+    });
+    let (placement, _) = planner.solve().unwrap();
+    let fleet = FleetTopology::plan(profiles, &placement, true).unwrap();
+    (placement, fleet)
+}
+
+/// A one-layer shrink of some model-1 node that keeps the placement valid.
+fn single_node_delta(
+    profiles: &[ClusterProfile],
+    placement: &helix_core::fleet::FleetPlacement,
+) -> (PlacementDelta, PlacementDelta) {
+    let (node, range) = placement.placements()[1]
+        .iter()
+        .find(|(node, range)| {
+            range.len() > 1 && {
+                let mut mutated = placement.placements()[1].clone();
+                mutated.assign(*node, LayerRange::new(range.start, range.end - 1));
+                mutated.has_complete_pipeline(profiles[1].model().num_layers)
+                    && mutated.validate(&profiles[1]).is_ok()
+            }
+        })
+        .expect("some range is shrinkable");
+    let shrink = PlacementDelta::new().assign(
+        ModelId(1),
+        node,
+        LayerRange::new(range.start, range.end - 1),
+    );
+    let restore = PlacementDelta::new().assign(ModelId(1), node, range);
+    (shrink, restore)
+}
+
+fn bench_replan_vs_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replan_24_node_2_model");
+    group.sample_size(20);
+    let profiles = two_model_profiles();
+    let (placement, fleet) = planned_fleet(&profiles);
+
+    // Cold baseline: full fleet plan from scratch (what the one-shot
+    // pipeline would redo after any drift).
+    group.bench_function("cold_full_plan", |b| {
+        b.iter(|| {
+            black_box(
+                FleetTopology::plan(&profiles, &placement, true)
+                    .unwrap()
+                    .total_flow_value(),
+            )
+        })
+    });
+
+    // Warm: a single-node placement delta toggled back and forth on the
+    // standing fleet — shares re-derived for one node, one model re-solved.
+    let (shrink, restore) = single_node_delta(&profiles, &placement);
+    let none = NodeObservations::new();
+    let mut standing = fleet.clone();
+    // Build the standing evaluator outside the timing loop (first re-plan
+    // pays the one-time construction).
+    standing.replan(&shrink, &none).unwrap();
+    standing.replan(&restore, &none).unwrap();
+    let mut flip = false;
+    group.bench_function("warm_replan_single_node_delta", |b| {
+        b.iter(|| {
+            flip = !flip;
+            let delta = if flip { &shrink } else { &restore };
+            black_box(standing.replan(delta, &none).unwrap().warm_flow_values[0])
+        })
+    });
+
+    // Warm: an observation-only re-plan (a node's measured speed halves) —
+    // the steady-state cost of the feedback loop's firing.
+    let slow_node = placement.placements()[0].iter().next().unwrap().0;
+    let mut observed = NodeObservations::new();
+    observed.record(slow_node, ModelId(0), 100.0, 0.5, 0.9);
+    let mut standing = fleet.clone();
+    standing.replan(&PlacementDelta::new(), &observed).unwrap();
+    standing.replan(&PlacementDelta::new(), &none).unwrap();
+    let mut flip = false;
+    group.bench_function("warm_replan_observation_only", |b| {
+        b.iter(|| {
+            flip = !flip;
+            let obs = if flip { &observed } else { &none };
+            black_box(
+                standing
+                    .replan(&PlacementDelta::new(), obs)
+                    .unwrap()
+                    .warm_flow_values[0],
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replan_vs_plan);
+criterion_main!(benches);

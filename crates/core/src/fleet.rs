@@ -30,9 +30,10 @@
 //! strictly partitioned.
 
 use crate::error::HelixError;
-use crate::flow_graph::FlowGraphBuilder;
+use crate::flow_graph::{Endpoint, FlowGraphBuilder};
 use crate::placement::incremental::IncrementalFlowEvaluator;
 use crate::placement::{LayerRange, ModelPlacement};
+use crate::replan::{NodeObservations, PlacementDelta, ReplanOutcome};
 use crate::scheduling::iwrr::IwrrScheduler;
 use crate::scheduling::{ClusterState, RequestPipeline, Scheduler, SchedulerKind};
 use crate::topology::Topology;
@@ -42,6 +43,7 @@ use helix_cluster::{
 use helix_maxflow::MaxFlowAlgorithm;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 
 /// Builds the per-model [`ClusterProfile`]s of a fleet: one analytic profile
 /// per model, all over the same cluster.
@@ -160,14 +162,142 @@ impl FleetPlacement {
     }
 }
 
+/// One node's capacity split between the fleet's tenants: a compute share
+/// and an optional VRAM override per model.
+///
+/// Compute shares are proportional to the FLOPs of the layers each model
+/// placed on the node; KV shares to the KV bytes its cached tokens would
+/// occupy.  Sole tenants get exactly `1.0` / the full free VRAM, which keeps
+/// the N=1 fleet bit-identical to the single-model profile.  When a measured
+/// [`NodeObservations`] entry exists for a (node, model) engine, the
+/// analytic share is multiplied by the observed speed factor — planning then
+/// prices the node as it actually performs, not as the data sheet promised.
+fn node_capacity_split(
+    profiles: &[ClusterProfile],
+    placement: &FleetPlacement,
+    observed: &NodeObservations,
+    node: NodeId,
+) -> Vec<(f64, Option<f64>)> {
+    let num_models = profiles.len();
+    let mut split: Vec<(f64, Option<f64>)> = vec![(1.0, None); num_models];
+    let tenants: Vec<usize> = (0..num_models)
+        .filter(|&m| placement.placements()[m].range(node).is_some())
+        .collect();
+    if tenants.len() >= 2 {
+        let layers = |m: usize| placement.placements()[m].range(node).map_or(0, |r| r.len()) as f64;
+        let flops_demand: Vec<f64> = tenants
+            .iter()
+            .map(|&m| layers(m) * profiles[m].model().layer_flops_per_token())
+            .collect();
+        let flops_total: f64 = flops_demand.iter().sum();
+        let weight_bytes: Vec<f64> = tenants
+            .iter()
+            .map(|&m| layers(m) * profiles[m].model().layer_weight_bytes())
+            .collect();
+        let kv_demand: Vec<f64> = tenants
+            .iter()
+            .map(|&m| layers(m) * profiles[m].model().kv_bytes_per_token_per_layer())
+            .collect();
+        let kv_total: f64 = kv_demand.iter().sum();
+        let vram = profiles[0].node_profile(node).vram_bytes;
+        let free = (vram - weight_bytes.iter().sum::<f64>()).max(0.0);
+        for (t, &m) in tenants.iter().enumerate() {
+            split[m].0 = flops_demand[t] / flops_total.max(1e-12);
+            let kv_share = kv_demand[t] / kv_total.max(1e-12);
+            split[m].1 = Some(weight_bytes[t] + kv_share * free);
+        }
+    }
+    for &m in &tenants {
+        if let Some(speed) = observed.speed_factor(node, ModelId(m)) {
+            split[m].0 *= speed;
+        }
+    }
+    split
+}
+
+/// The node→node link flows of a planned topology, keyed by directed pair.
+fn node_link_flows(topology: &Topology) -> BTreeMap<(NodeId, NodeId), f64> {
+    topology
+        .links()
+        .iter()
+        .filter_map(|l| match (l.from, l.to) {
+            (Endpoint::Node(a), Endpoint::Node(b)) => Some(((a, b), l.flow)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Splits every link that is valid under ≥2 models by the models' pass-1
+/// flow shares, mirroring how node compute/KV are split.  Links valid under
+/// a single model get no entry (their capacity stays bit-identical); a link
+/// nobody routed flow over in pass 1 is split evenly among its tenants.
+fn derive_link_shares(
+    unsplit_link_flows: &[BTreeMap<(NodeId, NodeId), f64>],
+) -> Vec<BTreeMap<(NodeId, NodeId), f64>> {
+    let num_models = unsplit_link_flows.len();
+    let mut shares: Vec<BTreeMap<(NodeId, NodeId), f64>> = vec![BTreeMap::new(); num_models];
+    let mut tenants: BTreeMap<(NodeId, NodeId), Vec<usize>> = BTreeMap::new();
+    for (m, flows) in unsplit_link_flows.iter().enumerate() {
+        for &link in flows.keys() {
+            tenants.entry(link).or_default().push(m);
+        }
+    }
+    for (link, models) in tenants {
+        if models.len() < 2 {
+            continue;
+        }
+        let flows: Vec<f64> = models
+            .iter()
+            .map(|&m| unsplit_link_flows[m][&link])
+            .collect();
+        let total: f64 = flows.iter().sum();
+        for (i, &m) in models.iter().enumerate() {
+            let share = if total > 0.0 {
+                flows[i] / total
+            } else {
+                1.0 / models.len() as f64
+            };
+            shares[m].insert(link, share);
+        }
+    }
+    shares
+}
+
 /// The multi-model planning artifact: shared-node accounting plus one
 /// [`Topology`] per model, each planned on its capacity-split profile.
+///
+/// Beyond the one-shot [`FleetTopology::plan`], the artifact is **mutable**:
+/// [`FleetTopology::replan`] closes the online loop by applying a
+/// [`PlacementDelta`] and a fresh [`NodeObservations`] snapshot, re-deriving
+/// compute/KV shares only for the touched nodes and re-solving only the
+/// affected models — each on a standing warm-started
+/// [`IncrementalFlowEvaluator`], followed by a deterministic materialisation
+/// that is property-tested bit-identical to a from-scratch
+/// [`FleetTopology::plan`] of the mutated placement.
 #[derive(Debug, Clone)]
 pub struct FleetTopology {
+    /// Base (unscaled) per-model profiles; scaling is re-derived on re-plan.
+    profiles: Vec<ClusterProfile>,
+    placement: FleetPlacement,
+    partial_inference: bool,
+    /// The observation snapshot the current shares were derived from.
+    observations: NodeObservations,
     topologies: Vec<Topology>,
     /// `compute_shares[model][node]`: this model's fraction of the node's
-    /// compute (1.0 for sole tenants and for nodes the model does not use).
+    /// compute (1.0 for sole tenants and for nodes the model does not use),
+    /// multiplied by the observed speed factor when one is recorded.
     compute_shares: Vec<Vec<f64>>,
+    /// `vram_overrides[model][node]`: the VRAM slice backing this model's KV
+    /// arithmetic on shared nodes (`None` = full node VRAM).
+    vram_overrides: Vec<Vec<Option<f64>>>,
+    /// Pass-1 (unsplit-link) node→node flows per model, the inputs to the
+    /// cross-model link split.
+    unsplit_link_flows: Vec<BTreeMap<(NodeId, NodeId), f64>>,
+    /// Per-model shares of links valid under ≥2 models (empty for a model
+    /// whose links are all sole-tenant).
+    link_shares: Vec<BTreeMap<(NodeId, NodeId), f64>>,
+    /// Standing per-model warm evaluators, built lazily on first re-plan.
+    evaluators: Vec<Option<IncrementalFlowEvaluator>>,
 }
 
 impl FleetTopology {
@@ -183,63 +313,83 @@ impl FleetTopology {
         placement: &FleetPlacement,
         partial_inference: bool,
     ) -> Result<Self, HelixError> {
+        Self::plan_observed(
+            profiles,
+            placement,
+            partial_inference,
+            &NodeObservations::new(),
+        )
+    }
+
+    /// Like [`FleetTopology::plan`], but prices every observed (node, model)
+    /// engine at its measured speed factor instead of the analytic share —
+    /// the entry point online re-planning and observation-aware offline
+    /// planning share.  An empty observation set reproduces
+    /// [`FleetTopology::plan`] bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fleet and per-model placement validation errors.
+    pub fn plan_observed(
+        profiles: &[ClusterProfile],
+        placement: &FleetPlacement,
+        partial_inference: bool,
+        observed: &NodeObservations,
+    ) -> Result<Self, HelixError> {
         placement.validate(profiles)?;
         let cluster = profiles[0].cluster();
         let n = cluster.num_nodes();
         let num_models = profiles.len();
 
-        // Per-node weight bytes, compute demand and KV demand of each model.
-        // Compute shares are proportional to the FLOPs of the layers each
-        // model placed on the node; KV shares to the KV bytes its cached
-        // tokens would occupy.  Sole tenants get exactly 1.0 / the full free
-        // VRAM, which keeps the N=1 fleet bit-identical to the single-model
-        // profile.
         let mut compute_shares = vec![vec![1.0f64; n]; num_models];
         let mut vram_overrides: Vec<Vec<Option<f64>>> = vec![vec![None; n]; num_models];
         for node in cluster.node_ids() {
-            let i = node.index();
-            let tenants: Vec<usize> = (0..num_models)
-                .filter(|&m| placement.placements()[m].range(node).is_some())
-                .collect();
-            if tenants.len() < 2 {
-                continue;
-            }
-            let layers =
-                |m: usize| placement.placements()[m].range(node).map_or(0, |r| r.len()) as f64;
-            let flops_demand: Vec<f64> = tenants
-                .iter()
-                .map(|&m| layers(m) * profiles[m].model().layer_flops_per_token())
-                .collect();
-            let flops_total: f64 = flops_demand.iter().sum();
-            let weight_bytes: Vec<f64> = tenants
-                .iter()
-                .map(|&m| layers(m) * profiles[m].model().layer_weight_bytes())
-                .collect();
-            let kv_demand: Vec<f64> = tenants
-                .iter()
-                .map(|&m| layers(m) * profiles[m].model().kv_bytes_per_token_per_layer())
-                .collect();
-            let kv_total: f64 = kv_demand.iter().sum();
-            let vram = profiles[0].node_profile(node).vram_bytes;
-            let free = (vram - weight_bytes.iter().sum::<f64>()).max(0.0);
-            for (t, &m) in tenants.iter().enumerate() {
-                compute_shares[m][i] = flops_demand[t] / flops_total.max(1e-12);
-                let kv_share = kv_demand[t] / kv_total.max(1e-12);
-                vram_overrides[m][i] = Some(weight_bytes[t] + kv_share * free);
+            let split = node_capacity_split(profiles, placement, observed, node);
+            for (m, (share, vram)) in split.into_iter().enumerate() {
+                compute_shares[m][node.index()] = share;
+                vram_overrides[m][node.index()] = vram;
             }
         }
 
-        let topologies = profiles
-            .iter()
-            .enumerate()
-            .map(|(m, profile)| {
-                let scaled = profile.scaled(&compute_shares[m], &vram_overrides[m]);
-                Topology::plan(&scaled, &placement.placements()[m], partial_inference)
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        // Pass 1: per-model solves with full link capacities; their flows
+        // decide how fleet-shared links are split.
+        let mut pass1 = Vec::with_capacity(num_models);
+        let mut unsplit_link_flows = Vec::with_capacity(num_models);
+        for (m, profile) in profiles.iter().enumerate() {
+            let scaled = profile.scaled(&compute_shares[m], &vram_overrides[m]);
+            let topology = Topology::plan(&scaled, &placement.placements()[m], partial_inference)?;
+            unsplit_link_flows.push(node_link_flows(&topology));
+            pass1.push((topology, scaled));
+        }
+        let link_shares = derive_link_shares(&unsplit_link_flows);
+
+        // Pass 2: models routing over fleet-shared links re-solve with their
+        // split capacities; everyone else keeps the pass-1 topology.
+        let mut topologies = Vec::with_capacity(num_models);
+        for (m, (topology, scaled)) in pass1.into_iter().enumerate() {
+            if link_shares[m].is_empty() {
+                topologies.push(topology);
+            } else {
+                topologies.push(Topology::plan_with_link_shares(
+                    &scaled,
+                    &placement.placements()[m],
+                    partial_inference,
+                    &link_shares[m],
+                )?);
+            }
+        }
+
         Ok(FleetTopology {
+            profiles: profiles.to_vec(),
+            placement: placement.clone(),
+            partial_inference,
+            observations: observed.clone(),
             topologies,
             compute_shares,
+            vram_overrides,
+            unsplit_link_flows,
+            link_shares,
+            evaluators: vec![None; num_models],
         })
     }
 
@@ -247,10 +397,214 @@ impl FleetTopology {
     /// fleet (the trivial N=1 case; nothing is re-planned).
     pub fn single(topology: Topology) -> Self {
         let n = topology.profile().cluster().num_nodes();
+        let unsplit = node_link_flows(&topology);
         FleetTopology {
+            profiles: vec![topology.profile().clone()],
+            placement: FleetPlacement::single(topology.placement().clone()),
+            partial_inference: topology.partial_inference(),
+            observations: NodeObservations::new(),
             topologies: vec![topology],
             compute_shares: vec![vec![1.0; n]],
+            vram_overrides: vec![vec![None; n]],
+            unsplit_link_flows: vec![unsplit],
+            link_shares: vec![BTreeMap::new()],
+            evaluators: vec![None],
         }
+    }
+
+    /// Applies a placement delta plus a fresh observation snapshot to the
+    /// standing fleet plan: re-derives compute/KV shares **only for the
+    /// nodes the delta or the observation change touches**, warm re-solves
+    /// the affected models' standing [`IncrementalFlowEvaluator`]s, and
+    /// re-materialises only those models' topologies (through the same
+    /// deterministic code path as [`FleetTopology::plan_observed`], so the
+    /// result is bit-identical to a from-scratch plan of the mutated
+    /// placement under the same observations).  Unaffected models' planned
+    /// topologies, IWRR weights and link splits are left untouched.
+    ///
+    /// `observed` is a full snapshot: pairs present in the previous snapshot
+    /// but absent here revert to their analytic shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HelixError::UnknownModel`] for a delta naming a model the
+    /// fleet does not serve and propagates validation/planning errors for
+    /// the mutated placement.  On error the fleet plan is left unchanged.
+    pub fn replan(
+        &mut self,
+        delta: &PlacementDelta,
+        observed: &NodeObservations,
+    ) -> Result<ReplanOutcome, HelixError> {
+        let num_models = self.profiles.len();
+        for &(model, _, _) in delta.changes() {
+            if model.index() >= num_models {
+                return Err(HelixError::UnknownModel { model, num_models });
+            }
+        }
+
+        // 1. Mutate and validate the placement (on a copy; commit later).
+        let mut new_placements = self.placement.placements().to_vec();
+        for &(model, node, range) in delta.changes() {
+            match range {
+                Some(r) => new_placements[model.index()].assign(node, r),
+                None => new_placements[model.index()].clear(node),
+            }
+        }
+        let new_placement = FleetPlacement::new(new_placements);
+        new_placement.validate(&self.profiles)?;
+
+        // 2. Touched nodes: everything the delta moves plus every node whose
+        // effective observation changed against the stored snapshot.
+        let cluster = self.profiles[0].cluster().clone();
+        let mut touched = delta.touched_nodes();
+        for node in cluster.node_ids() {
+            if touched.contains(&node) {
+                continue;
+            }
+            let changed = (0..num_models).any(|m| {
+                observed.speed_factor(node, ModelId(m))
+                    != self.observations.speed_factor(node, ModelId(m))
+            });
+            if changed {
+                touched.push(node);
+            }
+        }
+        touched.sort();
+
+        // 3. Affected models: any tenant (old or new) of a touched node,
+        // plus every model the delta names.
+        let mut affected: Vec<usize> = delta.models().iter().map(|m| m.index()).collect();
+        for &node in &touched {
+            for m in 0..num_models {
+                if self.placement.placements()[m].range(node).is_some()
+                    || new_placement.placements()[m].range(node).is_some()
+                {
+                    affected.push(m);
+                }
+            }
+        }
+        affected.sort();
+        affected.dedup();
+        if affected.is_empty() {
+            self.placement = new_placement;
+            self.observations = observed.clone();
+            return Ok(ReplanOutcome {
+                affected: Vec::new(),
+                warm_flow_values: Vec::new(),
+            });
+        }
+
+        // 4. Re-derive shares for the touched nodes only.
+        let mut compute_shares = self.compute_shares.clone();
+        let mut vram_overrides = self.vram_overrides.clone();
+        for &node in &touched {
+            let split = node_capacity_split(&self.profiles, &new_placement, observed, node);
+            for (m, (share, vram)) in split.into_iter().enumerate() {
+                compute_shares[m][node.index()] = share;
+                vram_overrides[m][node.index()] = vram;
+            }
+        }
+
+        // 5. Pass 1 for the affected models (fallible; nothing committed yet).
+        let mut scaled_profiles: BTreeMap<usize, ClusterProfile> = BTreeMap::new();
+        let mut pass1: BTreeMap<usize, Topology> = BTreeMap::new();
+        let mut unsplit = self.unsplit_link_flows.clone();
+        for &m in &affected {
+            let scaled = self.profiles[m].scaled(&compute_shares[m], &vram_overrides[m]);
+            let topology = Topology::plan(
+                &scaled,
+                &new_placement.placements()[m],
+                self.partial_inference,
+            )?;
+            unsplit[m] = node_link_flows(&topology);
+            pass1.insert(m, topology);
+            scaled_profiles.insert(m, scaled);
+        }
+
+        // 6. Re-derive the cross-model link split.  A model whose link
+        // shares moved is coupled into the affected set even if none of its
+        // own nodes were touched.
+        let link_shares = derive_link_shares(&unsplit);
+        let mut final_affected = affected;
+        for (m, shares) in link_shares.iter().enumerate() {
+            if *shares != self.link_shares[m] && !final_affected.contains(&m) {
+                final_affected.push(m);
+            }
+        }
+        final_affected.sort();
+
+        // 7. Materialise the affected models' final topologies (fallible).
+        let mut new_topologies: BTreeMap<usize, Topology> = BTreeMap::new();
+        for &m in &final_affected {
+            let scaled = match scaled_profiles.get(&m) {
+                Some(s) => s.clone(),
+                None => {
+                    let s = self.profiles[m].scaled(&compute_shares[m], &vram_overrides[m]);
+                    scaled_profiles.insert(m, s.clone());
+                    s
+                }
+            };
+            let topology = if link_shares[m].is_empty() {
+                match pass1.remove(&m) {
+                    Some(t) => t,
+                    None => Topology::plan(
+                        &scaled,
+                        &new_placement.placements()[m],
+                        self.partial_inference,
+                    )?,
+                }
+            } else {
+                Topology::plan_with_link_shares(
+                    &scaled,
+                    &new_placement.placements()[m],
+                    self.partial_inference,
+                    &link_shares[m],
+                )?
+            };
+            new_topologies.insert(m, topology);
+        }
+
+        // 8. Commit: warm re-solve each affected model's standing evaluator
+        // (built on first use), then swap in the new planning facts.
+        let mut warm_flow_values = Vec::with_capacity(final_affected.len());
+        for &m in &final_affected {
+            let scaled = scaled_profiles[&m].clone();
+            let changes: Vec<(NodeId, Option<LayerRange>)> = delta
+                .changes()
+                .iter()
+                .filter(|&&(model, _, _)| model.index() == m)
+                .map(|&(_, node, range)| (node, range))
+                .collect();
+            let warm = match &mut self.evaluators[m] {
+                Some(evaluator) => evaluator.rebase(scaled, &changes, &touched),
+                None => {
+                    let evaluator = IncrementalFlowEvaluator::new(
+                        &scaled,
+                        &new_placement.placements()[m],
+                        self.partial_inference,
+                        None,
+                        MaxFlowAlgorithm::Dinic,
+                    )?;
+                    let value = evaluator.value();
+                    self.evaluators[m] = Some(evaluator);
+                    value
+                }
+            };
+            warm_flow_values.push(warm);
+        }
+        for (m, topology) in new_topologies {
+            self.topologies[m] = topology;
+        }
+        self.compute_shares = compute_shares;
+        self.vram_overrides = vram_overrides;
+        self.unsplit_link_flows = unsplit;
+        self.link_shares = link_shares;
+        self.placement = new_placement;
+        self.observations = observed.clone();
+        Ok(ReplanOutcome {
+            affected: final_affected.into_iter().map(ModelId).collect(),
+            warm_flow_values,
+        })
     }
 
     /// Number of models in the fleet.
@@ -268,14 +622,53 @@ impl FleetTopology {
         &self.topologies
     }
 
+    /// The fleet placement the current plan realises.
+    pub fn placement(&self) -> &FleetPlacement {
+        &self.placement
+    }
+
+    /// The base (unscaled) per-model profiles the fleet plans against.
+    pub fn profiles(&self) -> &[ClusterProfile] {
+        &self.profiles
+    }
+
+    /// Whether connection validity allows partial inference.
+    pub fn partial_inference(&self) -> bool {
+        self.partial_inference
+    }
+
+    /// The observation snapshot the current shares were derived from.
+    pub fn observations(&self) -> &NodeObservations {
+        &self.observations
+    }
+
     /// This model's fraction of `node`'s compute (1.0 when it is the sole
-    /// tenant or does not use the node).
+    /// tenant or does not use the node), including any observed speed factor.
     pub fn compute_share(&self, model: ModelId, node: NodeId) -> f64 {
         self.compute_shares
             .get(model.index())
             .and_then(|s| s.get(node.index()))
             .copied()
             .unwrap_or(1.0)
+    }
+
+    /// This model's share of the directed link `from → to` (1.0 when the
+    /// link is not shared with another model).
+    pub fn link_share(&self, model: ModelId, from: NodeId, to: NodeId) -> f64 {
+        self.link_shares
+            .get(model.index())
+            .and_then(|s| s.get(&(from, to)))
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// Warm re-solves performed by one model's standing evaluator (`None`
+    /// until the first [`FleetTopology::replan`] touches the model).
+    pub fn standing_warm_solves(&self, model: ModelId) -> Option<u64> {
+        self.evaluators
+            .get(model.index())
+            .and_then(|e| e.as_ref())
+            .map(IncrementalFlowEvaluator::warm_solves)
     }
 
     /// Sum of the per-model max-flow throughputs (tokens/s).
@@ -424,6 +817,7 @@ impl Default for FleetAnnealingOptions {
 pub struct FleetAnnealingPlanner<'a> {
     profiles: &'a [ClusterProfile],
     options: FleetAnnealingOptions,
+    observations: Option<&'a NodeObservations>,
 }
 
 impl<'a> FleetAnnealingPlanner<'a> {
@@ -437,6 +831,7 @@ impl<'a> FleetAnnealingPlanner<'a> {
         FleetAnnealingPlanner {
             profiles,
             options: FleetAnnealingOptions::default(),
+            observations: None,
         }
     }
 
@@ -446,9 +841,53 @@ impl<'a> FleetAnnealingPlanner<'a> {
         self
     }
 
-    /// Cold-evaluates the per-model max-flow throughputs of a fleet
-    /// placement; invalid per-model placements score 0.
+    /// Scores placements against measured per-(node, model) speed factors
+    /// instead of the analytic profile alone — the same measured-share code
+    /// path [`FleetTopology::plan_observed`] uses, so offline planning and
+    /// online re-planning cannot diverge.  The planner keeps node ownership
+    /// disjoint, so an observed speed factor applies to the node's full
+    /// capacity for whichever model owns it.
+    pub fn with_observations(mut self, observations: &'a NodeObservations) -> Self {
+        self.observations = Some(observations);
+        self
+    }
+
+    /// The per-model profiles re-priced by the observed speed factors, or
+    /// `None` when no observation is recorded (the analytic path).
+    fn observed_profiles(&self) -> Option<Vec<ClusterProfile>> {
+        let observed = self.observations.filter(|o| !o.is_empty())?;
+        let n = self.profiles[0].cluster().num_nodes();
+        Some(
+            self.profiles
+                .iter()
+                .enumerate()
+                .map(|(m, profile)| {
+                    let shares: Vec<f64> = (0..n)
+                        .map(|i| observed.speed_factor(NodeId(i), ModelId(m)).unwrap_or(1.0))
+                        .collect();
+                    profile.scaled(&shares, &vec![None; n])
+                })
+                .collect(),
+        )
+    }
+
+    /// A copy of this planner working on re-priced profiles (used to route
+    /// observation-aware calls through the analytic code path unchanged).
+    fn repriced<'b>(&self, profiles: &'b [ClusterProfile]) -> FleetAnnealingPlanner<'b> {
+        FleetAnnealingPlanner {
+            profiles,
+            options: self.options.clone(),
+            observations: None,
+        }
+    }
+
+    /// Evaluates the per-model max-flow throughputs of a fleet placement
+    /// with a cold solve per model (under the observed speed factors, when
+    /// set); invalid per-model placements score 0.
     pub fn evaluate(&self, placement: &FleetPlacement) -> Vec<f64> {
+        if let Some(profiles) = self.observed_profiles() {
+            return self.repriced(&profiles).evaluate(placement);
+        }
         placement
             .placements()
             .iter()
@@ -476,12 +915,17 @@ impl<'a> FleetAnnealingPlanner<'a> {
     /// Runs the search: greedy node partition, per-model greedy seeds, then
     /// joint annealing with warm-started intra- and cross-model moves.
     /// Returns the best placement and its cold-evaluated per-model flows.
+    /// With observations set, the whole search (seeds, evaluators, upper
+    /// bounds and final scoring) runs on the measured-speed profiles.
     ///
     /// # Errors
     ///
     /// Returns [`HelixError::NoPlacementFound`] if the cluster cannot hold
     /// every model at once or no feasible partition is found.
     pub fn solve(&self) -> Result<(FleetPlacement, Vec<f64>), HelixError> {
+        if let Some(profiles) = self.observed_profiles() {
+            return self.repriced(&profiles).solve();
+        }
         let num_models = self.profiles.len();
         if num_models == 1 {
             // Trivial fleet: the single-model annealer is the canonical path.
@@ -933,6 +1377,199 @@ mod tests {
             assert!(topo.flow_value() > 0.0);
             assert!(topo.flow_value() < solo.flow_value());
         }
+    }
+
+    /// A half-size chain placement both models of `profiles` can share
+    /// node-for-node (each node keeps half its weight budget free).
+    fn half_chain_placement(profiles: &[ClusterProfile]) -> ModelPlacement {
+        let cluster = profiles[0].cluster();
+        let mut placement = ModelPlacement::empty(cluster.num_nodes());
+        let num_layers = profiles[0].model().num_layers;
+        let mut start = 0usize;
+        for id in cluster.node_ids() {
+            if start >= num_layers {
+                break;
+            }
+            let take = (profiles[0].node_profile(id).max_layers / 2).min(num_layers - start);
+            if take == 0 {
+                continue;
+            }
+            placement.assign(id, LayerRange::new(start, start + take));
+            start += take;
+        }
+        assert!(placement.has_complete_pipeline(num_layers));
+        placement
+    }
+
+    #[test]
+    fn shared_links_are_split_by_flow_shares_and_sole_tenant_links_are_not() {
+        let cluster = ClusterSpec::solver_quality_10();
+        let profiles = fleet_profiles(
+            &cluster,
+            &[ModelConfig::llama_13b(), ModelConfig::llama_13b()],
+        );
+        let placement = half_chain_placement(&profiles);
+        let fleet_placement = FleetPlacement::new(vec![placement.clone(), placement.clone()]);
+        let fleet = FleetTopology::plan(&profiles, &fleet_placement, true).unwrap();
+        // Two identical tenants share every surviving link 50/50 (identical
+        // pass-1 solves ⇒ identical flows ⇒ equal shares).
+        let shared: Vec<(NodeId, NodeId)> = fleet
+            .model(ModelId(0))
+            .unwrap()
+            .links()
+            .iter()
+            .filter_map(|l| match (l.from, l.to) {
+                (Endpoint::Node(a), Endpoint::Node(b)) => Some((a, b)),
+                _ => None,
+            })
+            .collect();
+        assert!(!shared.is_empty(), "the chain uses node→node links");
+        for (a, b) in &shared {
+            let s0 = fleet.link_share(ModelId(0), *a, *b);
+            let s1 = fleet.link_share(ModelId(1), *a, *b);
+            assert!(
+                (s0 + s1 - 1.0).abs() < 1e-9,
+                "link {a:?}→{b:?} shares {s0}+{s1} must cover the link"
+            );
+            assert_eq!(s0, s1, "identical tenants split evenly");
+        }
+        // Splitting shared links can only reduce (or keep) each model's flow
+        // versus the optimistic shared-capacity plan.
+        let solo = Topology::plan(&profiles[0], &placement, true).unwrap();
+        assert!(fleet.model(ModelId(0)).unwrap().flow_value() < solo.flow_value());
+
+        // A disjoint two-model fleet has no shared link: every share is 1.0
+        // and the planned topologies are bit-identical to the unsplit path.
+        let profiles24 = two_model_profiles();
+        let planner = FleetAnnealingPlanner::new(&profiles24).with_options(quick_options());
+        let (disjoint, _) = planner.solve().unwrap();
+        let fleet24 = FleetTopology::plan(&profiles24, &disjoint, true).unwrap();
+        for m in 0..2 {
+            for a in profiles24[0].cluster().node_ids() {
+                for b in profiles24[0].cluster().node_ids() {
+                    assert_eq!(fleet24.link_share(ModelId(m), a, b), 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replan_with_observations_reprices_only_the_touched_model() {
+        let profiles = two_model_profiles();
+        let planner = FleetAnnealingPlanner::new(&profiles).with_options(quick_options());
+        let (placement, _) = planner.solve().unwrap();
+        let mut fleet = FleetTopology::plan(&profiles, &placement, true).unwrap();
+        let before: Vec<f64> = fleet
+            .topologies()
+            .iter()
+            .map(Topology::flow_value)
+            .collect();
+
+        // Slow one of model 0's nodes to half speed.
+        let slow = placement.placements()[0].iter().next().unwrap().0;
+        let mut observed = NodeObservations::new();
+        observed.record(slow, ModelId(0), 100.0, 0.5, 0.9);
+        let outcome = fleet.replan(&PlacementDelta::new(), &observed).unwrap();
+        assert_eq!(outcome.affected, vec![ModelId(0)]);
+        assert_eq!(outcome.warm_flow_values.len(), 1);
+        assert_eq!(fleet.compute_share(ModelId(0), slow), 0.5);
+        assert!(fleet.model(ModelId(0)).unwrap().flow_value() <= before[0]);
+        // Model 1 is untouched: its topology was not re-solved.
+        assert_eq!(fleet.model(ModelId(1)).unwrap().flow_value(), before[1]);
+        assert!(fleet.standing_warm_solves(ModelId(0)).is_some());
+        assert_eq!(fleet.standing_warm_solves(ModelId(1)), None);
+
+        // The warm value tracks the materialised topology's value.
+        let warm = outcome.warm_flow_values[0];
+        let cold = fleet.model(ModelId(0)).unwrap().flow_value();
+        assert!(
+            (warm - cold).abs() <= helix_maxflow::FLOW_EPS * (1.0 + cold),
+            "warm {warm} vs cold {cold}"
+        );
+
+        // Bit-identical to a from-scratch plan under the same observations.
+        let scratch = FleetTopology::plan_observed(&profiles, &placement, true, &observed).unwrap();
+        for m in 0..2 {
+            assert_eq!(
+                fleet.model(ModelId(m)).unwrap().flow_value(),
+                scratch.model(ModelId(m)).unwrap().flow_value()
+            );
+        }
+
+        // Clearing the observation re-prices the node back to full speed.
+        let outcome = fleet
+            .replan(&PlacementDelta::new(), &NodeObservations::new())
+            .unwrap();
+        assert_eq!(outcome.affected, vec![ModelId(0)]);
+        assert_eq!(fleet.compute_share(ModelId(0), slow), 1.0);
+        assert_eq!(fleet.model(ModelId(0)).unwrap().flow_value(), before[0]);
+    }
+
+    #[test]
+    fn replan_rejects_unknown_models_and_invalid_placements_without_mutating() {
+        let profiles = two_model_profiles();
+        let planner = FleetAnnealingPlanner::new(&profiles).with_options(quick_options());
+        let (placement, _) = planner.solve().unwrap();
+        let mut fleet = FleetTopology::plan(&profiles, &placement, true).unwrap();
+        let before: Vec<f64> = fleet
+            .topologies()
+            .iter()
+            .map(Topology::flow_value)
+            .collect();
+
+        let bad_model = PlacementDelta::new().remove(ModelId(9), NodeId(0));
+        assert!(matches!(
+            fleet.replan(&bad_model, &NodeObservations::new()),
+            Err(HelixError::UnknownModel { .. })
+        ));
+
+        // Dropping every node of model 0 leaves no complete pipeline.
+        let mut wipe = PlacementDelta::new();
+        for (node, _) in placement.placements()[0].iter() {
+            wipe = wipe.remove(ModelId(0), node);
+        }
+        assert!(fleet.replan(&wipe, &NodeObservations::new()).is_err());
+        let after: Vec<f64> = fleet
+            .topologies()
+            .iter()
+            .map(Topology::flow_value)
+            .collect();
+        assert_eq!(before, after, "failed re-plans leave the plan unchanged");
+    }
+
+    #[test]
+    fn planner_observations_reprice_the_search() {
+        let profiles = two_model_profiles();
+        let planner = FleetAnnealingPlanner::new(&profiles).with_options(quick_options());
+        let (placement, analytic_flows) = planner.solve().unwrap();
+
+        // Evaluating the same placement under a slowdown can only lose
+        // throughput, and evaluating under no observations is unchanged.
+        let slow = placement.placements()[0].iter().next().unwrap().0;
+        let mut observed = NodeObservations::new();
+        observed.record(slow, ModelId(0), 100.0, 0.25, 0.9);
+        let degraded = FleetAnnealingPlanner::new(&profiles)
+            .with_options(quick_options())
+            .with_observations(&observed)
+            .evaluate(&placement);
+        assert!(degraded[0] <= analytic_flows[0]);
+        let empty = NodeObservations::new();
+        let unchanged = FleetAnnealingPlanner::new(&profiles)
+            .with_options(quick_options())
+            .with_observations(&empty)
+            .solve()
+            .unwrap();
+        assert_eq!(unchanged.0, placement);
+        assert_eq!(unchanged.1, analytic_flows);
+
+        // A full observed solve still finds a feasible fleet placement.
+        let (observed_placement, observed_flows) = FleetAnnealingPlanner::new(&profiles)
+            .with_options(quick_options())
+            .with_observations(&observed)
+            .solve()
+            .unwrap();
+        observed_placement.validate(&profiles).unwrap();
+        assert!(observed_flows.iter().all(|&f| f > 0.0));
     }
 
     #[test]

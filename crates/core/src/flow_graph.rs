@@ -15,7 +15,7 @@ use helix_maxflow::{
     decompose_paths, min_cut, EdgeId, FlowNetwork, FlowPath, FlowResult, MinCut,
     NodeId as FlowNodeId,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// An endpoint of the cluster topology: a compute node or the coordinator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -37,6 +37,7 @@ pub struct FlowGraphBuilder<'a> {
     profile: &'a ClusterProfile,
     partial_inference: bool,
     prune_degree: Option<usize>,
+    link_shares: Option<&'a BTreeMap<(NodeId, NodeId), f64>>,
 }
 
 impl<'a> FlowGraphBuilder<'a> {
@@ -46,7 +47,17 @@ impl<'a> FlowGraphBuilder<'a> {
             profile,
             partial_inference: true,
             prune_degree: None,
+            link_shares: None,
         }
+    }
+
+    /// Scales individual node→node link capacities by per-link shares
+    /// (multi-model fleets split a link two co-located models both route
+    /// over, mirroring the node compute/KV split).  Links absent from the map
+    /// keep their full capacity bit-identically.
+    pub fn link_shares(mut self, shares: &'a BTreeMap<(NodeId, NodeId), f64>) -> Self {
+        self.link_shares = Some(shares);
+        self
     }
 
     /// Enables or disables partial inference when deciding connection
@@ -167,7 +178,14 @@ impl<'a> FlowGraphBuilder<'a> {
             if placement.connection_valid(a, b, self.partial_inference) {
                 let (_, a_out) = node_vertices[&a];
                 let (b_in, _) = node_vertices[&b];
-                let cap = clamp(profile.link_profile(Some(a), Some(b)).tokens_per_sec);
+                let raw = profile.link_profile(Some(a), Some(b)).tokens_per_sec;
+                // A fleet-shared link contributes only this model's share of
+                // its bandwidth; sole-tenant links take the unscaled path so
+                // their capacities stay bit-identical.
+                let cap = match self.link_shares.and_then(|s| s.get(&(a, b))) {
+                    Some(&share) => clamp(raw * share),
+                    None => clamp(raw),
+                };
                 let e = network.add_edge(a_out, b_in, cap);
                 link_edges.insert((Endpoint::Node(a), Endpoint::Node(b)), e);
             }

@@ -32,11 +32,17 @@
 //!   taken from the max-flow solution, plus the KV-cache high-water masking
 //!   of §5.2.
 //! * [`fleet`] — the multi-model generalisation: [`FleetPlacement`] /
-//!   [`FleetTopology`] split shared-node compute and KV capacity between
-//!   co-located models, [`FleetScheduler`] routes per-model IWRR pipelines
-//!   and [`FleetAnnealingPlanner`] searches all models jointly (cross-model
+//!   [`FleetTopology`] split shared-node compute and KV capacity (and
+//!   fleet-shared link capacity) between co-located models,
+//!   [`FleetScheduler`] routes per-model IWRR pipelines and
+//!   [`FleetAnnealingPlanner`] searches all models jointly (cross-model
 //!   node moves over warm-started flow evaluators).  A one-model fleet is
 //!   bit-identical to the single-model pipeline.
+//! * [`replan`] — the feedback half of online re-planning: measured
+//!   [`NodeObservations`] that override the analytic compute shares, sparse
+//!   [`PlacementDelta`]s, and the [`ReplanPolicy`] both execution surfaces
+//!   share.  [`FleetTopology::replan`] applies them by re-solving only the
+//!   affected models, warm.
 //! * [`scheduling`] — baseline schedulers (Swarm throughput-proportional,
 //!   random, shortest-queue-first) used in the §6.7 scheduling deep dive.
 //!
@@ -65,6 +71,7 @@ pub mod exec_model;
 pub mod fleet;
 pub mod flow_graph;
 pub mod placement;
+pub mod replan;
 pub mod scheduling;
 pub mod topology;
 
@@ -81,6 +88,10 @@ pub use placement::milp::{MilpPlacementPlanner, MilpPlannerReport, PlannerOption
 pub use placement::partition::{Partition, PartitionOptions, PartitionPlan, PartitionedPlanner};
 pub use placement::refine::{AnnealingOptions, FlowAnnealingPlanner};
 pub use placement::{LayerRange, ModelPlacement};
+pub use replan::{
+    EngineCounters, NodeObservation, NodeObservations, ObservationWindows, PlacementDelta,
+    ReplanOutcome, ReplanPolicy, ReplanReason, ReplanRecord,
+};
 pub use scheduling::iwrr::IwrrScheduler;
 pub use scheduling::kv_estimate::KvCacheEstimator;
 pub use scheduling::{

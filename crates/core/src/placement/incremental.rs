@@ -33,9 +33,14 @@ use std::collections::HashMap;
 
 /// A standing flow network over the whole candidate edge set, supporting
 /// cheap single-node placement moves with warm-started re-solving.
+///
+/// The evaluator owns a copy of its profile so long-lived surfaces (the
+/// fleet's standing per-model evaluators used by online re-planning) can hold
+/// one without borrowing, and so [`IncrementalFlowEvaluator::rebase`] can
+/// swap in a re-scaled profile when observed node speeds change.
 #[derive(Debug, Clone)]
-pub struct IncrementalFlowEvaluator<'a> {
-    profile: &'a ClusterProfile,
+pub struct IncrementalFlowEvaluator {
+    profile: ClusterProfile,
     partial_inference: bool,
     algorithm: MaxFlowAlgorithm,
     network: FlowNetwork,
@@ -47,10 +52,13 @@ pub struct IncrementalFlowEvaluator<'a> {
     entry_edges: Vec<EdgeId>,
     /// `c_out → sink` edge per cluster node.
     exit_edges: Vec<EdgeId>,
-    /// Raw (clamped) token capacity of each coordinator/link edge when valid.
+    /// Raw (unclamped) token capacity of each coordinator edge when valid;
+    /// clamped against `link_bound` whenever written into the network.
     entry_caps: Vec<f64>,
     exit_caps: Vec<f64>,
-    /// Candidate node→node connections with their edge and clamped capacity.
+    /// Placement-independent clamp applied to coordinator/link capacities.
+    link_bound: f64,
+    /// Candidate node→node connections with their edge and raw capacity.
     link_edges: HashMap<(NodeId, NodeId), (EdgeId, f64)>,
     /// Candidate connections incident to each node (both directions),
     /// indexed by node index.
@@ -77,7 +85,7 @@ struct UndoState {
     live: bool,
 }
 
-impl<'a> IncrementalFlowEvaluator<'a> {
+impl IncrementalFlowEvaluator {
     /// Builds the standing network for `placement` and solves it once.
     ///
     /// `prune_degree` selects the same candidate connection set the cold
@@ -87,7 +95,7 @@ impl<'a> IncrementalFlowEvaluator<'a> {
     ///
     /// Returns an error if the initial placement is invalid for the profile.
     pub fn new(
-        profile: &'a ClusterProfile,
+        profile: &ClusterProfile,
         placement: &ModelPlacement,
         partial_inference: bool,
         prune_degree: Option<usize>,
@@ -137,32 +145,40 @@ impl<'a> IncrementalFlowEvaluator<'a> {
                 .unwrap_or(0.0);
             node_edges.push(network.add_edge(cin, cout, node_cap));
 
-            let entry_cap = clamp(profile.link_profile(None, Some(id)).tokens_per_sec);
+            let entry_cap = profile.link_profile(None, Some(id)).tokens_per_sec;
             let entry_on = range.map(|r| r.start == 0).unwrap_or(false);
-            entry_edges.push(network.add_edge(source, cin, if entry_on { entry_cap } else { 0.0 }));
+            entry_edges.push(network.add_edge(
+                source,
+                cin,
+                if entry_on { clamp(entry_cap) } else { 0.0 },
+            ));
             entry_caps.push(entry_cap);
 
-            let exit_cap = clamp(profile.link_profile(Some(id), None).tokens_per_sec);
+            let exit_cap = profile.link_profile(Some(id), None).tokens_per_sec;
             let exit_on = range.map(|r| r.end == num_layers).unwrap_or(false);
-            exit_edges.push(network.add_edge(cout, sink, if exit_on { exit_cap } else { 0.0 }));
+            exit_edges.push(network.add_edge(
+                cout,
+                sink,
+                if exit_on { clamp(exit_cap) } else { 0.0 },
+            ));
             exit_caps.push(exit_cap);
         }
 
         let mut link_edges = HashMap::with_capacity(candidates.len());
         let mut incident: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); n];
         for &(a, b) in &candidates {
-            let cap = clamp(profile.link_profile(Some(a), Some(b)).tokens_per_sec);
+            let cap = profile.link_profile(Some(a), Some(b)).tokens_per_sec;
             let on = placement.connection_valid(a, b, partial_inference);
             let (_, a_out) = vertices[a.index()];
             let (b_in, _) = vertices[b.index()];
-            let edge = network.add_edge(a_out, b_in, if on { cap } else { 0.0 });
+            let edge = network.add_edge(a_out, b_in, if on { clamp(cap) } else { 0.0 });
             link_edges.insert((a, b), (edge, cap));
             incident[a.index()].push((a, b));
             incident[b.index()].push((a, b));
         }
 
         let mut evaluator = IncrementalFlowEvaluator {
-            profile,
+            profile: profile.clone(),
             partial_inference,
             algorithm,
             network,
@@ -173,6 +189,7 @@ impl<'a> IncrementalFlowEvaluator<'a> {
             exit_edges,
             entry_caps,
             exit_caps,
+            link_bound: global_bound,
             link_edges,
             incident,
             placement: placement.clone(),
@@ -187,6 +204,11 @@ impl<'a> IncrementalFlowEvaluator<'a> {
     /// The current placement reflected in the standing network.
     pub fn placement(&self) -> &ModelPlacement {
         &self.placement
+    }
+
+    /// The profile the standing network currently prices capacities from.
+    pub fn profile(&self) -> &ClusterProfile {
+        &self.profile
     }
 
     /// The max-flow value of the current placement.
@@ -261,6 +283,77 @@ impl<'a> IncrementalFlowEvaluator<'a> {
         self.value
     }
 
+    /// Applies a batched re-plan step in one warm re-solve: swaps in a new
+    /// profile (e.g. re-scaled from observed node speeds), applies a set of
+    /// placement changes (`None` unassigns a node), refreshes every touched
+    /// capacity and re-solves warm from the standing flow.
+    ///
+    /// `refresh` must list every node whose *profile* entry changed even if
+    /// its placement did not — those nodes' `c_in → c_out` capacities are
+    /// re-priced from the new profile.  Nodes in `changes` are refreshed
+    /// automatically.  The single-move undo state is invalidated (a rebase is
+    /// not a move).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profile` describes a different cluster size.
+    pub fn rebase(
+        &mut self,
+        profile: ClusterProfile,
+        changes: &[(NodeId, Option<LayerRange>)],
+        refresh: &[NodeId],
+    ) -> f64 {
+        assert_eq!(
+            profile.cluster().num_nodes(),
+            self.profile.cluster().num_nodes(),
+            "rebase must keep the cluster shape"
+        );
+        if let Some(undo) = self.undo.as_mut() {
+            undo.live = false;
+        }
+        // A re-scaled profile can raise node capacities back up (a slowdown
+        // that recovered); grow the link clamp monotonically so it always
+        // dominates the node-capacity sum.  Growing capacities keeps the
+        // standing flow feasible, so the re-solve stays warm.
+        let new_bound: f64 = profile
+            .cluster()
+            .node_ids()
+            .map(|id| profile.node_profile(id).throughput(1))
+            .sum::<f64>()
+            .max(1.0);
+        let grow = new_bound > self.link_bound;
+        self.profile = profile;
+        if grow {
+            self.link_bound = new_bound;
+        }
+        for &(node, range) in changes {
+            match range {
+                Some(r) => self.placement.assign(node, r),
+                None => self.placement.clear(node),
+            }
+        }
+        if grow {
+            // The clamp moved: re-price every coordinator/link capacity.
+            let ids: Vec<NodeId> = self.profile.cluster().node_ids().collect();
+            for id in ids {
+                self.refresh_node(id);
+            }
+        } else {
+            let mut touched: Vec<NodeId> = changes
+                .iter()
+                .map(|&(n, _)| n)
+                .chain(refresh.iter().copied())
+                .collect();
+            touched.sort();
+            touched.dedup();
+            for node in touched {
+                self.refresh_node(node);
+            }
+        }
+        self.value = self.resolve();
+        self.value
+    }
+
     /// Recomputes every capacity that depends on `node`'s assigned range:
     /// its `c_in → c_out` edge, its coordinator edges, and the validity of
     /// every candidate connection incident to it.
@@ -280,7 +373,11 @@ impl<'a> IncrementalFlowEvaluator<'a> {
         self.network
             .set_capacity(
                 self.entry_edges[idx],
-                if entry_on { self.entry_caps[idx] } else { 0.0 },
+                if entry_on {
+                    self.entry_caps[idx].min(self.link_bound)
+                } else {
+                    0.0
+                },
             )
             .expect("standing entry edge is valid");
 
@@ -288,7 +385,11 @@ impl<'a> IncrementalFlowEvaluator<'a> {
         self.network
             .set_capacity(
                 self.exit_edges[idx],
-                if exit_on { self.exit_caps[idx] } else { 0.0 },
+                if exit_on {
+                    self.exit_caps[idx].min(self.link_bound)
+                } else {
+                    0.0
+                },
             )
             .expect("standing exit edge is valid");
 
@@ -299,7 +400,7 @@ impl<'a> IncrementalFlowEvaluator<'a> {
                 .placement
                 .connection_valid(a, b, self.partial_inference);
             self.network
-                .set_capacity(edge, if on { cap } else { 0.0 })
+                .set_capacity(edge, if on { cap.min(self.link_bound) } else { 0.0 })
                 .expect("standing link edge is valid");
         }
     }
@@ -450,6 +551,58 @@ mod tests {
         evaluator.restore(n2, p2);
         let cold = cold_value(&profile, evaluator.placement());
         assert!((evaluator.value() - cold).abs() <= FLOW_EPS * (1.0 + cold));
+    }
+
+    #[test]
+    fn rebase_tracks_a_rescaled_profile_and_placement_changes() {
+        // Scale one node down to half speed (an observed slowdown), move
+        // another node's range, and unassign a third — one warm re-solve must
+        // match the cold evaluation of the new (profile, placement) pair.
+        let profile = profile();
+        let placement = heuristics::petals_placement(&profile).unwrap();
+        let mut evaluator = IncrementalFlowEvaluator::new(
+            &profile,
+            &placement,
+            true,
+            None,
+            MaxFlowAlgorithm::Dinic,
+        )
+        .unwrap();
+        let solves_before = evaluator.warm_solves();
+        let n = profile.cluster().num_nodes();
+        let mut shares = vec![1.0; n];
+        shares[0] = 0.5;
+        let scaled = profile.scaled(&shares, &vec![None; n]);
+        let assigned: Vec<NodeId> = placement.iter().map(|(id, _)| id).collect();
+        let moved = assigned[1];
+        let dropped = *assigned.last().unwrap();
+        let changes = vec![(moved, Some(LayerRange::new(0, 2))), (dropped, None)];
+        let warm = evaluator.rebase(scaled.clone(), &changes, &[NodeId(0)]);
+        assert_eq!(evaluator.warm_solves(), solves_before + 1, "one re-solve");
+        assert_eq!(
+            evaluator.placement().range(moved),
+            Some(LayerRange::new(0, 2))
+        );
+        assert_eq!(evaluator.placement().range(dropped), None);
+        let cold = FlowGraphBuilder::new(&scaled)
+            .build(evaluator.placement())
+            .map(|g| g.max_flow().value)
+            .unwrap_or(0.0);
+        assert!(
+            (warm - cold).abs() <= FLOW_EPS * (1.0 + cold),
+            "warm {warm} vs cold {cold}"
+        );
+        // Rebasing back up to the unscaled profile grows capacities again;
+        // the warm value keeps tracking the cold one.
+        let restored = evaluator.rebase(profile.clone(), &[], &[NodeId(0)]);
+        let cold = FlowGraphBuilder::new(&profile)
+            .build(evaluator.placement())
+            .map(|g| g.max_flow().value)
+            .unwrap_or(0.0);
+        assert!(
+            (restored - cold).abs() <= FLOW_EPS * (1.0 + cold),
+            "restored {restored} vs cold {cold}"
+        );
     }
 
     #[test]

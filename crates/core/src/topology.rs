@@ -108,6 +108,28 @@ impl Topology {
         Ok(Self::from_flow_graph(profile, &graph, &flow))
     }
 
+    /// Like [`Topology::plan`], but scales individual node→node link
+    /// capacities by per-link shares — how a multi-model fleet charges each
+    /// tenant its fraction of a link both models route over.  An empty map
+    /// reproduces [`Topology::plan`] bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the placement is invalid for the profile.
+    pub fn plan_with_link_shares(
+        profile: &ClusterProfile,
+        placement: &ModelPlacement,
+        partial_inference: bool,
+        link_shares: &std::collections::BTreeMap<(NodeId, NodeId), f64>,
+    ) -> Result<Self, HelixError> {
+        let graph = FlowGraphBuilder::new(profile)
+            .partial_inference(partial_inference)
+            .link_shares(link_shares)
+            .build(placement)?;
+        let flow = graph.max_flow();
+        Ok(Self::from_flow_graph(profile, &graph, &flow))
+    }
+
     /// Builds the topology from an already-constructed flow graph and its
     /// max-flow solution (used by planners that already solved the graph).
     pub fn from_flow_graph(

@@ -7,6 +7,16 @@
 //! when the last node reports a finished iteration it either launches the
 //! next decode iteration on the *same* pipeline or completes the request and
 //! releases its KV cache everywhere (§5.1–§5.2).
+//!
+//! When built adaptively (`ServingRuntime::new_adaptive`), the coordinator
+//! also runs the observe → re-derive → re-solve → hand-over loop: every
+//! policy interval it reads the workers' shared statistics into
+//! [`NodeObservations`], asks the shared [`ReplanPolicy`] whether the
+//! measured speed factors warrant action, and applies
+//! [`FleetTopology::replan`] **drain-then-switch** — the affected models'
+//! schedulers and KV estimators are swapped for *new* requests while every
+//! in-flight pipeline keeps the route it was assigned, so nothing is
+//! dropped mid-generation.
 
 use crate::clock::VirtualClock;
 use crate::error::RuntimeError;
@@ -15,7 +25,11 @@ use crate::metrics::RequestOutcome;
 use crate::worker::SharedWorkerStats;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use helix_cluster::{ModelId, NodeId, TOKEN_WIRE_BYTES};
-use helix_core::{ClusterState, HelixError, KvCacheEstimator, RequestPipeline, Scheduler};
+use helix_core::{
+    ClusterState, EngineCounters, FleetTopology, HelixError, IwrrScheduler, KvCacheEstimator,
+    NodeObservations, ObservationWindows, PlacementDelta, ReplanPolicy, ReplanReason, ReplanRecord,
+    RequestPipeline, Scheduler,
+};
 use helix_workload::{Request, RequestId, Workload};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -39,6 +53,27 @@ pub(crate) struct CoordinatorSpec {
     pub worker_stats: HashMap<(NodeId, ModelId), SharedWorkerStats>,
     /// Wall-clock budget for the whole run.
     pub max_wall: Duration,
+    /// Online re-planning state (None = the static plan serves the run).
+    pub adaptive: Option<AdaptiveReplan>,
+}
+
+/// What an adaptive coordinator needs to close the feedback loop.
+pub(crate) struct AdaptiveReplan {
+    /// The standing fleet plan, mutated in place by re-plans.
+    pub fleet: FleetTopology,
+    /// When the loop fires (shared with the simulator's loop).
+    pub policy: ReplanPolicy,
+}
+
+/// The adaptive coordinator's bookkeeping between observation windows.
+struct AdaptiveState {
+    fleet: FleetTopology,
+    policy: ReplanPolicy,
+    last_check: f64,
+    last_replan: Option<f64>,
+    /// The shared window accumulator (same measurement math as the sim).
+    windows: ObservationWindows,
+    replans: Vec<ReplanRecord>,
 }
 
 /// The coordinator's runtime view of the cluster for one model, used by that
@@ -96,6 +131,7 @@ pub(crate) struct Coordinator {
     max_wall: Duration,
     in_flight: HashMap<RequestId, InFlight>,
     outcomes: Vec<RequestOutcome>,
+    adaptive: Option<AdaptiveState>,
 }
 
 impl Coordinator {
@@ -115,7 +151,23 @@ impl Coordinator {
             max_wall: spec.max_wall,
             in_flight: HashMap::new(),
             outcomes: Vec::new(),
+            adaptive: spec.adaptive.map(|a| AdaptiveState {
+                fleet: a.fleet,
+                policy: a.policy,
+                last_check: 0.0,
+                last_replan: None,
+                windows: ObservationWindows::new(),
+                replans: Vec::new(),
+            }),
         }
+    }
+
+    /// The re-plans the run applied (empty for a static coordinator).
+    pub(crate) fn take_replans(&mut self) -> Vec<ReplanRecord> {
+        self.adaptive
+            .as_mut()
+            .map(|a| std::mem::take(&mut a.replans))
+            .unwrap_or_default()
     }
 
     /// Serves the whole workload, returning one outcome per request in
@@ -176,8 +228,78 @@ impl Coordinator {
             while let Ok(msg) = self.inbound.try_recv() {
                 self.handle(msg)?;
             }
+
+            // The feedback half of the loop: observe the workers, consult
+            // the policy, re-plan and hand over.
+            self.maybe_replan();
         }
         Ok(std::mem::take(&mut self.outcomes))
+    }
+
+    /// One observation-window check of the online re-planning loop.  Reads
+    /// every worker's shared statistics into a [`NodeObservations`] snapshot
+    /// (speed factor = predicted / actual busy seconds over the window);
+    /// when the policy fires, applies [`FleetTopology::replan`] and swaps
+    /// the affected models' schedulers and KV-estimator capacities.
+    /// In-flight pipelines are untouched — they drain over their old routes.
+    fn maybe_replan(&mut self) {
+        let Some(mut state) = self.adaptive.take() else {
+            return;
+        };
+        let now = self.clock.now();
+        let window = now - state.last_check;
+        if window < state.policy.check_interval_secs {
+            self.adaptive = Some(state);
+            return;
+        }
+        state.last_check = now;
+
+        let mut observed = NodeObservations::new();
+        for (&(node, model), shared) in &self.worker_stats {
+            let stats = shared.lock().clone();
+            state.windows.measure(
+                &mut observed,
+                node,
+                model,
+                EngineCounters {
+                    nominal_busy_secs: stats.nominal_busy_secs,
+                    busy_secs: stats.busy_secs,
+                    tokens: stats.prompt_tokens + stats.decode_tokens,
+                },
+                window,
+                state.fleet.observations(),
+            );
+        }
+
+        if let Some((node, model, speed)) = state.policy.should_replan(
+            &observed,
+            state.fleet.observations(),
+            now,
+            state.last_replan,
+        ) {
+            if let Ok(outcome) = state.fleet.replan(&PlacementDelta::new(), &observed) {
+                for &m in &outcome.affected {
+                    let topology = state.fleet.model(m).expect("affected model exists");
+                    // Drain-then-switch: only *new* requests see the new
+                    // weights; a zero-flow re-plan keeps the old scheduler.
+                    if let Ok(scheduler) = IwrrScheduler::from_topology(topology) {
+                        self.schedulers[m.index()] = Box::new(scheduler);
+                    }
+                    for planned in topology.nodes() {
+                        self.estimators[m.index()]
+                            .set_capacity(planned.node, planned.kv_capacity_tokens);
+                    }
+                }
+                state.last_replan = Some(now);
+                state.replans.push(ReplanRecord {
+                    at: now,
+                    reason: ReplanReason::ThroughputGap { node, model, speed },
+                    affected: outcome.affected,
+                    planned_flow: state.fleet.total_flow_value(),
+                });
+            }
+        }
+        self.adaptive = Some(state);
     }
 
     /// Tries to admit one request.  Returns `Ok(false)` if every candidate is

@@ -90,6 +90,13 @@ pub enum RuntimeMsg {
         /// Virtual time at which the last stage finished.
         emitted_at: f64,
     },
+    /// Set the worker's hardware speed multiplier on batch duration
+    /// (`2.0` = batches take twice the cost model's prediction — an injected
+    /// slowdown standing in for thermal throttling or noisy neighbours).
+    /// Workers *measure* the resulting predicted-vs-actual gap and the
+    /// coordinator's re-plan loop reacts to the measurement, never to the
+    /// injected value itself.
+    SetSpeed(f64),
     /// Stop processing after draining pending work.
     Shutdown,
 }

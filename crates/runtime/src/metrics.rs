@@ -7,6 +7,7 @@
 
 use crate::fabric::LinkTraffic;
 use helix_cluster::{ModelId, NodeId};
+use helix_core::ReplanRecord;
 use helix_workload::RequestId;
 use serde::Serialize;
 
@@ -165,6 +166,9 @@ pub struct RuntimeReport {
     pub nodes: Vec<NodeReport>,
     /// Per-link traffic summaries.
     pub links: Vec<LinkReport>,
+    /// Every online re-plan the coordinator applied, in order (empty for a
+    /// statically planned run).
+    pub replans: Vec<ReplanRecord>,
 }
 
 impl RuntimeReport {
@@ -331,6 +335,7 @@ mod tests {
                     max_queue_delay: 9.0,
                 },
             ],
+            replans: vec![],
         };
         assert_eq!(report.completed(), 2);
         assert_eq!(report.decode_tokens(), 100);

@@ -2,7 +2,7 @@
 //! fabric together and runs a workload end to end.
 
 use crate::clock::VirtualClock;
-use crate::coordinator::{Coordinator, CoordinatorSpec};
+use crate::coordinator::{AdaptiveReplan, Coordinator, CoordinatorSpec};
 use crate::error::RuntimeError;
 use crate::exec::{AnalyticExecution, ExecutionModel, InstantExecution};
 use crate::fabric::{self, FabricSpec, LinkTrafficMap};
@@ -12,7 +12,9 @@ use crate::worker::{self, SharedWorkerStats, WorkerConfig, WorkerStats};
 use crossbeam::channel::{unbounded, Sender};
 use helix_cluster::{ModelId, NodeId};
 use helix_core::exec_model::{DEFAULT_TOKENS_PER_PAGE, KV_OVERFLOW_PENALTY};
-use helix_core::{FleetScheduler, FleetTopology, KvCacheEstimator, Scheduler, Topology};
+use helix_core::{
+    FleetScheduler, FleetTopology, KvCacheEstimator, ReplanPolicy, Scheduler, Topology,
+};
 use helix_workload::Workload;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -103,7 +105,38 @@ impl ServingRuntime {
         scheduler: Box<dyn Scheduler>,
         config: RuntimeConfig,
     ) -> Result<Self, RuntimeError> {
-        Self::build(&[topology], vec![scheduler], config)
+        Self::build(&[topology], vec![scheduler], config, None)
+    }
+
+    /// Builds a runtime whose coordinator closes the online re-planning
+    /// loop: workers are observed every `policy.check_interval_secs` of
+    /// virtual time, and when their measured speed factors fall below the
+    /// policy threshold the coordinator re-plans the owned copy of `fleet`
+    /// and hands the affected models' new IWRR weights and KV budgets over
+    /// drain-then-switch (in-flight pipelines keep their routes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Scheduling`] if any model's placement is
+    /// invalid for its profile or has zero planned flow.
+    pub fn new_adaptive(
+        fleet: &FleetTopology,
+        config: RuntimeConfig,
+        policy: ReplanPolicy,
+    ) -> Result<Self, RuntimeError> {
+        let schedulers = FleetScheduler::iwrr(fleet)
+            .map_err(RuntimeError::Scheduling)?
+            .into_parts();
+        let topologies: Vec<&Topology> = fleet.topologies().iter().collect();
+        Self::build(
+            &topologies,
+            schedulers,
+            config,
+            Some(AdaptiveReplan {
+                fleet: fleet.clone(),
+                policy,
+            }),
+        )
     }
 
     /// Builds a multi-model runtime over a planned [`FleetTopology`]: one
@@ -127,13 +160,14 @@ impl ServingRuntime {
             "one scheduler per model"
         );
         let topologies: Vec<&Topology> = fleet.topologies().iter().collect();
-        Self::build(&topologies, schedulers, config)
+        Self::build(&topologies, schedulers, config, None)
     }
 
     fn build(
         topologies: &[&Topology],
         schedulers: Vec<Box<dyn Scheduler>>,
         config: RuntimeConfig,
+        adaptive: Option<AdaptiveReplan>,
     ) -> Result<Self, RuntimeError> {
         for topology in topologies {
             topology
@@ -216,6 +250,7 @@ impl ServingRuntime {
             fabric: ingress_tx.clone(),
             worker_stats: worker_stats.clone(),
             max_wall: config.max_wall,
+            adaptive,
         });
 
         Ok(ServingRuntime {
@@ -231,6 +266,20 @@ impl ServingRuntime {
         })
     }
 
+    /// Injects a hardware slowdown on every worker of `node`: their batches
+    /// take `factor`× the cost model's prediction from now on (1.0 restores
+    /// nominal speed).  The workers *measure* the resulting gap and an
+    /// adaptive coordinator reacts to the measurement — this is the
+    /// perturbation half of a degraded-node scenario, not a shortcut around
+    /// observation.
+    pub fn set_node_speed(&self, node: NodeId, factor: f64) {
+        for (&(n, _), tx) in &self.worker_txs {
+            if n == node {
+                let _ = tx.send(RuntimeMsg::SetSpeed(factor));
+            }
+        }
+    }
+
     /// Serves the workload to completion and returns the run report.
     ///
     /// The runtime is consumed: every worker and the fabric are shut down and
@@ -243,6 +292,7 @@ impl ServingRuntime {
     /// make progress, and propagates scheduling errors.
     pub fn serve(mut self, workload: &Workload) -> Result<RuntimeReport, RuntimeError> {
         let outcome = self.coordinator.run(workload);
+        let replans = self.coordinator.take_replans();
 
         // Shut everything down regardless of how the run ended.
         for tx in self.worker_txs.values() {
@@ -307,6 +357,7 @@ impl ServingRuntime {
             wall_seconds: self.clock.wall_elapsed().as_secs_f64(),
             nodes,
             links,
+            replans,
         })
     }
 }

@@ -26,6 +26,10 @@ pub struct WorkerStats {
     pub queue_len: usize,
     /// Virtual seconds spent executing batches.
     pub busy_secs: f64,
+    /// Virtual seconds the execution model *predicted* for those batches.
+    /// `nominal_busy_secs / busy_secs` is the worker's measured speed factor
+    /// — the observation the coordinator's re-plan loop consumes.
+    pub nominal_busy_secs: f64,
     /// Batches executed.
     pub batches: u64,
     /// Prompt tokens processed.
@@ -99,6 +103,8 @@ struct Worker {
     kv: PagedKvPool,
     pending: Vec<StageWork>,
     shutdown: bool,
+    /// Hardware speed multiplier on batch duration (1.0 = nominal).
+    slowdown: f64,
     window_start: f64,
     window_decode_tokens: u64,
 }
@@ -127,6 +133,7 @@ impl Worker {
             kv,
             pending: Vec::new(),
             shutdown: false,
+            slowdown: 1.0,
             window_start: 0.0,
             window_decode_tokens: 0,
         }
@@ -171,6 +178,9 @@ impl Worker {
             RuntimeMsg::IterationDone { .. } => {
                 // Only the coordinator consumes these; ignore defensively.
             }
+            RuntimeMsg::SetSpeed(factor) => {
+                self.slowdown = factor.max(1e-6);
+            }
             RuntimeMsg::Shutdown => {
                 self.shutdown = true;
             }
@@ -192,7 +202,11 @@ impl Worker {
         if overflowed {
             duration *= self.config.kv_overflow_penalty;
         }
-        self.clock.sleep(duration);
+        // The cost model predicts `duration`; perturbed hardware delivers it
+        // `slowdown` times slower.  Both are recorded so the coordinator can
+        // measure the speed factor exactly as it would on a real node.
+        let actual = duration * self.slowdown;
+        self.clock.sleep(actual);
         let now = self.clock.now();
 
         let mut prompt_tokens = 0u64;
@@ -207,7 +221,8 @@ impl Worker {
 
         {
             let mut s = self.stats.lock();
-            s.busy_secs += duration;
+            s.busy_secs += actual;
+            s.nominal_busy_secs += duration;
             s.batches += 1;
             s.prompt_tokens += prompt_tokens;
             s.decode_tokens += decode_tokens;

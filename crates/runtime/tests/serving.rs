@@ -176,6 +176,79 @@ fn two_model_fleet_serves_through_the_runtime() {
 }
 
 #[test]
+fn adaptive_runtime_observes_a_degraded_node_and_replans() {
+    // A model/placement with per-stage replicas, so the re-planner has
+    // somewhere to shift weight when one replica degrades.
+    let profile =
+        ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_13b());
+    let topology = {
+        let placement = heuristics::swarm_placement(&profile).unwrap();
+        Topology::plan(&profile, &placement, true).unwrap()
+    };
+    let fleet = helix_core::FleetTopology::single(topology.clone());
+    let policy = helix_core::ReplanPolicy {
+        check_interval_secs: 2.0,
+        gap_threshold: 0.25,
+        cooldown_secs: 4.0,
+        min_occupancy: 0.01,
+    };
+    let runtime = ServingRuntime::new_adaptive(
+        &fleet,
+        RuntimeConfig {
+            wall_per_virtual: 0.0005,
+            ..RuntimeConfig::default()
+        },
+        policy,
+    )
+    .unwrap();
+    // Degrade the lightest-loaded replica to half speed before serving; the
+    // coordinator must *measure* the gap from worker statistics and re-plan.
+    let slow = topology
+        .nodes()
+        .filter(|n| n.flow > 1e-6)
+        .min_by(|a, b| {
+            a.flow
+                .partial_cmp(&b.flow)
+                .unwrap()
+                .then(a.node.cmp(&b.node))
+        })
+        .unwrap()
+        .node;
+    runtime.set_node_speed(slow, 2.0);
+    let workload = small_workload(48, 64, 12);
+    let report = runtime.serve(&workload).unwrap();
+
+    assert_eq!(report.completed(), 48, "drain-then-switch drops nothing");
+    assert!(
+        !report.replans.is_empty(),
+        "the measured slowdown must trigger at least one re-plan"
+    );
+    let replan = &report.replans[0];
+    assert!(matches!(
+        replan.reason,
+        helix_core::ReplanReason::ThroughputGap { node, speed, .. }
+            if node == slow && speed < 0.75
+    ));
+    assert_eq!(replan.affected, vec![helix_cluster::ModelId(0)]);
+    assert!(replan.planned_flow > 0.0);
+    // Outcomes stay well-formed across the hand-over.
+    for outcome in &report.outcomes {
+        assert!(outcome.completed_at >= outcome.first_token_at);
+    }
+}
+
+#[test]
+fn static_runtime_reports_no_replans() {
+    let profile = profile();
+    let topology = swarm_topology(&profile);
+    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+    let runtime =
+        ServingRuntime::new(&topology, Box::new(scheduler), RuntimeConfig::fast_test()).unwrap();
+    let report = runtime.serve(&small_workload(6, 32, 4)).unwrap();
+    assert!(report.replans.is_empty());
+}
+
+#[test]
 fn unknown_model_requests_are_rejected() {
     let profile = profile();
     let topology = swarm_topology(&profile);

@@ -29,8 +29,17 @@ pub struct NodeEngine {
     busy: bool,
     /// Items in the currently executing batch.
     in_flight: Vec<WorkItem>,
-    /// Cumulative busy time (for utilisation).
+    /// Perturbation multiplier on batch duration: `1.0` = healthy hardware,
+    /// `2.0` = every batch takes twice as long as the cost model predicts.
+    slowdown: f64,
+    /// Whether the node failed (a failed engine starts no further batches).
+    failed: bool,
+    /// Cumulative busy time (for utilisation), including perturbations.
     pub busy_seconds: f64,
+    /// Busy time the cost model *predicted* for the executed batches.  The
+    /// ratio `nominal_busy_seconds / busy_seconds` is the engine's measured
+    /// speed factor — the signal fed back into the re-planner.
+    pub nominal_busy_seconds: f64,
     /// Cumulative tokens processed (prompt + decode), weighted by nothing.
     pub tokens_processed: u64,
     /// Tokens processed in the most recent throughput window.
@@ -52,7 +61,10 @@ impl NodeEngine {
             pending: Vec::new(),
             busy: false,
             in_flight: Vec::new(),
+            slowdown: 1.0,
+            failed: false,
             busy_seconds: 0.0,
+            nominal_busy_seconds: 0.0,
             tokens_processed: 0,
             window_tokens: 0,
             window_start: 0.0,
@@ -90,6 +102,42 @@ impl NodeEngine {
         self.recent_throughput
     }
 
+    /// Sets the perturbation multiplier on batch duration (`>= 1.0` slows
+    /// the node down; `1.0` restores nominal speed).
+    pub fn set_slowdown(&mut self, factor: f64) {
+        self.slowdown = factor.max(1e-6);
+    }
+
+    /// The current perturbation multiplier.
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// Marks the node as failed: the engine starts no further batches.
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+
+    /// Whether the node failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Re-plans can move layers or re-partition a shared node's KV pool;
+    /// the drain/hand-over protocol updates the standing engine in place so
+    /// in-flight batches and cached tokens survive the switch.
+    pub fn update_plan(&mut self, layers_held: usize, kv_capacity_tokens: f64) {
+        self.layers_held = layers_held;
+        self.kv_capacity_tokens = kv_capacity_tokens;
+    }
+
+    /// Drops every pending work item of `request` and frees its KV cache —
+    /// the abort path when a failed node strands an in-flight pipeline.
+    pub fn purge_request(&mut self, request: RequestId) {
+        self.pending.retain(|item| item.request != request);
+        self.kv_resident.remove(&request);
+    }
+
     /// Adds a work item to the pending queue.
     pub fn enqueue(&mut self, item: WorkItem) {
         self.pending.push(item);
@@ -98,7 +146,7 @@ impl NodeEngine {
     /// Starts a batch if the node is idle and work is pending.  Returns the
     /// completion time of the batch, or `None` if no batch was started.
     pub fn try_start_batch(&mut self, now: SimTime) -> Option<SimTime> {
-        if self.busy || self.pending.is_empty() {
+        if self.busy || self.failed || self.pending.is_empty() {
             return None;
         }
         let batch: Vec<WorkItem> = std::mem::take(&mut self.pending);
@@ -115,8 +163,14 @@ impl NodeEngine {
         // Exceeding the KV capacity forces offloading; the whole batch slows down.
         duration =
             ExecModel::apply_kv_overflow(duration, self.kv_used_tokens() > self.kv_capacity_tokens);
+        // The cost model predicts `duration`; perturbed hardware delivers it
+        // `slowdown` times slower.  Both sides are recorded so the measured
+        // speed factor (nominal / actual) is exactly what an observer of the
+        // real node would compute.
+        let actual = duration * self.slowdown;
         self.busy = true;
-        self.busy_seconds += duration;
+        self.busy_seconds += actual;
+        self.nominal_busy_seconds += duration;
         let tokens: u64 = batch.iter().map(|i| i.tokens as u64).sum();
         self.tokens_processed += tokens;
         self.window_tokens += tokens;
@@ -128,7 +182,7 @@ impl NodeEngine {
             self.window_tokens = 0;
             self.window_start = now;
         }
-        Some(now + duration)
+        Some(now + actual)
     }
 
     /// Completes the running batch, returning its items for routing.
@@ -165,6 +219,7 @@ mod tests {
     fn decode_item(request: RequestId) -> WorkItem {
         WorkItem {
             request,
+            epoch: 0,
             model: helix_cluster::ModelId::default(),
             phase: Phase::Decode,
             tokens: 1,
@@ -195,6 +250,7 @@ mod tests {
         let mut e = engine();
         e.enqueue(WorkItem {
             request: 1,
+            epoch: 0,
             model: helix_cluster::ModelId::default(),
             phase: Phase::Prompt,
             tokens: 100,
@@ -224,6 +280,7 @@ mod tests {
         for e in [&mut small, &mut big] {
             e.enqueue(WorkItem {
                 request: 1,
+                epoch: 0,
                 model: helix_cluster::ModelId::default(),
                 phase: Phase::Prompt,
                 tokens: 200,

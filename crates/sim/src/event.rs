@@ -18,6 +18,11 @@ pub use helix_core::exec_model::Phase;
 pub struct WorkItem {
     /// The request this work belongs to.
     pub request: RequestId,
+    /// Which admission of the request this work belongs to (0 for the
+    /// first).  A node failure aborts and re-admits the pipelines it
+    /// strands; items of the aborted incarnation still in flight carry the
+    /// old epoch and are dropped instead of corrupting the new pipeline.
+    pub epoch: u64,
     /// The fleet model the request targets (selects the per-model engine on
     /// shared nodes).
     pub model: ModelId,
@@ -30,6 +35,58 @@ pub struct WorkItem {
     pub layers: LayerRange,
     /// Index of this stage within the request's pipeline.
     pub stage_index: usize,
+}
+
+/// A scripted mid-run disturbance of the cluster or the workload — the
+/// scenarios the online re-planning loop exists to absorb.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PerturbationEvent {
+    /// The node's batches start taking `factor`× the cost model's prediction
+    /// (thermal throttling, a noisy co-tenant, a failing NIC…).
+    NodeSlowdown {
+        /// When the slowdown begins (simulated seconds).
+        at: SimTime,
+        /// The affected node.
+        node: NodeId,
+        /// Duration multiplier (`2.0` = half speed).
+        factor: f64,
+    },
+    /// The node returns to nominal speed.
+    NodeRecovery {
+        /// When the recovery happens.
+        at: SimTime,
+        /// The recovered node.
+        node: NodeId,
+    },
+    /// The node drops out: its engines stop, in-flight pipelines through it
+    /// are aborted and re-admitted, and an immediate re-plan removes it from
+    /// every model's placement.
+    NodeFailure {
+        /// When the node fails.
+        at: SimTime,
+        /// The failed node.
+        node: NodeId,
+    },
+    /// The arrival process speeds up (`factor > 1`) or slows down
+    /// (`factor < 1`) for every request arriving after `at`.
+    ArrivalRateShift {
+        /// When the shift takes effect.
+        at: SimTime,
+        /// Rate multiplier applied to subsequent inter-arrival gaps.
+        factor: f64,
+    },
+}
+
+impl PerturbationEvent {
+    /// When the perturbation takes effect.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            PerturbationEvent::NodeSlowdown { at, .. }
+            | PerturbationEvent::NodeRecovery { at, .. }
+            | PerturbationEvent::NodeFailure { at, .. }
+            | PerturbationEvent::ArrivalRateShift { at, .. } => at,
+        }
+    }
 }
 
 /// Events driving the simulation.
@@ -58,12 +115,19 @@ pub enum Event {
     TokenAtCoordinator {
         /// The request that produced the token.
         request: RequestId,
+        /// The admission epoch the token belongs to (see `WorkItem::epoch`).
+        epoch: u64,
         /// Whether this token came from the prompt phase (the request's first
         /// token) or a decode iteration.
         phase: Phase,
     },
     /// Bookkeeping tick used to close the measurement window.
     MeasurementEnd,
+    /// A scripted cluster/workload disturbance takes effect.
+    Perturbation(PerturbationEvent),
+    /// Windowed observation boundary: interval metrics are emitted, engines
+    /// are measured and the re-plan policy is consulted.
+    ObservationTick,
 }
 
 /// An event scheduled at a point in simulated time.
@@ -144,6 +208,9 @@ impl EventQueue {
 pub struct RequestState {
     /// The assigned per-request pipeline.
     pub pipeline: RequestPipeline,
+    /// The admission epoch this state belongs to (see `WorkItem::epoch`);
+    /// work items and coordinator tokens from older epochs are ignored.
+    pub epoch: u64,
     /// Prompt length in tokens.
     #[allow(dead_code)] // kept for debugging / trace dumps
     pub prompt_tokens: usize,

@@ -56,7 +56,7 @@ mod network;
 mod simulator;
 
 pub use engine::NodeEngine;
-pub use event::{Event, EventQueue, SimTime};
-pub use metrics::{LatencyStats, LinkStats, Metrics};
+pub use event::{Event, EventQueue, PerturbationEvent, SimTime};
+pub use metrics::{IntervalMetrics, LatencyStats, LinkStats, Metrics};
 pub use network::LinkQueue;
-pub use simulator::{ClusterSimulator, FleetMetrics, SimulationConfig};
+pub use simulator::{ClusterSimulator, FleetMetrics, FleetRunReport, SimulationConfig};

@@ -73,6 +73,45 @@ pub struct LinkStats {
     pub max_queue_delay: f64,
 }
 
+/// Windowed per-model progress emitted during a run (not just at its end),
+/// so the re-plan policy — and tests asserting recovery — can read
+/// throughput *while the run is still going*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalMetrics {
+    /// Window start (simulated seconds).
+    pub start: f64,
+    /// Window end (simulated seconds).
+    pub end: f64,
+    /// Output tokens each model generated inside the window, indexed by
+    /// model.
+    pub decode_tokens: Vec<u64>,
+}
+
+impl IntervalMetrics {
+    /// Window length in seconds.
+    pub fn duration(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+
+    /// One model's decode throughput over the window (tokens/s).
+    pub fn model_throughput(&self, model: usize) -> f64 {
+        let d = self.duration();
+        if d <= 0.0 {
+            return 0.0;
+        }
+        self.decode_tokens.get(model).copied().unwrap_or(0) as f64 / d
+    }
+
+    /// Fleet-total decode throughput over the window (tokens/s).
+    pub fn total_throughput(&self) -> f64 {
+        let d = self.duration();
+        if d <= 0.0 {
+            return 0.0;
+        }
+        self.decode_tokens.iter().sum::<u64>() as f64 / d
+    }
+}
+
 /// Result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {

@@ -1,15 +1,19 @@
-//! The cluster simulator: coordinator loop, routing, metrics collection.
+//! The cluster simulator: coordinator loop, routing, metrics collection —
+//! and the simulated half of the online re-planning loop (perturbation
+//! events, windowed observation, policy-driven re-plans with drain/hand-over).
 
 use crate::engine::NodeEngine;
-use crate::event::{Event, EventQueue, Phase, RequestState, SimTime, WorkItem};
-use crate::metrics::{LatencyStats, LinkStats, Metrics};
+use crate::event::{Event, EventQueue, PerturbationEvent, Phase, RequestState, SimTime, WorkItem};
+use crate::metrics::{IntervalMetrics, LatencyStats, LinkStats, Metrics};
 use crate::network::LinkQueue;
 use helix_cluster::{ModelId, NodeId, TOKEN_WIRE_BYTES};
 use helix_core::{
-    ClusterState, FleetScheduler, FleetTopology, ModelPlacement, Scheduler, Topology,
+    ClusterState, EngineCounters, FleetScheduler, FleetTopology, IwrrScheduler, ModelPlacement,
+    NodeObservations, ObservationWindows, PlacementDelta, ReplanPolicy, ReplanReason, ReplanRecord,
+    Scheduler, Topology,
 };
 use helix_workload::{Request, RequestId, Workload};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,13 +93,6 @@ impl ClusterState for StateSnapshot {
     }
 }
 
-/// One model's lane through the simulator: its planned topology and the
-/// scheduler producing its per-request pipelines.
-struct ModelLane<'a> {
-    topology: &'a Topology,
-    scheduler: Box<dyn Scheduler>,
-}
-
 /// Per-model metrics of a fleet simulation, alongside the combined view.
 #[derive(Debug, Clone)]
 pub struct FleetMetrics {
@@ -106,6 +103,18 @@ pub struct FleetMetrics {
     pub per_model: Vec<Metrics>,
 }
 
+/// The full result of a [`ClusterSimulator::run_with_events`] run: end-of-run
+/// metrics plus the windowed interval metrics and the re-plan log.
+#[derive(Debug, Clone)]
+pub struct FleetRunReport {
+    /// End-of-run metrics (identical shape to [`ClusterSimulator::run_per_model`]).
+    pub metrics: FleetMetrics,
+    /// Windowed per-model decode progress, one entry per observation window.
+    pub intervals: Vec<IntervalMetrics>,
+    /// Every re-plan the run applied, in order.
+    pub replans: Vec<ReplanRecord>,
+}
+
 /// Discrete-event simulator of a Helix-style serving cluster.
 ///
 /// One simulator serves one model (via [`ClusterSimulator::new`]) or a whole
@@ -114,23 +123,37 @@ pub struct FleetMetrics {
 /// the fleet planner assigned it, while network links are shared across
 /// models, so cross-model link contention emerges naturally.
 ///
+/// The simulator **owns** its [`FleetTopology`], because
+/// [`ClusterSimulator::run_with_events`] closes the loop mid-run: engines are
+/// observed over windows, a [`ReplanPolicy`] decides when the observed
+/// throughput gap warrants action, and [`FleetTopology::replan`] re-derives
+/// the plan — after which schedulers are swapped **drain-then-switch**:
+/// in-flight pipelines keep routing over the engines they were assigned,
+/// while new requests follow the re-planned IWRR weights.  The plain
+/// [`ClusterSimulator::run`] / [`ClusterSimulator::run_per_model`] paths
+/// schedule no observation ticks and are bit-identical to the static
+/// pipeline.
+///
 /// See the [crate-level documentation](crate) for an end-to-end example.
-pub struct ClusterSimulator<'a> {
-    lanes: Vec<ModelLane<'a>>,
+pub struct ClusterSimulator {
+    fleet: FleetTopology,
+    schedulers: Vec<Box<dyn Scheduler>>,
     engines: HashMap<(NodeId, ModelId), NodeEngine>,
     links: HashMap<(Option<NodeId>, Option<NodeId>), LinkQueue>,
+    /// Active slowdown perturbations by node (applied to engines created by
+    /// later re-plans too).
+    slowdowns: HashMap<NodeId, f64>,
+    /// Nodes that failed mid-run.
+    failed: HashSet<NodeId>,
 }
 
-impl<'a> ClusterSimulator<'a> {
+impl ClusterSimulator {
     /// Creates a simulator for one (topology, scheduler) pair.  Node
     /// engines, layer counts and KV capacities all come from the shared
     /// planning artifact, so the simulator sees exactly the cluster the
     /// planner evaluated.
-    pub fn new(topology: &'a Topology, scheduler: Box<dyn Scheduler>) -> Self {
-        Self::from_lanes(vec![ModelLane {
-            topology,
-            scheduler,
-        }])
+    pub fn new(topology: &Topology, scheduler: Box<dyn Scheduler>) -> Self {
+        Self::from_parts(FleetTopology::single(topology.clone()), vec![scheduler])
     }
 
     /// Creates a fleet simulator: one lane per model of the fleet topology,
@@ -139,31 +162,21 @@ impl<'a> ClusterSimulator<'a> {
     /// # Panics
     ///
     /// Panics if the scheduler count does not match the fleet's model count.
-    pub fn new_fleet(fleet: &'a FleetTopology, schedulers: FleetScheduler) -> Self {
+    pub fn new_fleet(fleet: &FleetTopology, schedulers: FleetScheduler) -> Self {
         let schedulers = schedulers.into_parts();
         assert_eq!(
             fleet.num_models(),
             schedulers.len(),
             "one scheduler per model"
         );
-        Self::from_lanes(
-            fleet
-                .topologies()
-                .iter()
-                .zip(schedulers)
-                .map(|(topology, scheduler)| ModelLane {
-                    topology,
-                    scheduler,
-                })
-                .collect(),
-        )
+        Self::from_parts(fleet.clone(), schedulers)
     }
 
-    fn from_lanes(lanes: Vec<ModelLane<'a>>) -> Self {
+    fn from_parts(fleet: FleetTopology, schedulers: Vec<Box<dyn Scheduler>>) -> Self {
         let mut engines = HashMap::new();
-        for (m, lane) in lanes.iter().enumerate() {
-            let profile = lane.topology.profile();
-            for n in lane.topology.nodes() {
+        for (m, topology) in fleet.topologies().iter().enumerate() {
+            let profile = topology.profile();
+            for n in topology.nodes() {
                 let engine = NodeEngine::new(
                     profile.node_profile(n.node),
                     n.layers.len(),
@@ -173,25 +186,43 @@ impl<'a> ClusterSimulator<'a> {
             }
         }
         ClusterSimulator {
-            lanes,
+            fleet,
+            schedulers,
             engines,
             links: HashMap::new(),
+            slowdowns: HashMap::new(),
+            failed: HashSet::new(),
         }
+    }
+
+    /// The fleet plan the simulator currently serves (re-plans update it).
+    pub fn fleet(&self) -> &FleetTopology {
+        &self.fleet
     }
 
     /// The topology the simulator runs for one model.
     pub fn model_topology(&self, model: ModelId) -> Option<&Topology> {
-        self.lanes.get(model.index()).map(|l| l.topology)
+        self.fleet.model(model)
     }
 
     /// Number of models the simulator serves.
     pub fn num_models(&self) -> usize {
-        self.lanes.len()
+        self.schedulers.len()
     }
 
     /// The topology the simulator is running (the first model's lane).
     pub fn topology(&self) -> &Topology {
-        self.lanes[0].topology
+        &self.fleet.topologies()[0]
+    }
+
+    /// The placement the simulator is running for one model.
+    pub fn model_placement(&self, model: ModelId) -> Option<&ModelPlacement> {
+        self.fleet.model(model).map(Topology::placement)
+    }
+
+    /// The placement the simulator is running (the first model's lane).
+    pub fn placement(&self) -> &ModelPlacement {
+        self.fleet.topologies()[0].placement()
     }
 
     /// Runs the simulation of `workload` and returns the combined metrics.
@@ -207,9 +238,64 @@ impl<'a> ClusterSimulator<'a> {
     /// same workload fails loudly on the runtime surface too
     /// (`HelixError::UnknownModel`), so the two surfaces stay comparable.
     pub fn run_per_model(&mut self, workload: &Workload, config: SimulationConfig) -> FleetMetrics {
-        let num_models = self.lanes.len();
+        self.run_loop(workload, config, &[], None).metrics
+    }
+
+    /// Runs the simulation with scripted mid-run perturbations and (when a
+    /// policy is given) the closed re-planning loop: every
+    /// `check_interval_secs` the engines are measured into
+    /// [`NodeObservations`], interval metrics are emitted, and the policy
+    /// decides whether the observed-vs-planned gap warrants a
+    /// [`FleetTopology::replan`].  Node failures always re-plan immediately
+    /// (removal delta), aborting and re-admitting the pipelines they strand.
+    ///
+    /// With no events and no policy this is exactly
+    /// [`ClusterSimulator::run_per_model`] (no observation ticks are
+    /// scheduled, so event timing is bit-identical).
+    pub fn run_with_events(
+        &mut self,
+        workload: &Workload,
+        config: SimulationConfig,
+        events: &[PerturbationEvent],
+        policy: Option<ReplanPolicy>,
+    ) -> FleetRunReport {
+        self.run_loop(workload, config, events, policy)
+    }
+
+    fn run_loop(
+        &mut self,
+        workload: &Workload,
+        config: SimulationConfig,
+        events: &[PerturbationEvent],
+        policy: Option<ReplanPolicy>,
+    ) -> FleetRunReport {
+        let num_models = self.schedulers.len();
         let mut queue = EventQueue::new();
-        let specs: HashMap<RequestId, Request> = workload.iter().map(|r| (r.id, *r)).collect();
+        let mut specs: HashMap<RequestId, Request> = workload.iter().map(|r| (r.id, *r)).collect();
+
+        // Arrival-rate shifts re-time the arrival process: gaps after the
+        // shift point shrink by the rate factor.  Shifts are applied in
+        // effect-time order, each in the already-shifted timeline.
+        let mut shifts: Vec<(SimTime, f64)> = events
+            .iter()
+            .filter_map(|e| match *e {
+                PerturbationEvent::ArrivalRateShift { at, factor } => Some((at, factor)),
+                _ => None,
+            })
+            .collect();
+        shifts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        if !shifts.is_empty() {
+            for spec in specs.values_mut() {
+                let mut t = spec.arrival_time;
+                for &(at, factor) in &shifts {
+                    if t > at && factor > 0.0 {
+                        t = at + (t - at) / factor;
+                    }
+                }
+                spec.arrival_time = t;
+            }
+        }
+
         for r in workload.iter() {
             assert!(
                 r.model.index() < num_models,
@@ -217,9 +303,27 @@ impl<'a> ClusterSimulator<'a> {
                 r.id,
                 r.model,
             );
-            queue.push(r.arrival_time, Event::RequestArrival { request: r.id });
+            let arrival = specs[&r.id].arrival_time;
+            queue.push(arrival, Event::RequestArrival { request: r.id });
         }
         let end_time = config.warmup_secs + config.duration_secs;
+        for e in events {
+            match e {
+                PerturbationEvent::ArrivalRateShift { .. } => {} // applied above
+                other => queue.push(other.at(), Event::Perturbation(*other)),
+            }
+        }
+        // Observation ticks exist only for perturbed / policy-driven runs, so
+        // the static serve path schedules exactly the events it always did.
+        let ticks_enabled = policy.is_some() || !events.is_empty();
+        let tick_interval = policy
+            .map(|p| p.check_interval_secs)
+            .unwrap_or(10.0)
+            .max(1e-3);
+        if ticks_enabled && tick_interval <= end_time {
+            queue.push(tick_interval, Event::ObservationTick);
+        }
+
         let mut states: HashMap<RequestId, RequestState> = HashMap::new();
         let mut backlog: VecDeque<RequestId> = VecDeque::new();
         let mut active = 0usize;
@@ -229,14 +333,32 @@ impl<'a> ClusterSimulator<'a> {
         let mut completed: Vec<u64> = vec![0; num_models];
         let mut prompt_latencies: Vec<Vec<f64>> = vec![Vec::new(); num_models];
         let mut decode_gaps: Vec<Vec<f64>> = vec![Vec::new(); num_models];
+        // Warmup-independent totals backing the windowed interval metrics.
+        let mut total_decode_tokens: Vec<u64> = vec![0; num_models];
         let mut processed_events: u64 = 0;
         let mut now: SimTime = 0.0;
+
+        // Feedback-loop state.
+        let mut intervals: Vec<IntervalMetrics> = Vec::new();
+        let mut replans: Vec<ReplanRecord> = Vec::new();
+        let mut last_tick: SimTime = 0.0;
+        let mut last_replan: Option<SimTime> = None;
+        let mut interval_base: Vec<u64> = vec![0; num_models];
+        let mut windows = ObservationWindows::new();
+        // Admission epoch per request: bumped when a node failure aborts an
+        // in-flight pipeline, so stale work from the old incarnation is
+        // dropped instead of corrupting the re-admitted one.
+        let mut epochs: HashMap<RequestId, u64> = HashMap::new();
 
         while let Some((time, event)) = queue.pop() {
             if time > end_time {
                 break;
             }
-            now = time;
+            // Bookkeeping events don't advance the measured clock: the
+            // no-perturbation path must report bit-identical metrics.
+            if !matches!(event, Event::ObservationTick | Event::Perturbation(_)) {
+                now = time;
+            }
             processed_events += 1;
             if processed_events > config.max_events {
                 break;
@@ -247,9 +369,25 @@ impl<'a> ClusterSimulator<'a> {
                         backlog.push_back(request);
                         continue;
                     }
-                    self.admit_request(request, &specs, &mut states, &mut queue, now, &mut active);
+                    self.admit_request(
+                        request,
+                        &specs,
+                        &epochs,
+                        &mut states,
+                        &mut queue,
+                        now,
+                        &mut active,
+                    );
                 }
                 Event::NodeArrival { node, item } => {
+                    if states
+                        .get(&item.request)
+                        .is_none_or(|s| s.epoch != item.epoch)
+                    {
+                        // The request (incarnation) was aborted — e.g. its
+                        // pipeline crossed a failed node; drop the stale work.
+                        continue;
+                    }
                     let model = item.model;
                     if let Some(engine) = self.engines.get_mut(&(node, model)) {
                         engine.enqueue(item);
@@ -273,14 +411,23 @@ impl<'a> ClusterSimulator<'a> {
                         }
                     }
                 }
-                Event::TokenAtCoordinator { request, phase: _ } => {
+                Event::TokenAtCoordinator {
+                    request,
+                    epoch,
+                    phase: _,
+                } => {
                     let Some(state) = states.get_mut(&request) else {
                         continue;
                     };
+                    if state.epoch != epoch {
+                        // A token of an aborted incarnation; ignore.
+                        continue;
+                    }
                     let model = state.pipeline.model;
                     let m = model.index();
                     state.generated += 1;
                     let in_window = now >= config.warmup_secs;
+                    total_decode_tokens[m] += 1;
                     if in_window {
                         decode_tokens[m] += 1;
                     }
@@ -312,6 +459,7 @@ impl<'a> ClusterSimulator<'a> {
                             self.admit_request(
                                 next,
                                 &specs,
+                                &epochs,
                                 &mut states,
                                 &mut queue,
                                 now,
@@ -329,6 +477,7 @@ impl<'a> ClusterSimulator<'a> {
                                 node: first.node,
                                 item: WorkItem {
                                     request,
+                                    epoch,
                                     model,
                                     phase: Phase::Decode,
                                     tokens: 1,
@@ -340,6 +489,60 @@ impl<'a> ClusterSimulator<'a> {
                     }
                 }
                 Event::MeasurementEnd => {}
+                Event::Perturbation(perturbation) => {
+                    self.apply_perturbation(
+                        perturbation,
+                        time,
+                        &mut states,
+                        &mut epochs,
+                        &mut queue,
+                        &mut active,
+                        &mut replans,
+                    );
+                }
+                Event::ObservationTick => {
+                    // 1. Close the interval window.
+                    intervals.push(IntervalMetrics {
+                        start: last_tick,
+                        end: time,
+                        decode_tokens: total_decode_tokens
+                            .iter()
+                            .zip(&interval_base)
+                            .map(|(t, b)| t - b)
+                            .collect(),
+                    });
+                    interval_base.clone_from(&total_decode_tokens);
+                    // 2. Measure the engines.
+                    let window = (time - last_tick).max(1e-9);
+                    let observed = self.collect_observations(window, &mut windows);
+                    // 3. Consult the policy: measured speeds vs the speeds
+                    // the current plan already priced in.
+                    if let Some(policy) = policy {
+                        if let Some((node, model, speed)) = policy.should_replan(
+                            &observed,
+                            self.fleet.observations(),
+                            time,
+                            last_replan,
+                        ) {
+                            let applied = self.apply_replan(
+                                &PlacementDelta::new(),
+                                &observed,
+                                time,
+                                ReplanReason::ThroughputGap { node, model, speed },
+                                &mut replans,
+                            );
+                            if applied {
+                                last_replan = Some(time);
+                            }
+                        }
+                    }
+                    last_tick = time;
+                    // 4. Schedule the next window.
+                    let next = time + tick_interval;
+                    if next <= end_time {
+                        queue.push(next, Event::ObservationTick);
+                    }
+                }
             }
         }
 
@@ -402,19 +605,174 @@ impl<'a> ClusterSimulator<'a> {
             node_utilization,
             link_stats,
         };
-        FleetMetrics { overall, per_model }
+        FleetRunReport {
+            metrics: FleetMetrics { overall, per_model },
+            intervals,
+            replans,
+        }
     }
 
-    /// The placement the simulator is running for one model.
-    pub fn model_placement(&self, model: ModelId) -> Option<&ModelPlacement> {
-        self.lanes
-            .get(model.index())
-            .map(|l| l.topology.placement())
+    /// Measures every engine's window deltas into a [`NodeObservations`]
+    /// snapshot via the shared [`ObservationWindows`] accumulator (the same
+    /// measurement math the runtime coordinator runs), against the speeds
+    /// the current plan already priced in.
+    fn collect_observations(
+        &self,
+        window: f64,
+        windows: &mut ObservationWindows,
+    ) -> NodeObservations {
+        let mut observed = NodeObservations::new();
+        for (&(node, model), engine) in &self.engines {
+            windows.measure(
+                &mut observed,
+                node,
+                model,
+                EngineCounters {
+                    nominal_busy_secs: engine.nominal_busy_seconds,
+                    busy_secs: engine.busy_seconds,
+                    tokens: engine.tokens_processed,
+                },
+                window,
+                self.fleet.observations(),
+            );
+        }
+        observed
     }
 
-    /// The placement the simulator is running (the first model's lane).
-    pub fn placement(&self) -> &ModelPlacement {
-        self.lanes[0].topology.placement()
+    #[allow(clippy::too_many_arguments)]
+    fn apply_perturbation(
+        &mut self,
+        perturbation: PerturbationEvent,
+        time: SimTime,
+        states: &mut HashMap<RequestId, RequestState>,
+        epochs: &mut HashMap<RequestId, u64>,
+        queue: &mut EventQueue,
+        active: &mut usize,
+        replans: &mut Vec<ReplanRecord>,
+    ) {
+        match perturbation {
+            PerturbationEvent::NodeSlowdown { node, factor, .. } => {
+                self.slowdowns.insert(node, factor);
+                for ((n, _), engine) in self.engines.iter_mut() {
+                    if *n == node {
+                        engine.set_slowdown(factor);
+                    }
+                }
+            }
+            PerturbationEvent::NodeRecovery { node, .. } => {
+                self.slowdowns.remove(&node);
+                for ((n, _), engine) in self.engines.iter_mut() {
+                    if *n == node {
+                        engine.set_slowdown(1.0);
+                    }
+                }
+            }
+            PerturbationEvent::NodeFailure { node, .. } => {
+                self.failed.insert(node);
+                for ((n, _), engine) in self.engines.iter_mut() {
+                    if *n == node {
+                        engine.fail();
+                    }
+                }
+                // Abort every *unfinished* pipeline crossing the dead node
+                // and re-admit its request under a new epoch (stale work of
+                // the old incarnation is dropped on arrival); the KV pages
+                // it held anywhere are purged.  Completed requests keep
+                // their state — and their counted completion — untouched.
+                let doomed: Vec<RequestId> = states
+                    .iter()
+                    .filter(|(_, s)| s.finish_time.is_none() && s.pipeline.nodes().contains(&node))
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in doomed {
+                    let state = states.remove(&id).expect("listed above");
+                    let model = state.pipeline.model;
+                    for n in state.pipeline.nodes() {
+                        if let Some(engine) = self.engines.get_mut(&(n, model)) {
+                            engine.purge_request(id);
+                        }
+                    }
+                    *epochs.entry(id).or_insert(0) += 1;
+                    *active = active.saturating_sub(1);
+                    queue.push(time, Event::RequestArrival { request: id });
+                }
+                // Structural change: re-plan immediately with a removal
+                // delta, keeping whatever observations are already priced in.
+                let delta = PlacementDelta::new().remove_node(node, self.fleet.num_models());
+                let observed = self.fleet.observations().clone();
+                self.apply_replan(
+                    &delta,
+                    &observed,
+                    time,
+                    ReplanReason::NodeFailure { node },
+                    replans,
+                );
+            }
+            PerturbationEvent::ArrivalRateShift { .. } => {
+                // Applied to the arrival process before the run started.
+            }
+        }
+    }
+
+    /// Applies one re-plan: mutates the owned fleet plan, swaps the affected
+    /// models' schedulers (drain-then-switch — in-flight pipelines keep their
+    /// routes) and reconciles the engine set with the new plan.  Returns
+    /// whether the re-plan was applied; an infeasible re-plan (e.g. a failed
+    /// node was load-bearing) leaves the current plan serving.
+    fn apply_replan(
+        &mut self,
+        delta: &PlacementDelta,
+        observed: &NodeObservations,
+        time: SimTime,
+        reason: ReplanReason,
+        replans: &mut Vec<ReplanRecord>,
+    ) -> bool {
+        let outcome = match self.fleet.replan(delta, observed) {
+            Ok(outcome) => outcome,
+            Err(_) => return false,
+        };
+        for &model in &outcome.affected {
+            let topology = self.fleet.model(model).expect("affected model exists");
+            // Hand-over step 1: new IWRR weights for new requests.  A model
+            // whose re-planned flow is zero keeps its old scheduler
+            // (serving degraded beats serving nothing).
+            if let Ok(scheduler) = IwrrScheduler::from_topology(topology) {
+                self.schedulers[model.index()] = Box::new(scheduler);
+            }
+            // Hand-over step 2: reconcile engines.  Existing engines take
+            // the new layer count / KV budget in place (their queues and
+            // cached tokens survive); pairs the plan no longer includes keep
+            // draining their in-flight work but receive no new pipelines;
+            // newly planned pairs get fresh engines.
+            let planned: Vec<(NodeId, usize, f64)> = topology
+                .nodes()
+                .map(|n| (n.node, n.layers.len(), n.kv_capacity_tokens))
+                .collect();
+            let profile = topology.profile().clone();
+            for (node, layers, kv_capacity) in planned {
+                match self.engines.get_mut(&(node, model)) {
+                    Some(engine) => engine.update_plan(layers, kv_capacity),
+                    None => {
+                        let mut engine =
+                            NodeEngine::new(profile.node_profile(node), layers, kv_capacity);
+                        if let Some(&factor) = self.slowdowns.get(&node) {
+                            engine.set_slowdown(factor);
+                        }
+                        if self.failed.contains(&node) {
+                            engine.fail();
+                        }
+                        self.engines.insert((node, model), engine);
+                    }
+                }
+            }
+        }
+        replans.push(ReplanRecord {
+            at: time,
+            reason,
+            affected: outcome.affected,
+            planned_flow: self.fleet.total_flow_value(),
+        });
+        true
     }
 
     /// Scheduler feedback for one model: queue/throughput/KV state of that
@@ -441,10 +799,12 @@ impl<'a> ClusterSimulator<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn admit_request(
         &mut self,
         request: RequestId,
         specs: &HashMap<RequestId, Request>,
+        epochs: &HashMap<RequestId, u64>,
         states: &mut HashMap<RequestId, RequestState>,
         queue: &mut EventQueue,
         now: SimTime,
@@ -454,12 +814,12 @@ impl<'a> ClusterSimulator<'a> {
             return;
         };
         let model = spec.model;
-        if model.index() >= self.lanes.len() {
+        if model.index() >= self.schedulers.len() {
             return;
         }
+        let epoch = epochs.get(&request).copied().unwrap_or(0);
         let snapshot = self.snapshot(model);
-        let lane = &mut self.lanes[model.index()];
-        match lane.scheduler.schedule(&snapshot) {
+        match self.schedulers[model.index()].schedule(&snapshot) {
             Ok(mut pipeline) => {
                 pipeline.model = model;
                 let first = pipeline.stages[0];
@@ -467,6 +827,7 @@ impl<'a> ClusterSimulator<'a> {
                     request,
                     RequestState {
                         pipeline: pipeline.clone(),
+                        epoch,
                         prompt_tokens: spec.prompt_tokens,
                         output_tokens: spec.output_tokens,
                         generated: 0,
@@ -486,6 +847,7 @@ impl<'a> ClusterSimulator<'a> {
                         node: first.node,
                         item: WorkItem {
                             request,
+                            epoch,
                             model,
                             phase: Phase::Prompt,
                             tokens: spec.prompt_tokens,
@@ -513,11 +875,15 @@ impl<'a> ClusterSimulator<'a> {
         let Some(state) = states.get(&item.request) else {
             return;
         };
+        if state.epoch != item.epoch {
+            // Work of an aborted incarnation: its stage indices describe the
+            // old pipeline, not the re-admitted one.  Drop it.
+            return;
+        }
         let next_index = item.stage_index + 1;
         if next_index < state.pipeline.stages.len() {
             let next = state.pipeline.stages[next_index];
-            let activation_bytes = self.lanes[item.model.index()]
-                .topology
+            let activation_bytes = self.fleet.topologies()[item.model.index()]
                 .profile()
                 .model()
                 .activation_bytes();
@@ -529,6 +895,7 @@ impl<'a> ClusterSimulator<'a> {
                     node: next.node,
                     item: WorkItem {
                         request: item.request,
+                        epoch: item.epoch,
                         model: item.model,
                         phase: item.phase,
                         tokens: item.tokens,
@@ -544,6 +911,7 @@ impl<'a> ClusterSimulator<'a> {
                 arrival,
                 Event::TokenAtCoordinator {
                     request: item.request,
+                    epoch: item.epoch,
                     phase: item.phase,
                 },
             );
@@ -559,7 +927,7 @@ impl<'a> ClusterSimulator<'a> {
     ) -> SimTime {
         // Link hardware is shared by every model; the first lane's profile
         // supplies the (model-independent) bandwidth and latency numbers.
-        let profile = self.lanes[0].topology.profile();
+        let profile = self.fleet.topologies()[0].profile();
         let link = self.links.entry((from, to)).or_insert_with(|| {
             let spec = profile.cluster().link(from, to);
             LinkQueue::new(spec.bandwidth_bytes_per_sec(), spec.latency_secs())
@@ -777,5 +1145,110 @@ mod tests {
         let with_warmup = run(30.0);
         let without = run(0.0);
         assert!(with_warmup.decode_tokens <= without.decode_tokens);
+    }
+
+    #[test]
+    fn run_with_no_events_is_bit_identical_to_the_static_path() {
+        let profile = small_profile();
+        let topology = petals_topology(&profile);
+        let workload = small_workload(30);
+        let config = SimulationConfig::offline(100.0).with_warmup(0.0);
+        let static_metrics = {
+            let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+            let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
+            sim.run_per_model(&workload, config)
+        };
+        let event_metrics = {
+            let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+            let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
+            sim.run_with_events(&workload, config, &[], None)
+        };
+        assert!(event_metrics.replans.is_empty());
+        assert!(event_metrics.intervals.is_empty());
+        assert_eq!(static_metrics.overall, event_metrics.metrics.overall);
+        assert_eq!(static_metrics.per_model, event_metrics.metrics.per_model);
+    }
+
+    #[test]
+    fn slowdown_without_policy_degrades_throughput_and_reports_intervals() {
+        let profile = small_profile();
+        let topology = petals_topology(&profile);
+        let workload = small_workload(60);
+        let config = SimulationConfig::offline(200.0).with_warmup(0.0);
+        // Slow down the busiest node hard at t=0.
+        let slow = topology
+            .nodes()
+            .max_by(|a, b| a.flow.partial_cmp(&b.flow).unwrap())
+            .unwrap()
+            .node;
+        let events = [PerturbationEvent::NodeSlowdown {
+            at: 0.0,
+            node: slow,
+            factor: 4.0,
+        }];
+        let run = |events: &[PerturbationEvent]| {
+            let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+            let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
+            sim.run_with_events(&workload, config, events, None)
+        };
+        let healthy = run(&[]);
+        let degraded = run(&events);
+        assert!(
+            degraded.metrics.overall.decode_throughput()
+                < healthy.metrics.overall.decode_throughput()
+        );
+        // Perturbed runs emit interval metrics even without a policy.
+        assert!(!degraded.intervals.is_empty());
+        assert!(degraded.replans.is_empty(), "no policy, no re-plan");
+        for w in &degraded.intervals {
+            assert!(w.end > w.start);
+            assert_eq!(w.decode_tokens.len(), 1);
+        }
+    }
+
+    #[test]
+    fn node_failure_triggers_immediate_replan_and_requests_still_complete() {
+        let profile = small_profile();
+        let topology = petals_topology(&profile);
+        let workload = small_workload(40);
+        let config = SimulationConfig::offline(240.0).with_warmup(0.0);
+        // Fail a node that holds layers but is not the only holder of any
+        // layer (petals over 10 nodes replicates ranges).
+        let candidates: Vec<NodeId> = topology.nodes().map(|n| n.node).collect();
+        let placement = topology.placement().clone();
+        let num_layers = topology.num_layers();
+        let failed = candidates
+            .iter()
+            .copied()
+            .find(|&node| {
+                let mut without = placement.clone();
+                without.clear(node);
+                without.has_complete_pipeline(num_layers)
+            })
+            .expect("some node is redundant");
+        let events = [PerturbationEvent::NodeFailure {
+            at: 30.0,
+            node: failed,
+        }];
+        let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+        let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
+        let report = sim.run_with_events(&workload, config, &events, None);
+        assert_eq!(report.replans.len(), 1);
+        assert!(matches!(
+            report.replans[0].reason,
+            ReplanReason::NodeFailure { node } if node == failed
+        ));
+        // The failed node left the plan …
+        assert!(sim
+            .fleet()
+            .model(ModelId(0))
+            .unwrap()
+            .node(failed)
+            .is_none());
+        // … and the run still completes requests afterwards.
+        assert!(report.metrics.overall.completed_requests > 0);
+        // Requests that finished before the failure keep exactly one counted
+        // completion, and aborted incarnations are never double-counted.
+        assert!(report.metrics.overall.completed_requests <= 40);
     }
 }

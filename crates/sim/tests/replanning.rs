@@ -1,0 +1,216 @@
+//! Closed-loop re-planning under mid-run perturbations: the simulator
+//! observes its engines, the shared [`ReplanPolicy`] fires on the observed
+//! throughput gap, and [`FleetTopology::replan`] re-routes traffic — the
+//! recovery the ROADMAP's online re-planning item asked for.
+
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig, ModelId, NodeId};
+use helix_core::{heuristics, IwrrScheduler, ReplanPolicy, ReplanReason, Topology};
+use helix_sim::{ClusterSimulator, PerturbationEvent, SimulationConfig};
+use helix_workload::{ArrivalPattern, Workload};
+
+fn profile() -> ClusterProfile {
+    ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_13b())
+}
+
+/// Swarm's balanced stages replicate every layer range over several nodes,
+/// so the planner has somewhere to shift flow when one replica degrades.
+fn topology(profile: &ClusterProfile) -> Topology {
+    let placement = heuristics::swarm_placement(profile).unwrap();
+    Topology::plan(profile, &placement, true).unwrap()
+}
+
+fn saturating_workload(n: usize) -> Workload {
+    let config = helix_workload::AzureTraceConfig {
+        mean_input_tokens: 128.0,
+        mean_output_tokens: 48.0,
+        max_input_tokens: 384,
+        max_output_tokens: 96,
+        ..Default::default()
+    };
+    config
+        .generate(n, 9)
+        .with_arrivals(ArrivalPattern::Offline, 4)
+}
+
+/// Mean fleet-total interval throughput over windows inside `[from, to)`.
+fn mean_window_throughput(intervals: &[helix_sim::IntervalMetrics], from: f64, to: f64) -> f64 {
+    let windows: Vec<f64> = intervals
+        .iter()
+        .filter(|w| w.start >= from && w.end <= to)
+        .map(|w| w.total_throughput())
+        .collect();
+    assert!(!windows.is_empty(), "no complete window in [{from}, {to})");
+    windows.iter().sum::<f64>() / windows.len() as f64
+}
+
+/// The busiest node among those with the smallest positive flow share — a
+/// stage replica the rest of its stage can cover for, so a slowdown is
+/// recoverable by routing around it.
+fn modest_flow_node(topology: &Topology) -> NodeId {
+    topology
+        .nodes()
+        .filter(|n| n.flow > 1e-6)
+        .min_by(|a, b| {
+            a.flow
+                .partial_cmp(&b.flow)
+                .unwrap()
+                .then(a.node.cmp(&b.node))
+        })
+        .expect("some node carries flow")
+        .node
+}
+
+#[test]
+fn slowdown_triggers_replan_and_recovers_ninety_percent() {
+    let profile = profile();
+    let topology = topology(&profile);
+    let slow = modest_flow_node(&topology);
+    let perturb_at = 120.0;
+    let recover_at = 360.0;
+    let end = 540.0;
+    let events = [
+        PerturbationEvent::NodeSlowdown {
+            at: perturb_at,
+            node: slow,
+            factor: 2.0,
+        },
+        PerturbationEvent::NodeRecovery {
+            at: recover_at,
+            node: slow,
+        },
+    ];
+    let policy = ReplanPolicy {
+        check_interval_secs: 10.0,
+        gap_threshold: 0.25,
+        cooldown_secs: 30.0,
+        min_occupancy: 0.05,
+    };
+    // Enough work to keep the cluster saturated through the whole horizon.
+    let workload = saturating_workload(12000);
+    let config = SimulationConfig::offline(end)
+        .with_warmup(0.0)
+        .with_admission_limit(64);
+
+    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+    let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
+    let report = sim.run_with_events(&workload, config, &events, Some(policy));
+
+    // The loop fired: at least one gap-triggered re-plan after the slowdown.
+    let gap_replans: Vec<_> = report
+        .replans
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.reason,
+                ReplanReason::ThroughputGap { node, speed, .. }
+                    if node == slow && speed < 0.75
+            )
+        })
+        .collect();
+    assert!(
+        !gap_replans.is_empty(),
+        "the 2x slowdown must trigger a re-plan; log: {:?}",
+        report.replans
+    );
+    let replan_at = gap_replans[0].at;
+    assert!(replan_at >= perturb_at, "re-plan follows the slowdown");
+
+    // Recovery: steady-state throughput after the re-plan settles is at
+    // least 90% of the pre-perturbation steady state.
+    let pre = mean_window_throughput(&report.intervals, 40.0, perturb_at);
+    let post = mean_window_throughput(&report.intervals, replan_at + 60.0, replan_at + 180.0);
+    assert!(
+        post >= 0.9 * pre,
+        "post-re-plan throughput {post:.1} tok/s must recover >= 90% of \
+         pre-perturbation {pre:.1} tok/s (re-plan at {replan_at})"
+    );
+
+    // The gap is measured against the *plan*: once the slowdown is priced
+    // in, the policy goes quiet instead of re-firing every cooldown.
+    let replans_between: usize = report
+        .replans
+        .iter()
+        .filter(|r| r.at > replan_at && r.at < recover_at)
+        .count();
+    assert!(
+        replans_between <= 1,
+        "a priced-in slowdown must not re-fire the loop every cooldown; \
+         got {replans_between} extra re-plans: {:?}",
+        report.replans
+    );
+
+    // When the node recovers, the upward drift re-prices it back to full
+    // speed.
+    let recovered = report.replans.iter().any(|r| {
+        r.at >= recover_at
+            && matches!(r.reason, ReplanReason::ThroughputGap { node, .. } if node == slow)
+    });
+    assert!(
+        recovered,
+        "recovery must fire the loop; log: {:?}",
+        report.replans
+    );
+    assert_eq!(
+        sim.fleet().compute_share(ModelId(0), slow),
+        1.0,
+        "the recovered node is re-priced at full speed"
+    );
+}
+
+#[test]
+fn replanning_beats_not_replanning_under_the_same_slowdown() {
+    let profile = profile();
+    let topology = topology(&profile);
+    let slow = modest_flow_node(&topology);
+    let events = [PerturbationEvent::NodeSlowdown {
+        at: 60.0,
+        node: slow,
+        factor: 4.0,
+    }];
+    let config = SimulationConfig::offline(360.0)
+        .with_warmup(60.0)
+        .with_admission_limit(64);
+    let run = |policy: Option<ReplanPolicy>| {
+        let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+        let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
+        sim.run_with_events(&saturating_workload(2500), config, &events, policy)
+    };
+    let with_loop = run(Some(ReplanPolicy::default()));
+    let without_loop = run(None);
+    assert!(!with_loop.replans.is_empty());
+    assert!(without_loop.replans.is_empty());
+    // The closed loop never loses to the frozen plan under drift (small
+    // tolerance absorbs scheduling noise).
+    assert!(
+        with_loop.metrics.overall.decode_throughput()
+            >= without_loop.metrics.overall.decode_throughput() * 0.97,
+        "with loop {:.1} vs frozen {:.1}",
+        with_loop.metrics.overall.decode_throughput(),
+        without_loop.metrics.overall.decode_throughput()
+    );
+}
+
+#[test]
+fn arrival_rate_shift_compresses_late_arrivals() {
+    let profile = profile();
+    let topology = topology(&profile);
+    let workload = saturating_workload(120).with_arrivals(ArrivalPattern::constant_rate(1.0), 5);
+    let config = SimulationConfig::online(400.0).with_warmup(0.0);
+    let run = |events: &[PerturbationEvent]| {
+        let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+        let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
+        sim.run_with_events(&workload, config, events, None)
+    };
+    let steady = run(&[]);
+    // Doubling the arrival rate from t=30 squeezes the same requests into a
+    // shorter horizon: every request still completes, sooner.
+    let burst = run(&[PerturbationEvent::ArrivalRateShift {
+        at: 30.0,
+        factor: 2.0,
+    }]);
+    assert_eq!(
+        steady.metrics.overall.completed_requests,
+        burst.metrics.overall.completed_requests
+    );
+    assert!(burst.metrics.overall.measured_seconds <= steady.metrics.overall.measured_seconds);
+}
