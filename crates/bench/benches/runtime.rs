@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
 use helix_core::{heuristics, IwrrScheduler, RandomScheduler, Scheduler, Topology};
-use helix_runtime::{ExecutionKind, RuntimeConfig, ServingRuntime};
+use helix_runtime::{ExecutionKind, RuntimeConfig, ServingBuilder};
 use helix_workload::{Request, Workload};
 use std::hint::black_box;
 
@@ -46,9 +46,13 @@ fn bench_runtime_control_plane(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("iwrr", n), &w, |b, w| {
             b.iter(|| {
                 let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
-                let runtime =
-                    ServingRuntime::new(&topology, Box::new(scheduler), config()).unwrap();
-                black_box(runtime.serve(w).unwrap().completed())
+                let session = ServingBuilder::new()
+                    .topology(&topology)
+                    .scheduler(Box::new(scheduler))
+                    .config(config())
+                    .build()
+                    .unwrap();
+                black_box(session.serve(w).unwrap().completed())
             })
         });
     }
@@ -68,15 +72,25 @@ fn bench_scheduler_choice_on_runtime(c: &mut Criterion) {
         b.iter(|| {
             let scheduler: Box<dyn Scheduler> =
                 Box::new(IwrrScheduler::from_topology(&topology).unwrap());
-            let runtime = ServingRuntime::new(&topology, scheduler, config()).unwrap();
-            black_box(runtime.serve(&w).unwrap().decode_tokens())
+            let session = ServingBuilder::new()
+                .topology(&topology)
+                .scheduler(scheduler)
+                .config(config())
+                .build()
+                .unwrap();
+            black_box(session.serve(&w).unwrap().decode_tokens())
         })
     });
     group.bench_function("random", |b| {
         b.iter(|| {
             let scheduler: Box<dyn Scheduler> = Box::new(RandomScheduler::new(&topology, 5));
-            let runtime = ServingRuntime::new(&topology, scheduler, config()).unwrap();
-            black_box(runtime.serve(&w).unwrap().decode_tokens())
+            let session = ServingBuilder::new()
+                .topology(&topology)
+                .scheduler(scheduler)
+                .config(config())
+                .build()
+                .unwrap();
+            black_box(session.serve(&w).unwrap().decode_tokens())
         })
     });
     group.finish();

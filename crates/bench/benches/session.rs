@@ -1,0 +1,107 @@
+//! Latency of the session front door: submit → completion through a live
+//! `ServingSession` (coordinator thread, fabric thread, instant-execution
+//! workers), and the amortised per-request cost of a pipelined burst.
+//!
+//! These measure the *control plane* of the session path — scheduling, the
+//! control channel, fabric message passing, dynamic batching, KV paging and
+//! the completion stream — with the instant execution model, so no time is
+//! spent in the (modelled) GPU kernels.
+//!
+//! Run with `cargo bench -p helix-bench --bench session`; results are
+//! recorded in `BENCH_session.json` at the repository root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
+use helix_core::{heuristics, Topology};
+use helix_runtime::{ExecutionKind, RuntimeConfig, ServingBuilder, ServingSession};
+use helix_workload::Request;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn topology() -> Topology {
+    let profile =
+        ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b());
+    let placement = heuristics::swarm_placement(&profile).unwrap();
+    Topology::plan(&profile, &placement, true).unwrap()
+}
+
+fn config() -> RuntimeConfig {
+    RuntimeConfig {
+        wall_per_virtual: 0.0001,
+        execution: ExecutionKind::Instant,
+        // The standing session outlives many samples; never trip the budget.
+        max_wall: Duration::from_secs(3600),
+        ..RuntimeConfig::default()
+    }
+}
+
+fn session(topology: &Topology) -> ServingSession {
+    ServingBuilder::new()
+        .topology(topology)
+        .config(config())
+        .build()
+        .unwrap()
+}
+
+fn request(id: u64) -> Request {
+    Request {
+        id,
+        prompt_tokens: 64,
+        output_tokens: 4,
+        arrival_time: 0.0,
+        model: Default::default(),
+    }
+}
+
+fn bench_session_path(c: &mut Criterion) {
+    let topology = topology();
+    let mut group = c.benchmark_group("session_path");
+    group.sample_size(10);
+
+    // One standing live session; each iteration is one full round trip:
+    // submit → coordinator schedules → fabric delivers → workers execute the
+    // prompt + 3 decode iterations → completion streams back.
+    let mut live = session(&topology);
+    let mut next_id = 0u64;
+    group.bench_function("submit_to_completion", |b| {
+        b.iter(|| {
+            let ticket = live.submit(request(next_id));
+            next_id += 1;
+            black_box(live.wait_completion(ticket).unwrap().completed_at)
+        })
+    });
+
+    // Twenty requests in flight at once: the amortised per-request cost when
+    // the session pipeline is kept full (divide by 20).
+    group.bench_function("pipelined_burst_of_20", |b| {
+        b.iter(|| {
+            let tickets: Vec<_> = (0..20)
+                .map(|_| {
+                    let ticket = live.submit(request(next_id));
+                    next_id += 1;
+                    ticket
+                })
+                .collect();
+            live.drain().unwrap();
+            for ticket in tickets {
+                black_box(live.wait_completion(ticket).unwrap());
+            }
+        })
+    });
+    let report = live.finish().unwrap();
+    assert_eq!(report.completed() as u64, next_id);
+
+    // Baseline: the legacy batch loop (build + serve + teardown) for the
+    // same 20-request burst, for an apples-to-oranges sanity anchor.
+    group.bench_function("batch_build_serve_20", |b| {
+        b.iter(|| {
+            let batch = session(&topology);
+            let workload = helix_workload::Workload::new((0..20u64).map(request).collect());
+            black_box(batch.serve(&workload).unwrap().completed())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_path);
+criterion_main!(benches);

@@ -50,6 +50,13 @@ pub enum HelixError {
         /// Number of models the fleet serves.
         num_models: usize,
     },
+    /// A fleet was wired with the wrong number of per-model schedulers.
+    SchedulerCountMismatch {
+        /// Models the fleet serves.
+        models: usize,
+        /// Schedulers supplied.
+        schedulers: usize,
+    },
     /// A fleet placement over-commits a node's VRAM across models.
     FleetVramOverflow {
         /// The over-committed node.
@@ -86,6 +93,10 @@ impl fmt::Display for HelixError {
             HelixError::UnknownModel { model, num_models } => {
                 write!(f, "request for {model} but the fleet serves {num_models} model(s)")
             }
+            HelixError::SchedulerCountMismatch { models, schedulers } => write!(
+                f,
+                "a fleet serving {models} model(s) needs one scheduler per model, got {schedulers}"
+            ),
             HelixError::FleetVramOverflow { node, needed_bytes, budget_bytes } => write!(
                 f,
                 "fleet placement puts {needed_bytes:.0} bytes of weights on {node} whose weight budget is {budget_bytes:.0} bytes"

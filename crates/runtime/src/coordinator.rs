@@ -8,22 +8,31 @@
 //! next decode iteration on the *same* pipeline or completes the request and
 //! releases its KV cache everywhere (§5.1–§5.2).
 //!
-//! When built adaptively (`ServingRuntime::new_adaptive`), the coordinator
-//! also runs the observe → re-derive → re-solve → hand-over loop: every
-//! policy interval it reads the workers' shared statistics into
-//! [`NodeObservations`], asks the shared [`ReplanPolicy`] whether the
-//! measured speed factors warrant action, and applies
-//! [`FleetTopology::replan`] **drain-then-switch** — the affected models'
-//! schedulers and KV estimators are swapped for *new* requests while every
-//! in-flight pipeline keeps the route it was assigned, so nothing is
-//! dropped mid-generation.
+//! The coordinator runs in one of two modes:
+//!
+//! * **batch** ([`Coordinator::run`]) — the legacy blocking loop: every
+//!   request of a [`Workload`] is admitted at its arrival time and the call
+//!   returns when all of them completed;
+//! * **live** ([`Coordinator::run_live`]) — the session loop behind
+//!   [`ServingSession`](crate::ServingSession): requests arrive through a
+//!   control channel, completions stream back as they happen, and the
+//!   control plane accepts mid-run placement deltas that can *spawn new
+//!   workers* for (node, model) pairs the original build never had.
+//!
+//! When a [`ReplanPolicy`] is configured, either mode also closes the online
+//! re-planning loop: every policy interval the workers' shared statistics
+//! are read into [`NodeObservations`], and when the measured speed factors
+//! warrant action [`FleetTopology::replan`] is applied **drain-then-switch**
+//! — the affected models' schedulers and KV estimators are swapped for *new*
+//! requests while every in-flight pipeline keeps the route it was assigned,
+//! so nothing is dropped mid-generation.
 
 use crate::clock::VirtualClock;
 use crate::error::RuntimeError;
 use crate::message::{Envelope, Phase, RuntimeMsg, StageWork};
 use crate::metrics::RequestOutcome;
-use crate::worker::SharedWorkerStats;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crate::registry::{WorkerKey, WorkerRegistry, WorkerSpawner};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use helix_cluster::{ModelId, NodeId, TOKEN_WIRE_BYTES};
 use helix_core::{
     ClusterState, EngineCounters, FleetTopology, HelixError, IwrrScheduler, KvCacheEstimator,
@@ -31,9 +40,38 @@ use helix_core::{
     RequestPipeline, Scheduler,
 };
 use helix_workload::{Request, RequestId, Workload};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// What arrives on the coordinator's inbound channel: worker traffic routed
+/// by the fabric, or a wake-up ping the session sends right after queueing a
+/// control message so the coordinator reacts immediately instead of on its
+/// next poll timeout.
+pub(crate) enum CoordinatorMsg {
+    /// A message from a worker, delivered by the fabric.
+    Runtime(RuntimeMsg),
+    /// The session queued a control message; drain the control channel now.
+    Wake,
+}
+
+/// Control messages a [`ServingSession`](crate::ServingSession) sends to its
+/// coordinator thread.
+pub(crate) enum SessionControl {
+    /// Admit one request (honouring its `arrival_time` in virtual seconds).
+    Submit(Request),
+    /// Apply a placement delta to the standing fleet plan: re-plan, swap the
+    /// affected models' schedulers, spawn workers for newly added
+    /// (node, model) tenancies and retire ones the plan dropped (after their
+    /// in-flight pipelines drain).
+    ApplyDelta(PlacementDelta),
+    /// Retire a worker that the active plan no longer schedules onto.
+    Retire(NodeId, ModelId),
+    /// Complete everything submitted so far, then acknowledge.
+    Drain(Sender<()>),
+    /// Drain and exit the live loop.
+    Finish,
+}
 
 /// Everything the coordinator needs to run.
 pub(crate) struct CoordinatorSpec {
@@ -45,30 +83,29 @@ pub(crate) struct CoordinatorSpec {
     pub estimators: Vec<KvCacheEstimator>,
     /// Shared virtual clock.
     pub clock: VirtualClock,
-    /// Messages arriving from workers through the fabric.
-    pub inbound: Receiver<RuntimeMsg>,
+    /// Messages arriving from workers through the fabric, plus session
+    /// wake-ups.
+    pub inbound: Receiver<CoordinatorMsg>,
     /// Outgoing messages into the fabric.
     pub fabric: Sender<Envelope>,
-    /// Live statistics shared by every (node, model) worker.
-    pub worker_stats: HashMap<(NodeId, ModelId), SharedWorkerStats>,
+    /// The live worker set (shared with the fabric and the front door).
+    pub registry: Arc<WorkerRegistry>,
+    /// Spawns additional workers when a re-plan adds a tenancy.
+    pub spawner: WorkerSpawner,
     /// Wall-clock budget for the whole run.
     pub max_wall: Duration,
-    /// Online re-planning state (None = the static plan serves the run).
-    pub adaptive: Option<AdaptiveReplan>,
-}
-
-/// What an adaptive coordinator needs to close the feedback loop.
-pub(crate) struct AdaptiveReplan {
     /// The standing fleet plan, mutated in place by re-plans.
     pub fleet: FleetTopology,
-    /// When the loop fires (shared with the simulator's loop).
-    pub policy: ReplanPolicy,
+    /// When the observation-driven loop fires (None = only explicit deltas
+    /// re-plan).
+    pub policy: Option<ReplanPolicy>,
 }
 
-/// The adaptive coordinator's bookkeeping between observation windows.
-struct AdaptiveState {
+/// The coordinator's standing control-plane state: the fleet plan it serves,
+/// the optional observation policy, and the re-plan log.
+struct ControlState {
     fleet: FleetTopology,
-    policy: ReplanPolicy,
+    policy: Option<ReplanPolicy>,
     last_check: f64,
     last_replan: Option<f64>,
     /// The shared window accumulator (same measurement math as the sim).
@@ -86,20 +123,20 @@ struct AdaptiveState {
 struct CoordinatorView<'a> {
     model: ModelId,
     estimator: &'a KvCacheEstimator,
-    worker_stats: &'a HashMap<(NodeId, ModelId), SharedWorkerStats>,
+    registry: &'a WorkerRegistry,
 }
 
 impl ClusterState for CoordinatorView<'_> {
     fn queue_len(&self, node: NodeId) -> usize {
-        self.worker_stats
-            .get(&(node, self.model))
+        self.registry
+            .stats((node, self.model))
             .map(|s| s.lock().queue_len)
             .unwrap_or(0)
     }
 
     fn recent_throughput(&self, node: NodeId) -> f64 {
-        self.worker_stats
-            .get(&(node, self.model))
+        self.registry
+            .stats((node, self.model))
             .map(|s| s.lock().recent_throughput)
             .unwrap_or(0.0)
     }
@@ -125,13 +162,18 @@ pub(crate) struct Coordinator {
     schedulers: Vec<Box<dyn Scheduler>>,
     estimators: Vec<KvCacheEstimator>,
     clock: VirtualClock,
-    inbound: Receiver<RuntimeMsg>,
+    inbound: Receiver<CoordinatorMsg>,
     fabric: Sender<Envelope>,
-    worker_stats: HashMap<(NodeId, ModelId), SharedWorkerStats>,
+    registry: Arc<WorkerRegistry>,
+    spawner: WorkerSpawner,
     max_wall: Duration,
     in_flight: HashMap<RequestId, InFlight>,
     outcomes: Vec<RequestOutcome>,
-    adaptive: Option<AdaptiveState>,
+    control: ControlState,
+    /// Workers the plan dropped, awaiting their in-flight pipelines to drain.
+    pending_retire: HashSet<WorkerKey>,
+    /// Live-mode completion stream (None in batch mode).
+    completions: Option<Sender<RequestOutcome>>,
 }
 
 impl Coordinator {
@@ -147,31 +189,32 @@ impl Coordinator {
             clock: spec.clock,
             inbound: spec.inbound,
             fabric: spec.fabric,
-            worker_stats: spec.worker_stats,
+            registry: spec.registry,
+            spawner: spec.spawner,
             max_wall: spec.max_wall,
             in_flight: HashMap::new(),
             outcomes: Vec::new(),
-            adaptive: spec.adaptive.map(|a| AdaptiveState {
-                fleet: a.fleet,
-                policy: a.policy,
+            control: ControlState {
+                fleet: spec.fleet,
+                policy: spec.policy,
                 last_check: 0.0,
                 last_replan: None,
                 windows: ObservationWindows::new(),
                 replans: Vec::new(),
-            }),
+            },
+            pending_retire: HashSet::new(),
+            completions: None,
         }
     }
 
-    /// The re-plans the run applied (empty for a static coordinator).
+    /// The re-plans the run applied (empty when none fired).
     pub(crate) fn take_replans(&mut self) -> Vec<ReplanRecord> {
-        self.adaptive
-            .as_mut()
-            .map(|a| std::mem::take(&mut a.replans))
-            .unwrap_or_default()
+        std::mem::take(&mut self.control.replans)
     }
 
     /// Serves the whole workload, returning one outcome per request in
-    /// completion order.
+    /// completion order (the legacy blocking batch path — the session's
+    /// `serve` convenience wrapper runs exactly this loop).
     pub(crate) fn run(&mut self, workload: &Workload) -> Result<Vec<RequestOutcome>, RuntimeError> {
         let requests: Vec<Request> = workload.requests().to_vec();
         let total = requests.len();
@@ -219,14 +262,14 @@ impl Coordinator {
                 Duration::from_millis(10)
             };
             match self.inbound.recv_timeout(timeout) {
-                Ok(msg) => self.handle(msg)?,
+                Ok(msg) => self.handle_inbound(msg)?,
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(RuntimeError::Disconnected("network fabric"));
                 }
             }
             while let Ok(msg) = self.inbound.try_recv() {
-                self.handle(msg)?;
+                self.handle_inbound(msg)?;
             }
 
             // The feedback half of the loop: observe the workers, consult
@@ -236,28 +279,160 @@ impl Coordinator {
         Ok(std::mem::take(&mut self.outcomes))
     }
 
+    /// The live session loop: requests, placement deltas and drain/finish
+    /// commands arrive over `control`; completions stream out over
+    /// `completions` as they happen.
+    ///
+    /// Requests are admitted when their `arrival_time` (virtual seconds)
+    /// passes, exactly as in the batch path, so replaying a workload through
+    /// submit-all-then-drain exercises the same admission mechanics as
+    /// [`Coordinator::run`].  The wall-clock budget is enforced only while a
+    /// drain or finish is pending — an idle session may live indefinitely.
+    pub(crate) fn run_live(
+        &mut self,
+        control: Receiver<SessionControl>,
+        completions: Sender<RequestOutcome>,
+    ) -> Result<Vec<RequestOutcome>, RuntimeError> {
+        self.completions = Some(completions);
+        let mut pending: VecDeque<Request> = VecDeque::new();
+        let mut deferred: VecDeque<Request> = VecDeque::new();
+        let mut drain_acks: Vec<Sender<()>> = Vec::new();
+        let mut finishing = false;
+        let mut submitted = 0usize;
+        // Wall-clock mark of when the current drain began; the budget bounds
+        // each drain, not the session's lifetime.
+        let mut drain_started: Option<Duration> = None;
+
+        loop {
+            // 1. Drain the control channel.
+            loop {
+                match control.try_recv() {
+                    Ok(SessionControl::Submit(request)) => {
+                        submitted += 1;
+                        pending.push_back(request);
+                    }
+                    Ok(SessionControl::ApplyDelta(delta)) => {
+                        let now = self.clock.now();
+                        let observed = self.control.fleet.observations().clone();
+                        self.apply_replan(&delta, &observed, ReplanReason::Manual, now);
+                    }
+                    Ok(SessionControl::Retire(node, model)) => {
+                        self.request_retirement(node, model);
+                    }
+                    Ok(SessionControl::Drain(ack)) => drain_acks.push(ack),
+                    Ok(SessionControl::Finish) => finishing = true,
+                    Err(TryRecvError::Empty) => break,
+                    // The session handle was dropped: finish cleanly.
+                    Err(TryRecvError::Disconnected) => {
+                        finishing = true;
+                        break;
+                    }
+                }
+            }
+            let draining = finishing || !drain_acks.is_empty();
+
+            // 2. The wall budget guards each drain (measured from when the
+            // drain began), never idle session time.
+            if draining {
+                let started = *drain_started.get_or_insert_with(|| self.clock.wall_elapsed());
+                if self.clock.wall_elapsed().saturating_sub(started) > self.max_wall {
+                    return Err(RuntimeError::WallClockBudgetExceeded {
+                        budget: self.max_wall,
+                        completed: self.outcomes.len(),
+                        total: submitted,
+                    });
+                }
+            } else {
+                drain_started = None;
+            }
+
+            // 3. Admit every request whose arrival time has passed, in
+            // submission order.
+            let now = self.clock.now();
+            for _ in 0..pending.len() {
+                let request = pending.pop_front().expect("bounded by len");
+                if request.arrival_time <= now {
+                    if !self.try_dispatch(request)? {
+                        deferred.push_back(request);
+                    }
+                } else {
+                    pending.push_back(request);
+                }
+            }
+            // 4. Retry requests every candidate masked out earlier.
+            for _ in 0..deferred.len() {
+                let request = deferred.pop_front().expect("bounded by len");
+                if !self.try_dispatch(request)? {
+                    deferred.push_back(request);
+                }
+            }
+            if draining && !deferred.is_empty() && self.in_flight.is_empty() {
+                return Err(RuntimeError::Stalled {
+                    pending: deferred.len() + pending.len(),
+                    completed: self.outcomes.len(),
+                });
+            }
+
+            // 5. Acknowledge drains once everything in sight completed.
+            if draining && pending.is_empty() && deferred.is_empty() && self.in_flight.is_empty() {
+                for ack in drain_acks.drain(..) {
+                    let _ = ack.send(());
+                }
+                if finishing {
+                    break;
+                }
+            }
+
+            // 6. Wait for worker events.  A control message wakes this wait
+            // immediately (the session pings the inbound channel after
+            // queueing one), so the timeout only paces arrivals and idling.
+            let next_arrival = pending
+                .iter()
+                .map(|r| r.arrival_time)
+                .fold(f64::INFINITY, f64::min);
+            let timeout = if next_arrival.is_finite() {
+                let until_arrival = next_arrival - self.clock.now();
+                self.clock.wall_duration(until_arrival.clamp(0.0, 1.0))
+            } else {
+                Duration::from_millis(10)
+            };
+            match self.inbound.recv_timeout(timeout) {
+                Ok(msg) => self.handle_inbound(msg)?,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(RuntimeError::Disconnected("network fabric"));
+                }
+            }
+            while let Ok(msg) = self.inbound.try_recv() {
+                self.handle_inbound(msg)?;
+            }
+
+            // 7. Observe, consult the policy, re-plan, hand over.
+            self.maybe_replan();
+        }
+        Ok(std::mem::take(&mut self.outcomes))
+    }
+
     /// One observation-window check of the online re-planning loop.  Reads
-    /// every worker's shared statistics into a [`NodeObservations`] snapshot
-    /// (speed factor = predicted / actual busy seconds over the window);
-    /// when the policy fires, applies [`FleetTopology::replan`] and swaps
-    /// the affected models' schedulers and KV-estimator capacities.
+    /// every live worker's shared statistics into a [`NodeObservations`]
+    /// snapshot (speed factor = predicted / actual busy seconds over the
+    /// window); when the policy fires, applies [`FleetTopology::replan`] and
+    /// swaps the affected models' schedulers and KV-estimator capacities.
     /// In-flight pipelines are untouched — they drain over their old routes.
     fn maybe_replan(&mut self) {
-        let Some(mut state) = self.adaptive.take() else {
+        let Some(policy) = self.control.policy else {
             return;
         };
         let now = self.clock.now();
-        let window = now - state.last_check;
-        if window < state.policy.check_interval_secs {
-            self.adaptive = Some(state);
+        let window = now - self.control.last_check;
+        if window < policy.check_interval_secs {
             return;
         }
-        state.last_check = now;
+        self.control.last_check = now;
 
         let mut observed = NodeObservations::new();
-        for (&(node, model), shared) in &self.worker_stats {
-            let stats = shared.lock().clone();
-            state.windows.measure(
+        for ((node, model), stats) in self.registry.live_stats_snapshot() {
+            self.control.windows.measure(
                 &mut observed,
                 node,
                 model,
@@ -267,39 +442,137 @@ impl Coordinator {
                     tokens: stats.prompt_tokens + stats.decode_tokens,
                 },
                 window,
-                state.fleet.observations(),
+                self.control.fleet.observations(),
             );
         }
 
-        if let Some((node, model, speed)) = state.policy.should_replan(
+        if let Some((node, model, speed)) = policy.should_replan(
             &observed,
-            state.fleet.observations(),
+            self.control.fleet.observations(),
             now,
-            state.last_replan,
+            self.control.last_replan,
         ) {
-            if let Ok(outcome) = state.fleet.replan(&PlacementDelta::new(), &observed) {
-                for &m in &outcome.affected {
-                    let topology = state.fleet.model(m).expect("affected model exists");
-                    // Drain-then-switch: only *new* requests see the new
-                    // weights; a zero-flow re-plan keeps the old scheduler.
-                    if let Ok(scheduler) = IwrrScheduler::from_topology(topology) {
-                        self.schedulers[m.index()] = Box::new(scheduler);
-                    }
-                    for planned in topology.nodes() {
-                        self.estimators[m.index()]
-                            .set_capacity(planned.node, planned.kv_capacity_tokens);
-                    }
-                }
-                state.last_replan = Some(now);
-                state.replans.push(ReplanRecord {
-                    at: now,
-                    reason: ReplanReason::ThroughputGap { node, model, speed },
-                    affected: outcome.affected,
-                    planned_flow: state.fleet.total_flow_value(),
-                });
+            let applied = self.apply_replan(
+                &PlacementDelta::new(),
+                &observed,
+                ReplanReason::ThroughputGap { node, model, speed },
+                now,
+            );
+            if applied {
+                self.control.last_replan = Some(now);
             }
         }
-        self.adaptive = Some(state);
+    }
+
+    /// Applies one re-plan to the standing fleet: re-derives the plan, swaps
+    /// the affected models' schedulers and KV budgets for *new* requests
+    /// (drain-then-switch), spawns workers for (node, model) tenancies the
+    /// delta added, and queues drain-aware retirement for ones it dropped.
+    /// Returns whether the re-plan was applied; an infeasible re-plan leaves
+    /// the current plan serving.
+    fn apply_replan(
+        &mut self,
+        delta: &PlacementDelta,
+        observed: &NodeObservations,
+        reason: ReplanReason,
+        now: f64,
+    ) -> bool {
+        let outcome = match self.control.fleet.replan(delta, observed) {
+            Ok(outcome) => outcome,
+            Err(_) => return false,
+        };
+        for &model in &outcome.affected {
+            let topology = self
+                .control
+                .fleet
+                .model(model)
+                .expect("affected model exists");
+            // Hand-over step 1: new IWRR weights for new requests.  A model
+            // whose re-planned flow is zero keeps its old scheduler
+            // (serving degraded beats serving nothing).
+            if let Ok(scheduler) = IwrrScheduler::from_topology(topology) {
+                self.schedulers[model.index()] = Box::new(scheduler);
+            }
+            // Hand-over step 2: re-derived KV budgets, and dynamic
+            // membership — a tenancy the delta added gets a live worker on
+            // the spot, routable through the fabric immediately.
+            let mut planned_nodes: HashSet<NodeId> = HashSet::new();
+            for planned in topology.nodes() {
+                planned_nodes.insert(planned.node);
+                self.estimators[model.index()]
+                    .set_capacity(planned.node, planned.kv_capacity_tokens);
+                self.pending_retire.remove(&(planned.node, model));
+                self.spawner.spawn(
+                    topology.profile(),
+                    planned.node,
+                    model,
+                    &planned.name,
+                    planned.layers.len(),
+                    planned.kv_capacity_tokens,
+                );
+            }
+            // Hand-over step 3: pairs the plan no longer includes keep
+            // serving their in-flight pipelines and are detached once those
+            // drain; new requests already steer around them.
+            for key in self.registry.live_keys_for_model(model) {
+                if !planned_nodes.contains(&key.0) {
+                    self.pending_retire.insert(key);
+                }
+            }
+        }
+        self.sweep_retirements();
+        self.control.replans.push(ReplanRecord {
+            at: now,
+            reason,
+            affected: outcome.affected,
+            planned_flow: self.control.fleet.total_flow_value(),
+        });
+        true
+    }
+
+    /// Queues the retirement of one worker, refusing pairs the active plan
+    /// still schedules onto (retiring those would strand new pipelines).
+    fn request_retirement(&mut self, node: NodeId, model: ModelId) {
+        let still_planned = self
+            .control
+            .fleet
+            .model(model)
+            .is_some_and(|t| t.node(node).is_some());
+        if !still_planned && self.registry.is_live((node, model)) {
+            self.pending_retire.insert((node, model));
+            self.sweep_retirements();
+        }
+    }
+
+    /// Detaches every pending-retire worker whose in-flight pipelines have
+    /// all drained (drain-then-switch: the worker keeps executing the routes
+    /// it was already part of, and disappears only when they finish).
+    fn sweep_retirements(&mut self) {
+        if self.pending_retire.is_empty() {
+            return;
+        }
+        let busy: HashSet<WorkerKey> = self
+            .in_flight
+            .values()
+            .flat_map(|flight| {
+                let model = flight.pipeline.model;
+                flight
+                    .pipeline
+                    .stages
+                    .iter()
+                    .map(move |stage| (stage.node, model))
+            })
+            .collect();
+        let ready: Vec<WorkerKey> = self
+            .pending_retire
+            .iter()
+            .copied()
+            .filter(|key| !busy.contains(key))
+            .collect();
+        for key in ready {
+            self.pending_retire.remove(&key);
+            self.registry.detach(key);
+        }
     }
 
     /// Tries to admit one request.  Returns `Ok(false)` if every candidate is
@@ -316,7 +589,7 @@ impl Coordinator {
         let view = CoordinatorView {
             model,
             estimator: &self.estimators[model.index()],
-            worker_stats: &self.worker_stats,
+            registry: &self.registry,
         };
         let pipeline = match self.schedulers[model.index()].schedule(&view) {
             Ok(mut pipeline) => {
@@ -357,6 +630,14 @@ impl Coordinator {
             },
         );
         Ok(true)
+    }
+
+    fn handle_inbound(&mut self, msg: CoordinatorMsg) -> Result<(), RuntimeError> {
+        match msg {
+            CoordinatorMsg::Runtime(msg) => self.handle(msg),
+            // The next loop iteration drains the control channel.
+            CoordinatorMsg::Wake => Ok(()),
+        }
     }
 
     fn handle(&mut self, msg: RuntimeMsg) -> Result<(), RuntimeError> {
@@ -428,7 +709,7 @@ impl Coordinator {
                 msg: RuntimeMsg::Release(request),
             })?;
         }
-        self.outcomes.push(RequestOutcome {
+        let outcome = RequestOutcome {
             id: request,
             model,
             prompt_tokens: flight.request.prompt_tokens,
@@ -437,7 +718,13 @@ impl Coordinator {
             first_token_at: flight.first_token_at.unwrap_or(completed_at),
             completed_at,
             pipeline_depth: flight.pipeline.stages.len(),
-        });
+        };
+        if let Some(tx) = &self.completions {
+            let _ = tx.send(outcome);
+        }
+        self.outcomes.push(outcome);
+        // A completed pipeline may free a pending-retire worker.
+        self.sweep_retirements();
         Ok(())
     }
 

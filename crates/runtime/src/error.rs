@@ -9,6 +9,9 @@ use std::time::Duration;
 pub enum RuntimeError {
     /// Placement validation or request scheduling failed.
     Scheduling(HelixError),
+    /// A [`ServingBuilder`](crate::ServingBuilder) was given a missing or
+    /// conflicting combination of inputs.
+    InvalidBuild(&'static str),
     /// The run exceeded its wall-clock budget before every request completed.
     WallClockBudgetExceeded {
         /// The configured budget.
@@ -35,6 +38,9 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::Scheduling(e) => write!(f, "scheduling error: {e}"),
+            RuntimeError::InvalidBuild(what) => {
+                write!(f, "invalid serving configuration: {what}")
+            }
             RuntimeError::WallClockBudgetExceeded { budget, completed, total } => write!(
                 f,
                 "wall-clock budget of {budget:?} exceeded after completing {completed}/{total} requests"

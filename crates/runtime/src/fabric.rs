@@ -10,9 +10,11 @@
 //! emerges naturally from this model.
 
 use crate::clock::VirtualClock;
-use crate::message::{Envelope, RuntimeMsg};
+use crate::coordinator::CoordinatorMsg;
+use crate::message::Envelope;
+use crate::registry::WorkerRegistry;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use helix_cluster::{ClusterProfile, ModelId, NodeId};
+use helix_cluster::{ClusterProfile, NodeId};
 use parking_lot::Mutex;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -91,10 +93,12 @@ pub(crate) struct FabricSpec {
     pub profile: Arc<ClusterProfile>,
     /// Shared virtual clock.
     pub clock: VirtualClock,
-    /// Delivery channel per (node, model) worker.
-    pub worker_txs: HashMap<(NodeId, ModelId), Sender<RuntimeMsg>>,
-    /// Delivery channel of the coordinator.
-    pub coordinator_tx: Sender<RuntimeMsg>,
+    /// The live worker set: delivery is looked up per message, so workers
+    /// spawned (or retired) mid-run become routable (or unroutable) at once.
+    pub registry: Arc<WorkerRegistry>,
+    /// Delivery channel of the coordinator (shared with the session's
+    /// wake-up pings).
+    pub coordinator_tx: Sender<CoordinatorMsg>,
 }
 
 /// Spawns the fabric thread.  Returns the ingress sender (clone one per
@@ -116,7 +120,7 @@ fn run_fabric(spec: FabricSpec, ingress: Receiver<Envelope>, traffic: LinkTraffi
     let FabricSpec {
         profile,
         clock,
-        worker_txs,
+        registry,
         coordinator_tx,
     } = spec;
     let mut heap: BinaryHeap<Delivery> = BinaryHeap::new();
@@ -129,7 +133,7 @@ fn run_fabric(spec: FabricSpec, ingress: Receiver<Envelope>, traffic: LinkTraffi
         let now = clock.now();
         while heap.peek().map(|d| d.deliver_at <= now).unwrap_or(false) {
             let delivery = heap.pop().expect("peeked entry exists");
-            route(&delivery.envelope, &worker_txs, &coordinator_tx);
+            route(&delivery.envelope, &registry, &coordinator_tx);
         }
         if closed && heap.is_empty() {
             break;
@@ -194,22 +198,19 @@ fn schedule(
     }
 }
 
-fn route(
-    envelope: &Envelope,
-    worker_txs: &HashMap<(NodeId, ModelId), Sender<RuntimeMsg>>,
-    coordinator_tx: &Sender<RuntimeMsg>,
-) {
-    // A receiver that has already shut down simply drops the message; the
-    // coordinator only exits once every request has completed, so nothing the
-    // report depends on can be lost this way.
+fn route(envelope: &Envelope, registry: &WorkerRegistry, coordinator_tx: &Sender<CoordinatorMsg>) {
+    // A receiver that has already shut down (or been retired from the
+    // registry) simply drops the message; the coordinator only exits once
+    // every request has completed, so nothing the report depends on can be
+    // lost this way.
     match envelope.to {
         Some(node) => {
-            if let Some(tx) = worker_txs.get(&(node, envelope.model)) {
+            if let Some(tx) = registry.route((node, envelope.model)) {
                 let _ = tx.send(envelope.msg.clone());
             }
         }
         None => {
-            let _ = coordinator_tx.send(envelope.msg.clone());
+            let _ = coordinator_tx.send(CoordinatorMsg::Runtime(envelope.msg.clone()));
         }
     }
 }
@@ -217,9 +218,11 @@ fn route(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::Phase;
+    use crate::message::{Phase, RuntimeMsg};
+    use crate::registry::WorkerMeta;
+    use crate::worker::{SharedWorkerStats, WorkerStats};
     use crossbeam::channel::unbounded;
-    use helix_cluster::{ClusterSpec, ModelConfig};
+    use helix_cluster::{ClusterSpec, ModelConfig, ModelId};
 
     fn setup() -> (Arc<ClusterProfile>, VirtualClock) {
         let profile = Arc::new(ClusterProfile::analytic(
@@ -227,6 +230,24 @@ mod tests {
             ModelConfig::llama_30b(),
         ));
         (profile, VirtualClock::new(0.0005))
+    }
+
+    /// Registers a bare channel as a routable "worker" (no real thread work).
+    fn registry_with_endpoint(node: NodeId) -> (Arc<WorkerRegistry>, Receiver<RuntimeMsg>) {
+        let registry = Arc::new(WorkerRegistry::new());
+        let (tx, rx) = unbounded();
+        let stats: SharedWorkerStats = Arc::new(Mutex::new(WorkerStats::default()));
+        registry.register(
+            (node, ModelId::default()),
+            tx,
+            stats,
+            WorkerMeta {
+                name: format!("node{}", node.index()),
+                layers: 0,
+            },
+            std::thread::spawn(|| {}),
+        );
+        (registry, rx)
     }
 
     fn iteration_done(from: Option<NodeId>, to: Option<NodeId>, bytes: f64) -> Envelope {
@@ -246,13 +267,13 @@ mod tests {
     #[test]
     fn messages_reach_their_destination_with_traffic_accounting() {
         let (profile, clock) = setup();
-        let (worker_tx, worker_rx) = unbounded();
+        let (registry, worker_rx) = registry_with_endpoint(NodeId(0));
         let (coord_tx, coord_rx) = unbounded();
         let (ingress_tx, ingress_rx) = unbounded();
         let spec = FabricSpec {
             profile,
             clock,
-            worker_txs: HashMap::from([((NodeId(0), ModelId::default()), worker_tx)]),
+            registry,
             coordinator_tx: coord_tx,
         };
         let (traffic, handle) = spawn_fabric(spec, ingress_rx);
@@ -272,7 +293,7 @@ mod tests {
         let to_coord = coord_rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert!(matches!(
             to_coord,
-            RuntimeMsg::IterationDone { request: 1, .. }
+            CoordinatorMsg::Runtime(RuntimeMsg::IterationDone { request: 1, .. })
         ));
 
         drop(ingress_tx);
@@ -289,13 +310,13 @@ mod tests {
     #[test]
     fn large_transfers_queue_behind_each_other() {
         let (profile, clock) = setup();
-        let (worker_tx, worker_rx) = unbounded();
+        let (registry, worker_rx) = registry_with_endpoint(NodeId(1));
         let (coord_tx, _coord_rx) = unbounded();
         let (ingress_tx, ingress_rx) = unbounded();
         let spec = FabricSpec {
             profile: Arc::clone(&profile),
             clock,
-            worker_txs: HashMap::from([((NodeId(1), ModelId::default()), worker_tx)]),
+            registry,
             coordinator_tx: coord_tx,
         };
         let (traffic, handle) = spawn_fabric(spec, ingress_rx);

@@ -26,13 +26,22 @@
 //! than real time; all reported latencies and throughputs are in virtual
 //! seconds and directly comparable with the simulator's output.
 //!
-//! # Example
+//! The front door is session-oriented: a [`ServingBuilder`] unifies
+//! single-model, multi-model and adaptive construction, and the
+//! [`ServingSession`] it returns is a *live* handle — non-blocking
+//! [`submit`](ServingSession::submit), streaming completions, mid-run speed
+//! injection and placement deltas that can spawn workers for brand-new
+//! (node, model) tenancies.  The legacy batch call survives as
+//! [`ServingSession::serve`], which on a fresh session runs the identical
+//! blocking loop the old `ServingRuntime::serve` ran.
+//!
+//! # Example: builder → session → report
 //!
 //! ```rust
 //! use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
-//! use helix_core::{heuristics, IwrrScheduler, Topology};
-//! use helix_runtime::{RuntimeConfig, ServingRuntime};
-//! use helix_workload::{Request, Workload};
+//! use helix_core::{heuristics, Topology};
+//! use helix_runtime::{RuntimeConfig, ServingBuilder};
+//! use helix_workload::Request;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let profile = ClusterProfile::analytic(
@@ -42,31 +51,38 @@
 //! let placement = heuristics::swarm_placement(&profile)?;
 //! // One planning artifact feeds the scheduler and the runtime alike.
 //! let topology = Topology::plan(&profile, &placement, true)?;
-//! let scheduler = IwrrScheduler::from_topology(&topology)?;
 //!
-//! let requests: Vec<Request> = (0..4)
-//!     .map(|i| Request {
-//!         id: i,
-//!         prompt_tokens: 64,
-//!         output_tokens: 4,
-//!         arrival_time: 0.0,
-//!         model: Default::default(),
+//! // Builder: IWRR from the max-flow solution is the default scheduler.
+//! let mut session = ServingBuilder::new()
+//!     .topology(&topology)
+//!     .config(RuntimeConfig::fast_test())
+//!     .build()?;
+//!
+//! // Session: non-blocking submission, per-ticket completion.
+//! let tickets: Vec<_> = (0..4)
+//!     .map(|i| {
+//!         session.submit(Request {
+//!             id: i,
+//!             prompt_tokens: 64,
+//!             output_tokens: 4,
+//!             arrival_time: 0.0,
+//!             model: Default::default(),
+//!         })
 //!     })
 //!     .collect();
-//! let workload = Workload::new(requests);
+//! let first = session.wait_completion(tickets[0])?;
+//! assert_eq!(first.output_tokens, 4);
 //!
-//! let runtime = ServingRuntime::new(
-//!     &topology,
-//!     Box::new(scheduler),
-//!     RuntimeConfig::fast_test(),
-//! )?;
-//! let report = runtime.serve(&workload)?;
+//! // Report: drain the rest and shut the data plane down.
+//! session.drain()?;
+//! let report = session.finish()?;
 //! assert_eq!(report.completed(), 4);
 //! assert!(report.decode_throughput() > 0.0);
 //! # Ok(())
 //! # }
 //! ```
 
+mod builder;
 mod clock;
 mod coordinator;
 mod error;
@@ -75,9 +91,12 @@ mod fabric;
 mod kv_pool;
 mod message;
 mod metrics;
+mod registry;
 mod runtime;
+mod session;
 mod worker;
 
+pub use builder::ServingBuilder;
 pub use clock::VirtualClock;
 pub use error::RuntimeError;
 pub use exec::{AnalyticExecution, ExecutionModel, InstantExecution};
@@ -86,4 +105,9 @@ pub use kv_pool::{KvPoolError, PagedKvPool};
 pub use message::{Envelope, Phase, RuntimeMsg, StageWork};
 pub use metrics::{LatencySummary, LinkReport, NodeReport, RequestOutcome, RuntimeReport};
 pub use runtime::{ExecutionKind, RuntimeConfig, ServingRuntime};
+pub use session::ServingSession;
 pub use worker::WorkerStats;
+
+// The ticket type is defined next to `Request` so every serving surface
+// (runtime and simulator) shares it; re-exported here for convenience.
+pub use helix_workload::TicketId;

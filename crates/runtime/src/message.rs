@@ -104,7 +104,11 @@ pub enum RuntimeMsg {
 /// An addressed message travelling through the network fabric.
 ///
 /// `None` endpoints denote the coordinator, mirroring the flow-graph
-/// convention where the coordinator is source and sink.
+/// convention where the coordinator is source and sink.  Worker delivery is
+/// resolved against the live worker registry *per message*, so a worker
+/// spawned by a mid-run placement delta becomes addressable the moment it
+/// registers (and a retired one stops being addressable the moment it
+/// detaches).
 #[derive(Debug, Clone)]
 pub struct Envelope {
     /// Sending endpoint (`None` = coordinator).

@@ -1,0 +1,357 @@
+//! The live worker set shared by the coordinator, the network fabric and the
+//! serving front door.
+//!
+//! The pre-session runtime fixed its worker set at build time: the fabric
+//! owned an immutable `HashMap` of delivery channels and online re-planning
+//! could only re-weight the workers that already existed.  The registry makes
+//! membership dynamic: the coordinator can [`spawn`](WorkerSpawner::spawn) a
+//! worker for a (node, model) pair the moment a re-plan's `PlacementDelta`
+//! adds that tenancy, and [`detach`](WorkerRegistry::detach) one once its
+//! in-flight pipelines have drained — while the fabric keeps routing over
+//! whatever the set currently is.
+
+use crate::clock::VirtualClock;
+use crate::exec::{AnalyticExecution, ExecutionModel, InstantExecution};
+use crate::message::{Envelope, RuntimeMsg};
+use crate::runtime::ExecutionKind;
+use crate::worker::{self, SharedWorkerStats, WorkerConfig, WorkerStats};
+use crossbeam::channel::{unbounded, Sender};
+use helix_cluster::{ClusterProfile, ModelId, NodeId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Key of one worker: the (compute node, fleet model) pair it serves.
+pub(crate) type WorkerKey = (NodeId, ModelId);
+
+/// Report-facing facts about one worker that outlive its thread.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkerMeta {
+    /// Human-readable node name from the cluster spec.
+    pub name: String,
+    /// Layers the worker's node holds for its model.
+    pub layers: usize,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    /// Delivery channel per live worker; detached workers are removed here
+    /// (the fabric drops messages for them) but keep their stats and meta.
+    txs: HashMap<WorkerKey, Sender<RuntimeMsg>>,
+    /// Shared statistics of every worker ever registered.
+    stats: HashMap<WorkerKey, SharedWorkerStats>,
+    /// Report metadata of every worker ever registered.
+    meta: HashMap<WorkerKey, WorkerMeta>,
+    /// Join handles of every worker thread ever spawned.
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Thread-safe, mutable worker membership: who exists, how to reach them,
+/// and the statistics they share.
+///
+/// Reads vastly outnumber membership changes (the fabric resolves a route
+/// per message, the coordinator's scheduler view reads stats per candidate),
+/// so the map sits behind an `RwLock`: routing and observation take shared
+/// read locks and only spawn/retire take the write lock.
+#[derive(Default)]
+pub(crate) struct WorkerRegistry {
+    inner: RwLock<RegistryInner>,
+}
+
+impl WorkerRegistry {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a newly spawned worker under `key`.
+    ///
+    /// A pair that is re-added after an earlier incarnation retired seeds
+    /// the new worker's cumulative counters (busy/nominal seconds, batches,
+    /// tokens, rejections) from its predecessor, so the final report's
+    /// per-(node, model) totals stay complete and observation windows —
+    /// which mark cumulative counters — stay monotonic.
+    pub(crate) fn register(
+        &self,
+        key: WorkerKey,
+        tx: Sender<RuntimeMsg>,
+        stats: SharedWorkerStats,
+        meta: WorkerMeta,
+        handle: JoinHandle<()>,
+    ) {
+        let mut inner = self.inner.write();
+        if let Some(previous) = inner.stats.get(&key) {
+            let prev = previous.lock().clone();
+            let mut fresh = stats.lock();
+            fresh.busy_secs += prev.busy_secs;
+            fresh.nominal_busy_secs += prev.nominal_busy_secs;
+            fresh.batches += prev.batches;
+            fresh.prompt_tokens += prev.prompt_tokens;
+            fresh.decode_tokens += prev.decode_tokens;
+            fresh.kv_rejections += prev.kv_rejections;
+            fresh.kv_peak_utilization = fresh.kv_peak_utilization.max(prev.kv_peak_utilization);
+        }
+        inner.txs.insert(key, tx);
+        inner.stats.insert(key, stats);
+        inner.meta.insert(key, meta);
+        inner.handles.push(handle);
+    }
+
+    /// Whether a live (routable) worker exists for `key`.
+    pub(crate) fn is_live(&self, key: WorkerKey) -> bool {
+        self.inner.read().txs.contains_key(&key)
+    }
+
+    /// The delivery channel of a live worker, if any.
+    pub(crate) fn route(&self, key: WorkerKey) -> Option<Sender<RuntimeMsg>> {
+        self.inner.read().txs.get(&key).cloned()
+    }
+
+    /// Sends `msg` to every live worker of `node`, across models.
+    pub(crate) fn send_to_node(&self, node: NodeId, msg: RuntimeMsg) {
+        let inner = self.inner.read();
+        for (&(n, _), tx) in &inner.txs {
+            if n == node {
+                let _ = tx.send(msg.clone());
+            }
+        }
+    }
+
+    /// The live worker keys of one model.
+    pub(crate) fn live_keys_for_model(&self, model: ModelId) -> Vec<WorkerKey> {
+        let inner = self.inner.read();
+        inner
+            .txs
+            .keys()
+            .copied()
+            .filter(|&(_, m)| m == model)
+            .collect()
+    }
+
+    /// The shared statistics handle of one worker (live or detached).
+    pub(crate) fn stats(&self, key: WorkerKey) -> Option<SharedWorkerStats> {
+        self.inner.read().stats.get(&key).cloned()
+    }
+
+    /// Clones every *live* worker's current statistics, sorted by key for
+    /// deterministic iteration (detached workers stop being observed).
+    pub(crate) fn live_stats_snapshot(&self) -> Vec<(WorkerKey, WorkerStats)> {
+        let inner = self.inner.read();
+        let mut out: Vec<(WorkerKey, WorkerStats)> = inner
+            .txs
+            .keys()
+            .map(|&key| (key, inner.stats[&key].lock().clone()))
+            .collect();
+        out.sort_by_key(|&(key, _)| key);
+        out
+    }
+
+    /// Report rows for every worker ever registered, sorted by (node, model)
+    /// — the same order the pre-session runtime reported in.
+    pub(crate) fn report_rows(&self) -> Vec<(WorkerKey, WorkerMeta, WorkerStats)> {
+        let inner = self.inner.read();
+        let mut out: Vec<(WorkerKey, WorkerMeta, WorkerStats)> = inner
+            .meta
+            .iter()
+            .map(|(&key, meta)| {
+                let stats = inner.stats[&key].lock().clone();
+                (key, meta.clone(), stats)
+            })
+            .collect();
+        out.sort_by_key(|&(key, _, _)| key);
+        out
+    }
+
+    /// Retires one worker: sends it a shutdown and removes its delivery
+    /// channel so the fabric stops routing to it.  Its statistics and report
+    /// metadata survive; its thread is joined in [`join_all`].
+    ///
+    /// The caller is responsible for only detaching workers whose in-flight
+    /// pipelines have drained (drain-then-switch).
+    ///
+    /// [`join_all`]: WorkerRegistry::join_all
+    pub(crate) fn detach(&self, key: WorkerKey) {
+        let mut inner = self.inner.write();
+        if let Some(tx) = inner.txs.remove(&key) {
+            let _ = tx.send(RuntimeMsg::Shutdown);
+        }
+    }
+
+    /// Sends a shutdown to every live worker.
+    pub(crate) fn shutdown_all(&self) {
+        let inner = self.inner.read();
+        for tx in inner.txs.values() {
+            let _ = tx.send(RuntimeMsg::Shutdown);
+        }
+    }
+
+    /// Joins every worker thread ever spawned (including detached ones).
+    pub(crate) fn join_all(&self) {
+        let handles = {
+            let mut inner = self.inner.write();
+            std::mem::take(&mut inner.handles)
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Everything needed to spawn one more worker mid-run: the clock, the fabric
+/// ingress, the execution-model choice and the KV-pool parameters the
+/// original build used.
+pub(crate) struct WorkerSpawner {
+    pub clock: VirtualClock,
+    pub fabric: Sender<Envelope>,
+    pub execution: ExecutionKind,
+    pub tokens_per_page: usize,
+    pub kv_overflow_penalty: f64,
+    pub registry: Arc<WorkerRegistry>,
+}
+
+impl WorkerSpawner {
+    /// Spawns and registers a worker for `(node, model)` with the given plan
+    /// facts.  No-op if a live worker already exists for the pair.
+    pub(crate) fn spawn(
+        &self,
+        profile: &ClusterProfile,
+        node: NodeId,
+        model: ModelId,
+        name: &str,
+        layers: usize,
+        kv_capacity_tokens: f64,
+    ) {
+        if self.registry.is_live((node, model)) {
+            return;
+        }
+        let (tx, rx) = unbounded::<RuntimeMsg>();
+        let stats: SharedWorkerStats = Arc::new(Mutex::new(WorkerStats::default()));
+        let config = WorkerConfig {
+            node,
+            model,
+            activation_bytes: profile.model().activation_bytes(),
+            kv_capacity_tokens,
+            tokens_per_page: self.tokens_per_page,
+            kv_overflow_penalty: self.kv_overflow_penalty,
+        };
+        let execution: Box<dyn ExecutionModel> = match self.execution {
+            ExecutionKind::Analytic => Box::new(AnalyticExecution::new(profile.node_profile(node))),
+            ExecutionKind::Instant => Box::new(InstantExecution),
+        };
+        let handle = worker::spawn_worker(
+            config,
+            execution,
+            self.clock,
+            rx,
+            self.fabric.clone(),
+            Arc::clone(&stats),
+        );
+        self.registry.register(
+            (node, model),
+            tx,
+            stats,
+            WorkerMeta {
+                name: name.to_string(),
+                layers,
+            },
+            handle,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_entry(registry: &WorkerRegistry, key: WorkerKey) -> Sender<RuntimeMsg> {
+        let (tx, rx) = unbounded::<RuntimeMsg>();
+        let stats: SharedWorkerStats = Arc::new(Mutex::new(WorkerStats::default()));
+        let handle = std::thread::spawn(move || {
+            // Exit on shutdown or channel close, like a real worker.
+            while let Ok(msg) = rx.recv() {
+                if matches!(msg, RuntimeMsg::Shutdown) {
+                    break;
+                }
+            }
+        });
+        registry.register(
+            key,
+            tx.clone(),
+            stats,
+            WorkerMeta {
+                name: format!("n{}", key.0.index()),
+                layers: 4,
+            },
+            handle,
+        );
+        tx
+    }
+
+    #[test]
+    fn detach_stops_routing_but_keeps_the_report_row() {
+        let registry = WorkerRegistry::new();
+        let key = (NodeId(3), ModelId(1));
+        let _tx = dummy_entry(&registry, key);
+        assert!(registry.is_live(key));
+        assert!(registry.route(key).is_some());
+
+        registry.detach(key);
+        assert!(!registry.is_live(key));
+        assert!(registry.route(key).is_none());
+        // Stats and meta survive detachment for the final report.
+        assert!(registry.stats(key).is_some());
+        let rows = registry.report_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, key);
+        registry.join_all();
+    }
+
+    #[test]
+    fn respawned_pair_inherits_its_predecessors_counters() {
+        let registry = WorkerRegistry::new();
+        let key = (NodeId(1), ModelId(0));
+        let _tx = dummy_entry(&registry, key);
+        {
+            let stats = registry.stats(key).unwrap();
+            let mut s = stats.lock();
+            s.busy_secs = 3.0;
+            s.batches = 7;
+            s.decode_tokens = 40;
+        }
+        registry.detach(key);
+
+        // Re-adding the tenancy must not lose the first incarnation's work
+        // from the report, nor make cumulative counters go backwards.
+        let _tx2 = dummy_entry(&registry, key);
+        let seeded = registry.stats(key).unwrap().lock().clone();
+        assert_eq!(seeded.batches, 7);
+        assert_eq!(seeded.decode_tokens, 40);
+        assert!((seeded.busy_secs - 3.0).abs() < 1e-12);
+        registry.shutdown_all();
+        registry.join_all();
+    }
+
+    #[test]
+    fn report_rows_are_sorted_by_node_then_model() {
+        let registry = WorkerRegistry::new();
+        for key in [
+            (NodeId(2), ModelId(0)),
+            (NodeId(0), ModelId(1)),
+            (NodeId(0), ModelId(0)),
+        ] {
+            let _ = dummy_entry(&registry, key);
+        }
+        let keys: Vec<WorkerKey> = registry.report_rows().iter().map(|r| r.0).collect();
+        assert_eq!(
+            keys,
+            vec![
+                (NodeId(0), ModelId(0)),
+                (NodeId(0), ModelId(1)),
+                (NodeId(2), ModelId(0)),
+            ]
+        );
+        assert_eq!(registry.live_keys_for_model(ModelId(0)).len(), 2);
+        registry.shutdown_all();
+        registry.join_all();
+    }
+}

@@ -1,23 +1,28 @@
 //! The serving runtime: wires the coordinator, the workers and the network
-//! fabric together and runs a workload end to end.
+//! fabric together.
+//!
+//! [`ServingRuntime`] is the legacy one-shot surface kept as a thin shim for
+//! one release: its constructors are deprecated in favour of
+//! [`ServingBuilder`](crate::ServingBuilder), and [`ServingRuntime::serve`]
+//! simply runs the batch loop through a [`ServingSession`] — the same code
+//! path, producing the same report.
 
 use crate::clock::VirtualClock;
-use crate::coordinator::{AdaptiveReplan, Coordinator, CoordinatorSpec};
+use crate::coordinator::{Coordinator, CoordinatorMsg, CoordinatorSpec};
 use crate::error::RuntimeError;
-use crate::exec::{AnalyticExecution, ExecutionModel, InstantExecution};
 use crate::fabric::{self, FabricSpec, LinkTrafficMap};
-use crate::message::{Envelope, RuntimeMsg};
-use crate::metrics::{LinkReport, NodeReport, RuntimeReport};
-use crate::worker::{self, SharedWorkerStats, WorkerConfig, WorkerStats};
+use crate::message::Envelope;
+use crate::metrics::{LinkReport, NodeReport, RequestOutcome, RuntimeReport};
+use crate::registry::{WorkerRegistry, WorkerSpawner};
+use crate::session::ServingSession;
 use crossbeam::channel::{unbounded, Sender};
 use helix_cluster::{ModelId, NodeId};
 use helix_core::exec_model::{DEFAULT_TOKENS_PER_PAGE, KV_OVERFLOW_PENALTY};
 use helix_core::{
-    FleetScheduler, FleetTopology, KvCacheEstimator, ReplanPolicy, Scheduler, Topology,
+    FleetScheduler, FleetTopology, HelixError, KvCacheEstimator, ReplanPolicy, ReplanRecord,
+    Scheduler, Topology,
 };
 use helix_workload::Workload;
-use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -41,7 +46,8 @@ pub struct RuntimeConfig {
     pub tokens_per_page: usize,
     /// Batch slow-down factor when a KV pool overflows.
     pub kv_overflow_penalty: f64,
-    /// Hard wall-clock budget for one [`ServingRuntime::serve`] call.
+    /// Hard wall-clock budget for one batch `serve` call; on the live session
+    /// surface it bounds drains and completion waits, not idle time.
     pub max_wall: Duration,
     /// Worker execution model.
     pub execution: ExecutionKind,
@@ -76,100 +82,45 @@ impl RuntimeConfig {
     }
 }
 
-/// A fully wired serving system for one (cluster, placement, scheduler)
-/// combination.
-///
-/// See the [crate-level documentation](crate) for an end-to-end example.
-pub struct ServingRuntime {
-    clock: VirtualClock,
-    coordinator: Coordinator,
-    worker_txs: HashMap<(NodeId, ModelId), Sender<RuntimeMsg>>,
-    worker_handles: Vec<JoinHandle<()>>,
-    worker_stats: HashMap<(NodeId, ModelId), SharedWorkerStats>,
-    node_meta: Vec<(NodeId, ModelId, String, usize)>,
-    fabric_handle: JoinHandle<()>,
-    ingress_tx: Sender<Envelope>,
-    traffic: LinkTrafficMap,
+/// The wired data plane of one serving system: clock, coordinator, worker
+/// registry, fabric and traffic counters.  Both front doors
+/// ([`ServingRuntime`] and [`ServingSession`]) drive one of these.
+pub(crate) struct Wired {
+    pub clock: VirtualClock,
+    /// Taken when the batch loop runs inline or the live loop takes the
+    /// coordinator onto its own thread.
+    pub coordinator: Option<Coordinator>,
+    pub registry: Arc<WorkerRegistry>,
+    pub fabric_handle: Option<JoinHandle<()>>,
+    pub ingress_tx: Option<Sender<Envelope>>,
+    /// Clone of the coordinator's inbound sender; the session pings it after
+    /// queueing a control message so the coordinator reacts immediately.
+    pub wake_tx: Sender<CoordinatorMsg>,
+    pub traffic: LinkTrafficMap,
+    pub max_wall: Duration,
 }
 
-impl ServingRuntime {
-    /// Builds a single-model runtime: spawns one worker thread per assigned
-    /// compute node and the network fabric thread.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RuntimeError::Scheduling`] if the placement is invalid for
-    /// the profile.
-    pub fn new(
-        topology: &Topology,
-        scheduler: Box<dyn Scheduler>,
-        config: RuntimeConfig,
-    ) -> Result<Self, RuntimeError> {
-        Self::build(&[topology], vec![scheduler], config, None)
-    }
-
-    /// Builds a runtime whose coordinator closes the online re-planning
-    /// loop: workers are observed every `policy.check_interval_secs` of
-    /// virtual time, and when their measured speed factors fall below the
-    /// policy threshold the coordinator re-plans the owned copy of `fleet`
-    /// and hands the affected models' new IWRR weights and KV budgets over
-    /// drain-then-switch (in-flight pipelines keep their routes).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RuntimeError::Scheduling`] if any model's placement is
-    /// invalid for its profile or has zero planned flow.
-    pub fn new_adaptive(
-        fleet: &FleetTopology,
-        config: RuntimeConfig,
-        policy: ReplanPolicy,
-    ) -> Result<Self, RuntimeError> {
-        let schedulers = FleetScheduler::iwrr(fleet)
-            .map_err(RuntimeError::Scheduling)?
-            .into_parts();
-        let topologies: Vec<&Topology> = fleet.topologies().iter().collect();
-        Self::build(
-            &topologies,
-            schedulers,
-            config,
-            Some(AdaptiveReplan {
-                fleet: fleet.clone(),
-                policy,
-            }),
-        )
-    }
-
-    /// Builds a multi-model runtime over a planned [`FleetTopology`]: one
-    /// worker thread per (assigned node, model) pair — each with its own
-    /// partition of the node's KV pool — one KV estimator per model, and a
-    /// coordinator that routes every request to its model's scheduler.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RuntimeError::Scheduling`] if any model's placement is
-    /// invalid for its profile.
-    pub fn new_fleet(
-        fleet: &FleetTopology,
-        schedulers: FleetScheduler,
-        config: RuntimeConfig,
-    ) -> Result<Self, RuntimeError> {
-        let schedulers = schedulers.into_parts();
-        assert_eq!(
-            fleet.num_models(),
-            schedulers.len(),
-            "one scheduler per model"
-        );
-        let topologies: Vec<&Topology> = fleet.topologies().iter().collect();
-        Self::build(&topologies, schedulers, config, None)
-    }
-
-    fn build(
-        topologies: &[&Topology],
+impl Wired {
+    /// Builds the full data plane for a planned fleet: one worker thread per
+    /// (assigned node, model) pair — each with its own partition of the
+    /// node's KV pool — one KV estimator per model, the network fabric
+    /// thread, and a coordinator that routes every request to its model's
+    /// scheduler.
+    pub(crate) fn build(
+        fleet: FleetTopology,
         schedulers: Vec<Box<dyn Scheduler>>,
         config: RuntimeConfig,
-        adaptive: Option<AdaptiveReplan>,
+        policy: Option<ReplanPolicy>,
     ) -> Result<Self, RuntimeError> {
-        for topology in topologies {
+        if fleet.num_models() != schedulers.len() {
+            return Err(RuntimeError::Scheduling(
+                HelixError::SchedulerCountMismatch {
+                    models: fleet.num_models(),
+                    schedulers: schedulers.len(),
+                },
+            ));
+        }
+        for topology in fleet.topologies() {
             topology
                 .placement()
                 .validate(topology.profile())
@@ -178,69 +129,49 @@ impl ServingRuntime {
         let clock = VirtualClock::new(config.wall_per_virtual);
         // Link bandwidth/latency are model-independent; the fabric uses the
         // first model's profile.
-        let profile_arc = Arc::new(topologies[0].profile().clone());
+        let profile_arc = Arc::new(fleet.topologies()[0].profile().clone());
 
+        let registry = Arc::new(WorkerRegistry::new());
         let (ingress_tx, ingress_rx) = unbounded::<Envelope>();
-        let (coordinator_tx, coordinator_rx) = unbounded::<RuntimeMsg>();
-
-        let mut estimators = Vec::with_capacity(topologies.len());
-        let mut worker_txs = HashMap::new();
-        let mut fabric_worker_txs = HashMap::new();
-        let mut worker_handles = Vec::new();
-        let mut worker_stats = HashMap::new();
-        let mut node_meta = Vec::new();
-
-        for (m, topology) in topologies.iter().enumerate() {
-            let model = ModelId(m);
-            let profile = topology.profile();
-            let mut estimator = KvCacheEstimator::new(profile, config.initial_avg_output_tokens);
-            for planned in topology.nodes() {
-                let node = planned.node;
-                let (tx, rx) = unbounded::<RuntimeMsg>();
-                let stats: SharedWorkerStats = Arc::new(Mutex::new(WorkerStats::default()));
-                let kv_capacity = planned.kv_capacity_tokens;
-                estimator.set_capacity(node, kv_capacity);
-                let worker_config = WorkerConfig {
-                    node,
-                    model,
-                    activation_bytes: profile.model().activation_bytes(),
-                    kv_capacity_tokens: kv_capacity,
-                    tokens_per_page: config.tokens_per_page,
-                    kv_overflow_penalty: config.kv_overflow_penalty,
-                };
-                let execution: Box<dyn ExecutionModel> = match config.execution {
-                    ExecutionKind::Analytic => {
-                        Box::new(AnalyticExecution::new(profile.node_profile(node)))
-                    }
-                    ExecutionKind::Instant => Box::new(InstantExecution),
-                };
-                let handle = worker::spawn_worker(
-                    worker_config,
-                    execution,
-                    clock,
-                    rx,
-                    ingress_tx.clone(),
-                    Arc::clone(&stats),
-                );
-                worker_txs.insert((node, model), tx.clone());
-                fabric_worker_txs.insert((node, model), tx);
-                worker_handles.push(handle);
-                worker_stats.insert((node, model), stats);
-                node_meta.push((node, model, planned.name.clone(), planned.layers.len()));
-            }
-            estimators.push(estimator);
-        }
-        node_meta.sort_by_key(|(node, model, _, _)| (*node, *model));
+        let (coordinator_tx, coordinator_rx) = unbounded();
 
         let (traffic, fabric_handle) = fabric::spawn_fabric(
             FabricSpec {
                 profile: profile_arc,
                 clock,
-                worker_txs: fabric_worker_txs,
-                coordinator_tx,
+                registry: Arc::clone(&registry),
+                coordinator_tx: coordinator_tx.clone(),
             },
             ingress_rx,
         );
+
+        let spawner = WorkerSpawner {
+            clock,
+            fabric: ingress_tx.clone(),
+            execution: config.execution,
+            tokens_per_page: config.tokens_per_page,
+            kv_overflow_penalty: config.kv_overflow_penalty,
+            registry: Arc::clone(&registry),
+        };
+
+        let mut estimators = Vec::with_capacity(fleet.num_models());
+        for (m, topology) in fleet.topologies().iter().enumerate() {
+            let model = ModelId(m);
+            let profile = topology.profile();
+            let mut estimator = KvCacheEstimator::new(profile, config.initial_avg_output_tokens);
+            for planned in topology.nodes() {
+                estimator.set_capacity(planned.node, planned.kv_capacity_tokens);
+                spawner.spawn(
+                    profile,
+                    planned.node,
+                    model,
+                    &planned.name,
+                    planned.layers.len(),
+                    planned.kv_capacity_tokens,
+                );
+            }
+            estimators.push(estimator);
+        }
 
         let coordinator = Coordinator::new(CoordinatorSpec {
             schedulers,
@@ -248,62 +179,40 @@ impl ServingRuntime {
             clock,
             inbound: coordinator_rx,
             fabric: ingress_tx.clone(),
-            worker_stats: worker_stats.clone(),
+            registry: Arc::clone(&registry),
+            spawner,
             max_wall: config.max_wall,
-            adaptive,
+            fleet,
+            policy,
         });
 
-        Ok(ServingRuntime {
+        Ok(Wired {
             clock,
-            coordinator,
-            worker_txs,
-            worker_handles,
-            worker_stats,
-            node_meta,
-            fabric_handle,
-            ingress_tx,
+            coordinator: Some(coordinator),
+            registry,
+            fabric_handle: Some(fabric_handle),
+            ingress_tx: Some(ingress_tx),
+            wake_tx: coordinator_tx,
             traffic,
+            max_wall: config.max_wall,
         })
     }
 
-    /// Injects a hardware slowdown on every worker of `node`: their batches
-    /// take `factor`× the cost model's prediction from now on (1.0 restores
-    /// nominal speed).  The workers *measure* the resulting gap and an
-    /// adaptive coordinator reacts to the measurement — this is the
-    /// perturbation half of a degraded-node scenario, not a shortcut around
-    /// observation.
-    pub fn set_node_speed(&self, node: NodeId, factor: f64) {
-        for (&(n, _), tx) in &self.worker_txs {
-            if n == node {
-                let _ = tx.send(RuntimeMsg::SetSpeed(factor));
-            }
-        }
-    }
-
-    /// Serves the workload to completion and returns the run report.
-    ///
-    /// The runtime is consumed: every worker and the fabric are shut down and
-    /// joined before this method returns, even when it returns an error.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RuntimeError::WallClockBudgetExceeded`] if the configured
-    /// wall-clock budget runs out, [`RuntimeError::Stalled`] if no request can
-    /// make progress, and propagates scheduling errors.
-    pub fn serve(mut self, workload: &Workload) -> Result<RuntimeReport, RuntimeError> {
-        let outcome = self.coordinator.run(workload);
-        let replans = self.coordinator.take_replans();
-
-        // Shut everything down regardless of how the run ended.
-        for tx in self.worker_txs.values() {
-            let _ = tx.send(RuntimeMsg::Shutdown);
-        }
-        drop(self.coordinator);
-        drop(self.ingress_tx);
-        for handle in self.worker_handles {
+    /// Shuts the whole data plane down (workers, fabric) and assembles the
+    /// final report from the run's outcomes and the shared counters.  Always
+    /// joins every thread, even when the run ended in an error.
+    pub(crate) fn shutdown_and_report(
+        mut self,
+        outcome: Result<Vec<RequestOutcome>, RuntimeError>,
+        replans: Vec<ReplanRecord>,
+    ) -> Result<RuntimeReport, RuntimeError> {
+        self.registry.shutdown_all();
+        drop(self.coordinator.take());
+        drop(self.ingress_tx.take());
+        self.registry.join_all();
+        if let Some(handle) = self.fabric_handle.take() {
             let _ = handle.join();
         }
-        let _ = self.fabric_handle.join();
 
         let outcomes = outcome?;
         let makespan = {
@@ -324,22 +233,20 @@ impl ServingRuntime {
         };
 
         let nodes = self
-            .node_meta
-            .iter()
-            .map(|(node, model, name, layers)| {
-                let stats = self.worker_stats[&(*node, *model)].lock().clone();
-                NodeReport {
-                    node: *node,
-                    model: *model,
-                    name: name.clone(),
-                    layers_held: *layers,
-                    busy_secs: stats.busy_secs,
-                    batches: stats.batches,
-                    prompt_tokens: stats.prompt_tokens,
-                    decode_tokens: stats.decode_tokens,
-                    kv_peak_utilization: stats.kv_peak_utilization,
-                    kv_rejections: stats.kv_rejections,
-                }
+            .registry
+            .report_rows()
+            .into_iter()
+            .map(|((node, model), meta, stats)| NodeReport {
+                node,
+                model,
+                name: meta.name,
+                layers_held: meta.layers,
+                busy_secs: stats.busy_secs,
+                batches: stats.batches,
+                prompt_tokens: stats.prompt_tokens,
+                decode_tokens: stats.decode_tokens,
+                kv_peak_utilization: stats.kv_peak_utilization,
+                kv_rejections: stats.kv_rejections,
             })
             .collect();
 
@@ -359,5 +266,122 @@ impl ServingRuntime {
             links,
             replans,
         })
+    }
+}
+
+/// A fully wired serving system for one (cluster, placement, scheduler)
+/// combination — the legacy one-shot front door.
+///
+/// Prefer [`ServingBuilder`](crate::ServingBuilder), which unifies the three
+/// constructors below behind one fluent surface and returns a live
+/// [`ServingSession`]; `ServingRuntime` remains as a thin shim for one
+/// release.  See the [crate-level documentation](crate) for an end-to-end
+/// example of the session API.
+pub struct ServingRuntime {
+    pub(crate) wired: Wired,
+}
+
+impl ServingRuntime {
+    /// Builds a single-model runtime: spawns one worker thread per assigned
+    /// compute node and the network fabric thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Scheduling`] if the placement is invalid for
+    /// the profile.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ServingBuilder::new().topology(..).scheduler(..).config(..).build()"
+    )]
+    pub fn new(
+        topology: &Topology,
+        scheduler: Box<dyn Scheduler>,
+        config: RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        let fleet = FleetTopology::single(topology.clone());
+        Wired::build(fleet, vec![scheduler], config, None).map(|wired| ServingRuntime { wired })
+    }
+
+    /// Builds a runtime whose coordinator closes the online re-planning
+    /// loop: workers are observed every `policy.check_interval_secs` of
+    /// virtual time, and when their measured speed factors fall below the
+    /// policy threshold the coordinator re-plans the owned copy of `fleet`
+    /// and hands the affected models' new IWRR weights and KV budgets over
+    /// drain-then-switch (in-flight pipelines keep their routes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Scheduling`] if any model's placement is
+    /// invalid for its profile or has zero planned flow.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ServingBuilder::new().fleet(..).replan_policy(..).config(..).build()"
+    )]
+    pub fn new_adaptive(
+        fleet: &FleetTopology,
+        config: RuntimeConfig,
+        policy: ReplanPolicy,
+    ) -> Result<Self, RuntimeError> {
+        let schedulers = FleetScheduler::iwrr(fleet)
+            .map_err(RuntimeError::Scheduling)?
+            .into_parts();
+        Wired::build(fleet.clone(), schedulers, config, Some(policy))
+            .map(|wired| ServingRuntime { wired })
+    }
+
+    /// Builds a multi-model runtime over a planned [`FleetTopology`]: one
+    /// worker thread per (assigned node, model) pair — each with its own
+    /// partition of the node's KV pool — one KV estimator per model, and a
+    /// coordinator that routes every request to its model's scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Scheduling`] if any model's placement is
+    /// invalid for its profile, or if the scheduler count does not match the
+    /// fleet's model count ([`HelixError::SchedulerCountMismatch`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ServingBuilder::new().fleet(..).schedulers(..).config(..).build()"
+    )]
+    pub fn new_fleet(
+        fleet: &FleetTopology,
+        schedulers: FleetScheduler,
+        config: RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        Wired::build(fleet.clone(), schedulers.into_parts(), config, None)
+            .map(|wired| ServingRuntime { wired })
+    }
+
+    /// Injects a hardware slowdown on every worker of `node`: their batches
+    /// take `factor`× the cost model's prediction from now on (1.0 restores
+    /// nominal speed).  The workers *measure* the resulting gap and an
+    /// adaptive coordinator reacts to the measurement — this is the
+    /// perturbation half of a degraded-node scenario, not a shortcut around
+    /// observation.
+    pub fn set_node_speed(&self, node: NodeId, factor: f64) {
+        self.wired
+            .registry
+            .send_to_node(node, crate::message::RuntimeMsg::SetSpeed(factor));
+    }
+
+    /// Converts the runtime into a live [`ServingSession`] front door.
+    pub fn into_session(self) -> ServingSession {
+        ServingSession::from_wired(self.wired)
+    }
+
+    /// Serves the workload to completion and returns the run report.
+    ///
+    /// The runtime is consumed: every worker and the fabric are shut down and
+    /// joined before this method returns, even when it returns an error.
+    /// This is the same batch loop [`ServingSession::serve`] runs — the
+    /// session API is the preferred surface.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::WallClockBudgetExceeded`] if the configured
+    /// wall-clock budget runs out, [`RuntimeError::Stalled`] if no request can
+    /// make progress, and propagates scheduling errors.
+    pub fn serve(self, workload: &Workload) -> Result<RuntimeReport, RuntimeError> {
+        self.into_session().serve(workload)
     }
 }

@@ -1,0 +1,336 @@
+//! The live serving front door.
+//!
+//! A [`ServingSession`] is a long-lived handle over the wired data plane
+//! (coordinator, workers, fabric): requests are submitted without blocking,
+//! completions stream back as they happen, and a small control plane accepts
+//! mid-run perturbations ([`inject_speed`](ServingSession::inject_speed)),
+//! placement deltas that can *spawn new workers*
+//! ([`apply_placement_delta`](ServingSession::apply_placement_delta)) and
+//! drain-aware worker retirement.  The legacy batch call is a thin
+//! convenience wrapper: [`ServingSession::serve`] on a fresh session runs the
+//! exact same blocking loop the pre-session runtime ran, so its report is
+//! bit-identical to the old `ServingRuntime::serve`.
+//!
+//! The coordinator runs inline for the batch path and on a dedicated
+//! `helix-coordinator` thread once the session goes live (first `submit`,
+//! delta or retirement).
+
+use crate::coordinator::{CoordinatorMsg, SessionControl};
+use crate::error::RuntimeError;
+use crate::message::RuntimeMsg;
+use crate::metrics::{RequestOutcome, RuntimeReport};
+use crate::runtime::Wired;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use helix_cluster::{ModelId, NodeId};
+use helix_core::{PlacementDelta, ReplanRecord};
+use helix_workload::{Request, TicketId, Workload};
+use std::collections::VecDeque;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What the coordinator thread hands back when the live loop ends.
+type LiveResult = (Result<Vec<RequestOutcome>, RuntimeError>, Vec<ReplanRecord>);
+
+/// The live half of a session: channels to the coordinator thread.
+struct Live {
+    control_tx: Sender<SessionControl>,
+    completion_rx: Receiver<RequestOutcome>,
+    handle: JoinHandle<LiveResult>,
+}
+
+/// A live handle over a running serving system.
+///
+/// Built by [`ServingBuilder`](crate::ServingBuilder); see the
+/// [crate-level documentation](crate) for an end-to-end example.
+///
+/// # Lifecycle
+///
+/// * [`submit`](Self::submit) hands a request to the coordinator and returns
+///   a [`TicketId`] immediately; admission honours the request's
+///   `arrival_time` (virtual seconds), exactly like the batch path.
+/// * [`try_completions`](Self::try_completions) /
+///   [`wait_completion`](Self::wait_completion) collect finished requests.
+/// * [`drain`](Self::drain) blocks until everything submitted so far has
+///   completed; [`finish`](Self::finish) drains, shuts the data plane down
+///   and returns the final [`RuntimeReport`].
+/// * [`serve`](Self::serve) is the batch convenience wrapper: on a session
+///   with no live activity it runs the legacy blocking loop inline (the same
+///   code path as the pre-session runtime, so the report is bit-identical);
+///   on a live session it submits everything, drains and finishes.
+pub struct ServingSession {
+    wired: Wired,
+    live: Option<Live>,
+    /// Completions pulled off the channel but not yet handed to the caller.
+    undelivered: VecDeque<RequestOutcome>,
+    submitted: usize,
+    delivered: usize,
+    /// Set when the coordinator thread died; the session can only report the
+    /// failure once (the error is returned to whoever observed it first).
+    failed: bool,
+}
+
+impl std::fmt::Debug for ServingSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingSession")
+            .field("live", &self.live.is_some())
+            .field("submitted", &self.submitted)
+            .field("delivered", &self.delivered)
+            .field("failed", &self.failed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServingSession {
+    pub(crate) fn from_wired(wired: Wired) -> Self {
+        ServingSession {
+            wired,
+            live: None,
+            undelivered: VecDeque::new(),
+            submitted: 0,
+            delivered: 0,
+            failed: false,
+        }
+    }
+
+    /// Whether the coordinator is running on its own thread (true after the
+    /// first `submit`, delta or retirement).
+    pub fn is_live(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// Starts the coordinator thread if it is not running yet.
+    fn ensure_live(&mut self) {
+        if self.live.is_some() || self.failed {
+            return;
+        }
+        let mut coordinator = self
+            .wired
+            .coordinator
+            .take()
+            .expect("coordinator present until the session goes live");
+        let (control_tx, control_rx) = unbounded();
+        let (completion_tx, completion_rx) = unbounded();
+        let handle = std::thread::Builder::new()
+            .name("helix-coordinator".to_string())
+            .spawn(move || {
+                let result = coordinator.run_live(control_rx, completion_tx);
+                let replans = coordinator.take_replans();
+                (result, replans)
+            })
+            .expect("spawning the coordinator thread never fails");
+        self.live = Some(Live {
+            control_tx,
+            completion_rx,
+            handle,
+        });
+    }
+
+    /// Queues one control message and wakes the coordinator so it reacts
+    /// immediately instead of on its next poll timeout.
+    fn send_control(&self, msg: SessionControl) -> bool {
+        let Some(live) = &self.live else {
+            return false;
+        };
+        let sent = live.control_tx.send(msg).is_ok();
+        let _ = self.wired.wake_tx.send(CoordinatorMsg::Wake);
+        sent
+    }
+
+    /// Submits one request without blocking and returns its ticket.
+    ///
+    /// The request is admitted once its `arrival_time` (virtual seconds since
+    /// the session was built) passes — submit a whole trace up front and the
+    /// coordinator replays its arrival process.  Request ids should be unique
+    /// within the session; the ticket wraps the id.
+    pub fn submit(&mut self, request: Request) -> TicketId {
+        self.ensure_live();
+        self.submitted += 1;
+        self.send_control(SessionControl::Submit(request));
+        TicketId(request.id)
+    }
+
+    /// Returns every completion that has arrived since the last call,
+    /// without blocking.
+    pub fn try_completions(&mut self) -> Vec<RequestOutcome> {
+        if let Some(live) = &self.live {
+            while let Ok(outcome) = live.completion_rx.try_recv() {
+                self.undelivered.push_back(outcome);
+            }
+        }
+        self.delivered += self.undelivered.len();
+        self.undelivered.drain(..).collect()
+    }
+
+    /// Blocks until the request behind `ticket` completes and returns its
+    /// outcome.  Completions of *other* requests that arrive while waiting
+    /// are buffered for later [`try_completions`](Self::try_completions) /
+    /// `wait_completion` calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::WallClockBudgetExceeded`] once this wait has
+    /// lasted longer than the configured wall budget (a ticket that was
+    /// never submitted can never complete), and propagates a coordinator
+    /// failure.  The budget bounds each wait, not the session's lifetime.
+    pub fn wait_completion(&mut self, ticket: TicketId) -> Result<RequestOutcome, RuntimeError> {
+        let wait_started = self.wired.clock.wall_elapsed();
+        loop {
+            if let Some(pos) = self.undelivered.iter().position(|o| o.id == ticket.0) {
+                self.delivered += 1;
+                return Ok(self.undelivered.remove(pos).expect("position just found"));
+            }
+            let Some(live) = &self.live else {
+                return Err(RuntimeError::Disconnected("serving session"));
+            };
+            match live.completion_rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(outcome) => self.undelivered.push_back(outcome),
+                Err(RecvTimeoutError::Timeout) => {
+                    let waited = self.wired.clock.wall_elapsed().saturating_sub(wait_started);
+                    if waited > self.wired.max_wall {
+                        return Err(RuntimeError::WallClockBudgetExceeded {
+                            budget: self.wired.max_wall,
+                            completed: self.delivered + self.undelivered.len(),
+                            total: self.submitted,
+                        });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(self.coordinator_died()),
+            }
+        }
+    }
+
+    /// Injects a hardware slowdown on every worker of `node`: their batches
+    /// take `factor`× the cost model's prediction from now on (1.0 restores
+    /// nominal speed).  The workers *measure* the resulting gap; an adaptive
+    /// session reacts to the measurement, never to the injected value.
+    pub fn inject_speed(&self, node: NodeId, factor: f64) {
+        self.wired
+            .registry
+            .send_to_node(node, RuntimeMsg::SetSpeed(factor));
+    }
+
+    /// Applies a placement delta to the standing fleet plan, asynchronously:
+    /// the coordinator re-plans with the observations already priced in,
+    /// swaps the affected models' schedulers and KV budgets for new requests,
+    /// **spawns a worker** for every (node, model) tenancy the delta added —
+    /// closing the mid-run scale-out loop — and retires workers the plan
+    /// dropped once their in-flight pipelines drain.
+    ///
+    /// An infeasible delta (e.g. one that breaks a model's pipeline) leaves
+    /// the current plan serving; applied deltas show up in the final
+    /// report's `replans` log with [`ReplanReason::Manual`].
+    ///
+    /// [`ReplanReason::Manual`]: helix_core::ReplanReason::Manual
+    pub fn apply_placement_delta(&mut self, delta: PlacementDelta) {
+        self.ensure_live();
+        self.send_control(SessionControl::ApplyDelta(delta));
+    }
+
+    /// Requests the retirement of one worker.  The coordinator refuses pairs
+    /// the active plan still schedules onto; accepted retirements take
+    /// effect once the worker's in-flight pipelines drain.
+    pub fn retire_worker(&mut self, node: NodeId, model: ModelId) {
+        self.ensure_live();
+        self.send_control(SessionControl::Retire(node, model));
+    }
+
+    /// Blocks until every request submitted so far has completed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the coordinator's error if the drain cannot complete
+    /// (stall, wall budget, disconnect).
+    pub fn drain(&mut self) -> Result<(), RuntimeError> {
+        if self.live.is_none() {
+            // Nothing was ever submitted.
+            return Ok(());
+        }
+        let (ack_tx, ack_rx) = unbounded();
+        if !self.send_control(SessionControl::Drain(ack_tx)) {
+            return Err(self.coordinator_died());
+        }
+        match ack_rx.recv() {
+            Ok(()) => Ok(()),
+            Err(_) => Err(self.coordinator_died()),
+        }
+    }
+
+    /// Drains, shuts the whole data plane down (workers, fabric, coordinator)
+    /// and returns the final report.  Every thread is joined before this
+    /// method returns, even on error.
+    pub fn finish(mut self) -> Result<RuntimeReport, RuntimeError> {
+        if self.failed {
+            return self.wired.shutdown_and_report(
+                Err(RuntimeError::Disconnected("serving session")),
+                Vec::new(),
+            );
+        }
+        match self.live.take() {
+            Some(live) => {
+                let _ = live.control_tx.send(SessionControl::Finish);
+                let _ = self.wired.wake_tx.send(CoordinatorMsg::Wake);
+                drop(live.control_tx);
+                let (result, replans) = match live.handle.join() {
+                    Ok(result) => result,
+                    Err(_) => (
+                        Err(RuntimeError::Disconnected("serving session")),
+                        Vec::new(),
+                    ),
+                };
+                self.wired.shutdown_and_report(result, replans)
+            }
+            None => self.wired.shutdown_and_report(Ok(Vec::new()), Vec::new()),
+        }
+    }
+
+    /// Serves a whole workload to completion: the batch convenience wrapper.
+    ///
+    /// On a session with no live activity this runs the legacy blocking loop
+    /// *inline* — the identical code path the pre-session
+    /// `ServingRuntime::serve` ran, so the report is bit-identical to the old
+    /// batch surface.  On a session that is already live it submits every
+    /// request, drains and finishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::WallClockBudgetExceeded`] if the configured
+    /// wall-clock budget runs out, [`RuntimeError::Stalled`] if no request
+    /// can make progress, and propagates scheduling errors.
+    pub fn serve(mut self, workload: &Workload) -> Result<RuntimeReport, RuntimeError> {
+        if self.live.is_none() && !self.failed {
+            let mut coordinator = self
+                .wired
+                .coordinator
+                .take()
+                .expect("coordinator present until the session goes live");
+            let outcome = coordinator.run(workload);
+            let replans = coordinator.take_replans();
+            drop(coordinator);
+            return self.wired.shutdown_and_report(outcome, replans);
+        }
+        for request in workload.requests() {
+            self.submit(*request);
+        }
+        if let Err(e) = self.drain() {
+            // Still tear the whole data plane down (workers, fabric,
+            // coordinator) before surfacing the drain error.
+            let _ = self.finish();
+            return Err(e);
+        }
+        self.finish()
+    }
+
+    /// Tears the live half down after the coordinator thread died and
+    /// recovers its error.
+    fn coordinator_died(&mut self) -> RuntimeError {
+        self.failed = true;
+        let Some(live) = self.live.take() else {
+            return RuntimeError::Disconnected("serving session");
+        };
+        drop(live.control_tx);
+        match live.handle.join() {
+            Ok((Err(e), _)) => e,
+            _ => RuntimeError::Disconnected("serving session"),
+        }
+    }
+}

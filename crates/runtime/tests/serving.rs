@@ -1,10 +1,15 @@
-//! Integration and property tests for the prototype serving runtime.
+//! Integration and property tests for the prototype serving runtime, driven
+//! through the session-oriented front door (`ServingBuilder` +
+//! `ServingSession`).
 
-use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig, ModelId};
 use helix_core::{
-    heuristics, IwrrScheduler, RandomScheduler, Scheduler, ShortestQueueScheduler, Topology,
+    heuristics, HelixError, IwrrScheduler, LayerRange, PlacementDelta, RandomScheduler,
+    ReplanReason, Scheduler, ShortestQueueScheduler, Topology,
 };
-use helix_runtime::{ExecutionKind, PagedKvPool, RuntimeConfig, RuntimeError, ServingRuntime};
+use helix_runtime::{
+    ExecutionKind, PagedKvPool, RuntimeConfig, RuntimeError, RuntimeReport, ServingBuilder,
+};
 use helix_workload::{Request, Workload};
 use proptest::prelude::*;
 
@@ -33,22 +38,64 @@ fn small_workload(n: u64, prompt: usize, output: usize) -> Workload {
     )
 }
 
+/// Per-outcome skeleton row: (id, model, prompt, output, pipeline depth).
+type OutcomeRow = (u64, usize, usize, usize, usize);
+/// Per-worker skeleton row: (node, model, name, layers, prompt, decode).
+type NodeRow = (usize, usize, String, usize, u64, u64);
+
+/// The run-invariant skeleton of a report: everything that does not depend
+/// on wall-clock timing.  Virtual timestamps (latencies, makespan) jitter
+/// with OS scheduling even between two identical batch runs, so equivalence
+/// across front doors is asserted on this skeleton: which requests
+/// completed, through how deep a pipeline, and which (node, model) workers
+/// processed how many tokens — all fully determined by the admission order,
+/// which both surfaces share.
+fn report_skeleton(report: &RuntimeReport) -> (Vec<OutcomeRow>, Vec<NodeRow>) {
+    let mut outcomes: Vec<_> = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.id,
+                o.model.index(),
+                o.prompt_tokens,
+                o.output_tokens,
+                o.pipeline_depth,
+            )
+        })
+        .collect();
+    outcomes.sort();
+    let nodes: Vec<_> = report
+        .nodes
+        .iter()
+        .map(|n| {
+            (
+                n.node.index(),
+                n.model.index(),
+                n.name.clone(),
+                n.layers_held,
+                n.prompt_tokens,
+                n.decode_tokens,
+            )
+        })
+        .collect();
+    (outcomes, nodes)
+}
+
 #[test]
 fn every_request_completes_and_latencies_are_ordered() {
     let profile = profile();
     let topology = swarm_topology(&profile);
-    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
-    let runtime = ServingRuntime::new(
-        &topology,
-        Box::new(scheduler),
-        RuntimeConfig {
+    let session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig {
             wall_per_virtual: 0.0005,
             ..RuntimeConfig::default()
-        },
-    )
-    .unwrap();
+        })
+        .build()
+        .unwrap();
     let workload = small_workload(12, 64, 6);
-    let report = runtime.serve(&workload).unwrap();
+    let report = session.serve(&workload).unwrap();
 
     assert_eq!(report.completed(), 12);
     assert_eq!(report.decode_tokens(), 12 * 6);
@@ -82,11 +129,13 @@ fn instant_execution_still_respects_request_lifecycle() {
     let profile = profile();
     let placement = heuristics::petals_placement(&profile).unwrap();
     let topology = Topology::plan(&profile, &placement, true).unwrap();
-    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
-    let runtime =
-        ServingRuntime::new(&topology, Box::new(scheduler), RuntimeConfig::fast_test()).unwrap();
+    let session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig::fast_test())
+        .build()
+        .unwrap();
     let workload = small_workload(30, 32, 3);
-    let report = runtime.serve(&workload).unwrap();
+    let report = session.serve(&workload).unwrap();
     assert_eq!(report.completed(), 30);
     // With instant execution nothing should be left resident in any KV pool.
     for node in &report.nodes {
@@ -108,9 +157,13 @@ fn baseline_schedulers_run_on_the_same_runtime() {
     ];
     for scheduler in schedulers {
         let kind = scheduler.kind();
-        let runtime =
-            ServingRuntime::new(&topology, scheduler, RuntimeConfig::fast_test()).unwrap();
-        let report = runtime.serve(&small_workload(8, 16, 2)).unwrap();
+        let session = ServingBuilder::new()
+            .topology(&topology)
+            .scheduler(scheduler)
+            .config(RuntimeConfig::fast_test())
+            .build()
+            .unwrap();
+        let report = session.serve(&small_workload(8, 16, 2)).unwrap();
         assert_eq!(
             report.completed(),
             8,
@@ -121,9 +174,8 @@ fn baseline_schedulers_run_on_the_same_runtime() {
 
 #[test]
 fn two_model_fleet_serves_through_the_runtime() {
-    use helix_cluster::ModelId;
     use helix_core::fleet::{fleet_profiles, FleetAnnealingOptions, FleetAnnealingPlanner};
-    use helix_core::{FleetScheduler, FleetTopology};
+    use helix_core::FleetTopology;
 
     let profiles = fleet_profiles(
         &ClusterSpec::single_cluster_24(),
@@ -135,9 +187,12 @@ fn two_model_fleet_serves_through_the_runtime() {
     });
     let (placement, _) = planner.solve().unwrap();
     let fleet = FleetTopology::plan(&profiles, &placement, true).unwrap();
-    let schedulers = FleetScheduler::iwrr(&fleet).unwrap();
-    let runtime =
-        ServingRuntime::new_fleet(&fleet, schedulers, RuntimeConfig::fast_test()).unwrap();
+    // Per-model IWRR schedulers are the builder's default for a fleet.
+    let session = ServingBuilder::new()
+        .fleet(&fleet)
+        .config(RuntimeConfig::fast_test())
+        .build()
+        .unwrap();
 
     let workload = Workload::new(
         (0..20u64)
@@ -150,7 +205,7 @@ fn two_model_fleet_serves_through_the_runtime() {
             })
             .collect(),
     );
-    let report = runtime.serve(&workload).unwrap();
+    let report = session.serve(&workload).unwrap();
     assert_eq!(report.completed(), 20);
     // Per-model accounting: each model served its half of the requests.
     for m in 0..2 {
@@ -192,15 +247,15 @@ fn adaptive_runtime_observes_a_degraded_node_and_replans() {
         cooldown_secs: 4.0,
         min_occupancy: 0.01,
     };
-    let runtime = ServingRuntime::new_adaptive(
-        &fleet,
-        RuntimeConfig {
+    let session = ServingBuilder::new()
+        .fleet(&fleet)
+        .replan_policy(policy)
+        .config(RuntimeConfig {
             wall_per_virtual: 0.0005,
             ..RuntimeConfig::default()
-        },
-        policy,
-    )
-    .unwrap();
+        })
+        .build()
+        .unwrap();
     // Degrade the lightest-loaded replica to half speed before serving; the
     // coordinator must *measure* the gap from worker statistics and re-plan.
     let slow = topology
@@ -214,9 +269,9 @@ fn adaptive_runtime_observes_a_degraded_node_and_replans() {
         })
         .unwrap()
         .node;
-    runtime.set_node_speed(slow, 2.0);
+    session.inject_speed(slow, 2.0);
     let workload = small_workload(48, 64, 12);
-    let report = runtime.serve(&workload).unwrap();
+    let report = session.serve(&workload).unwrap();
 
     assert_eq!(report.completed(), 48, "drain-then-switch drops nothing");
     assert!(
@@ -241,10 +296,12 @@ fn adaptive_runtime_observes_a_degraded_node_and_replans() {
 fn static_runtime_reports_no_replans() {
     let profile = profile();
     let topology = swarm_topology(&profile);
-    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
-    let runtime =
-        ServingRuntime::new(&topology, Box::new(scheduler), RuntimeConfig::fast_test()).unwrap();
-    let report = runtime.serve(&small_workload(6, 32, 4)).unwrap();
+    let session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig::fast_test())
+        .build()
+        .unwrap();
+    let report = session.serve(&small_workload(6, 32, 4)).unwrap();
     assert!(report.replans.is_empty());
 }
 
@@ -252,9 +309,11 @@ fn static_runtime_reports_no_replans() {
 fn unknown_model_requests_are_rejected() {
     let profile = profile();
     let topology = swarm_topology(&profile);
-    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
-    let runtime =
-        ServingRuntime::new(&topology, Box::new(scheduler), RuntimeConfig::fast_test()).unwrap();
+    let session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig::fast_test())
+        .build()
+        .unwrap();
     let workload = Workload::new(vec![Request {
         id: 0,
         prompt_tokens: 16,
@@ -262,7 +321,7 @@ fn unknown_model_requests_are_rejected() {
         arrival_time: 0.0,
         model: helix_cluster::ModelId(5),
     }]);
-    let err = runtime.serve(&workload).unwrap_err();
+    let err = session.serve(&workload).unwrap_err();
     assert!(matches!(err, RuntimeError::Scheduling(_)), "got {err}");
 }
 
@@ -270,21 +329,19 @@ fn unknown_model_requests_are_rejected() {
 fn wall_clock_budget_is_enforced() {
     let profile = profile();
     let topology = swarm_topology(&profile);
-    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
-    let runtime = ServingRuntime::new(
-        &topology,
-        Box::new(scheduler),
-        RuntimeConfig {
+    let session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig {
             // One virtual second takes ten wall seconds: the run cannot finish
             // inside the 100 ms budget below.
             wall_per_virtual: 10.0,
             max_wall: std::time::Duration::from_millis(100),
             execution: ExecutionKind::Analytic,
             ..RuntimeConfig::default()
-        },
-    )
-    .unwrap();
-    let err = runtime.serve(&small_workload(4, 512, 64)).unwrap_err();
+        })
+        .build()
+        .unwrap();
+    let err = session.serve(&small_workload(4, 512, 64)).unwrap_err();
     assert!(
         matches!(err, RuntimeError::WallClockBudgetExceeded { .. }),
         "got {err}"
@@ -295,10 +352,12 @@ fn wall_clock_budget_is_enforced() {
 fn empty_workload_returns_an_empty_report() {
     let profile = profile();
     let topology = swarm_topology(&profile);
-    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
-    let runtime =
-        ServingRuntime::new(&topology, Box::new(scheduler), RuntimeConfig::fast_test()).unwrap();
-    let report = runtime.serve(&Workload::new(Vec::new())).unwrap();
+    let session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig::fast_test())
+        .build()
+        .unwrap();
+    let report = session.serve(&Workload::new(Vec::new())).unwrap();
     assert_eq!(report.completed(), 0);
     assert_eq!(report.decode_throughput(), 0.0);
 }
@@ -314,16 +373,16 @@ fn runtime_and_simulator_agree_on_scheduler_ranking() {
     let workload = small_workload(40, 96, 8);
 
     let run = |scheduler: Box<dyn Scheduler>| {
-        let runtime = ServingRuntime::new(
-            &topology,
-            scheduler,
-            RuntimeConfig {
+        let session = ServingBuilder::new()
+            .topology(&topology)
+            .scheduler(scheduler)
+            .config(RuntimeConfig {
                 wall_per_virtual: 0.0003,
                 ..RuntimeConfig::default()
-            },
-        )
-        .unwrap();
-        runtime.serve(&workload).unwrap().decode_throughput()
+            })
+            .build()
+            .unwrap();
+        session.serve(&workload).unwrap().decode_throughput()
     };
     let helix = run(Box::new(IwrrScheduler::from_topology(&topology).unwrap()));
     let random = run(Box::new(RandomScheduler::new(&topology, 3)));
@@ -335,8 +394,286 @@ fn runtime_and_simulator_agree_on_scheduler_ranking() {
     );
 }
 
+#[test]
+fn builder_validates_instead_of_panicking() {
+    let profile = profile();
+    let topology = swarm_topology(&profile);
+
+    // Neither topology nor fleet.
+    let err = ServingBuilder::new().build().unwrap_err();
+    assert!(matches!(err, RuntimeError::InvalidBuild(_)), "got {err}");
+
+    // Both topology and fleet.
+    let fleet = helix_core::FleetTopology::single(topology.clone());
+    let err = ServingBuilder::new()
+        .topology(&topology)
+        .fleet(&fleet)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::InvalidBuild(_)), "got {err}");
+
+    // Both scheduler forms.
+    let err = ServingBuilder::new()
+        .topology(&topology)
+        .scheduler(Box::new(IwrrScheduler::from_topology(&topology).unwrap()))
+        .schedulers(helix_core::FleetScheduler::iwrr(&fleet).unwrap())
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::InvalidBuild(_)), "got {err}");
+    assert!(err.to_string().contains("mutually exclusive"));
+}
+
+#[test]
+fn scheduler_count_mismatch_is_a_typed_error_not_a_panic() {
+    // A two-model fleet wired with a single scheduler used to hit the
+    // `assert_eq!` in `ServingRuntime::new_fleet`; the builder reports it.
+    use helix_core::fleet::{fleet_profiles, FleetAnnealingOptions, FleetAnnealingPlanner};
+    use helix_core::FleetTopology;
+    let profiles = fleet_profiles(
+        &ClusterSpec::single_cluster_24(),
+        &[ModelConfig::llama_30b(), ModelConfig::llama_13b()],
+    );
+    let planner = FleetAnnealingPlanner::new(&profiles).with_options(FleetAnnealingOptions {
+        iterations: 200,
+        ..Default::default()
+    });
+    let (placement, _) = planner.solve().unwrap();
+    let fleet = FleetTopology::plan(&profiles, &placement, true).unwrap();
+    let only = IwrrScheduler::from_topology(fleet.model(ModelId(0)).unwrap()).unwrap();
+    let err = ServingBuilder::new()
+        .fleet(&fleet)
+        .scheduler(Box::new(only))
+        .config(RuntimeConfig::fast_test())
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            RuntimeError::Scheduling(HelixError::SchedulerCountMismatch {
+                models: 2,
+                schedulers: 1,
+            })
+        ),
+        "got {err}"
+    );
+    assert!(err.to_string().contains("one scheduler per model"));
+}
+
+#[test]
+#[allow(deprecated)]
+fn legacy_constructors_still_serve_and_match_the_builder() {
+    // The deprecated shims stay for one release; their reports must carry
+    // the same skeleton as the builder path (timing jitters, scheduling
+    // does not).
+    use helix_runtime::ServingRuntime;
+    let profile = profile();
+    let topology = swarm_topology(&profile);
+    let workload = small_workload(8, 32, 3);
+
+    let legacy = ServingRuntime::new(
+        &topology,
+        Box::new(IwrrScheduler::from_topology(&topology).unwrap()),
+        RuntimeConfig::fast_test(),
+    )
+    .unwrap()
+    .serve(&workload)
+    .unwrap();
+
+    let via_builder = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig::fast_test())
+        .build()
+        .unwrap()
+        .serve(&workload)
+        .unwrap();
+
+    assert_eq!(report_skeleton(&legacy), report_skeleton(&via_builder));
+}
+
+#[test]
+fn session_tickets_resolve_out_of_order_and_stream_completions() {
+    let profile = profile();
+    let topology = swarm_topology(&profile);
+    let mut session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig::fast_test())
+        .build()
+        .unwrap();
+    assert!(!session.is_live());
+    let tickets: Vec<_> = small_workload(6, 24, 2)
+        .requests()
+        .iter()
+        .map(|r| session.submit(*r))
+        .collect();
+    assert!(session.is_live());
+
+    // Wait on a ticket in the middle: other completions buffer, not drop.
+    let fourth = session.wait_completion(tickets[3]).unwrap();
+    assert_eq!(fourth.id, 3);
+    assert_eq!(fourth.output_tokens, 2);
+
+    session.drain().unwrap();
+    let rest = session.try_completions();
+    assert_eq!(rest.len(), 5, "everything but the awaited ticket");
+    assert!(rest.iter().all(|o| o.id != 3));
+
+    let report = session.finish().unwrap();
+    assert_eq!(
+        report.completed(),
+        6,
+        "the report still covers all outcomes"
+    );
+}
+
+#[test]
+fn idle_session_time_does_not_burn_the_drain_budget() {
+    // The wall budget bounds each drain / completion wait, not session
+    // lifetime: a session idle for longer than max_wall must still serve.
+    let profile = profile();
+    let topology = swarm_topology(&profile);
+    let mut session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig {
+            max_wall: std::time::Duration::from_millis(250),
+            ..RuntimeConfig::fast_test()
+        })
+        .build()
+        .unwrap();
+    let ticket = session.submit(Request {
+        id: 0,
+        prompt_tokens: 16,
+        output_tokens: 2,
+        arrival_time: 0.0,
+        model: ModelId::default(),
+    });
+    session.wait_completion(ticket).unwrap();
+    // Outlive the budget while idle …
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    // … then serve more: the drain and the wait must both still succeed.
+    let ticket = session.submit(Request {
+        id: 1,
+        prompt_tokens: 16,
+        output_tokens: 2,
+        arrival_time: 0.0,
+        model: ModelId::default(),
+    });
+    session.wait_completion(ticket).unwrap();
+    session.drain().unwrap();
+    let report = session.finish().unwrap();
+    assert_eq!(report.completed(), 2);
+}
+
+#[test]
+fn placement_delta_spawns_a_worker_mid_run() {
+    // Plan a deployment that deliberately leaves one (redundant) node out,
+    // then scale out onto it mid-run through the session control plane: the
+    // re-plan must spawn a brand-new worker and route traffic through it —
+    // the capability the fixed-at-build worker set could not express.
+    let profile =
+        ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_13b());
+    let full = heuristics::swarm_placement(&profile).unwrap();
+    let num_layers = profile.model().num_layers;
+    let full_topology = Topology::plan(&profile, &full, true).unwrap();
+    let assignments: Vec<(helix_cluster::NodeId, LayerRange)> = full.iter().collect();
+    // The redundant node with the most planned flow, so the re-planned IWRR
+    // weights are sure to route requests through it.
+    let (spare, spare_range) = assignments
+        .iter()
+        .copied()
+        .filter(|&(node, _)| {
+            let mut reduced = full.clone();
+            reduced.clear(node);
+            reduced.has_complete_pipeline(num_layers)
+                && reduced.validate(&profile).is_ok()
+                && Topology::plan(&profile, &reduced, true).is_ok()
+        })
+        .max_by(|a, b| {
+            let flow =
+                |n: helix_cluster::NodeId| full_topology.node(n).map(|t| t.flow).unwrap_or(0.0);
+            flow(a.0).partial_cmp(&flow(b.0)).unwrap()
+        })
+        .expect("some node is redundant");
+
+    let mut reduced = full.clone();
+    reduced.clear(spare);
+    let topology = Topology::plan(&profile, &reduced, true).unwrap();
+    let mut session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig::fast_test())
+        .build()
+        .unwrap();
+
+    // Scale out: put the model on the spare node mid-run.
+    session.apply_placement_delta(PlacementDelta::new().assign(ModelId(0), spare, spare_range));
+    let tickets: Vec<_> = small_workload(40, 24, 3)
+        .requests()
+        .iter()
+        .map(|r| session.submit(*r))
+        .collect();
+    for ticket in tickets {
+        let outcome = session.wait_completion(ticket).unwrap();
+        assert!(outcome.completed_at >= outcome.first_token_at);
+    }
+    let report = session.finish().unwrap();
+
+    assert_eq!(report.completed(), 40);
+    assert_eq!(report.replans.len(), 1, "the delta re-planned exactly once");
+    assert!(matches!(report.replans[0].reason, ReplanReason::Manual));
+    let spawned = report
+        .nodes
+        .iter()
+        .find(|n| n.node == spare)
+        .expect("the dynamically spawned worker reports");
+    assert_eq!(spawned.layers_held, spare_range.len());
+    assert!(
+        spawned.batches > 0 && spawned.prompt_tokens + spawned.decode_tokens > 0,
+        "the spawned worker served traffic (batches {}, tokens {})",
+        spawned.batches,
+        spawned.prompt_tokens + spawned.decode_tokens
+    );
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Submit-all-then-drain through the live session completes exactly the
+    /// workload the legacy batch path completes, with the identical
+    /// scheduling skeleton (see [`report_skeleton`] for why raw timestamps
+    /// are excluded: they jitter between *any* two runs of the threaded
+    /// runtime, including two batch runs).
+    #[test]
+    fn session_submit_then_drain_matches_batch_serve(
+        n in 4u64..10,
+        prompt in 16usize..48,
+        output in 2usize..4,
+    ) {
+        let profile = profile();
+        let topology = swarm_topology(&profile);
+        let workload = small_workload(n, prompt, output);
+
+        let batch = ServingBuilder::new()
+            .topology(&topology)
+            .config(RuntimeConfig::fast_test())
+            .build()
+            .unwrap()
+            .serve(&workload)
+            .unwrap();
+
+        let mut session = ServingBuilder::new()
+            .topology(&topology)
+            .config(RuntimeConfig::fast_test())
+            .build()
+            .unwrap();
+        for request in workload.requests() {
+            session.submit(*request);
+        }
+        session.drain().unwrap();
+        let live = session.finish().unwrap();
+
+        prop_assert_eq!(report_skeleton(&batch), report_skeleton(&live));
+        prop_assert_eq!(live.completed(), n as usize);
+        prop_assert!(live.replans.is_empty());
+    }
 
     /// The paged KV pool never loses or invents pages under arbitrary
     /// interleavings of appends and releases.

@@ -53,10 +53,12 @@ mod engine;
 mod event;
 mod metrics;
 mod network;
+mod session;
 mod simulator;
 
 pub use engine::NodeEngine;
 pub use event::{Event, EventQueue, PerturbationEvent, SimTime};
 pub use metrics::{IntervalMetrics, LatencyStats, LinkStats, Metrics};
 pub use network::LinkQueue;
+pub use session::SimSession;
 pub use simulator::{ClusterSimulator, FleetMetrics, FleetRunReport, SimulationConfig};

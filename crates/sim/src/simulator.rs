@@ -134,6 +134,10 @@ pub struct FleetRunReport {
 /// schedule no observation ticks and are bit-identical to the static
 /// pipeline.
 ///
+/// To drive the simulator through the same submit → drain → finish surface
+/// as the threaded runtime's serving session, wrap it in a
+/// [`SimSession`](crate::SimSession).
+///
 /// See the [crate-level documentation](crate) for an end-to-end example.
 pub struct ClusterSimulator {
     fleet: FleetTopology,

@@ -22,7 +22,7 @@ mod trace;
 
 pub use arrival::ArrivalPattern;
 pub use azure::AzureTraceConfig;
-pub use request::{Request, RequestId};
+pub use request::{Request, RequestId, TicketId};
 pub use trace::TraceError;
 
 use helix_cluster::ModelId;

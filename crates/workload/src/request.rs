@@ -6,6 +6,22 @@ use serde::{Deserialize, Serialize};
 /// Identifier of a request within a workload.
 pub type RequestId = u64;
 
+/// Handle returned by a serving front door when a request is submitted.
+///
+/// A ticket wraps the submitted request's [`RequestId`]; session front ends
+/// (the threaded runtime's `ServingSession`, the simulator's `SimSession`)
+/// hand it back so completions can be awaited per request.  Request ids must
+/// be unique within one session for tickets to be unambiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TicketId(pub RequestId);
+
+impl TicketId {
+    /// The submitted request's id.
+    pub fn request(&self) -> RequestId {
+        self.0
+    }
+}
+
 /// One LLM serving request: a prompt of known length and the (ground-truth)
 /// number of output tokens it will generate.
 ///

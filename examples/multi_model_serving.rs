@@ -61,10 +61,17 @@ fn main() {
     ])
     .with_arrivals(ArrivalPattern::Offline, 3);
 
-    // 5. Simulate and report per-model metrics.
+    // 5. Simulate and report per-model metrics — through the same session
+    //    front door the prototype runtime uses (`SimSession` and
+    //    `ServingSession` both implement `helix::front::ServingFrontEnd`).
     let schedulers = FleetScheduler::iwrr(&fleet).expect("fleet scheduler");
-    let mut sim = helix_sim::ClusterSimulator::new_fleet(&fleet, schedulers);
-    let metrics = sim.run_per_model(&workload, SimulationConfig::offline(240.0).with_warmup(0.0));
+    let sim = helix_sim::ClusterSimulator::new_fleet(&fleet, schedulers);
+    let mut sim_session =
+        helix_sim::SimSession::new(sim, SimulationConfig::offline(240.0).with_warmup(0.0));
+    for request in workload.requests() {
+        sim_session.submit(*request);
+    }
+    let metrics = sim_session.finish().metrics;
     println!("\nsimulator, offline burst ({} requests):", workload.len());
     for (m, per_model) in metrics.per_model.iter().enumerate() {
         println!(
@@ -75,19 +82,19 @@ fn main() {
         );
     }
 
-    // 6. The same fleet through the prototype runtime (threads + fabric).
-    let schedulers = FleetScheduler::iwrr(&fleet).expect("fleet scheduler");
-    let runtime = helix_runtime::ServingRuntime::new_fleet(
-        &fleet,
-        schedulers,
-        helix_runtime::RuntimeConfig::fast_test(),
-    )
-    .expect("fleet runtime");
+    // 6. The same fleet through the prototype runtime (threads + fabric),
+    //    built by the unified ServingBuilder — per-model IWRR schedulers are
+    //    the default for a fleet.
+    let session = helix_runtime::ServingBuilder::new()
+        .fleet(&fleet)
+        .config(helix_runtime::RuntimeConfig::fast_test())
+        .build()
+        .expect("fleet runtime");
     let small = helix_workload::Workload::merge(vec![
         config.generate(12, 4).with_model(ModelId(0)),
         config.generate(12, 5).with_model(ModelId(1)),
     ]);
-    let report = runtime.serve(&small).expect("runtime serves");
+    let report = session.serve(&small).expect("runtime serves");
     println!("\nprototype runtime ({} requests):", small.len());
     for m in 0..2 {
         let model = ModelId(m);

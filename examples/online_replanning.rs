@@ -18,7 +18,7 @@
 
 use helix::prelude::*;
 use helix_core::{ReplanPolicy, ReplanReason};
-use helix_sim::{ClusterSimulator, PerturbationEvent, SimulationConfig};
+use helix_sim::{ClusterSimulator, PerturbationEvent, SimSession, SimulationConfig};
 use helix_workload::AzureTraceConfig;
 
 fn main() {
@@ -43,11 +43,6 @@ fn main() {
         .expect("some node carries flow")
         .node;
     let perturb_at = 120.0;
-    let events = [PerturbationEvent::NodeSlowdown {
-        at: perturb_at,
-        node: slow,
-        factor: 2.0,
-    }];
     println!("scripted: {slow:?} runs 2x slow from t={perturb_at}s\n");
 
     // 3. A saturating offline workload and the shared re-plan policy.
@@ -70,10 +65,25 @@ fn main() {
         .with_warmup(0.0)
         .with_admission_limit(64);
 
-    // 4. Serve with the loop closed.
+    // 4. Serve with the loop closed, through the session front door: the
+    //    scripted slowdown and the whole trace are queued on the session,
+    //    then one drain runs the feedback loop end to end.
     let scheduler = IwrrScheduler::from_topology(&topology).expect("scheduler");
-    let mut sim = ClusterSimulator::new(&topology, Box::new(scheduler));
-    let report = sim.run_with_events(&workload, config, &events, Some(policy));
+    let sim = ClusterSimulator::new(&topology, Box::new(scheduler));
+    let mut session = SimSession::new(sim, config).with_policy(policy);
+    session.schedule(PerturbationEvent::NodeSlowdown {
+        at: perturb_at,
+        node: slow,
+        factor: 2.0,
+    });
+    for request in workload.requests() {
+        session.submit(*request);
+    }
+    session.drain();
+    let report = session
+        .report()
+        .cloned()
+        .expect("the drain produced a report");
 
     // 5. The windowed interval metrics show the dip and the recovery.
     println!("window        tokens/s");
@@ -144,6 +154,9 @@ fn main() {
     );
     println!(
         "\nobserved compute share of {slow:?} after feedback: {:.2}",
-        sim.fleet().compute_share(helix_cluster::ModelId(0), slow)
+        session
+            .simulator()
+            .fleet()
+            .compute_share(helix_cluster::ModelId(0), slow)
     );
 }

@@ -12,7 +12,7 @@
 //! Run with: `cargo run --release --example prototype_serving`
 
 use helix::prelude::*;
-use helix_runtime::{RuntimeConfig, RuntimeReport, ServingRuntime};
+use helix_runtime::{RuntimeConfig, RuntimeReport, ServingBuilder};
 
 fn print_report(label: &str, report: &RuntimeReport) {
     let prompt = report.prompt_latency();
@@ -112,16 +112,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One Topology artifact feeds both runtimes and both schedulers.
     let topology = Topology::plan(&profile, &placement, true)?;
 
-    // Helix: IWRR scheduling weighted by the max-flow solution.
-    let helix_scheduler = IwrrScheduler::from_topology(&topology)?;
-    let helix_runtime = ServingRuntime::new(&topology, Box::new(helix_scheduler), config.clone())?;
-    let helix_report = helix_runtime.serve(&workload)?;
+    // Helix: IWRR weighted by the max-flow solution (the builder's default
+    // scheduler), driven through the live session front door — requests are
+    // submitted without blocking and completions stream back as they happen.
+    let mut helix_session = ServingBuilder::new()
+        .topology(&topology)
+        .config(config.clone())
+        .build()?;
+    let tickets: Vec<_> = workload
+        .requests()
+        .iter()
+        .map(|r| helix_session.submit(*r))
+        .collect();
+    let first = helix_session.wait_completion(tickets[0])?;
+    println!(
+        "first completion: request {} ({} prompt tokens) after {:.2} virtual seconds",
+        first.id,
+        first.prompt_tokens,
+        first.completed_at - first.arrival
+    );
+    helix_session.drain()?;
+    let helix_report = helix_session.finish()?;
     print_report("Helix (IWRR, max-flow weights)", &helix_report);
 
-    // Baseline: random scheduling over the same placement.
-    let random_scheduler = RandomScheduler::new(&topology, 13);
-    let random_runtime = ServingRuntime::new(&topology, Box::new(random_scheduler), config)?;
-    let random_report = random_runtime.serve(&workload)?;
+    // Baseline: random scheduling over the same placement, via the batch
+    // convenience wrapper (the same blocking loop the legacy runtime ran).
+    let random_session = ServingBuilder::new()
+        .topology(&topology)
+        .scheduler(Box::new(RandomScheduler::new(&topology, 13)))
+        .config(config)
+        .build()?;
+    let random_report = random_session.serve(&workload)?;
     print_report("Random scheduling baseline", &random_report);
 
     println!(

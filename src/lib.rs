@@ -13,6 +13,9 @@
 //! * [`runtime`] — the multi-threaded prototype serving runtime (coordinator,
 //!   per-node workers with paged KV pools, network fabric).
 //! * [`workload`] — synthetic Azure-Conversation-style workloads.
+//! * [`front`] — the [`ServingFrontEnd`](front::ServingFrontEnd) trait: one
+//!   submit → drain → finish surface over the runtime's `ServingSession`
+//!   and the simulator's `SimSession`.
 //!
 //! # Quick start
 //!
@@ -51,8 +54,11 @@ pub use helix_runtime as runtime;
 pub use helix_sim as sim;
 pub use helix_workload as workload;
 
+pub mod front;
+
 /// One-stop imports for typical Helix usage.
 pub mod prelude {
+    pub use crate::front::ServingFrontEnd;
     pub use helix_cluster::{
         ClusterBuilder, ClusterProfile, ClusterSpec, ComputeNode, GpuSpec, GpuType, ModelConfig,
         ModelId, NetworkLink, NodeId, Region,
@@ -67,9 +73,15 @@ pub mod prelude {
     };
     pub use helix_maxflow::{FlowNetwork, MaxFlowAlgorithm};
     pub use helix_milp::{MilpSolver, Model, ObjectiveSense, Sense, VarType};
-    pub use helix_runtime::{RuntimeConfig, RuntimeReport, ServingRuntime};
-    pub use helix_sim::{ClusterSimulator, FleetMetrics, Metrics, SimulationConfig};
-    pub use helix_workload::{ArrivalPattern, AzureTraceConfig, Request, TraceError, Workload};
+    pub use helix_runtime::{
+        RuntimeConfig, RuntimeReport, ServingBuilder, ServingRuntime, ServingSession,
+    };
+    pub use helix_sim::{
+        ClusterSimulator, FleetMetrics, FleetRunReport, Metrics, SimSession, SimulationConfig,
+    };
+    pub use helix_workload::{
+        ArrivalPattern, AzureTraceConfig, Request, TicketId, TraceError, Workload,
+    };
 }
 
 #[cfg(test)]

@@ -79,15 +79,15 @@ fn two_model_mixed_workload_serves_in_the_simulator() {
 fn two_model_mixed_workload_serves_in_the_runtime() {
     let (_, fleet) = planned_fleet();
     let schedulers = FleetScheduler::iwrr(&fleet).unwrap();
-    let runtime = helix_runtime::ServingRuntime::new_fleet(
-        &fleet,
-        schedulers,
-        helix_runtime::RuntimeConfig::fast_test(),
-    )
-    .unwrap();
+    let session = helix_runtime::ServingBuilder::new()
+        .fleet(&fleet)
+        .schedulers(schedulers)
+        .config(helix_runtime::RuntimeConfig::fast_test())
+        .build()
+        .unwrap();
     let workload = mixed_workload(15);
     let total = workload.len();
-    let report = runtime.serve(&workload).unwrap();
+    let report = session.serve(&workload).unwrap();
     assert_eq!(report.completed(), total);
     for m in 0..2 {
         let model = helix_cluster::ModelId(m);

@@ -7,7 +7,7 @@
 //! the Swarm placement on either implementation.
 
 use helix::prelude::*;
-use helix_runtime::{RuntimeConfig, ServingRuntime};
+use helix_runtime::{RuntimeConfig, ServingBuilder};
 
 fn profile() -> ClusterProfile {
     ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_30b())
@@ -34,17 +34,15 @@ fn runtime_throughput(
     workload: &Workload,
 ) -> f64 {
     let topology = Topology::plan(profile, placement, true).unwrap();
-    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
-    let runtime = ServingRuntime::new(
-        &topology,
-        Box::new(scheduler),
-        RuntimeConfig {
+    let session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig {
             wall_per_virtual: 0.0003,
             ..RuntimeConfig::default()
-        },
-    )
-    .unwrap();
-    let report = runtime.serve(workload).unwrap();
+        })
+        .build()
+        .unwrap();
+    let report = session.serve(workload).unwrap();
     assert_eq!(
         report.completed(),
         workload.len(),
