@@ -1,0 +1,190 @@
+//! Partial-layer migration hand-over vs whole-tenancy drain-and-respawn.
+//!
+//! Two costs matter when a re-plan wants to move layers between nodes
+//! mid-run:
+//!
+//! 1. the *planning* cost of the re-plan itself (warm, on the standing
+//!    evaluators) — measured here as wall time for a migration delta and for
+//!    the equivalent explicit assign/assign delta (the drain-and-respawn
+//!    shape), against the cold full-plan baseline;
+//! 2. the *hand-over* cost of moving (or losing) the KV state — modelled
+//!    analytically: a migration ships `pages × page size` bytes over the
+//!    inter-node link, while drain-and-respawn abandons the cache and pays
+//!    the prompt-phase recomputation of every resident token on the new
+//!    node.  Both are printed at three KV-residency levels and recorded in
+//!    `BENCH_migration.json` at the repository root.
+//!
+//! Run with `cargo bench -p helix-bench --bench migration`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig, ModelId, NodeId};
+use helix_core::exec_model::DEFAULT_TOKENS_PER_PAGE;
+use helix_core::fleet::{FleetPlacement, FleetTopology};
+use helix_core::{KvTransferModel, LayerRange, ModelPlacement, NodeObservations, PlacementDelta};
+use std::hint::black_box;
+
+fn profile() -> ClusterProfile {
+    ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_13b())
+}
+
+/// A chain placement taking half of each node's capacity, so suffix moves
+/// between neighbours stay valid.
+fn chain_placement(profile: &ClusterProfile) -> ModelPlacement {
+    let cluster = profile.cluster();
+    let mut placement = ModelPlacement::empty(cluster.num_nodes());
+    let num_layers = profile.model().num_layers;
+    let mut start = 0usize;
+    for id in cluster.node_ids() {
+        if start >= num_layers {
+            break;
+        }
+        let take = (profile.node_profile(id).max_layers / 2)
+            .max(1)
+            .min(num_layers - start);
+        placement.assign(id, LayerRange::new(start, start + take));
+        start += take;
+    }
+    assert!(placement.has_complete_pipeline(num_layers));
+    placement
+}
+
+/// The first migratable chain pair: (from, to, moved suffix of `from`).
+fn migratable_pair(
+    profile: &ClusterProfile,
+    placement: &ModelPlacement,
+) -> (NodeId, NodeId, LayerRange) {
+    let assigned: Vec<(NodeId, LayerRange)> = placement.iter().collect();
+    assigned
+        .windows(2)
+        .find_map(|w| {
+            let (from, range) = w[0];
+            let (to, to_range) = w[1];
+            if range.len() < 2 {
+                return None;
+            }
+            let mid = range.start + range.len() / 2;
+            let mut mutated = placement.clone();
+            mutated.assign(from, LayerRange::new(range.start, mid));
+            mutated.assign(to, LayerRange::new(mid, to_range.end));
+            (mutated.validate(profile).is_ok()
+                && mutated.has_complete_pipeline(profile.model().num_layers))
+            .then_some((from, to, LayerRange::new(mid, range.end)))
+        })
+        .expect("some adjacent chain pair is migratable")
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let profile = profile();
+    let placement = chain_placement(&profile);
+    let (from, to, moved) = migratable_pair(&profile, &placement);
+    let from_range = placement.range(from).unwrap();
+    let to_range = placement.range(to).unwrap();
+    let profiles = vec![profile.clone()];
+    let fleet_placement = FleetPlacement::new(vec![placement.clone()]);
+    let none = NodeObservations::new();
+
+    let mut group = c.benchmark_group("migration_10_node_chain");
+    group.sample_size(20);
+
+    // Cold baseline: the full plan from scratch.
+    group.bench_function("cold_full_plan", |b| {
+        b.iter(|| {
+            black_box(
+                FleetTopology::plan(&profiles, &fleet_placement, true)
+                    .unwrap()
+                    .total_flow_value(),
+            )
+        })
+    });
+
+    // Warm: a layer-range migration toggled forward and back on the
+    // standing fleet (resolution + share re-derivation + warm re-solve +
+    // materialisation; the KV transfer itself is the execution surface's
+    // job and is modelled below).
+    let forward = PlacementDelta::new().migrate(ModelId(0), from, to, moved);
+    let backward = PlacementDelta::new().migrate(ModelId(0), to, from, moved);
+    let mut standing = FleetTopology::plan(&profiles, &fleet_placement, true).unwrap();
+    standing.replan(&forward, &none).unwrap();
+    standing.replan(&backward, &none).unwrap();
+    let mut flip = false;
+    group.bench_function("warm_migration_replan", |b| {
+        b.iter(|| {
+            flip = !flip;
+            let delta = if flip { &forward } else { &backward };
+            black_box(standing.replan(delta, &none).unwrap().warm_flow_values[0])
+        })
+    });
+
+    // Warm: the same placement mutation expressed as explicit assignments —
+    // the whole-tenancy drain-and-respawn shape (no KV moves; the state is
+    // abandoned and rebuilt on the destination).
+    let mid = moved.start;
+    let respawn_forward = PlacementDelta::new()
+        .assign(ModelId(0), from, LayerRange::new(from_range.start, mid))
+        .assign(ModelId(0), to, LayerRange::new(mid, to_range.end));
+    let respawn_backward = PlacementDelta::new()
+        .assign(ModelId(0), from, from_range)
+        .assign(ModelId(0), to, to_range);
+    let mut standing = FleetTopology::plan(&profiles, &fleet_placement, true).unwrap();
+    standing.replan(&respawn_forward, &none).unwrap();
+    standing.replan(&respawn_backward, &none).unwrap();
+    let mut flip = false;
+    group.bench_function("warm_drain_respawn_replan", |b| {
+        b.iter(|| {
+            flip = !flip;
+            let delta = if flip {
+                &respawn_forward
+            } else {
+                &respawn_backward
+            };
+            black_box(standing.replan(delta, &none).unwrap().warm_flow_values[0])
+        })
+    });
+    group.finish();
+
+    // The analytic hand-over comparison at three KV-residency levels:
+    // migration ships the pages over the link; drain-and-respawn abandons
+    // the cache, so rebuilding the moved layers' KV means re-running every
+    // resident token through the whole pipeline *prefix* (layers
+    // 0..moved.end — KV at a layer only exists once the prompt has
+    // traversed everything before it), stealing that compute from live
+    // serving.  Neither number includes drain-and-respawn's other cost: the
+    // old tenancy keeps its pages stranded until every in-flight pipeline
+    // drains, which is unbounded under streaming traffic.
+    let model = profile.model();
+    let transfer = KvTransferModel::new(
+        model.kv_bytes_per_token_per_layer(),
+        DEFAULT_TOKENS_PER_PAGE,
+    );
+    let link = profile.link_profile(Some(from), Some(to)).link;
+    let bandwidth = link.bandwidth_bytes_per_sec();
+    let latency = link.latency_secs();
+    let pool_tokens = profile.kv_capacity_tokens(from, from_range.len());
+    let exec = helix_core::ExecModel::new(profile.node_profile(to));
+    println!(
+        "\n# analytic hand-over latency, {} moved layers, link {:.1} MB/s",
+        moved.len(),
+        bandwidth / 1e6
+    );
+    for residency in [0.1, 0.5, 1.0] {
+        let tokens = pool_tokens * residency;
+        let bytes = transfer.bytes(tokens, moved.len());
+        let secs = KvTransferModel::transfer_secs(bytes, bandwidth, latency);
+        let recompute = exec.batch_secs([helix_core::WorkUnit {
+            phase: helix_core::Phase::Prompt,
+            tokens: tokens as usize,
+            layers: moved.end,
+        }]);
+        println!(
+            "residency {:>4.0}%: {:>8.0} tokens, {:>6.1} MB -> transfer {:>7.4}s vs respawn-recompute {:>7.4}s",
+            residency * 100.0,
+            tokens,
+            bytes / 1e6,
+            secs,
+            recompute,
+        );
+    }
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

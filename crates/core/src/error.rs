@@ -57,6 +57,20 @@ pub enum HelixError {
         /// Schedulers supplied.
         schedulers: usize,
     },
+    /// A partial-layer migration cannot be resolved against the current
+    /// placement.
+    InvalidMigration {
+        /// The model whose layers were to move.
+        model: ModelId,
+        /// The source node.
+        from: NodeId,
+        /// The destination node.
+        to: NodeId,
+        /// The moved layer range.
+        layers: crate::placement::LayerRange,
+        /// Why the migration is invalid.
+        why: &'static str,
+    },
     /// A fleet placement over-commits a node's VRAM across models.
     FleetVramOverflow {
         /// The over-committed node.
@@ -96,6 +110,10 @@ impl fmt::Display for HelixError {
             HelixError::SchedulerCountMismatch { models, schedulers } => write!(
                 f,
                 "a fleet serving {models} model(s) needs one scheduler per model, got {schedulers}"
+            ),
+            HelixError::InvalidMigration { model, from, to, layers, why } => write!(
+                f,
+                "cannot migrate layers {layers} of {model} from {from} to {to}: {why}"
             ),
             HelixError::FleetVramOverflow { node, needed_bytes, budget_bytes } => write!(
                 f,

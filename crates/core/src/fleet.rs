@@ -425,6 +425,12 @@ impl FleetTopology {
     /// `observed` is a full snapshot: pairs present in the previous snapshot
     /// but absent here revert to their analytic shares.
     ///
+    /// A delta carrying [`KvMigration`](crate::replan::KvMigration)s is first
+    /// resolved against the current placement
+    /// ([`PlacementDelta::resolve`]); the applied migrations are echoed in
+    /// the outcome so the execution surface can move the KV pages — planning
+    /// itself moves no state.
+    ///
     /// # Errors
     ///
     /// Returns [`HelixError::UnknownModel`] for a delta naming a model the
@@ -436,15 +442,17 @@ impl FleetTopology {
         observed: &NodeObservations,
     ) -> Result<ReplanOutcome, HelixError> {
         let num_models = self.profiles.len();
-        for &(model, _, _) in delta.changes() {
+        for model in delta.models() {
             if model.index() >= num_models {
                 return Err(HelixError::UnknownModel { model, num_models });
             }
         }
 
-        // 1. Mutate and validate the placement (on a copy; commit later).
+        // 1. Resolve migrations against the current placement into explicit
+        // changes, then mutate and validate (on a copy; commit later).
+        let changes = delta.resolve(&self.placement)?;
         let mut new_placements = self.placement.placements().to_vec();
-        for &(model, node, range) in delta.changes() {
+        for &(model, node, range) in &changes {
             match range {
                 Some(r) => new_placements[model.index()].assign(node, r),
                 None => new_placements[model.index()].clear(node),
@@ -491,6 +499,7 @@ impl FleetTopology {
             return Ok(ReplanOutcome {
                 affected: Vec::new(),
                 warm_flow_values: Vec::new(),
+                migrations: Vec::new(),
             });
         }
 
@@ -569,8 +578,7 @@ impl FleetTopology {
         let mut warm_flow_values = Vec::with_capacity(final_affected.len());
         for &m in &final_affected {
             let scaled = scaled_profiles[&m].clone();
-            let changes: Vec<(NodeId, Option<LayerRange>)> = delta
-                .changes()
+            let changes: Vec<(NodeId, Option<LayerRange>)> = changes
                 .iter()
                 .filter(|&&(model, _, _)| model.index() == m)
                 .map(|&(_, node, range)| (node, range))
@@ -604,6 +612,7 @@ impl FleetTopology {
         Ok(ReplanOutcome {
             affected: final_affected.into_iter().map(ModelId).collect(),
             warm_flow_values,
+            migrations: delta.migrations().to_vec(),
         })
     }
 
@@ -640,6 +649,27 @@ impl FleetTopology {
     /// The observation snapshot the current shares were derived from.
     pub fn observations(&self) -> &NodeObservations {
         &self.observations
+    }
+
+    /// One model's profile under the **analytic** contention split of the
+    /// current placement: compute/KV shares re-derived as if no observation
+    /// existed.  This is the physical capacity split execution surfaces run
+    /// engines at — a measured speed factor belongs to planning (pricing the
+    /// node), not to execution (it would double-count the slowdown the
+    /// measurement already reflects).
+    pub fn contention_profile(&self, model: ModelId) -> ClusterProfile {
+        let m = model.index();
+        let cluster = self.profiles[0].cluster();
+        let n = cluster.num_nodes();
+        let mut shares = vec![1.0f64; n];
+        let mut overrides: Vec<Option<f64>> = vec![None; n];
+        let empty = NodeObservations::new();
+        for node in cluster.node_ids() {
+            let split = node_capacity_split(&self.profiles, &self.placement, &empty, node);
+            shares[node.index()] = split[m].0;
+            overrides[node.index()] = split[m].1;
+        }
+        self.profiles[m].scaled(&shares, &overrides)
     }
 
     /// This model's fraction of `node`'s compute (1.0 when it is the sole

@@ -89,8 +89,9 @@ pub use placement::partition::{Partition, PartitionOptions, PartitionPlan, Parti
 pub use placement::refine::{AnnealingOptions, FlowAnnealingPlanner};
 pub use placement::{LayerRange, ModelPlacement};
 pub use replan::{
-    EngineCounters, NodeObservation, NodeObservations, ObservationWindows, PlacementDelta,
-    ReplanOutcome, ReplanPolicy, ReplanReason, ReplanRecord,
+    EngineCounters, KvMigration, KvTransferModel, KvTransferRecord, NodeObservation,
+    NodeObservations, ObservationWindows, PlacementDelta, ReplanOutcome, ReplanPolicy,
+    ReplanReason, ReplanRecord,
 };
 pub use scheduling::iwrr::IwrrScheduler;
 pub use scheduling::kv_estimate::KvCacheEstimator;

@@ -15,14 +15,19 @@
 //!   [`FleetTopology`](crate::FleetTopology) so planning scores placements
 //!   against the cluster as it *is*, not as the data sheet promised.
 //! * [`PlacementDelta`] — a sparse set of per-model layer-range changes
-//!   (assign / remove), the unit of mutation
-//!   [`FleetTopology::replan`](crate::FleetTopology::replan) accepts.
+//!   (assign / remove / **migrate**), the unit of mutation
+//!   [`FleetTopology::replan`](crate::FleetTopology::replan) accepts.  A
+//!   [`KvMigration`] expresses "move layers 10–14 of model 0 from node A to
+//!   node B, with their KV state"; the execution surfaces turn it into an
+//!   actual KV-page transfer priced by the [`KvTransferModel`].
 //! * [`ReplanPolicy`] — threshold-plus-cooldown trigger shared by the
 //!   simulator's coordinator loop and the runtime's coordinator thread, so
 //!   both surfaces fire the loop under identical conditions.
 //! * [`ReplanRecord`] / [`ReplanOutcome`] — what happened and why, for run
 //!   reports and tests.
 
+use crate::error::HelixError;
+use crate::fleet::FleetPlacement;
 use crate::placement::LayerRange;
 use helix_cluster::{ModelId, NodeId};
 use serde::{Deserialize, Serialize};
@@ -213,8 +218,32 @@ impl ObservationWindows {
     }
 }
 
+/// "Move these layers of this model from node A to node B, with their KV
+/// state" — the unit of partial-layer migration.
+///
+/// The moved range must sit at an **edge** of the source node's current range
+/// (prefix, suffix or the whole range), so the remainder stays contiguous;
+/// on the destination it must either start a new range or merge contiguously
+/// with an existing one.  [`PlacementDelta::resolve`] checks both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvMigration {
+    /// The model whose layers move.
+    pub model: ModelId,
+    /// The node giving the layers (and their KV pages) up.
+    pub from: NodeId,
+    /// The node receiving them.
+    pub to: NodeId,
+    /// The moved layer sub-range.
+    pub layers: LayerRange,
+}
+
 /// A sparse placement mutation: per-model layer-range changes to apply on top
 /// of a fleet's current placement.
+///
+/// Explicit [`assign`](Self::assign)/[`remove`](Self::remove) changes apply
+/// first, in insertion order; [`migrate`](Self::migrate) moves resolve
+/// afterwards against the resulting placement (see
+/// [`resolve`](Self::resolve)).
 ///
 /// # Example
 ///
@@ -232,6 +261,7 @@ impl ObservationWindows {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PlacementDelta {
     changes: Vec<(ModelId, NodeId, Option<LayerRange>)>,
+    migrations: Vec<KvMigration>,
 }
 
 impl PlacementDelta {
@@ -265,30 +295,148 @@ impl PlacementDelta {
         self
     }
 
+    /// Adds a partial-layer migration: `layers` of `model` move from `from`
+    /// to `to` together with their KV state.  The placement mutation it
+    /// implies is computed by [`resolve`](Self::resolve) against the fleet's
+    /// current placement; the execution surfaces additionally move the KV
+    /// pages and charge the transfer to the `from → to` link.
+    #[must_use]
+    pub fn migrate(mut self, model: ModelId, from: NodeId, to: NodeId, layers: LayerRange) -> Self {
+        self.migrations.push(KvMigration {
+            model,
+            from,
+            to,
+            layers,
+        });
+        self
+    }
+
     /// The raw change list in insertion order (later entries win).
     pub fn changes(&self) -> &[(ModelId, NodeId, Option<LayerRange>)] {
         &self.changes
     }
 
-    /// Whether the delta contains no placement change.
-    pub fn is_empty(&self) -> bool {
-        self.changes.is_empty()
+    /// The migration moves of the delta, in insertion order.
+    pub fn migrations(&self) -> &[KvMigration] {
+        &self.migrations
     }
 
-    /// The distinct nodes the delta touches, sorted.
+    /// Whether the delta contains no placement change.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty() && self.migrations.is_empty()
+    }
+
+    /// The distinct nodes the delta touches, sorted (migration endpoints
+    /// included).
     pub fn touched_nodes(&self) -> Vec<NodeId> {
         let mut nodes: Vec<NodeId> = self.changes.iter().map(|&(_, n, _)| n).collect();
+        for m in &self.migrations {
+            nodes.push(m.from);
+            nodes.push(m.to);
+        }
         nodes.sort();
         nodes.dedup();
         nodes
     }
 
-    /// The distinct models the delta touches, sorted.
+    /// The distinct models the delta touches, sorted (migrated models
+    /// included).
     pub fn models(&self) -> Vec<ModelId> {
         let mut models: Vec<ModelId> = self.changes.iter().map(|&(m, _, _)| m).collect();
+        models.extend(self.migrations.iter().map(|m| m.model));
         models.sort();
         models.dedup();
         models
+    }
+
+    /// Resolves the delta against a concrete placement into the full,
+    /// explicit change list: the raw [`changes`](Self::changes) followed by
+    /// the placement mutations each migration implies (source range shrunk
+    /// from the moved edge, destination range created or merged).
+    ///
+    /// Applying the returned list to `base` yields exactly the placement a
+    /// from-scratch plan of the post-migration fleet would use — the
+    /// bit-identity contract of
+    /// [`FleetTopology::replan`](crate::FleetTopology::replan) rests on this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HelixError::InvalidMigration`] when the source does not hold
+    /// the moved layers, the moved range is strictly interior to the source
+    /// range (the remainder would not be contiguous), the destination holds a
+    /// range the moved one cannot merge with contiguously, or `from == to`.
+    pub fn resolve(
+        &self,
+        base: &FleetPlacement,
+    ) -> Result<Vec<(ModelId, NodeId, Option<LayerRange>)>, HelixError> {
+        let mut resolved = self.changes.clone();
+        let mut placements = base.placements().to_vec();
+        for &(model, node, range) in &self.changes {
+            if let Some(p) = placements.get_mut(model.index()) {
+                match range {
+                    Some(r) => p.assign(node, r),
+                    None => p.clear(node),
+                }
+            }
+        }
+        for migration in &self.migrations {
+            let KvMigration {
+                model,
+                from,
+                to,
+                layers,
+            } = *migration;
+            let invalid = |why: &'static str| HelixError::InvalidMigration {
+                model,
+                from,
+                to,
+                layers,
+                why,
+            };
+            if from == to {
+                return Err(invalid("source and destination are the same node"));
+            }
+            let placement = placements
+                .get_mut(model.index())
+                .ok_or_else(|| invalid("the fleet does not serve this model"))?;
+            let held = placement
+                .range(from)
+                .ok_or_else(|| invalid("the source node holds no layers of this model"))?;
+            if layers.start < held.start || layers.end > held.end {
+                return Err(invalid("the source node does not hold the moved layers"));
+            }
+            let remainder = if layers == held {
+                None
+            } else if layers.start == held.start {
+                Some(LayerRange::new(layers.end, held.end))
+            } else if layers.end == held.end {
+                Some(LayerRange::new(held.start, layers.start))
+            } else {
+                return Err(invalid(
+                    "the moved range is interior to the source range; the remainder would not be contiguous",
+                ));
+            };
+            let merged = match placement.range(to) {
+                None => layers,
+                Some(existing) if layers.end >= existing.start && existing.end >= layers.start => {
+                    LayerRange::new(
+                        existing.start.min(layers.start),
+                        existing.end.max(layers.end),
+                    )
+                }
+                Some(_) => return Err(invalid(
+                    "the destination holds a range the moved layers cannot merge with contiguously",
+                )),
+            };
+            match remainder {
+                Some(r) => placement.assign(from, r),
+                None => placement.clear(from),
+            }
+            placement.assign(to, merged);
+            resolved.push((model, from, remainder));
+            resolved.push((model, to, Some(merged)));
+        }
+        Ok(resolved)
     }
 }
 
@@ -405,6 +553,82 @@ pub struct ReplanRecord {
     pub planned_flow: f64,
 }
 
+/// The analytic cost model of one KV-state transfer, shared by the simulator
+/// and the runtime so the two surfaces price a migration identically.
+///
+/// KV state moves at page granularity: the tokens resident for the moved
+/// layers occupy `⌈tokens / tokens_per_page⌉` pages, each page holds
+/// `tokens_per_page × moved_layers × kv_bytes_per_token_per_layer` bytes, and
+/// the transfer ships `bytes = pages × page size` over the inter-node link —
+/// `bytes / bandwidth + latency` seconds on an idle link (queueing behind
+/// activation traffic comes on top, from the link model of each surface).
+///
+/// # Example
+///
+/// ```rust
+/// use helix_core::replan::KvTransferModel;
+///
+/// let model = KvTransferModel::new(1024.0, 16);
+/// assert_eq!(model.pages(100.0), 7); // ceil(100 / 16)
+/// let bytes = model.bytes(100.0, 5); // 7 pages x 16 tokens x 5 layers x 1 KiB
+/// assert_eq!(bytes, 7.0 * 16.0 * 5.0 * 1024.0);
+/// assert!((KvTransferModel::transfer_secs(bytes, 1e9, 0.001) - (bytes / 1e9 + 0.001)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvTransferModel {
+    /// KV bytes one cached token occupies per model layer.
+    pub kv_bytes_per_token_per_layer: f64,
+    /// Tokens per KV page (the paging granularity of the transfer).
+    pub tokens_per_page: usize,
+}
+
+impl KvTransferModel {
+    /// Builds the model from the fleet model's KV geometry.
+    pub fn new(kv_bytes_per_token_per_layer: f64, tokens_per_page: usize) -> Self {
+        KvTransferModel {
+            kv_bytes_per_token_per_layer,
+            tokens_per_page: tokens_per_page.max(1),
+        }
+    }
+
+    /// Pages occupied by `tokens` resident tokens.
+    pub fn pages(&self, tokens: f64) -> u64 {
+        (tokens.max(0.0) / self.tokens_per_page as f64).ceil() as u64
+    }
+
+    /// Bytes one full page holds for `layers` moved layers.
+    pub fn page_bytes(&self, layers: usize) -> f64 {
+        self.tokens_per_page as f64 * layers as f64 * self.kv_bytes_per_token_per_layer
+    }
+
+    /// Bytes the transfer ships: pages × page size.
+    pub fn bytes(&self, tokens: f64, layers: usize) -> f64 {
+        self.pages(tokens) as f64 * self.page_bytes(layers)
+    }
+
+    /// Seconds the transfer takes on an idle link.
+    pub fn transfer_secs(bytes: f64, bandwidth_bytes_per_sec: f64, latency_secs: f64) -> f64 {
+        bytes.max(0.0) / bandwidth_bytes_per_sec.max(1.0) + latency_secs.max(0.0)
+    }
+}
+
+/// One completed KV-state transfer, as logged by an execution surface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KvTransferRecord {
+    /// Virtual time the transfer completed at the destination.
+    pub at: f64,
+    /// The migration the transfer belonged to.
+    pub migration: KvMigration,
+    /// KV tokens moved.
+    pub tokens: f64,
+    /// KV pages moved.
+    pub pages: u64,
+    /// Bytes shipped over the `from → to` link (pages × page size).
+    pub bytes: f64,
+    /// Seconds the hand-over took, start of freeze to resume.
+    pub transfer_secs: f64,
+}
+
 /// What [`FleetTopology::replan`](crate::FleetTopology::replan) did: which
 /// models were re-solved and the warm flow value each standing evaluator
 /// reported.
@@ -416,6 +640,10 @@ pub struct ReplanOutcome {
     /// Warm max-flow value per affected model, in `affected` order, from the
     /// standing incremental evaluators.
     pub warm_flow_values: Vec<f64>,
+    /// The partial-layer migrations the applied delta carried — the KV
+    /// hand-overs the execution surface now owes (planning itself moves no
+    /// state).
+    pub migrations: Vec<KvMigration>,
 }
 
 impl ReplanOutcome {
@@ -475,6 +703,78 @@ mod tests {
         assert_eq!(delta.changes().len(), 4);
         assert!(!delta.is_empty());
         assert!(PlacementDelta::new().is_empty());
+    }
+
+    #[test]
+    fn migrations_resolve_to_edge_moves_and_reject_interior_ones() {
+        use crate::placement::ModelPlacement;
+        let mut a = ModelPlacement::empty(4);
+        a.assign(NodeId(0), LayerRange::new(0, 8));
+        a.assign(NodeId(1), LayerRange::new(8, 16));
+        let base = FleetPlacement::new(vec![a]);
+
+        // Suffix move onto an empty node.
+        let delta =
+            PlacementDelta::new().migrate(ModelId(0), NodeId(0), NodeId(2), LayerRange::new(4, 8));
+        let resolved = delta.resolve(&base).unwrap();
+        assert_eq!(
+            resolved,
+            vec![
+                (ModelId(0), NodeId(0), Some(LayerRange::new(0, 4))),
+                (ModelId(0), NodeId(2), Some(LayerRange::new(4, 8))),
+            ]
+        );
+        assert_eq!(delta.touched_nodes(), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(delta.models(), vec![ModelId(0)]);
+        assert!(!delta.is_empty());
+
+        // Prefix move merging contiguously with the destination's range.
+        let delta =
+            PlacementDelta::new().migrate(ModelId(0), NodeId(0), NodeId(1), LayerRange::new(4, 8));
+        let resolved = delta.resolve(&base).unwrap();
+        assert_eq!(
+            resolved,
+            vec![
+                (ModelId(0), NodeId(0), Some(LayerRange::new(0, 4))),
+                (ModelId(0), NodeId(1), Some(LayerRange::new(4, 16))),
+            ]
+        );
+
+        // Whole-range move clears the source.
+        let delta =
+            PlacementDelta::new().migrate(ModelId(0), NodeId(0), NodeId(3), LayerRange::new(0, 8));
+        let resolved = delta.resolve(&base).unwrap();
+        assert_eq!(resolved[0], (ModelId(0), NodeId(0), None));
+
+        // Interior moves, foreign layers, non-contiguous merges and self
+        // moves are rejected.
+        for bad in [
+            PlacementDelta::new().migrate(ModelId(0), NodeId(0), NodeId(2), LayerRange::new(2, 6)),
+            PlacementDelta::new().migrate(ModelId(0), NodeId(0), NodeId(2), LayerRange::new(6, 10)),
+            PlacementDelta::new().migrate(ModelId(0), NodeId(0), NodeId(1), LayerRange::new(0, 4)),
+            PlacementDelta::new().migrate(ModelId(0), NodeId(0), NodeId(0), LayerRange::new(0, 4)),
+            PlacementDelta::new().migrate(ModelId(0), NodeId(2), NodeId(3), LayerRange::new(0, 4)),
+        ] {
+            assert!(matches!(
+                bad.resolve(&base),
+                Err(HelixError::InvalidMigration { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn kv_transfer_model_prices_pages_and_bytes() {
+        let model = KvTransferModel::new(100.0, 16);
+        assert_eq!(model.pages(0.0), 0);
+        assert_eq!(model.pages(1.0), 1);
+        assert_eq!(model.pages(16.0), 1);
+        assert_eq!(model.pages(17.0), 2);
+        assert_eq!(model.page_bytes(5), 16.0 * 5.0 * 100.0);
+        assert_eq!(model.bytes(17.0, 5), 2.0 * 16.0 * 5.0 * 100.0);
+        assert_eq!(KvTransferModel::transfer_secs(1000.0, 500.0, 0.25), 2.25);
+        // Degenerate inputs stay finite.
+        assert_eq!(KvTransferModel::transfer_secs(-1.0, 0.0, -1.0), 0.0);
+        assert_eq!(KvTransferModel::new(100.0, 0).tokens_per_page, 1);
     }
 
     #[test]

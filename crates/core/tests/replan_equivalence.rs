@@ -166,6 +166,65 @@ fn assert_fleets_identical(replanned: &FleetTopology, scratch: &FleetTopology) {
     }
 }
 
+/// Builds a migration delta from raw proptest picks: each pick tries to move
+/// the prefix or suffix half of some assigned range onto the chain-adjacent
+/// node (skipping picks the placement cannot absorb), returning the delta
+/// and the placement it resolves to.
+fn valid_migration_delta(
+    profiles: &[ClusterProfile],
+    base: &FleetPlacement,
+    picks: &[(usize, usize, bool)],
+) -> (PlacementDelta, FleetPlacement) {
+    let mut delta = PlacementDelta::new();
+    let mut placements = base.placements().to_vec();
+    for &(model_pick, node_pick, suffix) in picks {
+        let m = model_pick % profiles.len();
+        let assigned: Vec<(NodeId, LayerRange)> = placements[m].iter().collect();
+        if assigned.len() < 2 {
+            continue;
+        }
+        let i = node_pick % (assigned.len() - 1);
+        // Move between chain neighbours so the destination merge stays
+        // contiguous: suffix of i onto i+1, or prefix of i+1 onto i.
+        let (from, to, moved) = if suffix {
+            let (from, range) = assigned[i];
+            if range.len() < 2 {
+                continue;
+            }
+            let mid = range.start + range.len() / 2;
+            (from, assigned[i + 1].0, LayerRange::new(mid, range.end))
+        } else {
+            let (from, range) = assigned[i + 1];
+            if range.len() < 2 {
+                continue;
+            }
+            let mid = range.start + range.len() / 2;
+            (from, assigned[i].0, LayerRange::new(range.start, mid))
+        };
+        let candidate_delta = PlacementDelta::new().migrate(ModelId(m), from, to, moved);
+        let Ok(resolved) = candidate_delta.resolve(&FleetPlacement::new(placements.clone())) else {
+            continue;
+        };
+        let mut candidate = placements.clone();
+        for &(model, node, range) in &resolved {
+            match range {
+                Some(r) => candidate[model.index()].assign(node, r),
+                None => candidate[model.index()].clear(node),
+            }
+        }
+        let fleet_candidate = FleetPlacement::new(candidate);
+        if fleet_candidate.validate(profiles).is_err()
+            || !fleet_candidate.placements()[m]
+                .has_complete_pipeline(profiles[m].model().num_layers)
+        {
+            continue;
+        }
+        placements = fleet_candidate.placements().to_vec();
+        delta = delta.migrate(ModelId(m), from, to, moved);
+    }
+    (delta, FleetPlacement::new(placements))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -198,6 +257,41 @@ proptest! {
         fleet.replan(&PlacementDelta::new(), &observed2).unwrap();
         let scratch2 =
             FleetTopology::plan_observed(&profiles, &mutated, true, &observed2).unwrap();
+        assert_fleets_identical(&fleet, &scratch2);
+    }
+
+    /// The migration half of the bit-identity contract: a layer-range
+    /// migration delta (including chained migrations over the already-moved
+    /// placement) replans bit-identically — capacities, flows, KV budgets,
+    /// link splits, IWRR weights — to `plan_observed` of the placement the
+    /// migrations resolve to.
+    #[test]
+    fn migration_replan_is_bit_identical_to_a_cold_plan(
+        picks in prop::collection::vec((0usize..2, 0usize..16, prop::bool::ANY), 1..5),
+        second_picks in prop::collection::vec((0usize..2, 0usize..16, prop::bool::ANY), 0..3),
+        obs_picks in prop::collection::vec((0usize..32, 0usize..2, 0u8..=255), 0..4),
+    ) {
+        let profiles = profiles();
+        let base = half_chain(&profiles);
+        let mut fleet = FleetTopology::plan(&profiles, &base, true).unwrap();
+        let n = profiles[0].cluster().num_nodes();
+
+        // First re-plan: one or more migrations plus an observation snapshot.
+        let (delta, mutated) = valid_migration_delta(&profiles, &base, &picks);
+        let observed = observations(&obs_picks, n, 2);
+        let outcome = fleet.replan(&delta, &observed).unwrap();
+        prop_assert_eq!(fleet.placement(), &mutated);
+        prop_assert_eq!(outcome.migrations.len(), delta.migrations().len());
+        let scratch = FleetTopology::plan_observed(&profiles, &mutated, true, &observed).unwrap();
+        assert_fleets_identical(&fleet, &scratch);
+
+        // Chained migrations: a second migration delta resolved against the
+        // *already migrated* placement must not drift either.
+        let (delta2, mutated2) = valid_migration_delta(&profiles, &mutated, &second_picks);
+        fleet.replan(&delta2, &observed).unwrap();
+        prop_assert_eq!(fleet.placement(), &mutated2);
+        let scratch2 =
+            FleetTopology::plan_observed(&profiles, &mutated2, true, &observed).unwrap();
         assert_fleets_identical(&fleet, &scratch2);
     }
 }

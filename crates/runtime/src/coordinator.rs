@@ -36,8 +36,8 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use helix_cluster::{ModelId, NodeId, TOKEN_WIRE_BYTES};
 use helix_core::{
     ClusterState, EngineCounters, FleetTopology, HelixError, IwrrScheduler, KvCacheEstimator,
-    NodeObservations, ObservationWindows, PlacementDelta, ReplanPolicy, ReplanReason, ReplanRecord,
-    RequestPipeline, Scheduler,
+    KvMigration, KvTransferRecord, NodeObservations, ObservationWindows, PlacementDelta,
+    ReplanPolicy, ReplanReason, ReplanRecord, RequestPipeline, Scheduler,
 };
 use helix_workload::{Request, RequestId, Workload};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -172,6 +172,18 @@ pub(crate) struct Coordinator {
     control: ControlState,
     /// Workers the plan dropped, awaiting their in-flight pipelines to drain.
     pending_retire: HashSet<WorkerKey>,
+    /// KV hand-overs in flight, with the virtual time each freeze began.
+    /// Drains wait for these; each resolves on the matching `KvInstalled`.
+    pending_migrations: Vec<(KvMigration, f64)>,
+    /// Freeze refcount per worker: overlapping hand-overs sharing an
+    /// endpoint send `Resume` only when the endpoint's last transfer lands.
+    frozen: HashMap<WorkerKey, usize>,
+    /// Re-route deferred until a model's last pending transfer lands: the
+    /// re-planned scheduler to install then (freeze → transfer → re-route →
+    /// resume).
+    deferred_swaps: HashMap<usize, Box<dyn Scheduler>>,
+    /// Completed KV hand-overs, for the final report.
+    kv_transfers: Vec<KvTransferRecord>,
     /// Live-mode completion stream (None in batch mode).
     completions: Option<Sender<RequestOutcome>>,
 }
@@ -203,6 +215,10 @@ impl Coordinator {
                 replans: Vec::new(),
             },
             pending_retire: HashSet::new(),
+            pending_migrations: Vec::new(),
+            frozen: HashMap::new(),
+            deferred_swaps: HashMap::new(),
+            kv_transfers: Vec::new(),
             completions: None,
         }
     }
@@ -210,6 +226,11 @@ impl Coordinator {
     /// The re-plans the run applied (empty when none fired).
     pub(crate) fn take_replans(&mut self) -> Vec<ReplanRecord> {
         std::mem::take(&mut self.control.replans)
+    }
+
+    /// The KV hand-overs the run completed (empty when none migrated).
+    pub(crate) fn take_kv_transfers(&mut self) -> Vec<KvTransferRecord> {
+        std::mem::take(&mut self.kv_transfers)
     }
 
     /// Serves the whole workload, returning one outcome per request in
@@ -373,8 +394,15 @@ impl Coordinator {
                 });
             }
 
-            // 5. Acknowledge drains once everything in sight completed.
-            if draining && pending.is_empty() && deferred.is_empty() && self.in_flight.is_empty() {
+            // 5. Acknowledge drains once everything in sight completed —
+            // including any KV hand-over still in flight (its frozen workers
+            // resume before the drain resolves).
+            if draining
+                && pending.is_empty()
+                && deferred.is_empty()
+                && self.in_flight.is_empty()
+                && self.pending_migrations.is_empty()
+            {
                 for ack in drain_acks.drain(..) {
                     let _ = ack.send(());
                 }
@@ -481,35 +509,39 @@ impl Coordinator {
             Ok(outcome) => outcome,
             Err(_) => return false,
         };
+        let mut new_schedulers: Vec<(ModelId, Box<dyn Scheduler>)> = Vec::new();
         for &model in &outcome.affected {
             let topology = self
                 .control
                 .fleet
                 .model(model)
                 .expect("affected model exists");
-            // Hand-over step 1: new IWRR weights for new requests.  A model
-            // whose re-planned flow is zero keeps its old scheduler
-            // (serving degraded beats serving nothing).
+            // Hand-over step 1: build the new IWRR weights for new requests.
+            // A model whose re-planned flow is zero keeps its old scheduler
+            // (serving degraded beats serving nothing).  Installation is
+            // deferred past any KV transfer the delta owes this model
+            // (freeze → transfer → re-route → resume).
             if let Ok(scheduler) = IwrrScheduler::from_topology(topology) {
-                self.schedulers[model.index()] = Box::new(scheduler);
+                new_schedulers.push((model, Box::new(scheduler)));
             }
             // Hand-over step 2: re-derived KV budgets, and dynamic
             // membership — a tenancy the delta added gets a live worker on
-            // the spot, routable through the fabric immediately.
+            // the spot, routable through the fabric immediately (a migration
+            // destination must exist before the pages can land).  New
+            // workers execute at the analytic contention split; measured
+            // speed factors re-price planning, not execution.
+            let planned: Vec<(NodeId, String, usize, f64)> = topology
+                .nodes()
+                .map(|n| (n.node, n.name.clone(), n.layers.len(), n.kv_capacity_tokens))
+                .collect();
+            let contention = self.control.fleet.contention_profile(model);
             let mut planned_nodes: HashSet<NodeId> = HashSet::new();
-            for planned in topology.nodes() {
-                planned_nodes.insert(planned.node);
-                self.estimators[model.index()]
-                    .set_capacity(planned.node, planned.kv_capacity_tokens);
-                self.pending_retire.remove(&(planned.node, model));
-                self.spawner.spawn(
-                    topology.profile(),
-                    planned.node,
-                    model,
-                    &planned.name,
-                    planned.layers.len(),
-                    planned.kv_capacity_tokens,
-                );
+            for (node, name, layers, kv_capacity_tokens) in planned {
+                planned_nodes.insert(node);
+                self.estimators[model.index()].set_capacity(node, kv_capacity_tokens);
+                self.pending_retire.remove(&(node, model));
+                self.spawner
+                    .spawn(&contention, node, model, &name, layers, kv_capacity_tokens);
             }
             // Hand-over step 3: pairs the plan no longer includes keep
             // serving their in-flight pipelines and are detached once those
@@ -518,6 +550,45 @@ impl Coordinator {
                 if !planned_nodes.contains(&key.0) {
                     self.pending_retire.insert(key);
                 }
+            }
+        }
+        // Hand-over step 4: initiate each migration's KV transfer — freeze
+        // both ends (refcounted, so overlapping hand-overs sharing an
+        // endpoint thaw only when the last one lands), then ask the source
+        // to extract its pool through the fabric (the pages queue behind
+        // activation traffic on the `from → to` link).  `KvInstalled`
+        // re-routes and resumes.
+        let mut migrating: HashSet<ModelId> = HashSet::new();
+        for &migration in &outcome.migrations {
+            let KvMigration {
+                model,
+                from,
+                to,
+                layers,
+            } = migration;
+            let Some(source) = self.registry.route((from, model)) else {
+                continue;
+            };
+            self.freeze_endpoint((from, model));
+            self.freeze_endpoint((to, model));
+            let kv_bytes_per_token_per_layer = self.control.fleet.profiles()[model.index()]
+                .model()
+                .kv_bytes_per_token_per_layer();
+            let _ = source.send(RuntimeMsg::KvExtract {
+                to,
+                layers,
+                kv_bytes_per_token_per_layer,
+            });
+            self.pending_migrations.push((migration, now));
+            migrating.insert(model);
+        }
+        // Re-route: models with a transfer in flight get their scheduler on
+        // `KvInstalled`; everyone else switches immediately.
+        for (model, scheduler) in new_schedulers {
+            if migrating.contains(&model) {
+                self.deferred_swaps.insert(model.index(), scheduler);
+            } else {
+                self.schedulers[model.index()] = scheduler;
             }
         }
         self.sweep_retirements();
@@ -647,7 +718,19 @@ impl Coordinator {
             emitted_at,
         } = msg
         else {
-            // Work/Release/Shutdown are worker-bound; nothing to do here.
+            if let RuntimeMsg::KvInstalled {
+                model,
+                from,
+                to,
+                layers,
+                tokens,
+                pages,
+                bytes,
+            } = msg
+            {
+                self.finish_migration(model, from, to, layers, tokens, pages, bytes);
+            }
+            // Work/Release/Shutdown are worker-bound; nothing else to do.
             return Ok(());
         };
         let Some(flight) = self.in_flight.get_mut(&request) else {
@@ -684,6 +767,87 @@ impl Coordinator {
                 }),
             })
         }
+    }
+
+    /// Raises one endpoint's freeze refcount, sending `Freeze` on the first
+    /// raise (overlapping hand-overs share a single frozen state).
+    fn freeze_endpoint(&mut self, key: WorkerKey) {
+        let count = self.frozen.entry(key).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            if let Some(tx) = self.registry.route(key) {
+                let _ = tx.send(RuntimeMsg::Freeze);
+            }
+        }
+    }
+
+    /// Lowers one endpoint's freeze refcount, resuming the worker when its
+    /// last pending hand-over landed.
+    fn thaw_endpoint(&mut self, key: WorkerKey) {
+        let Some(count) = self.frozen.get_mut(&key) else {
+            return;
+        };
+        *count = count.saturating_sub(1);
+        if *count == 0 {
+            self.frozen.remove(&key);
+            if let Some(tx) = self.registry.route(key) {
+                let _ = tx.send(RuntimeMsg::Resume);
+            }
+        }
+    }
+
+    /// Completes one KV hand-over: records the transfer, installs the
+    /// deferred scheduler once the model's last pending transfer landed
+    /// (re-route), and thaws the two ends (refcounted, so an endpoint with
+    /// another hand-over still in flight stays frozen).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_migration(
+        &mut self,
+        model: ModelId,
+        from: NodeId,
+        to: NodeId,
+        layers: helix_core::LayerRange,
+        tokens: u64,
+        pages: u64,
+        bytes: f64,
+    ) {
+        let now = self.clock.now();
+        let migration = KvMigration {
+            model,
+            from,
+            to,
+            layers,
+        };
+        // Resolve the exact pending entry this `KvInstalled` acknowledges
+        // (a migration is unique by (model, from, to, layers) at any time:
+        // resolution would reject re-moving layers the source gave up).
+        let Some(position) = self
+            .pending_migrations
+            .iter()
+            .position(|&(pending, _)| pending == migration)
+        else {
+            return;
+        };
+        let (_, started) = self.pending_migrations.remove(position);
+        self.kv_transfers.push(KvTransferRecord {
+            at: now,
+            migration,
+            tokens: tokens as f64,
+            pages,
+            bytes,
+            transfer_secs: (now - started).max(0.0),
+        });
+        if !self
+            .pending_migrations
+            .iter()
+            .any(|&(pending, _)| pending.model == model)
+        {
+            if let Some(scheduler) = self.deferred_swaps.remove(&model.index()) {
+                self.schedulers[model.index()] = scheduler;
+            }
+        }
+        self.thaw_endpoint((from, model));
+        self.thaw_endpoint((to, model));
     }
 
     /// Completes a request: records its outcome, updates the estimator and

@@ -186,6 +186,32 @@ impl PagedKvPool {
         }
     }
 
+    /// The per-request residency snapshot (request → cached tokens), sorted
+    /// by request id — the payload of a KV hand-over.
+    pub fn snapshot(&self) -> Vec<(RequestId, usize)> {
+        let mut entries: Vec<(RequestId, usize)> = self
+            .allocations
+            .iter()
+            .map(|(&request, allocation)| (request, allocation.tokens))
+            .collect();
+        entries.sort_by_key(|&(request, _)| request);
+        entries
+    }
+
+    /// Seeds migrated KV state: tops the request's residency up to at least
+    /// `tokens` cached tokens.  Residency counts the request's cached
+    /// *sequence* tokens — the same count on every node holding layers for
+    /// it — so a request this pool already serves merges instead of
+    /// double-allocating.  A pool too small for the incoming state counts
+    /// the overflow as a rejection (modelled host-memory offload) but the
+    /// hand-over still completes — migrated requests are never dropped.
+    pub fn seed(&mut self, request: RequestId, tokens: usize) {
+        let have = self.tokens_of(request);
+        if tokens > have {
+            let _ = self.append_tokens(request, tokens - have);
+        }
+    }
+
     /// Tokens currently cached for one request.
     pub fn tokens_of(&self, request: RequestId) -> usize {
         self.allocations

@@ -9,7 +9,7 @@
 //! generated token to the coordinator.
 
 use helix_cluster::{ModelId, NodeId};
-use helix_core::RequestPipeline;
+use helix_core::{LayerRange, RequestPipeline};
 use helix_workload::RequestId;
 use std::sync::Arc;
 
@@ -97,6 +97,62 @@ pub enum RuntimeMsg {
     /// coordinator's re-plan loop reacts to the measurement, never to the
     /// injected value itself.
     SetSpeed(f64),
+    /// Freeze the worker: work keeps queueing but no batch executes until
+    /// [`RuntimeMsg::Resume`] — the freeze half of a KV hand-over, sent by
+    /// the coordinator to both ends of a migration.
+    Freeze,
+    /// Resume executing after a freeze (the hand-over's transfer landed).
+    Resume,
+    /// Coordinator → migration source: snapshot the KV pool and ship it to
+    /// `to` through the fabric.  The worker prices the transfer with the
+    /// shared [`KvTransferModel`](helix_core::KvTransferModel) — the same
+    /// page-granular model the simulator uses — from the model's KV
+    /// geometry, the moved layer count and its own pool's page size.
+    KvExtract {
+        /// The destination node.
+        to: NodeId,
+        /// The migrated layer sub-range.
+        layers: LayerRange,
+        /// KV bytes one cached token occupies per model layer.
+        kv_bytes_per_token_per_layer: f64,
+    },
+    /// Migration source → destination, through the fabric with the envelope
+    /// sized at the real transfer bytes (so the KV pages queue behind
+    /// activation traffic on the `from → to` link): install the migrated KV
+    /// residency.
+    KvInstall {
+        /// The source node.
+        from: NodeId,
+        /// The migrated layer sub-range.
+        layers: LayerRange,
+        /// Per-request cached token counts being handed over.
+        entries: Vec<(RequestId, usize)>,
+        /// Total tokens moved.
+        tokens: u64,
+        /// KV pages moved.
+        pages: u64,
+        /// Bytes shipped (pages × page size).
+        bytes: f64,
+    },
+    /// Migration destination → coordinator: the migrated state is installed;
+    /// the coordinator re-routes (installs the deferred scheduler) and sends
+    /// [`RuntimeMsg::Resume`] to both ends.
+    KvInstalled {
+        /// The migrated model.
+        model: ModelId,
+        /// The source node.
+        from: NodeId,
+        /// The destination node.
+        to: NodeId,
+        /// The migrated layer sub-range.
+        layers: LayerRange,
+        /// Total tokens moved.
+        tokens: u64,
+        /// KV pages moved.
+        pages: u64,
+        /// Bytes shipped.
+        bytes: f64,
+    },
     /// Stop processing after draining pending work.
     Shutdown,
 }

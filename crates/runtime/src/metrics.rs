@@ -7,7 +7,7 @@
 
 use crate::fabric::LinkTraffic;
 use helix_cluster::{ModelId, NodeId};
-use helix_core::ReplanRecord;
+use helix_core::{KvTransferRecord, ReplanRecord};
 use helix_workload::RequestId;
 use serde::Serialize;
 
@@ -169,6 +169,9 @@ pub struct RuntimeReport {
     /// Every online re-plan the coordinator applied, in order (empty for a
     /// statically planned run).
     pub replans: Vec<ReplanRecord>,
+    /// Every KV hand-over a partial-layer migration performed, in completion
+    /// order (freeze → transfer → re-route → resume, per transfer).
+    pub kv_transfers: Vec<KvTransferRecord>,
 }
 
 impl RuntimeReport {
@@ -316,6 +319,7 @@ mod tests {
             ],
             makespan: 10.0,
             wall_seconds: 0.1,
+            kv_transfers: vec![],
             nodes: vec![],
             links: vec![
                 LinkReport {

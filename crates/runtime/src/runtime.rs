@@ -19,8 +19,8 @@ use crossbeam::channel::{unbounded, Sender};
 use helix_cluster::{ModelId, NodeId};
 use helix_core::exec_model::{DEFAULT_TOKENS_PER_PAGE, KV_OVERFLOW_PENALTY};
 use helix_core::{
-    FleetScheduler, FleetTopology, HelixError, KvCacheEstimator, ReplanPolicy, ReplanRecord,
-    Scheduler, Topology,
+    FleetScheduler, FleetTopology, HelixError, KvCacheEstimator, KvTransferRecord, ReplanPolicy,
+    ReplanRecord, Scheduler, Topology,
 };
 use helix_workload::Workload;
 use std::sync::Arc;
@@ -157,12 +157,16 @@ impl Wired {
         let mut estimators = Vec::with_capacity(fleet.num_models());
         for (m, topology) in fleet.topologies().iter().enumerate() {
             let model = ModelId(m);
-            let profile = topology.profile();
-            let mut estimator = KvCacheEstimator::new(profile, config.initial_avg_output_tokens);
+            // Workers execute at the analytic contention split (identical to
+            // the planning profile when the fleet was planned without
+            // observations); measured speed factors re-price planning only.
+            let contention = fleet.contention_profile(model);
+            let mut estimator =
+                KvCacheEstimator::new(topology.profile(), config.initial_avg_output_tokens);
             for planned in topology.nodes() {
                 estimator.set_capacity(planned.node, planned.kv_capacity_tokens);
                 spawner.spawn(
-                    profile,
+                    &contention,
                     planned.node,
                     model,
                     &planned.name,
@@ -205,6 +209,7 @@ impl Wired {
         mut self,
         outcome: Result<Vec<RequestOutcome>, RuntimeError>,
         replans: Vec<ReplanRecord>,
+        kv_transfers: Vec<KvTransferRecord>,
     ) -> Result<RuntimeReport, RuntimeError> {
         self.registry.shutdown_all();
         drop(self.coordinator.take());
@@ -265,6 +270,7 @@ impl Wired {
             nodes,
             links,
             replans,
+            kv_transfers,
         })
     }
 }

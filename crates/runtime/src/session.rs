@@ -22,14 +22,18 @@ use crate::metrics::{RequestOutcome, RuntimeReport};
 use crate::runtime::Wired;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use helix_cluster::{ModelId, NodeId};
-use helix_core::{PlacementDelta, ReplanRecord};
+use helix_core::{KvTransferRecord, PlacementDelta, ReplanRecord};
 use helix_workload::{Request, TicketId, Workload};
 use std::collections::VecDeque;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// What the coordinator thread hands back when the live loop ends.
-type LiveResult = (Result<Vec<RequestOutcome>, RuntimeError>, Vec<ReplanRecord>);
+type LiveResult = (
+    Result<Vec<RequestOutcome>, RuntimeError>,
+    Vec<ReplanRecord>,
+    Vec<KvTransferRecord>,
+);
 
 /// The live half of a session: channels to the coordinator thread.
 struct Live {
@@ -115,7 +119,8 @@ impl ServingSession {
             .spawn(move || {
                 let result = coordinator.run_live(control_rx, completion_tx);
                 let replans = coordinator.take_replans();
-                (result, replans)
+                let kv_transfers = coordinator.take_kv_transfers();
+                (result, replans, kv_transfers)
             })
             .expect("spawning the coordinator thread never fails");
         self.live = Some(Live {
@@ -263,6 +268,7 @@ impl ServingSession {
             return self.wired.shutdown_and_report(
                 Err(RuntimeError::Disconnected("serving session")),
                 Vec::new(),
+                Vec::new(),
             );
         }
         match self.live.take() {
@@ -270,16 +276,20 @@ impl ServingSession {
                 let _ = live.control_tx.send(SessionControl::Finish);
                 let _ = self.wired.wake_tx.send(CoordinatorMsg::Wake);
                 drop(live.control_tx);
-                let (result, replans) = match live.handle.join() {
+                let (result, replans, kv_transfers) = match live.handle.join() {
                     Ok(result) => result,
                     Err(_) => (
                         Err(RuntimeError::Disconnected("serving session")),
                         Vec::new(),
+                        Vec::new(),
                     ),
                 };
-                self.wired.shutdown_and_report(result, replans)
+                self.wired
+                    .shutdown_and_report(result, replans, kv_transfers)
             }
-            None => self.wired.shutdown_and_report(Ok(Vec::new()), Vec::new()),
+            None => self
+                .wired
+                .shutdown_and_report(Ok(Vec::new()), Vec::new(), Vec::new()),
         }
     }
 
@@ -305,8 +315,11 @@ impl ServingSession {
                 .expect("coordinator present until the session goes live");
             let outcome = coordinator.run(workload);
             let replans = coordinator.take_replans();
+            let kv_transfers = coordinator.take_kv_transfers();
             drop(coordinator);
-            return self.wired.shutdown_and_report(outcome, replans);
+            return self
+                .wired
+                .shutdown_and_report(outcome, replans, kv_transfers);
         }
         for request in workload.requests() {
             self.submit(*request);
@@ -329,7 +342,7 @@ impl ServingSession {
         };
         drop(live.control_tx);
         match live.handle.join() {
-            Ok((Err(e), _)) => e,
+            Ok((Err(e), _, _)) => e,
             _ => RuntimeError::Disconnected("serving session"),
         }
     }

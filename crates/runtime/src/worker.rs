@@ -103,6 +103,9 @@ struct Worker {
     kv: PagedKvPool,
     pending: Vec<StageWork>,
     shutdown: bool,
+    /// Frozen for a KV hand-over: work queues but no batch executes until
+    /// `Resume` (shutdown overrides a freeze so teardown never hangs).
+    frozen: bool,
     /// Hardware speed multiplier on batch duration (1.0 = nominal).
     slowdown: f64,
     window_start: f64,
@@ -133,6 +136,7 @@ impl Worker {
             kv,
             pending: Vec::new(),
             shutdown: false,
+            frozen: false,
             slowdown: 1.0,
             window_start: 0.0,
             window_decode_tokens: 0,
@@ -141,8 +145,9 @@ impl Worker {
 
     fn run(&mut self) {
         loop {
-            if self.pending.is_empty() && !self.shutdown {
-                // Idle: block until something arrives.
+            if (self.pending.is_empty() || self.frozen) && !self.shutdown {
+                // Idle (or frozen mid-hand-over): block until something
+                // arrives — a freeze only thaws on `Resume` or shutdown.
                 match self.inbound.recv() {
                     Ok(msg) => self.handle(msg),
                     Err(_) => break,
@@ -152,6 +157,9 @@ impl Worker {
             // next batch.
             while let Ok(msg) = self.inbound.try_recv() {
                 self.handle(msg);
+            }
+            if self.frozen && !self.shutdown {
+                continue;
             }
             if self.pending.is_empty() {
                 if self.shutdown {
@@ -181,11 +189,93 @@ impl Worker {
             RuntimeMsg::SetSpeed(factor) => {
                 self.slowdown = factor.max(1e-6);
             }
+            RuntimeMsg::Freeze => {
+                self.frozen = true;
+            }
+            RuntimeMsg::Resume => {
+                self.frozen = false;
+            }
+            RuntimeMsg::KvExtract {
+                to,
+                layers,
+                kv_bytes_per_token_per_layer,
+            } => {
+                self.extract_kv(to, layers, kv_bytes_per_token_per_layer);
+            }
+            RuntimeMsg::KvInstall {
+                from,
+                layers,
+                entries,
+                tokens,
+                pages,
+                bytes,
+            } => {
+                for &(request, tokens) in &entries {
+                    self.kv.seed(request, tokens);
+                }
+                // Tell the coordinator the hand-over landed so it can
+                // re-route and resume both ends.
+                let _ = self.fabric.send(Envelope {
+                    from: Some(self.config.node),
+                    to: None,
+                    model: self.config.model,
+                    bytes: TOKEN_WIRE_BYTES,
+                    msg: RuntimeMsg::KvInstalled {
+                        model: self.config.model,
+                        from,
+                        to: self.config.node,
+                        layers,
+                        tokens,
+                        pages,
+                        bytes,
+                    },
+                });
+            }
+            RuntimeMsg::KvInstalled { .. } => {
+                // Only the coordinator consumes these; ignore defensively.
+            }
             RuntimeMsg::Shutdown => {
                 self.shutdown = true;
             }
         }
         self.publish_stats();
+    }
+
+    /// The source half of a KV hand-over: snapshot the pool's residency,
+    /// price the transfer with the shared [`KvTransferModel`] (identical to
+    /// the simulator's pricing) and ship it to the destination through the
+    /// fabric (the envelope's byte count makes the pages queue behind
+    /// activation traffic on the inter-node link).
+    ///
+    /// [`KvTransferModel`]: helix_core::KvTransferModel
+    fn extract_kv(
+        &mut self,
+        to: NodeId,
+        layers: helix_core::LayerRange,
+        kv_bytes_per_token_per_layer: f64,
+    ) {
+        let entries = self.kv.snapshot();
+        let tokens: u64 = entries.iter().map(|&(_, t)| t as u64).sum();
+        let transfer = helix_core::KvTransferModel::new(
+            kv_bytes_per_token_per_layer,
+            self.kv.tokens_per_page(),
+        );
+        let pages = transfer.pages(tokens as f64);
+        let bytes = transfer.bytes(tokens as f64, layers.len());
+        let _ = self.fabric.send(Envelope {
+            from: Some(self.config.node),
+            to: Some(to),
+            model: self.config.model,
+            bytes,
+            msg: RuntimeMsg::KvInstall {
+                from: self.config.node,
+                layers,
+                entries,
+                tokens,
+                pages,
+                bytes,
+            },
+        });
     }
 
     fn execute_batch(&mut self, batch: Vec<StageWork>) {

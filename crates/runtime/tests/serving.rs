@@ -704,3 +704,175 @@ proptest! {
         prop_assert_eq!(pool.used_tokens(), 0.0);
     }
 }
+
+/// A chain placement (disjoint, contiguous ranges, each node taking half its
+/// VRAM capacity) so a suffix of one node's range can migrate onto the next
+/// node in the chain and merge contiguously.
+fn chain_placement(profile: &ClusterProfile) -> helix_core::ModelPlacement {
+    let cluster = profile.cluster();
+    let mut placement = helix_core::ModelPlacement::empty(cluster.num_nodes());
+    let num_layers = profile.model().num_layers;
+    let mut start = 0usize;
+    for id in cluster.node_ids() {
+        if start >= num_layers {
+            break;
+        }
+        let take = (profile.node_profile(id).max_layers / 2)
+            .max(1)
+            .min(num_layers - start);
+        placement.assign(id, LayerRange::new(start, start + take));
+        start += take;
+    }
+    assert!(placement.has_complete_pipeline(num_layers));
+    placement
+}
+
+/// The tentpole's runtime-side acceptance test: a mid-run migration of a
+/// layer sub-range hands its KV pages over through the fabric — the
+/// coordinator sequences freeze → transfer → re-route → resume — and no
+/// in-flight pipeline is dropped.
+#[test]
+fn partial_layer_migration_hands_kv_over_without_dropping_pipelines() {
+    use helix_core::ReplanReason;
+    // The smaller model: a half-capacity chain over the 10-node cluster
+    // covers all of its layers with headroom for the migrated merge.
+    let profile =
+        ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_13b());
+    let placement = chain_placement(&profile);
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    // Migrate the suffix half of the first chain node's range onto its
+    // successor (validated against the profile up front).
+    let assigned: Vec<(helix_cluster::NodeId, LayerRange)> = placement.iter().collect();
+    let (from, to, moved) = assigned
+        .windows(2)
+        .find_map(|w| {
+            let (from, range) = w[0];
+            let (to, to_range) = w[1];
+            if range.len() < 2 {
+                return None;
+            }
+            let mid = range.start + range.len() / 2;
+            let mut mutated = placement.clone();
+            mutated.assign(from, LayerRange::new(range.start, mid));
+            mutated.assign(to, LayerRange::new(mid, to_range.end));
+            (mutated.validate(&profile).is_ok()
+                && mutated.has_complete_pipeline(profile.model().num_layers))
+            .then_some((from, to, LayerRange::new(mid, range.end)))
+        })
+        .expect("some adjacent pair is migratable");
+
+    let mut session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig::fast_test())
+        .build()
+        .unwrap();
+    let tickets: Vec<_> = small_workload(40, 24, 3)
+        .requests()
+        .iter()
+        .map(|r| session.submit(*r))
+        .collect();
+    // Mid-run: move the layers (and their KV pages) while pipelines fly.
+    session.apply_placement_delta(PlacementDelta::new().migrate(ModelId(0), from, to, moved));
+    for ticket in tickets {
+        session.wait_completion(ticket).unwrap();
+    }
+    let report = session.finish().unwrap();
+
+    assert_eq!(report.completed(), 40, "no in-flight pipeline dropped");
+    assert_eq!(report.replans.len(), 1, "the migration re-planned once");
+    assert!(matches!(report.replans[0].reason, ReplanReason::Manual));
+    assert_eq!(report.kv_transfers.len(), 1, "one KV hand-over completed");
+    let transfer = &report.kv_transfers[0];
+    assert_eq!(transfer.migration.model, ModelId(0));
+    assert_eq!(transfer.migration.from, from);
+    assert_eq!(transfer.migration.to, to);
+    assert_eq!(transfer.migration.layers, moved);
+    assert!(transfer.transfer_secs >= 0.0);
+    // Pages ship at page granularity with the shared pricing model: bytes
+    // are exactly pages × page size for the moved layer count.
+    let pricing = helix_core::KvTransferModel::new(
+        profile.model().kv_bytes_per_token_per_layer(),
+        helix_core::exec_model::DEFAULT_TOKENS_PER_PAGE,
+    );
+    assert_eq!(
+        transfer.bytes,
+        transfer.pages as f64 * pricing.page_bytes(moved.len())
+    );
+    // The destination keeps serving after the hand-over: its worker reports
+    // the merged layer count.
+    let dest = report
+        .nodes
+        .iter()
+        .find(|n| n.node == to)
+        .expect("destination worker reports");
+    assert!(dest.batches > 0, "the destination served traffic");
+}
+
+/// PR 4 edge cases now under test: the wall budget bounds each completion
+/// wait (a ticket that never completes times out instead of hanging), a
+/// drain that cannot finish inside the budget surfaces the typed error, and
+/// finishing after a failed drain tears down cleanly instead of hanging —
+/// repeated drains on a healthy session stay idempotent.
+#[test]
+fn wall_budgets_bound_waits_and_drains_and_finish_after_failure_is_clean() {
+    let profile = profile();
+    let topology = swarm_topology(&profile);
+
+    // 1. A bogus ticket can never complete: wait_completion returns the
+    // budget error after max_wall instead of spinning forever, and the
+    // session keeps serving afterwards (repeated drains included).
+    let mut session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig {
+            max_wall: std::time::Duration::from_millis(200),
+            ..RuntimeConfig::fast_test()
+        })
+        .build()
+        .unwrap();
+    let ticket = session.submit(Request {
+        id: 1,
+        prompt_tokens: 16,
+        output_tokens: 2,
+        arrival_time: 0.0,
+        model: ModelId(0),
+    });
+    session.wait_completion(ticket).unwrap();
+    let err = session
+        .wait_completion(helix_workload::TicketId(999))
+        .unwrap_err();
+    assert!(
+        matches!(err, RuntimeError::WallClockBudgetExceeded { .. }),
+        "got {err}"
+    );
+    session.drain().unwrap();
+    session.drain().unwrap(); // draining twice is harmless
+    let report = session.finish().unwrap();
+    assert_eq!(report.completed(), 1);
+
+    // 2. A request whose arrival time never comes wedges the drain: the
+    // budget expires mid-drain with the typed error, and finish() after the
+    // failed drain still tears the data plane down cleanly (the "double
+    // finish" path: coordinator_died already joined the thread once).
+    let mut session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig {
+            max_wall: std::time::Duration::from_millis(200),
+            ..RuntimeConfig::fast_test()
+        })
+        .build()
+        .unwrap();
+    session.submit(Request {
+        id: 7,
+        prompt_tokens: 16,
+        output_tokens: 2,
+        arrival_time: 1e9, // never admitted inside the budget
+        model: ModelId(0),
+    });
+    let err = session.drain().unwrap_err();
+    assert!(
+        matches!(err, RuntimeError::WallClockBudgetExceeded { .. }),
+        "got {err}"
+    );
+    let err = session.finish().unwrap_err();
+    assert!(matches!(err, RuntimeError::Disconnected(_)), "got {err}");
+}

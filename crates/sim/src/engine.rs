@@ -34,6 +34,9 @@ pub struct NodeEngine {
     slowdown: f64,
     /// Whether the node failed (a failed engine starts no further batches).
     failed: bool,
+    /// No batch starts before this time — the freeze half of a KV hand-over
+    /// (work keeps queueing; an `EngineThaw` event restarts batching).
+    frozen_until: SimTime,
     /// Cumulative busy time (for utilisation), including perturbations.
     pub busy_seconds: f64,
     /// Busy time the cost model *predicted* for the executed batches.  The
@@ -63,6 +66,7 @@ impl NodeEngine {
             in_flight: Vec::new(),
             slowdown: 1.0,
             failed: false,
+            frozen_until: 0.0,
             busy_seconds: 0.0,
             nominal_busy_seconds: 0.0,
             tokens_processed: 0,
@@ -123,12 +127,79 @@ impl NodeEngine {
         self.failed
     }
 
-    /// Re-plans can move layers or re-partition a shared node's KV pool;
-    /// the drain/hand-over protocol updates the standing engine in place so
-    /// in-flight batches and cached tokens survive the switch.
-    pub fn update_plan(&mut self, layers_held: usize, kv_capacity_tokens: f64) {
+    /// Re-plans can move layers, re-partition a shared node's KV pool *and
+    /// re-split its compute* between tenants; the drain/hand-over protocol
+    /// updates the standing engine in place so in-flight batches and cached
+    /// tokens survive the switch.  The execution cost model is rebuilt from
+    /// the re-planned (share-scaled) node profile, so a surviving engine
+    /// prices its batches exactly like a freshly created one would — the
+    /// analytic contention split applies to live engines, not only to
+    /// engines created after the re-plan.
+    pub fn update_plan(
+        &mut self,
+        profile: &NodeProfile,
+        layers_held: usize,
+        kv_capacity_tokens: f64,
+    ) {
         self.layers_held = layers_held;
         self.kv_capacity_tokens = kv_capacity_tokens;
+        self.exec = ExecModel::new(profile);
+    }
+
+    /// The execution cost model the engine currently prices batches with.
+    pub fn exec_model(&self) -> &ExecModel {
+        &self.exec
+    }
+
+    /// Freezes the engine until `until`: no new batch starts before then
+    /// (the freeze half of a KV hand-over; queued work waits).
+    pub fn freeze_until(&mut self, until: SimTime) {
+        self.frozen_until = self.frozen_until.max(until);
+    }
+
+    /// Whether the engine is frozen at `now`.
+    pub fn is_frozen(&self, now: SimTime) -> bool {
+        now < self.frozen_until
+    }
+
+    /// The KV residency snapshot (request → cached tokens), sorted by
+    /// request id for deterministic iteration — the payload of a KV
+    /// hand-over.
+    pub fn kv_snapshot(&self) -> Vec<(RequestId, f64)> {
+        let mut entries: Vec<(RequestId, f64)> = self
+            .kv_resident
+            .iter()
+            .map(|(&request, &tokens)| (request, tokens))
+            .collect();
+        entries.sort_by_key(|&(request, _)| request);
+        entries
+    }
+
+    /// Seeds migrated KV state: the destination engine now caches at least
+    /// `tokens` tokens for `request` on its layers.  Residency counts the
+    /// request's cached *sequence* tokens (the same count on every node that
+    /// holds layers for it), so an already-resident request merges by `max`
+    /// — adding would double-count a sequence both nodes were serving.
+    pub fn seed_kv(&mut self, request: RequestId, tokens: f64) {
+        let entry = self.kv_resident.entry(request).or_insert(0.0);
+        *entry = entry.max(tokens);
+    }
+
+    /// Drops all cached KV state — the source side of a whole-range
+    /// migration (its pages now live on the destination).
+    pub fn clear_kv(&mut self) {
+        self.kv_resident.clear();
+    }
+
+    /// Starts a new timeline epoch: timeline-relative state (freeze deadline,
+    /// throughput window marks) resets while cumulative counters survive.
+    /// Called between session drains, whose event timelines each restart at
+    /// zero — a stale freeze deadline would wedge the engine for the length
+    /// of the previous batch.
+    pub fn rebase_epoch(&mut self) {
+        self.frozen_until = 0.0;
+        self.window_start = 0.0;
+        self.window_tokens = 0;
     }
 
     /// Drops every pending work item of `request` and frees its KV cache —
@@ -146,7 +217,7 @@ impl NodeEngine {
     /// Starts a batch if the node is idle and work is pending.  Returns the
     /// completion time of the batch, or `None` if no batch was started.
     pub fn try_start_batch(&mut self, now: SimTime) -> Option<SimTime> {
-        if self.busy || self.failed || self.pending.is_empty() {
+        if self.busy || self.failed || self.is_frozen(now) || self.pending.is_empty() {
             return None;
         }
         let batch: Vec<WorkItem> = std::mem::take(&mut self.pending);

@@ -75,6 +75,24 @@ pub enum PerturbationEvent {
         /// Rate multiplier applied to subsequent inter-arrival gaps.
         factor: f64,
     },
+    /// A partial-layer migration: `layers` of `model` move from `from` to
+    /// `to` together with their KV state.  The fleet re-plans with the
+    /// equivalent placement delta, the KV pages travel over the `from → to`
+    /// link as modelled traffic, and both engines are frozen until the
+    /// transfer lands (freeze → transfer → re-route → resume); in-flight
+    /// pipelines keep their routes and are never dropped.
+    Migrate {
+        /// When the migration is initiated.
+        at: SimTime,
+        /// The model whose layers move.
+        model: ModelId,
+        /// The node giving the layers up.
+        from: NodeId,
+        /// The node receiving them.
+        to: NodeId,
+        /// The moved layer sub-range.
+        layers: LayerRange,
+    },
 }
 
 impl PerturbationEvent {
@@ -84,7 +102,8 @@ impl PerturbationEvent {
             PerturbationEvent::NodeSlowdown { at, .. }
             | PerturbationEvent::NodeRecovery { at, .. }
             | PerturbationEvent::NodeFailure { at, .. }
-            | PerturbationEvent::ArrivalRateShift { at, .. } => at,
+            | PerturbationEvent::ArrivalRateShift { at, .. }
+            | PerturbationEvent::Migrate { at, .. } => at,
         }
     }
 }
@@ -128,6 +147,14 @@ pub enum Event {
     /// Windowed observation boundary: interval metrics are emitted, engines
     /// are measured and the re-plan policy is consulted.
     ObservationTick,
+    /// A KV hand-over finished: the frozen engines of a migration resume and
+    /// restart batching if work queued up during the freeze.
+    EngineThaw {
+        /// The node whose engine thaws.
+        node: NodeId,
+        /// The model whose engine thaws.
+        model: ModelId,
+    },
 }
 
 /// An event scheduled at a point in simulated time.

@@ -68,6 +68,15 @@ impl LinkQueue {
     pub fn busy_until(&self) -> SimTime {
         self.busy_until
     }
+
+    /// Starts a new timeline epoch: the link is idle at t=0 again while the
+    /// cumulative traffic counters survive.  Called between session drains,
+    /// whose event timelines each restart at zero — comparing a stale
+    /// `busy_until` against the new epoch's clock would stall the link for
+    /// the length of the previous batch.
+    pub fn rebase_epoch(&mut self) {
+        self.busy_until = 0.0;
+    }
 }
 
 #[cfg(test)]

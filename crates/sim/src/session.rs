@@ -11,8 +11,8 @@
 use crate::event::PerturbationEvent;
 use crate::metrics::{LatencyStats, Metrics};
 use crate::simulator::{ClusterSimulator, FleetRunReport, SimulationConfig};
-use helix_cluster::NodeId;
-use helix_core::ReplanPolicy;
+use helix_cluster::{ModelId, NodeId};
+use helix_core::{LayerRange, ReplanPolicy};
 use helix_workload::{Request, TicketId, Workload};
 
 /// A live handle over a [`ClusterSimulator`], shaped like the runtime's
@@ -78,6 +78,25 @@ impl SimSession {
     /// Scripts a mid-run perturbation for the next drained batch.
     pub fn schedule(&mut self, event: PerturbationEvent) {
         self.events.push(event);
+    }
+
+    /// Queues a partial-layer migration at the start of the next drained
+    /// batch: `layers` of `model` move from `from` to `to`, their KV pages
+    /// travel the `from → to` link as modelled traffic, and both engines
+    /// freeze until the transfer lands — the simulated counterpart of
+    /// [`ServingSession::apply_placement_delta`] with a
+    /// [`PlacementDelta::migrate`] delta.
+    ///
+    /// [`ServingSession::apply_placement_delta`]: https://docs.rs/helix-runtime
+    /// [`PlacementDelta::migrate`]: helix_core::PlacementDelta::migrate
+    pub fn migrate(&mut self, model: ModelId, from: NodeId, to: NodeId, layers: LayerRange) {
+        self.events.push(PerturbationEvent::Migrate {
+            at: 0.0,
+            model,
+            from,
+            to,
+            layers,
+        });
     }
 
     /// Simulates everything submitted since the last drain.  A drain with no
@@ -151,6 +170,7 @@ fn merge_reports(mut base: FleetRunReport, next: FleetRunReport) -> FleetRunRepo
         .collect();
     base.intervals.extend(next.intervals);
     base.replans.extend(next.replans);
+    base.kv_transfers.extend(next.kv_transfers);
     base
 }
 

@@ -7,10 +7,11 @@ use crate::event::{Event, EventQueue, PerturbationEvent, Phase, RequestState, Si
 use crate::metrics::{IntervalMetrics, LatencyStats, LinkStats, Metrics};
 use crate::network::LinkQueue;
 use helix_cluster::{ModelId, NodeId, TOKEN_WIRE_BYTES};
+use helix_core::exec_model::DEFAULT_TOKENS_PER_PAGE;
 use helix_core::{
-    ClusterState, EngineCounters, FleetScheduler, FleetTopology, IwrrScheduler, ModelPlacement,
-    NodeObservations, ObservationWindows, PlacementDelta, ReplanPolicy, ReplanReason, ReplanRecord,
-    Scheduler, Topology,
+    ClusterState, EngineCounters, FleetScheduler, FleetTopology, IwrrScheduler, KvTransferModel,
+    KvTransferRecord, ModelPlacement, NodeObservations, ObservationWindows, PlacementDelta,
+    ReplanPolicy, ReplanReason, ReplanRecord, Scheduler, Topology,
 };
 use helix_workload::{Request, RequestId, Workload};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -113,6 +114,9 @@ pub struct FleetRunReport {
     pub intervals: Vec<IntervalMetrics>,
     /// Every re-plan the run applied, in order.
     pub replans: Vec<ReplanRecord>,
+    /// Every KV hand-over a partial-layer migration performed, in completion
+    /// order.
+    pub kv_transfers: Vec<KvTransferRecord>,
 }
 
 /// Discrete-event simulator of a Helix-style serving cluster.
@@ -179,7 +183,12 @@ impl ClusterSimulator {
     fn from_parts(fleet: FleetTopology, schedulers: Vec<Box<dyn Scheduler>>) -> Self {
         let mut engines = HashMap::new();
         for (m, topology) in fleet.topologies().iter().enumerate() {
-            let profile = topology.profile();
+            // Engines run at the analytic contention split (identical to the
+            // planning profile when the fleet was planned without
+            // observations); measured speed factors never slow an engine —
+            // they re-price planning against a degradation the engine's own
+            // slowdown state delivers.
+            let profile = fleet.contention_profile(ModelId(m));
             for n in topology.nodes() {
                 let engine = NodeEngine::new(
                     profile.node_profile(n.node),
@@ -275,6 +284,15 @@ impl ClusterSimulator {
     ) -> FleetRunReport {
         let num_models = self.schedulers.len();
         let mut queue = EventQueue::new();
+        // Each run's timeline restarts at zero; links and engines keep their
+        // cumulative counters but must not stay "busy" (or frozen) into the
+        // new epoch.
+        for link in self.links.values_mut() {
+            link.rebase_epoch();
+        }
+        for engine in self.engines.values_mut() {
+            engine.rebase_epoch();
+        }
         let mut specs: HashMap<RequestId, Request> = workload.iter().map(|r| (r.id, *r)).collect();
 
         // Arrival-rate shifts re-time the arrival process: gaps after the
@@ -345,6 +363,7 @@ impl ClusterSimulator {
         // Feedback-loop state.
         let mut intervals: Vec<IntervalMetrics> = Vec::new();
         let mut replans: Vec<ReplanRecord> = Vec::new();
+        let mut kv_transfers: Vec<KvTransferRecord> = Vec::new();
         let mut last_tick: SimTime = 0.0;
         let mut last_replan: Option<SimTime> = None;
         let mut interval_base: Vec<u64> = vec![0; num_models];
@@ -360,7 +379,10 @@ impl ClusterSimulator {
             }
             // Bookkeeping events don't advance the measured clock: the
             // no-perturbation path must report bit-identical metrics.
-            if !matches!(event, Event::ObservationTick | Event::Perturbation(_)) {
+            if !matches!(
+                event,
+                Event::ObservationTick | Event::Perturbation(_) | Event::EngineThaw { .. }
+            ) {
                 now = time;
             }
             processed_events += 1;
@@ -502,7 +524,17 @@ impl ClusterSimulator {
                         &mut queue,
                         &mut active,
                         &mut replans,
+                        &mut kv_transfers,
                     );
+                }
+                Event::EngineThaw { node, model } => {
+                    // The KV hand-over finished; work that queued up during
+                    // the freeze starts batching again.
+                    if let Some(engine) = self.engines.get_mut(&(node, model)) {
+                        if let Some(done) = engine.try_start_batch(time) {
+                            queue.push(done, Event::BatchComplete { node, model });
+                        }
+                    }
                 }
                 Event::ObservationTick => {
                     // 1. Close the interval window.
@@ -533,7 +565,9 @@ impl ClusterSimulator {
                                 &observed,
                                 time,
                                 ReplanReason::ThroughputGap { node, model, speed },
+                                &mut queue,
                                 &mut replans,
+                                &mut kv_transfers,
                             );
                             if applied {
                                 last_replan = Some(time);
@@ -613,6 +647,7 @@ impl ClusterSimulator {
             metrics: FleetMetrics { overall, per_model },
             intervals,
             replans,
+            kv_transfers,
         }
     }
 
@@ -653,6 +688,7 @@ impl ClusterSimulator {
         queue: &mut EventQueue,
         active: &mut usize,
         replans: &mut Vec<ReplanRecord>,
+        kv_transfers: &mut Vec<KvTransferRecord>,
     ) {
         match perturbation {
             PerturbationEvent::NodeSlowdown { node, factor, .. } => {
@@ -709,27 +745,52 @@ impl ClusterSimulator {
                     &observed,
                     time,
                     ReplanReason::NodeFailure { node },
+                    queue,
                     replans,
+                    kv_transfers,
                 );
             }
             PerturbationEvent::ArrivalRateShift { .. } => {
                 // Applied to the arrival process before the run started.
+            }
+            PerturbationEvent::Migrate {
+                model,
+                from,
+                to,
+                layers,
+                ..
+            } => {
+                let delta = PlacementDelta::new().migrate(model, from, to, layers);
+                let observed = self.fleet.observations().clone();
+                self.apply_replan(
+                    &delta,
+                    &observed,
+                    time,
+                    ReplanReason::Manual,
+                    queue,
+                    replans,
+                    kv_transfers,
+                );
             }
         }
     }
 
     /// Applies one re-plan: mutates the owned fleet plan, swaps the affected
     /// models' schedulers (drain-then-switch — in-flight pipelines keep their
-    /// routes) and reconciles the engine set with the new plan.  Returns
-    /// whether the re-plan was applied; an infeasible re-plan (e.g. a failed
-    /// node was load-bearing) leaves the current plan serving.
+    /// routes), reconciles the engine set with the new plan and performs the
+    /// KV hand-over of any partial-layer migration the delta carried.
+    /// Returns whether the re-plan was applied; an infeasible re-plan (e.g.
+    /// a failed node was load-bearing) leaves the current plan serving.
+    #[allow(clippy::too_many_arguments)]
     fn apply_replan(
         &mut self,
         delta: &PlacementDelta,
         observed: &NodeObservations,
         time: SimTime,
         reason: ReplanReason,
+        queue: &mut EventQueue,
         replans: &mut Vec<ReplanRecord>,
+        kv_transfers: &mut Vec<KvTransferRecord>,
     ) -> bool {
         let outcome = match self.fleet.replan(delta, observed) {
             Ok(outcome) => outcome,
@@ -745,17 +806,25 @@ impl ClusterSimulator {
             }
             // Hand-over step 2: reconcile engines.  Existing engines take
             // the new layer count / KV budget in place (their queues and
-            // cached tokens survive); pairs the plan no longer includes keep
-            // draining their in-flight work but receive no new pipelines;
-            // newly planned pairs get fresh engines.
+            // cached tokens survive) *and rebuild their execution cost model
+            // from the re-derived contention split*, so a surviving engine
+            // on a node whose tenancy changed runs at the same re-split
+            // speed a freshly created engine would; pairs the plan no longer
+            // includes keep draining their in-flight work but receive no new
+            // pipelines; newly planned pairs get fresh engines.
             let planned: Vec<(NodeId, usize, f64)> = topology
                 .nodes()
                 .map(|n| (n.node, n.layers.len(), n.kv_capacity_tokens))
                 .collect();
-            let profile = topology.profile().clone();
+            // Engines run at the analytic contention split; observed speed
+            // factors only re-price planning (the engine's own `slowdown`
+            // already delivers the physical degradation being measured).
+            let profile = self.fleet.contention_profile(model);
             for (node, layers, kv_capacity) in planned {
                 match self.engines.get_mut(&(node, model)) {
-                    Some(engine) => engine.update_plan(layers, kv_capacity),
+                    Some(engine) => {
+                        engine.update_plan(profile.node_profile(node), layers, kv_capacity)
+                    }
                     None => {
                         let mut engine =
                             NodeEngine::new(profile.node_profile(node), layers, kv_capacity);
@@ -770,6 +839,66 @@ impl ClusterSimulator {
                 }
             }
         }
+        // Hand-over step 3: move the KV state of each migration.  The moved
+        // pages travel as real traffic on the `from → to` link (queueing
+        // behind activations), and both ends freeze until the transfer
+        // lands — freeze → transfer → re-route (step 1 above) → resume.
+        for migration in &outcome.migrations {
+            let m = migration.model;
+            let Some(source) = self.engines.get(&(migration.from, m)) else {
+                continue;
+            };
+            let snapshot = source.kv_snapshot();
+            let tokens: f64 = snapshot.iter().map(|&(_, t)| t).sum();
+            let transfer = KvTransferModel::new(
+                self.fleet.profiles()[m.index()]
+                    .model()
+                    .kv_bytes_per_token_per_layer(),
+                DEFAULT_TOKENS_PER_PAGE,
+            );
+            let pages = transfer.pages(tokens);
+            let bytes = transfer.bytes(tokens, migration.layers.len());
+            let arrival = self.link_transfer(Some(migration.from), Some(migration.to), time, bytes);
+            let source_retired = self.fleet.placement().placements()[m.index()]
+                .range(migration.from)
+                .is_none();
+            if let Some(engine) = self.engines.get_mut(&(migration.from, m)) {
+                engine.freeze_until(arrival);
+                if source_retired {
+                    // The whole range moved: every page now lives on the
+                    // destination.
+                    engine.clear_kv();
+                }
+            }
+            if let Some(engine) = self.engines.get_mut(&(migration.to, m)) {
+                engine.freeze_until(arrival);
+                for &(request, tokens) in &snapshot {
+                    engine.seed_kv(request, tokens);
+                }
+            }
+            queue.push(
+                arrival,
+                Event::EngineThaw {
+                    node: migration.from,
+                    model: m,
+                },
+            );
+            queue.push(
+                arrival,
+                Event::EngineThaw {
+                    node: migration.to,
+                    model: m,
+                },
+            );
+            kv_transfers.push(KvTransferRecord {
+                at: arrival,
+                migration: *migration,
+                tokens,
+                pages,
+                bytes,
+                transfer_secs: arrival - time,
+            });
+        }
         replans.push(ReplanRecord {
             at: time,
             reason,
@@ -777,6 +906,12 @@ impl ClusterSimulator {
             planned_flow: self.fleet.total_flow_value(),
         });
         true
+    }
+
+    /// The standing engine of one (node, model) pair, if any — exposed so
+    /// tests can compare surviving engines against freshly created ones.
+    pub fn engine(&self, node: NodeId, model: ModelId) -> Option<&NodeEngine> {
+        self.engines.get(&(node, model))
     }
 
     /// Scheduler feedback for one model: queue/throughput/KV state of that

@@ -214,3 +214,217 @@ fn arrival_rate_shift_compresses_late_arrivals() {
     );
     assert!(burst.metrics.overall.measured_seconds <= steady.metrics.overall.measured_seconds);
 }
+
+/// A chain placement (disjoint, contiguous ranges, each node taking half its
+/// VRAM capacity) so a suffix of one node's range can migrate onto the next
+/// node in the chain and merge contiguously.
+fn chain_placement(profile: &ClusterProfile) -> helix_core::ModelPlacement {
+    let cluster = profile.cluster();
+    let mut placement = helix_core::ModelPlacement::empty(cluster.num_nodes());
+    let num_layers = profile.model().num_layers;
+    let mut start = 0usize;
+    for id in cluster.node_ids() {
+        if start >= num_layers {
+            break;
+        }
+        let take = (profile.node_profile(id).max_layers / 2)
+            .max(1)
+            .min(num_layers - start);
+        placement.assign(id, helix_core::LayerRange::new(start, start + take));
+        start += take;
+    }
+    assert!(placement.has_complete_pipeline(num_layers));
+    placement
+}
+
+/// Picks an adjacent chain pair `(from, to, moved)` such that moving the
+/// suffix `moved` of `from`'s range onto `to` keeps the placement valid.
+fn migratable_pair(
+    profile: &ClusterProfile,
+    placement: &helix_core::ModelPlacement,
+) -> (NodeId, NodeId, helix_core::LayerRange) {
+    let assigned: Vec<(NodeId, helix_core::LayerRange)> = placement.iter().collect();
+    for window in assigned.windows(2) {
+        let (from, from_range) = window[0];
+        let (to, _) = window[1];
+        if from_range.len() < 2 {
+            continue;
+        }
+        let mid = from_range.start + from_range.len() / 2;
+        let moved = helix_core::LayerRange::new(mid, from_range.end);
+        let mut mutated = placement.clone();
+        mutated.assign(from, helix_core::LayerRange::new(from_range.start, mid));
+        mutated.assign(
+            to,
+            helix_core::LayerRange::new(mid, placement.range(to).unwrap().end),
+        );
+        if mutated.validate(profile).is_ok()
+            && mutated.has_complete_pipeline(profile.model().num_layers)
+        {
+            return (from, to, moved);
+        }
+    }
+    panic!("no migratable adjacent pair in the chain");
+}
+
+/// The tentpole's simulator-side acceptance test: a mid-run migration of a
+/// layer sub-range moves its KV pages over the inter-node link, drops no
+/// in-flight pipeline, and leaves the session serving within 10% of a fresh
+/// plan of the post-migration placement.
+#[test]
+fn partial_layer_migration_moves_kv_and_matches_a_fresh_plan() {
+    use helix_sim::SimSession;
+    let profile = profile();
+    let placement = chain_placement(&profile);
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    let (from, to, moved) = migratable_pair(&profile, &placement);
+    let config = SimulationConfig::offline(500.0).with_warmup(0.0);
+
+    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+    let sim = ClusterSimulator::new(&topology, Box::new(scheduler));
+    let mut session = SimSession::new(sim, config);
+
+    // Batch 1 carries the migration mid-run: requests are in flight (KV
+    // resident on `from`) when the hand-over fires at t=5.
+    session.schedule(PerturbationEvent::Migrate {
+        at: 5.0,
+        model: ModelId(0),
+        from,
+        to,
+        layers: moved,
+    });
+    let batch1 = saturating_workload(60);
+    for request in batch1.requests() {
+        session.submit(*request);
+    }
+    session.drain();
+    let first = session.report().unwrap().clone();
+
+    // The KV pages moved as link traffic, and nothing was dropped.
+    assert_eq!(first.replans.len(), 1, "the migration re-planned once");
+    assert!(matches!(first.replans[0].reason, ReplanReason::Manual));
+    assert_eq!(first.kv_transfers.len(), 1);
+    let transfer = &first.kv_transfers[0];
+    assert_eq!(transfer.migration.from, from);
+    assert_eq!(transfer.migration.to, to);
+    assert_eq!(transfer.migration.layers, moved);
+    assert!(transfer.tokens > 0.0, "KV was resident when the move fired");
+    assert!(transfer.pages > 0);
+    assert!(transfer.bytes > 0.0);
+    assert!(transfer.transfer_secs > 0.0);
+    assert_eq!(
+        first.metrics.overall.completed_requests, 60,
+        "no in-flight pipeline dropped"
+    );
+    // The fleet now realises the migrated placement.
+    let migrated_placement = session.simulator().fleet().placement().placements()[0].clone();
+    assert_eq!(migrated_placement.range(from).unwrap().end, moved.start);
+
+    // Batch 2 runs entirely on the migrated plan; a fresh session planned
+    // from scratch on the same placement must serve it within 10%.
+    let batch2 = saturating_workload(60);
+    for request in batch2.requests() {
+        session.submit(*request);
+    }
+    session.drain();
+    let merged = session.report().unwrap().clone();
+    let batch2_tokens =
+        (merged.metrics.overall.decode_tokens - first.metrics.overall.decode_tokens) as f64;
+    let batch2_secs =
+        merged.metrics.overall.measured_seconds - first.metrics.overall.measured_seconds;
+    let migrated_throughput = batch2_tokens / batch2_secs;
+    assert_eq!(merged.metrics.overall.completed_requests, 120);
+
+    let fresh_topology = Topology::plan(&profile, &migrated_placement, true).unwrap();
+    let fresh_scheduler = IwrrScheduler::from_topology(&fresh_topology).unwrap();
+    let fresh_sim = ClusterSimulator::new(&fresh_topology, Box::new(fresh_scheduler));
+    let mut fresh_session = SimSession::new(fresh_sim, config);
+    for request in batch2.requests() {
+        fresh_session.submit(*request);
+    }
+    let fresh = fresh_session.finish();
+    let fresh_throughput = fresh.metrics.overall.decode_throughput();
+    let ratio = migrated_throughput / fresh_throughput;
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "post-migration throughput {migrated_throughput:.1} vs fresh plan {fresh_throughput:.1} (ratio {ratio:.3})"
+    );
+}
+
+/// The ROADMAP's "contention re-splitting of live engines" item, closed with
+/// an enforced assertion: after a mid-run tenancy change on a shared node,
+/// the *surviving* engine's execution-speed profile equals a freshly created
+/// engine's under the new analytic contention split (it used to keep its
+/// creation-time split forever).
+#[test]
+fn tenancy_change_resplits_surviving_engine_speed_profiles() {
+    use helix_core::fleet::{fleet_profiles, FleetPlacement, FleetTopology};
+    use helix_core::{ExecModel, FleetScheduler};
+    let cluster = ClusterSpec::solver_quality_10();
+    let profiles = fleet_profiles(
+        &cluster,
+        &[ModelConfig::llama_13b(), ModelConfig::llama_13b()],
+    );
+    // Both models share every chain node 50/50; at least one node stays free.
+    let shared = chain_placement(&profiles[0]);
+    let fleet_placement = FleetPlacement::new(vec![shared.clone(), shared.clone()]);
+    fleet_placement.validate(&profiles).unwrap();
+    let used: Vec<NodeId> = shared.iter().map(|(n, _)| n).collect();
+    let free = cluster
+        .node_ids()
+        .find(|id| !used.contains(id))
+        .expect("the half-size chain leaves a node free");
+    // Move model 1's whole range off some shared node whose range fits the
+    // free node, making model 0 that node's sole tenant.
+    let (source, range) = shared
+        .iter()
+        .find(|&(_, r)| r.len() <= profiles[1].node_profile(free).max_layers)
+        .expect("some range fits the free node");
+
+    let fleet = FleetTopology::plan(&profiles, &fleet_placement, true).unwrap();
+    let schedulers = FleetScheduler::iwrr(&fleet).unwrap();
+    let mut sim = ClusterSimulator::new_fleet(&fleet, schedulers);
+    let shared_exec_before = sim.engine(source, ModelId(0)).unwrap().exec_model().clone();
+
+    let workload = Workload::merge(vec![
+        saturating_workload(25).with_model(ModelId(0)),
+        saturating_workload(25).with_model(ModelId(1)),
+    ])
+    .with_arrivals(ArrivalPattern::Offline, 4);
+    let events = [PerturbationEvent::Migrate {
+        at: 10.0,
+        model: ModelId(1),
+        from: source,
+        to: free,
+        layers: range,
+    }];
+    let report = sim.run_with_events(
+        &workload,
+        SimulationConfig::offline(600.0).with_warmup(0.0),
+        &events,
+        None,
+    );
+    assert_eq!(report.replans.len(), 1);
+    assert_eq!(report.kv_transfers.len(), 1);
+    assert!(report.metrics.overall.completed_requests > 0);
+
+    // Model 0 is now the sole tenant of `source`: the surviving engine's
+    // speed profile must equal a freshly created engine's under the new
+    // analytic split — and differ from its creation-time 50/50 split.
+    let fresh = ExecModel::new(
+        sim.fleet()
+            .contention_profile(ModelId(0))
+            .node_profile(source),
+    );
+    let surviving = sim.engine(source, ModelId(0)).unwrap().exec_model();
+    assert_eq!(
+        surviving, &fresh,
+        "surviving engine re-split to sole tenancy"
+    );
+    assert_ne!(
+        surviving, &shared_exec_before,
+        "the split actually changed (50% share -> sole tenant)"
+    );
+    // The destination engine exists and serves model 1's moved layers.
+    assert!(sim.engine(free, ModelId(1)).is_some());
+}

@@ -17,7 +17,8 @@
 //! }
 //! ```
 
-use helix_cluster::NodeId;
+use helix_cluster::{ModelId, NodeId};
+use helix_core::{LayerRange, PlacementDelta};
 use helix_runtime::{RuntimeError, RuntimeReport, ServingSession};
 use helix_sim::{FleetRunReport, SimSession};
 use helix_workload::{Request, TicketId, Workload};
@@ -45,6 +46,15 @@ pub trait ServingFrontEnd {
     /// from now on (1.0 restores nominal speed).  Both surfaces *measure*
     /// the resulting gap; adaptive configurations react to the measurement.
     fn inject_speed(&mut self, node: NodeId, factor: f64);
+
+    /// Migrates `layers` of `model` from `from` to `to` mid-run, KV state
+    /// included: the fleet re-plans with the equivalent placement delta, the
+    /// KV pages travel the `from → to` link as modelled traffic, and the
+    /// hand-over sequences freeze → transfer → re-route → resume so no
+    /// in-flight pipeline drops.  On the threaded runtime the migration
+    /// applies immediately; on the simulator it applies at the start of the
+    /// next drained batch.
+    fn migrate(&mut self, model: ModelId, from: NodeId, to: NodeId, layers: LayerRange);
 
     /// Completes everything submitted so far.
     fn drain(&mut self) -> Result<(), Self::Error>;
@@ -79,6 +89,10 @@ impl ServingFrontEnd for ServingSession {
         ServingSession::inject_speed(self, node, factor)
     }
 
+    fn migrate(&mut self, model: ModelId, from: NodeId, to: NodeId, layers: LayerRange) {
+        self.apply_placement_delta(PlacementDelta::new().migrate(model, from, to, layers));
+    }
+
     fn drain(&mut self) -> Result<(), RuntimeError> {
         ServingSession::drain(self)
     }
@@ -104,6 +118,10 @@ impl ServingFrontEnd for SimSession {
 
     fn inject_speed(&mut self, node: NodeId, factor: f64) {
         SimSession::inject_speed(self, node, factor)
+    }
+
+    fn migrate(&mut self, model: ModelId, from: NodeId, to: NodeId, layers: LayerRange) {
+        SimSession::migrate(self, model, from, to, layers)
     }
 
     fn drain(&mut self) -> Result<(), Infallible> {

@@ -1,0 +1,354 @@
+//! Cross-surface conformance suite: the threaded prototype runtime
+//! (`ServingSession`) and the discrete-event simulator (`SimSession`) are
+//! driven through the one generic `ServingFrontEnd` over a matrix of
+//! scenarios — single-model and fleet serving, a mid-run migration delta,
+//! speed injection, and drain-then-submit — asserting that both surfaces
+//! complete the same request sets and that their reports stay monotonic.
+//!
+//! The two surfaces model the same cluster with different mechanics (worker
+//! threads and a fabric vs one event loop), so the suite compares
+//! *behavioural* contracts (who completed, what was logged, monotonicity),
+//! not timings.
+
+use helix::front::ServingFrontEnd;
+use helix::prelude::*;
+use std::collections::BTreeSet;
+
+fn profile_13b() -> ClusterProfile {
+    ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_13b())
+}
+
+/// A chain placement (disjoint contiguous ranges, half of each node's
+/// capacity) so a suffix of one node's range can migrate onto the next node
+/// and merge contiguously — the same shape on both surfaces.
+fn chain_placement(profile: &ClusterProfile) -> ModelPlacement {
+    let cluster = profile.cluster();
+    let mut placement = ModelPlacement::empty(cluster.num_nodes());
+    let num_layers = profile.model().num_layers;
+    let mut start = 0usize;
+    for id in cluster.node_ids() {
+        if start >= num_layers {
+            break;
+        }
+        let take = (profile.node_profile(id).max_layers / 2)
+            .max(1)
+            .min(num_layers - start);
+        placement.assign(id, LayerRange::new(start, start + take));
+        start += take;
+    }
+    assert!(placement.has_complete_pipeline(num_layers));
+    placement
+}
+
+/// The first chain pair whose suffix-half move keeps the placement valid.
+fn migratable_pair(
+    profile: &ClusterProfile,
+    placement: &ModelPlacement,
+) -> (NodeId, NodeId, LayerRange) {
+    let assigned: Vec<(NodeId, LayerRange)> = placement.iter().collect();
+    assigned
+        .windows(2)
+        .find_map(|w| {
+            let (from, range) = w[0];
+            let (to, to_range) = w[1];
+            if range.len() < 2 {
+                return None;
+            }
+            let mid = range.start + range.len() / 2;
+            let mut mutated = placement.clone();
+            mutated.assign(from, LayerRange::new(range.start, mid));
+            mutated.assign(to, LayerRange::new(mid, to_range.end));
+            (mutated.validate(profile).is_ok()
+                && mutated.has_complete_pipeline(profile.model().num_layers))
+            .then_some((from, to, LayerRange::new(mid, range.end)))
+        })
+        .expect("some adjacent chain pair is migratable")
+}
+
+fn requests(n: u64, base_id: u64, model: ModelId) -> Vec<Request> {
+    (0..n)
+        .map(|i| Request {
+            id: base_id + i,
+            prompt_tokens: 32,
+            output_tokens: 3,
+            arrival_time: 0.02 * i as f64,
+            model,
+        })
+        .collect()
+}
+
+fn runtime_session(topology: &Topology) -> ServingSession {
+    ServingBuilder::new()
+        .topology(topology)
+        .config(RuntimeConfig::fast_test())
+        .build()
+        .expect("the runtime session builds")
+}
+
+fn sim_session(topology: &Topology) -> SimSession {
+    let scheduler = IwrrScheduler::from_topology(topology).unwrap();
+    let sim = ClusterSimulator::new(topology, Box::new(scheduler));
+    SimSession::new(sim, SimulationConfig::offline(600.0).with_warmup(0.0))
+}
+
+fn id_set(requests: &[Request]) -> BTreeSet<u64> {
+    requests.iter().map(|r| r.id).collect()
+}
+
+/// Generic matrix step: serve one batch through any front end.
+fn serve_generic<F: ServingFrontEnd>(front: F, batch: &[Request]) -> F::Report {
+    front
+        .serve(&Workload::new(batch.to_vec()))
+        .expect("the front end serves the batch")
+}
+
+/// Generic matrix step: first batch in flight, migrate mid-run, second batch
+/// on the migrated plan, then finish.
+fn serve_with_migration<F: ServingFrontEnd>(
+    mut front: F,
+    batch1: &[Request],
+    batch2: &[Request],
+    model: ModelId,
+    from: NodeId,
+    to: NodeId,
+    layers: LayerRange,
+) -> F::Report {
+    for request in batch1 {
+        front.submit(*request);
+    }
+    front.migrate(model, from, to, layers);
+    front.drain().expect("the migrated batch drains");
+    for request in batch2 {
+        front.submit(*request);
+    }
+    front.finish().expect("the session finishes")
+}
+
+#[test]
+fn single_model_completion_sets_match_across_surfaces() {
+    let profile = profile_13b();
+    let placement = chain_placement(&profile);
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    let batch = requests(14, 0, ModelId(0));
+
+    let runtime_report = serve_generic(runtime_session(&topology), &batch);
+    let runtime_ids: BTreeSet<u64> = runtime_report.outcomes.iter().map(|o| o.id).collect();
+    assert_eq!(runtime_ids, id_set(&batch), "runtime completes the set");
+
+    let sim_report = serve_generic(sim_session(&topology), &batch);
+    assert_eq!(
+        sim_report.metrics.overall.completed_requests,
+        batch.len() as u64,
+        "simulator completes the same count of the same submitted set"
+    );
+    // Both surfaces generated every requested output token.
+    assert_eq!(
+        runtime_report.decode_tokens(),
+        sim_report.metrics.overall.decode_tokens
+    );
+}
+
+#[test]
+fn fleet_serving_completes_the_same_per_model_sets_on_both_surfaces() {
+    let profiles = fleet_profiles(
+        &ClusterSpec::single_cluster_24(),
+        &[ModelConfig::llama_30b(), ModelConfig::llama_13b()],
+    );
+    let planner = FleetAnnealingPlanner::new(&profiles).with_options(FleetAnnealingOptions {
+        iterations: 300,
+        ..Default::default()
+    });
+    let (placement, _) = planner.solve().unwrap();
+    let fleet = FleetTopology::plan(&profiles, &placement, true).unwrap();
+    let mut batch = requests(10, 0, ModelId(0));
+    batch.extend(requests(10, 100, ModelId(1)));
+
+    let runtime_report = {
+        let session = ServingBuilder::new()
+            .fleet(&fleet)
+            .config(RuntimeConfig::fast_test())
+            .build()
+            .unwrap();
+        serve_generic(session, &batch)
+    };
+    let sim_report = {
+        let schedulers = FleetScheduler::iwrr(&fleet).unwrap();
+        let sim = ClusterSimulator::new_fleet(&fleet, schedulers);
+        let session = SimSession::new(sim, SimulationConfig::offline(600.0).with_warmup(0.0));
+        serve_generic(session, &batch)
+    };
+
+    for model in [ModelId(0), ModelId(1)] {
+        let runtime_ids: BTreeSet<u64> = runtime_report
+            .outcomes_for(model)
+            .iter()
+            .map(|o| o.id)
+            .collect();
+        let submitted: BTreeSet<u64> = batch
+            .iter()
+            .filter(|r| r.model == model)
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(runtime_ids, submitted, "runtime completes {model}'s set");
+        assert_eq!(
+            sim_report.metrics.per_model[model.index()].completed_requests,
+            submitted.len() as u64,
+            "simulator completes {model}'s count"
+        );
+    }
+}
+
+#[test]
+fn mid_run_migration_delta_behaves_identically_on_both_surfaces() {
+    let profile = profile_13b();
+    let placement = chain_placement(&profile);
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    let (from, to, moved) = migratable_pair(&profile, &placement);
+    let batch1 = requests(12, 0, ModelId(0));
+    let batch2 = requests(12, 100, ModelId(0));
+
+    let runtime_report = serve_with_migration(
+        runtime_session(&topology),
+        &batch1,
+        &batch2,
+        ModelId(0),
+        from,
+        to,
+        moved,
+    );
+    let runtime_ids: BTreeSet<u64> = runtime_report.outcomes.iter().map(|o| o.id).collect();
+    let mut submitted = id_set(&batch1);
+    submitted.extend(id_set(&batch2));
+    assert_eq!(runtime_ids, submitted, "no pipeline dropped on the runtime");
+    assert_eq!(runtime_report.replans.len(), 1);
+    assert_eq!(runtime_report.kv_transfers.len(), 1);
+    assert_eq!(runtime_report.kv_transfers[0].migration.layers, moved);
+
+    let sim_report = serve_with_migration(
+        sim_session(&topology),
+        &batch1,
+        &batch2,
+        ModelId(0),
+        from,
+        to,
+        moved,
+    );
+    assert_eq!(
+        sim_report.metrics.overall.completed_requests,
+        submitted.len() as u64,
+        "no pipeline dropped on the simulator"
+    );
+    assert_eq!(sim_report.replans.len(), 1);
+    assert_eq!(sim_report.kv_transfers.len(), 1);
+    assert_eq!(sim_report.kv_transfers[0].migration.layers, moved);
+    // Both surfaces log the identical migration (the simulator fires it at
+    // the start of the drained batch, so its KV residency — and therefore
+    // the byte count — may legitimately be zero; the sim integration test
+    // covers the resident-KV case).
+    let (rt, sm) = (&runtime_report.kv_transfers[0], &sim_report.kv_transfers[0]);
+    assert_eq!(rt.migration, sm.migration);
+    assert!(rt.bytes >= 0.0 && sm.bytes >= 0.0);
+}
+
+#[test]
+fn speed_injection_is_honoured_on_both_surfaces() {
+    let profile = profile_13b();
+    let placement = chain_placement(&profile);
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    let slow = topology
+        .nodes()
+        .max_by(|a, b| a.flow.partial_cmp(&b.flow).unwrap())
+        .unwrap()
+        .node;
+    let batch = requests(16, 0, ModelId(0));
+
+    // Runtime: the run completes under the injected slowdown.
+    let mut session = runtime_session(&topology);
+    ServingFrontEnd::inject_speed(&mut session, slow, 3.0);
+    let report = serve_generic(session, &batch);
+    assert_eq!(report.completed(), batch.len());
+
+    // Simulator: the same injection measurably degrades throughput.
+    let run = |factor: Option<f64>| {
+        let mut front = sim_session(&topology);
+        if let Some(factor) = factor {
+            ServingFrontEnd::inject_speed(&mut front, slow, factor);
+        }
+        serve_generic(front, &batch)
+    };
+    let healthy = run(None);
+    let degraded = run(Some(4.0));
+    assert_eq!(
+        degraded.metrics.overall.completed_requests,
+        batch.len() as u64
+    );
+    assert!(
+        degraded.metrics.overall.decode_throughput() < healthy.metrics.overall.decode_throughput()
+    );
+}
+
+#[test]
+fn drain_then_submit_is_served_and_reports_stay_monotonic() {
+    let profile = profile_13b();
+    let placement = chain_placement(&profile);
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    let batch1 = requests(8, 0, ModelId(0));
+    let batch2 = requests(8, 100, ModelId(0));
+
+    // Runtime: post-drain submissions are served, completion counts are
+    // monotonic, and the one genuine rejection — waiting on a ticket that
+    // was never submitted — is a typed budget error, not a hang.
+    let mut session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig {
+            max_wall: std::time::Duration::from_millis(200),
+            ..RuntimeConfig::fast_test()
+        })
+        .build()
+        .unwrap();
+    for request in &batch1 {
+        session.submit(*request);
+    }
+    session.drain().unwrap();
+    let after_first = session.try_completions().len();
+    assert_eq!(after_first, batch1.len());
+    for request in &batch2 {
+        session.submit(*request);
+    }
+    session.drain().unwrap();
+    let after_second = after_first + session.try_completions().len();
+    assert!(after_second >= after_first, "completions are monotonic");
+    assert_eq!(after_second, batch1.len() + batch2.len());
+    let bogus = session
+        .wait_completion(TicketId(9999))
+        .expect_err("a never-submitted ticket is rejected");
+    assert!(matches!(
+        bogus,
+        helix_runtime::RuntimeError::WallClockBudgetExceeded { .. }
+    ));
+    let report = session.finish().unwrap();
+    assert_eq!(report.completed(), batch1.len() + batch2.len());
+
+    // Simulator: same flow, cumulative report covers both drained batches
+    // and every counter is monotonic between drains.
+    let mut session = sim_session(&topology);
+    for request in &batch1 {
+        session.submit(*request);
+    }
+    SimSession::drain(&mut session);
+    let first = session.report().unwrap().metrics.overall.clone();
+    assert_eq!(first.completed_requests, batch1.len() as u64);
+    for request in &batch2 {
+        session.submit(*request);
+    }
+    SimSession::drain(&mut session);
+    let second = session.report().unwrap().metrics.overall.clone();
+    assert!(second.completed_requests >= first.completed_requests);
+    assert!(second.decode_tokens >= first.decode_tokens);
+    assert!(second.measured_seconds >= first.measured_seconds);
+    let report = session.finish();
+    assert_eq!(
+        report.metrics.overall.completed_requests,
+        (batch1.len() + batch2.len()) as u64
+    );
+}
