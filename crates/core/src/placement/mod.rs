@@ -48,6 +48,11 @@ impl LayerRange {
     pub fn contains(&self, layer: usize) -> bool {
         layer >= self.start && layer < self.end
     }
+
+    /// Whether two ranges share at least one layer.
+    pub fn intersects(&self, other: LayerRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
 }
 
 impl fmt::Display for LayerRange {

@@ -80,6 +80,38 @@ impl VirtualClock {
         }
         Duration::from_secs_f64((virtual_secs * self.wall_per_virtual).max(1e-6))
     }
+
+    /// The wall-clock [`Instant`] at which virtual time reaches
+    /// `virtual_secs`, for deadline-based waits.  Times in the past (or
+    /// non-finite) map to the clock's epoch; far futures are clamped so the
+    /// conversion never overflows.
+    pub fn instant_at(&self, virtual_secs: f64) -> Instant {
+        if !virtual_secs.is_finite() || virtual_secs <= 0.0 {
+            return self.start;
+        }
+        let wall = (virtual_secs * self.wall_per_virtual).min(86_400.0 * 365.0);
+        self.start + Duration::from_secs_f64(wall)
+    }
+
+    /// The wall-clock [`Instant`] `wall` after the clock's epoch — the
+    /// deadline matching a `wall_elapsed() > wall` check.
+    pub fn instant_at_wall(&self, wall: Duration) -> Instant {
+        self.start + wall
+    }
+
+    /// Suspends the calling *task* for `virtual_secs` of virtual time
+    /// (the async counterpart of [`sleep`](Self::sleep); the driving thread
+    /// keeps running other tasks meanwhile).
+    ///
+    /// Negative or non-finite durations complete immediately.
+    pub async fn sleep_async(&self, virtual_secs: f64) {
+        if virtual_secs.is_finite() && virtual_secs > 0.0 {
+            minirt::time::sleep(Duration::from_secs_f64(
+                virtual_secs * self.wall_per_virtual,
+            ))
+            .await;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -121,5 +153,32 @@ mod tests {
     #[should_panic(expected = "wall_per_virtual")]
     fn zero_scale_is_rejected() {
         let _ = VirtualClock::new(0.0);
+    }
+
+    #[test]
+    fn deadline_instants_track_the_scale() {
+        let clock = VirtualClock::new(0.001);
+        let epoch = clock.instant_at(f64::NEG_INFINITY);
+        assert_eq!(clock.instant_at(-3.0), epoch);
+        assert_eq!(clock.instant_at(10.0) - epoch, Duration::from_millis(10));
+        assert_eq!(
+            clock.instant_at_wall(Duration::from_millis(7)) - epoch,
+            Duration::from_millis(7)
+        );
+    }
+
+    #[test]
+    fn async_sleep_respects_the_scale() {
+        let clock = VirtualClock::new(0.0005);
+        let exec = minirt::Executor::new();
+        let before = Instant::now();
+        exec.block_on(async {
+            clock.sleep_async(10.0).await; // 5 ms of wall time
+            clock.sleep_async(-1.0).await; // immediate
+            clock.sleep_async(f64::NAN).await; // immediate
+        });
+        let elapsed = before.elapsed();
+        assert!(elapsed >= Duration::from_millis(4));
+        assert!(elapsed < Duration::from_millis(500));
     }
 }

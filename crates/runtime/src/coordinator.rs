@@ -10,9 +10,9 @@
 //!
 //! The coordinator runs in one of two modes:
 //!
-//! * **batch** ([`Coordinator::run`]) — the legacy blocking loop: every
-//!   request of a [`Workload`] is admitted at its arrival time and the call
-//!   returns when all of them completed;
+//! * **batch** ([`Coordinator::run`]) — every request of a [`Workload`] is
+//!   admitted at its arrival time and the future resolves when all of them
+//!   completed;
 //! * **live** ([`Coordinator::run_live`]) — the session loop behind
 //!   [`ServingSession`](crate::ServingSession): requests arrive through a
 //!   control channel, completions stream back as they happen, and the
@@ -32,22 +32,27 @@ use crate::error::RuntimeError;
 use crate::message::{Envelope, Phase, RuntimeMsg, StageWork};
 use crate::metrics::RequestOutcome;
 use crate::registry::{WorkerKey, WorkerRegistry, WorkerSpawner};
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use helix_cluster::{ModelId, NodeId, TOKEN_WIRE_BYTES};
 use helix_core::{
     ClusterState, EngineCounters, FleetTopology, HelixError, IwrrScheduler, KvCacheEstimator,
-    KvMigration, KvTransferRecord, NodeObservations, ObservationWindows, PlacementDelta,
-    ReplanPolicy, ReplanReason, ReplanRecord, RequestPipeline, Scheduler,
+    KvMigration, KvTransferRecord, LayerRange, NodeObservations, ObservationWindows,
+    PlacementDelta, ReplanPolicy, ReplanReason, ReplanRecord, RequestPipeline, Scheduler,
 };
 use helix_workload::{Request, RequestId, Workload};
+use minirt::channel::{Receiver, Sender, TryRecvError};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Deadline slack absorbing float rounding between virtual-time deadlines and
+/// the wall clock, so a wait never wakes an iteration too early and re-arms a
+/// deadline that is microscopically in the past.
+const DEADLINE_SLACK: Duration = Duration::from_micros(1);
 
 /// What arrives on the coordinator's inbound channel: worker traffic routed
 /// by the fabric, or a wake-up ping the session sends right after queueing a
-/// control message so the coordinator reacts immediately instead of on its
-/// next poll timeout.
+/// control message so the coordinator's waker-based wait returns immediately
+/// and drains the control channel.
 pub(crate) enum CoordinatorMsg {
     /// A message from a worker, delivered by the fabric.
     Runtime(RuntimeMsg),
@@ -174,10 +179,10 @@ pub(crate) struct Coordinator {
     pending_retire: HashSet<WorkerKey>,
     /// KV hand-overs in flight, with the virtual time each freeze began.
     /// Drains wait for these; each resolves on the matching `KvInstalled`.
+    /// Freezes are layer-scoped: each pending migration holds exactly one
+    /// `Freeze(layers)` on each endpoint, and overlapping hand-overs stack
+    /// their ranges on the worker rather than refcounting here.
     pending_migrations: Vec<(KvMigration, f64)>,
-    /// Freeze refcount per worker: overlapping hand-overs sharing an
-    /// endpoint send `Resume` only when the endpoint's last transfer lands.
-    frozen: HashMap<WorkerKey, usize>,
     /// Re-route deferred until a model's last pending transfer lands: the
     /// re-planned scheduler to install then (freeze → transfer → re-route →
     /// resume).
@@ -216,7 +221,6 @@ impl Coordinator {
             },
             pending_retire: HashSet::new(),
             pending_migrations: Vec::new(),
-            frozen: HashMap::new(),
             deferred_swaps: HashMap::new(),
             kv_transfers: Vec::new(),
             completions: None,
@@ -234,9 +238,12 @@ impl Coordinator {
     }
 
     /// Serves the whole workload, returning one outcome per request in
-    /// completion order (the legacy blocking batch path — the session's
-    /// `serve` convenience wrapper runs exactly this loop).
-    pub(crate) fn run(&mut self, workload: &Workload) -> Result<Vec<RequestOutcome>, RuntimeError> {
+    /// completion order (the batch path — the session's `serve` convenience
+    /// wrapper drives exactly this future to completion on its own thread).
+    pub(crate) async fn run(
+        &mut self,
+        workload: &Workload,
+    ) -> Result<Vec<RequestOutcome>, RuntimeError> {
         let requests: Vec<Request> = workload.requests().to_vec();
         let total = requests.len();
         let mut next_arrival = 0usize;
@@ -275,18 +282,25 @@ impl Coordinator {
                 });
             }
 
-            // Wait for worker events, but wake up in time for the next arrival.
-            let timeout = if next_arrival < total {
-                let until_arrival = requests[next_arrival].arrival_time - self.clock.now();
-                self.clock.wall_duration(until_arrival.clamp(0.0, 1.0))
-            } else {
-                Duration::from_millis(10)
-            };
-            match self.inbound.recv_timeout(timeout) {
-                Ok(msg) => self.handle_inbound(msg)?,
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(RuntimeError::Disconnected("network fabric"));
+            // Wait for worker events on the channel's waker, with a deadline
+            // at whichever comes first: the next arrival, the next policy
+            // tick or the wall budget.  No polling interval — a completion
+            // wakes this the instant the fabric delivers it.
+            let mut deadline = self.clock.instant_at_wall(self.max_wall);
+            if next_arrival < total {
+                deadline = deadline.min(self.clock.instant_at(requests[next_arrival].arrival_time));
+            }
+            if let Some(at) = self.next_policy_deadline() {
+                deadline = deadline.min(at);
+            }
+            let received =
+                minirt::time::timeout_at(deadline + DEADLINE_SLACK, self.inbound.recv()).await;
+            if let Ok(result) = received {
+                match result {
+                    Ok(msg) => {
+                        self.handle_inbound(msg)?;
+                    }
+                    Err(_) => return Err(RuntimeError::Disconnected("network fabric")),
                 }
             }
             while let Ok(msg) = self.inbound.try_recv() {
@@ -308,8 +322,9 @@ impl Coordinator {
     /// passes, exactly as in the batch path, so replaying a workload through
     /// submit-all-then-drain exercises the same admission mechanics as
     /// [`Coordinator::run`].  The wall-clock budget is enforced only while a
-    /// drain or finish is pending — an idle session may live indefinitely.
-    pub(crate) fn run_live(
+    /// drain or finish is pending — an idle session may live indefinitely,
+    /// parked on its inbound channel's waker at zero cost.
+    pub(crate) async fn run_live(
         &mut self,
         control: Receiver<SessionControl>,
         completions: Sender<RequestOutcome>,
@@ -411,24 +426,36 @@ impl Coordinator {
                 }
             }
 
-            // 6. Wait for worker events.  A control message wakes this wait
-            // immediately (the session pings the inbound channel after
-            // queueing one), so the timeout only paces arrivals and idling.
+            // 6. Wait for worker events on the channel's waker.  A control
+            // message wakes this wait immediately (the session pings the
+            // inbound channel after queueing one); deadlines exist only to
+            // pace deferred arrivals, policy ticks and the drain budget —
+            // a fully idle session waits with *no* deadline at all.
             let next_arrival = pending
                 .iter()
                 .map(|r| r.arrival_time)
                 .fold(f64::INFINITY, f64::min);
-            let timeout = if next_arrival.is_finite() {
-                let until_arrival = next_arrival - self.clock.now();
-                self.clock.wall_duration(until_arrival.clamp(0.0, 1.0))
-            } else {
-                Duration::from_millis(10)
+            let mut deadline: Option<Instant> = None;
+            if next_arrival.is_finite() {
+                deadline = Some(self.clock.instant_at(next_arrival));
+            }
+            if let Some(at) = self.next_policy_deadline() {
+                deadline = Some(deadline.map_or(at, |d| d.min(at)));
+            }
+            if let Some(started) = drain_started {
+                let at = self.clock.instant_at_wall(started + self.max_wall);
+                deadline = Some(deadline.map_or(at, |d| d.min(at)));
+            }
+            let received = match deadline {
+                Some(at) => minirt::time::timeout_at(at + DEADLINE_SLACK, self.inbound.recv())
+                    .await
+                    .ok(),
+                None => Some(self.inbound.recv().await),
             };
-            match self.inbound.recv_timeout(timeout) {
-                Ok(msg) => self.handle_inbound(msg)?,
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(RuntimeError::Disconnected("network fabric"));
+            if let Some(result) = received {
+                match result {
+                    Ok(msg) => self.handle_inbound(msg)?,
+                    Err(_) => return Err(RuntimeError::Disconnected("network fabric")),
                 }
             }
             while let Ok(msg) = self.inbound.try_recv() {
@@ -439,6 +466,16 @@ impl Coordinator {
             self.maybe_replan();
         }
         Ok(std::mem::take(&mut self.outcomes))
+    }
+
+    /// When the next observation-window check is due, if a policy is
+    /// configured — the wake-up deadline for the waker-based waits.
+    fn next_policy_deadline(&self) -> Option<Instant> {
+        let policy = self.control.policy?;
+        Some(
+            self.clock
+                .instant_at(self.control.last_check + policy.check_interval_secs),
+        )
     }
 
     /// One observation-window check of the online re-planning loop.  Reads
@@ -553,11 +590,12 @@ impl Coordinator {
             }
         }
         // Hand-over step 4: initiate each migration's KV transfer — freeze
-        // both ends (refcounted, so overlapping hand-overs sharing an
-        // endpoint thaw only when the last one lands), then ask the source
-        // to extract its pool through the fabric (the pages queue behind
-        // activation traffic on the `from → to` link).  `KvInstalled`
-        // re-routes and resumes.
+        // the *migrated layer range* on both ends (work on other layers
+        // keeps executing; overlapping hand-overs stack their ranges on the
+        // worker), then ask the source to extract its pool through the
+        // fabric as a pipelined chunk stream (the pages queue behind — and
+        // interleave with — activation traffic on the `from → to` link).
+        // `KvInstalled` re-routes and resumes.
         let mut migrating: HashSet<ModelId> = HashSet::new();
         for &migration in &outcome.migrations {
             let KvMigration {
@@ -569,8 +607,8 @@ impl Coordinator {
             let Some(source) = self.registry.route((from, model)) else {
                 continue;
             };
-            self.freeze_endpoint((from, model));
-            self.freeze_endpoint((to, model));
+            self.freeze_endpoint((from, model), layers);
+            self.freeze_endpoint((to, model), layers);
             let kv_bytes_per_token_per_layer = self.control.fleet.profiles()[model.index()]
                 .model()
                 .kv_bytes_per_token_per_layer();
@@ -769,44 +807,36 @@ impl Coordinator {
         }
     }
 
-    /// Raises one endpoint's freeze refcount, sending `Freeze` on the first
-    /// raise (overlapping hand-overs share a single frozen state).
-    fn freeze_endpoint(&mut self, key: WorkerKey) {
-        let count = self.frozen.entry(key).or_insert(0);
-        *count += 1;
-        if *count == 1 {
-            if let Some(tx) = self.registry.route(key) {
-                let _ = tx.send(RuntimeMsg::Freeze);
-            }
+    /// Freezes one hand-over's layer range on one endpoint.  The worker
+    /// stacks ranges, so overlapping hand-overs sharing an endpoint each
+    /// freeze (and later thaw) their own range independently — and work on
+    /// layers outside every frozen range keeps executing throughout.
+    fn freeze_endpoint(&mut self, key: WorkerKey, layers: LayerRange) {
+        if let Some(tx) = self.registry.route(key) {
+            let _ = tx.send(RuntimeMsg::Freeze(layers));
         }
     }
 
-    /// Lowers one endpoint's freeze refcount, resuming the worker when its
-    /// last pending hand-over landed.
-    fn thaw_endpoint(&mut self, key: WorkerKey) {
-        let Some(count) = self.frozen.get_mut(&key) else {
-            return;
-        };
-        *count = count.saturating_sub(1);
-        if *count == 0 {
-            self.frozen.remove(&key);
-            if let Some(tx) = self.registry.route(key) {
-                let _ = tx.send(RuntimeMsg::Resume);
-            }
+    /// Thaws one hand-over's layer range on one endpoint (its transfer
+    /// landed).
+    fn thaw_endpoint(&mut self, key: WorkerKey, layers: LayerRange) {
+        if let Some(tx) = self.registry.route(key) {
+            let _ = tx.send(RuntimeMsg::Resume(layers));
         }
     }
 
     /// Completes one KV hand-over: records the transfer, installs the
     /// deferred scheduler once the model's last pending transfer landed
-    /// (re-route), and thaws the two ends (refcounted, so an endpoint with
-    /// another hand-over still in flight stays frozen).
+    /// (re-route), and thaws the migrated layer range on both ends (an
+    /// endpoint with another hand-over still in flight keeps that other
+    /// range frozen).
     #[allow(clippy::too_many_arguments)]
     fn finish_migration(
         &mut self,
         model: ModelId,
         from: NodeId,
         to: NodeId,
-        layers: helix_core::LayerRange,
+        layers: LayerRange,
         tokens: u64,
         pages: u64,
         bytes: f64,
@@ -846,8 +876,8 @@ impl Coordinator {
                 self.schedulers[model.index()] = scheduler;
             }
         }
-        self.thaw_endpoint((from, model));
-        self.thaw_endpoint((to, model));
+        self.thaw_endpoint((from, model), layers);
+        self.thaw_endpoint((to, model), layers);
     }
 
     /// Completes a request: records its outcome, updates the estimator and

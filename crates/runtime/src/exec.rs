@@ -12,7 +12,11 @@ use helix_cluster::NodeProfile;
 use helix_core::exec_model::{ExecModel, WorkUnit};
 
 /// Computes how long (in virtual seconds) a dynamic batch takes on a node.
-pub trait ExecutionModel: Send {
+///
+/// `Send + Sync` so one model can be shared in an `Arc` between the
+/// coordinator (which builds replacements on re-plan) and the worker task
+/// applying it in place.
+pub trait ExecutionModel: Send + Sync {
     /// Duration of one batch of work items executing on this node.
     fn batch_duration(&self, items: &[StageWork]) -> f64;
 }

@@ -2,25 +2,29 @@
 //! workers with per-link bandwidth, latency and FIFO queueing.
 //!
 //! The paper's prototype ships tensors over ZeroMQ across real datacenter
-//! links; here a dedicated fabric thread models each directed link as a
-//! serial resource (messages queue behind each other at the link's bandwidth)
-//! plus a propagation latency, using the same per-link numbers the planner
-//! sees through [`ClusterProfile::link_profile`].  Congestion on slow
-//! inter-region links — the effect behind the paper's Fig. 10b case study —
-//! emerges naturally from this model.
+//! links; here a fabric *task* models each directed link as a serial resource
+//! (messages queue behind each other at the link's bandwidth) plus a
+//! propagation latency, using the same per-link numbers the planner sees
+//! through [`ClusterProfile::link_profile`].  Congestion on slow inter-region
+//! links — the effect behind the paper's Fig. 10b case study — emerges
+//! naturally from this model.
+//!
+//! The fabric runs as an async task on the data plane's executor: idle, it
+//! parks on its ingress channel's waker; with deliveries in flight it
+//! suspends on a timer until the earliest delivery is due.  There is no
+//! polling interval — a message that arrives while the fabric sleeps wakes it
+//! immediately.
 
 use crate::clock::VirtualClock;
 use crate::coordinator::CoordinatorMsg;
 use crate::message::Envelope;
 use crate::registry::WorkerRegistry;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use helix_cluster::{ClusterProfile, NodeId};
+use minirt::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
 
 /// A directed link endpoint pair; `None` denotes the coordinator.
 pub type LinkKey = (Option<NodeId>, Option<NodeId>);
@@ -86,7 +90,7 @@ impl Ord for Delivery {
     }
 }
 
-/// Everything the fabric thread needs to route messages.
+/// Everything the fabric task needs to route messages.
 pub(crate) struct FabricSpec {
     /// Profile supplying per-link bandwidth and latency (links are shared by
     /// every model of the fleet, so one profile suffices).
@@ -101,22 +105,23 @@ pub(crate) struct FabricSpec {
     pub coordinator_tx: Sender<CoordinatorMsg>,
 }
 
-/// Spawns the fabric thread.  Returns the ingress sender (clone one per
-/// producer), the shared traffic counters and the join handle.
+/// Spawns the fabric task on `executor`.  The task drains in-flight
+/// deliveries and exits once every ingress sender has been dropped.  Returns
+/// the shared traffic counters.
 pub(crate) fn spawn_fabric(
+    executor: &minirt::Executor,
     spec: FabricSpec,
     ingress: Receiver<Envelope>,
-) -> (LinkTrafficMap, JoinHandle<()>) {
+) -> LinkTrafficMap {
     let traffic: LinkTrafficMap = Arc::new(Mutex::new(HashMap::new()));
     let shared = Arc::clone(&traffic);
-    let handle = std::thread::Builder::new()
-        .name("helix-fabric".to_string())
-        .spawn(move || run_fabric(spec, ingress, shared))
-        .expect("spawning the fabric thread never fails");
-    (traffic, handle)
+    executor.spawn(async move {
+        run_fabric(spec, ingress, shared).await;
+    });
+    traffic
 }
 
-fn run_fabric(spec: FabricSpec, ingress: Receiver<Envelope>, traffic: LinkTrafficMap) {
+async fn run_fabric(spec: FabricSpec, ingress: Receiver<Envelope>, traffic: LinkTrafficMap) {
     let FabricSpec {
         profile,
         clock,
@@ -139,24 +144,28 @@ fn run_fabric(spec: FabricSpec, ingress: Receiver<Envelope>, traffic: LinkTraffi
             break;
         }
 
-        // Wait for the next arrival or the next due delivery, whichever is
-        // sooner.
-        let timeout = heap
-            .peek()
-            .map(|d| clock.wall_duration(d.deliver_at - clock.now()))
-            .unwrap_or(Duration::from_millis(5));
+        // Wait for the next arrival or the next due delivery, whichever
+        // comes first; both paths wake the task, neither polls.
+        let next_due = heap.peek().map(|d| clock.instant_at(d.deliver_at));
         if closed {
-            std::thread::sleep(timeout);
+            let due = next_due.expect("non-empty heap when closed");
+            minirt::time::sleep_until(due).await;
             continue;
         }
-        match ingress.recv_timeout(timeout) {
+        let received = match next_due {
+            Some(due) => match minirt::time::timeout_at(due, ingress.recv()).await {
+                Ok(result) => result,
+                Err(_elapsed) => continue,
+            },
+            None => ingress.recv().await,
+        };
+        match received {
             Ok(envelope) => {
                 seq += 1;
                 let delivery = schedule(envelope, seq, &profile, &clock, &mut link_free, &traffic);
                 heap.push(delivery);
             }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => closed = true,
+            Err(_) => closed = true,
         }
     }
 }
@@ -221,8 +230,8 @@ mod tests {
     use crate::message::{Phase, RuntimeMsg};
     use crate::registry::WorkerMeta;
     use crate::worker::{SharedWorkerStats, WorkerStats};
-    use crossbeam::channel::unbounded;
     use helix_cluster::{ClusterSpec, ModelConfig, ModelId};
+    use minirt::channel::unbounded;
 
     fn setup() -> (Arc<ClusterProfile>, VirtualClock) {
         let profile = Arc::new(ClusterProfile::analytic(
@@ -232,8 +241,10 @@ mod tests {
         (profile, VirtualClock::new(0.0005))
     }
 
-    /// Registers a bare channel as a routable "worker" (no real thread work).
-    fn registry_with_endpoint(node: NodeId) -> (Arc<WorkerRegistry>, Receiver<RuntimeMsg>) {
+    /// Registers a bare channel as a routable "worker" (no task behind it).
+    fn registry_with_endpoint(
+        node: NodeId,
+    ) -> (Arc<WorkerRegistry>, minirt::channel::Receiver<RuntimeMsg>) {
         let registry = Arc::new(WorkerRegistry::new());
         let (tx, rx) = unbounded();
         let stats: SharedWorkerStats = Arc::new(Mutex::new(WorkerStats::default()));
@@ -245,7 +256,6 @@ mod tests {
                 name: format!("node{}", node.index()),
                 layers: 0,
             },
-            std::thread::spawn(|| {}),
         );
         (registry, rx)
     }
@@ -270,13 +280,14 @@ mod tests {
         let (registry, worker_rx) = registry_with_endpoint(NodeId(0));
         let (coord_tx, coord_rx) = unbounded();
         let (ingress_tx, ingress_rx) = unbounded();
+        let executor = minirt::Executor::new();
         let spec = FabricSpec {
             profile,
             clock,
             registry,
             coordinator_tx: coord_tx,
         };
-        let (traffic, handle) = spawn_fabric(spec, ingress_rx);
+        let traffic = spawn_fabric(&executor, spec, ingress_rx);
 
         ingress_tx
             .send(iteration_done(None, Some(NodeId(0)), 4.0))
@@ -284,20 +295,19 @@ mod tests {
         ingress_tx
             .send(iteration_done(Some(NodeId(0)), None, 4.0))
             .unwrap();
+        drop(ingress_tx);
+        executor.drain();
 
-        let to_worker = worker_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let to_worker = worker_rx.try_recv().unwrap();
         assert!(matches!(
             to_worker,
             RuntimeMsg::IterationDone { request: 1, .. }
         ));
-        let to_coord = coord_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let to_coord = coord_rx.try_recv().unwrap();
         assert!(matches!(
             to_coord,
             CoordinatorMsg::Runtime(RuntimeMsg::IterationDone { request: 1, .. })
         ));
-
-        drop(ingress_tx);
-        handle.join().unwrap();
 
         let map = traffic.lock();
         assert_eq!(map.len(), 2);
@@ -313,28 +323,33 @@ mod tests {
         let (registry, worker_rx) = registry_with_endpoint(NodeId(1));
         let (coord_tx, _coord_rx) = unbounded();
         let (ingress_tx, ingress_rx) = unbounded();
+        let executor = minirt::Executor::new();
         let spec = FabricSpec {
             profile: Arc::clone(&profile),
             clock,
             registry,
             coordinator_tx: coord_tx,
         };
-        let (traffic, handle) = spawn_fabric(spec, ingress_rx);
+        let traffic = spawn_fabric(&executor, spec, ingress_rx);
 
-        // Two transfers sized to take a noticeable fraction of a virtual
-        // second each on this link; the second must queue behind the first.
+        // Two transfers sized to occupy the link for many virtual seconds
+        // each; the second must queue behind the first.  The size is
+        // deliberately huge: queueing is detected by comparing wall-clock
+        // `now` against the link-busy horizon, so the busy window must be
+        // wide enough (milliseconds of wall time at this clock scale) that
+        // scheduler preemption between the two envelopes cannot swallow it.
         let link = profile.link_profile(Some(NodeId(0)), Some(NodeId(1))).link;
-        let bytes = link.bandwidth_bytes_per_sec() * 0.2;
+        let bytes = link.bandwidth_bytes_per_sec() * 20.0;
         for _ in 0..2 {
             ingress_tx
                 .send(iteration_done(Some(NodeId(0)), Some(NodeId(1)), bytes))
                 .unwrap();
         }
-        for _ in 0..2 {
-            worker_rx.recv_timeout(Duration::from_secs(5)).unwrap();
-        }
         drop(ingress_tx);
-        handle.join().unwrap();
+        executor.drain();
+        for _ in 0..2 {
+            worker_rx.try_recv().unwrap();
+        }
 
         let map = traffic.lock();
         let entry = map.get(&(Some(NodeId(0)), Some(NodeId(1)))).unwrap();

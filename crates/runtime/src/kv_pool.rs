@@ -101,6 +101,25 @@ impl PagedKvPool {
         self.tokens_per_page
     }
 
+    /// Re-sizes the pool to `capacity_tokens`, keeping resident allocations
+    /// (an in-place plan update).  No pages are evicted: shrinking below
+    /// current usage floors the capacity at the pages in use, so new
+    /// allocations fail until releases catch up with the new budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_tokens` is negative or NaN.
+    pub fn resize(&mut self, capacity_tokens: f64) {
+        assert!(
+            capacity_tokens.is_finite() && capacity_tokens >= 0.0,
+            "capacity_tokens must be non-negative, got {capacity_tokens}"
+        );
+        let used = self.used_pages();
+        let requested = (capacity_tokens / self.tokens_per_page as f64).floor() as usize;
+        self.total_pages = requested.max(used);
+        self.free_pages = self.total_pages - used;
+    }
+
     /// Total pool capacity in pages.
     pub fn total_pages(&self) -> usize {
         self.total_pages
@@ -293,5 +312,25 @@ mod tests {
     #[should_panic(expected = "tokens_per_page")]
     fn zero_page_size_is_rejected() {
         let _ = PagedKvPool::new(100.0, 0);
+    }
+
+    #[test]
+    fn resize_keeps_residency_and_floors_at_usage() {
+        let mut pool = PagedKvPool::new(64.0, 16);
+        pool.append_tokens(1, 32).unwrap();
+        pool.resize(128.0);
+        assert_eq!(pool.total_pages(), 8);
+        assert_eq!(pool.used_pages(), 2);
+        pool.append_tokens(2, 64).unwrap();
+        // Shrinking below the 6 pages in use floors capacity at usage: no
+        // eviction, but nothing new fits until releases catch up.
+        pool.resize(16.0);
+        assert_eq!(pool.total_pages(), 6);
+        assert!(pool.append_tokens(3, 16).is_err());
+        pool.release(1);
+        pool.release(2);
+        pool.resize(16.0);
+        assert_eq!(pool.total_pages(), 1);
+        assert!(pool.append_tokens(3, 16).is_ok());
     }
 }

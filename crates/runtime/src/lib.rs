@@ -1,27 +1,34 @@
-//! Multi-threaded prototype serving runtime for Helix.
+//! Async prototype serving runtime for Helix.
 //!
 //! The paper evaluates two artefacts: a prototype system (vLLM workers plus a
 //! ZeroMQ control plane, §6.1) and a discrete-event simulator.  The
 //! [`helix-sim`](https://docs.rs/helix-sim) crate reproduces the simulator;
 //! this crate reproduces the *prototype's architecture* (Fig. 3) as a real
-//! concurrent system:
+//! concurrent system of async tasks on a vendored single-threaded executor
+//! (`minirt`):
 //!
-//! * a **coordinator** (this thread) that admits requests, asks the
-//!   configured [`Scheduler`](helix_core::Scheduler) for a per-request
-//!   pipeline, tracks decode iterations and releases KV cache when requests
-//!   finish (§5.1–§5.2);
-//! * one **worker thread per compute node** running best-effort dynamic
-//!   batching over the layers the placement assigned to it, with a paged
-//!   KV-cache pool modelled after vLLM's PagedAttention block manager
+//! * a **coordinator task** that admits requests, asks the configured
+//!   [`Scheduler`](helix_core::Scheduler) for a per-request pipeline, tracks
+//!   decode iterations and releases KV cache when requests finish
+//!   (§5.1–§5.2);
+//! * one **worker task per (compute node, model) pair** running best-effort
+//!   dynamic batching over the layers the placement assigned to it, with a
+//!   paged KV-cache pool modelled after vLLM's PagedAttention block manager
 //!   ([`PagedKvPool`]);
-//! * a **network fabric thread** that delivers messages with per-link
+//! * a **network fabric task** that delivers messages with per-link
 //!   bandwidth, latency and FIFO queueing taken from the cluster profile, so
 //!   congestion on slow links emerges exactly as in the paper's Fig. 10b case
 //!   study.
 //!
+//! Because workers are tasks rather than OS threads, the whole data plane —
+//! even a 500-node fleet — runs on a bounded number of threads: inline on
+//! the calling thread for batch runs, or on one `helix-dataplane` thread for
+//! live sessions.  Every wait is waker-based (channel wakers and virtual-time
+//! timers); nothing in the data plane polls on an interval.
+//!
 //! GPU kernels are replaced by a calibrated cost model ([`AnalyticExecution`])
 //! — the same substitution the paper's own simulator makes — while every other
-//! part of the system (threads, channels, batching, paging, backpressure) is
+//! part of the system (tasks, channels, batching, paging, backpressure) is
 //! real.  Time is virtualised by a [`VirtualClock`] so runs execute faster
 //! than real time; all reported latencies and throughputs are in virtual
 //! seconds and directly comparable with the simulator's output.
@@ -33,7 +40,7 @@
 //! injection and placement deltas that can spawn workers for brand-new
 //! (node, model) tenancies.  The legacy batch call survives as
 //! [`ServingSession::serve`], which on a fresh session runs the identical
-//! blocking loop the old `ServingRuntime::serve` ran.
+//! admission loop the old `ServingRuntime::serve` ran.
 //!
 //! # Example: builder → session → report
 //!
@@ -102,7 +109,7 @@ pub use error::RuntimeError;
 pub use exec::{AnalyticExecution, ExecutionModel, InstantExecution};
 pub use fabric::{LinkKey, LinkTraffic};
 pub use kv_pool::{KvPoolError, PagedKvPool};
-pub use message::{Envelope, Phase, RuntimeMsg, StageWork};
+pub use message::{Envelope, Phase, PlanUpdate, RuntimeMsg, StageWork};
 pub use metrics::{LatencySummary, LinkReport, NodeReport, RequestOutcome, RuntimeReport};
 pub use runtime::{ExecutionKind, RuntimeConfig, ServingRuntime};
 pub use session::ServingSession;

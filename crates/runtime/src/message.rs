@@ -8,9 +8,11 @@
 //! of a finished request, and an *iteration done* message returning the newly
 //! generated token to the coordinator.
 
+use crate::exec::ExecutionModel;
 use helix_cluster::{ModelId, NodeId};
 use helix_core::{LayerRange, RequestPipeline};
 use helix_workload::RequestId;
+use std::fmt;
 use std::sync::Arc;
 
 /// Which phase of auto-regressive generation a work item belongs to (the
@@ -97,14 +99,18 @@ pub enum RuntimeMsg {
     /// coordinator's re-plan loop reacts to the measurement, never to the
     /// injected value itself.
     SetSpeed(f64),
-    /// Freeze the worker: work keeps queueing but no batch executes until
-    /// [`RuntimeMsg::Resume`] — the freeze half of a KV hand-over, sent by
-    /// the coordinator to both ends of a migration.
-    Freeze,
-    /// Resume executing after a freeze (the hand-over's transfer landed).
-    Resume,
+    /// Freeze the given layer range of the worker: work whose stage
+    /// intersects the range keeps queueing but does not execute until the
+    /// matching [`RuntimeMsg::Resume`] — the freeze half of a KV hand-over,
+    /// sent by the coordinator to both ends of a migration.  Work on the
+    /// worker's *other* layers keeps executing throughout.
+    Freeze(LayerRange),
+    /// Resume executing the given layer range after a freeze (the
+    /// hand-over's transfer landed).
+    Resume(LayerRange),
     /// Coordinator → migration source: snapshot the KV pool and ship it to
-    /// `to` through the fabric.  The worker prices the transfer with the
+    /// `to` through the fabric as a pipelined sequence of
+    /// [`RuntimeMsg::KvChunk`]s.  The worker prices the transfer with the
     /// shared [`KvTransferModel`](helix_core::KvTransferModel) — the same
     /// page-granular model the simulator uses — from the model's KV
     /// geometry, the moved layer count and its own pool's page size.
@@ -116,23 +122,28 @@ pub enum RuntimeMsg {
         /// KV bytes one cached token occupies per model layer.
         kv_bytes_per_token_per_layer: f64,
     },
-    /// Migration source → destination, through the fabric with the envelope
-    /// sized at the real transfer bytes (so the KV pages queue behind
-    /// activation traffic on the `from → to` link): install the migrated KV
-    /// residency.
-    KvInstall {
+    /// Migration source → destination: one pipelined slice of the migrated
+    /// KV residency.  Each chunk travels the fabric as its own envelope
+    /// sized at the chunk's share of the transfer bytes, so activation
+    /// traffic interleaves between chunks on the `from → to` link instead of
+    /// queueing behind one monolithic blob.  Per-link FIFO delivery
+    /// guarantees the `last` chunk arrives after every other chunk.
+    KvChunk {
         /// The source node.
         from: NodeId,
         /// The migrated layer sub-range.
         layers: LayerRange,
-        /// Per-request cached token counts being handed over.
+        /// Per-request cached token counts carried by this chunk.
         entries: Vec<(RequestId, usize)>,
-        /// Total tokens moved.
+        /// Total tokens of the whole hand-over (priced once at the source).
         tokens: u64,
-        /// KV pages moved.
+        /// Total KV pages of the whole hand-over.
         pages: u64,
-        /// Bytes shipped (pages × page size).
+        /// Total bytes of the whole hand-over.
         bytes: f64,
+        /// Whether this is the final chunk; the destination acknowledges
+        /// the hand-over with [`RuntimeMsg::KvInstalled`] on receipt.
+        last: bool,
     },
     /// Migration destination → coordinator: the migrated state is installed;
     /// the coordinator re-routes (installs the deferred scheduler) and sends
@@ -153,8 +164,36 @@ pub enum RuntimeMsg {
         /// Bytes shipped.
         bytes: f64,
     },
+    /// Coordinator → worker: a re-plan changed this (node, model) tenancy's
+    /// facts; apply them in place.  The pre-async runtime could only respawn
+    /// workers for *new* tenancies — surviving workers kept executing with
+    /// stale cost models while the simulator re-split its engines live; this
+    /// closes that fidelity gap.
+    UpdatePlan(PlanUpdate),
     /// Stop processing after draining pending work.
     Shutdown,
+}
+
+/// The re-planned execution facts of one worker, applied in place by
+/// [`RuntimeMsg::UpdatePlan`].
+#[derive(Clone)]
+pub struct PlanUpdate {
+    /// The re-derived execution model (e.g. the new analytic contention
+    /// split after tenancies moved on or off the node).
+    pub execution: Arc<dyn ExecutionModel>,
+    /// The re-derived KV pool capacity in tokens; resident pages survive.
+    pub kv_capacity_tokens: f64,
+    /// Layers the node now holds for the model (report metadata).
+    pub layers: usize,
+}
+
+impl fmt::Debug for PlanUpdate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanUpdate")
+            .field("kv_capacity_tokens", &self.kv_capacity_tokens)
+            .field("layers", &self.layers)
+            .finish_non_exhaustive()
+    }
 }
 
 /// An addressed message travelling through the network fabric.

@@ -9,23 +9,26 @@
 //! adds that tenancy, and [`detach`](WorkerRegistry::detach) one once its
 //! in-flight pipelines have drained — while the fabric keeps routing over
 //! whatever the set currently is.
+//!
+//! Workers are tasks on the data plane's executor, so the registry keeps no
+//! join handles: a worker finishes when it processes its shutdown, and the
+//! executor's `drain` runs every task to completion at teardown.
 
 use crate::clock::VirtualClock;
 use crate::exec::{AnalyticExecution, ExecutionModel, InstantExecution};
-use crate::message::{Envelope, RuntimeMsg};
+use crate::message::{Envelope, PlanUpdate, RuntimeMsg};
 use crate::runtime::ExecutionKind;
 use crate::worker::{self, SharedWorkerStats, WorkerConfig, WorkerStats};
-use crossbeam::channel::{unbounded, Sender};
 use helix_cluster::{ClusterProfile, ModelId, NodeId};
+use minirt::channel::{unbounded, Sender};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Key of one worker: the (compute node, fleet model) pair it serves.
 pub(crate) type WorkerKey = (NodeId, ModelId);
 
-/// Report-facing facts about one worker that outlive its thread.
+/// Report-facing facts about one worker that outlive its task.
 #[derive(Debug, Clone)]
 pub(crate) struct WorkerMeta {
     /// Human-readable node name from the cluster spec.
@@ -43,8 +46,6 @@ struct RegistryInner {
     stats: HashMap<WorkerKey, SharedWorkerStats>,
     /// Report metadata of every worker ever registered.
     meta: HashMap<WorkerKey, WorkerMeta>,
-    /// Join handles of every worker thread ever spawned.
-    handles: Vec<JoinHandle<()>>,
 }
 
 /// Thread-safe, mutable worker membership: who exists, how to reach them,
@@ -77,7 +78,6 @@ impl WorkerRegistry {
         tx: Sender<RuntimeMsg>,
         stats: SharedWorkerStats,
         meta: WorkerMeta,
-        handle: JoinHandle<()>,
     ) {
         let mut inner = self.inner.write();
         if let Some(previous) = inner.stats.get(&key) {
@@ -94,7 +94,6 @@ impl WorkerRegistry {
         inner.txs.insert(key, tx);
         inner.stats.insert(key, stats);
         inner.meta.insert(key, meta);
-        inner.handles.push(handle);
     }
 
     /// Whether a live (routable) worker exists for `key`.
@@ -133,6 +132,15 @@ impl WorkerRegistry {
         self.inner.read().stats.get(&key).cloned()
     }
 
+    /// Updates the report metadata of one worker after an in-place plan
+    /// update changed its layer assignment.
+    pub(crate) fn update_meta(&self, key: WorkerKey, layers: usize) {
+        let mut inner = self.inner.write();
+        if let Some(meta) = inner.meta.get_mut(&key) {
+            meta.layers = layers;
+        }
+    }
+
     /// Clones every *live* worker's current statistics, sorted by key for
     /// deterministic iteration (detached workers stop being observed).
     pub(crate) fn live_stats_snapshot(&self) -> Vec<(WorkerKey, WorkerStats)> {
@@ -164,12 +172,10 @@ impl WorkerRegistry {
 
     /// Retires one worker: sends it a shutdown and removes its delivery
     /// channel so the fabric stops routing to it.  Its statistics and report
-    /// metadata survive; its thread is joined in [`join_all`].
+    /// metadata survive; its task runs to completion on the executor.
     ///
     /// The caller is responsible for only detaching workers whose in-flight
     /// pipelines have drained (drain-then-switch).
-    ///
-    /// [`join_all`]: WorkerRegistry::join_all
     pub(crate) fn detach(&self, key: WorkerKey) {
         let mut inner = self.inner.write();
         if let Some(tx) = inner.txs.remove(&key) {
@@ -184,23 +190,13 @@ impl WorkerRegistry {
             let _ = tx.send(RuntimeMsg::Shutdown);
         }
     }
-
-    /// Joins every worker thread ever spawned (including detached ones).
-    pub(crate) fn join_all(&self) {
-        let handles = {
-            let mut inner = self.inner.write();
-            std::mem::take(&mut inner.handles)
-        };
-        for handle in handles {
-            let _ = handle.join();
-        }
-    }
 }
 
-/// Everything needed to spawn one more worker mid-run: the clock, the fabric
-/// ingress, the execution-model choice and the KV-pool parameters the
-/// original build used.
+/// Everything needed to spawn one more worker mid-run: the executor, the
+/// clock, the fabric ingress, the execution-model choice and the KV-pool
+/// parameters the original build used.
 pub(crate) struct WorkerSpawner {
+    pub executor: minirt::Executor,
     pub clock: VirtualClock,
     pub fabric: Sender<Envelope>,
     pub execution: ExecutionKind,
@@ -210,8 +206,20 @@ pub(crate) struct WorkerSpawner {
 }
 
 impl WorkerSpawner {
-    /// Spawns and registers a worker for `(node, model)` with the given plan
-    /// facts.  No-op if a live worker already exists for the pair.
+    /// Builds the execution model a worker of `node` should run under the
+    /// current plan.
+    fn execution_for(&self, profile: &ClusterProfile, node: NodeId) -> Arc<dyn ExecutionModel> {
+        match self.execution {
+            ExecutionKind::Analytic => Arc::new(AnalyticExecution::new(profile.node_profile(node))),
+            ExecutionKind::Instant => Arc::new(InstantExecution),
+        }
+    }
+
+    /// Spawns and registers a worker task for `(node, model)` with the given
+    /// plan facts.  If a live worker already exists for the pair, its plan is
+    /// updated **in place** instead: the worker swaps its execution model and
+    /// re-sizes its KV pool without dropping queued work — surviving
+    /// tenancies track a re-plan just like the simulator's re-split engines.
     pub(crate) fn spawn(
         &self,
         profile: &ClusterProfile,
@@ -222,6 +230,14 @@ impl WorkerSpawner {
         kv_capacity_tokens: f64,
     ) {
         if self.registry.is_live((node, model)) {
+            if let Some(tx) = self.registry.route((node, model)) {
+                let _ = tx.send(RuntimeMsg::UpdatePlan(PlanUpdate {
+                    execution: self.execution_for(profile, node),
+                    kv_capacity_tokens,
+                    layers,
+                }));
+            }
+            self.registry.update_meta((node, model), layers);
             return;
         }
         let (tx, rx) = unbounded::<RuntimeMsg>();
@@ -234,13 +250,10 @@ impl WorkerSpawner {
             tokens_per_page: self.tokens_per_page,
             kv_overflow_penalty: self.kv_overflow_penalty,
         };
-        let execution: Box<dyn ExecutionModel> = match self.execution {
-            ExecutionKind::Analytic => Box::new(AnalyticExecution::new(profile.node_profile(node))),
-            ExecutionKind::Instant => Box::new(InstantExecution),
-        };
-        let handle = worker::spawn_worker(
+        let _handle = worker::spawn_worker(
+            &self.executor,
             config,
-            execution,
+            self.execution_for(profile, node),
             self.clock,
             rx,
             self.fabric.clone(),
@@ -254,7 +267,6 @@ impl WorkerSpawner {
                 name: name.to_string(),
                 layers,
             },
-            handle,
         );
     }
 }
@@ -264,16 +276,8 @@ mod tests {
     use super::*;
 
     fn dummy_entry(registry: &WorkerRegistry, key: WorkerKey) -> Sender<RuntimeMsg> {
-        let (tx, rx) = unbounded::<RuntimeMsg>();
+        let (tx, _rx) = unbounded::<RuntimeMsg>();
         let stats: SharedWorkerStats = Arc::new(Mutex::new(WorkerStats::default()));
-        let handle = std::thread::spawn(move || {
-            // Exit on shutdown or channel close, like a real worker.
-            while let Ok(msg) = rx.recv() {
-                if matches!(msg, RuntimeMsg::Shutdown) {
-                    break;
-                }
-            }
-        });
         registry.register(
             key,
             tx.clone(),
@@ -282,7 +286,6 @@ mod tests {
                 name: format!("n{}", key.0.index()),
                 layers: 4,
             },
-            handle,
         );
         tx
     }
@@ -303,7 +306,6 @@ mod tests {
         let rows = registry.report_rows();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].0, key);
-        registry.join_all();
     }
 
     #[test]
@@ -328,7 +330,6 @@ mod tests {
         assert_eq!(seeded.decode_tokens, 40);
         assert!((seeded.busy_secs - 3.0).abs() < 1e-12);
         registry.shutdown_all();
-        registry.join_all();
     }
 
     #[test]
@@ -352,6 +353,14 @@ mod tests {
         );
         assert_eq!(registry.live_keys_for_model(ModelId(0)).len(), 2);
         registry.shutdown_all();
-        registry.join_all();
+    }
+
+    #[test]
+    fn update_meta_rewrites_the_report_layer_count() {
+        let registry = WorkerRegistry::new();
+        let key = (NodeId(0), ModelId(0));
+        let _tx = dummy_entry(&registry, key);
+        registry.update_meta(key, 9);
+        assert_eq!(registry.report_rows()[0].1.layers, 9);
     }
 }

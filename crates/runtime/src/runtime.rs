@@ -15,7 +15,6 @@ use crate::message::Envelope;
 use crate::metrics::{LinkReport, NodeReport, RequestOutcome, RuntimeReport};
 use crate::registry::{WorkerRegistry, WorkerSpawner};
 use crate::session::ServingSession;
-use crossbeam::channel::{unbounded, Sender};
 use helix_cluster::{ModelId, NodeId};
 use helix_core::exec_model::{DEFAULT_TOKENS_PER_PAGE, KV_OVERFLOW_PENALTY};
 use helix_core::{
@@ -23,8 +22,8 @@ use helix_core::{
     ReplanRecord, Scheduler, Topology,
 };
 use helix_workload::Workload;
+use minirt::channel::{unbounded, Sender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Which execution model the workers use.
@@ -82,16 +81,21 @@ impl RuntimeConfig {
     }
 }
 
-/// The wired data plane of one serving system: clock, coordinator, worker
-/// registry, fabric and traffic counters.  Both front doors
-/// ([`ServingRuntime`] and [`ServingSession`]) drive one of these.
+/// The wired data plane of one serving system: the task executor, clock,
+/// coordinator, worker registry, fabric and traffic counters.  Both front
+/// doors ([`ServingRuntime`] and [`ServingSession`]) drive one of these.
+///
+/// Workers and the fabric are *tasks* on `executor`, not threads: the batch
+/// path drives the whole plane inline on the calling thread via `block_on`,
+/// and the live path drives it on one dedicated data-plane thread — either
+/// way the thread count is O(1) in the fleet size.
 pub(crate) struct Wired {
+    pub executor: minirt::Executor,
     pub clock: VirtualClock,
     /// Taken when the batch loop runs inline or the live loop takes the
-    /// coordinator onto its own thread.
+    /// coordinator onto the data-plane thread.
     pub coordinator: Option<Coordinator>,
     pub registry: Arc<WorkerRegistry>,
-    pub fabric_handle: Option<JoinHandle<()>>,
     pub ingress_tx: Option<Sender<Envelope>>,
     /// Clone of the coordinator's inbound sender; the session pings it after
     /// queueing a control message so the coordinator reacts immediately.
@@ -101,10 +105,10 @@ pub(crate) struct Wired {
 }
 
 impl Wired {
-    /// Builds the full data plane for a planned fleet: one worker thread per
+    /// Builds the full data plane for a planned fleet: one worker task per
     /// (assigned node, model) pair — each with its own partition of the
     /// node's KV pool — one KV estimator per model, the network fabric
-    /// thread, and a coordinator that routes every request to its model's
+    /// task, and a coordinator that routes every request to its model's
     /// scheduler.
     pub(crate) fn build(
         fleet: FleetTopology,
@@ -131,11 +135,13 @@ impl Wired {
         // first model's profile.
         let profile_arc = Arc::new(fleet.topologies()[0].profile().clone());
 
+        let executor = minirt::Executor::new();
         let registry = Arc::new(WorkerRegistry::new());
         let (ingress_tx, ingress_rx) = unbounded::<Envelope>();
         let (coordinator_tx, coordinator_rx) = unbounded();
 
-        let (traffic, fabric_handle) = fabric::spawn_fabric(
+        let traffic = fabric::spawn_fabric(
+            &executor,
             FabricSpec {
                 profile: profile_arc,
                 clock,
@@ -146,6 +152,7 @@ impl Wired {
         );
 
         let spawner = WorkerSpawner {
+            executor: executor.clone(),
             clock,
             fabric: ingress_tx.clone(),
             execution: config.execution,
@@ -191,10 +198,10 @@ impl Wired {
         });
 
         Ok(Wired {
+            executor,
             clock,
             coordinator: Some(coordinator),
             registry,
-            fabric_handle: Some(fabric_handle),
             ingress_tx: Some(ingress_tx),
             wake_tx: coordinator_tx,
             traffic,
@@ -203,8 +210,11 @@ impl Wired {
     }
 
     /// Shuts the whole data plane down (workers, fabric) and assembles the
-    /// final report from the run's outcomes and the shared counters.  Always
-    /// joins every thread, even when the run ended in an error.
+    /// final report from the run's outcomes and the shared counters.  Every
+    /// task is run to completion — even when the run ended in an error — by
+    /// draining the executor on the calling thread: workers process their
+    /// shutdowns and drop their fabric senders, the fabric flushes its
+    /// in-flight deliveries and exits on ingress disconnect.
     pub(crate) fn shutdown_and_report(
         mut self,
         outcome: Result<Vec<RequestOutcome>, RuntimeError>,
@@ -214,10 +224,7 @@ impl Wired {
         self.registry.shutdown_all();
         drop(self.coordinator.take());
         drop(self.ingress_tx.take());
-        self.registry.join_all();
-        if let Some(handle) = self.fabric_handle.take() {
-            let _ = handle.join();
-        }
+        self.executor.drain();
 
         let outcomes = outcome?;
         let makespan = {
@@ -288,8 +295,8 @@ pub struct ServingRuntime {
 }
 
 impl ServingRuntime {
-    /// Builds a single-model runtime: spawns one worker thread per assigned
-    /// compute node and the network fabric thread.
+    /// Builds a single-model runtime: spawns one worker task per assigned
+    /// compute node and the network fabric task.
     ///
     /// # Errors
     ///
@@ -336,7 +343,7 @@ impl ServingRuntime {
     }
 
     /// Builds a multi-model runtime over a planned [`FleetTopology`]: one
-    /// worker thread per (assigned node, model) pair — each with its own
+    /// worker task per (assigned node, model) pair — each with its own
     /// partition of the node's KV pool — one KV estimator per model, and a
     /// coordinator that routes every request to its model's scheduler.
     ///
@@ -377,8 +384,9 @@ impl ServingRuntime {
 
     /// Serves the workload to completion and returns the run report.
     ///
-    /// The runtime is consumed: every worker and the fabric are shut down and
-    /// joined before this method returns, even when it returns an error.
+    /// The runtime is consumed: every worker and the fabric are shut down
+    /// and run to completion before this method returns, even when it
+    /// returns an error.
     /// This is the same batch loop [`ServingSession::serve`] runs — the
     /// session API is the preferred surface.
     ///

@@ -11,31 +11,33 @@
 //! exact same blocking loop the pre-session runtime ran, so its report is
 //! bit-identical to the old `ServingRuntime::serve`.
 //!
-//! The coordinator runs inline for the batch path and on a dedicated
-//! `helix-coordinator` thread once the session goes live (first `submit`,
-//! delta or retirement).
+//! The whole data plane — coordinator, workers, fabric — is a set of async
+//! tasks on one executor.  The batch path drives it inline on the calling
+//! thread; once the session goes live (first `submit`, delta or retirement)
+//! a single dedicated `helix-dataplane` thread drives it, so the OS thread
+//! count stays O(1) however many nodes the fleet has.
 
 use crate::coordinator::{CoordinatorMsg, SessionControl};
 use crate::error::RuntimeError;
 use crate::message::RuntimeMsg;
 use crate::metrics::{RequestOutcome, RuntimeReport};
 use crate::runtime::Wired;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use helix_cluster::{ModelId, NodeId};
 use helix_core::{KvTransferRecord, PlacementDelta, ReplanRecord};
 use helix_workload::{Request, TicketId, Workload};
+use minirt::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
-/// What the coordinator thread hands back when the live loop ends.
+/// What the data-plane thread hands back when the live loop ends.
 type LiveResult = (
     Result<Vec<RequestOutcome>, RuntimeError>,
     Vec<ReplanRecord>,
     Vec<KvTransferRecord>,
 );
 
-/// The live half of a session: channels to the coordinator thread.
+/// The live half of a session: channels to the coordinator task on the
+/// data-plane thread.
 struct Live {
     control_tx: Sender<SessionControl>,
     completion_rx: Receiver<RequestOutcome>,
@@ -58,9 +60,10 @@ struct Live {
 ///   completed; [`finish`](Self::finish) drains, shuts the data plane down
 ///   and returns the final [`RuntimeReport`].
 /// * [`serve`](Self::serve) is the batch convenience wrapper: on a session
-///   with no live activity it runs the legacy blocking loop inline (the same
-///   code path as the pre-session runtime, so the report is bit-identical);
-///   on a live session it submits everything, drains and finishes.
+///   with no live activity it drives the batch loop inline on the calling
+///   thread (the same code path as the pre-session runtime, so the report is
+///   bit-identical); on a live session it submits everything, drains and
+///   finishes.
 pub struct ServingSession {
     wired: Wired,
     live: Option<Live>,
@@ -68,7 +71,7 @@ pub struct ServingSession {
     undelivered: VecDeque<RequestOutcome>,
     submitted: usize,
     delivered: usize,
-    /// Set when the coordinator thread died; the session can only report the
+    /// Set when the data-plane thread died; the session can only report the
     /// failure once (the error is returned to whoever observed it first).
     failed: bool,
 }
@@ -96,13 +99,15 @@ impl ServingSession {
         }
     }
 
-    /// Whether the coordinator is running on its own thread (true after the
+    /// Whether the data plane is running on its own thread (true after the
     /// first `submit`, delta or retirement).
     pub fn is_live(&self) -> bool {
         self.live.is_some()
     }
 
-    /// Starts the coordinator thread if it is not running yet.
+    /// Starts the data-plane thread if it is not running yet: one thread
+    /// driving the executor that runs the coordinator's live loop alongside
+    /// every worker task and the fabric task.
     fn ensure_live(&mut self) {
         if self.live.is_some() || self.failed {
             return;
@@ -112,17 +117,18 @@ impl ServingSession {
             .coordinator
             .take()
             .expect("coordinator present until the session goes live");
+        let executor = self.wired.executor.clone();
         let (control_tx, control_rx) = unbounded();
         let (completion_tx, completion_rx) = unbounded();
         let handle = std::thread::Builder::new()
-            .name("helix-coordinator".to_string())
+            .name("helix-dataplane".to_string())
             .spawn(move || {
-                let result = coordinator.run_live(control_rx, completion_tx);
+                let result = executor.block_on(coordinator.run_live(control_rx, completion_tx));
                 let replans = coordinator.take_replans();
                 let kv_transfers = coordinator.take_kv_transfers();
                 (result, replans, kv_transfers)
             })
-            .expect("spawning the coordinator thread never fails");
+            .expect("spawning the data-plane thread never fails");
         self.live = Some(Live {
             control_tx,
             completion_rx,
@@ -130,8 +136,8 @@ impl ServingSession {
         });
     }
 
-    /// Queues one control message and wakes the coordinator so it reacts
-    /// immediately instead of on its next poll timeout.
+    /// Queues one control message and wakes the coordinator's waker-based
+    /// wait so it drains the control channel immediately.
     fn send_control(&self, msg: SessionControl) -> bool {
         let Some(live) = &self.live else {
             return false;
@@ -179,26 +185,37 @@ impl ServingSession {
     /// failure.  The budget bounds each wait, not the session's lifetime.
     pub fn wait_completion(&mut self, ticket: TicketId) -> Result<RequestOutcome, RuntimeError> {
         let wait_started = self.wired.clock.wall_elapsed();
+        let deadline = self
+            .wired
+            .clock
+            .instant_at_wall(wait_started + self.wired.max_wall);
         loop {
             if let Some(pos) = self.undelivered.iter().position(|o| o.id == ticket.0) {
                 self.delivered += 1;
                 return Ok(self.undelivered.remove(pos).expect("position just found"));
             }
+            // Check the budget on *every* iteration, not only when the
+            // channel goes quiet: a steady stream of other tickets'
+            // completions must not starve the check (a never-submitted
+            // ticket would otherwise wait forever on a busy session).
+            let waited = self.wired.clock.wall_elapsed().saturating_sub(wait_started);
+            if waited > self.wired.max_wall {
+                return Err(RuntimeError::WallClockBudgetExceeded {
+                    budget: self.wired.max_wall,
+                    completed: self.delivered + self.undelivered.len(),
+                    total: self.submitted,
+                });
+            }
             let Some(live) = &self.live else {
                 return Err(RuntimeError::Disconnected("serving session"));
             };
-            match live.completion_rx.recv_timeout(Duration::from_millis(10)) {
+            // Block on the channel's condvar until a completion arrives or
+            // the budget expires — no 10 ms polling interval.
+            match live.completion_rx.recv_deadline(deadline) {
                 Ok(outcome) => self.undelivered.push_back(outcome),
-                Err(RecvTimeoutError::Timeout) => {
-                    let waited = self.wired.clock.wall_elapsed().saturating_sub(wait_started);
-                    if waited > self.wired.max_wall {
-                        return Err(RuntimeError::WallClockBudgetExceeded {
-                            budget: self.wired.max_wall,
-                            completed: self.delivered + self.undelivered.len(),
-                            total: self.submitted,
-                        });
-                    }
-                }
+                // The next iteration's budget check reports the exceeded
+                // budget.
+                Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => return Err(self.coordinator_died()),
             }
         }
@@ -254,15 +271,16 @@ impl ServingSession {
         if !self.send_control(SessionControl::Drain(ack_tx)) {
             return Err(self.coordinator_died());
         }
-        match ack_rx.recv() {
+        match ack_rx.recv_blocking() {
             Ok(()) => Ok(()),
             Err(_) => Err(self.coordinator_died()),
         }
     }
 
     /// Drains, shuts the whole data plane down (workers, fabric, coordinator)
-    /// and returns the final report.  Every thread is joined before this
-    /// method returns, even on error.
+    /// and returns the final report.  The data-plane thread is joined and
+    /// every task run to completion before this method returns, even on
+    /// error.
     pub fn finish(mut self) -> Result<RuntimeReport, RuntimeError> {
         if self.failed {
             return self.wired.shutdown_and_report(
@@ -295,11 +313,11 @@ impl ServingSession {
 
     /// Serves a whole workload to completion: the batch convenience wrapper.
     ///
-    /// On a session with no live activity this runs the legacy blocking loop
-    /// *inline* — the identical code path the pre-session
-    /// `ServingRuntime::serve` ran, so the report is bit-identical to the old
-    /// batch surface.  On a session that is already live it submits every
-    /// request, drains and finishes.
+    /// On a session with no live activity this drives the batch loop inline
+    /// on the calling thread — the identical admission and completion logic
+    /// the pre-session `ServingRuntime::serve` ran, so the report is
+    /// bit-identical to the old batch surface.  On a session that is already
+    /// live it submits every request, drains and finishes.
     ///
     /// # Errors
     ///
@@ -313,7 +331,9 @@ impl ServingSession {
                 .coordinator
                 .take()
                 .expect("coordinator present until the session goes live");
-            let outcome = coordinator.run(workload);
+            // Drive the whole data plane — coordinator, workers, fabric —
+            // inline on this thread until the workload completes.
+            let outcome = self.wired.executor.block_on(coordinator.run(workload));
             let replans = coordinator.take_replans();
             let kv_transfers = coordinator.take_kv_transfers();
             drop(coordinator);
@@ -333,7 +353,7 @@ impl ServingSession {
         self.finish()
     }
 
-    /// Tears the live half down after the coordinator thread died and
+    /// Tears the live half down after the data-plane thread died and
     /// recovers its error.
     fn coordinator_died(&mut self) -> RuntimeError {
         self.failed = true;

@@ -1,4 +1,4 @@
-//! Compute-node worker threads.
+//! Compute-node worker tasks.
 //!
 //! Each worker mirrors one compute node of the paper's prototype (Fig. 3): it
 //! owns the layers assigned to it by the model placement, keeps a paged KV
@@ -7,16 +7,28 @@
 //! batch was executing (§5.1).  Finished stages are forwarded to the next
 //! node in the request's pipeline through the network fabric, or back to the
 //! coordinator when the last stage completes.
+//!
+//! Workers are **async tasks** on the data plane's [`minirt`] executor, not
+//! OS threads: a 500-node fleet is 500 tasks sharing one driver thread.  A
+//! worker waiting for work parks on its channel's waker; a worker executing
+//! a batch suspends on a virtual-time timer, so hundreds of "busy" workers
+//! overlap their modelled execution exactly as the thread-per-worker runtime
+//! overlapped real sleeps.
 
 use crate::clock::VirtualClock;
 use crate::exec::ExecutionModel;
 use crate::kv_pool::PagedKvPool;
 use crate::message::{Envelope, Phase, RuntimeMsg, StageWork};
-use crossbeam::channel::{Receiver, Sender};
 use helix_cluster::{ModelId, NodeId, TOKEN_WIRE_BYTES};
+use helix_core::LayerRange;
+use minirt::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::Arc;
-use std::thread::JoinHandle;
+
+/// Pages per pipelined KV hand-over chunk: small enough that activation
+/// traffic interleaves on the link, large enough that chunk count stays
+/// bounded for big pools.
+const KV_CHUNK_PAGES: u64 = 64;
 
 /// Live statistics one worker shares with the coordinator and the final
 /// report.
@@ -69,33 +81,26 @@ pub(crate) struct WorkerConfig {
     pub kv_overflow_penalty: f64,
 }
 
-/// Spawns a worker thread.  The thread exits when it receives
+/// Spawns a worker task on `executor`.  The task exits when it receives
 /// [`RuntimeMsg::Shutdown`] or its inbound channel disconnects.
 pub(crate) fn spawn_worker(
+    executor: &minirt::Executor,
     config: WorkerConfig,
-    execution: Box<dyn ExecutionModel>,
+    execution: Arc<dyn ExecutionModel>,
     clock: VirtualClock,
     inbound: Receiver<RuntimeMsg>,
     fabric: Sender<Envelope>,
     stats: SharedWorkerStats,
-) -> JoinHandle<()> {
-    let name = format!(
-        "helix-worker-{}-m{}",
-        config.node.index(),
-        config.model.index()
-    );
-    std::thread::Builder::new()
-        .name(name)
-        .spawn(move || {
-            let mut worker = Worker::new(config, execution, clock, inbound, fabric, stats);
-            worker.run();
-        })
-        .expect("spawning a worker thread never fails")
+) -> minirt::JoinHandle<()> {
+    executor.spawn(async move {
+        let mut worker = Worker::new(config, execution, clock, inbound, fabric, stats);
+        worker.run().await;
+    })
 }
 
 struct Worker {
     config: WorkerConfig,
-    execution: Box<dyn ExecutionModel>,
+    execution: Arc<dyn ExecutionModel>,
     clock: VirtualClock,
     inbound: Receiver<RuntimeMsg>,
     fabric: Sender<Envelope>,
@@ -103,9 +108,11 @@ struct Worker {
     kv: PagedKvPool,
     pending: Vec<StageWork>,
     shutdown: bool,
-    /// Frozen for a KV hand-over: work queues but no batch executes until
-    /// `Resume` (shutdown overrides a freeze so teardown never hangs).
-    frozen: bool,
+    /// Layer ranges frozen for in-flight KV hand-overs: work whose stage
+    /// intersects any of them queues but does not execute until the matching
+    /// `Resume` (shutdown overrides every freeze so teardown never hangs).
+    /// Work on disjoint layers keeps batching throughout a transfer.
+    frozen: Vec<LayerRange>,
     /// Hardware speed multiplier on batch duration (1.0 = nominal).
     slowdown: f64,
     window_start: f64,
@@ -115,7 +122,7 @@ struct Worker {
 impl Worker {
     fn new(
         config: WorkerConfig,
-        execution: Box<dyn ExecutionModel>,
+        execution: Arc<dyn ExecutionModel>,
         clock: VirtualClock,
         inbound: Receiver<RuntimeMsg>,
         fabric: Sender<Envelope>,
@@ -136,19 +143,20 @@ impl Worker {
             kv,
             pending: Vec::new(),
             shutdown: false,
-            frozen: false,
+            frozen: Vec::new(),
             slowdown: 1.0,
             window_start: 0.0,
             window_decode_tokens: 0,
         }
     }
 
-    fn run(&mut self) {
+    async fn run(&mut self) {
         loop {
-            if (self.pending.is_empty() || self.frozen) && !self.shutdown {
-                // Idle (or frozen mid-hand-over): block until something
-                // arrives — a freeze only thaws on `Resume` or shutdown.
-                match self.inbound.recv() {
+            if self.runnable_is_empty() && !self.shutdown {
+                // Idle (or every queued item frozen mid-hand-over): park on
+                // the channel's waker until something arrives — a frozen
+                // range only thaws on `Resume` or shutdown.
+                match self.inbound.recv().await {
                     Ok(msg) => self.handle(msg),
                     Err(_) => break,
                 }
@@ -158,19 +166,43 @@ impl Worker {
             while let Ok(msg) = self.inbound.try_recv() {
                 self.handle(msg);
             }
-            if self.frozen && !self.shutdown {
-                continue;
-            }
-            if self.pending.is_empty() {
+            let batch = self.take_runnable();
+            if batch.is_empty() {
                 if self.shutdown {
                     break;
                 }
                 continue;
             }
-            let batch = std::mem::take(&mut self.pending);
-            self.execute_batch(batch);
+            self.execute_batch(batch).await;
         }
         self.publish_stats();
+    }
+
+    /// Whether no queued work item may currently execute.
+    fn runnable_is_empty(&self) -> bool {
+        if self.frozen.is_empty() || self.shutdown {
+            return self.pending.is_empty();
+        }
+        self.pending.iter().all(|work| self.is_frozen(work))
+    }
+
+    /// Whether `work`'s stage intersects a frozen layer range.
+    fn is_frozen(&self, work: &StageWork) -> bool {
+        let layers = work.pipeline.stages[work.stage_index].layers;
+        self.frozen.iter().any(|range| range.intersects(layers))
+    }
+
+    /// Takes every currently executable work item, leaving frozen-range work
+    /// queued (shutdown drains everything so teardown never strands work).
+    fn take_runnable(&mut self) -> Vec<StageWork> {
+        if self.frozen.is_empty() || self.shutdown {
+            return std::mem::take(&mut self.pending);
+        }
+        let (runnable, held): (Vec<StageWork>, Vec<StageWork>) = std::mem::take(&mut self.pending)
+            .into_iter()
+            .partition(|work| !self.is_frozen(work));
+        self.pending = held;
+        runnable
     }
 
     fn handle(&mut self, msg: RuntimeMsg) {
@@ -189,11 +221,13 @@ impl Worker {
             RuntimeMsg::SetSpeed(factor) => {
                 self.slowdown = factor.max(1e-6);
             }
-            RuntimeMsg::Freeze => {
-                self.frozen = true;
+            RuntimeMsg::Freeze(layers) => {
+                self.frozen.push(layers);
             }
-            RuntimeMsg::Resume => {
-                self.frozen = false;
+            RuntimeMsg::Resume(layers) => {
+                if let Some(pos) = self.frozen.iter().position(|&range| range == layers) {
+                    self.frozen.remove(pos);
+                }
             }
             RuntimeMsg::KvExtract {
                 to,
@@ -202,37 +236,46 @@ impl Worker {
             } => {
                 self.extract_kv(to, layers, kv_bytes_per_token_per_layer);
             }
-            RuntimeMsg::KvInstall {
+            RuntimeMsg::KvChunk {
                 from,
                 layers,
                 entries,
                 tokens,
                 pages,
                 bytes,
+                last,
             } => {
                 for &(request, tokens) in &entries {
                     self.kv.seed(request, tokens);
                 }
-                // Tell the coordinator the hand-over landed so it can
-                // re-route and resume both ends.
-                let _ = self.fabric.send(Envelope {
-                    from: Some(self.config.node),
-                    to: None,
-                    model: self.config.model,
-                    bytes: TOKEN_WIRE_BYTES,
-                    msg: RuntimeMsg::KvInstalled {
+                // Per-link FIFO delivery means the last chunk arrives last:
+                // the whole residency is installed, so tell the coordinator
+                // the hand-over landed (it re-routes and thaws both ends).
+                if last {
+                    let _ = self.fabric.send(Envelope {
+                        from: Some(self.config.node),
+                        to: None,
                         model: self.config.model,
-                        from,
-                        to: self.config.node,
-                        layers,
-                        tokens,
-                        pages,
-                        bytes,
-                    },
-                });
+                        bytes: TOKEN_WIRE_BYTES,
+                        msg: RuntimeMsg::KvInstalled {
+                            model: self.config.model,
+                            from,
+                            to: self.config.node,
+                            layers,
+                            tokens,
+                            pages,
+                            bytes,
+                        },
+                    });
+                }
             }
             RuntimeMsg::KvInstalled { .. } => {
                 // Only the coordinator consumes these; ignore defensively.
+            }
+            RuntimeMsg::UpdatePlan(update) => {
+                self.execution = update.execution;
+                self.kv.resize(update.kv_capacity_tokens);
+                self.stats.lock().kv_capacity_tokens = self.kv.capacity_tokens();
             }
             RuntimeMsg::Shutdown => {
                 self.shutdown = true;
@@ -243,42 +286,71 @@ impl Worker {
 
     /// The source half of a KV hand-over: snapshot the pool's residency,
     /// price the transfer with the shared [`KvTransferModel`] (identical to
-    /// the simulator's pricing) and ship it to the destination through the
-    /// fabric (the envelope's byte count makes the pages queue behind
-    /// activation traffic on the inter-node link).
+    /// the simulator's pricing) and ship it to the destination as a
+    /// *pipelined* sequence of page-bounded chunks.  Each chunk's envelope
+    /// carries its share of the transfer bytes, so the pages queue behind —
+    /// and interleave with — activation traffic on the inter-node link
+    /// instead of blocking it with one monolithic blob.
     ///
     /// [`KvTransferModel`]: helix_core::KvTransferModel
-    fn extract_kv(
-        &mut self,
-        to: NodeId,
-        layers: helix_core::LayerRange,
-        kv_bytes_per_token_per_layer: f64,
-    ) {
+    fn extract_kv(&mut self, to: NodeId, layers: LayerRange, kv_bytes_per_token_per_layer: f64) {
         let entries = self.kv.snapshot();
         let tokens: u64 = entries.iter().map(|&(_, t)| t as u64).sum();
         let transfer = helix_core::KvTransferModel::new(
             kv_bytes_per_token_per_layer,
             self.kv.tokens_per_page(),
         );
+        // Totals priced once over the whole hand-over, exactly as the
+        // single-blob protocol (and the simulator) price it, so reports and
+        // cross-surface comparisons are unchanged by chunking.
         let pages = transfer.pages(tokens as f64);
         let bytes = transfer.bytes(tokens as f64, layers.len());
-        let _ = self.fabric.send(Envelope {
-            from: Some(self.config.node),
-            to: Some(to),
-            model: self.config.model,
-            bytes,
-            msg: RuntimeMsg::KvInstall {
-                from: self.config.node,
-                layers,
-                entries,
-                tokens,
-                pages,
-                bytes,
-            },
-        });
+
+        let chunk_tokens_budget = (KV_CHUNK_PAGES as usize) * self.kv.tokens_per_page();
+        let mut chunks: Vec<Vec<(helix_workload::RequestId, usize)>> = Vec::new();
+        let mut current: Vec<(helix_workload::RequestId, usize)> = Vec::new();
+        let mut current_tokens = 0usize;
+        for entry in entries {
+            if current_tokens >= chunk_tokens_budget && !current.is_empty() {
+                chunks.push(std::mem::take(&mut current));
+                current_tokens = 0;
+            }
+            current_tokens += entry.1;
+            current.push(entry);
+        }
+        chunks.push(current); // Always ship a final (possibly empty) chunk.
+
+        let total_chunk_tokens: u64 = tokens.max(1);
+        let mut bytes_sent = 0.0;
+        let last_index = chunks.len() - 1;
+        for (index, chunk) in chunks.into_iter().enumerate() {
+            let chunk_tokens: u64 = chunk.iter().map(|&(_, t)| t as u64).sum();
+            // Proportional byte split whose sum is exactly the priced total.
+            let chunk_bytes = if index == last_index {
+                bytes - bytes_sent
+            } else {
+                bytes * (chunk_tokens as f64 / total_chunk_tokens as f64)
+            };
+            bytes_sent += chunk_bytes;
+            let _ = self.fabric.send(Envelope {
+                from: Some(self.config.node),
+                to: Some(to),
+                model: self.config.model,
+                bytes: chunk_bytes,
+                msg: RuntimeMsg::KvChunk {
+                    from: self.config.node,
+                    layers,
+                    entries: chunk,
+                    tokens,
+                    pages,
+                    bytes,
+                    last: index == last_index,
+                },
+            });
+        }
     }
 
-    fn execute_batch(&mut self, batch: Vec<StageWork>) {
+    async fn execute_batch(&mut self, batch: Vec<StageWork>) {
         // KV accounting: the tokens this stage processes become resident on
         // this node.  Overflow forces (modelled) offloading to host memory,
         // slowing the whole batch down.
@@ -296,7 +368,7 @@ impl Worker {
         // `slowdown` times slower.  Both are recorded so the coordinator can
         // measure the speed factor exactly as it would on a real node.
         let actual = duration * self.slowdown;
-        self.clock.sleep(actual);
+        self.clock.sleep_async(actual).await;
         let now = self.clock.now();
 
         let mut prompt_tokens = 0u64;
@@ -376,9 +448,8 @@ impl Worker {
 mod tests {
     use super::*;
     use crate::exec::InstantExecution;
-    use crossbeam::channel::unbounded;
-    use helix_core::{LayerRange, PipelineStage, RequestPipeline};
-    use std::time::Duration;
+    use helix_core::{PipelineStage, RequestPipeline};
+    use minirt::channel::unbounded;
 
     fn two_stage_pipeline() -> Arc<RequestPipeline> {
         Arc::new(RequestPipeline {
@@ -396,15 +467,17 @@ mod tests {
         })
     }
 
-    fn spawn_test_worker(
+    fn test_worker(
         node: NodeId,
         kv_capacity: f64,
     ) -> (
+        minirt::Executor,
         Sender<RuntimeMsg>,
         Receiver<Envelope>,
         SharedWorkerStats,
-        JoinHandle<()>,
+        minirt::JoinHandle<()>,
     ) {
+        let executor = minirt::Executor::new();
         let (inbound_tx, inbound_rx) = unbounded();
         let (fabric_tx, fabric_rx) = unbounded();
         let stats: SharedWorkerStats = Arc::new(Mutex::new(WorkerStats::default()));
@@ -417,29 +490,36 @@ mod tests {
             kv_overflow_penalty: 8.0,
         };
         let handle = spawn_worker(
+            &executor,
             config,
-            Box::new(InstantExecution),
+            Arc::new(InstantExecution),
             VirtualClock::new(0.0001),
             inbound_rx,
             fabric_tx,
             Arc::clone(&stats),
         );
-        (inbound_tx, fabric_rx, stats, handle)
+        (executor, inbound_tx, fabric_rx, stats, handle)
+    }
+
+    fn work(request: u64, phase: Phase, tokens: usize, stage_index: usize) -> RuntimeMsg {
+        RuntimeMsg::Work(StageWork {
+            request,
+            phase,
+            tokens,
+            stage_index,
+            pipeline: two_stage_pipeline(),
+        })
     }
 
     #[test]
     fn first_stage_forwards_to_the_next_node_and_last_stage_reports_back() {
-        let (tx, fabric, stats, handle) = spawn_test_worker(NodeId(0), 100_000.0);
-        let pipeline = two_stage_pipeline();
-        tx.send(RuntimeMsg::Work(StageWork {
-            request: 9,
-            phase: Phase::Prompt,
-            tokens: 64,
-            stage_index: 0,
-            pipeline: Arc::clone(&pipeline),
-        }))
-        .unwrap();
-        let forwarded = fabric.recv_timeout(Duration::from_secs(5)).unwrap();
+        let (executor, tx, fabric, stats, handle) = test_worker(NodeId(0), 100_000.0);
+        tx.send(work(9, Phase::Prompt, 64, 0)).unwrap();
+        tx.send(RuntimeMsg::Shutdown).unwrap();
+        executor.drain();
+        assert!(handle.is_finished());
+
+        let forwarded = fabric.try_recv().unwrap();
         assert_eq!(forwarded.from, Some(NodeId(0)));
         assert_eq!(forwarded.to, Some(NodeId(1)));
         assert!(
@@ -453,25 +533,19 @@ mod tests {
             }
             other => panic!("expected forwarded work, got {other:?}"),
         }
-
-        tx.send(RuntimeMsg::Shutdown).unwrap();
-        handle.join().unwrap();
         let s = stats.lock();
         assert_eq!(s.prompt_tokens, 64);
         assert_eq!(s.batches, 1);
         assert!(s.kv_used_tokens >= 64.0);
+        drop(s);
 
-        // The same work executed on the *last* stage reports to the coordinator.
-        let (tx, fabric, _stats, handle) = spawn_test_worker(NodeId(1), 100_000.0);
-        tx.send(RuntimeMsg::Work(StageWork {
-            request: 9,
-            phase: Phase::Prompt,
-            tokens: 64,
-            stage_index: 1,
-            pipeline,
-        }))
-        .unwrap();
-        let done = fabric.recv_timeout(Duration::from_secs(5)).unwrap();
+        // The same work executed on the *last* stage reports to the
+        // coordinator.
+        let (executor, tx, fabric, _stats, _handle) = test_worker(NodeId(1), 100_000.0);
+        tx.send(work(9, Phase::Prompt, 64, 1)).unwrap();
+        tx.send(RuntimeMsg::Shutdown).unwrap();
+        executor.drain();
+        let done = fabric.try_recv().unwrap();
         assert_eq!(done.to, None);
         assert!(matches!(
             done.msg,
@@ -481,37 +555,18 @@ mod tests {
                 ..
             }
         ));
-        tx.send(RuntimeMsg::Shutdown).unwrap();
-        handle.join().unwrap();
     }
 
     #[test]
     fn release_frees_the_kv_pool_and_rejections_are_counted() {
-        let (tx, fabric, stats, handle) = spawn_test_worker(NodeId(0), 64.0);
-        let pipeline = two_stage_pipeline();
+        let (executor, tx, _fabric, stats, _handle) = test_worker(NodeId(0), 64.0);
         // 128 tokens cannot fit in a 64-token pool: the batch still runs but
         // is counted as a rejection (modelled offload).
-        tx.send(RuntimeMsg::Work(StageWork {
-            request: 1,
-            phase: Phase::Prompt,
-            tokens: 128,
-            stage_index: 0,
-            pipeline: Arc::clone(&pipeline),
-        }))
-        .unwrap();
-        let _ = fabric.recv_timeout(Duration::from_secs(5)).unwrap();
+        tx.send(work(1, Phase::Prompt, 128, 0)).unwrap();
         tx.send(RuntimeMsg::Release(1)).unwrap();
-        tx.send(RuntimeMsg::Work(StageWork {
-            request: 2,
-            phase: Phase::Prompt,
-            tokens: 32,
-            stage_index: 0,
-            pipeline,
-        }))
-        .unwrap();
-        let _ = fabric.recv_timeout(Duration::from_secs(5)).unwrap();
+        tx.send(work(2, Phase::Prompt, 32, 0)).unwrap();
         tx.send(RuntimeMsg::Shutdown).unwrap();
-        handle.join().unwrap();
+        executor.drain();
         let s = stats.lock();
         assert_eq!(s.kv_rejections, 1);
         assert!(
@@ -523,29 +578,189 @@ mod tests {
 
     #[test]
     fn shutdown_drains_pending_work_before_exiting() {
-        let (tx, fabric, stats, handle) = spawn_test_worker(NodeId(1), 100_000.0);
-        let pipeline = two_stage_pipeline();
+        let (executor, tx, fabric, stats, handle) = test_worker(NodeId(1), 100_000.0);
         for request in 0..5 {
-            tx.send(RuntimeMsg::Work(StageWork {
-                request,
-                phase: Phase::Decode,
-                tokens: 1,
-                stage_index: 1,
-                pipeline: Arc::clone(&pipeline),
-            }))
-            .unwrap();
+            tx.send(work(request, Phase::Decode, 1, 1)).unwrap();
         }
         tx.send(RuntimeMsg::Shutdown).unwrap();
         drop(tx);
+        executor.drain();
+        assert!(handle.is_finished());
         let mut delivered = 0;
-        while fabric.recv_timeout(Duration::from_secs(5)).is_ok() {
+        while fabric.try_recv().is_ok() {
             delivered += 1;
-            if delivered == 5 {
-                break;
-            }
         }
-        handle.join().unwrap();
         assert_eq!(delivered, 5);
         assert_eq!(stats.lock().decode_tokens, 5);
+    }
+
+    #[test]
+    fn frozen_layers_hold_their_work_while_other_layers_keep_executing() {
+        let (executor, tx, fabric, stats, _handle) = test_worker(NodeId(1), 100_000.0);
+        // Freeze [0, 4): stage-1 work on layers [4, 8) must keep executing.
+        tx.send(RuntimeMsg::Freeze(LayerRange::new(0, 4))).unwrap();
+        tx.send(work(1, Phase::Decode, 1, 1)).unwrap();
+        executor.drain();
+        assert!(
+            matches!(
+                fabric.try_recv().unwrap().msg,
+                RuntimeMsg::IterationDone { request: 1, .. }
+            ),
+            "disjoint layers execute through a freeze"
+        );
+
+        // Freeze [4, 8) too: now stage-1 work queues.
+        tx.send(RuntimeMsg::Freeze(LayerRange::new(4, 8))).unwrap();
+        tx.send(work(2, Phase::Decode, 1, 1)).unwrap();
+        executor.drain();
+        assert!(fabric.try_recv().is_err(), "intersecting layers are held");
+        assert_eq!(stats.lock().queue_len, 1);
+
+        // Thawing releases exactly the held range's work.
+        tx.send(RuntimeMsg::Resume(LayerRange::new(4, 8))).unwrap();
+        executor.drain();
+        assert!(matches!(
+            fabric.try_recv().unwrap().msg,
+            RuntimeMsg::IterationDone { request: 2, .. }
+        ));
+        tx.send(RuntimeMsg::Shutdown).unwrap();
+        executor.drain();
+    }
+
+    #[test]
+    fn kv_extract_ships_pipelined_chunks_whose_bytes_sum_to_the_priced_total() {
+        let (executor, tx, fabric, _stats, _handle) = test_worker(NodeId(0), 1_000_000.0);
+        // Seed lots of residency: 40 requests × 256 tokens = 10 240 tokens
+        // = 640 pages, far more than one 64-page chunk.
+        for request in 0..40 {
+            tx.send(work(request, Phase::Prompt, 256, 0)).unwrap();
+        }
+        executor.drain(); // Execute the batches so the residency exists.
+        tx.send(RuntimeMsg::KvExtract {
+            to: NodeId(1),
+            layers: LayerRange::new(0, 4),
+            kv_bytes_per_token_per_layer: 1024.0,
+        })
+        .unwrap();
+        tx.send(RuntimeMsg::Shutdown).unwrap();
+        executor.drain();
+
+        let mut chunks = Vec::new();
+        while let Ok(envelope) = fabric.try_recv() {
+            if let RuntimeMsg::KvChunk { .. } = envelope.msg {
+                chunks.push(envelope);
+            }
+        }
+        assert!(
+            chunks.len() > 1,
+            "a large pool splits into multiple chunks, got {}",
+            chunks.len()
+        );
+        let (mut total_entry_tokens, mut envelope_bytes) = (0u64, 0.0);
+        let mut lasts = 0;
+        for envelope in &chunks {
+            envelope_bytes += envelope.bytes;
+            let RuntimeMsg::KvChunk {
+                entries,
+                tokens,
+                bytes,
+                last,
+                ..
+            } = &envelope.msg
+            else {
+                unreachable!()
+            };
+            total_entry_tokens += entries.iter().map(|&(_, t)| t as u64).sum::<u64>();
+            assert_eq!(*tokens, 10_240, "every chunk carries the totals");
+            assert!(*bytes > 0.0);
+            if *last {
+                lasts += 1;
+            }
+        }
+        assert_eq!(lasts, 1, "exactly one final chunk");
+        assert!(
+            matches!(
+                chunks.last().unwrap().msg,
+                RuntimeMsg::KvChunk { last: true, .. }
+            ),
+            "the final chunk is sent last"
+        );
+        assert_eq!(total_entry_tokens, 10_240, "every entry travels once");
+        let RuntimeMsg::KvChunk { bytes, .. } = &chunks[0].msg else {
+            unreachable!()
+        };
+        assert!(
+            (envelope_bytes - *bytes).abs() < 1e-6,
+            "chunk envelope bytes sum exactly to the priced total"
+        );
+    }
+
+    #[test]
+    fn installing_chunks_seeds_kv_and_only_the_last_acknowledges() {
+        let (executor, tx, fabric, stats, _handle) = test_worker(NodeId(1), 100_000.0);
+        let layers = LayerRange::new(0, 4);
+        tx.send(RuntimeMsg::KvChunk {
+            from: NodeId(0),
+            layers,
+            entries: vec![(1, 64), (2, 32)],
+            tokens: 128,
+            pages: 8,
+            bytes: 4096.0,
+            last: false,
+        })
+        .unwrap();
+        executor.drain();
+        assert!(fabric.try_recv().is_err(), "no ack before the last chunk");
+        tx.send(RuntimeMsg::KvChunk {
+            from: NodeId(0),
+            layers,
+            entries: vec![(3, 32)],
+            tokens: 128,
+            pages: 8,
+            bytes: 4096.0,
+            last: true,
+        })
+        .unwrap();
+        executor.drain();
+        let ack = fabric.try_recv().unwrap();
+        assert!(matches!(
+            ack.msg,
+            RuntimeMsg::KvInstalled {
+                from: NodeId(0),
+                tokens: 128,
+                pages: 8,
+                ..
+            }
+        ));
+        assert!((stats.lock().kv_used_tokens - 128.0).abs() < 1e-9);
+        tx.send(RuntimeMsg::Shutdown).unwrap();
+        executor.drain();
+    }
+
+    #[test]
+    fn update_plan_swaps_the_execution_model_and_resizes_the_pool_in_place() {
+        struct Slow;
+        impl ExecutionModel for Slow {
+            fn batch_duration(&self, _items: &[StageWork]) -> f64 {
+                0.25
+            }
+        }
+        let (executor, tx, fabric, stats, _handle) = test_worker(NodeId(1), 64.0);
+        tx.send(RuntimeMsg::UpdatePlan(crate::message::PlanUpdate {
+            execution: Arc::new(Slow),
+            kv_capacity_tokens: 4096.0,
+            layers: 8,
+        }))
+        .unwrap();
+        tx.send(work(1, Phase::Decode, 1, 1)).unwrap();
+        tx.send(RuntimeMsg::Shutdown).unwrap();
+        executor.drain();
+        let s = stats.lock();
+        assert_eq!(s.kv_capacity_tokens, 4096.0, "pool resized in place");
+        assert!(
+            (s.nominal_busy_secs - 0.25).abs() < 1e-9,
+            "new execution model prices the batch"
+        );
+        assert!(fabric.try_recv().is_ok());
     }
 }

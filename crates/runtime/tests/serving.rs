@@ -876,3 +876,129 @@ fn wall_budgets_bound_waits_and_drains_and_finish_after_failure_is_clean() {
     let err = session.finish().unwrap_err();
     assert!(matches!(err, RuntimeError::Disconnected(_)), "got {err}");
 }
+
+#[test]
+fn a_500_node_fleet_serves_a_burst_on_a_bounded_thread_count() {
+    // The tentpole claim of the async data plane: workers are tasks, so a
+    // fleet far beyond thread-per-worker scale serves in one process with a
+    // handful of OS threads.  500 nodes, one model, burst submission.
+    let spec = helix_cluster::ClusterBuilder::new("stress-500")
+        .intra_region(10_000.0, 1.0)
+        .add_nodes(
+            helix_cluster::GpuType::A100_40,
+            100,
+            1,
+            helix_cluster::Region(0),
+        )
+        .add_nodes(helix_cluster::GpuType::L4, 150, 1, helix_cluster::Region(0))
+        .add_nodes(helix_cluster::GpuType::T4, 250, 1, helix_cluster::Region(0))
+        .build();
+    let profile = ClusterProfile::analytic(spec, ModelConfig::llama_30b());
+    let placement = heuristics::swarm_placement(&profile).unwrap();
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    assert_eq!(
+        topology.nodes().count(),
+        500,
+        "the plan uses the whole fleet"
+    );
+
+    #[cfg(target_os = "linux")]
+    let threads_before = std::fs::read_dir("/proc/self/task").unwrap().count();
+
+    let mut session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig::fast_test())
+        .build()
+        .unwrap();
+    let total = 100u64;
+    let tickets: Vec<_> = (0..total)
+        .map(|id| {
+            session.submit(Request {
+                id,
+                prompt_tokens: 32,
+                output_tokens: 4,
+                arrival_time: 0.0,
+                model: ModelId(0),
+            })
+        })
+        .collect();
+
+    // While 500 workers serve the burst, the process must stay on a bounded
+    // thread count — the data plane is one thread, not one per worker.  The
+    // bound is a delta against the pre-session count so the test harness's
+    // own runner threads (one per core) don't distort it.
+    #[cfg(target_os = "linux")]
+    {
+        let threads = std::fs::read_dir("/proc/self/task").unwrap().count();
+        assert!(
+            threads < threads_before + 10,
+            "expected a bounded thread count with 500 workers live, \
+             got {threads} (was {threads_before} before the session)"
+        );
+    }
+
+    for ticket in tickets {
+        let outcome = session.wait_completion(ticket).unwrap();
+        assert_eq!(outcome.output_tokens, 4);
+    }
+    let report = session.finish().unwrap();
+    assert_eq!(report.completed(), total as usize);
+    assert!(report.decode_throughput() > 0.0);
+    // Every worker the placement planned reported in.
+    assert_eq!(report.nodes.len(), 500);
+}
+
+#[test]
+fn a_completion_stream_does_not_starve_the_wait_budget() {
+    // Regression test: wait_completion used to check its wall-clock budget
+    // only when the completion channel went quiet.  A session with a steady
+    // stream of *other* tickets' completions would keep the channel busy and
+    // the check would never run — waiting on a never-completing ticket
+    // blocked for as long as the stream lasted.  The budget must bound the
+    // wait regardless of traffic.
+    let profile = profile();
+    let topology = swarm_topology(&profile);
+    let budget = std::time::Duration::from_millis(250);
+    let mut session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig {
+            max_wall: budget,
+            ..RuntimeConfig::fast_test()
+        })
+        .build()
+        .unwrap();
+    // Arrivals 2.5 virtual seconds apart stream completions for ~400 ms of
+    // wall time (fast_test runs at 0.0002 wall seconds per virtual second)
+    // — well past the 250 ms budget, but short enough that the drain below
+    // finishes inside a fresh budget window.
+    let total = 800u64;
+    for id in 0..total {
+        session.submit(Request {
+            id,
+            prompt_tokens: 16,
+            output_tokens: 1,
+            arrival_time: id as f64 * 2.5,
+            model: ModelId(0),
+        });
+    }
+    let waited = std::time::Instant::now();
+    let err = session
+        .wait_completion(helix_workload::TicketId(u64::MAX))
+        .unwrap_err();
+    let elapsed = waited.elapsed();
+    assert!(
+        matches!(err, RuntimeError::WallClockBudgetExceeded { .. }),
+        "got {err}"
+    );
+    // The old code returned only once the stream dried up (~400 ms); the
+    // fixed code returns at the budget.  Leave slack for CI jitter while
+    // still distinguishing the two behaviours.
+    assert!(
+        elapsed < budget + std::time::Duration::from_millis(80),
+        "budget check starved: waited {elapsed:?} against a {budget:?} budget"
+    );
+    // The failed wait is non-destructive: the session serves on.
+    session.drain().unwrap();
+    let report = session.finish().unwrap();
+    assert_eq!(report.completed(), total as usize);
+}

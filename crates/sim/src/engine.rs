@@ -3,6 +3,7 @@
 use crate::event::{SimTime, WorkItem};
 use helix_cluster::NodeProfile;
 use helix_core::exec_model::{ExecModel, WorkUnit};
+use helix_core::LayerRange;
 use helix_workload::RequestId;
 use std::collections::HashMap;
 
@@ -34,9 +35,12 @@ pub struct NodeEngine {
     slowdown: f64,
     /// Whether the node failed (a failed engine starts no further batches).
     failed: bool,
-    /// No batch starts before this time — the freeze half of a KV hand-over
-    /// (work keeps queueing; an `EngineThaw` event restarts batching).
-    frozen_until: SimTime,
+    /// Layer ranges frozen by in-flight KV hand-overs, each until its
+    /// transfer lands.  Work whose layers intersect a live range queues;
+    /// work on disjoint layers keeps batching — the freeze half of a
+    /// hand-over is scoped to the migrated range, mirroring the runtime's
+    /// `Freeze(LayerRange)` protocol.
+    frozen: Vec<(LayerRange, SimTime)>,
     /// Cumulative busy time (for utilisation), including perturbations.
     pub busy_seconds: f64,
     /// Busy time the cost model *predicted* for the executed batches.  The
@@ -66,7 +70,7 @@ impl NodeEngine {
             in_flight: Vec::new(),
             slowdown: 1.0,
             failed: false,
-            frozen_until: 0.0,
+            frozen: Vec::new(),
             busy_seconds: 0.0,
             nominal_busy_seconds: 0.0,
             tokens_processed: 0,
@@ -151,15 +155,24 @@ impl NodeEngine {
         &self.exec
     }
 
-    /// Freezes the engine until `until`: no new batch starts before then
-    /// (the freeze half of a KV hand-over; queued work waits).
-    pub fn freeze_until(&mut self, until: SimTime) {
-        self.frozen_until = self.frozen_until.max(until);
+    /// Freezes `layers` until `until`: queued work touching those layers
+    /// waits (the freeze half of a KV hand-over), while work on disjoint
+    /// layers keeps batching.  Overlapping hand-overs stack; each range
+    /// thaws when its own transfer lands.
+    pub fn freeze_range_until(&mut self, layers: LayerRange, until: SimTime) {
+        self.frozen.push((layers, until));
     }
 
-    /// Whether the engine is frozen at `now`.
+    /// Whether any layer range is frozen at `now`.
     pub fn is_frozen(&self, now: SimTime) -> bool {
-        now < self.frozen_until
+        self.frozen.iter().any(|&(_, until)| now < until)
+    }
+
+    /// Whether a work item touching `layers` is held back at `now`.
+    pub fn is_layer_frozen(&self, layers: LayerRange, now: SimTime) -> bool {
+        self.frozen
+            .iter()
+            .any(|&(range, until)| now < until && range.intersects(layers))
     }
 
     /// The KV residency snapshot (request → cached tokens), sorted by
@@ -197,7 +210,7 @@ impl NodeEngine {
     /// zero — a stale freeze deadline would wedge the engine for the length
     /// of the previous batch.
     pub fn rebase_epoch(&mut self) {
-        self.frozen_until = 0.0;
+        self.frozen.clear();
         self.window_start = 0.0;
         self.window_tokens = 0;
     }
@@ -217,10 +230,23 @@ impl NodeEngine {
     /// Starts a batch if the node is idle and work is pending.  Returns the
     /// completion time of the batch, or `None` if no batch was started.
     pub fn try_start_batch(&mut self, now: SimTime) -> Option<SimTime> {
-        if self.busy || self.failed || self.is_frozen(now) || self.pending.is_empty() {
+        if self.busy || self.failed || self.pending.is_empty() {
             return None;
         }
-        let batch: Vec<WorkItem> = std::mem::take(&mut self.pending);
+        self.frozen.retain(|&(_, until)| now < until);
+        // Partition by the frozen ranges: items whose layers intersect an
+        // in-flight hand-over stay queued; everything else batches now.
+        let taken = std::mem::take(&mut self.pending);
+        let frozen = &self.frozen;
+        let (held, batch): (Vec<WorkItem>, Vec<WorkItem>) = taken.into_iter().partition(|item| {
+            frozen
+                .iter()
+                .any(|&(range, _)| range.intersects(item.layers))
+        });
+        self.pending = held;
+        if batch.is_empty() {
+            return None;
+        }
         let mut duration = self.exec.batch_secs(batch.iter().map(|item| WorkUnit {
             phase: item.phase,
             tokens: item.tokens,
@@ -394,5 +420,36 @@ mod tests {
     fn completing_idle_node_panics() {
         let mut e = engine();
         let _ = e.complete_batch();
+    }
+
+    #[test]
+    fn frozen_layers_hold_work_while_disjoint_layers_keep_batching() {
+        let mut e = engine();
+        // Freeze layers [0, 5) until t=10; work on [5, 10) must still run.
+        e.freeze_range_until(LayerRange::new(0, 5), 10.0);
+        assert!(e.is_frozen(0.0));
+        assert!(e.is_layer_frozen(LayerRange::new(0, 5), 0.0));
+        assert!(!e.is_layer_frozen(LayerRange::new(5, 10), 0.0));
+
+        let mut held = decode_item(1);
+        held.layers = LayerRange::new(0, 5);
+        let mut runnable = decode_item(2);
+        runnable.layers = LayerRange::new(5, 10);
+        e.enqueue(held);
+        e.enqueue(runnable);
+
+        let done = e.try_start_batch(0.0).expect("disjoint layers batch");
+        let items = e.complete_batch();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].request, 2, "only un-frozen work executed");
+        assert_eq!(e.queue_len(), 1, "frozen work still queued");
+        // While the range is frozen the held item cannot start...
+        assert!(e.try_start_batch(done).is_none());
+        // ...but once the freeze expires it batches normally.
+        let after = e.try_start_batch(10.0).expect("thawed work batches");
+        assert!(after > 10.0);
+        let items = e.complete_batch();
+        assert_eq!(items[0].request, 1);
+        assert!(!e.is_frozen(10.0));
     }
 }

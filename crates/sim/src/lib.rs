@@ -61,4 +61,6 @@ pub use event::{Event, EventQueue, PerturbationEvent, SimTime};
 pub use metrics::{IntervalMetrics, LatencyStats, LinkStats, Metrics};
 pub use network::LinkQueue;
 pub use session::SimSession;
-pub use simulator::{ClusterSimulator, FleetMetrics, FleetRunReport, SimulationConfig};
+pub use simulator::{
+    ClusterSimulator, CompletionRecord, FleetMetrics, FleetRunReport, SimulationConfig,
+};

@@ -171,6 +171,7 @@ fn merge_reports(mut base: FleetRunReport, next: FleetRunReport) -> FleetRunRepo
     base.intervals.extend(next.intervals);
     base.replans.extend(next.replans);
     base.kv_transfers.extend(next.kv_transfers);
+    base.completions.extend(next.completions);
     base
 }
 

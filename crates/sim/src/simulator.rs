@@ -104,6 +104,20 @@ pub struct FleetMetrics {
     pub per_model: Vec<Metrics>,
 }
 
+/// One request finishing in a simulation run — the simulator's analogue of
+/// the runtime's per-request outcome, so cross-surface suites can compare
+/// *when* things completed (e.g. relative to a KV hand-over window), not
+/// just how many did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletionRecord {
+    /// The completed request.
+    pub id: RequestId,
+    /// The model it ran against.
+    pub model: ModelId,
+    /// Virtual time its final output token reached the coordinator.
+    pub at: SimTime,
+}
+
 /// The full result of a [`ClusterSimulator::run_with_events`] run: end-of-run
 /// metrics plus the windowed interval metrics and the re-plan log.
 #[derive(Debug, Clone)]
@@ -117,6 +131,9 @@ pub struct FleetRunReport {
     /// Every KV hand-over a partial-layer migration performed, in completion
     /// order.
     pub kv_transfers: Vec<KvTransferRecord>,
+    /// Every in-window request completion, in completion order (the count
+    /// matches `metrics.overall.completed_requests`).
+    pub completions: Vec<CompletionRecord>,
 }
 
 /// Discrete-event simulator of a Helix-style serving cluster.
@@ -364,6 +381,7 @@ impl ClusterSimulator {
         let mut intervals: Vec<IntervalMetrics> = Vec::new();
         let mut replans: Vec<ReplanRecord> = Vec::new();
         let mut kv_transfers: Vec<KvTransferRecord> = Vec::new();
+        let mut completions: Vec<CompletionRecord> = Vec::new();
         let mut last_tick: SimTime = 0.0;
         let mut last_replan: Option<SimTime> = None;
         let mut interval_base: Vec<u64> = vec![0; num_models];
@@ -474,6 +492,11 @@ impl ClusterSimulator {
                         state.finish_time = Some(now);
                         if in_window {
                             completed[m] += 1;
+                            completions.push(CompletionRecord {
+                                id: request,
+                                model,
+                                at: now,
+                            });
                         }
                         for node in state.pipeline.nodes() {
                             if let Some(engine) = self.engines.get_mut(&(node, model)) {
@@ -648,6 +671,7 @@ impl ClusterSimulator {
             intervals,
             replans,
             kv_transfers,
+            completions,
         }
     }
 
@@ -841,8 +865,10 @@ impl ClusterSimulator {
         }
         // Hand-over step 3: move the KV state of each migration.  The moved
         // pages travel as real traffic on the `from → to` link (queueing
-        // behind activations), and both ends freeze until the transfer
-        // lands — freeze → transfer → re-route (step 1 above) → resume.
+        // behind activations), and both ends freeze *only the migrated
+        // layer range* until the transfer lands — freeze → transfer →
+        // re-route (step 1 above) → resume.  Requests whose stages run on
+        // disjoint layers of the same nodes keep decoding throughout.
         for migration in &outcome.migrations {
             let m = migration.model;
             let Some(source) = self.engines.get(&(migration.from, m)) else {
@@ -863,7 +889,7 @@ impl ClusterSimulator {
                 .range(migration.from)
                 .is_none();
             if let Some(engine) = self.engines.get_mut(&(migration.from, m)) {
-                engine.freeze_until(arrival);
+                engine.freeze_range_until(migration.layers, arrival);
                 if source_retired {
                     // The whole range moved: every page now lives on the
                     // destination.
@@ -871,7 +897,7 @@ impl ClusterSimulator {
                 }
             }
             if let Some(engine) = self.engines.get_mut(&(migration.to, m)) {
-                engine.freeze_until(arrival);
+                engine.freeze_range_until(migration.layers, arrival);
                 for &(request, tokens) in &snapshot {
                     engine.seed_kv(request, tokens);
                 }

@@ -1,0 +1,87 @@
+//! Serve a 500-node fleet in one process on the async data plane.
+//!
+//! The runtime's workers are tasks on a single-threaded executor, not OS
+//! threads: a fleet of 500 (node, model) engines — far beyond what a
+//! thread-per-worker design could sensibly spawn — runs its whole data plane
+//! on one `helix-dataplane` thread.  This example builds a 500-node cluster,
+//! plans a placement, burst-submits a batch of requests through the live
+//! session front door and reports throughput plus the process thread count,
+//! which stays flat regardless of fleet size.
+//!
+//! Run with: `cargo run --release --example large_fleet`
+
+use helix::prelude::*;
+use helix_runtime::{RuntimeConfig, ServingBuilder};
+use helix_workload::Request;
+
+/// Threads currently alive in this process (Linux; `None` elsewhere).
+fn os_thread_count() -> Option<usize> {
+    std::fs::read_dir("/proc/self/task")
+        .ok()
+        .map(|entries| entries.count())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 500 nodes across three GPU generations in one region — a scale where
+    // one-thread-per-worker would need 500 OS threads before serving a
+    // single token.
+    let spec = ClusterBuilder::new("large-fleet-500")
+        .intra_region(10_000.0, 1.0)
+        .add_nodes(GpuType::A100_40, 100, 1, Region(0))
+        .add_nodes(GpuType::L4, 150, 1, Region(0))
+        .add_nodes(GpuType::T4, 250, 1, Region(0))
+        .build();
+    let profile = ClusterProfile::analytic(spec, ModelConfig::llama_30b());
+    let placement = heuristics::swarm_placement(&profile)?;
+    let topology = Topology::plan(&profile, &placement, true)?;
+    println!(
+        "fleet: {} nodes, {} serving the plan",
+        profile.cluster().num_nodes(),
+        topology.nodes().count()
+    );
+
+    let before = os_thread_count();
+    let mut session = ServingBuilder::new()
+        .topology(&topology)
+        .config(RuntimeConfig::fast_test())
+        .build()?;
+
+    // Burst-submit: every request arrives at t=0; the coordinator admits
+    // them all at once and the engines batch them through the pipelines.
+    let total = 200u64;
+    let tickets: Vec<_> = (0..total)
+        .map(|id| {
+            session.submit(Request {
+                id,
+                prompt_tokens: 64,
+                output_tokens: 8,
+                arrival_time: 0.0,
+                model: ModelId(0),
+            })
+        })
+        .collect();
+    let first = session.wait_completion(tickets[0])?;
+    println!(
+        "first completion: request {} after {:.3} virtual seconds",
+        first.id,
+        first.completed_at - first.arrival
+    );
+    let during = os_thread_count();
+    session.drain()?;
+    let report = session.finish()?;
+
+    println!(
+        "completed {} / {} requests, {:.0} decode tokens/s over {:.1} virtual seconds",
+        report.completed(),
+        total,
+        report.decode_throughput(),
+        report.makespan
+    );
+    if let (Some(before), Some(during)) = (before, during) {
+        println!(
+            "process threads: {before} before the session, {during} while serving \
+             (500 workers as tasks, not threads)"
+        );
+    }
+    Ok(())
+}

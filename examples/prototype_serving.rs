@@ -1,10 +1,11 @@
-//! Serve a workload on the multi-threaded prototype runtime.
+//! Serve a workload on the prototype runtime.
 //!
 //! The paper evaluates both a real prototype (vLLM + ZeroMQ, §6.1) and a
 //! discrete-event simulator.  This example exercises the prototype-style
-//! runtime in `helix-runtime`: a coordinator thread, one worker thread per
-//! compute node with a paged KV pool, and a network fabric with per-link
-//! bandwidth and latency.  It plans a placement for the paper's 10-node study
+//! runtime in `helix-runtime`: a coordinator task, one worker task per
+//! compute node with a paged KV pool (all on one executor thread), and a
+//! network fabric with per-link bandwidth and latency.  It plans a
+//! placement for the paper's 10-node study
 //! cluster, serves the same workload with Helix's IWRR scheduler and with
 //! random scheduling, and prints the metrics the paper reports (decode
 //! throughput, prompt latency, decode latency) plus the most congested links.

@@ -77,7 +77,8 @@ pub mod prelude {
         RuntimeConfig, RuntimeReport, ServingBuilder, ServingRuntime, ServingSession,
     };
     pub use helix_sim::{
-        ClusterSimulator, FleetMetrics, FleetRunReport, Metrics, SimSession, SimulationConfig,
+        ClusterSimulator, CompletionRecord, FleetMetrics, FleetRunReport, Metrics, SimSession,
+        SimulationConfig,
     };
     pub use helix_workload::{
         ArrivalPattern, AzureTraceConfig, Request, TicketId, TraceError, Workload,

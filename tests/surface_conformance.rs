@@ -10,6 +10,7 @@
 //! *behavioural* contracts (who completed, what was logged, monotonicity),
 //! not timings.
 
+use helix::core::KvTransferRecord;
 use helix::front::ServingFrontEnd;
 use helix::prelude::*;
 use std::collections::BTreeSet;
@@ -248,6 +249,101 @@ fn mid_run_migration_delta_behaves_identically_on_both_surfaces() {
     let (rt, sm) = (&runtime_report.kv_transfers[0], &sim_report.kv_transfers[0]);
     assert_eq!(rt.migration, sm.migration);
     assert!(rt.bytes >= 0.0 && sm.bytes >= 0.0);
+}
+
+#[test]
+fn unfrozen_layers_keep_completing_through_the_migration_transfer_window() {
+    // Three identical nodes: node0 and node2 both serve [0, half) while
+    // node1 serves [half, L) — every pipeline's tail runs on node1.  The
+    // node0 → node1 link is slow, so handing layers [quarter, half) from
+    // node0 to node1 holds those layers frozen for seconds of virtual time
+    // on *both* ends of the transfer.  Layer-scoped freezing means pipelines
+    // routed node2 → node1 touch only un-frozen ranges ([0, half) on node2,
+    // [half, L) on node1) and must keep completing inside the transfer
+    // window; a whole-worker freeze of node1 would stall every pipeline.
+    let spec = ClusterBuilder::new("migration-window-3")
+        .intra_region(10_000.0, 1.0)
+        .override_link(Some(NodeId(0)), Some(NodeId(1)), 10_000.0, 2_500.0)
+        .add_nodes(GpuType::A100_80, 3, 1, Region(0))
+        .build();
+    let profile = ClusterProfile::analytic(spec, ModelConfig::llama_13b());
+    let num_layers = profile.model().num_layers;
+    let (quarter, half) = (num_layers / 4, num_layers / 2);
+    let mut placement = ModelPlacement::empty(3);
+    placement.assign(NodeId(0), LayerRange::new(0, half));
+    placement.assign(NodeId(2), LayerRange::new(0, half));
+    placement.assign(NodeId(1), LayerRange::new(half, num_layers));
+    placement.validate(&profile).unwrap();
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    let moved = LayerRange::new(quarter, half);
+    let batch1 = requests(16, 0, ModelId(0));
+    let batch2 = requests(4, 100, ModelId(0));
+    let batch1_ids = id_set(&batch1);
+
+    // The hand-over window of a report: [freeze start, resume at the
+    // destination], as priced by the shared KV-transfer cost model.
+    let window = |transfers: &[KvTransferRecord]| {
+        assert_eq!(transfers.len(), 1);
+        let hand_over = &transfers[0];
+        assert_eq!(hand_over.migration.layers, moved);
+        assert!(
+            hand_over.transfer_secs > 1.0,
+            "the slow link stretches the hand-over into a real window, got {}s",
+            hand_over.transfer_secs
+        );
+        (hand_over.at - hand_over.transfer_secs, hand_over.at)
+    };
+
+    let runtime_report = serve_with_migration(
+        runtime_session(&topology),
+        &batch1,
+        &batch2,
+        ModelId(0),
+        NodeId(0),
+        NodeId(1),
+        moved,
+    );
+    let runtime_ids: BTreeSet<u64> = runtime_report.outcomes.iter().map(|o| o.id).collect();
+    let mut submitted = id_set(&batch1);
+    submitted.extend(id_set(&batch2));
+    assert_eq!(runtime_ids, submitted, "no pipeline dropped on the runtime");
+    let (start, end) = window(&runtime_report.kv_transfers);
+    let in_window = runtime_report
+        .outcomes
+        .iter()
+        .filter(|o| batch1_ids.contains(&o.id) && start < o.completed_at && o.completed_at < end)
+        .count();
+    assert!(
+        in_window > 0,
+        "runtime: pipelines on un-frozen layers keep completing during the \
+         transfer window ({start:.3}..{end:.3}), got none"
+    );
+
+    let sim_report = serve_with_migration(
+        sim_session(&topology),
+        &batch1,
+        &batch2,
+        ModelId(0),
+        NodeId(0),
+        NodeId(1),
+        moved,
+    );
+    assert_eq!(
+        sim_report.metrics.overall.completed_requests,
+        submitted.len() as u64,
+        "no pipeline dropped on the simulator"
+    );
+    let (start, end) = window(&sim_report.kv_transfers);
+    let in_window = sim_report
+        .completions
+        .iter()
+        .filter(|c| batch1_ids.contains(&c.id) && start < c.at && c.at < end)
+        .count();
+    assert!(
+        in_window > 0,
+        "simulator: pipelines on un-frozen layers keep completing during the \
+         transfer window ({start:.3}..{end:.3}), got none"
+    );
 }
 
 #[test]

@@ -1,0 +1,295 @@
+//! An unbounded MPSC channel bridging async tasks and synchronous threads.
+//!
+//! The sender is plain synchronous and cloneable; a send wakes both the
+//! async receiver's registered [`Waker`] *and* any thread blocked in the
+//! condvar-backed [`Receiver::recv`] / [`Receiver::recv_deadline`].  The
+//! receiver is single-consumer: `recv().await` from a task, or block from a
+//! regular thread — the two never race because one receiver end exists.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+/// Error of [`Sender::send`]: the receiver was dropped; the value is
+/// returned to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error of [`Receiver::recv`]: every sender was dropped and the queue is
+/// empty.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error of [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty.
+    Empty,
+    /// Every sender was dropped and the queue is empty.
+    Disconnected,
+}
+
+/// Error of [`Receiver::recv_deadline`] / [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with nothing received.
+    Timeout,
+    /// Every sender was dropped and the queue is empty.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+    /// Waker of the task currently awaiting `recv()`, if any.
+    waker: Option<Waker>,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled on every send (and final sender drop) for blocking
+    /// receivers.
+    condvar: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Wakes whichever receive side is waiting.
+    fn notify(state: &mut State<T>, condvar: &Condvar) {
+        if let Some(waker) = state.waker.take() {
+            waker.wake();
+        }
+        condvar.notify_one();
+    }
+}
+
+/// The sending half: synchronous, cloneable, usable from any thread.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Queues `value`, waking the receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back if the receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().unwrap();
+        if !state.receiver_alive {
+            return Err(SendError(value));
+        }
+        state.queue.push_back(value);
+        Shared::notify(&mut state, &self.shared.condvar);
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.senders -= 1;
+        if state.senders == 0 {
+            // Disconnection is an event the receiver must observe.
+            Shared::notify(&mut state, &self.shared.condvar);
+        }
+    }
+}
+
+/// The receiving half: await from a task or block from a thread.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Awaits the next value (async side).
+    pub fn recv(&self) -> RecvFuture<'_, T> {
+        RecvFuture { receiver: self }
+    }
+
+    /// Pops the next value if one is already queued.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when nothing is queued,
+    /// [`TryRecvError::Disconnected`] when additionally every sender is gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock().unwrap();
+        match state.queue.pop_front() {
+            Some(v) => Ok(v),
+            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocks the calling thread until a value arrives (sync side).
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] when every sender is gone and the queue is empty.
+    pub fn recv_blocking(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.condvar.wait(state).unwrap();
+        }
+    }
+
+    /// Blocks the calling thread until a value arrives or `deadline` passes.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] once `deadline` passes,
+    /// [`RecvTimeoutError::Disconnected`] when every sender is gone and the
+    /// queue is empty.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (next, _timed_out) = self
+                .shared
+                .condvar
+                .wait_timeout(state, deadline - now)
+                .unwrap();
+            state = next;
+        }
+    }
+
+    /// [`recv_deadline`](Self::recv_deadline) with a relative timeout.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`recv_deadline`](Self::recv_deadline).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.recv_deadline(Instant::now() + timeout)
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().receiver_alive = false;
+    }
+}
+
+/// Future of [`Receiver::recv`].
+pub struct RecvFuture<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Future for RecvFuture<'_, T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.receiver.shared.state.lock().unwrap();
+        if let Some(v) = state.queue.pop_front() {
+            return Poll::Ready(Ok(v));
+        }
+        if state.senders == 0 {
+            return Poll::Ready(Err(RecvError));
+        }
+        state.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+            waker: None,
+        }),
+        condvar: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_arrive_in_order_and_disconnect_is_observed() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv_blocking(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_after_receiver_drop_returns_the_value() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn blocking_recv_deadline_times_out_promptly() {
+        let (tx, rx) = unbounded::<u32>();
+        let before = Instant::now();
+        let result = rx.recv_timeout(Duration::from_millis(20));
+        assert_eq!(result, Err(RecvTimeoutError::Timeout));
+        assert!(before.elapsed() >= Duration::from_millis(15));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn blocking_recv_sees_cross_thread_sends() {
+        let (tx, rx) = unbounded::<u32>();
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(5).unwrap();
+        });
+        assert_eq!(rx.recv_blocking(), Ok(5));
+        producer.join().unwrap();
+    }
+}

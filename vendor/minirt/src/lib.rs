@@ -1,0 +1,494 @@
+//! A minimal async runtime, vendored the same way the workspace stubs serde
+//! and crossbeam: the container has no registry access, so instead of tokio
+//! this crate implements exactly the API subset the Helix data plane needs —
+//! no more.
+//!
+//! # What is implemented
+//!
+//! * **[`Executor`]** — a single-threaded, cooperatively scheduled task
+//!   executor.  [`Executor::spawn`] queues a `Send + 'static` future as a
+//!   task; [`Executor::block_on`] drives a main future *and* every spawned
+//!   task on the calling thread; [`Executor::drain`] runs already-spawned
+//!   tasks until the executor is quiescent (used at teardown).  Tasks are
+//!   woken through real [`std::task::Waker`]s backed by `Arc`ed task handles:
+//!   a wake pushes the task onto the run queue and unparks whichever thread
+//!   is currently driving, so cross-thread wakes (e.g. a session thread
+//!   sending into a task's channel) work without polling.
+//! * **[`channel`]** — an unbounded MPSC channel whose sender is plain
+//!   synchronous (usable from non-async threads) and whose receiver supports
+//!   *both* worlds: `recv().await` registers a waker, while the blocking
+//!   `recv()` / `recv_deadline()` wait on a condvar.  This is the seam
+//!   between the async data plane and the synchronous session front door.
+//! * **[`time`]** — `sleep` / `sleep_until` futures registered with the
+//!   driving executor's timer heap (the driver parks until the earliest
+//!   deadline), plus a `timeout_at` combinator for deadline-bounded awaits.
+//!
+//! # What is deliberately NOT implemented
+//!
+//! Multi-threaded scheduling and work stealing (one driver thread at a time;
+//! the queue and wake paths are `Mutex`-protected so adding stealers later
+//! is an executor-local change), I/O reactors, task cancellation/abort, and
+//! `JoinHandle` panics propagation (a panicking task poisons nothing — the
+//! panic unwinds through the driver, matching thread behaviour closely
+//! enough for this workspace).
+
+pub mod channel;
+pub mod time;
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::{self, Thread};
+use std::time::Instant;
+
+thread_local! {
+    static CURRENT: RefCell<Option<Executor>> = const { RefCell::new(None) };
+}
+
+/// The executor currently driving this thread (set inside
+/// [`Executor::block_on`] / [`Executor::drain`]), if any.  Timer futures use
+/// this to register their deadlines.
+pub fn current() -> Option<Executor> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// One timer registration: wake `waker` once `at` passes.
+struct TimerEntry {
+    at: Instant,
+    seq: u64,
+    waker: Waker,
+}
+
+#[derive(Default)]
+struct TimerQueue {
+    /// Kept sorted by (`at`, `seq`) ascending; registrations are rare (one
+    /// per sleep poll) so a sorted `Vec` beats a heap for this workload.
+    entries: Vec<TimerEntry>,
+}
+
+impl TimerQueue {
+    fn insert(&mut self, entry: TimerEntry) {
+        let pos = self
+            .entries
+            .partition_point(|e| (e.at, e.seq) <= (entry.at, entry.seq));
+        self.entries.insert(pos, entry);
+    }
+}
+
+/// One spawned task: the future plus the bookkeeping its waker needs.
+struct Task {
+    exec: Weak<Inner>,
+    future: Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send>>>>,
+    /// Deduplicates wakes: a task already sitting in the run queue is not
+    /// pushed a second time.
+    queued: AtomicBool,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        if self.queued.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if let Some(exec) = self.exec.upgrade() {
+            exec.run_queue.lock().unwrap().push_back(Arc::clone(&self));
+            exec.unpark_driver();
+        }
+    }
+}
+
+/// Wakes the `block_on` main future: flags it runnable and unparks the
+/// driving thread.
+struct MainWaker {
+    thread: Thread,
+    woken: AtomicBool,
+}
+
+impl Wake for MainWaker {
+    fn wake(self: Arc<Self>) {
+        self.woken.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+struct Inner {
+    run_queue: Mutex<VecDeque<Arc<Task>>>,
+    timers: Mutex<TimerQueue>,
+    /// The thread currently inside `block_on`/`drain`, to unpark on wakes
+    /// originating from other threads.
+    driver: Mutex<Option<Thread>>,
+    timer_seq: AtomicU64,
+}
+
+impl Inner {
+    fn unpark_driver(&self) {
+        if let Some(t) = self.driver.lock().unwrap().as_ref() {
+            t.unpark();
+        }
+    }
+}
+
+/// A cloneable, `Send + Sync` handle to one executor.
+///
+/// Spawning is allowed from any thread at any time; driving
+/// ([`block_on`](Executor::block_on) / [`drain`](Executor::drain)) is
+/// single-threaded — one driver at a time.
+///
+/// # Example
+///
+/// ```rust
+/// let exec = minirt::Executor::new();
+/// let (tx, rx) = minirt::channel::unbounded::<u32>();
+/// exec.spawn(async move {
+///     let v = rx.recv().await.unwrap();
+///     assert_eq!(v, 7);
+/// });
+/// tx.send(7).unwrap();
+/// exec.drain(); // runs the spawned task to completion
+/// ```
+#[derive(Clone)]
+pub struct Executor {
+    inner: Arc<Inner>,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor {
+    /// Creates an empty executor.
+    pub fn new() -> Self {
+        Executor {
+            inner: Arc::new(Inner {
+                run_queue: Mutex::new(VecDeque::new()),
+                timers: Mutex::new(TimerQueue::default()),
+                driver: Mutex::new(None),
+                timer_seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Queues `future` as a task.  It runs whenever a thread drives the
+    /// executor ([`block_on`](Self::block_on) or [`drain`](Self::drain)).
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let state = Arc::new(Mutex::new(JoinState::<F::Output> {
+            result: None,
+            finished: false,
+            waker: None,
+        }));
+        let shared = Arc::clone(&state);
+        let wrapped = async move {
+            let out = future.await;
+            let mut s = shared.lock().unwrap();
+            s.result = Some(out);
+            s.finished = true;
+            if let Some(w) = s.waker.take() {
+                w.wake();
+            }
+        };
+        let task = Arc::new(Task {
+            exec: Arc::downgrade(&self.inner),
+            future: Mutex::new(Some(Box::pin(wrapped))),
+            queued: AtomicBool::new(true),
+        });
+        self.inner.run_queue.lock().unwrap().push_back(task);
+        self.inner.unpark_driver();
+        JoinHandle { state }
+    }
+
+    /// Drives `future` to completion on the calling thread, running every
+    /// spawned task alongside it.  The main future may be `!Send`.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        let _enter = self.enter();
+        let mut future = Box::pin(future);
+        let main = Arc::new(MainWaker {
+            thread: thread::current(),
+            woken: AtomicBool::new(true),
+        });
+        let waker = Waker::from(Arc::clone(&main));
+        let mut cx = Context::from_waker(&waker);
+        loop {
+            if main.woken.swap(false, Ordering::AcqRel) {
+                if let Poll::Ready(out) = future.as_mut().poll(&mut cx) {
+                    return out;
+                }
+            }
+            self.run_ready_tasks();
+            self.fire_due_timers();
+            if main.woken.load(Ordering::Acquire) || !self.queue_is_empty() {
+                continue;
+            }
+            match self.next_timer_deadline() {
+                Some(at) => {
+                    let now = Instant::now();
+                    if at > now {
+                        thread::park_timeout(at - now);
+                    }
+                }
+                None => thread::park(),
+            }
+        }
+    }
+
+    /// Runs already-spawned tasks until the executor is quiescent: the run
+    /// queue is empty and no timers are pending.  Tasks still blocked on
+    /// wakers that nothing can fire any more (e.g. a channel whose senders
+    /// are gone but that was never polled again) are left in place and
+    /// dropped with the executor.  Used at data-plane teardown, after the
+    /// shutdown messages that let every task run to completion were sent.
+    pub fn drain(&self) {
+        let _enter = self.enter();
+        loop {
+            self.run_ready_tasks();
+            self.fire_due_timers();
+            if !self.queue_is_empty() {
+                continue;
+            }
+            match self.next_timer_deadline() {
+                Some(at) => {
+                    let now = Instant::now();
+                    if at > now {
+                        thread::park_timeout(at - now);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Registers a timer waking `waker` at `at`; returns a token for
+    /// [`cancel_timer`](Self::cancel_timer).  Timer futures call this
+    /// through [`current`].
+    pub(crate) fn register_timer(&self, at: Instant, waker: Waker) -> u64 {
+        let seq = self.inner.timer_seq.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .timers
+            .lock()
+            .unwrap()
+            .insert(TimerEntry { at, seq, waker });
+        // A timer registered from a non-driving thread must still shorten
+        // the driver's park.
+        self.inner.unpark_driver();
+        seq
+    }
+
+    /// Removes a registered timer.  Dropping a `Sleep` future cancels its
+    /// pending deadline this way; without cancellation an abandoned timer —
+    /// e.g. the unused branch of a `timeout_at` whose inner future won —
+    /// would keep the executor non-quiescent and stall [`drain`](Self::drain)
+    /// until the dead deadline passed.  Cancelling an already-fired (or
+    /// unknown) token is a no-op.
+    pub(crate) fn cancel_timer(&self, token: u64) {
+        self.inner
+            .timers
+            .lock()
+            .unwrap()
+            .entries
+            .retain(|e| e.seq != token);
+    }
+
+    fn run_ready_tasks(&self) {
+        loop {
+            let task = self.inner.run_queue.lock().unwrap().pop_front();
+            let Some(task) = task else { break };
+            task.queued.store(false, Ordering::Release);
+            let waker = Waker::from(Arc::clone(&task));
+            let mut cx = Context::from_waker(&waker);
+            let mut slot = task.future.lock().unwrap();
+            if let Some(future) = slot.as_mut() {
+                if future.as_mut().poll(&mut cx).is_ready() {
+                    *slot = None;
+                }
+            }
+        }
+    }
+
+    fn fire_due_timers(&self) {
+        let now = Instant::now();
+        let due: Vec<TimerEntry> = {
+            let mut timers = self.inner.timers.lock().unwrap();
+            let split = timers.entries.partition_point(|e| e.at <= now);
+            timers.entries.drain(..split).collect()
+        };
+        for entry in due {
+            entry.waker.wake();
+        }
+    }
+
+    fn next_timer_deadline(&self) -> Option<Instant> {
+        self.inner
+            .timers
+            .lock()
+            .unwrap()
+            .entries
+            .first()
+            .map(|e| e.at)
+    }
+
+    fn queue_is_empty(&self) -> bool {
+        self.inner.run_queue.lock().unwrap().is_empty()
+    }
+
+    fn enter(&self) -> EnterGuard {
+        *self.inner.driver.lock().unwrap() = Some(thread::current());
+        let previous = CURRENT.with(|c| c.borrow_mut().replace(self.clone()));
+        EnterGuard {
+            exec: self.clone(),
+            previous,
+        }
+    }
+}
+
+/// Restores the thread-local current executor and clears the driver slot
+/// when a `block_on`/`drain` scope ends.
+struct EnterGuard {
+    exec: Executor,
+    previous: Option<Executor>,
+}
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        *self.exec.inner.driver.lock().unwrap() = None;
+        CURRENT.with(|c| *c.borrow_mut() = self.previous.take());
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    finished: bool,
+    waker: Option<Waker>,
+}
+
+/// Awaitable handle to a spawned task's result.
+pub struct JoinHandle<T> {
+    state: Arc<Mutex<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has run to completion.
+    pub fn is_finished(&self) -> bool {
+        self.state.lock().unwrap().finished
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut s = self.state.lock().unwrap();
+        if let Some(out) = s.result.take() {
+            return Poll::Ready(out);
+        }
+        s.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn block_on_returns_the_future_output() {
+        let exec = Executor::new();
+        assert_eq!(exec.block_on(async { 40 + 2 }), 42);
+    }
+
+    #[test]
+    fn spawned_tasks_run_alongside_the_main_future() {
+        let exec = Executor::new();
+        let (tx, rx) = channel::unbounded::<u32>();
+        let handle = exec.spawn(async move {
+            let mut sum = 0;
+            while let Ok(v) = rx.recv().await {
+                sum += v;
+            }
+            sum
+        });
+        let total = exec.block_on(async move {
+            for v in 1..=4 {
+                tx.send(v).unwrap();
+            }
+            drop(tx);
+            handle.await
+        });
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn drain_runs_spawned_tasks_to_quiescence() {
+        let exec = Executor::new();
+        let (tx, rx) = channel::unbounded::<u32>();
+        let handle = exec.spawn(async move { rx.recv().await.unwrap() * 2 });
+        tx.send(21).unwrap();
+        exec.drain();
+        assert!(handle.is_finished());
+        assert_eq!(exec.block_on(handle), 42);
+    }
+
+    #[test]
+    fn cross_thread_sends_wake_the_driving_thread() {
+        let exec = Executor::new();
+        let (tx, rx) = channel::unbounded::<&'static str>();
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send("ping").unwrap();
+        });
+        let got = exec.block_on(async move { rx.recv().await.unwrap() });
+        assert_eq!(got, "ping");
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        let exec = Executor::new();
+        let (tx, rx) = channel::unbounded::<u8>();
+        let tx2 = tx.clone();
+        exec.spawn(async move {
+            time::sleep(Duration::from_millis(30)).await;
+            tx.send(2).unwrap();
+        });
+        exec.spawn(async move {
+            time::sleep(Duration::from_millis(5)).await;
+            tx2.send(1).unwrap();
+        });
+        let order = exec.block_on(async move {
+            let a = rx.recv().await.unwrap();
+            let b = rx.recv().await.unwrap();
+            (a, b)
+        });
+        assert_eq!(order, (1, 2));
+    }
+
+    #[test]
+    fn many_tasks_run_on_one_thread() {
+        let exec = Executor::new();
+        let (tx, rx) = channel::unbounded::<usize>();
+        for i in 0..500 {
+            let tx = tx.clone();
+            exec.spawn(async move {
+                time::sleep(Duration::from_millis(1)).await;
+                tx.send(i).unwrap();
+            });
+        }
+        drop(tx);
+        let count = exec.block_on(async move {
+            let mut count = 0;
+            while rx.recv().await.is_ok() {
+                count += 1;
+            }
+            count
+        });
+        assert_eq!(count, 500);
+    }
+}
