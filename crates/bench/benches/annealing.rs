@@ -12,10 +12,13 @@
 //! recorded in `BENCH_annealing.json` at the repository root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig, NodeId};
+use helix_cluster::{
+    ClusterBuilder, ClusterProfile, ClusterSpec, GpuType, ModelConfig, NodeId, Region,
+};
+use helix_core::fleet::{fleet_profiles, FleetAnnealingOptions, FleetAnnealingPlanner};
 use helix_core::{
-    heuristics, AnnealingOptions, FlowAnnealingPlanner, FlowGraphBuilder, IncrementalFlowEvaluator,
-    LayerRange,
+    heuristics, AnnealingOptions, FlowAnnealingPlanner, FlowGraphBuilder, HierarchicalFleetPlanner,
+    HierarchicalOptions, IncrementalFlowEvaluator, LayerRange, RollbackStrategy,
 };
 use helix_maxflow::MaxFlowAlgorithm;
 use std::hint::black_box;
@@ -139,9 +142,112 @@ fn bench_end_to_end_planner(c: &mut Criterion) {
     group.finish();
 }
 
+/// Rejected-move rollback cost on the 42-node study cluster: the delta
+/// undo-log (restore only the arena edges the warm re-solve touched) against
+/// the previous full `O(E)` snapshot of every edge.
+fn bench_rollback_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollback_strategy_42_node");
+    group.sample_size(10);
+    let profile = ClusterProfile::analytic(
+        ClusterSpec::high_heterogeneity_42(),
+        ModelConfig::llama2_70b(),
+    );
+    let placement = heuristics::swarm_placement(&profile).unwrap();
+    let moves = move_sequence(&profile, 64);
+    for (label, strategy) in [
+        ("delta_undo_log", RollbackStrategy::DeltaUndoLog),
+        ("full_snapshot", RollbackStrategy::FullSnapshot),
+    ] {
+        let mut evaluator = IncrementalFlowEvaluator::new(
+            &profile,
+            &placement,
+            true,
+            None,
+            MaxFlowAlgorithm::Dinic,
+        )
+        .unwrap()
+        .with_rollback_strategy(strategy);
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new(label, "42-node"), &(), |b, ()| {
+            b.iter(|| {
+                let (node, range) = moves[i % moves.len()];
+                i += 1;
+                let base = placement.range(node);
+                let value = evaluator.assign(node, range);
+                evaluator.restore(node, base);
+                black_box(value)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A fleet of `regions` × 24 heterogeneous nodes with fast intra-region and
+/// slow inter-region links.
+fn scaling_cluster(regions: u32) -> Vec<ClusterProfile> {
+    let mut builder = ClusterBuilder::new(format!("scale-{}", regions * 24))
+        .intra_region(10_000.0, 1.0)
+        .inter_region(150.0, 40.0);
+    for r in 0..regions {
+        builder = builder
+            .add_nodes(GpuType::A100_40, 4, 1, Region(r))
+            .add_nodes(GpuType::L4, 8, 1, Region(r))
+            .add_nodes(GpuType::T4, 12, 1, Region(r));
+    }
+    fleet_profiles(
+        &builder.build(),
+        &[ModelConfig::llama_30b(), ModelConfig::llama_13b()],
+    )
+}
+
+/// Node-count scaling of full fleet planning at an equal 2000-move budget:
+/// sequential joint annealing over the whole cluster vs the hierarchical
+/// partition → anneal → refine pipeline, single-threaded and parallel.
+fn bench_planner_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_scaling_2000_moves");
+    group.sample_size(3);
+    const BUDGET: usize = 2000;
+    for regions in [1u32, 4, 10, 42] {
+        let profiles = scaling_cluster(regions);
+        let nodes = regions as usize * 24;
+
+        group.bench_with_input(BenchmarkId::new("sequential_joint", nodes), &(), |b, ()| {
+            b.iter(|| {
+                let planner =
+                    FleetAnnealingPlanner::new(&profiles).with_options(FleetAnnealingOptions {
+                        iterations: BUDGET,
+                        ..Default::default()
+                    });
+                black_box(planner.solve().unwrap().1)
+            })
+        });
+
+        for (label, threads) in [("hierarchical_1_thread", 1), ("hierarchical_parallel", 0)] {
+            group.bench_with_input(BenchmarkId::new(label, nodes), &(), |b, ()| {
+                b.iter(|| {
+                    let planner = HierarchicalFleetPlanner::new(&profiles).with_options(
+                        HierarchicalOptions {
+                            annealing: FleetAnnealingOptions {
+                                iterations: BUDGET,
+                                ..Default::default()
+                            },
+                            threads,
+                            ..Default::default()
+                        },
+                    );
+                    black_box(planner.solve().unwrap().flows)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_per_iteration_evaluation,
-    bench_end_to_end_planner
+    bench_end_to_end_planner,
+    bench_rollback_strategy,
+    bench_planner_scaling
 );
 criterion_main!(benches);

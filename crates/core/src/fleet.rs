@@ -1218,7 +1218,7 @@ impl<'a> FleetAnnealingPlanner<'a> {
 /// `placement::refine::FlowAnnealingPlanner::propose` when tuning either.
 ///
 /// [`FlowAnnealingPlanner::propose`]: crate::FlowAnnealingPlanner
-fn propose_range(
+pub(crate) fn propose_range(
     profile: &ClusterProfile,
     placement: &ModelPlacement,
     node: NodeId,

@@ -83,9 +83,15 @@ pub use fleet::{
 };
 pub use flow_graph::{Endpoint, FlowGraphBuilder, PlacementFlowGraph};
 pub use placement::heuristics;
-pub use placement::incremental::IncrementalFlowEvaluator;
+pub use placement::hierarchical::{
+    HierarchicalFleetPlanner, HierarchicalOptions, HierarchicalPlan,
+};
+pub use placement::incremental::{IncrementalFlowEvaluator, RollbackStrategy};
 pub use placement::milp::{MilpPlacementPlanner, MilpPlannerReport, PlannerOptions};
-pub use placement::partition::{Partition, PartitionOptions, PartitionPlan, PartitionedPlanner};
+pub use placement::partition::{
+    Partition, PartitionOptions, PartitionPlan, PartitionedPlanner, Pod, PodMap,
+    PodPartitionOptions, PodPartitioner,
+};
 pub use placement::refine::{AnnealingOptions, FlowAnnealingPlanner};
 pub use placement::{LayerRange, ModelPlacement};
 pub use replan::{

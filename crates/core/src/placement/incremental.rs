@@ -31,6 +31,21 @@ use helix_cluster::{ClusterProfile, NodeId};
 use helix_maxflow::{EdgeId, FlowNetwork, FlowSnapshot, MaxFlowAlgorithm, NodeId as FlowNodeId};
 use std::collections::HashMap;
 
+/// How a rejected move is rolled back by
+/// [`IncrementalFlowEvaluator::restore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RollbackStrategy {
+    /// Restore only the arena edges the move actually touched, recorded by
+    /// the [`FlowNetwork`] delta undo-log.  O(touched) per rollback — a move
+    /// whose warm re-solve touched nothing rolls back for free.  The default.
+    #[default]
+    DeltaUndoLog,
+    /// Restore a full copy of every edge taken before the move.  O(E) per
+    /// move regardless of how little the move perturbed; kept as an
+    /// independent cross-check of the undo-log and for benchmarking the win.
+    FullSnapshot,
+}
+
 /// A standing flow network over the whole candidate edge set, supporting
 /// cheap single-node placement moves with warm-started re-solving.
 ///
@@ -69,6 +84,8 @@ pub struct IncrementalFlowEvaluator {
     warm_solves: u64,
     /// Single-level undo state captured by the last `assign`.
     undo: Option<UndoState>,
+    /// How `restore` rolls back the last move's network mutations.
+    rollback: RollbackStrategy,
 }
 
 /// What `assign` saves so `restore` can roll one move back without solving.
@@ -101,6 +118,40 @@ impl IncrementalFlowEvaluator {
         prune_degree: Option<usize>,
         algorithm: MaxFlowAlgorithm,
     ) -> Result<Self, HelixError> {
+        let mut builder = FlowGraphBuilder::new(profile).partial_inference(partial_inference);
+        if let Some(degree) = prune_degree {
+            builder = builder.prune_to_degree(degree);
+        }
+        let candidates = builder.candidate_connections();
+        Self::with_candidates(
+            profile,
+            placement,
+            partial_inference,
+            &candidates,
+            algorithm,
+        )
+    }
+
+    /// Like [`IncrementalFlowEvaluator::new`], but over an **explicit**
+    /// candidate connection set instead of the builder's (possibly pruned)
+    /// all-pairs set.
+    ///
+    /// This is how the hierarchical planner's refine stage keeps a standing
+    /// network over a 1000-node cluster affordable: it passes only pod-local
+    /// pairs plus a bounded set of cross-pod pairs, so the arena stays
+    /// O(nodes · pod size) instead of O(nodes²).  `candidates` must not
+    /// contain duplicates or self-pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the initial placement is invalid for the profile.
+    pub fn with_candidates(
+        profile: &ClusterProfile,
+        placement: &ModelPlacement,
+        partial_inference: bool,
+        candidates: &[(NodeId, NodeId)],
+        algorithm: MaxFlowAlgorithm,
+    ) -> Result<Self, HelixError> {
         placement.validate(profile)?;
         let cluster = profile.cluster();
         let n = cluster.num_nodes();
@@ -114,12 +165,6 @@ impl IncrementalFlowEvaluator {
             .sum::<f64>()
             .max(1.0);
         let clamp = |cap: f64| cap.min(global_bound);
-
-        let mut builder = FlowGraphBuilder::new(profile).partial_inference(partial_inference);
-        if let Some(degree) = prune_degree {
-            builder = builder.prune_to_degree(degree);
-        }
-        let candidates = builder.candidate_connections();
 
         let mut network = FlowNetwork::with_capacity(2 * n + 2, n * 3 + candidates.len());
         let source = network.add_node("source");
@@ -166,7 +211,7 @@ impl IncrementalFlowEvaluator {
 
         let mut link_edges = HashMap::with_capacity(candidates.len());
         let mut incident: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); n];
-        for &(a, b) in &candidates {
+        for &(a, b) in candidates {
             let cap = profile.link_profile(Some(a), Some(b)).tokens_per_sec;
             let on = placement.connection_valid(a, b, partial_inference);
             let (_, a_out) = vertices[a.index()];
@@ -196,9 +241,27 @@ impl IncrementalFlowEvaluator {
             value: 0.0,
             warm_solves: 0,
             undo: None,
+            rollback: RollbackStrategy::default(),
         };
         evaluator.value = evaluator.resolve();
         Ok(evaluator)
+    }
+
+    /// Selects how rejected moves are rolled back (default:
+    /// [`RollbackStrategy::DeltaUndoLog`]).
+    pub fn with_rollback_strategy(mut self, rollback: RollbackStrategy) -> Self {
+        self.rollback = rollback;
+        self
+    }
+
+    /// Number of standing-network arena edges touched by the last `assign`
+    /// (capacity updates, flow repair and warm re-solve combined), as
+    /// recorded by the delta undo-log.
+    ///
+    /// Returns 0 after a rollback, and always 0 under
+    /// [`RollbackStrategy::FullSnapshot`] (which does not track touches).
+    pub fn last_move_touched_edges(&self) -> usize {
+        self.network.undo_log_len()
     }
 
     /// The current placement reflected in the standing network.
@@ -225,6 +288,7 @@ impl IncrementalFlowEvaluator {
     /// updating only the capacities incident to that node, then re-solving
     /// warm from the standing flow.  Returns the new max-flow value.
     pub fn assign(&mut self, node: NodeId, range: LayerRange) -> f64 {
+        let rollback = self.rollback;
         let undo = self.undo.get_or_insert_with(|| UndoState {
             node,
             prev_range: None,
@@ -236,7 +300,10 @@ impl IncrementalFlowEvaluator {
         undo.prev_range = self.placement.range(node);
         undo.value = self.value;
         undo.live = true;
-        self.network.snapshot_flows_into(&mut undo.snapshot);
+        match rollback {
+            RollbackStrategy::DeltaUndoLog => self.network.begin_undo_log(),
+            RollbackStrategy::FullSnapshot => self.network.snapshot_flows_into(&mut undo.snapshot),
+        }
         self.placement.assign(node, range);
         self.refresh_node(node);
         self.value = self.resolve();
@@ -246,10 +313,13 @@ impl IncrementalFlowEvaluator {
     /// Reverts `node` to a previous range (or unassigned), the inverse of
     /// [`IncrementalFlowEvaluator::assign`].
     ///
-    /// Rolling back the immediately preceding `assign` restores the saved
-    /// flow snapshot in O(E) with no re-solve; any other revert falls back
-    /// to a capacity refresh plus warm re-solve.
+    /// Rolling back the immediately preceding `assign` restores the network
+    /// without re-solving — in O(touched edges) under the default
+    /// [`RollbackStrategy::DeltaUndoLog`], in O(E) under
+    /// [`RollbackStrategy::FullSnapshot`].  Any other revert falls back to a
+    /// capacity refresh plus warm re-solve.
     pub fn restore(&mut self, node: NodeId, range: Option<LayerRange>) -> f64 {
+        let rollback = self.rollback;
         if let Some(undo) = self.undo.as_mut() {
             if undo.live && undo.node == node && undo.prev_range == range {
                 undo.live = false;
@@ -258,22 +328,32 @@ impl IncrementalFlowEvaluator {
                     None => self.placement.clear(node),
                 }
                 let value = undo.value;
-                let snapshot = std::mem::replace(&mut undo.snapshot, FlowSnapshot::empty());
-                self.network
-                    .restore_flows(&snapshot)
-                    .expect("snapshot comes from this network");
-                if let Some(undo) = self.undo.as_mut() {
-                    undo.snapshot = snapshot;
+                match rollback {
+                    RollbackStrategy::DeltaUndoLog => {
+                        self.network.rollback_undo_log();
+                    }
+                    RollbackStrategy::FullSnapshot => {
+                        let snapshot = std::mem::replace(&mut undo.snapshot, FlowSnapshot::empty());
+                        self.network
+                            .restore_flows(&snapshot)
+                            .expect("snapshot comes from this network");
+                        if let Some(undo) = self.undo.as_mut() {
+                            undo.snapshot = snapshot;
+                        }
+                    }
                 }
                 self.value = value;
                 return self.value;
             }
         }
         // Slow path: this revert does not match the last `assign`, so any
-        // saved snapshot no longer describes a rollback of the new state.
+        // saved rollback state no longer describes a rollback of the new
+        // state.  Commit the last move's undo-log (its mutations stand) and
+        // re-solve.
         if let Some(undo) = self.undo.as_mut() {
             undo.live = false;
         }
+        self.network.discard_undo_log();
         match range {
             Some(r) => self.placement.assign(node, r),
             None => self.placement.clear(node),
@@ -311,6 +391,7 @@ impl IncrementalFlowEvaluator {
         if let Some(undo) = self.undo.as_mut() {
             undo.live = false;
         }
+        self.network.discard_undo_log();
         // A re-scaled profile can raise node capacities back up (a slowdown
         // that recovered); grow the link clamp monotonically so it always
         // dominates the node-capacity sum.  Growing capacities keeps the
@@ -603,6 +684,114 @@ mod tests {
             (restored - cold).abs() <= FLOW_EPS * (1.0 + cold),
             "restored {restored} vs cold {cold}"
         );
+    }
+
+    #[test]
+    fn undo_log_rollback_matches_full_snapshot_rollback() {
+        // The delta undo-log and the O(E) snapshot must be interchangeable:
+        // drive two evaluators through the same accept/reject move sequence,
+        // one per strategy, and demand identical values throughout.
+        let profile = profile();
+        let placement = heuristics::petals_placement(&profile).unwrap();
+        let mut delta = IncrementalFlowEvaluator::new(
+            &profile,
+            &placement,
+            true,
+            None,
+            MaxFlowAlgorithm::Dinic,
+        )
+        .unwrap()
+        .with_rollback_strategy(RollbackStrategy::DeltaUndoLog);
+        let mut snap = IncrementalFlowEvaluator::new(
+            &profile,
+            &placement,
+            true,
+            None,
+            MaxFlowAlgorithm::Dinic,
+        )
+        .unwrap()
+        .with_rollback_strategy(RollbackStrategy::FullSnapshot);
+        let num_layers = profile.model().num_layers;
+        let nodes: Vec<NodeId> = profile.cluster().node_ids().collect();
+        for (step, &node) in nodes.iter().cycle().take(30).enumerate() {
+            let max_layers = profile.node_profile(node).max_layers.min(num_layers);
+            if max_layers == 0 {
+                continue;
+            }
+            let len = 1 + (step % max_layers);
+            let start = (step * 5) % (num_layers - len + 1);
+            let range = LayerRange::new(start, start + len);
+            let prev = delta.placement().range(node);
+            let a = delta.assign(node, range);
+            let b = snap.assign(node, range);
+            assert_eq!(a.to_bits(), b.to_bits(), "step {step}: assign diverged");
+            if step % 2 == 1 {
+                // Reject: both roll back, by different mechanisms.
+                let a = delta.restore(node, prev);
+                let b = snap.restore(node, prev);
+                assert_eq!(a.to_bits(), b.to_bits(), "step {step}: restore diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn noop_move_touches_no_edges_and_rolls_back_for_free() {
+        // Re-assigning a node the range it already holds changes no capacity:
+        // every set_capacity short-circuits and the warm re-solve finds no
+        // augmenting path, so the undo-log records nothing.  The rollback of
+        // such a move restores zero edges — no O(E) snapshot copy, no
+        // allocation (the journal's entry buffer never grows past empty).
+        let profile = profile();
+        let placement = heuristics::petals_placement(&profile).unwrap();
+        let mut evaluator = IncrementalFlowEvaluator::new(
+            &profile,
+            &placement,
+            true,
+            None,
+            MaxFlowAlgorithm::Dinic,
+        )
+        .unwrap();
+        let before = evaluator.value();
+        let (node, range) = placement.iter().next().unwrap();
+        for _ in 0..100 {
+            let after = evaluator.assign(node, range);
+            assert_eq!(after.to_bits(), before.to_bits(), "no-op move moved value");
+            assert_eq!(
+                evaluator.last_move_touched_edges(),
+                0,
+                "no-op move touched standing edges"
+            );
+            evaluator.restore(node, Some(range));
+            assert_eq!(evaluator.value().to_bits(), before.to_bits());
+        }
+    }
+
+    #[test]
+    fn explicit_candidate_set_matches_builder_candidates() {
+        // with_candidates over the builder's own candidate list must behave
+        // exactly like new().
+        let profile = profile();
+        let placement = heuristics::swarm_placement(&profile).unwrap();
+        let candidates = FlowGraphBuilder::new(&profile)
+            .partial_inference(true)
+            .candidate_connections();
+        let explicit = IncrementalFlowEvaluator::with_candidates(
+            &profile,
+            &placement,
+            true,
+            &candidates,
+            MaxFlowAlgorithm::Dinic,
+        )
+        .unwrap();
+        let implicit = IncrementalFlowEvaluator::new(
+            &profile,
+            &placement,
+            true,
+            None,
+            MaxFlowAlgorithm::Dinic,
+        )
+        .unwrap();
+        assert_eq!(explicit.value().to_bits(), implicit.value().to_bits());
     }
 
     #[test]

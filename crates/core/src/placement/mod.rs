@@ -1,6 +1,7 @@
 //! Model placement: which layers each compute node holds.
 
 pub mod heuristics;
+pub mod hierarchical;
 pub mod incremental;
 pub mod milp;
 pub mod partition;

@@ -4,7 +4,7 @@
 //! as the default algorithm for very sparse graphs where its `O(E * V^2)`
 //! bound with unit-ish capacities behaves well.
 
-use crate::graph::{ArenaEdge, FlowNetwork, FlowResult, NodeId};
+use crate::graph::{ArenaEdge, FlowNetwork, FlowResult, NodeId, UndoJournal};
 use crate::FLOW_EPS;
 use std::collections::VecDeque;
 
@@ -33,6 +33,7 @@ pub(crate) fn run(
     n: usize,
     source: usize,
     sink: usize,
+    journal: &mut UndoJournal,
 ) -> f64 {
     // CSR of live edges: an edge pair is dead for the whole solve when both
     // residuals are (numerically) zero — pushes conserve the pair total.
@@ -86,6 +87,7 @@ pub(crate) fn run(
                 source,
                 sink,
                 f64::INFINITY,
+                journal,
             );
             if pushed <= FLOW_EPS {
                 break;
@@ -108,6 +110,7 @@ fn dfs(
     u: usize,
     sink: usize,
     limit: f64,
+    journal: &mut UndoJournal,
 ) -> f64 {
     if u == sink {
         return limit;
@@ -126,8 +129,10 @@ fn dfs(
                 v,
                 sink,
                 limit.min(edges[eid].residual),
+                journal,
             );
             if pushed > FLOW_EPS {
+                journal.touch_pair(eid, edges);
                 edges[eid].residual -= pushed;
                 edges[eid ^ 1].residual += pushed;
                 return pushed;

@@ -3,7 +3,7 @@
 //! Slow but simple; used in tests and property checks as a third independent
 //! implementation to compare against push-relabel and Dinic.
 
-use crate::graph::{ArenaEdge, FlowNetwork, FlowResult, NodeId};
+use crate::graph::{ArenaEdge, FlowNetwork, FlowResult, NodeId, UndoJournal};
 use crate::FLOW_EPS;
 use std::collections::VecDeque;
 
@@ -24,6 +24,7 @@ pub(crate) fn run(
     n: usize,
     source: usize,
     sink: usize,
+    journal: &mut UndoJournal,
 ) -> f64 {
     let mut total = 0.0f64;
     loop {
@@ -62,6 +63,7 @@ pub(crate) fn run(
         let mut v = sink;
         while v != source {
             let eid = parent_edge[v];
+            journal.touch_pair(eid, edges);
             edges[eid].residual -= bottleneck;
             edges[eid ^ 1].residual += bottleneck;
             v = edges[eid ^ 1].to;

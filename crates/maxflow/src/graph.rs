@@ -88,6 +88,49 @@ impl FlowSnapshot {
     }
 }
 
+/// Delta undo-log: a first-touch journal of the arena edges mutated since
+/// [`FlowNetwork::begin_undo_log`].
+///
+/// Where [`FlowSnapshot`] copies all `E` arena edges up front, the journal
+/// records `(index, capacity, residual)` only for edges actually written by
+/// capacity updates, flow repair or a warm re-solve — rejected annealing
+/// moves that touch a handful of edges roll back in O(touched), and a re-solve
+/// that touches nothing rolls back for free.  De-duplication uses an
+/// epoch-stamp array so each edge is recorded at most once per transaction
+/// without clearing any per-edge state between transactions.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct UndoJournal {
+    /// Whether a transaction is open; when false every hook is a no-op.
+    active: bool,
+    /// `(arena index, capacity, residual)` at first touch, in touch order.
+    entries: Vec<(usize, f64, f64)>,
+    /// Epoch stamp per arena edge; `stamp[i] == epoch` means already recorded.
+    stamp: Vec<u32>,
+    /// Current transaction epoch (bumped by `begin`).
+    epoch: u32,
+}
+
+impl UndoJournal {
+    /// Records the pre-mutation state of one arena edge, once per transaction.
+    #[inline]
+    fn record(&mut self, idx: usize, cap: f64, residual: f64) {
+        if self.stamp[idx] != self.epoch {
+            self.stamp[idx] = self.epoch;
+            self.entries.push((idx, cap, residual));
+        }
+    }
+
+    /// Records a forward/twin arena pair about to be pushed on by a solver.
+    #[inline]
+    pub(crate) fn touch_pair(&mut self, eid: usize, edges: &[ArenaEdge]) {
+        if self.active {
+            self.record(eid, edges[eid].cap, edges[eid].residual);
+            let twin = eid ^ 1;
+            self.record(twin, edges[twin].cap, edges[twin].residual);
+        }
+    }
+}
+
 /// Result of a maximum-flow computation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlowResult {
@@ -138,6 +181,8 @@ pub struct FlowNetwork {
     pub(crate) edges: Vec<ArenaEdge>,
     /// Maps forward-edge id -> arena index (always 2 * id, kept explicit for clarity).
     forward: Vec<usize>,
+    /// Delta undo-log for the warm-start rollback path.
+    journal: UndoJournal,
 }
 
 impl FlowNetwork {
@@ -154,6 +199,7 @@ impl FlowNetwork {
             adjacency: Vec::with_capacity(nodes),
             edges: Vec::with_capacity(edges * 2),
             forward: Vec::with_capacity(edges),
+            journal: UndoJournal::default(),
         }
     }
 
@@ -357,16 +403,33 @@ impl FlowNetwork {
             return Err(FlowError::SourceIsSink);
         }
         let mut scratch = self.clone_arena();
+        // Stateless solves work on a scratch arena; no undo-log to maintain.
+        let mut no_journal = UndoJournal::default();
         let value = match algorithm {
-            MaxFlowAlgorithm::PushRelabel => {
-                push_relabel::run(&mut scratch, &self.adjacency, len, source.0, sink.0)
-            }
-            MaxFlowAlgorithm::Dinic => {
-                dinic::run(&mut scratch, &self.adjacency, len, source.0, sink.0)
-            }
-            MaxFlowAlgorithm::EdmondsKarp => {
-                edmonds_karp::run(&mut scratch, &self.adjacency, len, source.0, sink.0)
-            }
+            MaxFlowAlgorithm::PushRelabel => push_relabel::run(
+                &mut scratch,
+                &self.adjacency,
+                len,
+                source.0,
+                sink.0,
+                &mut no_journal,
+            ),
+            MaxFlowAlgorithm::Dinic => dinic::run(
+                &mut scratch,
+                &self.adjacency,
+                len,
+                source.0,
+                sink.0,
+                &mut no_journal,
+            ),
+            MaxFlowAlgorithm::EdmondsKarp => edmonds_karp::run(
+                &mut scratch,
+                &self.adjacency,
+                len,
+                source.0,
+                sink.0,
+                &mut no_journal,
+            ),
         };
         let edge_flows = self
             .forward
@@ -427,9 +490,90 @@ impl FlowNetwork {
             len: self.forward.len(),
         })?;
         let delta = capacity - self.edges[idx].cap;
+        if delta == 0.0 {
+            // Zero-delta short-circuit: nothing changes, nothing to journal.
+            return Ok(());
+        }
+        self.journal_touch(idx);
         self.edges[idx].cap = capacity;
         self.edges[idx].residual += delta;
         Ok(())
+    }
+
+    /// Records the pre-mutation state of one arena edge into the active
+    /// undo-log (no-op when no transaction is open).
+    #[inline]
+    fn journal_touch(&mut self, idx: usize) {
+        if self.journal.active {
+            let (cap, residual) = {
+                let e = &self.edges[idx];
+                (e.cap, e.residual)
+            };
+            self.journal.record(idx, cap, residual);
+        }
+    }
+
+    /// Opens an undo-log transaction: every arena edge mutated by subsequent
+    /// [`FlowNetwork::set_capacity`] or
+    /// [`FlowNetwork::resolve_from_residual`] calls has its pre-mutation
+    /// state recorded (once), until the transaction is closed by
+    /// [`FlowNetwork::rollback_undo_log`] or
+    /// [`FlowNetwork::discard_undo_log`].
+    ///
+    /// This is the O(touched) alternative to the O(E)
+    /// [`FlowNetwork::snapshot_flows`]/[`FlowNetwork::restore_flows`] pair:
+    /// rejected annealing moves perturb a handful of edges out of thousands,
+    /// so rolling back only what was written dominates at fleet scale.
+    /// Calling `begin_undo_log` while a transaction is open discards the old
+    /// transaction and starts a fresh one.  The journal's buffers are reused
+    /// across transactions, so a steady-state begin/rollback cycle does not
+    /// allocate.
+    pub fn begin_undo_log(&mut self) {
+        self.journal.entries.clear();
+        self.journal.stamp.resize(self.edges.len(), 0);
+        self.journal.epoch = self.journal.epoch.wrapping_add(1);
+        if self.journal.epoch == 0 {
+            // u32 epoch wrapped: clear all stamps once and restart at 1.
+            self.journal.stamp.fill(0);
+            self.journal.epoch = 1;
+        }
+        self.journal.active = true;
+    }
+
+    /// Number of arena edges recorded by the open undo-log transaction
+    /// (0 when no transaction is open or nothing was touched).
+    pub fn undo_log_len(&self) -> usize {
+        self.journal.entries.len()
+    }
+
+    /// Whether an undo-log transaction is open.
+    pub fn undo_log_active(&self) -> bool {
+        self.journal.active
+    }
+
+    /// Restores every edge recorded since [`FlowNetwork::begin_undo_log`] to
+    /// its pre-transaction state and closes the transaction, returning the
+    /// number of arena edges restored.
+    ///
+    /// Runs in O(touched); a transaction that touched nothing rolls back for
+    /// free (no edge writes, no allocation).
+    pub fn rollback_undo_log(&mut self) -> usize {
+        let n = self.journal.entries.len();
+        for i in 0..n {
+            let (idx, cap, residual) = self.journal.entries[i];
+            self.edges[idx].cap = cap;
+            self.edges[idx].residual = residual;
+        }
+        self.journal.entries.clear();
+        self.journal.active = false;
+        n
+    }
+
+    /// Closes the open undo-log transaction without restoring anything,
+    /// committing the mutations made since [`FlowNetwork::begin_undo_log`].
+    pub fn discard_undo_log(&mut self) {
+        self.journal.entries.clear();
+        self.journal.active = false;
     }
 
     /// Captures the standing flow state (capacities and residuals) so a
@@ -466,6 +610,8 @@ impl FlowNetwork {
                 len: self.edges.len(),
             });
         }
+        // A bulk restore supersedes any open undo-log transaction.
+        self.discard_undo_log();
         for (edge, &(cap, residual)) in self.edges.iter_mut().zip(&snapshot.state) {
             edge.cap = cap;
             edge.residual = residual;
@@ -474,8 +620,9 @@ impl FlowNetwork {
     }
 
     /// Discards any flow stored on the network, returning every edge to the
-    /// zero-flow residual state.
+    /// zero-flow residual state.  Any open undo-log transaction is discarded.
     pub fn reset_flows(&mut self) {
+        self.discard_undo_log();
         for i in (0..self.edges.len()).step_by(2) {
             self.edges[i].residual = self.edges[i].cap;
             self.edges[i + 1].residual = 0.0;
@@ -530,15 +677,30 @@ impl FlowNetwork {
         self.repair_infeasible_flow(source.0, sink.0, eps);
 
         match algorithm {
-            MaxFlowAlgorithm::PushRelabel => {
-                push_relabel::run(&mut self.edges, &self.adjacency, n, source.0, sink.0)
-            }
-            MaxFlowAlgorithm::Dinic => {
-                dinic::run(&mut self.edges, &self.adjacency, n, source.0, sink.0)
-            }
-            MaxFlowAlgorithm::EdmondsKarp => {
-                edmonds_karp::run(&mut self.edges, &self.adjacency, n, source.0, sink.0)
-            }
+            MaxFlowAlgorithm::PushRelabel => push_relabel::run(
+                &mut self.edges,
+                &self.adjacency,
+                n,
+                source.0,
+                sink.0,
+                &mut self.journal,
+            ),
+            MaxFlowAlgorithm::Dinic => dinic::run(
+                &mut self.edges,
+                &self.adjacency,
+                n,
+                source.0,
+                sink.0,
+                &mut self.journal,
+            ),
+            MaxFlowAlgorithm::EdmondsKarp => edmonds_karp::run(
+                &mut self.edges,
+                &self.adjacency,
+                n,
+                source.0,
+                sink.0,
+                &mut self.journal,
+            ),
         };
 
         // Read the value and per-edge flows off the standing arena: the
@@ -580,6 +742,8 @@ impl FlowNetwork {
         for i in (0..self.edges.len()).step_by(2) {
             if self.edges[i].residual < 0.0 {
                 let overflow = -self.edges[i].residual;
+                self.journal_touch(i);
+                self.journal_touch(i + 1);
                 self.edges[i].residual = 0.0;
                 self.edges[i + 1].residual = self.edges[i].cap;
                 if overflow > eps {
@@ -674,6 +838,8 @@ impl FlowNetwork {
                     })
                     .fold(f64::INFINITY, f64::min);
                 for &idx in cycle.iter().chain(std::iter::once(&arena_idx)) {
+                    self.journal_touch(idx);
+                    self.journal_touch(idx ^ 1);
                     if forward {
                         self.edges[idx].residual += amount;
                         self.edges[idx ^ 1].residual -= amount;
@@ -715,6 +881,8 @@ impl FlowNetwork {
                     amount = amount.min(imbalance[next].abs());
                 }
                 for &idx in &path {
+                    self.journal_touch(idx);
+                    self.journal_touch(idx ^ 1);
                     if forward {
                         self.edges[idx].residual += amount;
                         self.edges[idx ^ 1].residual -= amount;
@@ -1047,6 +1215,128 @@ mod tests {
             .unwrap();
         assert!((back.value - 2.0).abs() < 1e-9);
         net.validate_flow(&back.edge_flows, s, t).unwrap();
+    }
+
+    fn arena_state(net: &FlowNetwork) -> Vec<(f64, f64)> {
+        net.edges.iter().map(|e| (e.cap, e.residual)).collect()
+    }
+
+    #[test]
+    fn undo_log_rolls_back_capacity_change_and_resolve_exactly() {
+        for alg in [
+            MaxFlowAlgorithm::PushRelabel,
+            MaxFlowAlgorithm::Dinic,
+            MaxFlowAlgorithm::EdmondsKarp,
+        ] {
+            let (mut net, s, t) = diamond();
+            let first = net.resolve_from_residual(s, t, alg).unwrap();
+            assert!((first.value - 6.0).abs() < 1e-9);
+            let before = arena_state(&net);
+
+            net.begin_undo_log();
+            net.set_capacity(EdgeId(0), 1.0).unwrap();
+            let perturbed = net.resolve_from_residual(s, t, alg).unwrap();
+            assert!(perturbed.value < first.value);
+            assert!(net.undo_log_len() > 0, "{alg:?} recorded nothing");
+            assert_ne!(arena_state(&net), before);
+
+            let restored = net.rollback_undo_log();
+            assert!(restored > 0);
+            assert!(!net.undo_log_active());
+            // Bit-identical to the pre-transaction state, not just equivalent.
+            assert_eq!(arena_state(&net), before, "{alg:?} rollback diverged");
+        }
+    }
+
+    #[test]
+    fn undo_log_zero_delta_transaction_records_nothing() {
+        let (mut net, s, t) = diamond();
+        let _ = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::Dinic)
+            .unwrap();
+        let before = arena_state(&net);
+
+        net.begin_undo_log();
+        // Re-assert the capacities the edges already have: the zero-delta
+        // short-circuit must skip the writes entirely...
+        for id in 0..net.edge_count() {
+            let cap = net.capacity(EdgeId(id)).unwrap();
+            net.set_capacity(EdgeId(id), cap).unwrap();
+        }
+        // ...and a warm re-solve of an already-maximum flow finds no
+        // augmenting path, so it touches no edges either.
+        let re = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::Dinic)
+            .unwrap();
+        assert!((re.value - 6.0).abs() < 1e-9);
+        assert_eq!(net.undo_log_len(), 0);
+        assert_eq!(net.rollback_undo_log(), 0);
+        assert_eq!(arena_state(&net), before);
+    }
+
+    #[test]
+    fn undo_log_discard_commits_the_mutations() {
+        let (mut net, s, t) = diamond();
+        let _ = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::Dinic)
+            .unwrap();
+        net.begin_undo_log();
+        net.set_capacity(EdgeId(1), 5.0).unwrap();
+        let improved = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::Dinic)
+            .unwrap();
+        net.discard_undo_log();
+        assert!(!net.undo_log_active());
+        assert_eq!(net.capacity(EdgeId(1)).unwrap(), 5.0);
+        let after = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::Dinic)
+            .unwrap();
+        assert!((after.value - improved.value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undo_log_begin_restarts_an_open_transaction() {
+        let (mut net, s, t) = diamond();
+        let _ = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::Dinic)
+            .unwrap();
+        net.begin_undo_log();
+        net.set_capacity(EdgeId(0), 1.0).unwrap();
+        let _ = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::Dinic)
+            .unwrap();
+        let mid = arena_state(&net);
+        // A fresh begin commits the first transaction implicitly.
+        net.begin_undo_log();
+        net.set_capacity(EdgeId(2), 1.0).unwrap();
+        let _ = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::Dinic)
+            .unwrap();
+        net.rollback_undo_log();
+        assert_eq!(arena_state(&net), mid);
+    }
+
+    #[test]
+    fn undo_log_covers_infeasible_flow_repair() {
+        let (mut net, s, t) = diamond();
+        let _ = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::Dinic)
+            .unwrap();
+        let before = arena_state(&net);
+        net.begin_undo_log();
+        // Choke an edge below its standing flow: the next resolve must run
+        // the repair path (clamp + cancellation walks), all journaled.
+        net.set_capacity(EdgeId(0), 0.5).unwrap();
+        let _ = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::Dinic)
+            .unwrap();
+        net.rollback_undo_log();
+        assert_eq!(arena_state(&net), before);
+        // The rolled-back network still resolves to the original maximum.
+        let re = net
+            .resolve_from_residual(s, t, MaxFlowAlgorithm::Dinic)
+            .unwrap();
+        assert!((re.value - 6.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Plan a 1008-node, 4-model fleet with hierarchical parallel annealing.
+//!
+//! The joint annealer keeps one standing flow network over the entire
+//! cluster, so at a thousand nodes every proposed move re-solves a graph
+//! three orders of magnitude larger than the pods the hierarchical planner
+//! anneals.  This example builds a 12-region, 1008-node fleet serving four
+//! models, plans it with the partition → parallel-anneal → refine pipeline,
+//! and prints the pod map and planning wall-clock time.
+//!
+//! Run with: `cargo run --release --example plan_at_scale`
+
+use helix::prelude::*;
+use helix_core::fleet::{fleet_profiles, FleetAnnealingOptions};
+use helix_core::{HierarchicalFleetPlanner, HierarchicalOptions, PodPartitionOptions};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 12 regions × 84 nodes = 1008 nodes across three GPU generations, with
+    // fast intra-region links and slow, high-latency WAN links between
+    // regions.
+    let mut builder = ClusterBuilder::new("planet-1008")
+        .intra_region(10_000.0, 1.0)
+        .inter_region(150.0, 40.0);
+    for r in 0..12u32 {
+        builder = builder
+            .add_nodes(GpuType::A100_40, 16, 1, Region(r))
+            .add_nodes(GpuType::L4, 28, 1, Region(r))
+            .add_nodes(GpuType::T4, 40, 1, Region(r));
+    }
+    let cluster = builder.build();
+
+    let models = [
+        ModelConfig::llama_30b(),
+        ModelConfig::llama_13b(),
+        ModelConfig::llama2_70b(),
+        ModelConfig::llama3_405b(),
+    ];
+    let profiles = fleet_profiles(&cluster, &models);
+    println!(
+        "fleet: {} nodes in {} regions, {} models",
+        cluster.num_nodes(),
+        12,
+        models.len()
+    );
+
+    let options = HierarchicalOptions {
+        pods: PodPartitionOptions {
+            max_pod_size: 24,
+            ..Default::default()
+        },
+        annealing: FleetAnnealingOptions {
+            iterations: 6000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let plan = HierarchicalFleetPlanner::new(&profiles)
+        .with_options(options)
+        .solve()?;
+    let elapsed = start.elapsed();
+
+    assert!(!plan.used_fallback, "1008 nodes must plan hierarchically");
+    plan.placement.validate(&profiles)?;
+
+    // Pod map: per model, the pods serving it and their sizes.
+    println!("\npod map ({} pods):", plan.pods.num_pods());
+    for (m, model) in models.iter().enumerate() {
+        let pods: Vec<_> = plan.pods.pods_for(ModelId(m)).collect();
+        let nodes: usize = pods.iter().map(|p| p.nodes.len()).sum();
+        let sizes: Vec<usize> = pods.iter().map(|p| p.nodes.len()).collect();
+        println!(
+            "  {:<12} {:>3} pods, {:>4} nodes, sizes {:?}",
+            model.name,
+            pods.len(),
+            nodes,
+            sizes
+        );
+        assert!(plan.flows[m] > 0.0, "every model must serve traffic");
+    }
+
+    println!("\nper-model throughput (tokens/s):");
+    for (m, model) in models.iter().enumerate() {
+        println!("  {:<12} {:>12.1}", model.name, plan.flows[m]);
+    }
+    println!("\nplanned {} nodes in {:.2?}", cluster.num_nodes(), elapsed);
+    Ok(())
+}

@@ -276,7 +276,20 @@ fn unfrozen_layers_keep_completing_through_the_migration_transfer_window() {
     placement.validate(&profile).unwrap();
     let topology = Topology::plan(&profile, &placement, true).unwrap();
     let moved = LayerRange::new(quarter, half);
-    let batch1 = requests(16, 0, ModelId(0));
+    // Batch-1 arrivals must span several virtual seconds: on the runtime the
+    // migrate control message races the data plane in *wall* time, so tightly
+    // packed arrivals can all complete before the freeze lands and leave the
+    // window empty.  Spreading them keeps un-frozen traffic in flight across
+    // the whole transfer window wherever the freeze starts.
+    let batch1: Vec<Request> = (0..16)
+        .map(|i| Request {
+            id: i,
+            prompt_tokens: 32,
+            output_tokens: 3,
+            arrival_time: 0.4 * i as f64,
+            model: ModelId(0),
+        })
+        .collect();
     let batch2 = requests(4, 100, ModelId(0));
     let batch1_ids = id_set(&batch1);
 
