@@ -1,0 +1,156 @@
+//! Prefix-aware KV sharing: cache-aware routing + shared pool vs the
+//! cache-blind baseline, at 0% / 50% / 90% share ratios.
+//!
+//! Two questions, one workload shape (long, mostly-shared prompts and short
+//! outputs — the system-prompt / few-shot-template regime the tentpole
+//! targets):
+//!
+//! 1. **Simulated serving throughput** — the same cluster, the same KV
+//!    capacity, the same token counts; the only difference is whether
+//!    requests carry prefix tags.  Cache-aware routing sends sharers to the
+//!    node already holding their prefix, the shared pool refcounts the
+//!    resident pages, and prefill skips the shared range.  The measured
+//!    decode throughput ratio at each share ratio is printed and recorded in
+//!    `BENCH_prefix.json` at the repository root (the 90% ratio is the
+//!    acceptance gate: ≥ 1.5×).
+//! 2. **Admission capacity** — how many requests fit under the KV
+//!    high-water mark when the prefix is stored once per node instead of
+//!    once per request (analytic, from the pool arithmetic).
+//!
+//! The criterion group measures the *wall* cost of one full simulation run
+//! with the machinery on vs off — routing and refcounting must not make the
+//! simulator itself measurably slower.
+//!
+//! Run with `cargo bench -p helix-bench --bench prefix`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helix_cluster::{ClusterProfile, ClusterSpec, ModelConfig};
+use helix_core::exec_model::DEFAULT_TOKENS_PER_PAGE;
+use helix_core::{heuristics, IwrrScheduler, Topology};
+use helix_sim::{ClusterSimulator, FleetRunReport, SimSession, SimulationConfig};
+use helix_workload::{Request, Workload};
+use std::hint::black_box;
+
+const PROMPT_TOKENS: usize = 256;
+const PREFIX_TOKENS: usize = 224;
+const OUTPUT_TOKENS: usize = 8;
+const REQUESTS: u64 = 160;
+const GROUPS: usize = 8;
+
+fn profile() -> ClusterProfile {
+    ClusterProfile::analytic(ClusterSpec::solver_quality_10(), ModelConfig::llama_13b())
+}
+
+fn topology(profile: &ClusterProfile) -> Topology {
+    let placement = heuristics::swarm_placement(profile).unwrap();
+    Topology::plan(profile, &placement, true).unwrap()
+}
+
+/// Prefill-dominated workload: 256-token prompts of which 224 are a shared
+/// template, 8 output tokens.  All requests arrive at t=0 so every group
+/// keeps at least one sharer in flight and its prefix home stays warm.
+fn workload(share_ratio: f64) -> Workload {
+    let requests: Vec<Request> = (0..REQUESTS)
+        .map(|id| Request {
+            id,
+            prompt_tokens: PROMPT_TOKENS,
+            output_tokens: OUTPUT_TOKENS,
+            arrival_time: 0.0,
+            ..Request::default()
+        })
+        .collect();
+    Workload::new(requests).with_shared_prefixes(GROUPS, PREFIX_TOKENS, share_ratio)
+}
+
+fn run(topology: &Topology, workload: &Workload) -> FleetRunReport {
+    let scheduler = IwrrScheduler::from_topology(topology).unwrap();
+    let sim = ClusterSimulator::new(topology, Box::new(scheduler));
+    let mut session = SimSession::new(sim, SimulationConfig::offline(3600.0).with_warmup(0.0));
+    for request in workload.requests() {
+        session.submit(*request);
+    }
+    session.finish()
+}
+
+fn bench_prefix(c: &mut Criterion) {
+    let profile = profile();
+    let topology = topology(&profile);
+
+    // The simulated-throughput comparison: identical workload tokens, with
+    // and without the prefix tags, at each share ratio.
+    println!("\n# simulated decode throughput, cache-aware vs cache-blind (equal KV capacity)");
+    let mut ratio_at_90 = 0.0;
+    for share in [0.0, 0.5, 0.9] {
+        let tagged = workload(share);
+        let aware = run(&topology, &tagged);
+        let blind = run(&topology, &tagged.clone().without_prefixes());
+        let aware_tps = aware.metrics.overall.decode_throughput();
+        let blind_tps = blind.metrics.overall.decode_throughput();
+        let ratio = if blind_tps > 0.0 {
+            aware_tps / blind_tps
+        } else {
+            1.0
+        };
+        if share == 0.9 {
+            ratio_at_90 = ratio;
+        }
+        assert_eq!(aware.metrics.overall.completed_requests, REQUESTS);
+        assert_eq!(blind.metrics.overall.completed_requests, REQUESTS);
+        println!(
+            "share {:>3.0}%: aware {:>8.1} tok/s (hits {:>3}, saved {:>6} prefill tokens) vs blind {:>8.1} tok/s -> {:.2}x",
+            share * 100.0,
+            aware_tps,
+            aware.prefix.prefix_hits,
+            aware.prefix.prefill_tokens_saved,
+            blind_tps,
+            ratio,
+        );
+    }
+    assert!(
+        ratio_at_90 >= 1.5,
+        "acceptance gate: >= 1.5x simulated throughput at 90% share, got {ratio_at_90:.2}x"
+    );
+
+    // Admission capacity under the KV high-water mark: the prefix is stored
+    // once per node instead of once per request, so the per-sharer footprint
+    // shrinks from prompt+output to suffix+output.
+    let home = topology.nodes().next().unwrap();
+    let layers = topology.placement().range(home.node).unwrap().len();
+    let capacity = profile.kv_capacity_tokens(home.node, layers);
+    let high_water = helix_core::scheduling::iwrr::KV_HIGH_WATER * capacity;
+    let blind_footprint = (PROMPT_TOKENS + OUTPUT_TOKENS) as f64;
+    let aware_footprint = (PROMPT_TOKENS - PREFIX_TOKENS + OUTPUT_TOKENS) as f64;
+    let blind_admission = (high_water / blind_footprint).floor();
+    let aware_admission = ((high_water - PREFIX_TOKENS as f64) / aware_footprint).floor();
+    println!(
+        "\n# admission capacity at the KV high-water mark, node {} ({:.0} tokens, {}-token pages)",
+        home.node, capacity, DEFAULT_TOKENS_PER_PAGE,
+    );
+    println!(
+        "cache-blind: {:>5.0} sharers ({} tokens each); cache-aware: {:>5.0} sharers \
+         ({} tokens each + the {}-token prefix once) -> {:.1}x",
+        blind_admission,
+        blind_footprint,
+        aware_admission,
+        aware_footprint,
+        PREFIX_TOKENS,
+        aware_admission / blind_admission,
+    );
+
+    // Wall cost of the machinery itself: one full 160-request simulation,
+    // tags on vs off.
+    let tagged = workload(0.9);
+    let stripped = tagged.clone().without_prefixes();
+    let mut group = c.benchmark_group("prefix_sim_wall");
+    group.sample_size(10);
+    group.bench_function("cache_aware_90pct", |b| {
+        b.iter(|| black_box(run(&topology, &tagged).metrics.overall.decode_tokens))
+    });
+    group.bench_function("cache_blind", |b| {
+        b.iter(|| black_box(run(&topology, &stripped).metrics.overall.decode_tokens))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefix);
+criterion_main!(benches);

@@ -20,6 +20,7 @@ fn workload(n: u64) -> Workload {
                 output_tokens: 4,
                 arrival_time: 0.0,
                 model: Default::default(),
+                ..Request::default()
             })
             .collect(),
     )

@@ -49,7 +49,7 @@ fn request(id: u64) -> Request {
         prompt_tokens: 64,
         output_tokens: 4,
         arrival_time: 0.0,
-        model: Default::default(),
+        ..Request::default()
     }
 }
 

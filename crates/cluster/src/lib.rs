@@ -26,7 +26,7 @@ mod profile;
 
 pub use cluster_spec::{ClusterBuilder, ClusterSpec};
 pub use gpu::{GpuSpec, GpuType};
-pub use model::{ModelConfig, ModelId};
+pub use model::{ModelConfig, ModelId, PrefixId};
 pub use node::{ComputeNode, NetworkLink, NodeId, Region};
 pub use profile::{
     ClusterProfile, LinkProfile, NodeProfile, MAX_WEIGHT_VRAM_FRACTION, PROMPT_EFFICIENCY,

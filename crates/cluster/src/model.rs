@@ -26,6 +26,24 @@ impl fmt::Display for ModelId {
     }
 }
 
+/// Identifier of a shared prompt prefix (a system prompt, a few-shot
+/// template, a session header).
+///
+/// Requests carrying the same `PrefixId` share the same leading
+/// `prefix_tokens` of their prompts, so a prefix-aware KV pool computes and
+/// stores that range once per node and later requests attach to the cached
+/// pages instead of re-prefilling them (the RadixAttention / paged-sharing
+/// idea).  The id is opaque: traces may derive it from a session id, a
+/// template hash or an explicit `prefix` column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PrefixId(pub u64);
+
+impl fmt::Display for PrefixId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prefix{}", self.0)
+    }
+}
+
 /// Architecture description of a decoder-only Transformer LLM.
 ///
 /// Only the quantities Helix needs are captured: number of layers (the unit

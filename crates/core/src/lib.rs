@@ -101,6 +101,7 @@ pub use replan::{
 };
 pub use scheduling::iwrr::IwrrScheduler;
 pub use scheduling::kv_estimate::KvCacheEstimator;
+pub use scheduling::prefix::{PrefixRoute, PrefixRouter, PrefixStats, PrefixWork};
 pub use scheduling::{
     ClusterState, IdleClusterState, PipelineStage, RandomScheduler, RequestPipeline, Scheduler,
     SchedulerKind, ShortestQueueScheduler, SwarmScheduler, TopologyGraph,

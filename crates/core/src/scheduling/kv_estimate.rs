@@ -6,7 +6,7 @@
 //! estimated usage exceeds the high-water mark are masked out of IWRR
 //! scheduling until requests finish.
 
-use helix_cluster::{ClusterProfile, NodeId};
+use helix_cluster::{ClusterProfile, NodeId, PrefixId};
 use std::collections::HashMap;
 
 /// Coordinator-side estimator of per-node KV-cache usage.
@@ -39,6 +39,11 @@ pub struct KvCacheEstimator {
     completed: u64,
     /// KV capacity per node in tokens, given the layers each node holds.
     capacity: HashMap<NodeId, f64>,
+    /// Shared prefix entries per (node, prefix): their token footprint and
+    /// how many in-flight requests reference them.  Counted once per node no
+    /// matter how many requests attach — the estimator-side mirror of the
+    /// refcounted pool entries on both execution surfaces.
+    shared: HashMap<(NodeId, PrefixId), (f64, usize)>,
 }
 
 impl KvCacheEstimator {
@@ -55,6 +60,7 @@ impl KvCacheEstimator {
                 .node_ids()
                 .map(|id| (id, f64::INFINITY))
                 .collect(),
+            shared: HashMap::new(),
         }
     }
 
@@ -86,6 +92,41 @@ impl KvCacheEstimator {
         self.completed += 1;
         let n = self.completed as f64;
         self.avg_output_len = self.avg_output_len * (n - 1.0) / n + output_len as f64 / n;
+    }
+
+    /// Records that a request referencing shared prefix `prefix`
+    /// (`tokens` leading prompt tokens) was scheduled onto `node`: the first
+    /// attach adds the prefix footprint once, later attaches only bump the
+    /// reference count.  Pair every attach with one
+    /// [`release_shared`](Self::release_shared) when the request finishes;
+    /// the footprint is freed only when the last reference drops.
+    ///
+    /// Schedule the *suffix* through [`on_scheduled`](Self::on_scheduled)
+    /// (prompt length minus the shared range) so the per-request and shared
+    /// halves add up to the same bytes the execution surfaces account.
+    pub fn attach_shared(&mut self, node: NodeId, prefix: PrefixId, tokens: usize) {
+        let entry = self.shared.entry((node, prefix)).or_insert((0.0, 0));
+        if entry.1 == 0 {
+            entry.0 = tokens as f64;
+            *self.estimated.entry(node).or_insert(0.0) += entry.0;
+        }
+        entry.1 += 1;
+    }
+
+    /// Drops one reference to shared prefix `prefix` on `node`; the last
+    /// release frees the shared footprint.  Releasing an unknown prefix is
+    /// harmless (the entry may have been cleared by a re-plan).
+    pub fn release_shared(&mut self, node: NodeId, prefix: PrefixId) {
+        if let Some(entry) = self.shared.get_mut(&(node, prefix)) {
+            entry.1 = entry.1.saturating_sub(1);
+            if entry.1 == 0 {
+                let tokens = entry.0;
+                self.shared.remove(&(node, prefix));
+                if let Some(e) = self.estimated.get_mut(&node) {
+                    *e = (*e - tokens).max(0.0);
+                }
+            }
+        }
     }
 
     /// Estimated KV tokens resident on `node`.
@@ -149,6 +190,33 @@ mod tests {
         // Average moves from the prior (200) towards the observed 100.
         assert!(est.avg_output_len() < 200.0);
         assert!(est.avg_output_len() >= 100.0);
+    }
+
+    #[test]
+    fn shared_prefixes_are_counted_once_and_freed_at_refcount_zero() {
+        let mut est = estimator();
+        let node = NodeId(0);
+        let prefix = PrefixId(7);
+        // Three requests share a 400-token prefix; each schedules only its
+        // suffix and attaches the shared entry.
+        for id in 0..3 {
+            est.on_scheduled(node, id, 100);
+            est.attach_shared(node, prefix, 400);
+        }
+        // Shared footprint counted once: 3 × (100 + 200 avg) + 400.
+        assert!((est.estimated_tokens(node) - (3.0 * 300.0 + 400.0)).abs() < 1e-9);
+        est.on_finished(node, 0, 200);
+        est.release_shared(node, prefix);
+        est.on_finished(node, 1, 200);
+        est.release_shared(node, prefix);
+        // One reference left: the shared entry is still resident.
+        assert!(est.estimated_tokens(node) >= 400.0);
+        est.on_finished(node, 2, 200);
+        est.release_shared(node, prefix);
+        assert_eq!(est.estimated_tokens(node), 0.0);
+        // Releasing an unknown prefix is harmless.
+        est.release_shared(node, PrefixId(99));
+        assert_eq!(est.estimated_tokens(node), 0.0);
     }
 
     #[test]

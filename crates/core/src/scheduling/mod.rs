@@ -15,6 +15,7 @@
 
 pub mod iwrr;
 pub mod kv_estimate;
+pub mod prefix;
 
 use crate::error::HelixError;
 use crate::flow_graph::Endpoint;

@@ -36,7 +36,8 @@ use helix_cluster::{ModelId, NodeId, TOKEN_WIRE_BYTES};
 use helix_core::{
     ClusterState, EngineCounters, FleetTopology, HelixError, IwrrScheduler, KvCacheEstimator,
     KvMigration, KvTransferRecord, LayerRange, NodeObservations, ObservationWindows,
-    PlacementDelta, ReplanPolicy, ReplanReason, ReplanRecord, RequestPipeline, Scheduler,
+    PlacementDelta, PrefixRoute, PrefixRouter, PrefixStats, PrefixWork, ReplanPolicy, ReplanReason,
+    ReplanRecord, RequestPipeline, Scheduler,
 };
 use helix_workload::{Request, RequestId, Workload};
 use minirt::channel::{Receiver, Sender, TryRecvError};
@@ -161,10 +162,15 @@ struct InFlight {
     pipeline: Arc<RequestPipeline>,
     first_token_at: Option<f64>,
     decode_remaining: usize,
+    /// The shared-prefix reference this admission holds, released (estimator
+    /// refcounts and router home) when the request finishes.
+    prefix: Option<PrefixWork>,
 }
 
 pub(crate) struct Coordinator {
     schedulers: Vec<Box<dyn Scheduler>>,
+    /// Per-model cache-aware routers layered over the base schedulers.
+    prefix_routers: Vec<PrefixRouter>,
     estimators: Vec<KvCacheEstimator>,
     clock: VirtualClock,
     inbound: Receiver<CoordinatorMsg>,
@@ -200,8 +206,12 @@ impl Coordinator {
             spec.estimators.len(),
             "one estimator per model"
         );
+        let prefix_routers = (0..spec.schedulers.len())
+            .map(|_| PrefixRouter::new())
+            .collect();
         Coordinator {
             schedulers: spec.schedulers,
+            prefix_routers,
             estimators: spec.estimators,
             clock: spec.clock,
             inbound: spec.inbound,
@@ -235,6 +245,16 @@ impl Coordinator {
     /// The KV hand-overs the run completed (empty when none migrated).
     pub(crate) fn take_kv_transfers(&mut self) -> Vec<KvTransferRecord> {
         std::mem::take(&mut self.kv_transfers)
+    }
+
+    /// Prefix-sharing counters summed over all models, taken (not copied) so
+    /// back-to-back runs each report their own.
+    pub(crate) fn take_prefix_stats(&mut self) -> PrefixStats {
+        let mut stats = PrefixStats::default();
+        for router in &mut self.prefix_routers {
+            stats.merge(&router.take_stats());
+        }
+        stats
     }
 
     /// Serves the whole workload, returning one outcome per request in
@@ -561,6 +581,10 @@ impl Coordinator {
             if let Ok(scheduler) = IwrrScheduler::from_topology(topology) {
                 new_schedulers.push((model, Box::new(scheduler)));
             }
+            // Pipelines of the old plan are stale prefix homes: forget them.
+            // In-flight references stay balanced through their own release
+            // path; only future routing is affected.
+            self.prefix_routers[model.index()].clear();
             // Hand-over step 2: re-derived KV budgets, and dynamic
             // membership — a tenancy the delta added gets a live worker on
             // the spot, routable through the fabric immediately (a migration
@@ -700,33 +724,94 @@ impl Coordinator {
             estimator: &self.estimators[model.index()],
             registry: &self.registry,
         };
-        let pipeline = match self.schedulers[model.index()].schedule(&view) {
+        // Cache-aware routing: a prefix-tagged request goes to the pipeline
+        // already holding its prefix when that pipeline has KV headroom; a
+        // saturated home degrades to plain IWRR with sharing disabled.
+        let mut prefix_work: Option<PrefixWork> = None;
+        let mut routed: Option<RequestPipeline> = None;
+        let mut bypassed = false;
+        if let Some((pid, ptokens)) = request.shared_prefix() {
+            match self.prefix_routers[model.index()].route(pid, ptokens, &view) {
+                PrefixRoute::Hit {
+                    pipeline,
+                    shared_tokens,
+                } => {
+                    prefix_work = Some(PrefixWork {
+                        id: pid,
+                        tokens: shared_tokens,
+                        hit: true,
+                    });
+                    routed = Some(pipeline);
+                }
+                PrefixRoute::Miss => {
+                    prefix_work = Some(PrefixWork {
+                        id: pid,
+                        tokens: ptokens,
+                        hit: false,
+                    });
+                }
+                PrefixRoute::Bypass => bypassed = true,
+            }
+        }
+        let scheduled = match routed {
+            Some(pipeline) => Ok(pipeline),
+            None => self.schedulers[model.index()].schedule(&view),
+        };
+        let pipeline = match scheduled {
             Ok(mut pipeline) => {
                 pipeline.model = model;
                 Arc::new(pipeline)
             }
+            // A hit never lands here (route() pre-checks headroom and its
+            // reference is only taken on Hit), so deferral leaks nothing.
             Err(HelixError::NoCandidateAvailable { .. }) => return Ok(false),
             Err(e) => return Err(e.into()),
         };
+        match prefix_work {
+            // A miss materialises the prefix: the scheduled pipeline becomes
+            // its home for later sharers.
+            Some(p) if !p.hit => {
+                self.prefix_routers[model.index()].adopt(p.id, p.tokens, &pipeline)
+            }
+            None if bypassed => self.prefix_routers[model.index()].record_bypass(),
+            _ => {}
+        }
+        // The per-request estimate covers only the unshared suffix; the
+        // shared range is attached (refcounted, counted once per node) so the
+        // estimator mirrors the workers' refcounted pool entries.
+        let shared_tokens = prefix_work
+            .map(|p| p.tokens.min(request.prompt_tokens))
+            .unwrap_or(0);
         for stage in &pipeline.stages {
             self.estimators[model.index()].on_scheduled(
                 stage.node,
                 request.id,
-                request.prompt_tokens,
+                request.prompt_tokens - shared_tokens,
             );
+            if let Some(p) = prefix_work {
+                self.estimators[model.index()].attach_shared(stage.node, p.id, p.tokens);
+            }
         }
+        // A cache hit skips prefilling the shared range (that is the compute
+        // saving); at least one token still flows through the pipeline to
+        // produce the first output token.
+        let prefill_tokens = match prefix_work {
+            Some(p) if p.hit => request.prompt_tokens.saturating_sub(p.tokens).max(1),
+            _ => request.prompt_tokens.max(1),
+        };
         let first = pipeline.stages[0].node;
         self.send(Envelope {
             from: None,
             to: Some(first),
             model,
-            bytes: TOKEN_WIRE_BYTES * request.prompt_tokens.max(1) as f64,
+            bytes: TOKEN_WIRE_BYTES * prefill_tokens as f64,
             msg: RuntimeMsg::Work(StageWork {
                 request: request.id,
                 phase: Phase::Prompt,
-                tokens: request.prompt_tokens.max(1),
+                tokens: prefill_tokens,
                 stage_index: 0,
                 pipeline: Arc::clone(&pipeline),
+                prefix: prefix_work,
             }),
         })?;
         self.in_flight.insert(
@@ -736,6 +821,7 @@ impl Coordinator {
                 pipeline,
                 first_token_at: None,
                 decode_remaining: 0,
+                prefix: prefix_work,
             },
         );
         Ok(true)
@@ -802,6 +888,7 @@ impl Coordinator {
                     tokens: 1,
                     stage_index: 0,
                     pipeline,
+                    prefix: None,
                 }),
             })
         }
@@ -893,6 +980,12 @@ impl Coordinator {
                 request,
                 flight.request.output_tokens,
             );
+            if let Some(p) = flight.prefix {
+                self.estimators[model.index()].release_shared(stage.node, p.id);
+            }
+        }
+        if let Some(p) = flight.prefix {
+            self.prefix_routers[model.index()].release(p.id);
         }
         for stage in &flight.pipeline.stages {
             self.send(Envelope {

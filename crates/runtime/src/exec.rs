@@ -89,6 +89,7 @@ mod tests {
                     layers: LayerRange::new(0, layers),
                 }],
             }),
+            prefix: None,
         }
     }
 

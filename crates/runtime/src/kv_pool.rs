@@ -10,6 +10,7 @@
 //! [`helix_core::KvCacheEstimator`]; this pool is the ground truth the worker
 //! actually enforces.
 
+use helix_cluster::PrefixId;
 use helix_workload::RequestId;
 use std::collections::HashMap;
 use std::fmt;
@@ -46,6 +47,15 @@ struct Allocation {
     tokens: usize,
 }
 
+/// Pages and tokens held by one shared prefix, plus the number of resident
+/// requests referencing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PrefixAllocation {
+    pages: usize,
+    tokens: usize,
+    refcount: usize,
+}
+
 /// A fixed-capacity paged KV-cache pool for one compute node.
 ///
 /// # Example
@@ -56,15 +66,25 @@ struct Allocation {
 /// let mut pool = PagedKvPool::new(1024.0, 16);
 /// pool.append_tokens(1, 100).unwrap();
 /// assert_eq!(pool.used_pages(), 7); // ceil(100 / 16)
-/// pool.release(1);
+/// assert!(pool.release(1));
+/// assert!(!pool.release(1)); // nothing left to free
 /// assert_eq!(pool.used_tokens(), 0.0);
 /// ```
+///
+/// Shared prompt prefixes get their own refcounted entries: the first
+/// [`attach_prefix`](Self::attach_prefix) materialises the pages, later
+/// attaches only bump the reference count, and the pages return to the free
+/// list when [`detach_prefix`](Self::detach_prefix) drops the last
+/// reference.
 #[derive(Debug, Clone)]
 pub struct PagedKvPool {
     tokens_per_page: usize,
     total_pages: usize,
     free_pages: usize,
     allocations: HashMap<RequestId, Allocation>,
+    /// Refcounted shared-prefix residency (RadixAttention-style: one copy of
+    /// the pages no matter how many requests reference them).
+    prefixes: HashMap<PrefixId, PrefixAllocation>,
     /// Highest utilisation (used pages / total pages) observed so far.
     peak_utilization: f64,
     /// Number of allocations rejected for lack of pages.
@@ -91,6 +111,7 @@ impl PagedKvPool {
             total_pages,
             free_pages: total_pages,
             allocations: HashMap::new(),
+            prefixes: HashMap::new(),
             peak_utilization: 0.0,
             rejections: 0,
         }
@@ -135,9 +156,13 @@ impl PagedKvPool {
         self.total_pages - self.free_pages
     }
 
-    /// Tokens currently cached across all requests.
+    /// Tokens currently cached across all requests and shared prefixes.
     pub fn used_tokens(&self) -> f64 {
-        self.allocations.values().map(|a| a.tokens as f64).sum()
+        self.allocations
+            .values()
+            .map(|a| a.tokens as f64)
+            .sum::<f64>()
+            + self.prefixes.values().map(|p| p.tokens as f64).sum::<f64>()
     }
 
     /// Fraction of pages in use, in `[0, 1]`.
@@ -197,12 +222,132 @@ impl PagedKvPool {
         Ok(())
     }
 
-    /// Frees every page held by `request`.  Unknown requests are ignored, so
-    /// duplicate releases are harmless.
-    pub fn release(&mut self, request: RequestId) {
+    /// Frees every page held by `request`.  Returns `true` when pages were
+    /// actually freed and `false` when the request held nothing — either it
+    /// never allocated (every append was rejected) or it was already
+    /// released.  Callers that expect a resident request can assert on the
+    /// result to catch double-release bugs instead of silently ignoring
+    /// them.
+    pub fn release(&mut self, request: RequestId) -> bool {
         if let Some(allocation) = self.allocations.remove(&request) {
             self.free_pages += allocation.pages;
+            true
+        } else {
+            false
         }
+    }
+
+    /// Attaches one reference to shared prefix `prefix` covering `tokens`
+    /// tokens.  The first attach materialises the pages (returns
+    /// `Ok(true)`); later attaches only bump the reference count (returns
+    /// `Ok(false)`), costing no new pages — that is the whole point of
+    /// sharing.  Every attach must be paired with one
+    /// [`detach_prefix`](Self::detach_prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvPoolError::OutOfPages`] and leaves the pool unchanged if
+    /// the prefix is not resident and its pages do not fit.
+    pub fn attach_prefix(&mut self, prefix: PrefixId, tokens: usize) -> Result<bool, KvPoolError> {
+        if let Some(entry) = self.prefixes.get_mut(&prefix) {
+            entry.refcount += 1;
+            return Ok(false);
+        }
+        let pages = tokens.div_ceil(self.tokens_per_page);
+        if pages > self.free_pages {
+            self.rejections += 1;
+            return Err(KvPoolError::OutOfPages {
+                requested: pages,
+                available: self.free_pages,
+            });
+        }
+        self.free_pages -= pages;
+        self.prefixes.insert(
+            prefix,
+            PrefixAllocation {
+                pages,
+                tokens,
+                refcount: 1,
+            },
+        );
+        self.peak_utilization = self.peak_utilization.max(self.utilization());
+        Ok(true)
+    }
+
+    /// Drops one reference to shared prefix `prefix`; the last reference
+    /// frees its pages.  Returns `true` when the pages were freed by this
+    /// call.  Unknown prefixes return `false` (the entry may have been
+    /// handed over by a migration).
+    pub fn detach_prefix(&mut self, prefix: PrefixId) -> bool {
+        let Some(entry) = self.prefixes.get_mut(&prefix) else {
+            return false;
+        };
+        entry.refcount = entry.refcount.saturating_sub(1);
+        if entry.refcount == 0 {
+            let pages = entry.pages;
+            self.prefixes.remove(&prefix);
+            self.free_pages += pages;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens resident for one shared prefix (0 when not resident).
+    pub fn prefix_tokens_of(&self, prefix: PrefixId) -> usize {
+        self.prefixes.get(&prefix).map(|p| p.tokens).unwrap_or(0)
+    }
+
+    /// Pages held by shared prefixes (counted once each, regardless of how
+    /// many requests reference them).
+    pub fn shared_pages(&self) -> usize {
+        self.prefixes.values().map(|p| p.pages).sum()
+    }
+
+    /// The shared-prefix residency snapshot (prefix → cached tokens and
+    /// reference count), sorted by prefix id — the prefix payload of a KV
+    /// hand-over.  Each prefix's pages are transferred once, not once per
+    /// referencing request.
+    pub fn prefix_snapshot(&self) -> Vec<(PrefixId, usize, usize)> {
+        let mut entries: Vec<(PrefixId, usize, usize)> = self
+            .prefixes
+            .iter()
+            .map(|(&prefix, p)| (prefix, p.tokens, p.refcount))
+            .collect();
+        entries.sort_by_key(|&(prefix, _, _)| prefix);
+        entries
+    }
+
+    /// Seeds a migrated shared prefix: materialises it with the given
+    /// reference count if absent, or adds the incoming references to the
+    /// resident entry.  Like [`seed`](Self::seed), overflow counts as a
+    /// rejection but the hand-over still completes.
+    pub fn seed_prefix(&mut self, prefix: PrefixId, tokens: usize, refcount: usize) {
+        if refcount == 0 {
+            return;
+        }
+        if let Some(entry) = self.prefixes.get_mut(&prefix) {
+            entry.refcount += refcount;
+            return;
+        }
+        let pages = tokens.div_ceil(self.tokens_per_page);
+        if pages > self.free_pages {
+            self.rejections += 1;
+            // Modelled host-memory offload: the prefix arrives with no
+            // resident pages, so sharers re-attach (and may re-materialise)
+            // on demand.
+            return;
+        }
+        self.free_pages -= pages;
+        self.prefixes.insert(
+            prefix,
+            PrefixAllocation {
+                pages,
+                tokens,
+                refcount,
+            },
+        );
+        self.peak_utilization = self.peak_utilization.max(self.utilization());
     }
 
     /// The per-request residency snapshot (request → cached tokens), sorted
@@ -257,11 +402,109 @@ mod tests {
         pool.append_tokens(1, 1).unwrap();
         assert_eq!(pool.used_pages(), 2);
         assert_eq!(pool.tokens_of(1), 17);
-        pool.release(1);
+        assert!(pool.release(1));
         assert_eq!(pool.used_pages(), 0);
         assert_eq!(pool.used_tokens(), 0.0);
-        pool.release(1); // double release is harmless
+        // A double release frees nothing and says so.
+        assert!(!pool.release(1));
         assert_eq!(pool.active_requests(), 0);
+    }
+
+    #[test]
+    fn shared_prefixes_are_materialised_once_and_freed_at_refcount_zero() {
+        let mut pool = PagedKvPool::new(320.0, 16);
+        // First attach materialises ceil(100/16) = 7 pages.
+        assert!(pool.attach_prefix(PrefixId(5), 100).unwrap());
+        assert_eq!(pool.used_pages(), 7);
+        assert_eq!(pool.shared_pages(), 7);
+        // Later attaches cost nothing.
+        assert!(!pool.attach_prefix(PrefixId(5), 100).unwrap());
+        assert!(!pool.attach_prefix(PrefixId(5), 100).unwrap());
+        assert_eq!(pool.used_pages(), 7);
+        assert_eq!(pool.prefix_tokens_of(PrefixId(5)), 100);
+        // Requests and prefixes share the same page budget.
+        pool.append_tokens(1, 32).unwrap();
+        assert_eq!(pool.used_pages(), 9);
+        assert_eq!(pool.used_tokens(), 132.0);
+        // Pages survive until the last reference drops.
+        assert!(!pool.detach_prefix(PrefixId(5)));
+        assert!(!pool.detach_prefix(PrefixId(5)));
+        assert!(pool.detach_prefix(PrefixId(5)));
+        assert_eq!(pool.shared_pages(), 0);
+        assert_eq!(pool.used_pages(), 2);
+        // Detaching an unknown prefix is a no-op returning false.
+        assert!(!pool.detach_prefix(PrefixId(5)));
+    }
+
+    #[test]
+    fn prefix_attach_respects_capacity_and_snapshot_carries_refcounts() {
+        let mut pool = PagedKvPool::new(64.0, 16);
+        pool.append_tokens(1, 48).unwrap();
+        // 3 of 4 pages used: a 32-token prefix does not fit.
+        assert_eq!(
+            pool.attach_prefix(PrefixId(0), 32),
+            Err(KvPoolError::OutOfPages {
+                requested: 2,
+                available: 1
+            })
+        );
+        assert_eq!(pool.rejections(), 1);
+        assert!(pool.attach_prefix(PrefixId(1), 16).unwrap());
+        assert!(!pool.attach_prefix(PrefixId(1), 16).unwrap());
+        assert_eq!(pool.prefix_snapshot(), vec![(PrefixId(1), 16, 2)]);
+        // Seeding a migrated prefix merges refcounts with the resident entry.
+        pool.seed_prefix(PrefixId(1), 16, 3);
+        assert_eq!(pool.prefix_snapshot(), vec![(PrefixId(1), 16, 5)]);
+        // Seeding an absent prefix into a full pool counts a rejection but
+        // completes (modelled host-memory offload).
+        pool.seed_prefix(PrefixId(2), 160, 1);
+        assert_eq!(pool.rejections(), 2);
+        assert_eq!(pool.prefix_tokens_of(PrefixId(2)), 0);
+        // Seeding into free space materialises with the given refcount.
+        assert!(pool.release(1));
+        pool.seed_prefix(PrefixId(3), 32, 2);
+        assert_eq!(pool.prefix_tokens_of(PrefixId(3)), 32);
+        assert!(!pool.detach_prefix(PrefixId(3)));
+        assert!(pool.detach_prefix(PrefixId(3)));
+    }
+
+    #[test]
+    fn refcounted_release_never_leaks_or_double_frees() {
+        // Property-style sweep over interleavings: requests and prefix
+        // references attach and release in every relative order; afterwards
+        // the pool must be exactly empty (no leak, no double free).
+        let orders: &[&[usize]] = &[
+            &[0, 1, 2, 3, 4, 5],
+            &[5, 4, 3, 2, 1, 0],
+            &[0, 2, 4, 1, 3, 5],
+            &[3, 0, 5, 2, 4, 1],
+            &[1, 5, 0, 4, 2, 3],
+        ];
+        for order in orders {
+            let mut pool = PagedKvPool::new(4096.0, 16);
+            // Three requests sharing prefix 9, three sharing prefix 11.
+            for id in 0..6u64 {
+                let prefix = if id < 3 { PrefixId(9) } else { PrefixId(11) };
+                pool.attach_prefix(prefix, 64).unwrap();
+                pool.append_tokens(id, 100 + id as usize).unwrap();
+            }
+            assert_eq!(pool.shared_pages(), 8);
+            let mut frees = 0;
+            for &slot in *order {
+                let id = slot as u64;
+                let prefix = if id < 3 { PrefixId(9) } else { PrefixId(11) };
+                assert!(pool.release(id), "request {id} must hold pages");
+                if pool.detach_prefix(prefix) {
+                    frees += 1;
+                }
+            }
+            assert_eq!(frees, 2, "each prefix freed exactly once");
+            assert_eq!(pool.used_pages(), 0, "order {order:?} leaked pages");
+            assert_eq!(pool.used_tokens(), 0.0);
+            assert_eq!(pool.active_requests(), 0);
+            assert_eq!(pool.shared_pages(), 0);
+            assert_eq!(pool.free_pages, pool.total_pages);
+        }
     }
 
     #[test]
@@ -312,6 +555,42 @@ mod tests {
     #[should_panic(expected = "tokens_per_page")]
     fn zero_page_size_is_rejected() {
         let _ = PagedKvPool::new(100.0, 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// Random attach/release interleavings: whatever order requests
+        /// finish in, the pool ends exactly empty — refcounted prefixes are
+        /// freed exactly once and no request pages leak.
+        #[test]
+        fn pool_ends_empty_after_any_interleaving(
+            priorities in proptest::prelude::prop::collection::vec(0u64..1_000_000, 4..12),
+        ) {
+            let mut pool = PagedKvPool::new(8192.0, 16);
+            let n = priorities.len() as u64;
+            for id in 0..n {
+                let prefix = PrefixId(id % 3);
+                pool.attach_prefix(prefix, 48).unwrap();
+                pool.append_tokens(id, 20 + 7 * id as usize).unwrap();
+            }
+            // Release in the order induced by the random priorities.
+            let mut order: Vec<u64> = (0..n).collect();
+            order.sort_by_key(|&id| priorities[id as usize]);
+            let mut prefix_frees = 0;
+            for id in order {
+                proptest::prop_assert!(pool.release(id));
+                proptest::prop_assert!(!pool.release(id));
+                if pool.detach_prefix(PrefixId(id % 3)) {
+                    prefix_frees += 1;
+                }
+            }
+            proptest::prop_assert_eq!(prefix_frees, 3);
+            proptest::prop_assert_eq!(pool.used_pages(), 0);
+            proptest::prop_assert_eq!(pool.active_requests(), 0);
+            proptest::prop_assert_eq!(pool.shared_pages(), 0);
+            proptest::prop_assert_eq!(pool.used_tokens(), 0.0);
+        }
     }
 
     #[test]

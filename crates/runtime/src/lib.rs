@@ -73,7 +73,7 @@
 //!             prompt_tokens: 64,
 //!             output_tokens: 4,
 //!             arrival_time: 0.0,
-//!             model: Default::default(),
+//!             ..Request::default()
 //!         })
 //!     })
 //!     .collect();

@@ -9,8 +9,8 @@
 //! generated token to the coordinator.
 
 use crate::exec::ExecutionModel;
-use helix_cluster::{ModelId, NodeId};
-use helix_core::{LayerRange, RequestPipeline};
+use helix_cluster::{ModelId, NodeId, PrefixId};
+use helix_core::{LayerRange, PrefixWork, RequestPipeline};
 use helix_workload::RequestId;
 use std::fmt;
 use std::sync::Arc;
@@ -34,6 +34,11 @@ pub struct StageWork {
     /// The per-request pipeline assigned by the coordinator on arrival; decode
     /// iterations reuse it unchanged (paper §5.1).
     pub pipeline: Arc<RequestPipeline>,
+    /// Shared-prefix work riding on this item (prompt phase only; `None`
+    /// for decode iterations and prefix-free requests).  Workers attach the
+    /// refcounted pool entry on the first stage arrival; a cache hit's
+    /// `tokens` already exclude the shared range.
+    pub prefix: Option<PrefixWork>,
 }
 
 impl StageWork {
@@ -135,6 +140,10 @@ pub enum RuntimeMsg {
         layers: LayerRange,
         /// Per-request cached token counts carried by this chunk.
         entries: Vec<(RequestId, usize)>,
+        /// Shared-prefix residency carried by this chunk: prefix, cached
+        /// tokens and reference count.  Each prefix travels once — its pages
+        /// are priced a single time no matter how many requests share it.
+        prefix_entries: Vec<(PrefixId, usize, usize)>,
         /// Total tokens of the whole hand-over (priced once at the source).
         tokens: u64,
         /// Total KV pages of the whole hand-over.
@@ -248,6 +257,7 @@ mod tests {
             tokens: 128,
             stage_index: 0,
             pipeline: pipeline(),
+            prefix: None,
         };
         assert_eq!(work.node(), NodeId(0));
         assert!(!work.is_last_stage());
@@ -267,6 +277,7 @@ mod tests {
             tokens: 1,
             stage_index: 1,
             pipeline: pipeline(),
+            prefix: None,
         };
         let _ = work.next_stage();
     }

@@ -7,7 +7,7 @@
 
 use crate::fabric::LinkTraffic;
 use helix_cluster::{ModelId, NodeId};
-use helix_core::{KvTransferRecord, ReplanRecord};
+use helix_core::{KvTransferRecord, PrefixStats, ReplanRecord};
 use helix_workload::RequestId;
 use serde::Serialize;
 
@@ -172,6 +172,9 @@ pub struct RuntimeReport {
     /// Every KV hand-over a partial-layer migration performed, in completion
     /// order (freeze → transfer → re-route → resume, per transfer).
     pub kv_transfers: Vec<KvTransferRecord>,
+    /// Prefix-sharing counters summed over all models (all zeros when no
+    /// request carries a prefix tag).
+    pub prefix: PrefixStats,
 }
 
 impl RuntimeReport {
@@ -320,6 +323,7 @@ mod tests {
             makespan: 10.0,
             wall_seconds: 0.1,
             kv_transfers: vec![],
+            prefix: PrefixStats::default(),
             nodes: vec![],
             links: vec![
                 LinkReport {

@@ -18,8 +18,8 @@ use crate::session::ServingSession;
 use helix_cluster::{ModelId, NodeId};
 use helix_core::exec_model::{DEFAULT_TOKENS_PER_PAGE, KV_OVERFLOW_PENALTY};
 use helix_core::{
-    FleetScheduler, FleetTopology, HelixError, KvCacheEstimator, KvTransferRecord, ReplanPolicy,
-    ReplanRecord, Scheduler, Topology,
+    FleetScheduler, FleetTopology, HelixError, KvCacheEstimator, KvTransferRecord, PrefixStats,
+    ReplanPolicy, ReplanRecord, Scheduler, Topology,
 };
 use helix_workload::Workload;
 use minirt::channel::{unbounded, Sender};
@@ -220,6 +220,7 @@ impl Wired {
         outcome: Result<Vec<RequestOutcome>, RuntimeError>,
         replans: Vec<ReplanRecord>,
         kv_transfers: Vec<KvTransferRecord>,
+        prefix: PrefixStats,
     ) -> Result<RuntimeReport, RuntimeError> {
         self.registry.shutdown_all();
         drop(self.coordinator.take());
@@ -278,6 +279,7 @@ impl Wired {
             links,
             replans,
             kv_transfers,
+            prefix,
         })
     }
 }

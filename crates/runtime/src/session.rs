@@ -23,7 +23,7 @@ use crate::message::RuntimeMsg;
 use crate::metrics::{RequestOutcome, RuntimeReport};
 use crate::runtime::Wired;
 use helix_cluster::{ModelId, NodeId};
-use helix_core::{KvTransferRecord, PlacementDelta, ReplanRecord};
+use helix_core::{KvTransferRecord, PlacementDelta, PrefixStats, ReplanRecord};
 use helix_workload::{Request, TicketId, Workload};
 use minirt::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
@@ -34,6 +34,7 @@ type LiveResult = (
     Result<Vec<RequestOutcome>, RuntimeError>,
     Vec<ReplanRecord>,
     Vec<KvTransferRecord>,
+    PrefixStats,
 );
 
 /// The live half of a session: channels to the coordinator task on the
@@ -126,7 +127,8 @@ impl ServingSession {
                 let result = executor.block_on(coordinator.run_live(control_rx, completion_tx));
                 let replans = coordinator.take_replans();
                 let kv_transfers = coordinator.take_kv_transfers();
-                (result, replans, kv_transfers)
+                let prefix = coordinator.take_prefix_stats();
+                (result, replans, kv_transfers, prefix)
             })
             .expect("spawning the data-plane thread never fails");
         self.live = Some(Live {
@@ -287,6 +289,7 @@ impl ServingSession {
                 Err(RuntimeError::Disconnected("serving session")),
                 Vec::new(),
                 Vec::new(),
+                PrefixStats::default(),
             );
         }
         match self.live.take() {
@@ -294,20 +297,24 @@ impl ServingSession {
                 let _ = live.control_tx.send(SessionControl::Finish);
                 let _ = self.wired.wake_tx.send(CoordinatorMsg::Wake);
                 drop(live.control_tx);
-                let (result, replans, kv_transfers) = match live.handle.join() {
+                let (result, replans, kv_transfers, prefix) = match live.handle.join() {
                     Ok(result) => result,
                     Err(_) => (
                         Err(RuntimeError::Disconnected("serving session")),
                         Vec::new(),
                         Vec::new(),
+                        PrefixStats::default(),
                     ),
                 };
                 self.wired
-                    .shutdown_and_report(result, replans, kv_transfers)
+                    .shutdown_and_report(result, replans, kv_transfers, prefix)
             }
-            None => self
-                .wired
-                .shutdown_and_report(Ok(Vec::new()), Vec::new(), Vec::new()),
+            None => self.wired.shutdown_and_report(
+                Ok(Vec::new()),
+                Vec::new(),
+                Vec::new(),
+                PrefixStats::default(),
+            ),
         }
     }
 
@@ -336,10 +343,11 @@ impl ServingSession {
             let outcome = self.wired.executor.block_on(coordinator.run(workload));
             let replans = coordinator.take_replans();
             let kv_transfers = coordinator.take_kv_transfers();
+            let prefix = coordinator.take_prefix_stats();
             drop(coordinator);
             return self
                 .wired
-                .shutdown_and_report(outcome, replans, kv_transfers);
+                .shutdown_and_report(outcome, replans, kv_transfers, prefix);
         }
         for request in workload.requests() {
             self.submit(*request);
@@ -362,7 +370,7 @@ impl ServingSession {
         };
         drop(live.control_tx);
         match live.handle.join() {
-            Ok((Err(e), _, _)) => e,
+            Ok((Err(e), _, _, _)) => e,
             _ => RuntimeError::Disconnected("serving session"),
         }
     }

@@ -19,10 +19,12 @@ use crate::clock::VirtualClock;
 use crate::exec::ExecutionModel;
 use crate::kv_pool::PagedKvPool;
 use crate::message::{Envelope, Phase, RuntimeMsg, StageWork};
-use helix_cluster::{ModelId, NodeId, TOKEN_WIRE_BYTES};
+use helix_cluster::{ModelId, NodeId, PrefixId, TOKEN_WIRE_BYTES};
 use helix_core::LayerRange;
+use helix_workload::RequestId;
 use minirt::channel::{Receiver, Sender};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Pages per pipelined KV hand-over chunk: small enough that activation
@@ -58,6 +60,9 @@ pub struct WorkerStats {
     pub kv_rejections: u64,
     /// Decode throughput over the most recent measurement window (tokens/s).
     pub recent_throughput: f64,
+    /// KV pages currently held by shared prefixes (counted once each,
+    /// regardless of how many resident requests reference them).
+    pub kv_shared_pages: usize,
 }
 
 /// Shared handle to a worker's statistics.
@@ -117,6 +122,14 @@ struct Worker {
     slowdown: f64,
     window_start: f64,
     window_decode_tokens: u64,
+    /// The shared-prefix reference each resident request holds on this
+    /// node's pool, detached when the request's `Release` arrives.
+    prefix_of: HashMap<RequestId, PrefixId>,
+    /// Requests already released, catching double-release protocol bugs in
+    /// debug runs (the pool's `release` returning `false` alone cannot — a
+    /// fully rejected or fully shared request legitimately holds no pages).
+    #[cfg(debug_assertions)]
+    released: std::collections::HashSet<RequestId>,
 }
 
 impl Worker {
@@ -147,6 +160,9 @@ impl Worker {
             slowdown: 1.0,
             window_start: 0.0,
             window_decode_tokens: 0,
+            prefix_of: HashMap::new(),
+            #[cfg(debug_assertions)]
+            released: std::collections::HashSet::new(),
         }
     }
 
@@ -213,7 +229,20 @@ impl Worker {
                 self.pending.push(work);
             }
             RuntimeMsg::Release(request) => {
+                // Exactly one Release per (request, node) arrives from the
+                // coordinator's finish path; `release` returning false is
+                // fine (every append may have been rejected, or the prompt
+                // was fully shared), but a *second* Release is a protocol
+                // bug the refcounted pool would turn into a double free.
+                #[cfg(debug_assertions)]
+                debug_assert!(
+                    self.released.insert(request),
+                    "double release for request {request}"
+                );
                 self.kv.release(request);
+                if let Some(prefix) = self.prefix_of.remove(&request) {
+                    self.kv.detach_prefix(prefix);
+                }
             }
             RuntimeMsg::IterationDone { .. } => {
                 // Only the coordinator consumes these; ignore defensively.
@@ -240,6 +269,7 @@ impl Worker {
                 from,
                 layers,
                 entries,
+                prefix_entries,
                 tokens,
                 pages,
                 bytes,
@@ -247,6 +277,9 @@ impl Worker {
             } => {
                 for &(request, tokens) in &entries {
                     self.kv.seed(request, tokens);
+                }
+                for &(prefix, tokens, refcount) in &prefix_entries {
+                    self.kv.seed_prefix(prefix, tokens, refcount);
                 }
                 // Per-link FIFO delivery means the last chunk arrives last:
                 // the whole residency is installed, so tell the coordinator
@@ -295,7 +328,16 @@ impl Worker {
     /// [`KvTransferModel`]: helix_core::KvTransferModel
     fn extract_kv(&mut self, to: NodeId, layers: LayerRange, kv_bytes_per_token_per_layer: f64) {
         let entries = self.kv.snapshot();
-        let tokens: u64 = entries.iter().map(|&(_, t)| t as u64).sum();
+        // Shared prefixes travel once each, no matter how many requests
+        // reference them — the transfer prices the deduplicated pages.  They
+        // ride on the final chunk (FIFO delivery installs them before the
+        // destination acknowledges).
+        let prefix_entries = self.kv.prefix_snapshot();
+        let tokens: u64 = entries.iter().map(|&(_, t)| t as u64).sum::<u64>()
+            + prefix_entries
+                .iter()
+                .map(|&(_, t, _)| t as u64)
+                .sum::<u64>();
         let transfer = helix_core::KvTransferModel::new(
             kv_bytes_per_token_per_layer,
             self.kv.tokens_per_page(),
@@ -332,6 +374,7 @@ impl Worker {
                 bytes * (chunk_tokens as f64 / total_chunk_tokens as f64)
             };
             bytes_sent += chunk_bytes;
+            let last = index == last_index;
             let _ = self.fabric.send(Envelope {
                 from: Some(self.config.node),
                 to: Some(to),
@@ -341,10 +384,15 @@ impl Worker {
                     from: self.config.node,
                     layers,
                     entries: chunk,
+                    prefix_entries: if last {
+                        prefix_entries.clone()
+                    } else {
+                        Vec::new()
+                    },
                     tokens,
                     pages,
                     bytes,
-                    last: index == last_index,
+                    last,
                 },
             });
         }
@@ -353,10 +401,26 @@ impl Worker {
     async fn execute_batch(&mut self, batch: Vec<StageWork>) {
         // KV accounting: the tokens this stage processes become resident on
         // this node.  Overflow forces (modelled) offloading to host memory,
-        // slowing the whole batch down.
+        // slowing the whole batch down.  A shared prefix lives in the pool's
+        // refcounted entry — materialised by the first sharer, attached for
+        // free by the rest — so the per-request allocation holds only the
+        // unshared suffix.
         let mut overflowed = false;
         for item in &batch {
-            if self.kv.append_tokens(item.request, item.tokens).is_err() {
+            let mut tokens = item.tokens;
+            if let Some(p) = item.prefix {
+                if self.prefix_of.insert(item.request, p.id).is_none()
+                    && self.kv.attach_prefix(p.id, p.tokens).is_err()
+                {
+                    overflowed = true;
+                }
+                if !p.hit {
+                    // A miss's work includes the shared range; its pages are
+                    // accounted in the prefix entry attached above.
+                    tokens = tokens.saturating_sub(p.tokens);
+                }
+            }
+            if self.kv.append_tokens(item.request, tokens).is_err() {
                 overflowed = true;
             }
         }
@@ -441,6 +505,7 @@ impl Worker {
         s.kv_used_tokens = self.kv.used_tokens();
         s.kv_peak_utilization = self.kv.peak_utilization();
         s.kv_rejections = self.kv.rejections();
+        s.kv_shared_pages = self.kv.shared_pages();
     }
 }
 
@@ -508,6 +573,7 @@ mod tests {
             tokens,
             stage_index,
             pipeline: two_stage_pipeline(),
+            prefix: None,
         })
     }
 
@@ -703,6 +769,7 @@ mod tests {
             from: NodeId(0),
             layers,
             entries: vec![(1, 64), (2, 32)],
+            prefix_entries: vec![],
             tokens: 128,
             pages: 8,
             bytes: 4096.0,
@@ -715,6 +782,7 @@ mod tests {
             from: NodeId(0),
             layers,
             entries: vec![(3, 32)],
+            prefix_entries: vec![(PrefixId(4), 16, 2)],
             tokens: 128,
             pages: 8,
             bytes: 4096.0,
@@ -732,7 +800,12 @@ mod tests {
                 ..
             }
         ));
-        assert!((stats.lock().kv_used_tokens - 128.0).abs() < 1e-9);
+        // 128 per-request tokens plus the 16-token shared prefix, installed
+        // as one refcounted page.
+        let s = stats.lock();
+        assert!((s.kv_used_tokens - 144.0).abs() < 1e-9);
+        assert_eq!(s.kv_shared_pages, 1);
+        drop(s);
         tx.send(RuntimeMsg::Shutdown).unwrap();
         executor.drain();
     }

@@ -33,6 +33,7 @@ fn small_workload(n: u64, prompt: usize, output: usize) -> Workload {
                 output_tokens: output,
                 arrival_time: 0.05 * id as f64,
                 model: helix_cluster::ModelId::default(),
+                ..Request::default()
             })
             .collect(),
     )
@@ -202,6 +203,7 @@ fn two_model_fleet_serves_through_the_runtime() {
                 output_tokens: 4,
                 arrival_time: 0.02 * id as f64,
                 model: ModelId((id % 2) as usize),
+                ..Request::default()
             })
             .collect(),
     );
@@ -320,6 +322,7 @@ fn unknown_model_requests_are_rejected() {
         output_tokens: 2,
         arrival_time: 0.0,
         model: helix_cluster::ModelId(5),
+        ..Request::default()
     }]);
     let err = session.serve(&workload).unwrap_err();
     assert!(matches!(err, RuntimeError::Scheduling(_)), "got {err}");
@@ -553,6 +556,7 @@ fn idle_session_time_does_not_burn_the_drain_budget() {
         output_tokens: 2,
         arrival_time: 0.0,
         model: ModelId::default(),
+        ..Request::default()
     });
     session.wait_completion(ticket).unwrap();
     // Outlive the budget while idle …
@@ -564,6 +568,7 @@ fn idle_session_time_does_not_burn_the_drain_budget() {
         output_tokens: 2,
         arrival_time: 0.0,
         model: ModelId::default(),
+        ..Request::default()
     });
     session.wait_completion(ticket).unwrap();
     session.drain().unwrap();
@@ -843,6 +848,7 @@ fn wall_budgets_bound_waits_and_drains_and_finish_after_failure_is_clean() {
         output_tokens: 2,
         arrival_time: 0.0,
         model: ModelId(0),
+        ..Request::default()
     });
     session.wait_completion(ticket).unwrap();
     let err = session
@@ -875,6 +881,7 @@ fn wall_budgets_bound_waits_and_drains_and_finish_after_failure_is_clean() {
         output_tokens: 2,
         arrival_time: 1e9, // never admitted inside the budget
         model: ModelId(0),
+        ..Request::default()
     });
     let err = session.drain().unwrap_err();
     assert!(
@@ -927,6 +934,7 @@ fn a_500_node_fleet_serves_a_burst_on_a_bounded_thread_count() {
                 output_tokens: 4,
                 arrival_time: 0.0,
                 model: ModelId(0),
+                ..Request::default()
             })
         })
         .collect();
@@ -987,6 +995,7 @@ fn a_completion_stream_does_not_starve_the_wait_budget() {
             output_tokens: 1,
             arrival_time: id as f64 * 2.5,
             model: ModelId(0),
+            ..Request::default()
         });
     }
     let waited = std::time::Instant::now();

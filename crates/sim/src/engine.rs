@@ -1,7 +1,7 @@
 //! Per-node execution engine: dynamic batching, KV-cache accounting.
 
 use crate::event::{SimTime, WorkItem};
-use helix_cluster::NodeProfile;
+use helix_cluster::{NodeProfile, PrefixId};
 use helix_core::exec_model::{ExecModel, WorkUnit};
 use helix_core::LayerRange;
 use helix_workload::RequestId;
@@ -24,6 +24,10 @@ pub struct NodeEngine {
     kv_capacity_tokens: f64,
     /// Tokens currently resident in the KV cache, per request.
     kv_resident: HashMap<RequestId, f64>,
+    /// Refcounted shared-prefix residency: tokens cached once per prefix no
+    /// matter how many requests reference them (the simulator's mirror of
+    /// the runtime pool's prefix entries).
+    prefix_resident: HashMap<PrefixId, (f64, usize)>,
     /// Work waiting for the next batch.
     pending: Vec<WorkItem>,
     /// Whether a batch is currently executing.
@@ -65,6 +69,7 @@ impl NodeEngine {
             exec: ExecModel::new(profile),
             kv_capacity_tokens,
             kv_resident: HashMap::new(),
+            prefix_resident: HashMap::new(),
             pending: Vec::new(),
             busy: false,
             in_flight: Vec::new(),
@@ -95,9 +100,61 @@ impl NodeEngine {
         self.busy
     }
 
-    /// KV-cache tokens currently resident.
+    /// KV-cache tokens currently resident (per-request entries plus shared
+    /// prefixes, the latter counted once each).
     pub fn kv_used_tokens(&self) -> f64 {
-        self.kv_resident.values().sum()
+        self.kv_resident.values().sum::<f64>()
+            + self.prefix_resident.values().map(|&(t, _)| t).sum::<f64>()
+    }
+
+    /// Attaches one reference to shared prefix `prefix` covering `tokens`
+    /// tokens, materialising the residency on first attach.  Pair every
+    /// attach with one [`release_prefix`](Self::release_prefix).
+    pub fn attach_prefix(&mut self, prefix: PrefixId, tokens: f64) {
+        let entry = self.prefix_resident.entry(prefix).or_insert((tokens, 0));
+        entry.1 += 1;
+    }
+
+    /// Drops one reference to shared prefix `prefix`; the last release frees
+    /// the shared tokens.  Returns `true` when the residency was freed by
+    /// this call; unknown prefixes return `false` (the entry may have moved
+    /// with a migration).
+    pub fn release_prefix(&mut self, prefix: PrefixId) -> bool {
+        let Some(entry) = self.prefix_resident.get_mut(&prefix) else {
+            return false;
+        };
+        entry.1 = entry.1.saturating_sub(1);
+        if entry.1 == 0 {
+            self.prefix_resident.remove(&prefix);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The shared-prefix residency snapshot (prefix → cached tokens and
+    /// reference count), sorted by prefix id — the prefix payload of a KV
+    /// hand-over.  Each prefix's tokens are transferred once, not once per
+    /// referencing request.
+    pub fn prefix_snapshot(&self) -> Vec<(PrefixId, f64, usize)> {
+        let mut entries: Vec<(PrefixId, f64, usize)> = self
+            .prefix_resident
+            .iter()
+            .map(|(&prefix, &(tokens, refcount))| (prefix, tokens, refcount))
+            .collect();
+        entries.sort_by_key(|&(prefix, _, _)| prefix);
+        entries
+    }
+
+    /// Seeds a migrated shared prefix: materialises the residency with the
+    /// given reference count if absent, or adds the incoming references to
+    /// the resident entry.
+    pub fn seed_prefix(&mut self, prefix: PrefixId, tokens: f64, refcount: usize) {
+        if refcount == 0 {
+            return;
+        }
+        let entry = self.prefix_resident.entry(prefix).or_insert((tokens, 0));
+        entry.1 += refcount;
     }
 
     /// KV-cache capacity in tokens.
@@ -198,10 +255,11 @@ impl NodeEngine {
         *entry = entry.max(tokens);
     }
 
-    /// Drops all cached KV state — the source side of a whole-range
-    /// migration (its pages now live on the destination).
+    /// Drops all cached KV state, shared prefixes included — the source side
+    /// of a whole-range migration (its pages now live on the destination).
     pub fn clear_kv(&mut self) {
         self.kv_resident.clear();
+        self.prefix_resident.clear();
     }
 
     /// Starts a new timeline epoch: timeline-relative state (freeze deadline,
@@ -253,9 +311,16 @@ impl NodeEngine {
             layers: item.layers.len(),
         }));
         for item in &batch {
-            // KV cache grows by the tokens this node now caches for the request.
+            // KV cache grows by the tokens this node now caches for the
+            // request.  A prefix miss computes the shared range but caches
+            // it in the refcounted prefix residency (attached at admission),
+            // not the per-request entry; a hit's tokens already exclude it.
+            let shared = match item.prefix {
+                Some(p) if !p.hit => p.tokens.min(item.tokens),
+                _ => 0,
+            };
             let entry = self.kv_resident.entry(item.request).or_insert(0.0);
-            *entry += item.tokens as f64;
+            *entry += (item.tokens - shared) as f64;
         }
         // Exceeding the KV capacity forces offloading; the whole batch slows down.
         duration =
@@ -322,6 +387,7 @@ mod tests {
             tokens: 1,
             layers: LayerRange::new(0, 10),
             stage_index: 0,
+            prefix: None,
         }
     }
 
@@ -353,6 +419,7 @@ mod tests {
             tokens: 100,
             layers: LayerRange::new(0, 10),
             stage_index: 0,
+            prefix: None,
         });
         let prompt_done = e.try_start_batch(0.0).unwrap();
         e.complete_batch();
@@ -383,6 +450,7 @@ mod tests {
                 tokens: 200,
                 layers: LayerRange::new(0, 10),
                 stage_index: 0,
+                prefix: None,
             });
         }
         let slow = small.try_start_batch(0.0).unwrap();

@@ -1,7 +1,7 @@
 //! Discrete-event queue.
 
 use helix_cluster::{ModelId, NodeId};
-use helix_core::{LayerRange, RequestPipeline};
+use helix_core::{LayerRange, PrefixWork, RequestPipeline};
 use helix_workload::RequestId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -35,6 +35,12 @@ pub struct WorkItem {
     pub layers: LayerRange,
     /// Index of this stage within the request's pipeline.
     pub stage_index: usize,
+    /// Shared-prefix work riding on this item (prompt phase only; `None`
+    /// for decode iterations and prefix-free requests).  A cache hit's
+    /// `tokens` already excludes the shared range; a miss's `tokens` include
+    /// it, but the engine accounts the shared range in its refcounted
+    /// prefix residency instead of the per-request KV entry.
+    pub prefix: Option<PrefixWork>,
 }
 
 /// A scripted mid-run disturbance of the cluster or the workload — the
@@ -255,6 +261,9 @@ pub struct RequestState {
     pub decode_gaps: Vec<f64>,
     /// Completion time.
     pub finish_time: Option<SimTime>,
+    /// The shared-prefix reference this admission holds, released (engine
+    /// refcounts and router home) when the request finishes or aborts.
+    pub prefix: Option<PrefixWork>,
 }
 
 #[cfg(test)]

@@ -172,6 +172,7 @@ fn merge_reports(mut base: FleetRunReport, next: FleetRunReport) -> FleetRunRepo
     base.replans.extend(next.replans);
     base.kv_transfers.extend(next.kv_transfers);
     base.completions.extend(next.completions);
+    base.prefix.merge(&next.prefix);
     base
 }
 

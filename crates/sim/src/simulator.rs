@@ -11,7 +11,8 @@ use helix_core::exec_model::DEFAULT_TOKENS_PER_PAGE;
 use helix_core::{
     ClusterState, EngineCounters, FleetScheduler, FleetTopology, IwrrScheduler, KvTransferModel,
     KvTransferRecord, ModelPlacement, NodeObservations, ObservationWindows, PlacementDelta,
-    ReplanPolicy, ReplanReason, ReplanRecord, Scheduler, Topology,
+    PrefixRoute, PrefixRouter, PrefixStats, PrefixWork, ReplanPolicy, ReplanReason, ReplanRecord,
+    RequestPipeline, Scheduler, Topology,
 };
 use helix_workload::{Request, RequestId, Workload};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -95,7 +96,7 @@ impl ClusterState for StateSnapshot {
 }
 
 /// Per-model metrics of a fleet simulation, alongside the combined view.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetMetrics {
     /// Metrics over all models together (per-model link contention included).
     pub overall: Metrics,
@@ -134,6 +135,9 @@ pub struct FleetRunReport {
     /// Every in-window request completion, in completion order (the count
     /// matches `metrics.overall.completed_requests`).
     pub completions: Vec<CompletionRecord>,
+    /// Prefix-sharing counters summed over all models (all zeros when no
+    /// request carries a prefix tag).
+    pub prefix: PrefixStats,
 }
 
 /// Discrete-event simulator of a Helix-style serving cluster.
@@ -163,6 +167,8 @@ pub struct FleetRunReport {
 pub struct ClusterSimulator {
     fleet: FleetTopology,
     schedulers: Vec<Box<dyn Scheduler>>,
+    /// Per-model cache-aware routers layered over the base schedulers.
+    prefix_routers: Vec<PrefixRouter>,
     engines: HashMap<(NodeId, ModelId), NodeEngine>,
     links: HashMap<(Option<NodeId>, Option<NodeId>), LinkQueue>,
     /// Active slowdown perturbations by node (applied to engines created by
@@ -215,9 +221,11 @@ impl ClusterSimulator {
                 engines.insert((n.node, ModelId(m)), engine);
             }
         }
+        let prefix_routers = (0..schedulers.len()).map(|_| PrefixRouter::new()).collect();
         ClusterSimulator {
             fleet,
             schedulers,
+            prefix_routers,
             engines,
             links: HashMap::new(),
             slowdowns: HashMap::new(),
@@ -501,7 +509,13 @@ impl ClusterSimulator {
                         for node in state.pipeline.nodes() {
                             if let Some(engine) = self.engines.get_mut(&(node, model)) {
                                 engine.release_request(request);
+                                if let Some(p) = state.prefix {
+                                    engine.release_prefix(p.id);
+                                }
                             }
+                        }
+                        if let Some(p) = state.prefix {
+                            self.prefix_routers[model.index()].release(p.id);
                         }
                         active = active.saturating_sub(1);
                         if let Some(next) = backlog.pop_front() {
@@ -532,6 +546,7 @@ impl ClusterSimulator {
                                     tokens: 1,
                                     layers: first.layers,
                                     stage_index: 0,
+                                    prefix: None,
                                 },
                             },
                         );
@@ -666,12 +681,19 @@ impl ClusterSimulator {
             node_utilization,
             link_stats,
         };
+        // Per-run prefix counters: taken (not copied) so back-to-back runs
+        // on one simulator — e.g. session drains — each report their own.
+        let mut prefix = PrefixStats::default();
+        for router in &mut self.prefix_routers {
+            prefix.merge(&router.take_stats());
+        }
         FleetRunReport {
             metrics: FleetMetrics { overall, per_model },
             intervals,
             replans,
             kv_transfers,
             completions,
+            prefix,
         }
     }
 
@@ -754,7 +776,13 @@ impl ClusterSimulator {
                     for n in state.pipeline.nodes() {
                         if let Some(engine) = self.engines.get_mut(&(n, model)) {
                             engine.purge_request(id);
+                            if let Some(p) = state.prefix {
+                                engine.release_prefix(p.id);
+                            }
                         }
+                    }
+                    if let Some(p) = state.prefix {
+                        self.prefix_routers[model.index()].release(p.id);
                     }
                     *epochs.entry(id).or_insert(0) += 1;
                     *active = active.saturating_sub(1);
@@ -828,6 +856,10 @@ impl ClusterSimulator {
             if let Ok(scheduler) = IwrrScheduler::from_topology(topology) {
                 self.schedulers[model.index()] = Box::new(scheduler);
             }
+            // Pipelines of the old plan are stale prefix homes: forget them.
+            // In-flight references stay balanced through their own release
+            // path; only future routing is affected.
+            self.prefix_routers[model.index()].clear();
             // Hand-over step 2: reconcile engines.  Existing engines take
             // the new layer count / KV budget in place (their queues and
             // cached tokens survive) *and rebuild their execution cost model
@@ -875,7 +907,11 @@ impl ClusterSimulator {
                 continue;
             };
             let snapshot = source.kv_snapshot();
-            let tokens: f64 = snapshot.iter().map(|&(_, t)| t).sum();
+            let prefix_snapshot = source.prefix_snapshot();
+            // Shared prefixes travel once each, no matter how many requests
+            // reference them — the transfer prices the deduplicated pages.
+            let tokens: f64 = snapshot.iter().map(|&(_, t)| t).sum::<f64>()
+                + prefix_snapshot.iter().map(|&(_, t, _)| t).sum::<f64>();
             let transfer = KvTransferModel::new(
                 self.fleet.profiles()[m.index()]
                     .model()
@@ -900,6 +936,9 @@ impl ClusterSimulator {
                 engine.freeze_range_until(migration.layers, arrival);
                 for &(request, tokens) in &snapshot {
                     engine.seed_kv(request, tokens);
+                }
+                for &(prefix, tokens, refcount) in &prefix_snapshot {
+                    engine.seed_prefix(prefix, tokens, refcount);
                 }
             }
             queue.push(
@@ -984,9 +1023,67 @@ impl ClusterSimulator {
         }
         let epoch = epochs.get(&request).copied().unwrap_or(0);
         let snapshot = self.snapshot(model);
-        match self.schedulers[model.index()].schedule(&snapshot) {
+        // Cache-aware routing: a prefix-tagged request goes to the pipeline
+        // already holding its prefix when that pipeline has KV headroom; a
+        // saturated home degrades to plain IWRR with sharing disabled.
+        let mut prefix_work: Option<PrefixWork> = None;
+        let mut routed: Option<RequestPipeline> = None;
+        let mut bypassed = false;
+        if let Some((pid, ptokens)) = spec.shared_prefix() {
+            match self.prefix_routers[model.index()].route(pid, ptokens, &snapshot) {
+                PrefixRoute::Hit {
+                    pipeline,
+                    shared_tokens,
+                } => {
+                    prefix_work = Some(PrefixWork {
+                        id: pid,
+                        tokens: shared_tokens,
+                        hit: true,
+                    });
+                    routed = Some(pipeline);
+                }
+                PrefixRoute::Miss => {
+                    prefix_work = Some(PrefixWork {
+                        id: pid,
+                        tokens: ptokens,
+                        hit: false,
+                    });
+                }
+                PrefixRoute::Bypass => bypassed = true,
+            }
+        }
+        let scheduled = match routed {
+            Some(pipeline) => Ok(pipeline),
+            None => self.schedulers[model.index()].schedule(&snapshot),
+        };
+        match scheduled {
             Ok(mut pipeline) => {
                 pipeline.model = model;
+                match prefix_work {
+                    // A miss materialises the prefix: the scheduled pipeline
+                    // becomes its home for later sharers.
+                    Some(p) if !p.hit => {
+                        self.prefix_routers[model.index()].adopt(p.id, p.tokens, &pipeline)
+                    }
+                    None if bypassed => self.prefix_routers[model.index()].record_bypass(),
+                    _ => {}
+                }
+                // Shared residency is attached (refcounted) on every pipeline
+                // node; the per-request KV entries hold only the suffix.
+                if let Some(p) = prefix_work {
+                    for node in pipeline.nodes() {
+                        if let Some(engine) = self.engines.get_mut(&(node, model)) {
+                            engine.attach_prefix(p.id, p.tokens as f64);
+                        }
+                    }
+                }
+                // A cache hit skips prefilling the shared range (that is the
+                // compute saving); at least one token still flows through the
+                // pipeline to produce the first output token.
+                let prefill_tokens = match prefix_work {
+                    Some(p) if p.hit => spec.prompt_tokens.saturating_sub(p.tokens).max(1),
+                    _ => spec.prompt_tokens,
+                };
                 let first = pipeline.stages[0];
                 states.insert(
                     request,
@@ -1001,10 +1098,11 @@ impl ClusterSimulator {
                         last_token_time: None,
                         decode_gaps: Vec::new(),
                         finish_time: None,
+                        prefix: prefix_work,
                     },
                 );
                 *active += 1;
-                let bytes = spec.prompt_tokens as f64 * TOKEN_WIRE_BYTES;
+                let bytes = prefill_tokens as f64 * TOKEN_WIRE_BYTES;
                 let arrival = self.link_transfer(None, Some(first.node), now, bytes);
                 queue.push(
                     arrival,
@@ -1015,15 +1113,18 @@ impl ClusterSimulator {
                             epoch,
                             model,
                             phase: Phase::Prompt,
-                            tokens: spec.prompt_tokens,
+                            tokens: prefill_tokens,
                             layers: first.layers,
                             stage_index: 0,
+                            prefix: prefix_work,
                         },
                     },
                 );
             }
             Err(_) => {
-                // Every candidate is masked (e.g. KV caches full): retry shortly.
+                // Every candidate is masked (e.g. KV caches full): retry
+                // shortly.  A hit never fails here; a miss was not adopted,
+                // so no reference leaks.
                 queue.push(now + 0.2, Event::RequestArrival { request });
             }
         }
@@ -1066,6 +1167,7 @@ impl ClusterSimulator {
                         tokens: item.tokens,
                         layers: next.layers,
                         stage_index: next_index,
+                        prefix: item.prefix,
                     },
                 },
             );

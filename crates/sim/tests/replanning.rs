@@ -428,3 +428,84 @@ fn tenancy_change_resplits_surviving_engine_speed_profiles() {
     // The destination engine exists and serves model 1's moved layers.
     assert!(sim.engine(free, ModelId(1)).is_some());
 }
+
+/// A shared prefix travels the migration link once, however many in-flight
+/// requests reference it.  The cache-blind twin of the same workload holds a
+/// private copy of the prefix range per request, so its KV hand-over must
+/// move materially more tokens than the cache-aware run — while the aware
+/// run still moves the prefix itself at least once.
+#[test]
+fn migration_transfers_a_shared_prefix_once_not_per_sharer() {
+    use helix_sim::SimSession;
+    let profile = profile();
+    let placement = chain_placement(&profile);
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    let (from, to, moved) = migratable_pair(&profile, &placement);
+    let config = SimulationConfig::offline(500.0).with_warmup(0.0);
+
+    // One prefix group, every request tagged: 24 sharers of a 64-token
+    // prefix with a 32-token private suffix, all in flight when the
+    // hand-over fires.
+    let requests: Vec<helix_workload::Request> = (0..24u64)
+        .map(|i| helix_workload::Request {
+            id: i,
+            prompt_tokens: 96,
+            output_tokens: 48,
+            arrival_time: 0.0,
+            model: ModelId(0),
+            ..helix_workload::Request::default()
+        })
+        .collect();
+    let aware = Workload::new(requests).with_shared_prefixes(1, 64, 1.0);
+    let blind = aware.clone().without_prefixes();
+
+    let run = |workload: &Workload| {
+        let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+        let sim = ClusterSimulator::new(&topology, Box::new(scheduler));
+        let mut session = SimSession::new(sim, config);
+        session.schedule(PerturbationEvent::Migrate {
+            at: 5.0,
+            model: ModelId(0),
+            from,
+            to,
+            layers: moved,
+        });
+        for request in workload.requests() {
+            session.submit(*request);
+        }
+        session.finish()
+    };
+
+    let aware_report = run(&aware);
+    let blind_report = run(&blind);
+    for report in [&aware_report, &blind_report] {
+        assert_eq!(report.metrics.overall.completed_requests, 24);
+        assert_eq!(report.kv_transfers.len(), 1);
+        assert_eq!(report.kv_transfers[0].migration.layers, moved);
+        assert!(report.kv_transfers[0].tokens > 0.0, "KV was resident");
+    }
+
+    // The first sharer materialised the prefix; the other 23 attached.
+    assert_eq!(aware_report.prefix.prefix_misses, 1);
+    assert_eq!(aware_report.prefix.prefix_hits, 23);
+    assert_eq!(aware_report.prefix.prefill_tokens_saved, 23 * 64);
+    assert_eq!(blind_report.prefix, helix_core::PrefixStats::default());
+
+    // Deduplicated pricing: the blind run carries a private 96-token prompt
+    // per request where the aware run carries a 32-token suffix each plus
+    // the 64-token prefix once — 1472 fewer prompt tokens resident.  The
+    // aware run decodes slightly ahead (it skipped 23 prefills), so allow
+    // decode drift, but a per-sharer duplicated prefix would erase the gap
+    // entirely.
+    let aware_tokens = aware_report.kv_transfers[0].tokens;
+    let blind_tokens = blind_report.kv_transfers[0].tokens;
+    assert!(
+        blind_tokens - aware_tokens >= 400.0,
+        "the shared prefix travels once: aware moved {aware_tokens} tokens, \
+         blind moved {blind_tokens}"
+    );
+    assert!(
+        aware_tokens >= 64.0,
+        "the prefix itself still travels with the hand-over, got {aware_tokens}"
+    );
+}

@@ -70,8 +70,7 @@ impl AzureTraceConfig {
                     id: id as u64,
                     prompt_tokens: prompt,
                     output_tokens: output,
-                    arrival_time: 0.0,
-                    model: helix_cluster::ModelId::default(),
+                    ..Request::default()
                 }
             })
             .collect();

@@ -22,7 +22,7 @@ mod trace;
 
 pub use arrival::ArrivalPattern;
 pub use azure::AzureTraceConfig;
-pub use request::{Request, RequestId, TicketId};
+pub use request::{PrefixId, Request, RequestId, TicketId};
 pub use trace::TraceError;
 
 use helix_cluster::ModelId;
@@ -167,6 +167,53 @@ impl Workload {
     /// Keeps only the first `n` requests (by arrival order).
     pub fn take(mut self, n: usize) -> Self {
         self.requests.truncate(n);
+        self
+    }
+
+    /// Tags a deterministic fraction of requests with shared prompt
+    /// prefixes, modelling system prompts and few-shot templates reused
+    /// across users.
+    ///
+    /// Requests are visited in arrival order; request `i` participates when
+    /// `⌊(i+1)·share_ratio⌋ > ⌊i·share_ratio⌋`, which spreads participants
+    /// evenly without randomness (the same workload and ratio always yield
+    /// the same tagging).  Participant `i` joins prefix group `i % groups`
+    /// and shares its leading `prefix_len` prompt tokens, clamped so at
+    /// least one suffix token remains to prefill (requests with a one-token
+    /// prompt are skipped).  A `share_ratio` of `0.0` returns the workload
+    /// untouched; `1.0` tags every eligible request.
+    pub fn with_shared_prefixes(
+        mut self,
+        groups: usize,
+        prefix_len: usize,
+        share_ratio: f64,
+    ) -> Self {
+        let ratio = share_ratio.clamp(0.0, 1.0);
+        if groups == 0 || prefix_len == 0 || ratio <= 0.0 {
+            return self;
+        }
+        let mut participant = 0usize;
+        for (i, r) in self.requests.iter_mut().enumerate() {
+            let participates = ((i + 1) as f64 * ratio).floor() > (i as f64 * ratio).floor()
+                && r.prompt_tokens > 1;
+            if participates {
+                r.prefix = Some(PrefixId((participant % groups) as u64));
+                r.prefix_tokens = prefix_len.min(r.prompt_tokens - 1);
+                participant += 1;
+            }
+        }
+        self
+    }
+
+    /// Strips every shared-prefix tag, yielding the cache-blind equivalent
+    /// of the workload: identical token counts and arrivals, but no request
+    /// can share KV pages or skip prefill work.  The baseline side of
+    /// cache-aware vs cache-blind comparisons.
+    pub fn without_prefixes(mut self) -> Self {
+        for r in &mut self.requests {
+            r.prefix = None;
+            r.prefix_tokens = 0;
+        }
         self
     }
 
@@ -335,6 +382,36 @@ mod tests {
         ]);
         let times: Vec<f64> = merged.iter().map(|r| r.arrival_time).collect();
         assert!(times.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn shared_prefix_tagging_is_deterministic_and_ratio_scaled() {
+        let base = Workload::azure_like(200, 11);
+        // Ratio 0 leaves the workload bit-identical.
+        assert_eq!(base.clone().with_shared_prefixes(4, 64, 0.0), base);
+        // Ratio 1 tags every request with a multi-token prompt.
+        let all = base.clone().with_shared_prefixes(4, 64, 1.0);
+        for r in all.iter() {
+            if r.prompt_tokens > 1 {
+                let (prefix, shared) = r.shared_prefix().expect("tagged");
+                assert!(prefix.0 < 4);
+                assert_eq!(shared, 64.min(r.prompt_tokens - 1));
+                assert!(r.suffix_tokens() >= 1, "a suffix token always remains");
+            } else {
+                assert_eq!(r.shared_prefix(), None);
+            }
+        }
+        // A 50% ratio tags about half, spread over all groups, and the same
+        // call is deterministic.
+        let half = base.clone().with_shared_prefixes(4, 64, 0.5);
+        let tagged = half.iter().filter(|r| r.prefix.is_some()).count();
+        assert!((90..=100).contains(&tagged), "tagged {tagged} of 200");
+        let groups: std::collections::BTreeSet<u64> =
+            half.iter().filter_map(|r| r.prefix.map(|p| p.0)).collect();
+        assert_eq!(groups.len(), 4);
+        assert_eq!(half, base.clone().with_shared_prefixes(4, 64, 0.5));
+        // Stripping restores the cache-blind workload exactly.
+        assert_eq!(half.without_prefixes(), base);
     }
 
     #[test]

@@ -12,8 +12,15 @@
 //! `output_tokens` (required), and the optional `model` tag (defaults to
 //! `ModelId(0)`), so single-model traces load unchanged and multi-model
 //! traces carry their model mix.
+//!
+//! Shared-prefix tags are optional: `prefix` | `session` (a non-negative
+//! integer naming the shared prompt prefix group) plus an optional
+//! `prefix_tokens` count of leading prompt tokens the group shares
+//! (defaults to half the prompt when the tag is present, and is clamped to
+//! the prompt length).  Traces without these fields load exactly as before
+//! (`prefix: None`).
 
-use crate::request::{Request, RequestId};
+use crate::request::{PrefixId, Request, RequestId};
 use crate::Workload;
 use helix_cluster::ModelId;
 use std::fmt;
@@ -129,12 +136,44 @@ impl Workload {
                     message: "model tag must be a non-negative integer".to_string(),
                 })? as usize),
             };
+            let prefix = match ["prefix", "session"].iter().find_map(|n| object.get(n)) {
+                None => None,
+                Some(v) => Some(PrefixId(v.as_u64().ok_or_else(|| {
+                    TraceError::InvalidRecord {
+                        line,
+                        message: "prefix/session tag must be a non-negative integer".to_string(),
+                    }
+                })?)),
+            };
+            let prefix_tokens = if prefix.is_some() {
+                match field(&["prefix_tokens"]) {
+                    Some(value) if value.is_finite() && value >= 0.0 => {
+                        (value as usize).min(prompt_tokens)
+                    }
+                    Some(value) => {
+                        return Err(TraceError::InvalidRecord {
+                            line,
+                            message: format!(
+                                "prefix_tokens must be a non-negative count, got {value}"
+                            ),
+                        });
+                    }
+                    // A prefix tag without an explicit length shares half
+                    // the prompt — a usable default for session dumps that
+                    // only record the session id.
+                    None => prompt_tokens / 2,
+                }
+            } else {
+                0
+            };
             requests.push(Request {
                 id: requests.len() as RequestId,
                 prompt_tokens,
                 output_tokens,
                 arrival_time,
                 model,
+                prefix,
+                prefix_tokens,
             });
         }
         Ok(Workload::new(requests))
@@ -175,6 +214,47 @@ mod tests {
         let per_model = w.per_model(2);
         assert_eq!(per_model[0].len(), 2);
         assert_eq!(per_model[1].len(), 1);
+    }
+
+    #[test]
+    fn prefix_and_session_aliases_round_trip() {
+        let text = r#"
+{"arrival_time": 0.0, "prompt_tokens": 100, "output_tokens": 10, "prefix": 3, "prefix_tokens": 64}
+{"arrival_time": 1.0, "prompt_tokens": 100, "output_tokens": 10, "session": 3}
+{"arrival_time": 2.0, "prompt_tokens": 40, "output_tokens": 4, "prefix": 9, "prefix_tokens": 900}
+{"arrival_time": 3.0, "prompt_tokens": 40, "output_tokens": 4}
+"#;
+        let w = Workload::from_jsonl_str(text).unwrap();
+        assert_eq!(w.len(), 4);
+        let r = w.requests();
+        // Explicit prefix + length.
+        assert_eq!(r[0].shared_prefix(), Some((PrefixId(3), 64)));
+        // `session` aliases `prefix`; the length defaults to half the prompt.
+        assert_eq!(r[1].shared_prefix(), Some((PrefixId(3), 50)));
+        // An over-long range is clamped to the prompt.
+        assert_eq!(r[2].prefix_tokens, 40);
+        // Untagged records stay prefix-free.
+        assert_eq!(r[3].shared_prefix(), None);
+        assert_eq!(r[3].prefix_tokens, 0);
+
+        // Serde round trip: a workload with prefixes survives JSON and the
+        // stripped form equals an untagged parse.
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, w);
+
+        // Malformed prefix tags are rejected with the line number.
+        let bad = "{\"prompt_tokens\": 10, \"output_tokens\": 1, \"prefix\": -2}";
+        assert!(matches!(
+            Workload::from_jsonl_str(bad),
+            Err(TraceError::InvalidRecord { .. })
+        ));
+        let bad_len =
+            "{\"prompt_tokens\": 10, \"output_tokens\": 1, \"prefix\": 1, \"prefix_tokens\": -5}";
+        assert!(matches!(
+            Workload::from_jsonl_str(bad_len),
+            Err(TraceError::InvalidRecord { .. })
+        ));
     }
 
     #[test]

@@ -57,6 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 output_tokens: 8,
                 arrival_time: 0.0,
                 model: ModelId(0),
+                ..Request::default()
             })
         })
         .collect();

@@ -101,6 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             output_tokens: r.output_tokens.clamp(2, 24),
             arrival_time: 0.1 * i as f64,
             model: Default::default(),
+            ..Request::default()
         })
         .collect();
     let workload = Workload::new(requests);

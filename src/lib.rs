@@ -61,14 +61,14 @@ pub mod prelude {
     pub use crate::front::ServingFrontEnd;
     pub use helix_cluster::{
         ClusterBuilder, ClusterProfile, ClusterSpec, ComputeNode, GpuSpec, GpuType, ModelConfig,
-        ModelId, NetworkLink, NodeId, Region,
+        ModelId, NetworkLink, NodeId, PrefixId, Region,
     };
     pub use helix_core::{
         fleet_profiles, heuristics, AnnealingOptions, Endpoint, FleetAnnealingOptions,
         FleetAnnealingPlanner, FleetPlacement, FleetScheduler, FleetTopology, FlowAnnealingPlanner,
         FlowGraphBuilder, HelixError, IwrrScheduler, KvCacheEstimator, LayerRange,
         MilpPlacementPlanner, MilpPlannerReport, ModelPlacement, PipelineStage, PlacementFlowGraph,
-        PlannerOptions, RandomScheduler, RequestPipeline, Scheduler, SchedulerKind,
+        PlannerOptions, PrefixStats, RandomScheduler, RequestPipeline, Scheduler, SchedulerKind,
         ShortestQueueScheduler, SwarmScheduler, Topology,
     };
     pub use helix_maxflow::{FlowNetwork, MaxFlowAlgorithm};

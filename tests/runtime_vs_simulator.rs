@@ -23,6 +23,7 @@ fn burst(n: u64) -> Workload {
                 output_tokens: 8,
                 arrival_time: 0.0,
                 model: Default::default(),
+                ..Request::default()
             })
             .collect(),
     )

@@ -22,6 +22,7 @@ fn workload(n: u64) -> Workload {
                 output_tokens: 3,
                 arrival_time: 0.02 * id as f64,
                 model: Default::default(),
+                ..Request::default()
             })
             .collect(),
     )

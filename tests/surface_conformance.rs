@@ -74,6 +74,7 @@ fn requests(n: u64, base_id: u64, model: ModelId) -> Vec<Request> {
             output_tokens: 3,
             arrival_time: 0.02 * i as f64,
             model,
+            ..Request::default()
         })
         .collect()
 }
@@ -288,6 +289,7 @@ fn unfrozen_layers_keep_completing_through_the_migration_transfer_window() {
             output_tokens: 3,
             arrival_time: 0.4 * i as f64,
             model: ModelId(0),
+            ..Request::default()
         })
         .collect();
     let batch2 = requests(4, 100, ModelId(0));
@@ -357,6 +359,95 @@ fn unfrozen_layers_keep_completing_through_the_migration_transfer_window() {
         "simulator: pipelines on un-frozen layers keep completing during the \
          transfer window ({start:.3}..{end:.3}), got none"
     );
+}
+
+#[test]
+fn prefix_sharing_saves_the_same_work_on_both_surfaces() {
+    let profile = profile_13b();
+    let placement = chain_placement(&profile);
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+
+    // 16 requests, all arriving at t=0 so every sharer is dispatched while
+    // its group's prefix is still referenced (both surfaces admit all due
+    // arrivals before processing any completion).  Four groups of four with
+    // every request tagged: the first of each group materialises the prefix
+    // (a miss), the other three attach (hits).
+    let batch: Vec<Request> = (0..16u64)
+        .map(|i| Request {
+            id: i,
+            prompt_tokens: 96,
+            output_tokens: 3,
+            arrival_time: 0.0,
+            model: ModelId(0),
+            ..Request::default()
+        })
+        .collect();
+    let workload = Workload::new(batch.clone()).with_shared_prefixes(4, 64, 1.0);
+    let expected = PrefixStats {
+        prefix_hits: 12,
+        prefix_misses: 4,
+        prefix_bypasses: 0,
+        prefill_tokens_saved: 12 * 64,
+        shared_pages: 12 * 4, // ceil(64 / 16 tokens-per-page) pages per hit
+    };
+
+    let runtime_report = runtime_session(&topology)
+        .serve(&workload)
+        .expect("the runtime serves the prefix-tagged batch");
+    let runtime_ids: BTreeSet<u64> = runtime_report.outcomes.iter().map(|o| o.id).collect();
+    assert_eq!(runtime_ids, id_set(&batch), "runtime completes the set");
+    assert_eq!(runtime_report.prefix, expected, "runtime prefix counters");
+
+    let sim_report = sim_session(&topology)
+        .serve(&workload)
+        .expect("the simulator serves the prefix-tagged batch");
+    assert_eq!(
+        sim_report.metrics.overall.completed_requests,
+        batch.len() as u64,
+        "simulator completes the same count"
+    );
+    assert_eq!(sim_report.prefix, expected, "simulator prefix counters");
+
+    // The saved prefill is real work skipped, not bookkeeping: both surfaces
+    // still generate every requested output token.
+    assert_eq!(
+        runtime_report.decode_tokens(),
+        sim_report.metrics.overall.decode_tokens
+    );
+}
+
+#[test]
+fn untagged_workloads_are_untouched_by_the_prefix_machinery() {
+    let profile = profile_13b();
+    let placement = chain_placement(&profile);
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    let batch = requests(14, 0, ModelId(0));
+    let base = Workload::new(batch.clone());
+
+    // Tagging then stripping is the identity on the workload itself …
+    let stripped = base
+        .clone()
+        .with_shared_prefixes(4, 64, 1.0)
+        .without_prefixes();
+    assert_eq!(stripped, base);
+    // … and a zero share ratio never tags in the first place.
+    assert_eq!(base.clone().with_shared_prefixes(4, 64, 0.0), base);
+
+    // With every prefix `None` the simulator's report is bit-identical to
+    // the stripped equivalent and logs no prefix activity at all.
+    let sim_base = serve_generic(sim_session(&topology), &batch);
+    let sim_stripped = sim_session(&topology)
+        .serve(&stripped)
+        .expect("the simulator serves the stripped workload");
+    assert_eq!(sim_base.metrics, sim_stripped.metrics);
+    assert_eq!(sim_base.prefix, PrefixStats::default());
+    assert_eq!(sim_stripped.prefix, PrefixStats::default());
+
+    // The runtime (wall-clock timings differ run to run) completes the same
+    // set and likewise reports zero prefix activity.
+    let runtime_report = serve_generic(runtime_session(&topology), &batch);
+    assert_eq!(runtime_report.completed(), batch.len());
+    assert_eq!(runtime_report.prefix, PrefixStats::default());
 }
 
 #[test]
