@@ -71,6 +71,7 @@ pub mod exec_model;
 pub mod fleet;
 pub mod flow_graph;
 pub mod placement;
+pub mod region;
 pub mod replan;
 pub mod scheduling;
 pub mod topology;
@@ -94,6 +95,11 @@ pub use placement::partition::{
 };
 pub use placement::refine::{AnnealingOptions, FlowAnnealingPlanner};
 pub use placement::{LayerRange, ModelPlacement};
+pub use region::{
+    InterRegionLink, MembershipOptions, RebalanceMove, RebalanceOptions, RegionDirectory,
+    RegionHealth, RegionInfo, RegionLoad, RegionRebalancer, RegionRing, RegionTransferPricer,
+    RegionTransferRecord, RingOptions,
+};
 pub use replan::{
     EngineCounters, KvMigration, KvTransferModel, KvTransferRecord, NodeObservation,
     NodeObservations, ObservationWindows, PlacementDelta, ReplanOutcome, ReplanPolicy,

@@ -536,6 +536,12 @@ pub enum ReplanReason {
         /// The failed node.
         node: NodeId,
     },
+    /// Every node of a region dropped out at once (power or backbone
+    /// failure); the re-plan removed the whole region from the placement.
+    RegionOutage {
+        /// The failed region.
+        region: helix_cluster::Region,
+    },
     /// The caller requested the re-plan explicitly.
     Manual,
 }

@@ -224,6 +224,21 @@ impl PrefixRouter {
         self.homes.clear();
     }
 
+    /// Forgets every home whose pipeline runs through `node` — the targeted
+    /// form of [`clear`](Self::clear) for a node (or whole-region) failure.
+    /// Unlike a successful re-plan, a failure may leave the rest of the plan
+    /// serving, so only homes that actually crossed the dead node are
+    /// evicted; later sharers of those prefixes re-route as misses and adopt
+    /// a live pipeline.  In-flight references stay balanced: their
+    /// [`release`](Self::release) of a now-unknown prefix is a no-op.
+    /// Returns how many homes were evicted.
+    pub fn evict_node(&mut self, node: helix_cluster::NodeId) -> usize {
+        let before = self.homes.len();
+        self.homes
+            .retain(|_, home| !home.pipeline.nodes().contains(&node));
+        before - self.homes.len()
+    }
+
     /// The pipeline currently homing `prefix`, if any.
     pub fn home_of(&self, prefix: PrefixId) -> Option<&RequestPipeline> {
         self.homes.get(&prefix).map(|home| &home.pipeline)
@@ -271,6 +286,25 @@ mod tests {
         fn kv_capacity_tokens(&self, _node: NodeId) -> f64 {
             1000.0
         }
+    }
+
+    #[test]
+    fn evict_node_clears_only_homes_crossing_the_dead_node() {
+        let mut router = PrefixRouter::new();
+        router.adopt(PrefixId(1), 64, &pipeline(2));
+        router.adopt(PrefixId(2), 32, &pipeline(5));
+        assert_eq!(router.evict_node(NodeId(2)), 1);
+        assert!(router.home_of(PrefixId(1)).is_none());
+        assert!(router.home_of(PrefixId(2)).is_some());
+        // A later sharer of the evicted prefix re-routes as a miss instead
+        // of hitting the dead pipeline …
+        assert_eq!(
+            router.route(PrefixId(1), 64, &IdleClusterState),
+            PrefixRoute::Miss
+        );
+        // … and an in-flight sharer's release of it stays a balanced no-op.
+        assert!(!router.release(PrefixId(1)));
+        assert_eq!(router.evict_node(NodeId(2)), 0);
     }
 
     #[test]

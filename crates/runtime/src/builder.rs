@@ -1,7 +1,8 @@
 //! Fluent construction of a serving system.
 //!
-//! [`ServingBuilder`] replaces the constructor zoo of the legacy
-//! `ServingRuntime` (`new` / `new_fleet` / `new_adaptive`) with one surface:
+//! [`ServingBuilder`] replaces the constructor zoo of the legacy (since
+//! removed) `ServingRuntime` (`new` / `new_fleet` / `new_adaptive`) with one
+//! surface:
 //! single-model, multi-model and adaptive systems are all expressed as
 //! combinations of [`topology`](ServingBuilder::topology) /
 //! [`fleet`](ServingBuilder::fleet), optional schedulers and an optional

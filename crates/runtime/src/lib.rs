@@ -40,7 +40,8 @@
 //! injection and placement deltas that can spawn workers for brand-new
 //! (node, model) tenancies.  The legacy batch call survives as
 //! [`ServingSession::serve`], which on a fresh session runs the identical
-//! admission loop the old `ServingRuntime::serve` ran.
+//! admission loop the old one-shot runtime ran (the deprecated
+//! `ServingRuntime` shims were removed after one release).
 //!
 //! # Example: builder → session → report
 //!
@@ -111,7 +112,7 @@ pub use fabric::{LinkKey, LinkTraffic};
 pub use kv_pool::{KvPoolError, PagedKvPool};
 pub use message::{Envelope, Phase, PlanUpdate, RuntimeMsg, StageWork};
 pub use metrics::{LatencySummary, LinkReport, NodeReport, RequestOutcome, RuntimeReport};
-pub use runtime::{ExecutionKind, RuntimeConfig, ServingRuntime};
+pub use runtime::{ExecutionKind, RuntimeConfig};
 pub use session::ServingSession;
 pub use worker::WorkerStats;
 

@@ -1,11 +1,11 @@
 //! The serving runtime: wires the coordinator, the workers and the network
 //! fabric together.
 //!
-//! [`ServingRuntime`] is the legacy one-shot surface kept as a thin shim for
-//! one release: its constructors are deprecated in favour of
-//! [`ServingBuilder`](crate::ServingBuilder), and [`ServingRuntime::serve`]
-//! simply runs the batch loop through a [`ServingSession`] — the same code
-//! path, producing the same report.
+//! Construction goes through [`ServingBuilder`](crate::ServingBuilder),
+//! which wires a [`Wired`] data plane and returns a live
+//! [`ServingSession`](crate::ServingSession).  (The legacy one-shot
+//! `ServingRuntime` shim and its deprecated constructors were removed after
+//! one release, as promised.)
 
 use crate::clock::VirtualClock;
 use crate::coordinator::{Coordinator, CoordinatorMsg, CoordinatorSpec};
@@ -14,14 +14,12 @@ use crate::fabric::{self, FabricSpec, LinkTrafficMap};
 use crate::message::Envelope;
 use crate::metrics::{LinkReport, NodeReport, RequestOutcome, RuntimeReport};
 use crate::registry::{WorkerRegistry, WorkerSpawner};
-use crate::session::ServingSession;
-use helix_cluster::{ModelId, NodeId};
+use helix_cluster::ModelId;
 use helix_core::exec_model::{DEFAULT_TOKENS_PER_PAGE, KV_OVERFLOW_PENALTY};
 use helix_core::{
-    FleetScheduler, FleetTopology, HelixError, KvCacheEstimator, KvTransferRecord, PrefixStats,
-    ReplanPolicy, ReplanRecord, Scheduler, Topology,
+    FleetTopology, HelixError, KvCacheEstimator, KvTransferRecord, PrefixStats, ReplanPolicy,
+    ReplanRecord, Scheduler,
 };
-use helix_workload::Workload;
 use minirt::channel::{unbounded, Sender};
 use std::sync::Arc;
 use std::time::Duration;
@@ -82,8 +80,8 @@ impl RuntimeConfig {
 }
 
 /// The wired data plane of one serving system: the task executor, clock,
-/// coordinator, worker registry, fabric and traffic counters.  Both front
-/// doors ([`ServingRuntime`] and [`ServingSession`]) drive one of these.
+/// coordinator, worker registry, fabric and traffic counters.  The
+/// [`ServingSession`](crate::ServingSession) front door drives one of these.
 ///
 /// Workers and the fabric are *tasks* on `executor`, not threads: the batch
 /// path drives the whole plane inline on the calling thread via `block_on`,
@@ -281,123 +279,5 @@ impl Wired {
             kv_transfers,
             prefix,
         })
-    }
-}
-
-/// A fully wired serving system for one (cluster, placement, scheduler)
-/// combination — the legacy one-shot front door.
-///
-/// Prefer [`ServingBuilder`](crate::ServingBuilder), which unifies the three
-/// constructors below behind one fluent surface and returns a live
-/// [`ServingSession`]; `ServingRuntime` remains as a thin shim for one
-/// release.  See the [crate-level documentation](crate) for an end-to-end
-/// example of the session API.
-pub struct ServingRuntime {
-    pub(crate) wired: Wired,
-}
-
-impl ServingRuntime {
-    /// Builds a single-model runtime: spawns one worker task per assigned
-    /// compute node and the network fabric task.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RuntimeError::Scheduling`] if the placement is invalid for
-    /// the profile.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ServingBuilder::new().topology(..).scheduler(..).config(..).build()"
-    )]
-    pub fn new(
-        topology: &Topology,
-        scheduler: Box<dyn Scheduler>,
-        config: RuntimeConfig,
-    ) -> Result<Self, RuntimeError> {
-        let fleet = FleetTopology::single(topology.clone());
-        Wired::build(fleet, vec![scheduler], config, None).map(|wired| ServingRuntime { wired })
-    }
-
-    /// Builds a runtime whose coordinator closes the online re-planning
-    /// loop: workers are observed every `policy.check_interval_secs` of
-    /// virtual time, and when their measured speed factors fall below the
-    /// policy threshold the coordinator re-plans the owned copy of `fleet`
-    /// and hands the affected models' new IWRR weights and KV budgets over
-    /// drain-then-switch (in-flight pipelines keep their routes).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RuntimeError::Scheduling`] if any model's placement is
-    /// invalid for its profile or has zero planned flow.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ServingBuilder::new().fleet(..).replan_policy(..).config(..).build()"
-    )]
-    pub fn new_adaptive(
-        fleet: &FleetTopology,
-        config: RuntimeConfig,
-        policy: ReplanPolicy,
-    ) -> Result<Self, RuntimeError> {
-        let schedulers = FleetScheduler::iwrr(fleet)
-            .map_err(RuntimeError::Scheduling)?
-            .into_parts();
-        Wired::build(fleet.clone(), schedulers, config, Some(policy))
-            .map(|wired| ServingRuntime { wired })
-    }
-
-    /// Builds a multi-model runtime over a planned [`FleetTopology`]: one
-    /// worker task per (assigned node, model) pair — each with its own
-    /// partition of the node's KV pool — one KV estimator per model, and a
-    /// coordinator that routes every request to its model's scheduler.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RuntimeError::Scheduling`] if any model's placement is
-    /// invalid for its profile, or if the scheduler count does not match the
-    /// fleet's model count ([`HelixError::SchedulerCountMismatch`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ServingBuilder::new().fleet(..).schedulers(..).config(..).build()"
-    )]
-    pub fn new_fleet(
-        fleet: &FleetTopology,
-        schedulers: FleetScheduler,
-        config: RuntimeConfig,
-    ) -> Result<Self, RuntimeError> {
-        Wired::build(fleet.clone(), schedulers.into_parts(), config, None)
-            .map(|wired| ServingRuntime { wired })
-    }
-
-    /// Injects a hardware slowdown on every worker of `node`: their batches
-    /// take `factor`× the cost model's prediction from now on (1.0 restores
-    /// nominal speed).  The workers *measure* the resulting gap and an
-    /// adaptive coordinator reacts to the measurement — this is the
-    /// perturbation half of a degraded-node scenario, not a shortcut around
-    /// observation.
-    pub fn set_node_speed(&self, node: NodeId, factor: f64) {
-        self.wired
-            .registry
-            .send_to_node(node, crate::message::RuntimeMsg::SetSpeed(factor));
-    }
-
-    /// Converts the runtime into a live [`ServingSession`] front door.
-    pub fn into_session(self) -> ServingSession {
-        ServingSession::from_wired(self.wired)
-    }
-
-    /// Serves the workload to completion and returns the run report.
-    ///
-    /// The runtime is consumed: every worker and the fabric are shut down
-    /// and run to completion before this method returns, even when it
-    /// returns an error.
-    /// This is the same batch loop [`ServingSession::serve`] runs — the
-    /// session API is the preferred surface.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RuntimeError::WallClockBudgetExceeded`] if the configured
-    /// wall-clock budget runs out, [`RuntimeError::Stalled`] if no request can
-    /// make progress, and propagates scheduling errors.
-    pub fn serve(self, workload: &Workload) -> Result<RuntimeReport, RuntimeError> {
-        self.into_session().serve(workload)
     }
 }

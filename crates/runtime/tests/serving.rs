@@ -471,26 +471,28 @@ fn scheduler_count_mismatch_is_a_typed_error_not_a_panic() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn legacy_constructors_still_serve_and_match_the_builder() {
-    // The deprecated shims stay for one release; their reports must carry
-    // the same skeleton as the builder path (timing jitters, scheduling
-    // does not).
-    use helix_runtime::ServingRuntime;
+fn builder_batch_reports_are_skeleton_reproducible() {
+    // Two independent builder sessions over the same topology and workload
+    // must produce the same report skeleton (timing jitters, scheduling
+    // does not).  This pins the determinism contract the removed
+    // `ServingRuntime` shims used to be compared against.
     let profile = profile();
     let topology = swarm_topology(&profile);
     let workload = small_workload(8, 32, 3);
 
-    let legacy = ServingRuntime::new(
-        &topology,
-        Box::new(IwrrScheduler::from_topology(&topology).unwrap()),
-        RuntimeConfig::fast_test(),
-    )
-    .unwrap()
-    .serve(&workload)
-    .unwrap();
+    let serve = || {
+        ServingBuilder::new()
+            .topology(&topology)
+            .scheduler(Box::new(IwrrScheduler::from_topology(&topology).unwrap()))
+            .config(RuntimeConfig::fast_test())
+            .build()
+            .unwrap()
+            .serve(&workload)
+            .unwrap()
+    };
+    let first = serve();
 
-    let via_builder = ServingBuilder::new()
+    let via_default_scheduler = ServingBuilder::new()
         .topology(&topology)
         .config(RuntimeConfig::fast_test())
         .build()
@@ -498,7 +500,13 @@ fn legacy_constructors_still_serve_and_match_the_builder() {
         .serve(&workload)
         .unwrap();
 
-    assert_eq!(report_skeleton(&legacy), report_skeleton(&via_builder));
+    assert_eq!(report_skeleton(&first), report_skeleton(&serve()));
+    // An explicit IWRR scheduler and the builder-derived default are the
+    // same configuration.
+    assert_eq!(
+        report_skeleton(&first),
+        report_skeleton(&via_default_scheduler)
+    );
 }
 
 #[test]

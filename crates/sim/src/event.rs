@@ -1,6 +1,6 @@
 //! Discrete-event queue.
 
-use helix_cluster::{ModelId, NodeId};
+use helix_cluster::{ModelId, NodeId, Region};
 use helix_core::{LayerRange, PrefixWork, RequestPipeline};
 use helix_workload::RequestId;
 use std::cmp::Ordering;
@@ -73,6 +73,21 @@ pub enum PerturbationEvent {
         /// The failed node.
         node: NodeId,
     },
+    /// Every node of `region` drops out at once — a power or backbone
+    /// failure taking a whole regional cluster down.  All the region's
+    /// engines stop, in-flight pipelines crossing any of its nodes are
+    /// aborted and re-admitted under new epochs, their KV pages and prefix
+    /// homes are purged, and **one** re-plan removes the entire region from
+    /// every model's placement (per-node re-plans would thrash, and an
+    /// intermediate single-node removal may be infeasible even when the
+    /// full-region removal is not).
+    RegionOutage {
+        /// When the region fails.
+        at: SimTime,
+        /// The failed region (nodes resolved against the fleet's cluster
+        /// spec at apply time).
+        region: Region,
+    },
     /// The arrival process speeds up (`factor > 1`) or slows down
     /// (`factor < 1`) for every request arriving after `at`.
     ArrivalRateShift {
@@ -108,6 +123,7 @@ impl PerturbationEvent {
             PerturbationEvent::NodeSlowdown { at, .. }
             | PerturbationEvent::NodeRecovery { at, .. }
             | PerturbationEvent::NodeFailure { at, .. }
+            | PerturbationEvent::RegionOutage { at, .. }
             | PerturbationEvent::ArrivalRateShift { at, .. }
             | PerturbationEvent::Migrate { at, .. } => at,
         }

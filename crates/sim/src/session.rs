@@ -80,6 +80,16 @@ impl SimSession {
         self.events.push(event);
     }
 
+    /// Takes a whole region down at the start of the next drained batch:
+    /// every node the fleet's cluster spec places in `region` fails at once
+    /// (see [`PerturbationEvent::RegionOutage`]).  In-flight requests
+    /// through the region are re-admitted on surviving pipelines; its prefix
+    /// homes are evicted.
+    pub fn fail_region(&mut self, region: helix_cluster::Region) {
+        self.events
+            .push(PerturbationEvent::RegionOutage { at: 0.0, region });
+    }
+
     /// Queues a partial-layer migration at the start of the next drained
     /// batch: `layers` of `model` move from `from` to `to`, their KV pages
     /// travel the `from → to` link as modelled traffic, and both engines

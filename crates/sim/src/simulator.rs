@@ -754,53 +754,43 @@ impl ClusterSimulator {
                 }
             }
             PerturbationEvent::NodeFailure { node, .. } => {
-                self.failed.insert(node);
-                for ((n, _), engine) in self.engines.iter_mut() {
-                    if *n == node {
-                        engine.fail();
-                    }
-                }
-                // Abort every *unfinished* pipeline crossing the dead node
-                // and re-admit its request under a new epoch (stale work of
-                // the old incarnation is dropped on arrival); the KV pages
-                // it held anywhere are purged.  Completed requests keep
-                // their state — and their counted completion — untouched.
-                let doomed: Vec<RequestId> = states
-                    .iter()
-                    .filter(|(_, s)| s.finish_time.is_none() && s.pipeline.nodes().contains(&node))
-                    .map(|(&id, _)| id)
-                    .collect();
-                for id in doomed {
-                    let state = states.remove(&id).expect("listed above");
-                    let model = state.pipeline.model;
-                    for n in state.pipeline.nodes() {
-                        if let Some(engine) = self.engines.get_mut(&(n, model)) {
-                            engine.purge_request(id);
-                            if let Some(p) = state.prefix {
-                                engine.release_prefix(p.id);
-                            }
-                        }
-                    }
-                    if let Some(p) = state.prefix {
-                        self.prefix_routers[model.index()].release(p.id);
-                    }
-                    *epochs.entry(id).or_insert(0) += 1;
-                    *active = active.saturating_sub(1);
-                    queue.push(time, Event::RequestArrival { request: id });
-                }
-                // Structural change: re-plan immediately with a removal
-                // delta, keeping whatever observations are already priced in.
-                let delta = PlacementDelta::new().remove_node(node, self.fleet.num_models());
-                let observed = self.fleet.observations().clone();
-                self.apply_replan(
-                    &delta,
-                    &observed,
-                    time,
+                self.fail_nodes(
+                    &[node],
                     ReplanReason::NodeFailure { node },
+                    time,
+                    states,
+                    epochs,
                     queue,
+                    active,
                     replans,
                     kv_transfers,
                 );
+            }
+            PerturbationEvent::RegionOutage { region, .. } => {
+                // Resolve the region's nodes against the fleet's cluster
+                // spec (all profiles share one spec) and fail them together:
+                // one abort/re-admit sweep, one re-plan removing the whole
+                // region.
+                let nodes: Vec<NodeId> = self.fleet.profiles()[0]
+                    .cluster()
+                    .nodes()
+                    .iter()
+                    .filter(|n| n.region == region)
+                    .map(|n| n.id)
+                    .collect();
+                if !nodes.is_empty() {
+                    self.fail_nodes(
+                        &nodes,
+                        ReplanReason::RegionOutage { region },
+                        time,
+                        states,
+                        epochs,
+                        queue,
+                        active,
+                        replans,
+                        kv_transfers,
+                    );
+                }
             }
             PerturbationEvent::ArrivalRateShift { .. } => {
                 // Applied to the arrival process before the run started.
@@ -825,6 +815,91 @@ impl ClusterSimulator {
                 );
             }
         }
+    }
+
+    /// Fails a set of nodes at once (one node for [`NodeFailure`], a whole
+    /// region for [`RegionOutage`]): their engines stop, every *unfinished*
+    /// pipeline crossing a dead node is aborted and its request re-admitted
+    /// under a new epoch (stale work of the old incarnation is dropped on
+    /// arrival), the KV pages it held anywhere are purged, and one re-plan
+    /// removes all the dead nodes from every model's placement.  Completed
+    /// requests keep their state — and their counted completion — untouched.
+    ///
+    /// [`NodeFailure`]: PerturbationEvent::NodeFailure
+    /// [`RegionOutage`]: PerturbationEvent::RegionOutage
+    #[allow(clippy::too_many_arguments)]
+    fn fail_nodes(
+        &mut self,
+        nodes: &[NodeId],
+        reason: ReplanReason,
+        time: SimTime,
+        states: &mut HashMap<RequestId, RequestState>,
+        epochs: &mut HashMap<RequestId, u64>,
+        queue: &mut EventQueue,
+        active: &mut usize,
+        replans: &mut Vec<ReplanRecord>,
+        kv_transfers: &mut Vec<KvTransferRecord>,
+    ) {
+        for &node in nodes {
+            self.failed.insert(node);
+            for ((n, _), engine) in self.engines.iter_mut() {
+                if *n == node {
+                    engine.fail();
+                }
+            }
+        }
+        let doomed: Vec<RequestId> = states
+            .iter()
+            .filter(|(_, s)| {
+                s.finish_time.is_none() && nodes.iter().any(|n| s.pipeline.nodes().contains(n))
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in doomed {
+            let state = states.remove(&id).expect("listed above");
+            let model = state.pipeline.model;
+            for n in state.pipeline.nodes() {
+                if let Some(engine) = self.engines.get_mut(&(n, model)) {
+                    engine.purge_request(id);
+                    if let Some(p) = state.prefix {
+                        engine.release_prefix(p.id);
+                    }
+                }
+            }
+            if let Some(p) = state.prefix {
+                self.prefix_routers[model.index()].release(p.id);
+            }
+            *epochs.entry(id).or_insert(0) += 1;
+            *active = active.saturating_sub(1);
+            queue.push(time, Event::RequestArrival { request: id });
+        }
+        // Dead pipelines must not stay prefix homes.  The re-plan below
+        // clears routers only when it succeeds; when removing the nodes is
+        // infeasible (they were load-bearing) the old plan keeps serving,
+        // so evict exactly the homes that crossed a dead node — otherwise
+        // later sharers would "hit" a pipeline that no longer executes.
+        for router in &mut self.prefix_routers {
+            for &node in nodes {
+                router.evict_node(node);
+            }
+        }
+        // Structural change: re-plan immediately with one removal delta
+        // covering every dead node, keeping whatever observations are
+        // already priced in.
+        let mut delta = PlacementDelta::new();
+        for &node in nodes {
+            delta = delta.remove_node(node, self.fleet.num_models());
+        }
+        let observed = self.fleet.observations().clone();
+        self.apply_replan(
+            &delta,
+            &observed,
+            time,
+            reason,
+            queue,
+            replans,
+            kv_transfers,
+        );
     }
 
     /// Applies one re-plan: mutates the owned fleet plan, swaps the affected

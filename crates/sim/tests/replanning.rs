@@ -509,3 +509,79 @@ fn migration_transfers_a_shared_prefix_once_not_per_sharer() {
         "the prefix itself still travels with the hand-over, got {aware_tokens}"
     );
 }
+
+#[test]
+fn region_outage_mid_session_loses_no_requests_and_rehomes_prefixes() {
+    use helix_cluster::{ClusterBuilder, GpuType, Region};
+    use helix_core::{LayerRange, ModelPlacement};
+    use helix_sim::SimSession;
+
+    // Two regions, each holding a complete two-node pipeline, so removing a
+    // whole region leaves a valid plan for the survivors.
+    let spec = ClusterBuilder::new("two-region-4")
+        .intra_region(10_000.0, 1.0)
+        .inter_region(500.0, 50.0)
+        .add_nodes(GpuType::A100_80, 2, 8, Region(0))
+        .add_nodes(GpuType::A100_80, 2, 8, Region(1))
+        .build();
+    let profile = ClusterProfile::analytic(spec, ModelConfig::llama_13b());
+    let num_layers = profile.model().num_layers;
+    let mut placement = ModelPlacement::empty(4);
+    placement.assign(NodeId(0), LayerRange::new(0, num_layers / 2));
+    placement.assign(NodeId(1), LayerRange::new(num_layers / 2, num_layers));
+    placement.assign(NodeId(2), LayerRange::new(0, num_layers / 2));
+    placement.assign(NodeId(3), LayerRange::new(num_layers / 2, num_layers));
+    placement.validate(&profile).unwrap();
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    let scheduler = IwrrScheduler::from_topology(&topology).unwrap();
+    let sim = ClusterSimulator::new(&topology, Box::new(scheduler));
+    let mut session = SimSession::new(sim, SimulationConfig::offline(600.0).with_warmup(0.0));
+
+    // Batch 1 homes eight shared prefixes across both regions' pipelines.
+    let tagged = |base: u64| -> Vec<helix_workload::Request> {
+        (0..32u64)
+            .map(|i| helix_workload::Request {
+                id: base + i,
+                prompt_tokens: 96,
+                output_tokens: 3,
+                prefix: Some(helix_cluster::PrefixId(i % 8)),
+                prefix_tokens: 64,
+                ..helix_workload::Request::default()
+            })
+            .collect()
+    };
+    for request in tagged(0) {
+        session.submit(request);
+    }
+    session.drain();
+
+    // Region 1 dies; batch 2 shares the same prefixes.  Sharers whose home
+    // died must re-route as misses (a dangling home would strand them on a
+    // stopped pipeline and the completion count would come up short).
+    session.fail_region(Region(1));
+    for request in tagged(100) {
+        session.submit(request);
+    }
+    let report = session.finish();
+
+    assert_eq!(report.metrics.overall.completed_requests, 64);
+    assert_eq!(report.replans.len(), 1);
+    assert!(matches!(
+        report.replans[0].reason,
+        ReplanReason::RegionOutage { region } if region == Region(1)
+    ));
+    // Every tagged admission was counted — sharers caught in flight by the
+    // outage are re-admitted and legitimately routed (and counted) again …
+    let prefix = &report.prefix;
+    assert!(
+        prefix.prefix_hits + prefix.prefix_misses + prefix.prefix_bypasses >= 64,
+        "all 64 tagged admissions routed, got {prefix:?}"
+    );
+    // … and the outage forced at least one re-materialisation beyond the
+    // eight first-sharers of batch 1.
+    assert!(
+        prefix.prefix_misses > 8,
+        "prefixes homed in the dead region re-home as misses, got {} misses",
+        prefix.prefix_misses
+    );
+}

@@ -1,6 +1,6 @@
 //! Request records.
 
-use helix_cluster::ModelId;
+use helix_cluster::{ModelId, Region};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a request within a workload.
@@ -52,6 +52,12 @@ pub struct Request {
     /// How many leading prompt tokens the shared prefix covers (0 when
     /// `prefix` is `None`; always ≤ `prompt_tokens`).
     pub prefix_tokens: usize,
+    /// The region the request prefers (user locality), if any.  A front-tier
+    /// router honours the tag while the region is healthy; untagged requests
+    /// are placed by consistent hashing.  Single-region surfaces ignore it.
+    /// (Absent in pre-region serialised workloads; missing fields
+    /// deserialise to `None`.)
+    pub region: Option<Region>,
 }
 
 impl Default for Request {
@@ -64,6 +70,7 @@ impl Default for Request {
             model: ModelId::default(),
             prefix: None,
             prefix_tokens: 0,
+            region: None,
         }
     }
 }

@@ -19,10 +19,15 @@
 //! (defaults to half the prompt when the tag is present, and is clamped to
 //! the prompt length).  Traces without these fields load exactly as before
 //! (`prefix: None`).
+//!
+//! Region tags are optional too: `region` | `zone` (a non-negative integer
+//! naming the regional cluster the request prefers, for locality-aware
+//! front-tier routing).  Traces without the field load with `region: None`
+//! and route purely by consistent hashing.
 
 use crate::request::{PrefixId, Request, RequestId};
 use crate::Workload;
-use helix_cluster::ModelId;
+use helix_cluster::{ModelId, Region};
 use std::fmt;
 use std::path::Path;
 
@@ -166,6 +171,13 @@ impl Workload {
             } else {
                 0
             };
+            let region = match ["region", "zone"].iter().find_map(|n| object.get(n)) {
+                None => None,
+                Some(v) => Some(Region(v.as_u64().ok_or_else(|| TraceError::InvalidRecord {
+                    line,
+                    message: "region/zone tag must be a non-negative integer".to_string(),
+                })? as u32)),
+            };
             requests.push(Request {
                 id: requests.len() as RequestId,
                 prompt_tokens,
@@ -174,6 +186,7 @@ impl Workload {
                 model,
                 prefix,
                 prefix_tokens,
+                region,
             });
         }
         Ok(Workload::new(requests))
@@ -253,6 +266,44 @@ mod tests {
             "{\"prompt_tokens\": 10, \"output_tokens\": 1, \"prefix\": 1, \"prefix_tokens\": -5}";
         assert!(matches!(
             Workload::from_jsonl_str(bad_len),
+            Err(TraceError::InvalidRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn region_and_zone_aliases_round_trip() {
+        use helix_cluster::Region;
+        let text = r#"
+{"arrival_time": 0.0, "prompt_tokens": 100, "output_tokens": 10, "region": 2}
+{"arrival_time": 1.0, "prompt_tokens": 100, "output_tokens": 10, "zone": 0}
+{"arrival_time": 2.0, "prompt_tokens": 40, "output_tokens": 4, "region": 1, "prefix": 7}
+{"arrival_time": 3.0, "prompt_tokens": 40, "output_tokens": 4}
+"#;
+        let w = Workload::from_jsonl_str(text).unwrap();
+        assert_eq!(w.len(), 4);
+        let r = w.requests();
+        assert_eq!(r[0].region, Some(Region(2)));
+        // `zone` aliases `region`.
+        assert_eq!(r[1].region, Some(Region(0)));
+        // Region and prefix tags compose on one record.
+        assert_eq!(r[2].region, Some(Region(1)));
+        assert_eq!(r[2].shared_prefix(), Some((PrefixId(7), 20)));
+        // Untagged records stay region-free and route by hashing alone.
+        assert_eq!(r[3].region, None);
+
+        // Serde round trip preserves region tags, and pre-region JSON (no
+        // `region` key on the request objects) still deserialises.
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, w);
+        let legacy = r#"{"requests":[{"id":0,"prompt_tokens":8,"output_tokens":2,"arrival_time":0.0,"model":0,"prefix":null,"prefix_tokens":0}]}"#;
+        let old: Workload = serde_json::from_str(legacy).unwrap();
+        assert_eq!(old.requests()[0].region, None);
+
+        // Malformed region tags are rejected with the line number.
+        let bad = "{\"prompt_tokens\": 10, \"output_tokens\": 1, \"region\": -1}";
+        assert!(matches!(
+            Workload::from_jsonl_str(bad),
             Err(TraceError::InvalidRecord { .. })
         ));
     }

@@ -12,13 +12,15 @@
 use helix::prelude::*;
 
 fn simulate(topology: &Topology, scheduler: Box<dyn Scheduler>, workload: &Workload) -> Metrics {
-    let mut sim = ClusterSimulator::new(topology, scheduler);
+    let sim = ClusterSimulator::new(topology, scheduler);
     // Admission capped below the cluster's KV budget (see §5.2): the offline
     // default of 512 concurrent conversations would saturate every KV cache.
-    sim.run(
-        workload,
+    let session = SimSession::new(
+        sim,
         SimulationConfig::offline(240.0).with_admission_limit(64),
-    )
+    );
+    let report = session.serve(workload).expect("the simulator serves");
+    report.metrics.overall
 }
 
 fn main() {

@@ -16,6 +16,10 @@
 //! * [`front`] — the [`ServingFrontEnd`](front::ServingFrontEnd) trait: one
 //!   submit → drain → finish surface over the runtime's `ServingSession`
 //!   and the simulator's `SimSession`.
+//! * [`region`] — the front tier: a
+//!   [`MultiRegionSession`](region::MultiRegionSession) routes requests
+//!   across a fleet of regional fleets with consistent hashing, prefix
+//!   affinity, heartbeat membership and cross-region rebalancing.
 //!
 //! # Quick start
 //!
@@ -55,10 +59,15 @@ pub use helix_sim as sim;
 pub use helix_workload as workload;
 
 pub mod front;
+pub mod region;
 
 /// One-stop imports for typical Helix usage.
 pub mod prelude {
     pub use crate::front::ServingFrontEnd;
+    pub use crate::region::{
+        FrontTierOptions, FrontTierStats, MultiRegionReport, MultiRegionSession, RegionReport,
+        ReportTotals,
+    };
     pub use helix_cluster::{
         ClusterBuilder, ClusterProfile, ClusterSpec, ComputeNode, GpuSpec, GpuType, ModelConfig,
         ModelId, NetworkLink, NodeId, PrefixId, Region,
@@ -68,14 +77,13 @@ pub mod prelude {
         FleetAnnealingPlanner, FleetPlacement, FleetScheduler, FleetTopology, FlowAnnealingPlanner,
         FlowGraphBuilder, HelixError, IwrrScheduler, KvCacheEstimator, LayerRange,
         MilpPlacementPlanner, MilpPlannerReport, ModelPlacement, PipelineStage, PlacementFlowGraph,
-        PlannerOptions, PrefixStats, RandomScheduler, RequestPipeline, Scheduler, SchedulerKind,
-        ShortestQueueScheduler, SwarmScheduler, Topology,
+        PlannerOptions, PrefixStats, RandomScheduler, RegionDirectory, RegionHealth, RegionRing,
+        RequestPipeline, RingOptions, Scheduler, SchedulerKind, ShortestQueueScheduler,
+        SwarmScheduler, Topology,
     };
     pub use helix_maxflow::{FlowNetwork, MaxFlowAlgorithm};
     pub use helix_milp::{MilpSolver, Model, ObjectiveSense, Sense, VarType};
-    pub use helix_runtime::{
-        RuntimeConfig, RuntimeReport, ServingBuilder, ServingRuntime, ServingSession,
-    };
+    pub use helix_runtime::{RuntimeConfig, RuntimeReport, ServingBuilder, ServingSession};
     pub use helix_sim::{
         ClusterSimulator, CompletionRecord, FleetMetrics, FleetRunReport, Metrics, SimSession,
         SimulationConfig,

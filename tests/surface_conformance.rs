@@ -487,6 +487,163 @@ fn speed_injection_is_honoured_on_both_surfaces() {
     );
 }
 
+/// Mixed multi-region batch: locality-tagged, prefix-tagged and plain
+/// requests, exercising all three tiers of the front-tier routing priority.
+fn multi_region_batch() -> Vec<Request> {
+    let mut batch = Vec::new();
+    for i in 0..8u64 {
+        batch.push(Request {
+            id: i,
+            region: Some(Region((i % 3) as u32)),
+            ..requests(1, i, ModelId(0))[0]
+        });
+    }
+    for i in 8..16u64 {
+        batch.push(Request {
+            id: i,
+            prefix: Some(PrefixId(i % 2)),
+            prefix_tokens: 16,
+            ..requests(1, i, ModelId(0))[0]
+        });
+    }
+    for i in 16..24u64 {
+        batch.push(requests(1, i, ModelId(0))[0]);
+    }
+    batch
+}
+
+fn front_tier<F: ServingFrontEnd>(backends: Vec<F>) -> MultiRegionSession<F> {
+    MultiRegionSession::new(
+        backends
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| (Region(i as u32), f))
+            .collect(),
+    )
+}
+
+#[test]
+fn multi_region_front_tier_conforms_across_surfaces() {
+    let profile = profile_13b();
+    let placement = chain_placement(&profile);
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    let batch = multi_region_batch();
+    let workload = Workload::new(batch.clone());
+
+    let sim_report = front_tier(vec![
+        sim_session(&topology),
+        sim_session(&topology),
+        sim_session(&topology),
+    ])
+    .serve(&workload)
+    .expect("the simulator tier serves the batch");
+    let runtime_report = front_tier(vec![
+        runtime_session(&topology),
+        runtime_session(&topology),
+        runtime_session(&topology),
+    ])
+    .serve(&workload)
+    .expect("the runtime tier serves the batch");
+
+    // The front tier's routing is deterministic and surface-independent:
+    // both tiers hand every region the identical share, counted identically.
+    assert_eq!(sim_report.stats, runtime_report.stats);
+    assert_eq!(sim_report.stats.total_routed(), batch.len() as u64);
+    assert!(sim_report.stats.locality_routes == 8);
+    assert!(sim_report.stats.affinity_hits + sim_report.stats.affinity_misses == 8);
+    assert!(sim_report.stats.affinity_hit_rate() > 0.0);
+
+    // Every region completed exactly what it was handed, on both surfaces,
+    // and the per-region totals agree across surfaces.
+    assert_eq!(sim_report.completed_requests(), batch.len() as u64);
+    assert_eq!(runtime_report.completed_requests(), batch.len() as u64);
+    for (sim_region, runtime_region) in sim_report.regions.iter().zip(&runtime_report.regions) {
+        assert_eq!(sim_region.region, runtime_region.region);
+        assert_eq!(sim_region.submitted, runtime_region.submitted);
+        assert_eq!(
+            sim_region.report.completed_requests(),
+            sim_region.submitted,
+            "simulator {} completes its share",
+            sim_region.region
+        );
+        assert_eq!(
+            runtime_region.report.completed_requests(),
+            runtime_region.submitted,
+            "runtime {} completes its share",
+            runtime_region.region
+        );
+    }
+    assert_eq!(
+        sim_report.completed_by_region(),
+        runtime_report.completed_by_region()
+    );
+    // Both surfaces generated every requested output token.
+    assert_eq!(sim_report.decode_tokens(), runtime_report.decode_tokens());
+}
+
+#[test]
+fn region_outage_mid_run_loses_zero_completions_on_both_surfaces() {
+    let profile = profile_13b();
+    let placement = chain_placement(&profile);
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    let batch = multi_region_batch();
+
+    // Generic scenario: everything submitted, then one region dies before
+    // anything was forwarded to it — its buffer must re-route losslessly.
+    fn run<F: ServingFrontEnd>(
+        mut tier: MultiRegionSession<F>,
+        batch: &[Request],
+    ) -> MultiRegionReport<F::Report> {
+        for request in batch {
+            tier.submit(*request);
+        }
+        assert!(tier.pending_in(Region(1)) > 0);
+        tier.mark_down(Region(1));
+        assert_eq!(tier.pending_in(Region(1)), 0);
+        tier.finish().expect("the degraded tier finishes")
+    }
+
+    let sim_report = run(
+        front_tier(vec![
+            sim_session(&topology),
+            sim_session(&topology),
+            sim_session(&topology),
+        ]),
+        &batch,
+    );
+    let runtime_report = run(
+        front_tier(vec![
+            runtime_session(&topology),
+            runtime_session(&topology),
+            runtime_session(&topology),
+        ]),
+        &batch,
+    );
+
+    for report in [&sim_report.stats, &runtime_report.stats] {
+        assert!(report.reroutes > 0, "the dead region's buffer moved");
+        assert_eq!(report.total_routed(), batch.len() as u64);
+        assert_eq!(*report.routed.get(&Region(1)).unwrap_or(&0), 0);
+    }
+    assert_eq!(sim_report.stats, runtime_report.stats);
+    // Zero completions lost on either surface; the dead region served none.
+    assert_eq!(sim_report.completed_requests(), batch.len() as u64);
+    assert_eq!(runtime_report.completed_requests(), batch.len() as u64);
+    assert_eq!(sim_report.region(Region(1)).unwrap().submitted, 0);
+    assert_eq!(
+        sim_report
+            .region(Region(1))
+            .unwrap()
+            .report
+            .completed_requests(),
+        0
+    );
+    assert_eq!(
+        sim_report.completed_by_region(),
+        runtime_report.completed_by_region()
+    );
+}
+
 #[test]
 fn drain_then_submit_is_served_and_reports_stay_monotonic() {
     let profile = profile_13b();
