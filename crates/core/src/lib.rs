@@ -70,6 +70,7 @@ pub mod error;
 pub mod exec_model;
 pub mod fleet;
 pub mod flow_graph;
+pub mod ha;
 pub mod placement;
 pub mod region;
 pub mod replan;
@@ -83,6 +84,10 @@ pub use fleet::{
     FleetTopology,
 };
 pub use flow_graph::{Endpoint, FlowGraphBuilder, PlacementFlowGraph};
+pub use ha::{
+    select_standby, FailoverRecord, NodeDirectory, ReplicaTracker, ReplicationPolicy,
+    ReplicationStats, REPLICA_CHUNK_PAGES,
+};
 pub use placement::heuristics;
 pub use placement::hierarchical::{
     HierarchicalFleetPlanner, HierarchicalOptions, HierarchicalPlan,

@@ -136,17 +136,28 @@ impl RegionDirectory {
     }
 
     /// Registers (or re-registers) a region, counting as a heartbeat at
-    /// `now`.  Re-registration clears any operator override — a region that
-    /// comes back and announces itself starts Healthy.
+    /// `now`.  Re-registration of a known region keeps any operator
+    /// override in force — a flapping region that re-announces itself must
+    /// not silently escape a planned drain ([`mark_down`](Self::mark_down)'s
+    /// contract); only an explicit [`mark_healthy`](Self::mark_healthy)
+    /// clears the hold.
     pub fn register(&mut self, info: RegionInfo, now: f64) {
-        self.entries.insert(
-            info.region,
-            RegionEntry {
-                info,
-                last_heartbeat: now,
-                forced: None,
-            },
-        );
+        match self.entries.get_mut(&info.region) {
+            Some(entry) => {
+                entry.info = info;
+                entry.last_heartbeat = entry.last_heartbeat.max(now);
+            }
+            None => {
+                self.entries.insert(
+                    info.region,
+                    RegionEntry {
+                        info,
+                        last_heartbeat: now,
+                        forced: None,
+                    },
+                );
+            }
+        }
     }
 
     /// Removes a region from the table entirely.
@@ -310,13 +321,45 @@ mod tests {
             weights,
             vec![(Region(0), 1.0), (Region(1), 0.25), (Region(2), 0.0)]
         );
-        // mark_healthy clears the hold; re-registration does too.
+        // Only mark_healthy clears the hold; re-registration does not.
         d.mark_healthy(Region(1), 2.0);
         assert_eq!(d.health(Region(1), 2.0), RegionHealth::Healthy);
         d.register(RegionInfo::new(Region(2)), 2.0);
+        assert_eq!(d.health(Region(2), 2.0), RegionHealth::Down);
+        d.mark_healthy(Region(2), 2.0);
         assert_eq!(d.health(Region(2), 2.0), RegionHealth::Healthy);
         d.deregister(Region(2));
         assert_eq!(d.health(Region(2), 2.0), RegionHealth::Down);
+    }
+
+    #[test]
+    fn flapping_region_cannot_escape_a_planned_drain_by_re_registering() {
+        let mut d = directory();
+        // Operator drains region 1; the region then flaps — crashes, comes
+        // back, and re-registers as if nothing happened.
+        d.mark_down(Region(1));
+        assert_eq!(d.health(Region(1), 0.0), RegionHealth::Down);
+        for t in [5.0, 10.0, 15.0] {
+            d.register(RegionInfo::new(Region(1)), t);
+            d.heartbeat(Region(1), t);
+            assert_eq!(
+                d.health(Region(1), t),
+                RegionHealth::Down,
+                "re-registration at t={t} must not clear the operator hold"
+            );
+            assert!(!d.routable_regions(t).contains(&Region(1)));
+        }
+        // Re-registration still refreshes the announcement and heartbeat, so
+        // lifting the hold restores Healthy immediately (no decay window).
+        let mut info = RegionInfo::new(Region(1));
+        info.nodes = 8;
+        d.register(info, 20.0);
+        d.mark_healthy(Region(1), 20.0);
+        assert_eq!(d.health(Region(1), 20.0), RegionHealth::Healthy);
+        assert_eq!(
+            d.regions().find(|i| i.region == Region(1)).unwrap().nodes,
+            8
+        );
     }
 
     #[test]

@@ -542,6 +542,12 @@ pub enum ReplanReason {
         /// The failed region.
         region: helix_cluster::Region,
     },
+    /// A previously failed node came back (flap rejoin / partition heal);
+    /// the re-plan handed its pre-failure layer ranges back to it.
+    NodeRejoin {
+        /// The rejoining node.
+        node: NodeId,
+    },
     /// The caller requested the re-plan explicitly.
     Manual,
 }

@@ -33,11 +33,13 @@ use crate::message::{Envelope, Phase, RuntimeMsg, StageWork};
 use crate::metrics::RequestOutcome;
 use crate::registry::{WorkerKey, WorkerRegistry, WorkerSpawner};
 use helix_cluster::{ModelId, NodeId, TOKEN_WIRE_BYTES};
+use helix_core::exec_model::DEFAULT_TOKENS_PER_PAGE;
 use helix_core::{
-    ClusterState, EngineCounters, FleetTopology, HelixError, IwrrScheduler, KvCacheEstimator,
-    KvMigration, KvTransferRecord, LayerRange, NodeObservations, ObservationWindows,
-    PlacementDelta, PrefixRoute, PrefixRouter, PrefixStats, PrefixWork, ReplanPolicy, ReplanReason,
-    ReplanRecord, RequestPipeline, Scheduler,
+    select_standby, ClusterState, EngineCounters, FailoverRecord, FleetTopology, HelixError,
+    IwrrScheduler, KvCacheEstimator, KvMigration, KvTransferModel, KvTransferRecord, LayerRange,
+    NodeDirectory, NodeObservations, ObservationWindows, PlacementDelta, PrefixRoute, PrefixRouter,
+    PrefixStats, PrefixWork, ReplanPolicy, ReplanReason, ReplanRecord, ReplicaTracker,
+    ReplicationPolicy, ReplicationStats, RequestPipeline, Scheduler,
 };
 use helix_workload::{Request, RequestId, Workload};
 use minirt::channel::{Receiver, Sender, TryRecvError};
@@ -73,10 +75,29 @@ pub(crate) enum SessionControl {
     ApplyDelta(PlacementDelta),
     /// Retire a worker that the active plan no longer schedules onto.
     Retire(NodeId, ModelId),
+    /// Fail a node at the given virtual time: detach its workers, promote
+    /// replicated in-flight pipelines onto their standbys (or abort and
+    /// re-admit), and re-plan around the hole.
+    FailNode(NodeId, f64),
+    /// Install the replication policy governing subsequently admitted
+    /// requests (already-running requests keep their admission-time
+    /// decision).
+    SetReplication(ReplicationPolicy),
     /// Complete everything submitted so far, then acknowledge.
     Drain(Sender<()>),
     /// Drain and exit the live loop.
     Finish,
+}
+
+/// Everything a finished coordinator hands to the report besides the
+/// outcomes themselves.
+#[derive(Default)]
+pub(crate) struct CoordinatorArtifacts {
+    pub replans: Vec<ReplanRecord>,
+    pub kv_transfers: Vec<KvTransferRecord>,
+    pub prefix: PrefixStats,
+    pub failovers: Vec<FailoverRecord>,
+    pub replication: ReplicationStats,
 }
 
 /// Everything the coordinator needs to run.
@@ -161,7 +182,14 @@ struct InFlight {
     request: Request,
     pipeline: Arc<RequestPipeline>,
     first_token_at: Option<f64>,
-    decode_remaining: usize,
+    /// Tokens generated so far (one per completed pipeline pass); the
+    /// request finishes when this reaches `output_tokens`.  A promoted
+    /// incarnation carries the count across the fail-over.
+    generated: usize,
+    /// The incarnation the in-flight pipeline belongs to; iteration reports
+    /// carrying an older epoch are stale (pre-failure work still draining
+    /// through surviving stages) and are dropped.
+    epoch: u64,
     /// The shared-prefix reference this admission holds, released (estimator
     /// refcounts and router home) when the request finishes.
     prefix: Option<PrefixWork>,
@@ -197,6 +225,21 @@ pub(crate) struct Coordinator {
     kv_transfers: Vec<KvTransferRecord>,
     /// Live-mode completion stream (None in batch mode).
     completions: Option<Sender<RequestOutcome>>,
+    /// The replication policy applied at admission (disabled by default).
+    replication: ReplicationPolicy,
+    /// Per-request standby maps and durable-token progress.
+    replica_tracker: ReplicaTracker,
+    /// One record per fail-over the run handled.
+    failovers: Vec<FailoverRecord>,
+    /// Node-level membership health (heartbeats from live worker stats).
+    node_health: NodeDirectory,
+    /// Nodes that failed this run; excluded from standby selection.
+    failed_nodes: HashSet<NodeId>,
+    /// Per-request incarnation counters, bumped on each promotion or
+    /// abort-and-readmit.
+    epochs: HashMap<RequestId, u64>,
+    /// Injected failures not yet due: `(virtual time, node)`.
+    pending_failures: Vec<(f64, NodeId)>,
 }
 
 impl Coordinator {
@@ -209,6 +252,14 @@ impl Coordinator {
         let prefix_routers = (0..spec.schedulers.len())
             .map(|_| PrefixRouter::new())
             .collect();
+        let mut node_health = NodeDirectory::default();
+        for m in 0..spec.fleet.num_models() {
+            if let Some(topology) = spec.fleet.model(ModelId(m)) {
+                for n in topology.nodes() {
+                    node_health.register(n.node, 0.0);
+                }
+            }
+        }
         Coordinator {
             schedulers: spec.schedulers,
             prefix_routers,
@@ -234,6 +285,25 @@ impl Coordinator {
             deferred_swaps: HashMap::new(),
             kv_transfers: Vec::new(),
             completions: None,
+            replication: ReplicationPolicy::disabled(),
+            replica_tracker: ReplicaTracker::new(),
+            failovers: Vec::new(),
+            node_health,
+            failed_nodes: HashSet::new(),
+            epochs: HashMap::new(),
+            pending_failures: Vec::new(),
+        }
+    }
+
+    /// Everything the run accumulated besides the outcomes, taken once the
+    /// loop ends and threaded into the final report.
+    pub(crate) fn take_artifacts(&mut self) -> CoordinatorArtifacts {
+        CoordinatorArtifacts {
+            replans: self.take_replans(),
+            kv_transfers: self.take_kv_transfers(),
+            prefix: self.take_prefix_stats(),
+            failovers: std::mem::take(&mut self.failovers),
+            replication: self.replica_tracker.take_stats(),
         }
     }
 
@@ -375,6 +445,12 @@ impl Coordinator {
                     Ok(SessionControl::Retire(node, model)) => {
                         self.request_retirement(node, model);
                     }
+                    Ok(SessionControl::FailNode(node, at)) => {
+                        self.pending_failures.push((at, node));
+                    }
+                    Ok(SessionControl::SetReplication(policy)) => {
+                        self.replication = policy;
+                    }
                     Ok(SessionControl::Drain(ack)) => drain_acks.push(ack),
                     Ok(SessionControl::Finish) => finishing = true,
                     Err(TryRecvError::Empty) => break,
@@ -402,9 +478,32 @@ impl Coordinator {
                 drain_started = None;
             }
 
-            // 3. Admit every request whose arrival time has passed, in
-            // submission order.
+            // 3. Fire injected node failures whose virtual time has passed:
+            // promote replicated in-flight pipelines, abort the rest and
+            // queue them for re-admission through the normal path.
             let now = self.clock.now();
+            if self.pending_failures.iter().any(|&(at, _)| at <= now) {
+                let due: Vec<NodeId> = {
+                    let mut due = Vec::new();
+                    self.pending_failures.retain(|&(at, node)| {
+                        if at <= now {
+                            due.push(node);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    due
+                };
+                for node in due {
+                    for request in self.fail_node(node)? {
+                        pending.push_back(request);
+                    }
+                }
+            }
+
+            // 4. Admit every request whose arrival time has passed, in
+            // submission order.
             for _ in 0..pending.len() {
                 let request = pending.pop_front().expect("bounded by len");
                 if request.arrival_time <= now {
@@ -415,21 +514,30 @@ impl Coordinator {
                     pending.push_back(request);
                 }
             }
-            // 4. Retry requests every candidate masked out earlier.
+            // 5. Retry requests every candidate masked out earlier.
             for _ in 0..deferred.len() {
                 let request = deferred.pop_front().expect("bounded by len");
                 if !self.try_dispatch(request)? {
                     deferred.push_back(request);
                 }
             }
-            if draining && !deferred.is_empty() && self.in_flight.is_empty() {
+            // Deferred work is only genuinely stuck when nothing can still
+            // unmask a candidate: an in-flight completion frees KV, a landed
+            // transfer lifts its freeze, and a due failure re-plans — so a
+            // pending migration or failure postpones the stall verdict.
+            if draining
+                && !deferred.is_empty()
+                && self.in_flight.is_empty()
+                && self.pending_migrations.is_empty()
+                && self.pending_failures.is_empty()
+            {
                 return Err(RuntimeError::Stalled {
                     pending: deferred.len() + pending.len(),
                     completed: self.outcomes.len(),
                 });
             }
 
-            // 5. Acknowledge drains once everything in sight completed —
+            // 6. Acknowledge drains once everything in sight completed —
             // including any KV hand-over still in flight (its frozen workers
             // resume before the drain resolves).
             if draining
@@ -437,6 +545,7 @@ impl Coordinator {
                 && deferred.is_empty()
                 && self.in_flight.is_empty()
                 && self.pending_migrations.is_empty()
+                && self.pending_failures.is_empty()
             {
                 for ack in drain_acks.drain(..) {
                     let _ = ack.send(());
@@ -446,14 +555,16 @@ impl Coordinator {
                 }
             }
 
-            // 6. Wait for worker events on the channel's waker.  A control
+            // 7. Wait for worker events on the channel's waker.  A control
             // message wakes this wait immediately (the session pings the
             // inbound channel after queueing one); deadlines exist only to
-            // pace deferred arrivals, policy ticks and the drain budget —
-            // a fully idle session waits with *no* deadline at all.
+            // pace deferred arrivals, injected failures, policy ticks and
+            // the drain budget — a fully idle session waits with *no*
+            // deadline at all.
             let next_arrival = pending
                 .iter()
                 .map(|r| r.arrival_time)
+                .chain(self.pending_failures.iter().map(|&(at, _)| at))
                 .fold(f64::INFINITY, f64::min);
             let mut deadline: Option<Instant> = None;
             if next_arrival.is_finite() {
@@ -482,7 +593,7 @@ impl Coordinator {
                 self.handle_inbound(msg)?;
             }
 
-            // 7. Observe, consult the policy, re-plan, hand over.
+            // 8. Observe, consult the policy, re-plan, hand over.
             self.maybe_replan();
         }
         Ok(std::mem::take(&mut self.outcomes))
@@ -517,6 +628,10 @@ impl Coordinator {
 
         let mut observed = NodeObservations::new();
         for ((node, model), stats) in self.registry.live_stats_snapshot() {
+            // A worker whose stats are still readable is alive: node-level
+            // membership decays from these heartbeats exactly as region
+            // membership decays from region heartbeats.
+            self.node_health.heartbeat(node, now);
             self.control.windows.measure(
                 &mut observed,
                 node,
@@ -767,6 +882,21 @@ impl Coordinator {
             Err(HelixError::NoCandidateAvailable { .. }) => return Ok(false),
             Err(e) => return Err(e.into()),
         };
+        // When the re-plan around a failed node was infeasible the scheduler
+        // keeps serving the old plan, which may still route across the hole;
+        // defer those admissions until a live pipeline comes up in rotation.
+        // Prefix hits never land here — `fail_node` evicts the failed node
+        // from every router before any post-failure admission.
+        let hit = prefix_work.is_some_and(|p| p.hit);
+        if !hit
+            && !self.failed_nodes.is_empty()
+            && pipeline
+                .stages
+                .iter()
+                .any(|stage| self.failed_nodes.contains(&stage.node))
+        {
+            return Ok(false);
+        }
         match prefix_work {
             // A miss materialises the prefix: the scheduled pipeline becomes
             // its home for later sharers.
@@ -800,6 +930,7 @@ impl Coordinator {
             _ => request.prompt_tokens.max(1),
         };
         let first = pipeline.stages[0].node;
+        let epoch = self.epochs.get(&request.id).copied().unwrap_or(0);
         self.send(Envelope {
             from: None,
             to: Some(first),
@@ -810,8 +941,309 @@ impl Coordinator {
                 phase: Phase::Prompt,
                 tokens: prefill_tokens,
                 stage_index: 0,
+                epoch,
                 pipeline: Arc::clone(&pipeline),
                 prefix: prefix_work,
+            }),
+        })?;
+        self.begin_replication(request.id, &pipeline, request.output_tokens);
+        self.in_flight.insert(
+            request.id,
+            InFlight {
+                request,
+                pipeline,
+                first_token_at: None,
+                generated: 0,
+                epoch,
+                prefix: prefix_work,
+            },
+        );
+        Ok(true)
+    }
+
+    /// Starts replication tracking for a newly admitted request when the
+    /// policy marks it hot *and* every pipeline stage has a live standby
+    /// whose layer range covers it; otherwise the request runs unreplicated
+    /// and a failure falls back to abort-and-readmit.  Promoted incarnations
+    /// are not re-tracked — the replication factor applies from admission.
+    fn begin_replication(
+        &mut self,
+        request: RequestId,
+        pipeline: &Arc<RequestPipeline>,
+        output_tokens: usize,
+    ) {
+        if !self.replication.replicates(output_tokens) {
+            return;
+        }
+        let model = pipeline.model;
+        let Some(topology) = self.control.fleet.model(model) else {
+            return;
+        };
+        let candidates: Vec<(NodeId, LayerRange)> = topology
+            .nodes()
+            .filter(|n| !self.failed_nodes.contains(&n.node))
+            .map(|n| (n.node, n.layers))
+            .collect();
+        let mut standbys = Vec::with_capacity(pipeline.stages.len());
+        for stage in &pipeline.stages {
+            match select_standby(stage.node, stage.layers, &candidates) {
+                Some(standby) => standbys.push((stage.node, standby)),
+                None => return,
+            }
+        }
+        self.replica_tracker.begin(request, standbys);
+    }
+
+    /// Ships one replication milestone: the newly durable token delta (if
+    /// the chunk boundary was crossed, or the prompt just completed) travels
+    /// from every primary stage to its standby as a non-final
+    /// [`RuntimeMsg::KvChunk`], priced by the shared [`KvTransferModel`],
+    /// and the standby workers seed the durable tokens as KV residency —
+    /// replication steals link bandwidth and KV headroom, which is exactly
+    /// the trade-off measured.
+    fn trickle_replication(
+        &mut self,
+        request: RequestId,
+        model: ModelId,
+        total_tokens: usize,
+        pipeline: &Arc<RequestPipeline>,
+        force: bool,
+    ) {
+        let delta = self.replica_tracker.record_progress(
+            request,
+            total_tokens,
+            self.replication.chunk_tokens,
+            force,
+        );
+        if delta == 0 {
+            return;
+        }
+        let durable = self.replica_tracker.replicated_tokens(request);
+        let standbys: Vec<(NodeId, NodeId)> = self.replica_tracker.standbys(request).to_vec();
+        let transfer = KvTransferModel::new(
+            self.control.fleet.profiles()[model.index()]
+                .model()
+                .kv_bytes_per_token_per_layer(),
+            DEFAULT_TOKENS_PER_PAGE,
+        );
+        for (i, &(primary, standby)) in standbys.iter().enumerate() {
+            let layers = pipeline
+                .stages
+                .get(i)
+                .map(|s| s.layers)
+                .unwrap_or(LayerRange::new(0, 1));
+            let bytes = transfer.bytes(delta as f64, layers.len());
+            self.replica_tracker.record_bytes(bytes);
+            let _ = self.send(Envelope {
+                from: Some(primary),
+                to: Some(standby),
+                model,
+                bytes,
+                msg: RuntimeMsg::KvChunk {
+                    from: primary,
+                    layers,
+                    entries: vec![(request, durable)],
+                    prefix_entries: Vec::new(),
+                    tokens: delta as u64,
+                    pages: transfer.pages(delta as f64),
+                    bytes,
+                    last: false,
+                },
+            });
+        }
+    }
+
+    /// Fails one node: marks it down, detaches its workers, promotes every
+    /// replicated in-flight pipeline that crossed it onto its standbys
+    /// (resuming from the last replicated chunk with bounded token loss),
+    /// aborts the rest, and re-plans around the hole.  Returns the aborted
+    /// requests for re-admission through the normal path.
+    fn fail_node(&mut self, node: NodeId) -> Result<Vec<Request>, RuntimeError> {
+        let now = self.clock.now();
+        self.failed_nodes.insert(node);
+        self.node_health.mark_down(node);
+        // Dead pipelines must not stay prefix homes.  The re-plan below
+        // clears routers only when it succeeds; when removing the node is
+        // infeasible (it was load-bearing) the old plan keeps serving, so
+        // evict exactly the homes that crossed the dead node — otherwise
+        // later sharers would "hit" a pipeline that no longer executes.
+        for router in &mut self.prefix_routers {
+            router.evict_node(node);
+        }
+        // Detach the node's workers now: their in-flight work is lost, and
+        // messages routed to them from here on drop harmlessly.
+        for m in 0..self.control.fleet.num_models() {
+            let key = (node, ModelId(m));
+            self.pending_retire.remove(&key);
+            if self.registry.is_live(key) {
+                self.registry.detach(key);
+            }
+        }
+        let mut doomed: Vec<RequestId> = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| f.pipeline.stages.iter().any(|s| s.node == node))
+            .map(|(&id, _)| id)
+            .collect();
+        // Deterministic fail-over order (map iteration order is not).
+        doomed.sort_unstable();
+        let mut record = FailoverRecord {
+            at: now,
+            node,
+            promoted: Vec::new(),
+            aborted: Vec::new(),
+            tokens_recomputed: 0,
+            abort_recompute_tokens: 0,
+            replica_tokens_used: 0,
+        };
+        let mut readmit = Vec::new();
+        for id in doomed {
+            let flight = self.in_flight.remove(&id).expect("listed above");
+            let model = flight.pipeline.model;
+            for stage in &flight.pipeline.stages {
+                self.estimators[model.index()].on_finished(stage.node, id, flight.generated);
+                if let Some(p) = flight.prefix {
+                    self.estimators[model.index()].release_shared(stage.node, p.id);
+                }
+            }
+            if let Some(p) = flight.prefix {
+                self.prefix_routers[model.index()].release(p.id);
+            }
+            // Purge the stranded incarnation's KV on *every* live worker of
+            // its model: pipeline nodes, migration destinations seeded with
+            // its pages, and replica standbys (a promoted request re-seeds
+            // its surviving tokens below).  Entries are keyed by request id,
+            // so other requests are untouched.
+            for (n, _) in self.registry.live_keys_for_model(model) {
+                self.send(Envelope {
+                    from: None,
+                    to: Some(n),
+                    model,
+                    bytes: TOKEN_WIRE_BYTES,
+                    msg: RuntimeMsg::Release(id),
+                })?;
+            }
+            let epoch = self.epochs.entry(id).or_insert(0);
+            *epoch += 1;
+            let epoch = *epoch;
+            // Fail-over: a replicated request promotes its standbys and
+            // resumes from the last replicated chunk — only the tokens
+            // decoded since then are recomputed.  Without a (live) replica
+            // it falls back to abort-and-readmit from token zero.
+            let total = flight.request.prompt_tokens + flight.generated;
+            match self.promote_pipeline(id, &flight.pipeline, node) {
+                Some(promoted) => {
+                    let resume = self.replica_tracker.replicated_tokens(id).min(total);
+                    record.promoted.push(id);
+                    record.tokens_recomputed += total.saturating_sub(resume) as u64;
+                    record.abort_recompute_tokens += total as u64;
+                    record.replica_tokens_used += resume as u64;
+                    self.resume_promoted(&flight, promoted, resume, epoch)?;
+                }
+                None => {
+                    record.aborted.push(id);
+                    record.tokens_recomputed += total as u64;
+                    record.abort_recompute_tokens += total as u64;
+                    readmit.push(flight.request);
+                }
+            }
+            self.replica_tracker.finish(id);
+        }
+        self.failovers.push(record);
+        // Structural change: re-plan immediately with a removal delta,
+        // keeping whatever observations are already priced in.
+        let delta = PlacementDelta::new().remove_node(node, self.control.fleet.num_models());
+        let observed = self.control.fleet.observations().clone();
+        self.apply_replan(&delta, &observed, ReplanReason::NodeFailure { node }, now);
+        self.sweep_retirements();
+        Ok(readmit)
+    }
+
+    /// Builds the promoted pipeline for `request`: every stage on the node
+    /// failing *now* is substituted by its standby.  `None` — untracked
+    /// request, no standby for a failed stage, or a standby that is itself
+    /// dead — falls back to abort-and-readmit.
+    fn promote_pipeline(
+        &self,
+        request: RequestId,
+        pipeline: &Arc<RequestPipeline>,
+        failed_now: NodeId,
+    ) -> Option<RequestPipeline> {
+        if !self.replica_tracker.is_tracked(request) {
+            return None;
+        }
+        let standbys = self.replica_tracker.standbys(request);
+        let mut promoted = (**pipeline).clone();
+        for stage in &mut promoted.stages {
+            if stage.node == failed_now {
+                let standby = standbys
+                    .iter()
+                    .find(|&&(primary, _)| primary == stage.node)
+                    .map(|&(_, s)| s)?;
+                if self.failed_nodes.contains(&standby)
+                    || !self.registry.is_live((standby, pipeline.model))
+                {
+                    return None;
+                }
+                stage.node = standby;
+            }
+        }
+        Some(promoted)
+    }
+
+    /// Re-routes one promoted request onto its replica pipeline: re-seeds
+    /// the surviving replicated tokens on every promoted stage (the purge
+    /// above released them; per-link FIFO delivers the purge first), then
+    /// dispatches a prompt-phase recompute of only the tokens decoded since
+    /// the last replicated chunk.  The request keeps its arrival time,
+    /// first-token time and decode progress across the fail-over.
+    fn resume_promoted(
+        &mut self,
+        flight: &InFlight,
+        promoted: RequestPipeline,
+        resume_tokens: usize,
+        epoch: u64,
+    ) -> Result<(), RuntimeError> {
+        let request = flight.request;
+        let model = promoted.model;
+        let total = request.prompt_tokens + flight.generated;
+        let recompute = total.saturating_sub(resume_tokens).max(1);
+        let pipeline = Arc::new(promoted);
+        for stage in &pipeline.stages {
+            self.estimators[model.index()].on_scheduled(stage.node, request.id, total);
+            if resume_tokens > 0 {
+                let _ = self.send(Envelope {
+                    from: None,
+                    to: Some(stage.node),
+                    model,
+                    bytes: TOKEN_WIRE_BYTES,
+                    msg: RuntimeMsg::KvChunk {
+                        from: stage.node,
+                        layers: stage.layers,
+                        entries: vec![(request.id, resume_tokens)],
+                        prefix_entries: Vec::new(),
+                        tokens: resume_tokens as u64,
+                        pages: 0,
+                        bytes: 0.0,
+                        last: false,
+                    },
+                });
+            }
+        }
+        let first = pipeline.stages[0].node;
+        self.send(Envelope {
+            from: None,
+            to: Some(first),
+            model,
+            bytes: TOKEN_WIRE_BYTES * recompute as f64,
+            msg: RuntimeMsg::Work(StageWork {
+                request: request.id,
+                phase: Phase::Prompt,
+                tokens: recompute,
+                stage_index: 0,
+                epoch,
+                pipeline: Arc::clone(&pipeline),
+                prefix: None,
             }),
         })?;
         self.in_flight.insert(
@@ -819,12 +1251,13 @@ impl Coordinator {
             InFlight {
                 request,
                 pipeline,
-                first_token_at: None,
-                decode_remaining: 0,
-                prefix: prefix_work,
+                first_token_at: flight.first_token_at,
+                generated: flight.generated,
+                epoch,
+                prefix: None,
             },
         );
-        Ok(true)
+        Ok(())
     }
 
     fn handle_inbound(&mut self, msg: CoordinatorMsg) -> Result<(), RuntimeError> {
@@ -840,6 +1273,7 @@ impl Coordinator {
             request,
             phase,
             emitted_at,
+            epoch,
         } = msg
         else {
             if let RuntimeMsg::KvInstalled {
@@ -860,23 +1294,31 @@ impl Coordinator {
         let Some(flight) = self.in_flight.get_mut(&request) else {
             return Ok(());
         };
-        let finished = match phase {
-            Phase::Prompt => {
-                flight.first_token_at = Some(emitted_at);
-                flight.decode_remaining = flight.request.output_tokens.saturating_sub(1);
-                flight.decode_remaining == 0
-            }
-            Phase::Decode => {
-                flight.decode_remaining = flight.decode_remaining.saturating_sub(1);
-                flight.decode_remaining == 0
-            }
-        };
-        if finished {
+        // Stale incarnation: pre-failure work was still draining through
+        // surviving stages when the request was promoted or re-admitted.
+        if epoch != flight.epoch {
+            return Ok(());
+        }
+        let was_first = flight.first_token_at.is_none();
+        if phase == Phase::Prompt {
+            flight.first_token_at.get_or_insert(emitted_at);
+        }
+        flight.generated += 1;
+        if flight.generated >= flight.request.output_tokens {
             self.finish(request, emitted_at)
         } else {
             let pipeline = Arc::clone(&flight.pipeline);
+            let total = flight.request.prompt_tokens + flight.generated;
             let first = pipeline.stages[0].node;
             let model = pipeline.model;
+            // Trickle KV replication as decode proceeds: prompt completion
+            // (the first token) force-replicates everything cached so far,
+            // then whole chunks ship at every chunk boundary, per stage,
+            // over the primary→standby links like any other transfer.
+            if self.replica_tracker.is_tracked(request) {
+                let force = phase == Phase::Prompt && was_first;
+                self.trickle_replication(request, model, total, &pipeline, force);
+            }
             self.send(Envelope {
                 from: None,
                 to: Some(first),
@@ -887,6 +1329,7 @@ impl Coordinator {
                     phase: Phase::Decode,
                     tokens: 1,
                     stage_index: 0,
+                    epoch,
                     pipeline,
                     prefix: None,
                 }),
@@ -960,7 +1403,21 @@ impl Coordinator {
             .any(|&(pending, _)| pending.model == model)
         {
             if let Some(scheduler) = self.deferred_swaps.remove(&model.index()) {
-                self.schedulers[model.index()] = scheduler;
+                // A node failure may have re-planned while this transfer was
+                // in flight; the snapshot built at freeze time would
+                // resurrect routes through nodes that died since.  Re-derive
+                // the weights from the fleet as it stands now, falling back
+                // to the snapshot only when the current topology cannot seed
+                // an IWRR.
+                let fresh = self
+                    .control
+                    .fleet
+                    .model(model)
+                    .and_then(|topology| IwrrScheduler::from_topology(topology).ok());
+                self.schedulers[model.index()] = match fresh {
+                    Some(current) => Box::new(current),
+                    None => scheduler,
+                };
             }
         }
         self.thaw_endpoint((from, model), layers);
@@ -987,10 +1444,15 @@ impl Coordinator {
         if let Some(p) = flight.prefix {
             self.prefix_routers[model.index()].release(p.id);
         }
-        for stage in &flight.pipeline.stages {
+        self.replica_tracker.finish(request);
+        // Release the request's KV on *every* live worker of its model, not
+        // only its pipeline nodes: migrations seed destination workers and
+        // replication seeds standbys, and all those copies are keyed by this
+        // request id.
+        for (node, _) in self.registry.live_keys_for_model(model) {
             self.send(Envelope {
                 from: None,
-                to: Some(stage.node),
+                to: Some(node),
                 model,
                 bytes: TOKEN_WIRE_BYTES,
                 msg: RuntimeMsg::Release(request),

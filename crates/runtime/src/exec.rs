@@ -82,6 +82,7 @@ mod tests {
             phase,
             tokens,
             stage_index: 0,
+            epoch: 0,
             pipeline: Arc::new(RequestPipeline {
                 model: helix_cluster::ModelId::default(),
                 stages: vec![PipelineStage {

@@ -270,6 +270,7 @@ mod tests {
                 request: 1,
                 phase: Phase::Decode,
                 emitted_at: 0.0,
+                epoch: 0,
             },
         }
     }

@@ -31,6 +31,11 @@ pub struct StageWork {
     pub tokens: usize,
     /// Index into `pipeline.stages` of the stage this work belongs to.
     pub stage_index: usize,
+    /// The request's incarnation: bumped by the fail-over controller each
+    /// time the request is promoted onto a replica pipeline or aborted and
+    /// re-admitted, so iteration reports from a pre-failure pipeline that
+    /// was still draining through surviving stages are recognisably stale.
+    pub epoch: u64,
     /// The per-request pipeline assigned by the coordinator on arrival; decode
     /// iterations reuse it unchanged (paper §5.1).
     pub pipeline: Arc<RequestPipeline>,
@@ -96,6 +101,10 @@ pub enum RuntimeMsg {
         phase: Phase,
         /// Virtual time at which the last stage finished.
         emitted_at: f64,
+        /// The incarnation of the pipeline that executed the iteration; the
+        /// coordinator drops reports whose epoch is stale (the request was
+        /// promoted or re-admitted since the work was dispatched).
+        epoch: u64,
     },
     /// Set the worker's hardware speed multiplier on batch duration
     /// (`2.0` = batches take twice the cost model's prediction — an injected
@@ -256,6 +265,7 @@ mod tests {
             phase: Phase::Prompt,
             tokens: 128,
             stage_index: 0,
+            epoch: 0,
             pipeline: pipeline(),
             prefix: None,
         };
@@ -276,6 +286,7 @@ mod tests {
             phase: Phase::Decode,
             tokens: 1,
             stage_index: 1,
+            epoch: 0,
             pipeline: pipeline(),
             prefix: None,
         };

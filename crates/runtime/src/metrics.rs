@@ -7,7 +7,7 @@
 
 use crate::fabric::LinkTraffic;
 use helix_cluster::{ModelId, NodeId};
-use helix_core::{KvTransferRecord, PrefixStats, ReplanRecord};
+use helix_core::{FailoverRecord, KvTransferRecord, PrefixStats, ReplanRecord, ReplicationStats};
 use helix_workload::RequestId;
 use serde::Serialize;
 
@@ -175,6 +175,13 @@ pub struct RuntimeReport {
     /// Prefix-sharing counters summed over all models (all zeros when no
     /// request carries a prefix tag).
     pub prefix: PrefixStats,
+    /// One record per node fail-over the run handled: which in-flight
+    /// requests promoted onto replicas, which aborted, and the token loss
+    /// each path recomputed.
+    pub failovers: Vec<FailoverRecord>,
+    /// Replica traffic the run's replication policy trickled to standbys
+    /// (all zeros when replication is disabled).
+    pub replication: ReplicationStats,
 }
 
 impl RuntimeReport {
@@ -324,6 +331,8 @@ mod tests {
             wall_seconds: 0.1,
             kv_transfers: vec![],
             prefix: PrefixStats::default(),
+            failovers: vec![],
+            replication: ReplicationStats::default(),
             nodes: vec![],
             links: vec![
                 LinkReport {

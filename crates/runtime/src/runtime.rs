@@ -8,7 +8,7 @@
 //! one release, as promised.)
 
 use crate::clock::VirtualClock;
-use crate::coordinator::{Coordinator, CoordinatorMsg, CoordinatorSpec};
+use crate::coordinator::{Coordinator, CoordinatorArtifacts, CoordinatorMsg, CoordinatorSpec};
 use crate::error::RuntimeError;
 use crate::fabric::{self, FabricSpec, LinkTrafficMap};
 use crate::message::Envelope;
@@ -16,10 +16,7 @@ use crate::metrics::{LinkReport, NodeReport, RequestOutcome, RuntimeReport};
 use crate::registry::{WorkerRegistry, WorkerSpawner};
 use helix_cluster::ModelId;
 use helix_core::exec_model::{DEFAULT_TOKENS_PER_PAGE, KV_OVERFLOW_PENALTY};
-use helix_core::{
-    FleetTopology, HelixError, KvCacheEstimator, KvTransferRecord, PrefixStats, ReplanPolicy,
-    ReplanRecord, Scheduler,
-};
+use helix_core::{FleetTopology, HelixError, KvCacheEstimator, ReplanPolicy, Scheduler};
 use minirt::channel::{unbounded, Sender};
 use std::sync::Arc;
 use std::time::Duration;
@@ -216,9 +213,7 @@ impl Wired {
     pub(crate) fn shutdown_and_report(
         mut self,
         outcome: Result<Vec<RequestOutcome>, RuntimeError>,
-        replans: Vec<ReplanRecord>,
-        kv_transfers: Vec<KvTransferRecord>,
-        prefix: PrefixStats,
+        artifacts: CoordinatorArtifacts,
     ) -> Result<RuntimeReport, RuntimeError> {
         self.registry.shutdown_all();
         drop(self.coordinator.take());
@@ -275,9 +270,11 @@ impl Wired {
             wall_seconds: self.clock.wall_elapsed().as_secs_f64(),
             nodes,
             links,
-            replans,
-            kv_transfers,
-            prefix,
+            replans: artifacts.replans,
+            kv_transfers: artifacts.kv_transfers,
+            prefix: artifacts.prefix,
+            failovers: artifacts.failovers,
+            replication: artifacts.replication,
         })
     }
 }

@@ -17,13 +17,13 @@
 //! a single dedicated `helix-dataplane` thread drives it, so the OS thread
 //! count stays O(1) however many nodes the fleet has.
 
-use crate::coordinator::{CoordinatorMsg, SessionControl};
+use crate::coordinator::{CoordinatorArtifacts, CoordinatorMsg, SessionControl};
 use crate::error::RuntimeError;
 use crate::message::RuntimeMsg;
 use crate::metrics::{RequestOutcome, RuntimeReport};
 use crate::runtime::Wired;
 use helix_cluster::{ModelId, NodeId};
-use helix_core::{KvTransferRecord, PlacementDelta, PrefixStats, ReplanRecord};
+use helix_core::{PlacementDelta, ReplicationPolicy};
 use helix_workload::{Request, TicketId, Workload};
 use minirt::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
@@ -32,9 +32,7 @@ use std::thread::JoinHandle;
 /// What the data-plane thread hands back when the live loop ends.
 type LiveResult = (
     Result<Vec<RequestOutcome>, RuntimeError>,
-    Vec<ReplanRecord>,
-    Vec<KvTransferRecord>,
-    PrefixStats,
+    CoordinatorArtifacts,
 );
 
 /// The live half of a session: channels to the coordinator task on the
@@ -125,10 +123,8 @@ impl ServingSession {
             .name("helix-dataplane".to_string())
             .spawn(move || {
                 let result = executor.block_on(coordinator.run_live(control_rx, completion_tx));
-                let replans = coordinator.take_replans();
-                let kv_transfers = coordinator.take_kv_transfers();
-                let prefix = coordinator.take_prefix_stats();
-                (result, replans, kv_transfers, prefix)
+                let artifacts = coordinator.take_artifacts();
+                (result, artifacts)
             })
             .expect("spawning the data-plane thread never fails");
         self.live = Some(Live {
@@ -258,6 +254,25 @@ impl ServingSession {
         self.send_control(SessionControl::Retire(node, model));
     }
 
+    /// Fails `node` at virtual time `at`: its workers are detached, every
+    /// in-flight pipeline crossing it is promoted onto its replica standbys
+    /// (when the replication policy trickled its KV there) or aborted and
+    /// re-admitted from scratch, and the fleet re-plans around the hole.
+    /// The fail-over shows up in the final report's `failovers` log.
+    pub fn fail_node(&mut self, node: NodeId, at: f64) {
+        self.ensure_live();
+        self.send_control(SessionControl::FailNode(node, at));
+    }
+
+    /// Installs the replication policy governing subsequently admitted
+    /// requests: hot sequences (expected decode length at or above the
+    /// policy threshold) trickle their KV to standby tenancies as decode
+    /// proceeds, making them promotable if their primary fails.
+    pub fn set_replication(&mut self, policy: ReplicationPolicy) {
+        self.ensure_live();
+        self.send_control(SessionControl::SetReplication(policy));
+    }
+
     /// Blocks until every request submitted so far has completed.
     ///
     /// # Errors
@@ -287,9 +302,7 @@ impl ServingSession {
         if self.failed {
             return self.wired.shutdown_and_report(
                 Err(RuntimeError::Disconnected("serving session")),
-                Vec::new(),
-                Vec::new(),
-                PrefixStats::default(),
+                CoordinatorArtifacts::default(),
             );
         }
         match self.live.take() {
@@ -297,24 +310,18 @@ impl ServingSession {
                 let _ = live.control_tx.send(SessionControl::Finish);
                 let _ = self.wired.wake_tx.send(CoordinatorMsg::Wake);
                 drop(live.control_tx);
-                let (result, replans, kv_transfers, prefix) = match live.handle.join() {
+                let (result, artifacts) = match live.handle.join() {
                     Ok(result) => result,
                     Err(_) => (
                         Err(RuntimeError::Disconnected("serving session")),
-                        Vec::new(),
-                        Vec::new(),
-                        PrefixStats::default(),
+                        CoordinatorArtifacts::default(),
                     ),
                 };
-                self.wired
-                    .shutdown_and_report(result, replans, kv_transfers, prefix)
+                self.wired.shutdown_and_report(result, artifacts)
             }
-            None => self.wired.shutdown_and_report(
-                Ok(Vec::new()),
-                Vec::new(),
-                Vec::new(),
-                PrefixStats::default(),
-            ),
+            None => self
+                .wired
+                .shutdown_and_report(Ok(Vec::new()), CoordinatorArtifacts::default()),
         }
     }
 
@@ -341,13 +348,9 @@ impl ServingSession {
             // Drive the whole data plane — coordinator, workers, fabric —
             // inline on this thread until the workload completes.
             let outcome = self.wired.executor.block_on(coordinator.run(workload));
-            let replans = coordinator.take_replans();
-            let kv_transfers = coordinator.take_kv_transfers();
-            let prefix = coordinator.take_prefix_stats();
+            let artifacts = coordinator.take_artifacts();
             drop(coordinator);
-            return self
-                .wired
-                .shutdown_and_report(outcome, replans, kv_transfers, prefix);
+            return self.wired.shutdown_and_report(outcome, artifacts);
         }
         for request in workload.requests() {
             self.submit(*request);
@@ -370,7 +373,7 @@ impl ServingSession {
         };
         drop(live.control_tx);
         match live.handle.join() {
-            Ok((Err(e), _, _, _)) => e,
+            Ok((Err(e), _)) => e,
             _ => RuntimeError::Disconnected("serving session"),
         }
     }

@@ -125,11 +125,6 @@ struct Worker {
     /// The shared-prefix reference each resident request holds on this
     /// node's pool, detached when the request's `Release` arrives.
     prefix_of: HashMap<RequestId, PrefixId>,
-    /// Requests already released, catching double-release protocol bugs in
-    /// debug runs (the pool's `release` returning `false` alone cannot — a
-    /// fully rejected or fully shared request legitimately holds no pages).
-    #[cfg(debug_assertions)]
-    released: std::collections::HashSet<RequestId>,
 }
 
 impl Worker {
@@ -161,8 +156,6 @@ impl Worker {
             window_start: 0.0,
             window_decode_tokens: 0,
             prefix_of: HashMap::new(),
-            #[cfg(debug_assertions)]
-            released: std::collections::HashSet::new(),
         }
     }
 
@@ -229,16 +222,12 @@ impl Worker {
                 self.pending.push(work);
             }
             RuntimeMsg::Release(request) => {
-                // Exactly one Release per (request, node) arrives from the
-                // coordinator's finish path; `release` returning false is
-                // fine (every append may have been rejected, or the prompt
-                // was fully shared), but a *second* Release is a protocol
-                // bug the refcounted pool would turn into a double free.
-                #[cfg(debug_assertions)]
-                debug_assert!(
-                    self.released.insert(request),
-                    "double release for request {request}"
-                );
+                // The coordinator releases on *every* live worker of the
+                // model — migration destinations and replica standbys hold
+                // seeded residency the pipeline alone does not name — and a
+                // fail-over purge may be followed by the promoted
+                // incarnation's own completion release, so a repeated (or
+                // unmatched) Release is a no-op, not a protocol bug.
                 self.kv.release(request);
                 if let Some(prefix) = self.prefix_of.remove(&request) {
                     self.kv.detach_prefix(prefix);
@@ -480,6 +469,7 @@ impl Worker {
                     request: item.request,
                     phase: item.phase,
                     emitted_at: now,
+                    epoch: item.epoch,
                 },
             }
         } else {
@@ -572,6 +562,7 @@ mod tests {
             phase,
             tokens,
             stage_index,
+            epoch: 0,
             pipeline: two_stage_pipeline(),
             prefix: None,
         })

@@ -132,6 +132,18 @@ impl NodeEngine {
         }
     }
 
+    /// Whether the engine currently holds a residency entry for `prefix`.
+    pub fn has_prefix(&self, prefix: PrefixId) -> bool {
+        self.prefix_resident.contains_key(&prefix)
+    }
+
+    /// Drops the whole residency entry for `prefix` regardless of refcount —
+    /// the source side of a migration that *moves* the entry (references and
+    /// all) to the destination engine.
+    pub fn remove_prefix(&mut self, prefix: PrefixId) {
+        self.prefix_resident.remove(&prefix);
+    }
+
     /// The shared-prefix residency snapshot (prefix → cached tokens and
     /// reference count), sorted by prefix id — the prefix payload of a KV
     /// hand-over.  Each prefix's tokens are transferred once, not once per
@@ -186,6 +198,13 @@ impl NodeEngine {
     /// Whether the node failed.
     pub fn is_failed(&self) -> bool {
         self.failed
+    }
+
+    /// Brings a failed engine back into service (a flapped node rejoining).
+    /// Queued work and residencies were already purged at failure time; the
+    /// engine restarts empty and picks up work on the next dispatch.
+    pub fn recover(&mut self) {
+        self.failed = false;
     }
 
     /// Re-plans can move layers, re-partition a shared node's KV pool *and

@@ -88,6 +88,56 @@ pub enum PerturbationEvent {
         /// spec at apply time).
         region: Region,
     },
+    /// The node drops out and rejoins `down_secs` later — a flapping node.
+    /// The down edge is a full [`PerturbationEvent::NodeFailure`] (abort or
+    /// promote in-flight pipelines, purge, re-plan); the rejoin restores the
+    /// node's engines and hands its pre-failure layer ranges back to the
+    /// planner via an assign-delta re-plan.
+    NodeFlap {
+        /// When the node drops.
+        at: SimTime,
+        /// The flapping node.
+        node: NodeId,
+        /// How long the node stays down before rejoining.
+        down_secs: SimTime,
+    },
+    /// The node keeps serving but `factor`× slower, and the health directory
+    /// marks it Degraded until it recovers `recover_secs` later — a straggler
+    /// rather than a failure.  Equivalent to a
+    /// [`PerturbationEvent::NodeSlowdown`] with a scheduled
+    /// [`PerturbationEvent::NodeRecovery`].
+    NodeStraggler {
+        /// When the straggle begins.
+        at: SimTime,
+        /// The straggling node.
+        node: NodeId,
+        /// Duration multiplier while straggling.
+        factor: f64,
+        /// How long until the node returns to nominal speed.
+        recover_secs: SimTime,
+    },
+    /// Every node of `region` becomes unreachable for `heal_secs` — a network
+    /// partition rather than a power loss.  The partitioned side is treated
+    /// as failed (the coordinator cannot tell a partition from a crash), and
+    /// when the partition heals every node rejoins as in
+    /// [`PerturbationEvent::NodeFlap`].
+    RegionPartition {
+        /// When the partition forms.
+        at: SimTime,
+        /// The partitioned region.
+        region: Region,
+        /// How long until the partition heals.
+        heal_secs: SimTime,
+    },
+    /// Internal: a previously flapped/partitioned node comes back.  Scheduled
+    /// by [`PerturbationEvent::NodeFlap`] / [`PerturbationEvent::RegionPartition`];
+    /// not normally scripted directly.
+    NodeRejoin {
+        /// When the node rejoins.
+        at: SimTime,
+        /// The rejoining node.
+        node: NodeId,
+    },
     /// The arrival process speeds up (`factor > 1`) or slows down
     /// (`factor < 1`) for every request arriving after `at`.
     ArrivalRateShift {
@@ -124,6 +174,10 @@ impl PerturbationEvent {
             | PerturbationEvent::NodeRecovery { at, .. }
             | PerturbationEvent::NodeFailure { at, .. }
             | PerturbationEvent::RegionOutage { at, .. }
+            | PerturbationEvent::NodeFlap { at, .. }
+            | PerturbationEvent::NodeStraggler { at, .. }
+            | PerturbationEvent::RegionPartition { at, .. }
+            | PerturbationEvent::NodeRejoin { at, .. }
             | PerturbationEvent::ArrivalRateShift { at, .. }
             | PerturbationEvent::Migrate { at, .. } => at,
         }
@@ -260,8 +314,8 @@ pub struct RequestState {
     /// The admission epoch this state belongs to (see `WorkItem::epoch`);
     /// work items and coordinator tokens from older epochs are ignored.
     pub epoch: u64,
-    /// Prompt length in tokens.
-    #[allow(dead_code)] // kept for debugging / trace dumps
+    /// Prompt length in tokens (with `generated`, the cached sequence length
+    /// that replication trickles and a fail-over must restore).
     pub prompt_tokens: usize,
     /// Output tokens the request will generate before finishing.
     pub output_tokens: usize,

@@ -12,7 +12,7 @@ use crate::event::PerturbationEvent;
 use crate::metrics::{LatencyStats, Metrics};
 use crate::simulator::{ClusterSimulator, FleetRunReport, SimulationConfig};
 use helix_cluster::{ModelId, NodeId};
-use helix_core::{LayerRange, ReplanPolicy};
+use helix_core::{LayerRange, ReplanPolicy, ReplicationPolicy};
 use helix_workload::{Request, TicketId, Workload};
 
 /// A live handle over a [`ClusterSimulator`], shaped like the runtime's
@@ -78,6 +78,21 @@ impl SimSession {
     /// Scripts a mid-run perturbation for the next drained batch.
     pub fn schedule(&mut self, event: PerturbationEvent) {
         self.events.push(event);
+    }
+
+    /// Kills one node at simulated time `at` of the next drained batch (see
+    /// [`PerturbationEvent::NodeFailure`]).  With a replication policy set,
+    /// in-flight replicated pipelines promote their standbys and resume with
+    /// bounded token loss; everything else aborts and re-admits.
+    pub fn fail_node(&mut self, node: NodeId, at: f64) {
+        self.events
+            .push(PerturbationEvent::NodeFailure { at, node });
+    }
+
+    /// Sets the fleet-wide KV replication policy on the underlying
+    /// simulator (applies to requests admitted in later drains).
+    pub fn set_replication(&mut self, policy: ReplicationPolicy) {
+        self.sim.set_replication(policy);
     }
 
     /// Takes a whole region down at the start of the next drained batch:
@@ -183,6 +198,8 @@ fn merge_reports(mut base: FleetRunReport, next: FleetRunReport) -> FleetRunRepo
     base.kv_transfers.extend(next.kv_transfers);
     base.completions.extend(next.completions);
     base.prefix.merge(&next.prefix);
+    base.failovers.extend(next.failovers);
+    base.replication.merge(&next.replication);
     base
 }
 

@@ -6,13 +6,14 @@ use crate::engine::NodeEngine;
 use crate::event::{Event, EventQueue, PerturbationEvent, Phase, RequestState, SimTime, WorkItem};
 use crate::metrics::{IntervalMetrics, LatencyStats, LinkStats, Metrics};
 use crate::network::LinkQueue;
-use helix_cluster::{ModelId, NodeId, TOKEN_WIRE_BYTES};
+use helix_cluster::{ModelId, NodeId, PrefixId, TOKEN_WIRE_BYTES};
 use helix_core::exec_model::DEFAULT_TOKENS_PER_PAGE;
 use helix_core::{
-    ClusterState, EngineCounters, FleetScheduler, FleetTopology, IwrrScheduler, KvTransferModel,
-    KvTransferRecord, ModelPlacement, NodeObservations, ObservationWindows, PlacementDelta,
-    PrefixRoute, PrefixRouter, PrefixStats, PrefixWork, ReplanPolicy, ReplanReason, ReplanRecord,
-    RequestPipeline, Scheduler, Topology,
+    select_standby, ClusterState, EngineCounters, FailoverRecord, FleetScheduler, FleetTopology,
+    IwrrScheduler, KvTransferModel, KvTransferRecord, LayerRange, ModelPlacement, NodeDirectory,
+    NodeObservations, ObservationWindows, PlacementDelta, PrefixRoute, PrefixRouter, PrefixStats,
+    PrefixWork, ReplanPolicy, ReplanReason, ReplanRecord, ReplicaTracker, ReplicationPolicy,
+    ReplicationStats, RequestPipeline, Scheduler, Topology,
 };
 use helix_workload::{Request, RequestId, Workload};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -119,6 +120,28 @@ pub struct CompletionRecord {
     pub at: SimTime,
 }
 
+/// What a promoted request resumes with after its primary failed: the
+/// replica pipeline it re-routes onto and the progress that survived.  The
+/// coordinator re-admits the request under a new epoch, seeds the replicated
+/// tokens as KV residency on the promoted pipeline, and recomputes only the
+/// tokens decoded since the last replicated chunk — the bounded-loss
+/// contract.  Metrics continuity rides along: arrival and first-token times
+/// belong to the original admission, and already-delivered tokens are not
+/// re-emitted.
+#[derive(Debug, Clone)]
+struct ResumeCredit {
+    /// The pipeline with failed stage nodes substituted by their standbys.
+    pipeline: RequestPipeline,
+    /// Sequence tokens (prompt + decode) durable on the standbys.
+    resume_tokens: usize,
+    /// Output tokens already delivered to the coordinator.
+    generated: usize,
+    /// Original admission's arrival time.
+    arrival_time: SimTime,
+    /// Original admission's first-token time, if the prompt had finished.
+    first_token_time: Option<SimTime>,
+}
+
 /// The full result of a [`ClusterSimulator::run_with_events`] run: end-of-run
 /// metrics plus the windowed interval metrics and the re-plan log.
 #[derive(Debug, Clone)]
@@ -138,6 +161,11 @@ pub struct FleetRunReport {
     /// Prefix-sharing counters summed over all models (all zeros when no
     /// request carries a prefix tag).
     pub prefix: PrefixStats,
+    /// Every fail-over the run handled (one record per failure event), with
+    /// the promoted/aborted request sets and the recompute-token accounting.
+    pub failovers: Vec<FailoverRecord>,
+    /// Replica traffic the run's replication policy trickled to standbys.
+    pub replication: ReplicationStats,
 }
 
 /// Discrete-event simulator of a Helix-style serving cluster.
@@ -176,6 +204,27 @@ pub struct ClusterSimulator {
     slowdowns: HashMap<NodeId, f64>,
     /// Nodes that failed mid-run.
     failed: HashSet<NodeId>,
+    /// The fleet-wide KV replication policy (disabled by default: RF 1,
+    /// every failure falls back to abort-and-readmit).
+    replication: ReplicationPolicy,
+    /// Per-request replication progress toward the standby tenancies.
+    replica_tracker: ReplicaTracker,
+    /// Fail-over log of the current run, drained into its report.
+    failovers: Vec<FailoverRecord>,
+    /// Promotion credit of requests awaiting re-admission onto their
+    /// replica pipelines (consumed by `admit_request`).
+    resume: HashMap<RequestId, ResumeCredit>,
+    /// Node-level health membership, driven by observation-tick heartbeats
+    /// and failure/straggler overrides.
+    node_health: NodeDirectory,
+    /// Per-model forwarding of migrated prefix homes: `(prefix, old node)` →
+    /// the node now holding the refcounted entry.  Releases follow the chain
+    /// so a sharer admitted before a migration still balances its reference
+    /// after the entry moved.
+    prefix_forwards: Vec<HashMap<(PrefixId, NodeId), NodeId>>,
+    /// Layer ranges captured when a flapping node drops, handed back to the
+    /// planner when it rejoins.
+    rejoin_ranges: HashMap<NodeId, Vec<(ModelId, LayerRange)>>,
 }
 
 impl ClusterSimulator {
@@ -221,7 +270,8 @@ impl ClusterSimulator {
                 engines.insert((n.node, ModelId(m)), engine);
             }
         }
-        let prefix_routers = (0..schedulers.len()).map(|_| PrefixRouter::new()).collect();
+        let num_models = schedulers.len();
+        let prefix_routers = (0..num_models).map(|_| PrefixRouter::new()).collect();
         ClusterSimulator {
             fleet,
             schedulers,
@@ -230,12 +280,37 @@ impl ClusterSimulator {
             links: HashMap::new(),
             slowdowns: HashMap::new(),
             failed: HashSet::new(),
+            replication: ReplicationPolicy::disabled(),
+            replica_tracker: ReplicaTracker::new(),
+            failovers: Vec::new(),
+            resume: HashMap::new(),
+            node_health: NodeDirectory::default(),
+            prefix_forwards: vec![HashMap::new(); num_models],
+            rejoin_ranges: HashMap::new(),
         }
     }
 
     /// The fleet plan the simulator currently serves (re-plans update it).
     pub fn fleet(&self) -> &FleetTopology {
         &self.fleet
+    }
+
+    /// Sets the fleet-wide KV replication policy.  Takes effect for requests
+    /// admitted afterwards; [`ReplicationPolicy::disabled`] (the default)
+    /// reproduces pure abort-and-readmit recovery.
+    pub fn set_replication(&mut self, policy: ReplicationPolicy) {
+        self.replication = policy;
+    }
+
+    /// The current replication policy.
+    pub fn replication(&self) -> ReplicationPolicy {
+        self.replication
+    }
+
+    /// The node-level health directory (heartbeats ride the observation
+    /// ticks; failures and stragglers are forced overrides).
+    pub fn node_health(&self) -> &NodeDirectory {
+        &self.node_health
     }
 
     /// The topology the simulator runs for one model.
@@ -317,6 +392,12 @@ impl ClusterSimulator {
         }
         for engine in self.engines.values_mut() {
             engine.rebase_epoch();
+        }
+        // Every engine node joins the health directory (re-registration
+        // across drains refreshes the heartbeat but keeps forced overrides,
+        // so a node failed in an earlier drain stays Down).
+        for &(node, _) in self.engines.keys() {
+            self.node_health.register(node, 0.0);
         }
         let mut specs: HashMap<RequestId, Request> = workload.iter().map(|r| (r.id, *r)).collect();
 
@@ -477,6 +558,7 @@ impl ClusterSimulator {
                     }
                     let model = state.pipeline.model;
                     let m = model.index();
+                    let was_first = state.first_token_time.is_none();
                     state.generated += 1;
                     let in_window = now >= config.warmup_secs;
                     total_decode_tokens[m] += 1;
@@ -506,17 +588,26 @@ impl ClusterSimulator {
                                 at: now,
                             });
                         }
-                        for node in state.pipeline.nodes() {
-                            if let Some(engine) = self.engines.get_mut(&(node, model)) {
+                        // Release the request's KV on *every* engine of its
+                        // model, not only its pipeline nodes: migrations seed
+                        // destination engines and replication seeds standbys,
+                        // and all those copies are keyed by this request id.
+                        for (&(_, em), engine) in self.engines.iter_mut() {
+                            if em == model {
                                 engine.release_request(request);
-                                if let Some(p) = state.prefix {
-                                    engine.release_prefix(p.id);
-                                }
                             }
                         }
+                        // Prefix references release where the refcounted
+                        // entry actually lives now — a migration may have
+                        // moved it off the pipeline node (see
+                        // `release_prefix_at`).
                         if let Some(p) = state.prefix {
+                            for node in state.pipeline.nodes() {
+                                self.release_prefix_at(model, node, p.id);
+                            }
                             self.prefix_routers[model.index()].release(p.id);
                         }
+                        self.replica_tracker.finish(request);
                         active = active.saturating_sub(1);
                         if let Some(next) = backlog.pop_front() {
                             self.admit_request(
@@ -530,6 +621,28 @@ impl ClusterSimulator {
                             );
                         }
                     } else {
+                        // Trickle KV replication as decode proceeds: prompt
+                        // completion (the first token) force-replicates
+                        // everything cached so far, then whole chunks ship at
+                        // every chunk boundary, per stage, over the
+                        // primary→standby links like any other transfer.
+                        if self.replica_tracker.is_tracked(request) {
+                            let total = state.prompt_tokens + state.generated;
+                            let stage_layers: Vec<usize> = state
+                                .pipeline
+                                .stages
+                                .iter()
+                                .map(|s| s.layers.len())
+                                .collect();
+                            self.trickle_replication(
+                                request,
+                                model,
+                                total,
+                                &stage_layers,
+                                was_first,
+                                now,
+                            );
+                        }
                         // Schedule the next decode iteration over the same pipeline.
                         let first = state.pipeline.stages[0];
                         let arrival =
@@ -586,6 +699,14 @@ impl ClusterSimulator {
                             .collect(),
                     });
                     interval_base.clone_from(&total_decode_tokens);
+                    // Live engines heartbeat the node directory; a node that
+                    // stops ticking (failed, partitioned) decays Healthy →
+                    // Degraded → Down on the membership clock.
+                    for (&(node, _), engine) in &self.engines {
+                        if !engine.is_failed() {
+                            self.node_health.heartbeat(node, time);
+                        }
+                    }
                     // 2. Measure the engines.
                     let window = (time - last_tick).max(1e-9);
                     let observed = self.collect_observations(window, &mut windows);
@@ -694,6 +815,8 @@ impl ClusterSimulator {
             kv_transfers,
             completions,
             prefix,
+            failovers: std::mem::take(&mut self.failovers),
+            replication: self.replica_tracker.take_stats(),
         }
     }
 
@@ -744,6 +867,9 @@ impl ClusterSimulator {
                         engine.set_slowdown(factor);
                     }
                 }
+                if factor > 1.0 {
+                    self.node_health.mark_degraded(node);
+                }
             }
             PerturbationEvent::NodeRecovery { node, .. } => {
                 self.slowdowns.remove(&node);
@@ -752,6 +878,81 @@ impl ClusterSimulator {
                         engine.set_slowdown(1.0);
                     }
                 }
+                self.node_health.mark_healthy(node, time);
+            }
+            PerturbationEvent::NodeStraggler {
+                node,
+                factor,
+                recover_secs,
+                ..
+            } => {
+                // A straggler is a slowdown that the health layer surfaces
+                // (Degraded) and that heals itself after `recover_secs`.
+                self.slowdowns.insert(node, factor);
+                for ((n, _), engine) in self.engines.iter_mut() {
+                    if *n == node {
+                        engine.set_slowdown(factor);
+                    }
+                }
+                self.node_health.mark_degraded(node);
+                let heal = time + recover_secs.max(0.0);
+                queue.push(
+                    heal,
+                    Event::Perturbation(PerturbationEvent::NodeRecovery { at: heal, node }),
+                );
+            }
+            PerturbationEvent::NodeFlap {
+                node, down_secs, ..
+            } => {
+                // The down edge is a full node failure; the rejoin is
+                // scheduled up front with the layer ranges the node holds
+                // right now, so the planner can hand them back.
+                self.schedule_rejoin(node, time + down_secs.max(0.0), queue);
+                self.fail_nodes(
+                    &[node],
+                    ReplanReason::NodeFailure { node },
+                    time,
+                    states,
+                    epochs,
+                    queue,
+                    active,
+                    replans,
+                    kv_transfers,
+                );
+            }
+            PerturbationEvent::RegionPartition {
+                region, heal_secs, ..
+            } => {
+                // The coordinator cannot tell a partition from a crash: the
+                // unreachable side fails as a region outage, and every node
+                // rejoins when the partition heals.
+                let nodes: Vec<NodeId> = self.fleet.profiles()[0]
+                    .cluster()
+                    .nodes()
+                    .iter()
+                    .filter(|n| n.region == region)
+                    .map(|n| n.id)
+                    .collect();
+                if !nodes.is_empty() {
+                    let heal = time + heal_secs.max(0.0);
+                    for &n in &nodes {
+                        self.schedule_rejoin(n, heal, queue);
+                    }
+                    self.fail_nodes(
+                        &nodes,
+                        ReplanReason::RegionOutage { region },
+                        time,
+                        states,
+                        epochs,
+                        queue,
+                        active,
+                        replans,
+                        kv_transfers,
+                    );
+                }
+            }
+            PerturbationEvent::NodeRejoin { node, .. } => {
+                self.rejoin_node(node, time, queue, replans, kv_transfers);
             }
             PerturbationEvent::NodeFailure { node, .. } => {
                 self.fail_nodes(
@@ -842,37 +1043,85 @@ impl ClusterSimulator {
     ) {
         for &node in nodes {
             self.failed.insert(node);
+            self.node_health.mark_down(node);
             for ((n, _), engine) in self.engines.iter_mut() {
                 if *n == node {
                     engine.fail();
                 }
             }
         }
-        let doomed: Vec<RequestId> = states
+        let mut doomed: Vec<RequestId> = states
             .iter()
             .filter(|(_, s)| {
                 s.finish_time.is_none() && nodes.iter().any(|n| s.pipeline.nodes().contains(n))
             })
             .map(|(&id, _)| id)
             .collect();
+        // Deterministic re-admission order (map iteration order is not).
+        doomed.sort_unstable();
+        let mut record = FailoverRecord {
+            at: time,
+            node: nodes[0],
+            promoted: Vec::new(),
+            aborted: Vec::new(),
+            tokens_recomputed: 0,
+            abort_recompute_tokens: 0,
+            replica_tokens_used: 0,
+        };
         for id in doomed {
             let state = states.remove(&id).expect("listed above");
             let model = state.pipeline.model;
-            for n in state.pipeline.nodes() {
-                if let Some(engine) = self.engines.get_mut(&(n, model)) {
+            // Purge the stranded incarnation's KV on *every* engine of its
+            // model: pipeline nodes, migration destinations seeded with its
+            // pages, and replica standbys (a promoted request re-seeds its
+            // surviving tokens on re-admission).  Entries are keyed by
+            // request id, so other requests are untouched.
+            for (&(_, em), engine) in self.engines.iter_mut() {
+                if em == model {
                     engine.purge_request(id);
-                    if let Some(p) = state.prefix {
-                        engine.release_prefix(p.id);
-                    }
                 }
             }
             if let Some(p) = state.prefix {
+                for n in state.pipeline.nodes() {
+                    self.release_prefix_at(model, n, p.id);
+                }
                 self.prefix_routers[model.index()].release(p.id);
             }
             *epochs.entry(id).or_insert(0) += 1;
             *active = active.saturating_sub(1);
+            // Fail-over: a replicated request promotes its standbys and
+            // resumes from the last replicated chunk — only the tokens
+            // decoded since then are recomputed.  Without a (live) replica
+            // it falls back to abort-and-readmit from token zero.
+            let total = state.prompt_tokens + state.generated;
+            match self.promote_pipeline(id, &state.pipeline, nodes) {
+                Some(promoted) => {
+                    let resume_tokens = self.replica_tracker.replicated_tokens(id).min(total);
+                    record.promoted.push(id);
+                    record.tokens_recomputed += total.saturating_sub(resume_tokens) as u64;
+                    record.abort_recompute_tokens += total as u64;
+                    record.replica_tokens_used += resume_tokens as u64;
+                    self.resume.insert(
+                        id,
+                        ResumeCredit {
+                            pipeline: promoted,
+                            resume_tokens,
+                            generated: state.generated,
+                            arrival_time: state.arrival_time,
+                            first_token_time: state.first_token_time,
+                        },
+                    );
+                }
+                None => {
+                    record.aborted.push(id);
+                    record.tokens_recomputed += total as u64;
+                    record.abort_recompute_tokens += total as u64;
+                }
+            }
+            self.replica_tracker.finish(id);
             queue.push(time, Event::RequestArrival { request: id });
         }
+        self.failovers.push(record);
         // Dead pipelines must not stay prefix homes.  The re-plan below
         // clears routers only when it succeeds; when removing the nodes is
         // infeasible (they were load-bearing) the old plan keeps serving,
@@ -1006,6 +1255,13 @@ impl ClusterSimulator {
                     // destination.
                     engine.clear_kv();
                 }
+                // Shared-prefix entries *move* (references and all): drop
+                // them from the source so later releases follow the
+                // forwarding map to the destination instead of decrementing
+                // a stale copy while the live one leaks.
+                for &(prefix, _, _) in &prefix_snapshot {
+                    engine.remove_prefix(prefix);
+                }
             }
             if let Some(engine) = self.engines.get_mut(&(migration.to, m)) {
                 engine.freeze_range_until(migration.layers, arrival);
@@ -1015,6 +1271,9 @@ impl ClusterSimulator {
                 for &(prefix, tokens, refcount) in &prefix_snapshot {
                     engine.seed_prefix(prefix, tokens, refcount);
                 }
+            }
+            for &(prefix, _, _) in &prefix_snapshot {
+                self.prefix_forwards[m.index()].insert((prefix, migration.from), migration.to);
             }
             queue.push(
                 arrival,
@@ -1052,6 +1311,193 @@ impl ClusterSimulator {
     /// tests can compare surviving engines against freshly created ones.
     pub fn engine(&self, node: NodeId, model: ModelId) -> Option<&NodeEngine> {
         self.engines.get(&(node, model))
+    }
+
+    /// Starts replication tracking for a newly admitted request when the
+    /// policy marks it hot *and* every pipeline stage has a live standby
+    /// whose layer range covers it; otherwise the request runs unreplicated
+    /// and a failure falls back to abort-and-readmit.  Promoted incarnations
+    /// are not re-tracked — the replication factor applies from admission.
+    fn begin_replication(
+        &mut self,
+        request: RequestId,
+        pipeline: &RequestPipeline,
+        output_tokens: usize,
+    ) {
+        if !self.replication.replicates(output_tokens) {
+            return;
+        }
+        let model = pipeline.model;
+        let Some(topology) = self.fleet.model(model) else {
+            return;
+        };
+        let candidates: Vec<(NodeId, LayerRange)> = topology
+            .nodes()
+            .filter(|n| !self.failed.contains(&n.node))
+            .map(|n| (n.node, n.layers))
+            .collect();
+        let mut standbys = Vec::with_capacity(pipeline.stages.len());
+        for stage in &pipeline.stages {
+            match select_standby(stage.node, stage.layers, &candidates) {
+                Some(standby) => standbys.push((stage.node, standby)),
+                None => return,
+            }
+        }
+        self.replica_tracker.begin(request, standbys);
+    }
+
+    /// Ships one replication milestone: the newly durable token delta (if
+    /// the chunk boundary was crossed, or the prompt just completed) travels
+    /// from every primary stage to its standby over the real links, priced
+    /// by the shared [`KvTransferModel`], and the standby engines seed the
+    /// durable tokens as KV residency — replication steals serving
+    /// bandwidth and KV headroom, which is exactly the trade-off measured.
+    fn trickle_replication(
+        &mut self,
+        request: RequestId,
+        model: ModelId,
+        total_tokens: usize,
+        stage_layers: &[usize],
+        force: bool,
+        now: SimTime,
+    ) {
+        let delta = self.replica_tracker.record_progress(
+            request,
+            total_tokens,
+            self.replication.chunk_tokens,
+            force,
+        );
+        if delta == 0 {
+            return;
+        }
+        let durable = self.replica_tracker.replicated_tokens(request);
+        let standbys: Vec<(NodeId, NodeId)> = self.replica_tracker.standbys(request).to_vec();
+        let transfer = KvTransferModel::new(
+            self.fleet.profiles()[model.index()]
+                .model()
+                .kv_bytes_per_token_per_layer(),
+            DEFAULT_TOKENS_PER_PAGE,
+        );
+        for (i, &(primary, standby)) in standbys.iter().enumerate() {
+            let layers = stage_layers.get(i).copied().unwrap_or(1);
+            let bytes = transfer.bytes(delta as f64, layers);
+            self.link_transfer(Some(primary), Some(standby), now, bytes);
+            self.replica_tracker.record_bytes(bytes);
+            if let Some(engine) = self.engines.get_mut(&(standby, model)) {
+                engine.seed_kv(request, durable as f64);
+            }
+        }
+    }
+
+    /// Builds the promoted pipeline for `request`: every stage on a node
+    /// failing *now* is substituted by its standby.  `None` — untracked
+    /// request, no standby for a failed stage, or a standby that is itself
+    /// dead — falls back to abort-and-readmit.
+    fn promote_pipeline(
+        &self,
+        request: RequestId,
+        pipeline: &RequestPipeline,
+        failed_now: &[NodeId],
+    ) -> Option<RequestPipeline> {
+        if !self.replica_tracker.is_tracked(request) {
+            return None;
+        }
+        let standbys = self.replica_tracker.standbys(request);
+        let mut promoted = pipeline.clone();
+        for stage in &mut promoted.stages {
+            if failed_now.contains(&stage.node) {
+                let standby = standbys
+                    .iter()
+                    .find(|&&(primary, _)| primary == stage.node)
+                    .map(|&(_, s)| s)?;
+                if self.failed.contains(&standby)
+                    || !self.engines.contains_key(&(standby, pipeline.model))
+                {
+                    return None;
+                }
+                stage.node = standby;
+            }
+        }
+        Some(promoted)
+    }
+
+    /// Releases one shared-prefix reference at the node where the entry
+    /// lives *now*: when a migration moved the home's entry, the release
+    /// follows the per-model forwarding chain (hop-limited against cycles).
+    fn release_prefix_at(&mut self, model: ModelId, node: NodeId, prefix: PrefixId) {
+        let mut at = node;
+        for _ in 0..16 {
+            if let Some(engine) = self.engines.get_mut(&(at, model)) {
+                if engine.has_prefix(prefix) {
+                    engine.release_prefix(prefix);
+                    return;
+                }
+            }
+            match self.prefix_forwards[model.index()].get(&(prefix, at)) {
+                Some(&next) => at = next,
+                None => return,
+            }
+        }
+    }
+
+    /// Captures the layer ranges `node` holds right now (before the failure
+    /// re-plan removes them) and schedules its rejoin.
+    fn schedule_rejoin(&mut self, node: NodeId, at: SimTime, queue: &mut EventQueue) {
+        let mut ranges: Vec<(ModelId, LayerRange)> = Vec::new();
+        for m in 0..self.fleet.num_models() {
+            if let Some(n) = self.fleet.model(ModelId(m)).and_then(|t| t.node(node)) {
+                ranges.push((ModelId(m), n.layers));
+            }
+        }
+        self.rejoin_ranges.insert(node, ranges);
+        queue.push(
+            at,
+            Event::Perturbation(PerturbationEvent::NodeRejoin { at, node }),
+        );
+    }
+
+    /// A flapped node comes back: its engines recover, membership returns to
+    /// Healthy, and one assign-delta re-plan hands the node its pre-failure
+    /// layer ranges back (a no-op when the failure-time removal was
+    /// infeasible and the node never left the plan).
+    fn rejoin_node(
+        &mut self,
+        node: NodeId,
+        time: SimTime,
+        queue: &mut EventQueue,
+        replans: &mut Vec<ReplanRecord>,
+        kv_transfers: &mut Vec<KvTransferRecord>,
+    ) {
+        if !self.failed.remove(&node) {
+            return;
+        }
+        for ((n, _), engine) in self.engines.iter_mut() {
+            if *n == node {
+                engine.recover();
+            }
+        }
+        self.node_health.mark_healthy(node, time);
+        let ranges = self.rejoin_ranges.remove(&node).unwrap_or_default();
+        let mut delta = PlacementDelta::new();
+        let mut missing = false;
+        for (m, layers) in ranges {
+            if self.fleet.model(m).and_then(|t| t.node(node)).is_none() {
+                delta = delta.assign(m, node, layers);
+                missing = true;
+            }
+        }
+        if missing {
+            let observed = self.fleet.observations().clone();
+            self.apply_replan(
+                &delta,
+                &observed,
+                time,
+                ReplanReason::NodeRejoin { node },
+                queue,
+                replans,
+                kv_transfers,
+            );
+        }
     }
 
     /// Scheduler feedback for one model: queue/throughput/KV state of that
@@ -1097,6 +1543,62 @@ impl ClusterSimulator {
             return;
         }
         let epoch = epochs.get(&request).copied().unwrap_or(0);
+        // A promoted request skips scheduling: it resumes on the replica
+        // pipeline the fail-over controller built, seeds the replicated
+        // tokens as KV residency there, and recomputes only the cached
+        // tokens its standbys had not yet received.  Its arrival/first-token
+        // metrics continue from the original admission, and already-
+        // delivered output tokens are not re-emitted.
+        if let Some(credit) = self.resume.remove(&request) {
+            let pipeline = credit.pipeline;
+            for node in pipeline.nodes() {
+                if let Some(engine) = self.engines.get_mut(&(node, model)) {
+                    engine.seed_kv(request, credit.resume_tokens as f64);
+                }
+            }
+            let recompute = (spec.prompt_tokens + credit.generated)
+                .saturating_sub(credit.resume_tokens)
+                .max(1);
+            let first = pipeline.stages[0];
+            states.insert(
+                request,
+                RequestState {
+                    pipeline: pipeline.clone(),
+                    epoch,
+                    prompt_tokens: spec.prompt_tokens,
+                    output_tokens: spec.output_tokens,
+                    generated: credit.generated,
+                    arrival_time: credit.arrival_time,
+                    first_token_time: credit.first_token_time,
+                    last_token_time: None,
+                    decode_gaps: Vec::new(),
+                    finish_time: None,
+                    // The promoted incarnation holds no prefix reference —
+                    // the abort path already released the original's.
+                    prefix: None,
+                },
+            );
+            *active += 1;
+            let bytes = recompute as f64 * TOKEN_WIRE_BYTES;
+            let arrival = self.link_transfer(None, Some(first.node), now, bytes);
+            queue.push(
+                arrival,
+                Event::NodeArrival {
+                    node: first.node,
+                    item: WorkItem {
+                        request,
+                        epoch,
+                        model,
+                        phase: Phase::Prompt,
+                        tokens: recompute,
+                        layers: first.layers,
+                        stage_index: 0,
+                        prefix: None,
+                    },
+                },
+            );
+            return;
+        }
         let snapshot = self.snapshot(model);
         // Cache-aware routing: a prefix-tagged request goes to the pipeline
         // already holding its prefix when that pipeline has KV headroom; a
@@ -1177,6 +1679,7 @@ impl ClusterSimulator {
                     },
                 );
                 *active += 1;
+                self.begin_replication(request, &pipeline, spec.output_tokens);
                 let bytes = prefill_tokens as f64 * TOKEN_WIRE_BYTES;
                 let arrival = self.link_transfer(None, Some(first.node), now, bytes);
                 queue.push(

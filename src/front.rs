@@ -18,7 +18,7 @@
 //! ```
 
 use helix_cluster::{ModelId, NodeId};
-use helix_core::{LayerRange, PlacementDelta};
+use helix_core::{LayerRange, PlacementDelta, ReplicationPolicy};
 use helix_runtime::{RuntimeError, RuntimeReport, ServingSession};
 use helix_sim::{FleetRunReport, SimSession};
 use helix_workload::{Request, TicketId, Workload};
@@ -55,6 +55,20 @@ pub trait ServingFrontEnd {
     /// applies immediately; on the simulator it applies at the start of the
     /// next drained batch.
     fn migrate(&mut self, model: ModelId, from: NodeId, to: NodeId, layers: LayerRange);
+
+    /// Installs the fleet-wide KV replication policy governing subsequently
+    /// admitted requests: hot sequences trickle their KV to standby
+    /// tenancies as decode proceeds, making them promotable when their
+    /// primary fails.
+    fn set_replication(&mut self, policy: ReplicationPolicy);
+
+    /// Kills `node` at virtual time `at` (seconds since the surface
+    /// started serving the current batch): its workers stop, in-flight
+    /// pipelines crossing it promote their replicas — when the replication
+    /// policy trickled their KV to standbys — or abort and re-admit, and the
+    /// fleet re-plans around the hole.  The fail-over shows up in the final
+    /// report's `failovers` log on both surfaces.
+    fn fail_node(&mut self, node: NodeId, at: f64);
 
     /// Completes everything submitted so far.
     fn drain(&mut self) -> Result<(), Self::Error>;
@@ -93,6 +107,14 @@ impl ServingFrontEnd for ServingSession {
         self.apply_placement_delta(PlacementDelta::new().migrate(model, from, to, layers));
     }
 
+    fn set_replication(&mut self, policy: ReplicationPolicy) {
+        ServingSession::set_replication(self, policy)
+    }
+
+    fn fail_node(&mut self, node: NodeId, at: f64) {
+        ServingSession::fail_node(self, node, at)
+    }
+
     fn drain(&mut self) -> Result<(), RuntimeError> {
         ServingSession::drain(self)
     }
@@ -122,6 +144,14 @@ impl ServingFrontEnd for SimSession {
 
     fn migrate(&mut self, model: ModelId, from: NodeId, to: NodeId, layers: LayerRange) {
         SimSession::migrate(self, model, from, to, layers)
+    }
+
+    fn set_replication(&mut self, policy: ReplicationPolicy) {
+        SimSession::set_replication(self, policy)
+    }
+
+    fn fail_node(&mut self, node: NodeId, at: f64) {
+        SimSession::fail_node(self, node, at)
     }
 
     fn drain(&mut self) -> Result<(), Infallible> {

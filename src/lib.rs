@@ -73,13 +73,14 @@ pub mod prelude {
         ModelId, NetworkLink, NodeId, PrefixId, Region,
     };
     pub use helix_core::{
-        fleet_profiles, heuristics, AnnealingOptions, Endpoint, FleetAnnealingOptions,
-        FleetAnnealingPlanner, FleetPlacement, FleetScheduler, FleetTopology, FlowAnnealingPlanner,
-        FlowGraphBuilder, HelixError, IwrrScheduler, KvCacheEstimator, LayerRange,
-        MilpPlacementPlanner, MilpPlannerReport, ModelPlacement, PipelineStage, PlacementFlowGraph,
-        PlannerOptions, PrefixStats, RandomScheduler, RegionDirectory, RegionHealth, RegionRing,
-        RequestPipeline, RingOptions, Scheduler, SchedulerKind, ShortestQueueScheduler,
-        SwarmScheduler, Topology,
+        fleet_profiles, heuristics, AnnealingOptions, Endpoint, FailoverRecord,
+        FleetAnnealingOptions, FleetAnnealingPlanner, FleetPlacement, FleetScheduler,
+        FleetTopology, FlowAnnealingPlanner, FlowGraphBuilder, HelixError, IwrrScheduler,
+        KvCacheEstimator, LayerRange, MilpPlacementPlanner, MilpPlannerReport, ModelPlacement,
+        NodeDirectory, PipelineStage, PlacementFlowGraph, PlannerOptions, PrefixStats,
+        RandomScheduler, RegionDirectory, RegionHealth, RegionRing, ReplicationPolicy,
+        ReplicationStats, RequestPipeline, RingOptions, Scheduler, SchedulerKind,
+        ShortestQueueScheduler, SwarmScheduler, Topology,
     };
     pub use helix_maxflow::{FlowNetwork, MaxFlowAlgorithm};
     pub use helix_milp::{MilpSolver, Model, ObjectiveSense, Sense, VarType};

@@ -54,7 +54,7 @@ use helix_core::region::{
     RegionHealth, RegionInfo, RegionLoad, RegionRebalancer, RegionRing, RegionTransferPricer,
     RegionTransferRecord, RingOptions,
 };
-use helix_core::{KvTransferModel, LayerRange, PrefixStats};
+use helix_core::{KvTransferModel, LayerRange, PrefixStats, ReplicationPolicy};
 use helix_runtime::RuntimeReport;
 use helix_sim::FleetRunReport;
 use helix_workload::{Request, TicketId};
@@ -710,6 +710,22 @@ impl<F: ServingFrontEnd> ServingFrontEnd for MultiRegionSession<F> {
         }
     }
 
+    /// Broadcasts to every region: replication is a fleet-wide policy.
+    fn set_replication(&mut self, policy: ReplicationPolicy) {
+        for slot in &mut self.slots {
+            slot.front.set_replication(policy);
+        }
+    }
+
+    /// Broadcasts to every region: node ids are per-region namespaces, so
+    /// failing "node 3" kills node 3 *everywhere* (a correlated failure).
+    /// Region-scoped failures go through the region backend directly.
+    fn fail_node(&mut self, node: NodeId, at: f64) {
+        for slot in &mut self.slots {
+            slot.front.fail_node(node, at);
+        }
+    }
+
     fn drain(&mut self) -> Result<(), F::Error> {
         MultiRegionSession::drain(self)
     }
@@ -744,6 +760,10 @@ mod tests {
         fn inject_speed(&mut self, _node: NodeId, _factor: f64) {}
 
         fn migrate(&mut self, _m: ModelId, _f: NodeId, _t: NodeId, _l: LayerRange) {}
+
+        fn set_replication(&mut self, _policy: ReplicationPolicy) {}
+
+        fn fail_node(&mut self, _node: NodeId, _at: f64) {}
 
         fn drain(&mut self) -> Result<(), Infallible> {
             self.drained = true;

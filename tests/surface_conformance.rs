@@ -644,6 +644,235 @@ fn region_outage_mid_run_loses_zero_completions_on_both_surfaces() {
     );
 }
 
+/// Two-stage pipeline with every stage doubled (nodes 0/2 bottom, 1/3 top):
+/// any single node can fail and the surviving replica of its stage absorbs
+/// both the re-plan and the promoted pipelines — the HA suite's shape, on
+/// both surfaces.
+fn redundant_topology() -> Topology {
+    let cluster = ClusterBuilder::new("ha-conformance-4")
+        .intra_region(10_000.0, 1.0)
+        .add_nodes(GpuType::A100_80, 4, 1, Region(0))
+        .build();
+    let profile = ClusterProfile::analytic(cluster, ModelConfig::llama_13b());
+    let layers = profile.model().num_layers;
+    let half = layers / 2;
+    let mut placement = ModelPlacement::empty(4);
+    placement.assign(NodeId(0), LayerRange::new(0, half));
+    placement.assign(NodeId(2), LayerRange::new(0, half));
+    placement.assign(NodeId(1), LayerRange::new(half, layers));
+    placement.assign(NodeId(3), LayerRange::new(half, layers));
+    placement.validate(&profile).unwrap();
+    Topology::plan(&profile, &placement, true).unwrap()
+}
+
+/// A runtime session slow enough for an injected failure to interrupt real
+/// in-flight decode: the virtual clock is wall-driven, so the analytic batch
+/// durations must dominate per-event overhead or every pipeline would still
+/// be prompt-bound when the failure fires.
+fn ha_runtime_session(topology: &Topology) -> ServingSession {
+    ServingBuilder::new()
+        .topology(topology)
+        .config(RuntimeConfig {
+            wall_per_virtual: 0.01,
+            max_wall: std::time::Duration::from_secs(30),
+            ..RuntimeConfig::default()
+        })
+        .build()
+        .expect("the runtime session builds")
+}
+
+/// Generic scenario: install a replication policy, submit everything, kill
+/// one node mid-run, drain through the fail-over and finish.
+fn serve_with_failure<F: ServingFrontEnd>(
+    mut front: F,
+    batch: &[Request],
+    policy: ReplicationPolicy,
+    node: NodeId,
+    at: f64,
+) -> F::Report {
+    front.set_replication(policy);
+    for request in batch {
+        front.submit(*request);
+    }
+    front.fail_node(node, at);
+    front.drain().expect("the failed-over batch drains");
+    front.finish().expect("the session finishes")
+}
+
+#[test]
+fn rf2_mid_run_failure_conforms_across_surfaces() {
+    // All-early arrivals and long outputs: every request is mid-decode on
+    // both surfaces when node 0 dies, so the doomed set is determined by the
+    // (shared) IWRR rotation alone and the promoted sets must be identical.
+    let topology = redundant_topology();
+    let batch: Vec<Request> = (0..24u64)
+        .map(|i| Request {
+            id: i,
+            prompt_tokens: 32,
+            output_tokens: 256,
+            arrival_time: 0.01 * i as f64,
+            model: ModelId(0),
+            ..Request::default()
+        })
+        .collect();
+    let submitted = id_set(&batch);
+    let policy = ReplicationPolicy::rf2(0, 16);
+
+    let runtime_report = serve_with_failure(
+        ha_runtime_session(&topology),
+        &batch,
+        policy,
+        NodeId(0),
+        2.0,
+    );
+    let sim_report = serve_with_failure(sim_session(&topology), &batch, policy, NodeId(0), 2.0);
+
+    // Zero requests lost to the kill, on either surface.
+    let runtime_ids: BTreeSet<u64> = runtime_report.outcomes.iter().map(|o| o.id).collect();
+    assert_eq!(runtime_ids, submitted, "runtime loses nothing to the kill");
+    let sim_ids: BTreeSet<u64> = sim_report.completions.iter().map(|c| c.id).collect();
+    assert_eq!(sim_ids, submitted, "simulator loses nothing to the kill");
+
+    // Both surfaces log one structurally identical fail-over: the same node,
+    // the same promoted set, nothing aborted — and each recomputed strictly
+    // fewer tokens than the abort-and-readmit fallback would have.
+    assert_eq!(runtime_report.failovers.len(), 1);
+    assert_eq!(sim_report.failovers.len(), 1);
+    let (rt, sm) = (&runtime_report.failovers[0], &sim_report.failovers[0]);
+    assert_eq!(rt.node, NodeId(0));
+    assert_eq!(sm.node, NodeId(0));
+    let promoted =
+        |record: &FailoverRecord| -> BTreeSet<u64> { record.promoted.iter().copied().collect() };
+    assert_eq!(promoted(rt), promoted(sm), "identical promoted sets");
+    assert!(!rt.promoted.is_empty());
+    assert!(rt.aborted.is_empty() && sm.aborted.is_empty());
+    for record in [rt, sm] {
+        assert!(
+            record.tokens_recomputed < record.abort_recompute_tokens,
+            "promotion must beat abort-and-readmit: {record:?}"
+        );
+        assert!(record.replica_tokens_used > 0);
+    }
+    // The trickle showed up as replica traffic on both surfaces.
+    assert!(runtime_report.replication.tokens > 0);
+    assert!(sim_report.replication.tokens > 0);
+}
+
+#[test]
+fn node_failure_during_migration_transfer_window_loses_zero_completions() {
+    // The migration-window shape (slow node0 → node1 link stretches the
+    // hand-over into seconds of virtual time); node 2 — the bottom-stage
+    // replica *not* involved in the transfer — dies inside that window, so
+    // the fail-over's abort-and-readmit path and the migration's
+    // freeze/resume machinery overlap on both surfaces.
+    let spec = ClusterBuilder::new("ha-migration-window-3")
+        .intra_region(10_000.0, 1.0)
+        .override_link(Some(NodeId(0)), Some(NodeId(1)), 10_000.0, 2_500.0)
+        .add_nodes(GpuType::A100_80, 3, 1, Region(0))
+        .build();
+    let profile = ClusterProfile::analytic(spec, ModelConfig::llama_13b());
+    let num_layers = profile.model().num_layers;
+    let (quarter, half) = (num_layers / 4, num_layers / 2);
+    let mut placement = ModelPlacement::empty(3);
+    placement.assign(NodeId(0), LayerRange::new(0, half));
+    placement.assign(NodeId(2), LayerRange::new(0, half));
+    placement.assign(NodeId(1), LayerRange::new(half, num_layers));
+    placement.validate(&profile).unwrap();
+    let topology = Topology::plan(&profile, &placement, true).unwrap();
+    let moved = LayerRange::new(quarter, half);
+    let batch1: Vec<Request> = (0..16u64)
+        .map(|i| Request {
+            id: i,
+            prompt_tokens: 32,
+            output_tokens: 3,
+            arrival_time: 0.4 * i as f64,
+            model: ModelId(0),
+            ..Request::default()
+        })
+        .collect();
+    let batch2 = requests(4, 100, ModelId(0));
+    let mut submitted = id_set(&batch1);
+    submitted.extend(id_set(&batch2));
+
+    // Scenario on either surface: batch 1 in flight, migrate, kill node 2
+    // inside the transfer window, drain through both events, then serve
+    // batch 2 on the holed plan and finish.
+    let serve = |is_sim: bool| -> (BTreeSet<u64>, Vec<FailoverRecord>, usize, f64) {
+        if is_sim {
+            let mut front = sim_session(&topology);
+            for request in &batch1 {
+                front.submit(*request);
+            }
+            ServingFrontEnd::migrate(&mut front, ModelId(0), NodeId(0), NodeId(1), moved);
+            ServingFrontEnd::fail_node(&mut front, NodeId(2), 1.5);
+            ServingFrontEnd::drain(&mut front).unwrap();
+            for request in &batch2 {
+                front.submit(*request);
+            }
+            let report = ServingFrontEnd::finish(front).unwrap();
+            assert_eq!(report.kv_transfers.len(), 1);
+            let hand_over = &report.kv_transfers[0];
+            assert_eq!(hand_over.migration.layers, moved);
+            // The failure landed inside the transfer window.
+            let window = (hand_over.at - hand_over.transfer_secs, hand_over.at);
+            assert!(
+                window.0 < report.failovers[0].at && report.failovers[0].at < window.1,
+                "failure at {} missed the transfer window {window:?}",
+                report.failovers[0].at
+            );
+            (
+                report.completions.iter().map(|c| c.id).collect(),
+                report.failovers.clone(),
+                report.kv_transfers.len(),
+                hand_over.transfer_secs,
+            )
+        } else {
+            let mut front = ha_runtime_session(&topology);
+            for request in &batch1 {
+                front.submit(*request);
+            }
+            ServingFrontEnd::migrate(&mut front, ModelId(0), NodeId(0), NodeId(1), moved);
+            ServingFrontEnd::fail_node(&mut front, NodeId(2), 1.5);
+            ServingFrontEnd::drain(&mut front).unwrap();
+            for request in &batch2 {
+                front.submit(*request);
+            }
+            let report = ServingFrontEnd::finish(front).unwrap();
+            assert_eq!(report.kv_transfers.len(), 1);
+            assert_eq!(report.kv_transfers[0].migration.layers, moved);
+            (
+                report.outcomes.iter().map(|o| o.id).collect(),
+                report.failovers.clone(),
+                report.kv_transfers.len(),
+                report.kv_transfers[0].transfer_secs,
+            )
+        }
+    };
+
+    for is_sim in [false, true] {
+        let surface = if is_sim { "simulator" } else { "runtime" };
+        let (ids, failovers, transfers, transfer_secs) = serve(is_sim);
+        assert_eq!(
+            ids, submitted,
+            "{surface}: zero completions lost across migration + failure"
+        );
+        assert_eq!(transfers, 1, "{surface}: exactly one hand-over");
+        assert!(
+            transfer_secs > 1.0,
+            "{surface}: the slow link stretches the hand-over, got {transfer_secs}s"
+        );
+        assert_eq!(failovers.len(), 1, "{surface}: exactly one fail-over");
+        let record = &failovers[0];
+        assert_eq!(record.node, NodeId(2), "{surface}: node 2 died");
+        // No replication policy was installed: the fail-over is pure
+        // abort-and-readmit, so nothing is promoted and the recompute bill
+        // equals the fallback's by construction.
+        assert!(record.promoted.is_empty(), "{surface}: nothing promotable");
+        assert_eq!(record.tokens_recomputed, record.abort_recompute_tokens);
+        assert_eq!(record.replica_tokens_used, 0);
+    }
+}
+
 #[test]
 fn drain_then_submit_is_served_and_reports_stay_monotonic() {
     let profile = profile_13b();
